@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces paper Figure 2: PowerPC Value Locality by Data Type.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace lvplib::sim;
+    auto opts = ExperimentOptions::fromEnv();
+    printExperiment(
+        std::cout, "Figure 2: PowerPC Value Locality by Data Type",
+        "address loads (instruction and data addresses) show better locality than data loads; instruction addresses hold a slight edge over data addresses; integer data beats floating-point data.",
+        fig2LocalityByType(opts), opts);
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces paper Figure 6 (top): Alpha AXP 21164 Base Machine Speedups.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace lvplib::sim;
+    auto opts = ExperimentOptions::fromEnv();
+    printExperiment(
+        std::cout, "Figure 6 (top): Alpha AXP 21164 Base Machine Speedups",
+        "GM speedups ~1.06 (Simple), ~1.09 (Limit), ~1.16 (Perfect); grep and gawk are the dramatic winners.",
+        fig6AlphaSpeedups(opts), opts);
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces paper Figure 6 (bottom): PowerPC 620 Base Machine Speedups.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace lvplib::sim;
+    auto opts = ExperimentOptions::fromEnv();
+    printExperiment(
+        std::cout, "Figure 6 (bottom): PowerPC 620 Base Machine Speedups",
+        "GM speedups ~1.03 (Simple), ~1.03 (Constant), ~1.06 (Limit), ~1.09 (Perfect); the in-order 21164 gains roughly twice as much as the 620.",
+        fig6PpcSpeedups(opts), opts);
+    return 0;
+}

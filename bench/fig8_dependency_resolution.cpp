@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: Average Data Dependency Resolution Latencies.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace lvplib::sim;
+    auto opts = ExperimentOptions::fromEnv();
+    printExperiment(
+        std::cout, "Figure 8: Average Data Dependency Resolution Latencies",
+        "normalized RS operand-wait time vs no-LVP: BRU and MCFX barely improve (LVP does not predict cr/lr/ctr); FPU, SCFX and especially LSU drop sharply (LSU ~50% with Simple/Constant).",
+        fig8DependencyResolution(opts), opts);
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the LVP hardware-structure
+ * models and the simulation engines: per-operation costs of the LVPT,
+ * LCT, and CVU, end-to-end LvpUnit load processing, and simulated
+ * instructions per second for the interpreter and both timing models.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/lvp_unit.hh"
+#include "isa/program.hh"
+#include "sim/pipeline_driver.hh"
+#include "uarch/machine_config.hh"
+#include "util/rng.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace lvplib;
+
+constexpr Addr Pc0 = isa::layout::CodeBase;
+
+void
+BM_LvptUpdateLookup(benchmark::State &state)
+{
+    core::Lvpt t(static_cast<std::uint32_t>(state.range(0)),
+                 static_cast<std::uint32_t>(state.range(1)));
+    Rng rng(1);
+    for (auto _ : state) {
+        Addr pc = Pc0 + rng.below(4096) * 4;
+        t.update(pc, rng.below(16));
+        benchmark::DoNotOptimize(t.lookup(pc));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LvptUpdateLookup)
+    ->Args({1024, 1})
+    ->Args({4096, 16});
+
+void
+BM_LctClassifyUpdate(benchmark::State &state)
+{
+    core::Lct t(static_cast<std::uint32_t>(state.range(0)),
+                static_cast<unsigned>(state.range(1)));
+    Rng rng(2);
+    for (auto _ : state) {
+        Addr pc = Pc0 + rng.below(4096) * 4;
+        benchmark::DoNotOptimize(t.classify(pc));
+        t.update(pc, rng.chance(1, 2));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LctClassifyUpdate)->Args({256, 2})->Args({256, 1});
+
+void
+BM_CvuSearchAndInvalidate(benchmark::State &state)
+{
+    core::Cvu cvu(static_cast<std::uint32_t>(state.range(0)));
+    Rng rng(3);
+    // Pre-fill to capacity.
+    for (std::uint32_t i = 0; i < cvu.capacity(); ++i)
+        cvu.insert(0x1000 + i * 8, i, 8);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cvu.lookup(0x1000 + rng.below(cvu.capacity()) * 8,
+                       rng.below(cvu.capacity())));
+        if (rng.chance(1, 8))
+            cvu.storeInvalidate(0x1000 + rng.below(cvu.capacity()) * 8,
+                                8);
+        if (rng.chance(1, 8))
+            cvu.insert(0x1000 + rng.below(cvu.capacity()) * 8,
+                       rng.below(cvu.capacity()), 8);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CvuSearchAndInvalidate)->Arg(32)->Arg(128);
+
+void
+BM_LvpUnitOnLoad(benchmark::State &state)
+{
+    core::LvpUnit unit(state.range(0) == 0
+                           ? core::LvpConfig::simple()
+                           : core::LvpConfig::limit());
+    Rng rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            unit.onLoad(Pc0 + rng.below(2048) * 4,
+                        0x100000 + rng.below(256) * 8, rng.below(8),
+                        8));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LvpUnitOnLoad)->Arg(0)->Arg(1);
+
+/** Interpreter throughput in simulated instructions per second. */
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    auto prog = workloads::findWorkload("grep").build(
+        workloads::CodeGen::Ppc, 2);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto r = sim::runFunctional(prog);
+        instrs += r.stats.instructions();
+        benchmark::DoNotOptimize(r.result);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
+
+/** Out-of-order timing-model throughput. */
+void
+BM_Ppc620ModelThroughput(benchmark::State &state)
+{
+    auto prog = workloads::findWorkload("grep").build(
+        workloads::CodeGen::Ppc, 2);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto r = sim::runPpc620(prog, uarch::Ppc620Config::base620(),
+                                core::LvpConfig::simple());
+        instrs += r.timing.instructions;
+        benchmark::DoNotOptimize(r.timing.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+BENCHMARK(BM_Ppc620ModelThroughput)->Unit(benchmark::kMillisecond);
+
+/** In-order timing-model throughput. */
+void
+BM_Alpha21164ModelThroughput(benchmark::State &state)
+{
+    auto prog = workloads::findWorkload("grep").build(
+        workloads::CodeGen::Alpha, 2);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto r = sim::runAlpha21164(prog,
+                                    uarch::AlphaConfig::base21164(),
+                                    core::LvpConfig::simple());
+        instrs += r.timing.instructions;
+        benchmark::DoNotOptimize(r.timing.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+BENCHMARK(BM_Alpha21164ModelThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces paper Table 2: LVP Unit Configurations.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace lvplib::sim;
+    auto opts = ExperimentOptions::fromEnv();
+    printExperiment(
+        std::cout, "Table 2: LVP Unit Configurations",
+        "four configurations: Simple and Constant are buildable; Limit (16-deep history with perfect selection) and Perfect are oracle limit studies.",
+        table2Configs(), opts);
+    return 0;
+}

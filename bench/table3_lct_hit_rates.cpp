@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces paper Table 3: LCT Hit Rates.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace lvplib::sim;
+    auto opts = ExperimentOptions::fromEnv();
+    printExperiment(
+        std::cout, "Table 3: LCT Hit Rates",
+        "the LCT identifies most unpredictable loads as unpredictable (GM ~80-90%) and most predictable loads as predictable (GM ~75-90%) in both Simple and Limit configurations.",
+        table3LctHitRates(opts), opts);
+    return 0;
+}

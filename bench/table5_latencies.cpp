@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces paper Table 5: Instruction Latencies.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace lvplib::sim;
+    auto opts = ExperimentOptions::fromEnv();
+    printExperiment(
+        std::cout, "Table 5: Instruction Latencies",
+        "issue/result latencies of the two machine models, as configured (not measured).",
+        table5Latencies(), opts);
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Assembly tour: write a VLISA program as .s text, assemble it,
+ * disassemble it back, run it functionally, and push it through the
+ * LVP pipeline — the full toolchain on a program small enough to read.
+ *
+ * The program sums a linked list whose node values are constants:
+ * the pointer-chasing `next` loads and the value loads are exactly
+ * the high-locality idioms the paper's Section 2 catalogues.
+ */
+
+#include <cstdio>
+
+#include "core/config.hh"
+#include "isa/text_asm.hh"
+#include "sim/pipeline_driver.hh"
+#include "uarch/machine_config.hh"
+
+namespace
+{
+
+const char *const kSource = R"(
+; Sum a 2-node linked list, 100 times over.
+.data
+n3: .dword 40          ; value
+    .dword 0           ; next = NULL
+n2: .dword 30
+    .dword 0           ; next: patched to &n3 at build time
+__result: .dword 0
+head:     .dword 0     ; patched to &n2 at build time
+.text
+start:
+    li r20, 100            ; repetitions
+    li r21, 0              ; grand total
+
+rep:
+    la r3, head
+    ld r3, 0(r3) @data     ; head pointer (a run-time constant)
+    li r4, 0               ; list sum
+
+walk:
+    cmpi cr0, r3, 0
+    bc eq, cr0, done
+    ld r5, 0(r3)           ; node value (constant per node)
+    add r4, r4, r5
+    ld r3, 8(r3) @data     ; next pointer (constant per node)
+    b walk
+
+done:
+    add r21, r21, r4
+    addi r20, r20, -1
+    cmpi cr0, r20, 0
+    bc gt, cr0, rep
+
+    la r6, __result
+    std r21, 0(r6)
+    halt
+)";
+
+} // namespace
+
+int
+main()
+{
+    using namespace lvplib;
+
+    isa::Program prog = isa::assembleText(kSource);
+
+    // Patch up the list: n2.next = &n3, head = &n2 (the text
+    // assembler has no relocations in data, so we poke pointers the
+    // same way the workload builders do).
+    prog.setWord(prog.symbol("n2") + 8, prog.symbol("n3"));
+    prog.setWord(prog.symbol("head"), prog.symbol("n2"));
+
+    std::printf("disassembly (%zu instructions):\n", prog.size());
+    for (std::size_t i = 0; i < prog.size() && i < 12; ++i) {
+        Addr pc = prog.entry() + i * isa::layout::InstBytes;
+        std::printf("  %llx: %s\n", (unsigned long long)pc,
+                    isa::disassemble(prog.at(i), pc).c_str());
+    }
+    std::printf("  ... (%zu more)\n\n", prog.size() - 12);
+
+    auto func = sim::runFunctional(prog);
+    std::printf("result: %llu (expect 100 * (30+40) = 7000)\n",
+                (unsigned long long)func.result);
+
+    auto prof = sim::profileLocality(prog);
+    std::printf("value locality: %.1f%% (d=1), %.1f%% (d=16)\n",
+                prof.total().pctDepth1(), prof.total().pctDepthN());
+
+    auto base = sim::runPpc620(prog, uarch::Ppc620Config::base620(),
+                               std::nullopt);
+    auto with = sim::runPpc620(prog, uarch::Ppc620Config::base620(),
+                               core::LvpConfig::simple());
+    std::printf("620 IPC %.3f -> %.3f with LVP (speedup %.3f): the\n"
+                "pointer chase collapses once the next-pointers "
+                "predict.\n",
+                base.timing.ipc(), with.timing.ipc(),
+                with.timing.ipc() / base.timing.ipc());
+    return 0;
+}

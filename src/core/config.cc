@@ -1,0 +1,67 @@
+#include "core/config.hh"
+
+#include "util/logging.hh"
+
+namespace lvplib::core
+{
+
+namespace
+{
+
+bool
+powerOfTwo(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+LvpConfig
+LvpConfig::simple()
+{
+    return {.name = "Simple", .lvptEntries = 1024, .historyDepth = 1,
+            .lctEntries = 256, .lctBits = 2, .cvuEntries = 32};
+}
+
+LvpConfig
+LvpConfig::constant()
+{
+    return {.name = "Constant", .lvptEntries = 1024, .historyDepth = 1,
+            .lctEntries = 256, .lctBits = 1, .cvuEntries = 128};
+}
+
+LvpConfig
+LvpConfig::limit()
+{
+    return {.name = "Limit", .lvptEntries = 4096, .historyDepth = 16,
+            .lctEntries = 1024, .lctBits = 2, .cvuEntries = 128};
+}
+
+LvpConfig
+LvpConfig::perfect()
+{
+    return {.name = "Perfect", .lvptEntries = 1024, .historyDepth = 1,
+            .lctEntries = 256, .lctBits = 2, .cvuEntries = 0,
+            .perfectPrediction = true};
+}
+
+std::vector<LvpConfig>
+LvpConfig::paperConfigs()
+{
+    return {simple(), constant(), limit(), perfect()};
+}
+
+void
+LvpConfig::validate() const
+{
+    if (!powerOfTwo(lvptEntries))
+        lvp_fatal("lvptEntries must be a power of two (%u)", lvptEntries);
+    if (!powerOfTwo(lctEntries))
+        lvp_fatal("lctEntries must be a power of two (%u)", lctEntries);
+    if (historyDepth < 1 || historyDepth > 64)
+        lvp_fatal("historyDepth out of range (%u)", historyDepth);
+    if (lctBits < 1 || lctBits > 8)
+        lvp_fatal("lctBits out of range (%u)", lctBits);
+}
+
+} // namespace lvplib::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * LVP Unit configuration, including the paper's four Table 2 presets
+ * (Simple, Constant, Limit, Perfect).
+ */
+
+#ifndef LVPLIB_CORE_CONFIG_HH
+#define LVPLIB_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lvplib::core
+{
+
+/**
+ * Parameters of one LVP Unit instance (paper Table 2).
+ *
+ * A history depth greater than one implies the paper's hypothetical
+ * perfect selection mechanism: a prediction counts as correct whenever
+ * the loaded value appears anywhere in the entry's history.
+ * perfectPrediction makes every load predict correctly and classifies
+ * none as constants (the paper's "Perfect" row).
+ */
+struct LvpConfig
+{
+    std::string name = "custom";
+    std::uint32_t lvptEntries = 1024; ///< direct-mapped, untagged
+    std::uint32_t historyDepth = 1;   ///< values kept per LVPT entry
+    std::uint32_t lctEntries = 256;   ///< direct-mapped counters
+    std::uint32_t lctBits = 2;        ///< saturating-counter width
+    std::uint32_t cvuEntries = 32;    ///< fully-associative CAM size
+    std::uint32_t cvuWays = 0;        ///< ablation: 0 = full CAM
+    bool perfectPrediction = false;   ///< oracle: all loads correct
+    bool taggedLvpt = false;          ///< ablation: tag LVPT entries
+
+    /**
+     * Extension (paper Section 7): XOR this many global
+     * branch-history bits into the LVPT lookup index, giving a static
+     * load multiple table entries — one per recent control-flow
+     * context — so context-dependent values stop destroying each
+     * other. 0 (the paper's design) disables it.
+     */
+    std::uint32_t bhrBits = 0;
+
+    /** Table 2 "Simple": LVPT 1024x1, LCT 256x2-bit, CVU 32. */
+    static LvpConfig simple();
+
+    /** Table 2 "Constant": LVPT 1024x1, LCT 256x1-bit, CVU 128. */
+    static LvpConfig constant();
+
+    /** Table 2 "Limit": LVPT 4096x16 (perfect selection), LCT 1024x2,
+     *  CVU 128. */
+    static LvpConfig limit();
+
+    /** Table 2 "Perfect": every load predicted correctly, no
+     *  constants. */
+    static LvpConfig perfect();
+
+    /** The four paper configurations, in Table 2 order. */
+    static std::vector<LvpConfig> paperConfigs();
+
+    /** Validate parameters (powers of two where required). */
+    void validate() const;
+};
+
+} // namespace lvplib::core
+
+#endif // LVPLIB_CORE_CONFIG_HH

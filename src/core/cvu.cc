@@ -1,0 +1,153 @@
+#include "core/cvu.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace lvplib::core
+{
+
+namespace
+{
+
+bool
+rangesOverlap(Addr a, unsigned alen, Addr b, unsigned blen)
+{
+    return a < b + blen && b < a + alen;
+}
+
+} // namespace
+
+Cvu::Cvu(std::uint32_t entries, std::uint32_t ways)
+    : capacity_(entries), ways_(ways == 0 ? entries : ways),
+      numSets_(ways == 0 || entries == 0 ? 1 : entries / ways)
+{
+    if (entries != 0 && ways != 0) {
+        if (entries % ways != 0 ||
+            (numSets_ & (numSets_ - 1)) != 0) {
+            lvp_fatal("CVU sets (entries %u / ways %u) must be a "
+                      "power of two",
+                      entries, ways);
+        }
+    }
+    sets_.resize(numSets_);
+}
+
+std::size_t
+Cvu::setOf(Addr addr) const
+{
+    if (numSets_ == 1)
+        return 0;
+    // Index by the 8-byte granule of the entry's base address.
+    return static_cast<std::size_t>((addr >> 3) & (numSets_ - 1));
+}
+
+std::size_t
+Cvu::size() const
+{
+    std::size_t n = 0;
+    for (const auto &s : sets_)
+        n += s.size();
+    return n;
+}
+
+bool
+Cvu::lookup(Addr addr, std::uint32_t lvpt_index)
+{
+    auto &set = sets_[setOf(addr)];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+        if (it->addr == addr && it->lvptIndex == lvpt_index) {
+            set.splice(set.begin(), set, it);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cvu::insert(Addr addr, std::uint32_t lvpt_index, unsigned size)
+{
+    if (capacity_ == 0)
+        return;
+    auto &set = sets_[setOf(addr)];
+    // Refresh an existing identical entry instead of duplicating it.
+    for (auto it = set.begin(); it != set.end(); ++it) {
+        if (it->addr == addr && it->lvptIndex == lvpt_index) {
+            it->size = size;
+            set.splice(set.begin(), set, it);
+            return;
+        }
+    }
+    if (set.size() == ways_)
+        set.pop_back();
+    set.push_front({addr, lvpt_index, size});
+}
+
+unsigned
+Cvu::storeInvalidate(Addr store_addr, unsigned store_size)
+{
+    if (capacity_ == 0)
+        return 0;
+    unsigned n = 0;
+    auto purge = [&](std::list<Entry> &set) {
+        for (auto it = set.begin(); it != set.end();) {
+            if (rangesOverlap(it->addr, it->size, store_addr,
+                              store_size)) {
+                it = set.erase(it);
+                ++n;
+            } else {
+                ++it;
+            }
+        }
+    };
+    if (numSets_ == 1) {
+        purge(sets_[0]);
+        return n;
+    }
+    // An overlapping entry's base address lies in
+    // [store_addr - 7, store_addr + store_size): probe exactly the
+    // granule-sets that range can touch.
+    Addr lo = (store_addr >= 7 ? store_addr - 7 : 0) >> 3;
+    Addr hi = (store_addr + store_size - 1) >> 3;
+    std::size_t span = static_cast<std::size_t>(hi - lo) + 1;
+    if (span >= numSets_) {
+        for (auto &set : sets_)
+            purge(set);
+        return n;
+    }
+    std::vector<std::size_t> seen;
+    for (Addr g = lo; g <= hi; ++g) {
+        auto s = static_cast<std::size_t>(g & (numSets_ - 1));
+        if (std::find(seen.begin(), seen.end(), s) == seen.end()) {
+            seen.push_back(s);
+            purge(sets_[s]);
+        }
+    }
+    return n;
+}
+
+unsigned
+Cvu::displaceInvalidate(std::uint32_t lvpt_index)
+{
+    unsigned n = 0;
+    for (auto &set : sets_) {
+        for (auto it = set.begin(); it != set.end();) {
+            if (it->lvptIndex == lvpt_index) {
+                it = set.erase(it);
+                ++n;
+            } else {
+                ++it;
+            }
+        }
+    }
+    return n;
+}
+
+void
+Cvu::reset()
+{
+    for (auto &s : sets_)
+        s.clear();
+}
+
+} // namespace lvplib::core

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The Constant Verification Unit (paper Section 3.3).
+ *
+ * A small fully-associative table (CAM) of (data address, LVPT index)
+ * pairs. When a constant-classified load executes, its data address
+ * concatenated with its LVPT index is searched in the CAM; a match
+ * guarantees the LVPT entry's value is coherent with main memory, so
+ * the load need not access the memory hierarchy at all. Entries are
+ * invalidated by any store whose address range overlaps, and by LVPT
+ * displacement (an aliasing load overwriting the entry's value).
+ *
+ * As a design-space ablation the unit can also be built
+ * set-associative (ways > 0): entries then live in the set selected
+ * by their address's 8-byte granule, trading the full CAM's cost for
+ * possible conflict evictions. Coherence is preserved: a store probes
+ * every set its byte range can overlap.
+ */
+
+#ifndef LVPLIB_CORE_CVU_HH
+#define LVPLIB_CORE_CVU_HH
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace lvplib::core
+{
+
+class Cvu
+{
+  public:
+    /**
+     * @param entries Total capacity; 0 disables the unit.
+     * @param ways Associativity; 0 (the paper's design) means fully
+     * associative. Otherwise entries/ways must be a power of two.
+     */
+    explicit Cvu(std::uint32_t entries, std::uint32_t ways = 0);
+
+    /**
+     * CAM search for a constant load: true when (addr, lvpt_index) is
+     * present, meaning the LVPT value is guaranteed coherent. A hit
+     * refreshes the entry's LRU position.
+     */
+    bool lookup(Addr addr, std::uint32_t lvpt_index);
+
+    /**
+     * Install a verified constant. Called after a constant-classified
+     * load missed the CAM, fell back to the memory hierarchy, and its
+     * prediction verified correct. Evicts the LRU entry (of the set,
+     * when set-associative) when full.
+     *
+     * @param size Access size in bytes, retained so stores can detect
+     * partial overlap.
+     */
+    void insert(Addr addr, std::uint32_t lvpt_index, unsigned size);
+
+    /**
+     * Store-side invalidation: remove every entry whose [addr,
+     * addr+size) range overlaps the store's range (paper: "all
+     * matching entries are removed from the CVU").
+     *
+     * @return Number of entries invalidated.
+     */
+    unsigned storeInvalidate(Addr store_addr, unsigned store_size);
+
+    /**
+     * LVPT-displacement invalidation: the LVPT entry at @p lvpt_index
+     * changed its MRU value, so any constant verified against it would
+     * be stale. Removes every entry with that index.
+     *
+     * @return Number of entries invalidated.
+     */
+    unsigned displaceInvalidate(std::uint32_t lvpt_index);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t ways() const { return ways_; }
+    std::size_t size() const;
+    bool enabled() const { return capacity_ != 0; }
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Addr addr;
+        std::uint32_t lvptIndex;
+        unsigned size;
+    };
+
+    /** Set holding entries whose base address is @p addr. */
+    std::size_t setOf(Addr addr) const;
+
+    std::uint32_t capacity_;
+    std::uint32_t ways_;     ///< entries per set (capacity_ when FA)
+    std::uint32_t numSets_;  ///< 1 when fully associative
+    /** MRU-first lists; fully-associative search is a linear scan,
+     *  faithful to a CAM (capacities are small: 32-128). */
+    std::vector<std::list<Entry>> sets_;
+};
+
+} // namespace lvplib::core
+
+#endif // LVPLIB_CORE_CVU_HH

@@ -1,0 +1,121 @@
+#include "core/fcm_unit.hh"
+
+#include "isa/program.hh"
+#include "util/logging.hh"
+
+namespace lvplib::core
+{
+
+namespace
+{
+
+/** Mixing constant for context folding (splitmix64 finalizer flavor). */
+constexpr Word FoldMul = 0x9E3779B97F4A7C15ull;
+
+} // namespace
+
+FcmConfig
+FcmConfig::simple()
+{
+    return FcmConfig();
+}
+
+FcmUnit::FcmUnit(const FcmConfig &config)
+    : config_(config), l1Mask_(config.level1Entries - 1),
+      l2Mask_(config.level2Entries - 1),
+      lct_(config.lctEntries, config.lctBits)
+{
+    auto pow2 = [](std::uint32_t v) {
+        return v != 0 && (v & (v - 1)) == 0;
+    };
+    lvp_assert(pow2(config.level1Entries) && pow2(config.level2Entries),
+               "FCM table sizes must be powers of two");
+    lvp_assert(config.order >= 1 && config.order <= 8);
+    contexts_.assign(config.level1Entries, 0);
+    values_.assign(config.level2Entries, L2Entry());
+}
+
+std::uint32_t
+FcmUnit::level1Index(Addr pc) const
+{
+    return static_cast<std::uint32_t>(pc / isa::layout::InstBytes) &
+           l1Mask_;
+}
+
+std::uint32_t
+FcmUnit::level2Index(Addr pc, Word context) const
+{
+    // Hash the pc in so different loads with identical value
+    // sequences don't fully collide.
+    Word h = (context ^ (pc / isa::layout::InstBytes)) * FoldMul;
+    return static_cast<std::uint32_t>(h >> 40) & l2Mask_;
+}
+
+trace::PredState
+FcmUnit::onLoad(Addr pc, Addr addr, Word value, unsigned size)
+{
+    using trace::PredState;
+    (void)addr;
+    (void)size;
+
+    ++stats_.loads;
+    Word &ctx = contexts_[level1Index(pc)];
+    L2Entry &e = values_[level2Index(pc, ctx)];
+
+    bool would_be_correct = e.valid && e.value == value;
+    const LoadClass cls = lct_.classify(pc);
+
+    if (would_be_correct) {
+        ++stats_.actualPred;
+        if (cls != LoadClass::DontPredict)
+            ++stats_.predIdentified;
+    } else {
+        ++stats_.actualUnpred;
+        if (cls == LoadClass::DontPredict)
+            ++stats_.unpredIdentified;
+    }
+
+    PredState state = PredState::None;
+    if (cls != LoadClass::DontPredict) {
+        if (would_be_correct) {
+            state = PredState::Correct;
+            ++stats_.correct;
+        } else {
+            state = PredState::Incorrect;
+            ++stats_.incorrect;
+        }
+    } else {
+        ++stats_.noPred;
+    }
+
+    lct_.update(pc, would_be_correct);
+
+    // Train level 2 with the value that followed this context, then
+    // fold the value into the context. Each fold shifts the old
+    // context up by 64/(order+1) bits, so values older than `order`
+    // steps drop off the top of the hash.
+    e.valid = true;
+    e.value = value;
+    unsigned shift = 64 / (config_.order + 1);
+    ctx = (ctx << shift) ^ (value * FoldMul);
+
+    return state;
+}
+
+void
+FcmUnit::onStore(Addr addr, unsigned size)
+{
+    (void)addr;
+    (void)size;
+}
+
+void
+FcmUnit::reset()
+{
+    contexts_.assign(contexts_.size(), 0);
+    values_.assign(values_.size(), L2Entry());
+    lct_.reset();
+    stats_ = LvpStats();
+}
+
+} // namespace lvplib::core

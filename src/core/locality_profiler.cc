@@ -1,0 +1,71 @@
+#include "core/locality_profiler.hh"
+
+#include "isa/program.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace lvplib::core
+{
+
+double
+LocalityCounts::pctDepth1() const
+{
+    return pct(hitsDepth1, loads);
+}
+
+double
+LocalityCounts::pctDepthN() const
+{
+    return pct(hitsDepthN, loads);
+}
+
+ValueLocalityProfiler::ValueLocalityProfiler(std::uint32_t entries,
+                                             std::uint32_t deep_depth)
+    : mask_(entries - 1), deepDepth_(deep_depth)
+{
+    lvp_assert(entries != 0 && (entries & (entries - 1)) == 0,
+               "entries=%u", entries);
+    lvp_assert(deep_depth >= 1);
+    table_.assign(entries, LruStack<Word>(deep_depth));
+}
+
+void
+ValueLocalityProfiler::consume(const trace::TraceRecord &rec)
+{
+    const auto &inst = *rec.inst;
+    if (!inst.load())
+        return;
+
+    auto idx = static_cast<std::uint32_t>(
+                   rec.pc / isa::layout::InstBytes) & mask_;
+    auto &hist = table_[idx];
+
+    bool hit1 = !hist.empty() && hist.mru() == rec.value;
+    bool hitN = hist.contains(rec.value);
+    hist.touch(rec.value);
+
+    auto bump = [&](LocalityCounts &c) {
+        ++c.loads;
+        c.hitsDepth1 += hit1 ? 1 : 0;
+        c.hitsDepthN += hitN ? 1 : 0;
+    };
+    bump(total_);
+    bump(byClass_[static_cast<std::size_t>(inst.dataClass)]);
+}
+
+const LocalityCounts &
+ValueLocalityProfiler::byClass(isa::DataClass c) const
+{
+    return byClass_[static_cast<std::size_t>(c)];
+}
+
+void
+ValueLocalityProfiler::reset()
+{
+    for (auto &h : table_)
+        h.clear();
+    total_ = LocalityCounts();
+    byClass_.fill(LocalityCounts());
+}
+
+} // namespace lvplib::core

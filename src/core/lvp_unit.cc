@@ -1,0 +1,188 @@
+#include "core/lvp_unit.hh"
+
+#include "isa/program.hh"
+#include "util/stats.hh"
+
+namespace lvplib::core
+{
+
+double
+LvpStats::unpredHitRate()  const
+{
+    return pct(unpredIdentified, actualUnpred);
+}
+
+double
+LvpStats::predHitRate() const
+{
+    return pct(predIdentified, actualPred);
+}
+
+double
+LvpStats::constantRate() const
+{
+    return pct(constants, loads);
+}
+
+double
+LvpStats::predictionRate() const
+{
+    return pct(incorrect + correct + constants, loads);
+}
+
+double
+LvpStats::accuracy() const
+{
+    return pct(correct + constants, incorrect + correct + constants);
+}
+
+LvpUnit::LvpUnit(const LvpConfig &config)
+    : config_(config),
+      lvpt_(config.lvptEntries, config.historyDepth, config.taggedLvpt),
+      lct_(config.lctEntries, config.lctBits),
+      cvu_(config.cvuEntries, config.cvuWays)
+{
+    config_.validate();
+}
+
+trace::PredState
+LvpUnit::onLoad(Addr pc, Addr addr, Word value, unsigned size)
+{
+    using trace::PredState;
+
+    ++stats_.loads;
+
+    if (config_.perfectPrediction) {
+        // Paper Table 2 "Perfect": every load value predicted
+        // correctly, none classified as constant. No table state.
+        ++stats_.correct;
+        ++stats_.actualPred;
+        ++stats_.predIdentified;
+        return PredState::Correct;
+    }
+
+    // The LVPT (and with it the CVU's index half) is looked up with
+    // the pc, optionally hashed with global branch history (paper
+    // Section 7's "branch history bits in the lookup index"). The
+    // LCT stays pc-indexed: classification is per static load.
+    const Addr key = lookupKey(pc);
+    const std::uint32_t idx = lvpt_.index(key);
+    const LvptLookup pred = lvpt_.lookup(key);
+
+    // Would this prediction have been correct? For history depth > 1
+    // the paper assumes a perfect selection mechanism among the
+    // entry's values.
+    bool would_be_correct;
+    if (config_.historyDepth > 1)
+        would_be_correct = lvpt_.historyContains(key, value);
+    else
+        would_be_correct = pred.valid && pred.value == value;
+
+    const LoadClass cls = lct_.classify(pc);
+
+    // Table 3 bookkeeping: how well does the LCT separate the loads
+    // the LVPT can predict from the ones it cannot?
+    if (would_be_correct) {
+        ++stats_.actualPred;
+        if (cls != LoadClass::DontPredict)
+            ++stats_.predIdentified;
+    } else {
+        ++stats_.actualUnpred;
+        if (cls == LoadClass::DontPredict)
+            ++stats_.unpredIdentified;
+    }
+
+    PredState state = PredState::None;
+    if (cls == LoadClass::Constant && cvu_.enabled() &&
+        cvu_.lookup(addr, idx)) {
+        // CVU hit: the LVPT value is guaranteed coherent with memory,
+        // so the load bypasses the memory hierarchy entirely.
+        state = PredState::Constant;
+        ++stats_.constants;
+        if (!would_be_correct)
+            ++stats_.cvuStaleHits; // coherence violation: must not happen
+    } else if (cls != LoadClass::DontPredict) {
+        // Predictable (or constant that missed the CVU and was demoted
+        // to predictable status, paper Section 3.3): verify against
+        // the conventional memory hierarchy.
+        if (would_be_correct) {
+            state = PredState::Correct;
+            ++stats_.correct;
+            if (cls == LoadClass::Constant && cvu_.enabled()) {
+                cvu_.insert(addr, idx, size);
+                ++stats_.cvuInsertions;
+            }
+        } else {
+            state = PredState::Incorrect;
+            ++stats_.incorrect;
+        }
+    } else {
+        ++stats_.noPred;
+    }
+
+    // Train the LCT on the outcome the LVPT would have produced, and
+    // record the actual value in the LVPT.
+    lct_.update(pc, would_be_correct);
+    bool displaced = lvpt_.update(key, value);
+    if (displaced && cvu_.enabled()) {
+        // The entry's prediction changed: constants verified against
+        // the old value are stale.
+        stats_.cvuDisplaceInvalidations += cvu_.displaceInvalidate(idx);
+    }
+
+    return state;
+}
+
+Addr
+LvpUnit::lookupKey(Addr pc) const
+{
+    if (config_.bhrBits == 0)
+        return pc;
+    Word mask = (Word(1) << config_.bhrBits) - 1;
+    // Shift the history above the instruction-alignment bits so it
+    // lands in the index.
+    return pc ^ ((bhr_ & mask) * isa::layout::InstBytes);
+}
+
+void
+LvpUnit::onBranch(bool taken)
+{
+    if (config_.bhrBits == 0)
+        return;
+    bhr_ = (bhr_ << 1) | (taken ? 1 : 0);
+}
+
+void
+LvpUnit::onStore(Addr addr, unsigned size)
+{
+    if (cvu_.enabled())
+        stats_.cvuStoreInvalidations += cvu_.storeInvalidate(addr, size);
+}
+
+void
+LvpUnit::reset()
+{
+    lvpt_.reset();
+    lct_.reset();
+    cvu_.reset();
+    bhr_ = 0;
+    stats_ = LvpStats();
+}
+
+void
+LvpAnnotator::consume(const trace::TraceRecord &rec)
+{
+    trace::TraceRecord out = rec;
+    const auto &inst = *rec.inst;
+    if (inst.load()) {
+        out.pred = unit_.onLoad(rec.pc, rec.effAddr, rec.value,
+                                inst.accessSize());
+    } else if (inst.store()) {
+        unit_.onStore(rec.effAddr, inst.accessSize());
+    } else if (inst.branch()) {
+        unit_.onBranch(rec.taken);
+    }
+    downstream_.consume(out);
+}
+
+} // namespace lvplib::core

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The Load Value Prediction Unit: LVPT + LCT + CVU composed per paper
+ * Section 3.4, plus the statistics behind Tables 3 and 4. Also the
+ * LvpAnnotator trace-pipeline stage, which annotates every dynamic
+ * load with its PredState — the paper's phase-2 simulator, which
+ * passes only two bits of state per load into the timing models.
+ */
+
+#ifndef LVPLIB_CORE_LVP_UNIT_HH
+#define LVPLIB_CORE_LVP_UNIT_HH
+
+#include <cstdint>
+
+#include "core/config.hh"
+#include "core/cvu.hh"
+#include "core/lct.hh"
+#include "core/lvpt.hh"
+#include "trace/trace.hh"
+#include "util/types.hh"
+
+namespace lvplib::core
+{
+
+/** Aggregate statistics for one LVP Unit over one trace. */
+struct LvpStats
+{
+    std::uint64_t loads = 0;        ///< dynamic loads processed
+    std::uint64_t noPred = 0;       ///< LCT said "don't predict"
+    std::uint64_t incorrect = 0;    ///< predicted, wrong
+    std::uint64_t correct = 0;      ///< predicted, verified via memory
+    std::uint64_t constants = 0;    ///< verified by the CVU (no access)
+
+    // Classification confusion matrix (Table 3). "Actually
+    // predictable" means the LVPT's prediction matched this dynamic
+    // load's value.
+    std::uint64_t actualUnpred = 0;      ///< dynamic loads LVPT got wrong
+    std::uint64_t actualPred = 0;        ///< dynamic loads LVPT got right
+    std::uint64_t unpredIdentified = 0;  ///< ...and LCT said don't-predict
+    std::uint64_t predIdentified = 0;    ///< ...and LCT said predict/const
+
+    std::uint64_t cvuInsertions = 0;
+    std::uint64_t cvuStoreInvalidations = 0;
+    std::uint64_t cvuDisplaceInvalidations = 0;
+    std::uint64_t cvuStaleHits = 0; ///< must stay 0: coherence property
+
+    /** Table 3 column: % of unpredictable loads identified as such. */
+    double unpredHitRate() const;
+
+    /** Table 3 column: % of predictable loads identified as such. */
+    double predHitRate() const;
+
+    /** Table 4: constant loads as a fraction of all dynamic loads. */
+    double constantRate() const;
+
+    /** Fraction of loads predicted (correct+incorrect+constant). */
+    double predictionRate() const;
+
+    /** Fraction of issued predictions that were correct. */
+    double accuracy() const;
+};
+
+/**
+ * A complete LVP Unit. Feed it every dynamic load (in program order,
+ * with the actual loaded value — this is a trace-driven unit, as in
+ * the paper) and every dynamic store (for CVU coherence).
+ */
+class LvpUnit
+{
+  public:
+    explicit LvpUnit(const LvpConfig &config);
+
+    /**
+     * Process one dynamic load and return its prediction state.
+     *
+     * @param pc Load instruction address.
+     * @param addr Effective (data) address.
+     * @param value Actual loaded value.
+     * @param size Access size in bytes.
+     */
+    trace::PredState onLoad(Addr pc, Addr addr, Word value, unsigned size);
+
+    /** Process one dynamic store (invalidates matching CVU entries). */
+    void onStore(Addr addr, unsigned size);
+
+    /**
+     * Process one dynamic branch outcome. Only used when
+     * config.bhrBits > 0 (the branch-history-indexed LVPT extension);
+     * a no-op otherwise.
+     */
+    void onBranch(bool taken);
+
+    const LvpConfig &config() const { return config_; }
+    const LvpStats &stats() const { return stats_; }
+
+    /** Component access for tests and diagnostics. */
+    const Lvpt &lvpt() const { return lvpt_; }
+    const Lct &lct() const { return lct_; }
+    const Cvu &cvu() const { return cvu_; }
+
+    /** Clear tables and statistics. */
+    void reset();
+
+  private:
+    /** LVPT lookup key: the pc, optionally hashed with the BHR. */
+    Addr lookupKey(Addr pc) const;
+
+    LvpConfig config_;
+    Lvpt lvpt_;
+    Lct lct_;
+    Cvu cvu_;
+    Word bhr_ = 0; ///< global branch history (bhrBits wide)
+    LvpStats stats_;
+};
+
+/**
+ * Trace-pipeline stage: runs an LvpUnit over the stream, stamps each
+ * load's PredState into the record, and forwards everything
+ * downstream.
+ */
+class LvpAnnotator : public trace::TraceSink
+{
+  public:
+    LvpAnnotator(const LvpConfig &config, trace::TraceSink &downstream)
+        : unit_(config), downstream_(downstream)
+    {}
+
+    void consume(const trace::TraceRecord &rec) override;
+    void finish() override { downstream_.finish(); }
+
+    const LvpUnit &unit() const { return unit_; }
+
+  private:
+    LvpUnit unit_;
+    trace::TraceSink &downstream_;
+};
+
+} // namespace lvplib::core
+
+#endif // LVPLIB_CORE_LVP_UNIT_HH

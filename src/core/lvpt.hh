@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The Load Value Prediction Table (paper Section 3.1).
+ *
+ * The LVPT associates a load instruction with the value(s) it loaded
+ * previously. It is indexed by the low-order bits of the load's
+ * instruction address and is NOT tagged, so both constructive and
+ * destructive interference occur between loads that alias to the same
+ * entry — exactly as in the paper. Each entry holds up to
+ * historyDepth unique values in LRU order.
+ */
+
+#ifndef LVPLIB_CORE_LVPT_HH
+#define LVPLIB_CORE_LVPT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/lru_stack.hh"
+#include "util/types.hh"
+
+namespace lvplib::core
+{
+
+/** Result of an LVPT lookup. */
+struct LvptLookup
+{
+    bool valid = false; ///< entry has at least one recorded value
+    Word value = 0;     ///< most-recently-used value (the prediction)
+};
+
+class Lvpt
+{
+  public:
+    /**
+     * @param entries Number of entries (power of two).
+     * @param depth Values retained per entry (history depth).
+     * @param tagged Ablation knob: when true, each entry remembers
+     * which static load owns it and a mismatching lookup misses
+     * instead of interfering (the paper's design is untagged).
+     */
+    Lvpt(std::uint32_t entries, std::uint32_t depth,
+         bool tagged = false);
+
+    /** Table index for a load at @p pc. */
+    std::uint32_t index(Addr pc) const;
+
+    /** Predict the value for the load at @p pc (MRU value). */
+    LvptLookup lookup(Addr pc) const;
+
+    /**
+     * True when @p value appears anywhere in the history of the entry
+     * for @p pc — the paper's hypothetical perfect selection mechanism
+     * for history depths greater than one.
+     */
+    bool historyContains(Addr pc, Word value) const;
+
+    /**
+     * Record the actual loaded @p value for the load at @p pc.
+     *
+     * @return true when the update changed the entry's MRU value
+     * (the signal the CVU uses to invalidate constants whose LVPT
+     * value was displaced by an aliasing load).
+     */
+    bool update(Addr pc, Word value);
+
+    std::uint32_t entries() const { return mask_ + 1; }
+    std::uint32_t depth() const { return depth_; }
+    bool tagged() const { return tagged_; }
+
+    /** Clear all histories. */
+    void reset();
+
+  private:
+    /** Tag check/replace; returns false on a tag miss (tagged mode
+     *  only). */
+    bool tagMatches(Addr pc) const;
+
+    std::uint32_t mask_;
+    std::uint32_t depth_;
+    bool tagged_;
+    std::vector<LruStack<Word>> table_;
+    std::vector<Addr> tags_;
+};
+
+} // namespace lvplib::core
+
+#endif // LVPLIB_CORE_LVPT_HH

@@ -1,0 +1,57 @@
+#include "core/value_profiler.hh"
+
+#include "isa/program.hh"
+#include "util/logging.hh"
+
+namespace lvplib::core
+{
+
+AllValueLocalityProfiler::AllValueLocalityProfiler(
+    std::uint32_t entries, std::uint32_t deep_depth)
+    : mask_(entries - 1), deepDepth_(deep_depth)
+{
+    lvp_assert(entries != 0 && (entries & (entries - 1)) == 0,
+               "entries=%u", entries);
+    table_.assign(entries, LruStack<Word>(deep_depth));
+}
+
+void
+AllValueLocalityProfiler::consume(const trace::TraceRecord &rec)
+{
+    const auto &inst = *rec.inst;
+    RegIndex dest = inst.destReg();
+    if (dest == isa::NoReg || dest == isa::RegLr)
+        return; // no value, or a pc-determined return address
+
+    auto idx = static_cast<std::uint32_t>(
+                   rec.pc / isa::layout::InstBytes) & mask_;
+    auto &hist = table_[idx];
+    bool hit1 = !hist.empty() && hist.mru() == rec.destValue;
+    bool hitN = hist.contains(rec.destValue);
+    hist.touch(rec.destValue);
+
+    auto bump = [&](LocalityCounts &c) {
+        ++c.loads;
+        c.hitsDepth1 += hit1 ? 1 : 0;
+        c.hitsDepthN += hitN ? 1 : 0;
+    };
+    bump(total_);
+    bump(byFu_[static_cast<std::size_t>(inst.fu())]);
+}
+
+const LocalityCounts &
+AllValueLocalityProfiler::byFu(isa::FuType t) const
+{
+    return byFu_[static_cast<std::size_t>(t)];
+}
+
+void
+AllValueLocalityProfiler::reset()
+{
+    for (auto &h : table_)
+        h.clear();
+    total_ = LocalityCounts();
+    byFu_.fill(LocalityCounts());
+}
+
+} // namespace lvplib::core

@@ -1,0 +1,474 @@
+#include "isa/assembler.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace lvplib::isa
+{
+
+Assembler::Assembler() : dataCursor_(layout::DataBase) {}
+
+Addr
+Assembler::here() const
+{
+    return layout::CodeBase + prog_.code().size() * layout::InstBytes;
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    if (prog_.hasSymbol(name))
+        lvp_fatal("duplicate label '%s'", name.c_str());
+    prog_.addSymbol(name, here());
+}
+
+Addr
+Assembler::dataLabel(const std::string &name)
+{
+    if (prog_.hasSymbol(name))
+        lvp_fatal("duplicate data symbol '%s'", name.c_str());
+    prog_.addSymbol(name, dataCursor_);
+    return dataCursor_;
+}
+
+Addr
+Assembler::symbolAddr(const std::string &name) const
+{
+    return prog_.symbol(name);
+}
+
+bool
+Assembler::hasSymbol(const std::string &name) const
+{
+    return prog_.hasSymbol(name);
+}
+
+void
+Assembler::pokeWord(Addr a, Word v)
+{
+    prog_.setWord(a, v);
+}
+
+void
+Assembler::dd(Word v)
+{
+    prog_.setWord(dataCursor_, v);
+    dataCursor_ += 8;
+}
+
+void
+Assembler::dfloat(double v)
+{
+    dd(std::bit_cast<Word>(v));
+}
+
+void
+Assembler::db(std::uint8_t v)
+{
+    prog_.setByte(dataCursor_, v);
+    dataCursor_ += 1;
+}
+
+void
+Assembler::dstring(const std::string &s)
+{
+    for (char c : s)
+        db(static_cast<std::uint8_t>(c));
+    db(0);
+}
+
+void
+Assembler::dspace(std::size_t n)
+{
+    // Bytes default to zero in the interpreter, so reserving space
+    // just advances the cursor.
+    dataCursor_ += n;
+}
+
+void
+Assembler::dalign(std::size_t a)
+{
+    lvp_assert(a != 0 && (a & (a - 1)) == 0, "alignment %zu", a);
+    dataCursor_ = (dataCursor_ + a - 1) & ~static_cast<Addr>(a - 1);
+}
+
+void
+Assembler::emit(Instruction inst)
+{
+    lvp_assert(!finished_, "emit after finish()");
+    prog_.code().push_back(inst);
+}
+
+void
+Assembler::checkImm(std::int64_t imm)
+{
+    if (imm < ImmMin || imm > ImmMax)
+        lvp_fatal("immediate %lld out of 16-bit range",
+                  static_cast<long long>(imm));
+}
+
+RegIndex
+Assembler::fpr(RegIndex f)
+{
+    lvp_assert(f < NumFpr, "fpr %u", f);
+    return static_cast<RegIndex>(FprBase + f);
+}
+
+RegIndex
+Assembler::crf(unsigned cr)
+{
+    lvp_assert(cr < NumCr, "cr %u", cr);
+    return static_cast<RegIndex>(CrBase + cr);
+}
+
+// ---- integer ALU ------------------------------------------------------
+
+#define LVP_RRR(name, OP) \
+    void Assembler::name(RegIndex rd, RegIndex rs1, RegIndex rs2) \
+    { emit({.op = Opcode::OP, .rd = rd, .rs1 = rs1, .rs2 = rs2}); }
+
+LVP_RRR(add, ADD)
+LVP_RRR(sub, SUB)
+LVP_RRR(and_, AND)
+LVP_RRR(or_, OR)
+LVP_RRR(xor_, XOR)
+LVP_RRR(sld, SLD)
+LVP_RRR(srd, SRD)
+LVP_RRR(srad, SRAD)
+LVP_RRR(mull, MULL)
+LVP_RRR(divd, DIVD)
+LVP_RRR(remd, REMD)
+
+#undef LVP_RRR
+
+void
+Assembler::addi(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    checkImm(imm);
+    emit({.op = Opcode::ADDI, .rd = rd, .rs1 = rs1, .imm = imm});
+}
+
+// Logical immediates are unsigned 16-bit quantities.
+#define LVP_RRU(name, OP) \
+    void Assembler::name(RegIndex rd, RegIndex rs1, std::int64_t imm) \
+    { if (imm < 0 || imm > 0xffff) \
+          lvp_fatal("logical immediate %lld out of unsigned 16-bit " \
+                    "range", static_cast<long long>(imm)); \
+      emit({.op = Opcode::OP, .rd = rd, .rs1 = rs1, .imm = imm}); }
+
+LVP_RRU(andi, ANDI)
+LVP_RRU(ori, ORI)
+LVP_RRU(xori, XORI)
+
+#undef LVP_RRU
+
+void
+Assembler::sldi(RegIndex rd, RegIndex rs1, unsigned sh)
+{
+    lvp_assert(sh < 64);
+    emit({.op = Opcode::SLDI, .rd = rd, .rs1 = rs1, .imm = sh});
+}
+
+void
+Assembler::srdi(RegIndex rd, RegIndex rs1, unsigned sh)
+{
+    lvp_assert(sh < 64);
+    emit({.op = Opcode::SRDI, .rd = rd, .rs1 = rs1, .imm = sh});
+}
+
+void
+Assembler::sradi(RegIndex rd, RegIndex rs1, unsigned sh)
+{
+    lvp_assert(sh < 64);
+    emit({.op = Opcode::SRADI, .rd = rd, .rs1 = rs1, .imm = sh});
+}
+
+void
+Assembler::nop()
+{
+    emit({.op = Opcode::NOP});
+}
+
+void
+Assembler::mr(RegIndex rd, RegIndex rs)
+{
+    or_(rd, rs, rs);
+}
+
+void
+Assembler::li(RegIndex rd, std::int64_t imm)
+{
+    if (imm >= ImmMin && imm <= ImmMax) {
+        addi(rd, 0, imm);
+        return;
+    }
+    // Synthesize a wide constant 16 bits at a time, as a compiler
+    // without a constant pool would. Top 16-bit chunk first.
+    bool started = false;
+    for (int chunk = 3; chunk >= 0; --chunk) {
+        auto bits = static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(imm) >> (16 * chunk)) & 0xffff);
+        if (!started) {
+            if (bits == 0 && chunk != 0)
+                continue;
+            // Use a sign-safe first chunk: load it zero-extended.
+            addi(rd, 0, 0);
+            ori(rd, rd, bits);
+            started = true;
+        } else {
+            sldi(rd, rd, 16);
+            if (bits != 0)
+                ori(rd, rd, bits);
+        }
+    }
+}
+
+void
+Assembler::la(RegIndex rd, const std::string &symbol)
+{
+    li(rd, static_cast<std::int64_t>(prog_.symbol(symbol)));
+}
+
+// ---- compares ----------------------------------------------------------
+
+void
+Assembler::cmp(unsigned cr, RegIndex rs1, RegIndex rs2)
+{
+    emit({.op = Opcode::CMP, .rd = crf(cr), .rs1 = rs1, .rs2 = rs2});
+}
+
+void
+Assembler::cmpu(unsigned cr, RegIndex rs1, RegIndex rs2)
+{
+    emit({.op = Opcode::CMPU, .rd = crf(cr), .rs1 = rs1, .rs2 = rs2});
+}
+
+void
+Assembler::cmpi(unsigned cr, RegIndex rs1, std::int64_t imm)
+{
+    checkImm(imm);
+    emit({.op = Opcode::CMPI, .rd = crf(cr), .rs1 = rs1, .imm = imm});
+}
+
+void
+Assembler::fcmp(unsigned cr, RegIndex fs1, RegIndex fs2)
+{
+    emit({.op = Opcode::FCMP, .rd = crf(cr), .rs1 = fpr(fs1),
+          .rs2 = fpr(fs2)});
+}
+
+// ---- special registers ----------------------------------------------
+
+void
+Assembler::mflr(RegIndex rd)
+{
+    emit({.op = Opcode::MFLR, .rd = rd});
+}
+
+void
+Assembler::mtlr(RegIndex rs)
+{
+    emit({.op = Opcode::MTLR, .rs1 = rs});
+}
+
+void
+Assembler::mfctr(RegIndex rd)
+{
+    emit({.op = Opcode::MFCTR, .rd = rd});
+}
+
+void
+Assembler::mtctr(RegIndex rs)
+{
+    emit({.op = Opcode::MTCTR, .rs1 = rs});
+}
+
+// ---- floating point ----------------------------------------------------
+
+#define LVP_FFF(name, OP) \
+    void Assembler::name(RegIndex fd, RegIndex fs1, RegIndex fs2) \
+    { emit({.op = Opcode::OP, .rd = fpr(fd), .rs1 = fpr(fs1), \
+            .rs2 = fpr(fs2)}); }
+
+LVP_FFF(fadd, FADD)
+LVP_FFF(fsub, FSUB)
+LVP_FFF(fmul, FMUL)
+LVP_FFF(fdiv, FDIV)
+
+#undef LVP_FFF
+
+void
+Assembler::fsqrt(RegIndex fd, RegIndex fs1)
+{
+    emit({.op = Opcode::FSQRT, .rd = fpr(fd), .rs1 = fpr(fs1)});
+}
+
+void
+Assembler::fcfid(RegIndex fd, RegIndex rs1)
+{
+    emit({.op = Opcode::FCFID, .rd = fpr(fd), .rs1 = rs1});
+}
+
+void
+Assembler::fctid(RegIndex rd, RegIndex fs1)
+{
+    emit({.op = Opcode::FCTID, .rd = rd, .rs1 = fpr(fs1)});
+}
+
+void
+Assembler::fmr(RegIndex fd, RegIndex fs1)
+{
+    emit({.op = Opcode::FMR, .rd = fpr(fd), .rs1 = fpr(fs1)});
+}
+
+void
+Assembler::fneg(RegIndex fd, RegIndex fs1)
+{
+    emit({.op = Opcode::FNEG, .rd = fpr(fd), .rs1 = fpr(fs1)});
+}
+
+void
+Assembler::fabs_(RegIndex fd, RegIndex fs1)
+{
+    emit({.op = Opcode::FABS, .rd = fpr(fd), .rs1 = fpr(fs1)});
+}
+
+// ---- memory --------------------------------------------------------------
+
+void
+Assembler::ld(RegIndex rd, std::int64_t disp, RegIndex rb, DataClass cls)
+{
+    checkImm(disp);
+    emit({.op = Opcode::LD, .rd = rd, .rs1 = rb, .imm = disp,
+          .dataClass = cls});
+}
+
+void
+Assembler::lwz(RegIndex rd, std::int64_t disp, RegIndex rb, DataClass cls)
+{
+    checkImm(disp);
+    emit({.op = Opcode::LWZ, .rd = rd, .rs1 = rb, .imm = disp,
+          .dataClass = cls});
+}
+
+void
+Assembler::lbz(RegIndex rd, std::int64_t disp, RegIndex rb, DataClass cls)
+{
+    checkImm(disp);
+    emit({.op = Opcode::LBZ, .rd = rd, .rs1 = rb, .imm = disp,
+          .dataClass = cls});
+}
+
+void
+Assembler::lfd(RegIndex fd, std::int64_t disp, RegIndex rb)
+{
+    checkImm(disp);
+    emit({.op = Opcode::LFD, .rd = fpr(fd), .rs1 = rb, .imm = disp,
+          .dataClass = DataClass::FpData});
+}
+
+void
+Assembler::std_(RegIndex rs, std::int64_t disp, RegIndex rb)
+{
+    checkImm(disp);
+    emit({.op = Opcode::STD, .rs1 = rb, .rs2 = rs, .imm = disp});
+}
+
+void
+Assembler::stw(RegIndex rs, std::int64_t disp, RegIndex rb)
+{
+    checkImm(disp);
+    emit({.op = Opcode::STW, .rs1 = rb, .rs2 = rs, .imm = disp});
+}
+
+void
+Assembler::stb(RegIndex rs, std::int64_t disp, RegIndex rb)
+{
+    checkImm(disp);
+    emit({.op = Opcode::STB, .rs1 = rb, .rs2 = rs, .imm = disp});
+}
+
+void
+Assembler::stfd(RegIndex fs, std::int64_t disp, RegIndex rb)
+{
+    checkImm(disp);
+    emit({.op = Opcode::STFD, .rs1 = rb, .rs2 = fpr(fs), .imm = disp});
+}
+
+// ---- control flow -------------------------------------------------------
+
+void
+Assembler::emitBranch(Opcode op, Cond c, unsigned cr,
+                      const std::string &target)
+{
+    Instruction inst{.op = op, .cond = c};
+    if (op == Opcode::BC)
+        inst.rs1 = crf(cr);
+    if (prog_.hasSymbol(target)) {
+        inst.imm = static_cast<std::int64_t>(prog_.symbol(target));
+        emit(inst);
+    } else {
+        fixups_.push_back({prog_.code().size(), target});
+        emit(inst);
+    }
+}
+
+void
+Assembler::b(const std::string &target)
+{
+    emitBranch(Opcode::B, Cond::EQ, 0, target);
+}
+
+void
+Assembler::bc(Cond c, unsigned cr, const std::string &target)
+{
+    emitBranch(Opcode::BC, c, cr, target);
+}
+
+void
+Assembler::bl(const std::string &target)
+{
+    emitBranch(Opcode::BL, Cond::EQ, 0, target);
+}
+
+void
+Assembler::blr()
+{
+    emit({.op = Opcode::BLR});
+}
+
+void
+Assembler::bctr()
+{
+    emit({.op = Opcode::BCTR});
+}
+
+void
+Assembler::bctrl()
+{
+    emit({.op = Opcode::BCTRL});
+}
+
+void
+Assembler::halt()
+{
+    emit({.op = Opcode::HALT});
+}
+
+Program
+Assembler::finish()
+{
+    lvp_assert(!finished_, "finish() called twice");
+    for (const auto &f : fixups_) {
+        if (!prog_.hasSymbol(f.target))
+            lvp_fatal("undefined label '%s'", f.target.c_str());
+        prog_.code()[f.index].imm =
+            static_cast<std::int64_t>(prog_.symbol(f.target));
+    }
+    fixups_.clear();
+    finished_ = true;
+    return std::move(prog_);
+}
+
+} // namespace lvplib::isa

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * A two-pass programmatic assembler for VLISA.
+ *
+ * Workload builders construct programs by calling one method per
+ * instruction; labels may be referenced before they are defined and
+ * are resolved by finish(). The assembler also owns the static data
+ * section (the paper's workloads keep constants, TOC entries, string
+ * tables, and matrices there).
+ *
+ * Software conventions (mirroring the PowerPC ELF ABI so the paper's
+ * "glue code" and "addressability" idioms appear naturally):
+ *   r1  stack pointer (initialized to layout::StackTop)
+ *   r2  TOC pointer (initialized to the "__toc" symbol when defined)
+ *   r3..r10   argument / return-value registers
+ *   r14..r31  callee-saved
+ */
+
+#ifndef LVPLIB_ISA_ASSEMBLER_HH
+#define LVPLIB_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace lvplib::isa
+{
+
+/** Immediate fields are 16-bit signed, as on the PowerPC. */
+constexpr std::int64_t ImmMin = -32768;
+constexpr std::int64_t ImmMax = 32767;
+
+class Assembler
+{
+  public:
+    Assembler();
+
+    // ---- labels & symbols -------------------------------------------
+    /** Define a code label at the current emission point. */
+    void label(const std::string &name);
+
+    /** Define a data symbol at the current data cursor. */
+    Addr dataLabel(const std::string &name);
+
+    /** Current data-section cursor. */
+    Addr dataCursor() const { return dataCursor_; }
+
+    /** Address of an already-defined symbol; fatal when unknown. */
+    Addr symbolAddr(const std::string &name) const;
+
+    /** True when @p name has been defined. */
+    bool hasSymbol(const std::string &name) const;
+
+    /** Write a 64-bit word into the initial data image at an
+     *  arbitrary address (used to patch reserved regions such as TOCs
+     *  and jump tables after their contents become known). */
+    void pokeWord(Addr a, Word v);
+
+    /** Current code emission pc. */
+    Addr here() const;
+
+    // ---- data directives --------------------------------------------
+    /** Emit one 64-bit little-endian word of initial data. */
+    void dd(Word v);
+
+    /** Emit the bit pattern of a double. */
+    void dfloat(double v);
+
+    /** Emit one byte. */
+    void db(std::uint8_t v);
+
+    /** Emit a string's bytes followed by a NUL. */
+    void dstring(const std::string &s);
+
+    /** Reserve @p n zero bytes. */
+    void dspace(std::size_t n);
+
+    /** Align the data cursor to @p a bytes (a power of two). */
+    void dalign(std::size_t a);
+
+    // ---- integer ALU (SCFX) -----------------------------------------
+    void add(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void and_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void or_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void xor_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sld(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void srd(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void srad(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void addi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void andi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void ori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void xori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void sldi(RegIndex rd, RegIndex rs1, unsigned sh);
+    void srdi(RegIndex rd, RegIndex rs1, unsigned sh);
+    void sradi(RegIndex rd, RegIndex rs1, unsigned sh);
+    void nop();
+
+    /** Register move pseudo-op (or_ rd, rs, rs). */
+    void mr(RegIndex rd, RegIndex rs);
+
+    /**
+     * Load-immediate pseudo-op. Values within the 16-bit immediate
+     * range emit one addi; wider values synthesize an instruction
+     * sequence (up to 5 instructions for a full 64-bit constant).
+     */
+    void li(RegIndex rd, std::int64_t imm);
+
+    /** Load a symbol's address via immediate synthesis. */
+    void la(RegIndex rd, const std::string &symbol);
+
+    // ---- compares ----------------------------------------------------
+    void cmp(unsigned cr, RegIndex rs1, RegIndex rs2);
+    void cmpu(unsigned cr, RegIndex rs1, RegIndex rs2);
+    void cmpi(unsigned cr, RegIndex rs1, std::int64_t imm);
+    void fcmp(unsigned cr, RegIndex fs1, RegIndex fs2);
+
+    // ---- multi-cycle integer (MCFX) -----------------------------------
+    void mull(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void divd(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void remd(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void mflr(RegIndex rd);
+    void mtlr(RegIndex rs);
+    void mfctr(RegIndex rd);
+    void mtctr(RegIndex rs);
+
+    // ---- floating point (FPR operands use FPR numbering 0..31) -------
+    void fadd(RegIndex fd, RegIndex fs1, RegIndex fs2);
+    void fsub(RegIndex fd, RegIndex fs1, RegIndex fs2);
+    void fmul(RegIndex fd, RegIndex fs1, RegIndex fs2);
+    void fdiv(RegIndex fd, RegIndex fs1, RegIndex fs2);
+    void fsqrt(RegIndex fd, RegIndex fs1);
+    void fcfid(RegIndex fd, RegIndex rs1); ///< GPR int -> FPR double
+    void fctid(RegIndex rd, RegIndex fs1); ///< FPR double -> GPR int
+    void fmr(RegIndex fd, RegIndex fs1);
+    void fneg(RegIndex fd, RegIndex fs1);
+    void fabs_(RegIndex fd, RegIndex fs1);
+
+    // ---- memory -------------------------------------------------------
+    void ld(RegIndex rd, std::int64_t disp, RegIndex rb,
+            DataClass cls = DataClass::IntData);
+    void lwz(RegIndex rd, std::int64_t disp, RegIndex rb,
+             DataClass cls = DataClass::IntData);
+    void lbz(RegIndex rd, std::int64_t disp, RegIndex rb,
+             DataClass cls = DataClass::IntData);
+    void lfd(RegIndex fd, std::int64_t disp, RegIndex rb);
+    void std_(RegIndex rs, std::int64_t disp, RegIndex rb);
+    void stw(RegIndex rs, std::int64_t disp, RegIndex rb);
+    void stb(RegIndex rs, std::int64_t disp, RegIndex rb);
+    void stfd(RegIndex fs, std::int64_t disp, RegIndex rb);
+
+    // ---- control flow --------------------------------------------------
+    void b(const std::string &target);
+    void bc(Cond c, unsigned cr, const std::string &target);
+    void bl(const std::string &target);
+    void blr();
+    void bctr();
+    void bctrl();
+    void halt();
+
+    // ---- assembly -------------------------------------------------------
+    /**
+     * Resolve all label references and return the finished program.
+     * Fatal on undefined labels. The assembler is spent afterwards.
+     */
+    Program finish();
+
+  private:
+    void emit(Instruction inst);
+    void emitBranch(Opcode op, Cond c, unsigned cr,
+                    const std::string &target);
+    static void checkImm(std::int64_t imm);
+    static RegIndex fpr(RegIndex f);
+    static RegIndex crf(unsigned cr);
+
+    struct Fixup
+    {
+        std::size_t index;  ///< instruction needing its imm patched
+        std::string target; ///< label name
+    };
+
+    Program prog_;
+    Addr dataCursor_;
+    std::vector<Fixup> fixups_;
+    bool finished_ = false;
+};
+
+} // namespace lvplib::isa
+
+#endif // LVPLIB_ISA_ASSEMBLER_HH

@@ -1,0 +1,109 @@
+#include <cstdio>
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace lvplib::isa
+{
+
+namespace
+{
+
+std::string
+regName(RegIndex r)
+{
+    char buf[16];
+    if (r == NoReg)
+        return "-";
+    if (r < NumGpr)
+        std::snprintf(buf, sizeof(buf), "r%u", r);
+    else if (isFpr(r))
+        std::snprintf(buf, sizeof(buf), "f%u", r - FprBase);
+    else if (isCr(r))
+        std::snprintf(buf, sizeof(buf), "cr%u", r - CrBase);
+    else if (r == RegLr)
+        std::snprintf(buf, sizeof(buf), "lr");
+    else if (r == RegCtr)
+        std::snprintf(buf, sizeof(buf), "ctr");
+    else
+        std::snprintf(buf, sizeof(buf), "?%u", r);
+    return buf;
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst, Addr pc)
+{
+    (void)pc;
+    char buf[96];
+    const char *m = opcodeName(inst.op);
+    switch (inst.op) {
+      case Opcode::NOP:
+      case Opcode::BLR:
+      case Opcode::BCTR:
+      case Opcode::BCTRL:
+      case Opcode::HALT:
+        return m;
+
+      case Opcode::B:
+      case Opcode::BL:
+        std::snprintf(buf, sizeof(buf), "%s 0x%llx", m,
+                      static_cast<unsigned long long>(inst.imm));
+        return buf;
+
+      case Opcode::BC:
+        std::snprintf(buf, sizeof(buf), "bc %s,%s,0x%llx",
+                      condName(inst.cond), regName(inst.rs1).c_str(),
+                      static_cast<unsigned long long>(inst.imm));
+        return buf;
+
+      case Opcode::MFLR: case Opcode::MFCTR:
+        std::snprintf(buf, sizeof(buf), "%s %s", m,
+                      regName(inst.rd).c_str());
+        return buf;
+
+      case Opcode::MTLR: case Opcode::MTCTR:
+        std::snprintf(buf, sizeof(buf), "%s %s", m,
+                      regName(inst.rs1).c_str());
+        return buf;
+
+      case Opcode::LD: case Opcode::LWZ: case Opcode::LBZ:
+      case Opcode::LFD:
+        std::snprintf(buf, sizeof(buf), "%s %s,%lld(%s)", m,
+                      regName(inst.rd).c_str(),
+                      static_cast<long long>(inst.imm),
+                      regName(inst.rs1).c_str());
+        return buf;
+
+      case Opcode::STD: case Opcode::STW: case Opcode::STB:
+      case Opcode::STFD:
+        std::snprintf(buf, sizeof(buf), "%s %s,%lld(%s)", m,
+                      regName(inst.rs2).c_str(),
+                      static_cast<long long>(inst.imm),
+                      regName(inst.rs1).c_str());
+        return buf;
+
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLDI: case Opcode::SRDI:
+      case Opcode::SRADI: case Opcode::CMPI:
+        std::snprintf(buf, sizeof(buf), "%s %s,%s,%lld", m,
+                      regName(inst.rd).c_str(), regName(inst.rs1).c_str(),
+                      static_cast<long long>(inst.imm));
+        return buf;
+
+      case Opcode::FMR: case Opcode::FNEG: case Opcode::FABS:
+      case Opcode::FCFID: case Opcode::FCTID: case Opcode::FSQRT:
+        std::snprintf(buf, sizeof(buf), "%s %s,%s", m,
+                      regName(inst.rd).c_str(), regName(inst.rs1).c_str());
+        return buf;
+
+      default:
+        std::snprintf(buf, sizeof(buf), "%s %s,%s,%s", m,
+                      regName(inst.rd).c_str(), regName(inst.rs1).c_str(),
+                      regName(inst.rs2).c_str());
+        return buf;
+    }
+}
+
+} // namespace lvplib::isa

@@ -1,0 +1,258 @@
+#include "isa/instruction.hh"
+
+#include "util/logging.hh"
+
+namespace lvplib::isa
+{
+
+const char *
+fuTypeName(FuType t)
+{
+    switch (t) {
+      case FuType::SCFX: return "SCFX";
+      case FuType::MCFX: return "MCFX";
+      case FuType::FPU: return "FPU";
+      case FuType::LSU: return "LSU";
+      case FuType::BRU: return "BRU";
+    }
+    return "?";
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SLD: return "sld";
+      case Opcode::SRD: return "srd";
+      case Opcode::SRAD: return "srad";
+      case Opcode::ADDI: return "addi";
+      case Opcode::ANDI: return "andi";
+      case Opcode::ORI: return "ori";
+      case Opcode::XORI: return "xori";
+      case Opcode::SLDI: return "sldi";
+      case Opcode::SRDI: return "srdi";
+      case Opcode::SRADI: return "sradi";
+      case Opcode::CMP: return "cmp";
+      case Opcode::CMPU: return "cmpu";
+      case Opcode::CMPI: return "cmpi";
+      case Opcode::NOP: return "nop";
+      case Opcode::MULL: return "mull";
+      case Opcode::DIVD: return "divd";
+      case Opcode::REMD: return "remd";
+      case Opcode::MFLR: return "mflr";
+      case Opcode::MTLR: return "mtlr";
+      case Opcode::MFCTR: return "mfctr";
+      case Opcode::MTCTR: return "mtctr";
+      case Opcode::FADD: return "fadd";
+      case Opcode::FSUB: return "fsub";
+      case Opcode::FMUL: return "fmul";
+      case Opcode::FDIV: return "fdiv";
+      case Opcode::FSQRT: return "fsqrt";
+      case Opcode::FCMP: return "fcmp";
+      case Opcode::FCFID: return "fcfid";
+      case Opcode::FCTID: return "fctid";
+      case Opcode::FMR: return "fmr";
+      case Opcode::FNEG: return "fneg";
+      case Opcode::FABS: return "fabs";
+      case Opcode::LD: return "ld";
+      case Opcode::LWZ: return "lwz";
+      case Opcode::LBZ: return "lbz";
+      case Opcode::LFD: return "lfd";
+      case Opcode::STD: return "std";
+      case Opcode::STW: return "stw";
+      case Opcode::STB: return "stb";
+      case Opcode::STFD: return "stfd";
+      case Opcode::B: return "b";
+      case Opcode::BC: return "bc";
+      case Opcode::BL: return "bl";
+      case Opcode::BLR: return "blr";
+      case Opcode::BCTR: return "bctr";
+      case Opcode::BCTRL: return "bctrl";
+      case Opcode::HALT: return "halt";
+      case Opcode::NumOpcodes: break;
+    }
+    return "?";
+}
+
+const char *
+condName(Cond c)
+{
+    switch (c) {
+      case Cond::LT: return "lt";
+      case Cond::GT: return "gt";
+      case Cond::EQ: return "eq";
+      case Cond::GE: return "ge";
+      case Cond::LE: return "le";
+      case Cond::NE: return "ne";
+    }
+    return "?";
+}
+
+const char *
+dataClassName(DataClass c)
+{
+    switch (c) {
+      case DataClass::IntData: return "int-data";
+      case DataClass::FpData: return "fp-data";
+      case DataClass::InstAddr: return "inst-addr";
+      case DataClass::DataAddr: return "data-addr";
+    }
+    return "?";
+}
+
+FuType
+fuType(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLD:
+      case Opcode::SRD: case Opcode::SRAD: case Opcode::ADDI:
+      case Opcode::ANDI: case Opcode::ORI: case Opcode::XORI:
+      case Opcode::SLDI: case Opcode::SRDI: case Opcode::SRADI:
+      case Opcode::CMP: case Opcode::CMPU: case Opcode::CMPI:
+      case Opcode::NOP:
+        return FuType::SCFX;
+
+      case Opcode::MULL: case Opcode::DIVD: case Opcode::REMD:
+      case Opcode::MFLR: case Opcode::MTLR: case Opcode::MFCTR:
+      case Opcode::MTCTR:
+        return FuType::MCFX;
+
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FSQRT: case Opcode::FCMP:
+      case Opcode::FCFID: case Opcode::FCTID: case Opcode::FMR:
+      case Opcode::FNEG: case Opcode::FABS:
+        return FuType::FPU;
+
+      case Opcode::LD: case Opcode::LWZ: case Opcode::LBZ:
+      case Opcode::LFD: case Opcode::STD: case Opcode::STW:
+      case Opcode::STB: case Opcode::STFD:
+        return FuType::LSU;
+
+      case Opcode::B: case Opcode::BC: case Opcode::BL:
+      case Opcode::BLR: case Opcode::BCTR: case Opcode::BCTRL:
+      case Opcode::HALT:
+        return FuType::BRU;
+
+      case Opcode::NumOpcodes:
+        break;
+    }
+    lvp_panic("fuType: bad opcode %d", static_cast<int>(op));
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LD || op == Opcode::LWZ || op == Opcode::LBZ ||
+           op == Opcode::LFD;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::STD || op == Opcode::STW || op == Opcode::STB ||
+           op == Opcode::STFD;
+}
+
+bool
+isBranch(Opcode op)
+{
+    return op == Opcode::B || op == Opcode::BC || op == Opcode::BL ||
+           op == Opcode::BLR || op == Opcode::BCTR || op == Opcode::BCTRL;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return op == Opcode::BC;
+}
+
+bool
+isIndirectBranch(Opcode op)
+{
+    return op == Opcode::BLR || op == Opcode::BCTR || op == Opcode::BCTRL;
+}
+
+bool
+isFp(Opcode op)
+{
+    return fuType(op) == FuType::FPU || op == Opcode::LFD ||
+           op == Opcode::STFD;
+}
+
+RegIndex
+Instruction::destReg() const
+{
+    switch (op) {
+      case Opcode::BL:
+      case Opcode::BCTRL:
+        return RegLr;
+      case Opcode::MTLR:
+        return RegLr;
+      case Opcode::MTCTR:
+        return RegCtr;
+      case Opcode::STD: case Opcode::STW: case Opcode::STB:
+      case Opcode::STFD:
+      case Opcode::B: case Opcode::BC: case Opcode::BLR:
+      case Opcode::BCTR:
+      case Opcode::HALT: case Opcode::NOP:
+        return NoReg;
+      default:
+        // Writes to r0 are discarded; report no destination so the
+        // timing models don't create false dependencies.
+        return rd == 0 ? NoReg : rd;
+    }
+}
+
+std::array<RegIndex, 3>
+Instruction::srcRegs() const
+{
+    auto fix = [](RegIndex r) { return (r == 0) ? NoReg : r; };
+    switch (op) {
+      case Opcode::BLR:
+        return {RegLr, NoReg, NoReg};
+      case Opcode::BCTR:
+      case Opcode::BCTRL:
+        return {RegCtr, NoReg, NoReg};
+      case Opcode::MTLR:
+      case Opcode::MTCTR:
+        return {fix(rs1), NoReg, NoReg};
+      case Opcode::MFLR:
+        return {RegLr, NoReg, NoReg};
+      case Opcode::MFCTR:
+        return {RegCtr, NoReg, NoReg};
+      case Opcode::BC:
+        return {rs1, NoReg, NoReg}; // rs1 holds the cr-field register
+      case Opcode::STD: case Opcode::STW: case Opcode::STB:
+      case Opcode::STFD:
+        return {fix(rs1), fix(rs2), NoReg};
+      case Opcode::B: case Opcode::BL: case Opcode::HALT:
+      case Opcode::NOP:
+        return {NoReg, NoReg, NoReg};
+      default:
+        return {fix(rs1), fix(rs2), NoReg};
+    }
+}
+
+unsigned
+Instruction::accessSize() const
+{
+    switch (op) {
+      case Opcode::LBZ: case Opcode::STB:
+        return 1;
+      case Opcode::LWZ: case Opcode::STW:
+        return 4;
+      case Opcode::LD: case Opcode::LFD: case Opcode::STD:
+      case Opcode::STFD:
+        return 8;
+      default:
+        return 0;
+    }
+}
+
+} // namespace lvplib::isa

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The Instruction value type: one decoded VLISA instruction plus the
+ * static metadata (load data class) the experiments need.
+ */
+
+#ifndef LVPLIB_ISA_INSTRUCTION_HH
+#define LVPLIB_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.hh"
+#include "util/types.hh"
+
+namespace lvplib::isa
+{
+
+/**
+ * Static classification of what a load fetches, used to reproduce the
+ * paper's Figure 2 (value locality by data type). The workload
+ * builders tag each load; LFD is always FpData.
+ */
+enum class DataClass : std::uint8_t
+{
+    IntData,  ///< non-floating-point data
+    FpData,   ///< floating-point data
+    InstAddr, ///< instruction address (function pointer, return addr)
+    DataAddr, ///< data address (pointer)
+};
+
+const char *dataClassName(DataClass c);
+
+/**
+ * One decoded instruction. Fields not used by an opcode are left at
+ * their defaults; the assembler is the only producer, so formats stay
+ * consistent.
+ *
+ * Field usage by format:
+ *  - reg-reg ALU:    rd, rs1, rs2
+ *  - reg-imm ALU:    rd, rs1, imm
+ *  - compares:       rd = cr field index (0..7), rs1, rs2 / imm
+ *  - loads:          rd, rs1 = base, imm = displacement
+ *  - stores:         rs2 = value source, rs1 = base, imm = displacement
+ *  - B/BL:           imm = absolute target pc
+ *  - BC:             cond, rs1 = cr field register, imm = target pc
+ *  - BLR/BCTR/BCTRL: no explicit operands (implicit LR/CTR)
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    RegIndex rd = NoReg;  ///< destination register (unified space)
+    RegIndex rs1 = NoReg; ///< first source register
+    RegIndex rs2 = NoReg; ///< second source register
+    Cond cond = Cond::EQ; ///< condition for BC
+    std::int64_t imm = 0; ///< immediate / displacement / branch target
+    DataClass dataClass = DataClass::IntData; ///< loads only
+
+    /** Destination register, or NoReg. Implicit LR writes included. */
+    RegIndex destReg() const;
+
+    /**
+     * Source registers in the unified space (up to 3 valid entries;
+     * NoReg marks unused slots). Implicit LR/CTR reads included.
+     */
+    std::array<RegIndex, 3> srcRegs() const;
+
+    FuType fu() const { return fuType(op); }
+    bool load() const { return isLoad(op); }
+    bool store() const { return isStore(op); }
+    bool branch() const { return isBranch(op); }
+    bool memRef() const { return load() || store(); }
+
+    /** Bytes accessed by a load/store opcode (1, 4, or 8). */
+    unsigned accessSize() const;
+
+    bool operator==(const Instruction &o) const = default;
+};
+
+/** Disassemble one instruction (pc used to render branch targets). */
+std::string disassemble(const Instruction &inst, Addr pc = 0);
+
+} // namespace lvplib::isa
+
+#endif // LVPLIB_ISA_INSTRUCTION_HH

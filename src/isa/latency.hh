@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Instruction issue/result latencies for the two machine models,
+ * following the paper's Table 5.
+ *
+ * "Issue latency" is the number of cycles the functional unit is
+ * occupied (issue latency == result latency means unpipelined);
+ * "result latency" is the number of cycles until dependents may use
+ * the result. Load result latency is the L1-hit latency; cache misses
+ * add on top in the memory hierarchy model.
+ */
+
+#ifndef LVPLIB_ISA_LATENCY_HH
+#define LVPLIB_ISA_LATENCY_HH
+
+#include "isa/opcodes.hh"
+
+namespace lvplib::isa
+{
+
+/** Which of the paper's two machines a latency is being asked for. */
+enum class MachineIsa
+{
+    Ppc620,    ///< PowerPC 620 / 620+ ("brainiac", out-of-order)
+    Alpha21164 ///< Alpha AXP 21164 ("speed demon", in-order)
+};
+
+const char *machineIsaName(MachineIsa m);
+
+/** Issue/result latency pair for one opcode on one machine. */
+struct OpLatency
+{
+    unsigned issue;  ///< cycles the FU stays busy
+    unsigned result; ///< cycles until the result is available
+};
+
+/** Paper Table 5 lookup. */
+OpLatency opLatency(MachineIsa m, Opcode op);
+
+/** Branch misprediction penalty in cycles (paper Table 5 last row). */
+unsigned mispredictPenalty(MachineIsa m);
+
+} // namespace lvplib::isa
+
+#endif // LVPLIB_ISA_LATENCY_HH

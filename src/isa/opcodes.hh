@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The VLISA instruction set: opcodes, operand classes, register-space
+ * layout, and functional-unit classes.
+ *
+ * VLISA is a small 64-bit load/store RISC designed so that the program
+ * idioms the paper identifies as sources of value locality (Section 2)
+ * appear naturally: 16-bit immediates force large constants into
+ * memory; a PowerPC-style condition-register file makes branches
+ * depend on compare results; link/count special registers are reached
+ * through multi-cycle moves; indirect calls and computed branches load
+ * their targets from tables.
+ */
+
+#ifndef LVPLIB_ISA_OPCODES_HH
+#define LVPLIB_ISA_OPCODES_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace lvplib::isa
+{
+
+/**
+ * Unified register name space used for dependence tracking.
+ *
+ *   0..31   general-purpose registers (r0 reads as zero)
+ *   32..63  floating-point registers
+ *   64..71  condition-register fields cr0..cr7
+ *   72      link register (LR)
+ *   73      count register (CTR)
+ */
+constexpr RegIndex NumGpr = 32;
+constexpr RegIndex NumFpr = 32;
+constexpr RegIndex NumCr = 8;
+constexpr RegIndex FprBase = 32;
+constexpr RegIndex CrBase = 64;
+constexpr RegIndex RegLr = 72;
+constexpr RegIndex RegCtr = 73;
+constexpr RegIndex NumRegs = 74;
+constexpr RegIndex NoReg = 0xff;
+
+/** True for r1..r31 / all FPRs etc. — any register that holds state. */
+constexpr bool
+isZeroReg(RegIndex r)
+{
+    return r == 0;
+}
+
+constexpr bool
+isFpr(RegIndex r)
+{
+    return r >= FprBase && r < FprBase + NumFpr;
+}
+
+constexpr bool
+isCr(RegIndex r)
+{
+    return r >= CrBase && r < CrBase + NumCr;
+}
+
+/** Functional-unit class, matching the PowerPC 620's unit mix. */
+enum class FuType : std::uint8_t
+{
+    SCFX, ///< single-cycle fixed point (two units on the 620)
+    MCFX, ///< multi-cycle fixed point (mul/div/mfspr/mtspr)
+    FPU,  ///< floating point
+    LSU,  ///< load/store
+    BRU,  ///< branch
+};
+
+constexpr int NumFuTypes = 5;
+
+/** Human-readable FU name. */
+const char *fuTypeName(FuType t);
+
+/** VLISA opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Single-cycle integer (SCFX)
+    ADD, SUB, AND, OR, XOR, SLD, SRD, SRAD,
+    ADDI, ANDI, ORI, XORI, SLDI, SRDI, SRADI,
+    CMP,  ///< signed compare rs1,rs2 -> cr field
+    CMPU, ///< unsigned compare
+    CMPI, ///< signed compare rs1, imm -> cr field
+    NOP,
+
+    // Multi-cycle integer (MCFX)
+    MULL, DIVD, REMD,
+    MFLR, MTLR, MFCTR, MTCTR,
+
+    // Floating point (FPU)
+    FADD, FSUB, FMUL,   // "simple" FP
+    FDIV, FSQRT,        // "complex" FP
+    FCMP,               // FP compare -> cr field
+    FCFID,              // int -> double convert
+    FCTID,              // double -> int convert (truncating)
+    FMR,                // FP register move
+    FNEG, FABS,
+
+    // Loads (LSU)
+    LD,   ///< 64-bit load
+    LWZ,  ///< 32-bit zero-extended load
+    LBZ,  ///< 8-bit zero-extended load
+    LFD,  ///< 64-bit FP load
+
+    // Stores (LSU)
+    STD, STW, STB, STFD,
+
+    // Branches (BRU)
+    B,    ///< unconditional relative branch
+    BC,   ///< conditional branch on a cr field
+    BL,   ///< call: branch and set LR
+    BLR,  ///< return: branch to LR
+    BCTR, ///< computed branch to CTR
+    BCTRL,///< indirect call through CTR (sets LR)
+
+    HALT, ///< stop the program
+
+    NumOpcodes,
+};
+
+/** Condition codes tested by BC against a cr field. */
+enum class Cond : std::uint8_t
+{
+    LT, GT, EQ, GE, LE, NE,
+};
+
+/** Bits a compare writes into a cr field. */
+constexpr Word CrLt = 0x4;
+constexpr Word CrGt = 0x2;
+constexpr Word CrEq = 0x1;
+
+/** Mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Mnemonic for a condition code. */
+const char *condName(Cond c);
+
+/** Functional unit that executes @p op. */
+FuType fuType(Opcode op);
+
+/** True for the four load opcodes. */
+bool isLoad(Opcode op);
+
+/** True for the four store opcodes. */
+bool isStore(Opcode op);
+
+/** True for any branch opcode. */
+bool isBranch(Opcode op);
+
+/** True for conditional branches only. */
+bool isCondBranch(Opcode op);
+
+/** True for branches whose target comes from LR/CTR. */
+bool isIndirectBranch(Opcode op);
+
+/** True for opcodes executed by the FPU. */
+bool isFp(Opcode op);
+
+} // namespace lvplib::isa
+
+#endif // LVPLIB_ISA_OPCODES_HH

@@ -1,0 +1,419 @@
+#include "isa/text_asm.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "util/logging.hh"
+
+namespace lvplib::isa
+{
+
+namespace
+{
+
+/** Parser state for one assembly unit. */
+class TextAssembler
+{
+  public:
+    Program
+    run(const std::string &source)
+    {
+        std::istringstream in(source);
+        std::string line;
+        while (std::getline(in, line)) {
+            ++lineNo_;
+            parseLine(line);
+        }
+        return asm_.finish();
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        lvp_fatal("asm line %d: %s", lineNo_, msg.c_str());
+    }
+
+    // ---- tokenizing ------------------------------------------------
+    static std::string
+    stripComment(const std::string &line)
+    {
+        std::string out;
+        bool in_str = false;
+        for (char c : line) {
+            if (c == '"')
+                in_str = !in_str;
+            if (!in_str && (c == ';' || c == '#'))
+                break;
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    /** Split "op a, b, c" into mnemonic + operand tokens. */
+    static std::vector<std::string>
+    tokenize(const std::string &stmt)
+    {
+        std::vector<std::string> toks;
+        std::string cur;
+        bool in_str = false;
+        for (char c : stmt) {
+            if (c == '"')
+                in_str = !in_str;
+            bool sep = !in_str &&
+                       (c == ',' ||
+                        std::isspace(static_cast<unsigned char>(c)));
+            if (sep) {
+                if (!cur.empty()) {
+                    toks.push_back(cur);
+                    cur.clear();
+                }
+                continue;
+            }
+            cur.push_back(c);
+        }
+        if (!cur.empty())
+            toks.push_back(cur);
+        // Trim whitespace off operand tokens (not string literals).
+        for (auto &t : toks) {
+            if (!t.empty() && t.front() == '"')
+                continue;
+            std::size_t b = t.find_first_not_of(" \t");
+            std::size_t e = t.find_last_not_of(" \t");
+            t = b == std::string::npos ? "" : t.substr(b, e - b + 1);
+        }
+        std::erase(toks, std::string());
+        return toks;
+    }
+
+    // ---- operand parsing --------------------------------------------
+    RegIndex
+    parseGpr(const std::string &t)
+    {
+        if (t.size() >= 2 && t[0] == 'r') {
+            int n = std::atoi(t.c_str() + 1);
+            if (n >= 0 && n < NumGpr)
+                return static_cast<RegIndex>(n);
+        }
+        fail("expected a GPR, got '" + t + "'");
+    }
+
+    RegIndex
+    parseFpr(const std::string &t)
+    {
+        if (t.size() >= 2 && t[0] == 'f') {
+            int n = std::atoi(t.c_str() + 1);
+            if (n >= 0 && n < NumFpr)
+                return static_cast<RegIndex>(n);
+        }
+        fail("expected an FPR, got '" + t + "'");
+    }
+
+    unsigned
+    parseCr(const std::string &t)
+    {
+        if (t.size() >= 3 && t.compare(0, 2, "cr") == 0) {
+            int n = std::atoi(t.c_str() + 2);
+            if (n >= 0 && n < NumCr)
+                return static_cast<unsigned>(n);
+        }
+        fail("expected a cr field, got '" + t + "'");
+    }
+
+    std::int64_t
+    parseImm(const std::string &t)
+    {
+        if (t.empty())
+            fail("empty immediate");
+        char *end = nullptr;
+        long long v = std::strtoll(t.c_str(), &end, 0);
+        if (end == t.c_str() || *end != '\0')
+            fail("bad immediate '" + t + "'");
+        return v;
+    }
+
+    Cond
+    parseCond(const std::string &t)
+    {
+        if (t == "lt") return Cond::LT;
+        if (t == "gt") return Cond::GT;
+        if (t == "eq") return Cond::EQ;
+        if (t == "ge") return Cond::GE;
+        if (t == "le") return Cond::LE;
+        if (t == "ne") return Cond::NE;
+        fail("bad condition '" + t + "'");
+    }
+
+    DataClass
+    parseClassTag(const std::string &t)
+    {
+        if (t == "@int") return DataClass::IntData;
+        if (t == "@fp") return DataClass::FpData;
+        if (t == "@inst") return DataClass::InstAddr;
+        if (t == "@data") return DataClass::DataAddr;
+        fail("bad data-class tag '" + t + "'");
+    }
+
+    /** Parse "disp(base)" into displacement + base register. */
+    void
+    parseMem(const std::string &t, std::int64_t &disp, RegIndex &base)
+    {
+        std::size_t open = t.find('(');
+        std::size_t close = t.rfind(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open)
+            fail("expected disp(base), got '" + t + "'");
+        std::string d = t.substr(0, open);
+        disp = d.empty() ? 0 : parseImm(d);
+        base = parseGpr(t.substr(open + 1, close - open - 1));
+    }
+
+    // ---- statement dispatch --------------------------------------------
+    void
+    parseLine(const std::string &raw)
+    {
+        std::string stmt = stripComment(raw);
+        // Labels (possibly followed by more on the same line).
+        for (;;) {
+            std::size_t b = stmt.find_first_not_of(" \t");
+            if (b == std::string::npos)
+                return;
+            std::size_t colon = stmt.find(':');
+            std::size_t sp = stmt.find_first_of(" \t\"", b);
+            if (colon != std::string::npos &&
+                (sp == std::string::npos || colon < sp)) {
+                std::string name = stmt.substr(b, colon - b);
+                if (name.empty())
+                    fail("empty label");
+                if (inData_)
+                    asm_.dataLabel(name);
+                else
+                    asm_.label(name);
+                stmt = stmt.substr(colon + 1);
+                continue;
+            }
+            break;
+        }
+        auto toks = tokenize(stmt);
+        if (toks.empty())
+            return;
+        dispatch(toks);
+    }
+
+    void
+    dispatch(std::vector<std::string> &t)
+    {
+        const std::string &op = t[0];
+        auto argc = t.size() - 1;
+        auto need = [&](std::size_t n) {
+            if (argc != n)
+                fail("'" + op + "' expects " + std::to_string(n) +
+                     " operands, got " + std::to_string(argc));
+        };
+
+        // Directives.
+        if (op == ".data") { inData_ = true; return; }
+        if (op == ".text") { inData_ = false; return; }
+        if (op == ".dword") {
+            need(1);
+            // Numeric literal, or an already-defined symbol's address
+            // (enough for linked data structures in pure .s files).
+            char first = t[1][0];
+            if (std::isdigit(static_cast<unsigned char>(first)) ||
+                first == '-' || first == '+') {
+                asm_.dd(static_cast<Word>(parseImm(t[1])));
+            } else if (asm_.hasSymbol(t[1])) {
+                asm_.dd(asm_.symbolAddr(t[1]));
+            } else {
+                fail(".dword: unknown symbol '" + t[1] + "'");
+            }
+            return;
+        }
+        if (op == ".double") { need(1);
+            asm_.dfloat(std::strtod(t[1].c_str(), nullptr)); return; }
+        if (op == ".byte") { need(1); asm_.db(
+            static_cast<std::uint8_t>(parseImm(t[1]))); return; }
+        if (op == ".space") { need(1); asm_.dspace(
+            static_cast<std::size_t>(parseImm(t[1]))); return; }
+        if (op == ".align") { need(1); asm_.dalign(
+            static_cast<std::size_t>(parseImm(t[1]))); return; }
+        if (op == ".string") {
+            need(1);
+            std::string s = t[1];
+            if (s.size() < 2 || s.front() != '"' || s.back() != '"')
+                fail(".string expects a quoted literal");
+            asm_.dstring(s.substr(1, s.size() - 2));
+            return;
+        }
+
+        // Three-register integer ALU.
+        if (op == "add") { need(3); asm_.add(parseGpr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+        if (op == "sub") { need(3); asm_.sub(parseGpr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+        if (op == "and") { need(3); asm_.and_(parseGpr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+        if (op == "or") { need(3); asm_.or_(parseGpr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+        if (op == "xor") { need(3); asm_.xor_(parseGpr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+        if (op == "sld") { need(3); asm_.sld(parseGpr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+        if (op == "srd") { need(3); asm_.srd(parseGpr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+        if (op == "srad") { need(3); asm_.srad(parseGpr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+        if (op == "mull") { need(3); asm_.mull(parseGpr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+        if (op == "divd") { need(3); asm_.divd(parseGpr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+        if (op == "remd") { need(3); asm_.remd(parseGpr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+
+        // Register-immediate ALU.
+        if (op == "addi") { need(3); asm_.addi(parseGpr(t[1]),
+            parseGpr(t[2]), parseImm(t[3])); return; }
+        if (op == "andi") { need(3); asm_.andi(parseGpr(t[1]),
+            parseGpr(t[2]), parseImm(t[3])); return; }
+        if (op == "ori") { need(3); asm_.ori(parseGpr(t[1]),
+            parseGpr(t[2]), parseImm(t[3])); return; }
+        if (op == "xori") { need(3); asm_.xori(parseGpr(t[1]),
+            parseGpr(t[2]), parseImm(t[3])); return; }
+        if (op == "sldi") { need(3); asm_.sldi(parseGpr(t[1]),
+            parseGpr(t[2]),
+            static_cast<unsigned>(parseImm(t[3]))); return; }
+        if (op == "srdi") { need(3); asm_.srdi(parseGpr(t[1]),
+            parseGpr(t[2]),
+            static_cast<unsigned>(parseImm(t[3]))); return; }
+        if (op == "sradi") { need(3); asm_.sradi(parseGpr(t[1]),
+            parseGpr(t[2]),
+            static_cast<unsigned>(parseImm(t[3]))); return; }
+
+        // Compares.
+        if (op == "cmp") { need(3); asm_.cmp(parseCr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+        if (op == "cmpu") { need(3); asm_.cmpu(parseCr(t[1]),
+            parseGpr(t[2]), parseGpr(t[3])); return; }
+        if (op == "cmpi") { need(3); asm_.cmpi(parseCr(t[1]),
+            parseGpr(t[2]), parseImm(t[3])); return; }
+        if (op == "fcmp") { need(3); asm_.fcmp(parseCr(t[1]),
+            parseFpr(t[2]), parseFpr(t[3])); return; }
+
+        // Special registers.
+        if (op == "mflr") { need(1); asm_.mflr(parseGpr(t[1])); return; }
+        if (op == "mtlr") { need(1); asm_.mtlr(parseGpr(t[1])); return; }
+        if (op == "mfctr") { need(1); asm_.mfctr(parseGpr(t[1]));
+            return; }
+        if (op == "mtctr") { need(1); asm_.mtctr(parseGpr(t[1]));
+            return; }
+
+        // Floating point.
+        if (op == "fadd") { need(3); asm_.fadd(parseFpr(t[1]),
+            parseFpr(t[2]), parseFpr(t[3])); return; }
+        if (op == "fsub") { need(3); asm_.fsub(parseFpr(t[1]),
+            parseFpr(t[2]), parseFpr(t[3])); return; }
+        if (op == "fmul") { need(3); asm_.fmul(parseFpr(t[1]),
+            parseFpr(t[2]), parseFpr(t[3])); return; }
+        if (op == "fdiv") { need(3); asm_.fdiv(parseFpr(t[1]),
+            parseFpr(t[2]), parseFpr(t[3])); return; }
+        if (op == "fsqrt") { need(2); asm_.fsqrt(parseFpr(t[1]),
+            parseFpr(t[2])); return; }
+        if (op == "fcfid") { need(2); asm_.fcfid(parseFpr(t[1]),
+            parseGpr(t[2])); return; }
+        if (op == "fctid") { need(2); asm_.fctid(parseGpr(t[1]),
+            parseFpr(t[2])); return; }
+        if (op == "fmr") { need(2); asm_.fmr(parseFpr(t[1]),
+            parseFpr(t[2])); return; }
+        if (op == "fneg") { need(2); asm_.fneg(parseFpr(t[1]),
+            parseFpr(t[2])); return; }
+        if (op == "fabs") { need(2); asm_.fabs_(parseFpr(t[1]),
+            parseFpr(t[2])); return; }
+
+        // Memory (optional trailing @class tag).
+        if (op == "ld" || op == "lwz" || op == "lbz") {
+            DataClass cls = DataClass::IntData;
+            if (argc == 3) {
+                cls = parseClassTag(t[3]);
+            } else if (argc != 2) {
+                fail("'" + op + "' expects rt, disp(base) [, @class]");
+            }
+            std::int64_t disp;
+            RegIndex base;
+            parseMem(t[2], disp, base);
+            RegIndex rt = parseGpr(t[1]);
+            if (op == "ld") asm_.ld(rt, disp, base, cls);
+            else if (op == "lwz") asm_.lwz(rt, disp, base, cls);
+            else asm_.lbz(rt, disp, base, cls);
+            return;
+        }
+        if (op == "lfd") { need(2);
+            std::int64_t disp; RegIndex base;
+            parseMem(t[2], disp, base);
+            asm_.lfd(parseFpr(t[1]), disp, base); return; }
+        if (op == "std" || op == "stw" || op == "stb") {
+            need(2);
+            std::int64_t disp; RegIndex base;
+            parseMem(t[2], disp, base);
+            RegIndex rs = parseGpr(t[1]);
+            if (op == "std") asm_.std_(rs, disp, base);
+            else if (op == "stw") asm_.stw(rs, disp, base);
+            else asm_.stb(rs, disp, base);
+            return;
+        }
+        if (op == "stfd") { need(2);
+            std::int64_t disp; RegIndex base;
+            parseMem(t[2], disp, base);
+            asm_.stfd(parseFpr(t[1]), disp, base); return; }
+
+        // Control flow.
+        if (op == "b") { need(1); asm_.b(t[1]); return; }
+        if (op == "bl") { need(1); asm_.bl(t[1]); return; }
+        if (op == "bc") { need(3); asm_.bc(parseCond(t[1]),
+            parseCr(t[2]), t[3]); return; }
+        if (op == "blr") { need(0); asm_.blr(); return; }
+        if (op == "bctr") { need(0); asm_.bctr(); return; }
+        if (op == "bctrl") { need(0); asm_.bctrl(); return; }
+        if (op == "halt") { need(0); asm_.halt(); return; }
+
+        // Pseudo-ops.
+        if (op == "nop") { need(0); asm_.nop(); return; }
+        if (op == "mr") { need(2); asm_.mr(parseGpr(t[1]),
+            parseGpr(t[2])); return; }
+        if (op == "li") { need(2); asm_.li(parseGpr(t[1]),
+            parseImm(t[2])); return; }
+        if (op == "la") { need(2); asm_.la(parseGpr(t[1]), t[2]);
+            return; }
+
+        fail("unknown mnemonic '" + op + "'");
+    }
+
+    Assembler asm_;
+    bool inData_ = false;
+    int lineNo_ = 0;
+};
+
+} // namespace
+
+Program
+assembleText(const std::string &source)
+{
+    TextAssembler ta;
+    return ta.run(source);
+}
+
+Program
+assembleFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        lvp_fatal("cannot open assembly file '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return assembleText(buf.str());
+}
+
+} // namespace lvplib::isa

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A text front end for the VLISA assembler, so programs can be
+ * written as .s files instead of C++ builder calls.
+ *
+ * Syntax (one statement per line; ';' or '#' start comments):
+ *
+ *   .data                 switch to the data section
+ *   .text                 switch to the code section
+ *   label:                define a label in the current section
+ *   .dword 42             emit a 64-bit word (data)
+ *   .double 2.5           emit an FP constant (data)
+ *   .byte 7               emit one byte (data)
+ *   .string "hi"          emit a NUL-terminated string (data)
+ *   .space 64             reserve zeroed bytes (data)
+ *   .align 8              align the data cursor
+ *
+ *   add r3, r4, r5        register operands: rN, fN, crN, lr, ctr
+ *   addi r3, r4, -16      immediates: decimal or 0x hex
+ *   ld r4, 8(r2)          loads/stores use displacement(base)
+ *   ld r4, 8(r2) @inst    optional data-class tag: @int @fp @inst @data
+ *   cmp cr0, r3, r4
+ *   bc lt, cr0, target    conditions: lt gt eq ge le ne
+ *   li r3, 123456         pseudo-ops: li, la, mr, nop
+ *   la r3, symbol
+ *   bl func / blr / bctr / bctrl / b target / halt
+ *
+ * Code labels may be referenced before definition; data symbols used
+ * by `la` must be defined first (define data before code, as the
+ * programmatic builder does).
+ */
+
+#ifndef LVPLIB_ISA_TEXT_ASM_HH
+#define LVPLIB_ISA_TEXT_ASM_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace lvplib::isa
+{
+
+/** Assemble VLISA source text; fatal (with line number) on errors. */
+Program assembleText(const std::string &source);
+
+/** Assemble a .s file from disk. */
+Program assembleFile(const std::string &path);
+
+} // namespace lvplib::isa
+
+#endif // LVPLIB_ISA_TEXT_ASM_HH

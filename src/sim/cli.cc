@@ -1,0 +1,276 @@
+#include "sim/cli.hh"
+
+#include <cstdlib>
+
+#include "core/stride_unit.hh"
+#include "isa/text_asm.hh"
+#include "sim/pipeline_driver.hh"
+#include "uarch/machine_config.hh"
+#include "workloads/workload.hh"
+
+namespace lvplib::sim
+{
+
+namespace
+{
+
+bool
+parseMachine(const std::string &s, CliOptions::Machine &out)
+{
+    if (s == "620") { out = CliOptions::Machine::Ppc620; return true; }
+    if (s == "620+" || s == "620plus") {
+        out = CliOptions::Machine::Ppc620Plus;
+        return true;
+    }
+    if (s == "21164" || s == "alpha") {
+        out = CliOptions::Machine::Alpha21164;
+        return true;
+    }
+    if (s == "none") { out = CliOptions::Machine::None; return true; }
+    return false;
+}
+
+bool
+validLvp(const std::string &s)
+{
+    return s == "simple" || s == "constant" || s == "limit" ||
+           s == "perfect" || s == "none" || s == "stride";
+}
+
+std::optional<core::LvpConfig>
+lvpConfigByName(const std::string &s)
+{
+    if (s == "simple") return core::LvpConfig::simple();
+    if (s == "constant") return core::LvpConfig::constant();
+    if (s == "limit") return core::LvpConfig::limit();
+    if (s == "perfect") return core::LvpConfig::perfect();
+    return std::nullopt; // "none" and "stride"
+}
+
+void
+printLvpStats(std::ostream &os, const char *title,
+              const core::LvpStats &st)
+{
+    os << title << ": loads " << st.loads << ", predicted "
+       << TextTable::fmtPct(st.predictionRate()) << " (accuracy "
+       << TextTable::fmtPct(st.accuracy()) << "), constants "
+       << TextTable::fmtPct(st.constantRate())
+       << ", LCT unpred/pred hit "
+       << TextTable::fmtPct(st.unpredHitRate()) << "/"
+       << TextTable::fmtPct(st.predHitRate()) << "\n";
+}
+
+} // namespace
+
+std::string
+cliUsage()
+{
+    return R"(usage: lvpsim [options]
+  --bench NAME      benchmark to run (default grep; --list to see all)
+  --asm FILE        run a VLISA .s file instead of a benchmark
+  --machine M       620 | 620+ | 21164 | none   (default 620)
+  --lvp CFG         simple | constant | limit | perfect | stride | none
+                    (default simple)
+  --scale N         workload input scale (default 2)
+  --codegen CG      ppc | alpha                 (default ppc)
+  --locality        also print the value-locality profile (Fig. 1)
+  --list            list available benchmarks and exit
+  --help            this text
+)";
+}
+
+std::optional<CliOptions>
+parseCli(const std::vector<std::string> &args, std::string &error)
+{
+    CliOptions opts;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto value = [&](const char *flag) -> const std::string * {
+            if (i + 1 >= args.size()) {
+                error = std::string(flag) + " needs a value";
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            opts.help = true;
+        } else if (a == "--list") {
+            opts.listBenchmarks = true;
+        } else if (a == "--locality") {
+            opts.profileLocality = true;
+        } else if (a == "--bench") {
+            auto *v = value("--bench");
+            if (!v)
+                return std::nullopt;
+            opts.benchmark = *v;
+        } else if (a == "--asm") {
+            auto *v = value("--asm");
+            if (!v)
+                return std::nullopt;
+            opts.asmFile = *v;
+        } else if (a == "--machine") {
+            auto *v = value("--machine");
+            if (!v)
+                return std::nullopt;
+            if (!parseMachine(*v, opts.machine)) {
+                error = "unknown machine '" + *v + "'";
+                return std::nullopt;
+            }
+        } else if (a == "--lvp") {
+            auto *v = value("--lvp");
+            if (!v)
+                return std::nullopt;
+            if (!validLvp(*v)) {
+                error = "unknown LVP config '" + *v + "'";
+                return std::nullopt;
+            }
+            opts.lvpConfig = *v;
+        } else if (a == "--scale") {
+            auto *v = value("--scale");
+            if (!v)
+                return std::nullopt;
+            int n = std::atoi(v->c_str());
+            if (n < 1) {
+                error = "bad scale '" + *v + "'";
+                return std::nullopt;
+            }
+            opts.scale = static_cast<unsigned>(n);
+        } else if (a == "--codegen") {
+            auto *v = value("--codegen");
+            if (!v)
+                return std::nullopt;
+            if (*v != "ppc" && *v != "alpha") {
+                error = "codegen must be ppc or alpha";
+                return std::nullopt;
+            }
+            opts.codegen = *v;
+        } else {
+            error = "unknown option '" + a + "'";
+            return std::nullopt;
+        }
+    }
+    return opts;
+}
+
+int
+runCli(const CliOptions &opts, std::ostream &os)
+{
+    if (opts.help) {
+        os << cliUsage();
+        return 0;
+    }
+    if (opts.listBenchmarks) {
+        for (const auto &w : workloads::allWorkloads())
+            os << w.name << " - " << w.description << "\n";
+        return 0;
+    }
+
+    isa::Program prog;
+    if (!opts.asmFile.empty()) {
+        prog = isa::assembleFile(opts.asmFile);
+        os << "program: " << opts.asmFile << " (" << prog.size()
+           << " static instructions)\n";
+    } else {
+        const auto &w = workloads::findWorkload(opts.benchmark);
+        auto cg = opts.codegen == "ppc" ? workloads::CodeGen::Ppc
+                                        : workloads::CodeGen::Alpha;
+        prog = w.build(cg, opts.scale);
+        os << "benchmark: " << w.name << " (" << w.description
+           << "), codegen " << opts.codegen << ", scale " << opts.scale
+           << "\n";
+    }
+
+    auto func = runFunctional(prog);
+    os << "dynamic instructions: " << func.stats.instructions()
+       << ", loads: " << func.stats.loads()
+       << ", stores: " << func.stats.stores()
+       << ", branches: " << func.stats.branches() << "\n";
+    if (!func.completed) {
+        os << "warning: program did not halt within the budget\n";
+        return 2;
+    }
+
+    if (opts.profileLocality) {
+        auto prof = profileLocality(prog);
+        os << "value locality: "
+           << TextTable::fmtPct(prof.total().pctDepth1())
+           << " (depth 1), "
+           << TextTable::fmtPct(prof.total().pctDepthN())
+           << " (depth 16)\n";
+    }
+
+    std::optional<core::LvpConfig> lvp =
+        lvpConfigByName(opts.lvpConfig);
+    if (opts.lvpConfig == "stride") {
+        auto st = runStrideOnly(prog, core::StrideConfig::simple());
+        printLvpStats(os, "stride unit", st);
+        // The timing models consume history-based annotations only;
+        // a stride run is statistics-only.
+        if (opts.machine != CliOptions::Machine::None)
+            os << "(stride runs are statistics-only; pick --lvp "
+                  "simple/constant/limit/perfect for timing)\n";
+        return 0;
+    }
+    if (lvp) {
+        auto st = runLvpOnly(prog, *lvp);
+        printLvpStats(os, ("LVP " + opts.lvpConfig).c_str(), st);
+    }
+
+    switch (opts.machine) {
+      case CliOptions::Machine::None:
+        break;
+      case CliOptions::Machine::Ppc620:
+      case CliOptions::Machine::Ppc620Plus: {
+        auto mc = opts.machine == CliOptions::Machine::Ppc620
+                      ? uarch::Ppc620Config::base620()
+                      : uarch::Ppc620Config::plus620();
+        auto base = runPpc620(prog, mc, std::nullopt);
+        os << mc.name << " baseline: " << base.timing.cycles
+           << " cycles, IPC "
+           << TextTable::fmtDouble(base.timing.ipc(), 3) << "\n";
+        if (lvp) {
+            auto run = runPpc620(prog, mc, lvp);
+            os << mc.name << " with " << opts.lvpConfig << ": "
+               << run.timing.cycles << " cycles, IPC "
+               << TextTable::fmtDouble(run.timing.ipc(), 3)
+               << ", speedup "
+               << TextTable::fmtDouble(
+                      run.timing.ipc() / base.timing.ipc(), 3)
+               << "\n"
+               << "  predicted loads " << run.timing.predictedLoads
+               << ", reissued consumers " << run.timing.reissuedInsts
+               << ", bank-conflict cycles "
+               << TextTable::fmtPct(run.timing.bankConflictPct())
+               << "\n";
+        }
+        break;
+      }
+      case CliOptions::Machine::Alpha21164: {
+        auto mc = uarch::AlphaConfig::base21164();
+        auto base = runAlpha21164(prog, mc, std::nullopt);
+        os << mc.name << " baseline: " << base.timing.cycles
+           << " cycles, IPC "
+           << TextTable::fmtDouble(base.timing.ipc(), 3) << "\n";
+        if (lvp) {
+            auto run = runAlpha21164(prog, mc, lvp);
+            os << mc.name << " with " << opts.lvpConfig << ": "
+               << run.timing.cycles << " cycles, IPC "
+               << TextTable::fmtDouble(run.timing.ipc(), 3)
+               << ", speedup "
+               << TextTable::fmtDouble(
+                      run.timing.ipc() / base.timing.ipc(), 3)
+               << "\n"
+               << "  predicted loads " << run.timing.predictedLoads
+               << ", constants " << run.timing.constLoads
+               << ", squashes " << run.timing.squashes
+               << ", L1 miss/instr "
+               << TextTable::fmtPct(run.timing.missRatePerInst())
+               << "\n";
+        }
+        break;
+      }
+    }
+    return 0;
+}
+
+} // namespace lvplib::sim

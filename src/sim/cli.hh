@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Command-line front end for the lvpsim tool: parse options, run one
+ * benchmark (or a .s file) through the requested pipeline, print a
+ * statistics report. The parsing and execution are library functions
+ * so they can be unit-tested; tools/lvpsim.cc is a thin main().
+ */
+
+#ifndef LVPLIB_SIM_CLI_HH
+#define LVPLIB_SIM_CLI_HH
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "util/table.hh"
+
+namespace lvplib::sim
+{
+
+/** Parsed lvpsim command line. */
+struct CliOptions
+{
+    enum class Machine
+    {
+        Ppc620,
+        Ppc620Plus,
+        Alpha21164,
+        None, ///< functional + LVP statistics only
+    };
+
+    std::string benchmark = "grep"; ///< benchmark name
+    std::string asmFile;            ///< or a .s file (overrides)
+    Machine machine = Machine::Ppc620;
+    std::string lvpConfig = "simple"; ///< simple|constant|limit|perfect|none|stride
+    unsigned scale = 2;
+    std::string codegen = "ppc"; ///< ppc|alpha
+    bool profileLocality = false;
+    bool listBenchmarks = false;
+    bool help = false;
+};
+
+/**
+ * Parse argv into options.
+ * @return std::nullopt plus a message in @p error on bad input.
+ */
+std::optional<CliOptions> parseCli(const std::vector<std::string> &args,
+                                   std::string &error);
+
+/** Usage text. */
+std::string cliUsage();
+
+/**
+ * Execute the parsed command, writing the report to @p os.
+ * @return process exit code.
+ */
+int runCli(const CliOptions &opts, std::ostream &os);
+
+} // namespace lvplib::sim
+
+#endif // LVPLIB_SIM_CLI_HH

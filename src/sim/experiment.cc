@@ -1,0 +1,460 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/config.hh"
+#include "isa/latency.hh"
+#include "sim/pipeline_driver.hh"
+#include "uarch/machine_config.hh"
+#include "util/stats.hh"
+#include "workloads/workload.hh"
+
+namespace lvplib::sim
+{
+
+using core::LvpConfig;
+using isa::DataClass;
+using isa::FuType;
+using isa::MachineIsa;
+using uarch::AlphaConfig;
+using uarch::Ppc620Config;
+using workloads::CodeGen;
+using workloads::allWorkloads;
+
+namespace
+{
+
+std::string
+pc1(double v)
+{
+    return TextTable::fmtPct(v, 1);
+}
+
+RunConfig
+runCfg(const ExperimentOptions &opts)
+{
+    return {opts.maxInstructions};
+}
+
+} // namespace
+
+ExperimentOptions
+ExperimentOptions::fromEnv()
+{
+    ExperimentOptions opts;
+    if (const char *s = std::getenv("LVPLIB_SCALE")) {
+        int v = std::atoi(s);
+        if (v >= 1)
+            opts.scale = static_cast<unsigned>(v);
+    }
+    return opts;
+}
+
+TextTable
+table1Benchmarks(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "Description", "Input", "Instr. (ppc)",
+              "Loads (ppc)", "Instr. (alpha)", "Loads (alpha)"});
+    for (const auto &w : allWorkloads()) {
+        auto ppc = runFunctional(w.build(CodeGen::Ppc, opts.scale),
+                                 runCfg(opts));
+        auto alpha = runFunctional(w.build(CodeGen::Alpha, opts.scale),
+                                   runCfg(opts));
+        t.row({w.name, w.description, w.input,
+               TextTable::fmtCount(ppc.stats.instructions()),
+               TextTable::fmtCount(ppc.stats.loads()),
+               TextTable::fmtCount(alpha.stats.instructions()),
+               TextTable::fmtCount(alpha.stats.loads())});
+    }
+    return t;
+}
+
+TextTable
+fig1ValueLocality(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "Alpha d=1", "Alpha d=16", "PowerPC d=1",
+              "PowerPC d=16"});
+    std::vector<double> a1, a16, p1, p16;
+    for (const auto &w : allWorkloads()) {
+        auto ppc = profileLocality(w.build(CodeGen::Ppc, opts.scale),
+                                   runCfg(opts));
+        auto alpha = profileLocality(w.build(CodeGen::Alpha, opts.scale),
+                                     runCfg(opts));
+        a1.push_back(alpha.total().pctDepth1());
+        a16.push_back(alpha.total().pctDepthN());
+        p1.push_back(ppc.total().pctDepth1());
+        p16.push_back(ppc.total().pctDepthN());
+        t.row({w.name, pc1(a1.back()), pc1(a16.back()), pc1(p1.back()),
+               pc1(p16.back())});
+    }
+    t.row({"MEAN", pc1(mean(a1)), pc1(mean(a16)), pc1(mean(p1)),
+           pc1(mean(p16))});
+    return t;
+}
+
+TextTable
+fig2LocalityByType(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "FP d=1", "FP d=16", "Int d=1", "Int d=16",
+              "InstAddr d=1", "InstAddr d=16", "DataAddr d=1",
+              "DataAddr d=16"});
+    auto cell = [&](const core::LocalityCounts &c, bool deep) {
+        if (c.loads == 0)
+            return std::string("-");
+        return pc1(deep ? c.pctDepthN() : c.pctDepth1());
+    };
+    for (const auto &w : allWorkloads()) {
+        auto prof = profileLocality(w.build(CodeGen::Ppc, opts.scale),
+                                    runCfg(opts));
+        const auto &fp = prof.byClass(DataClass::FpData);
+        const auto &in = prof.byClass(DataClass::IntData);
+        const auto &ia = prof.byClass(DataClass::InstAddr);
+        const auto &da = prof.byClass(DataClass::DataAddr);
+        t.row({w.name, cell(fp, false), cell(fp, true), cell(in, false),
+               cell(in, true), cell(ia, false), cell(ia, true),
+               cell(da, false), cell(da, true)});
+    }
+    return t;
+}
+
+TextTable
+table2Configs()
+{
+    TextTable t;
+    t.header({"Config", "LVPT entries", "History depth", "LCT entries",
+              "LCT bits", "CVU entries", "Oracle"});
+    for (const auto &c : LvpConfig::paperConfigs()) {
+        t.row({c.name, std::to_string(c.lvptEntries),
+               c.historyDepth > 1 ? std::to_string(c.historyDepth) +
+                                        "/perfect-select"
+                                  : std::to_string(c.historyDepth),
+               std::to_string(c.lctEntries), std::to_string(c.lctBits),
+               std::to_string(c.cvuEntries),
+               c.perfectPrediction ? "yes" : "no"});
+    }
+    return t;
+}
+
+TextTable
+table3LctHitRates(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "PPC Simple unpred", "PPC Simple pred",
+              "PPC Limit unpred", "PPC Limit pred",
+              "Alpha Simple unpred", "Alpha Simple pred",
+              "Alpha Limit unpred", "Alpha Limit pred"});
+    std::vector<std::vector<double>> cols(8);
+    for (const auto &w : allWorkloads()) {
+        std::vector<std::string> row{w.name};
+        unsigned c = 0;
+        for (CodeGen cg : {CodeGen::Ppc, CodeGen::Alpha}) {
+            auto prog = w.build(cg, opts.scale);
+            for (const auto &cfg :
+                 {LvpConfig::simple(), LvpConfig::limit()}) {
+                auto st = runLvpOnly(prog, cfg, runCfg(opts));
+                row.push_back(pc1(st.unpredHitRate()));
+                row.push_back(pc1(st.predHitRate()));
+                cols[c++].push_back(st.unpredHitRate());
+                cols[c++].push_back(st.predHitRate());
+            }
+        }
+        t.row(std::move(row));
+    }
+    std::vector<std::string> gm{"GM"};
+    for (auto &col : cols)
+        gm.push_back(pc1(geomean(col)));
+    t.row(std::move(gm));
+    return t;
+}
+
+TextTable
+table4ConstantRates(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "PPC Simple", "PPC Constant", "Alpha Simple",
+              "Alpha Constant"});
+    std::vector<std::vector<double>> cols(4);
+    for (const auto &w : allWorkloads()) {
+        std::vector<std::string> row{w.name};
+        unsigned c = 0;
+        for (CodeGen cg : {CodeGen::Ppc, CodeGen::Alpha}) {
+            auto prog = w.build(cg, opts.scale);
+            for (const auto &cfg :
+                 {LvpConfig::simple(), LvpConfig::constant()}) {
+                auto st = runLvpOnly(prog, cfg, runCfg(opts));
+                row.push_back(pc1(st.constantRate()));
+                cols[c++].push_back(st.constantRate());
+            }
+        }
+        t.row(std::move(row));
+    }
+    std::vector<std::string> m{"MEAN"};
+    for (auto &col : cols)
+        m.push_back(pc1(mean(col)));
+    t.row(std::move(m));
+    return t;
+}
+
+TextTable
+table5Latencies()
+{
+    TextTable t;
+    t.header({"Instruction class", "620 issue", "620 result",
+              "21164 issue", "21164 result"});
+    struct Row
+    {
+        const char *name;
+        isa::Opcode op;
+    };
+    static const Row rows[] = {
+        {"Simple integer", isa::Opcode::ADD},
+        {"Complex integer (mul)", isa::Opcode::MULL},
+        {"Complex integer (div)", isa::Opcode::DIVD},
+        {"Load/store", isa::Opcode::LD},
+        {"Simple FP", isa::Opcode::FADD},
+        {"Complex FP (div)", isa::Opcode::FDIV},
+        {"Complex FP (sqrt)", isa::Opcode::FSQRT},
+    };
+    for (const auto &r : rows) {
+        auto p = isa::opLatency(MachineIsa::Ppc620, r.op);
+        auto al = isa::opLatency(MachineIsa::Alpha21164, r.op);
+        t.row({r.name, std::to_string(p.issue), std::to_string(p.result),
+               std::to_string(al.issue), std::to_string(al.result)});
+    }
+    t.row({"Branch mispredict penalty", "-",
+           std::to_string(isa::mispredictPenalty(MachineIsa::Ppc620)) +
+               "+refetch",
+           "-",
+           std::to_string(
+               isa::mispredictPenalty(MachineIsa::Alpha21164))});
+    return t;
+}
+
+TextTable
+fig6AlphaSpeedups(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "Base IPC", "Simple", "Limit", "Perfect"});
+    const std::vector<LvpConfig> cfgs = {
+        LvpConfig::simple(), LvpConfig::limit(), LvpConfig::perfect()};
+    std::vector<std::vector<double>> speedups(cfgs.size());
+    for (const auto &w : allWorkloads()) {
+        auto prog = w.build(CodeGen::Alpha, opts.scale);
+        auto base =
+            runAlpha21164(prog, AlphaConfig::base21164(), std::nullopt,
+                          runCfg(opts));
+        std::vector<std::string> row{
+            w.name, TextTable::fmtDouble(base.timing.ipc(), 3)};
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            auto run = runAlpha21164(prog, AlphaConfig::base21164(),
+                                     cfgs[i], runCfg(opts));
+            double s = run.timing.ipc() / base.timing.ipc();
+            speedups[i].push_back(s);
+            row.push_back(TextTable::fmtDouble(s, 3));
+        }
+        t.row(std::move(row));
+    }
+    std::vector<std::string> gm{"GM", "-"};
+    for (auto &col : speedups)
+        gm.push_back(TextTable::fmtDouble(geomean(col), 3));
+    t.row(std::move(gm));
+    return t;
+}
+
+TextTable
+fig6PpcSpeedups(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "Base IPC", "Simple", "Constant", "Limit",
+              "Perfect"});
+    const std::vector<LvpConfig> cfgs = {
+        LvpConfig::simple(), LvpConfig::constant(), LvpConfig::limit(),
+        LvpConfig::perfect()};
+    std::vector<std::vector<double>> speedups(cfgs.size());
+    for (const auto &w : allWorkloads()) {
+        auto prog = w.build(CodeGen::Ppc, opts.scale);
+        auto base = runPpc620(prog, Ppc620Config::base620(),
+                              std::nullopt, runCfg(opts));
+        std::vector<std::string> row{
+            w.name, TextTable::fmtDouble(base.timing.ipc(), 3)};
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            auto run = runPpc620(prog, Ppc620Config::base620(), cfgs[i],
+                                 runCfg(opts));
+            double s = run.timing.ipc() / base.timing.ipc();
+            speedups[i].push_back(s);
+            row.push_back(TextTable::fmtDouble(s, 3));
+        }
+        t.row(std::move(row));
+    }
+    std::vector<std::string> gm{"GM", "-"};
+    for (auto &col : speedups)
+        gm.push_back(TextTable::fmtDouble(geomean(col), 3));
+    t.row(std::move(gm));
+    return t;
+}
+
+TextTable
+table6Plus620Speedups(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "Instr.", "620+ vs 620", "Simple", "Constant",
+              "Limit", "Perfect"});
+    const std::vector<LvpConfig> cfgs = {
+        LvpConfig::simple(), LvpConfig::constant(), LvpConfig::limit(),
+        LvpConfig::perfect()};
+    std::vector<double> plus_col;
+    std::vector<std::vector<double>> speedups(cfgs.size());
+    for (const auto &w : allWorkloads()) {
+        auto prog = w.build(CodeGen::Ppc, opts.scale);
+        auto base620 = runPpc620(prog, Ppc620Config::base620(),
+                                 std::nullopt, runCfg(opts));
+        auto base_plus = runPpc620(prog, Ppc620Config::plus620(),
+                                   std::nullopt, runCfg(opts));
+        double plus = base_plus.timing.ipc() / base620.timing.ipc();
+        plus_col.push_back(plus);
+        std::vector<std::string> row{
+            w.name,
+            TextTable::fmtCount(base620.timing.instructions),
+            TextTable::fmtDouble(plus, 3)};
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            auto run = runPpc620(prog, Ppc620Config::plus620(), cfgs[i],
+                                 runCfg(opts));
+            // Paper Table 6: additional speedup relative to the
+            // baseline 620+ with no LVP.
+            double s = run.timing.ipc() / base_plus.timing.ipc();
+            speedups[i].push_back(s);
+            row.push_back(TextTable::fmtDouble(s, 3));
+        }
+        t.row(std::move(row));
+    }
+    std::vector<std::string> gm{"GM", "-",
+                                TextTable::fmtDouble(geomean(plus_col), 3)};
+    for (auto &col : speedups)
+        gm.push_back(TextTable::fmtDouble(geomean(col), 3));
+    t.row(std::move(gm));
+    return t;
+}
+
+namespace
+{
+
+/** Sum verification-latency histograms over all benchmarks for one
+ *  machine/LVP configuration. */
+Histogram
+verifyHistogram(const Ppc620Config &mc, const LvpConfig &cfg,
+                const ExperimentOptions &opts)
+{
+    Histogram h(8);
+    for (const auto &w : allWorkloads()) {
+        auto prog = w.build(CodeGen::Ppc, opts.scale);
+        auto run = runPpc620(prog, mc, cfg, runCfg(opts));
+        h.merge(run.timing.verifyLatency);
+    }
+    return h;
+}
+
+} // namespace
+
+TextTable
+fig7VerificationLatency(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Machine/Config", "<4", "4", "5", "6", "7", ">7"});
+    for (const auto &mc :
+         {Ppc620Config::base620(), Ppc620Config::plus620()}) {
+        for (const auto &cfg : LvpConfig::paperConfigs()) {
+            Histogram h = verifyHistogram(mc, cfg, opts);
+            double lt4 = h.bucketPct(0) + h.bucketPct(1) +
+                         h.bucketPct(2) + h.bucketPct(3);
+            t.row({mc.name + "/" + cfg.name, pc1(lt4),
+                   pc1(h.bucketPct(4)), pc1(h.bucketPct(5)),
+                   pc1(h.bucketPct(6)), pc1(h.bucketPct(7)),
+                   pc1(h.overflowPct())});
+        }
+    }
+    return t;
+}
+
+TextTable
+fig8DependencyResolution(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Machine/Config", "BRU", "MCFX", "SCFX", "FPU", "LSU"});
+    static const FuType fus[] = {FuType::BRU, FuType::MCFX, FuType::SCFX,
+                                 FuType::FPU, FuType::LSU};
+    for (const auto &mc :
+         {Ppc620Config::base620(), Ppc620Config::plus620()}) {
+        // Baseline mean waits per FU type (averaged over benchmarks).
+        std::array<double, isa::NumFuTypes> base_wait{};
+        std::array<std::array<double, isa::NumFuTypes>, 4> cfg_wait{};
+        std::array<unsigned, isa::NumFuTypes> n{};
+        auto cfgs = LvpConfig::paperConfigs();
+        for (const auto &w : allWorkloads()) {
+            auto prog = w.build(CodeGen::Ppc, opts.scale);
+            auto base =
+                runPpc620(prog, mc, std::nullopt, runCfg(opts));
+            for (FuType f : fus) {
+                auto fi = static_cast<std::size_t>(f);
+                base_wait[fi] += base.timing.rsWaitMean(f);
+                ++n[fi];
+            }
+            for (std::size_t c = 0; c < cfgs.size(); ++c) {
+                auto run = runPpc620(prog, mc, cfgs[c], runCfg(opts));
+                for (FuType f : fus)
+                    cfg_wait[c][static_cast<std::size_t>(f)] +=
+                        run.timing.rsWaitMean(f);
+            }
+        }
+        for (std::size_t c = 0; c < cfgs.size(); ++c) {
+            std::vector<std::string> row{mc.name + "/" + cfgs[c].name};
+            for (FuType f : fus) {
+                auto fi = static_cast<std::size_t>(f);
+                double norm = base_wait[fi] > 0
+                                  ? 100.0 * cfg_wait[c][fi] /
+                                        base_wait[fi]
+                                  : 100.0;
+                row.push_back(pc1(norm));
+            }
+            t.row(std::move(row));
+        }
+    }
+    return t;
+}
+
+TextTable
+fig9BankConflicts(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "620 NoLVP", "620 Simple", "620 Constant",
+              "620+ NoLVP", "620+ Simple", "620+ Constant"});
+    std::vector<std::vector<double>> cols(6);
+    for (const auto &w : allWorkloads()) {
+        auto prog = w.build(CodeGen::Ppc, opts.scale);
+        std::vector<std::string> row{w.name};
+        unsigned c = 0;
+        for (const auto &mc :
+             {Ppc620Config::base620(), Ppc620Config::plus620()}) {
+            auto base = runPpc620(prog, mc, std::nullopt, runCfg(opts));
+            row.push_back(pc1(base.timing.bankConflictPct()));
+            cols[c++].push_back(base.timing.bankConflictPct());
+            for (const auto &cfg :
+                 {LvpConfig::simple(), LvpConfig::constant()}) {
+                auto run = runPpc620(prog, mc, cfg, runCfg(opts));
+                row.push_back(pc1(run.timing.bankConflictPct()));
+                cols[c++].push_back(run.timing.bankConflictPct());
+            }
+        }
+        t.row(std::move(row));
+    }
+    std::vector<std::string> m{"MEAN"};
+    for (auto &col : cols)
+        m.push_back(pc1(mean(col)));
+    t.row(std::move(m));
+    return t;
+}
+
+} // namespace lvplib::sim

@@ -1,0 +1,142 @@
+#include "sim/pipeline_driver.hh"
+
+#include "util/logging.hh"
+#include "vm/interpreter.hh"
+
+namespace lvplib::sim
+{
+
+namespace
+{
+
+void
+runToCompletion(vm::Interpreter &interp, trace::TraceSink *sink,
+                const RunConfig &rc)
+{
+    interp.run(sink, rc.maxInstructions);
+    if (!interp.halted())
+        lvp_warn("program did not halt within %llu instructions",
+                 static_cast<unsigned long long>(rc.maxInstructions));
+}
+
+} // namespace
+
+FuncResult
+runFunctional(const isa::Program &prog, const RunConfig &rc)
+{
+    vm::Interpreter interp(prog);
+    FuncResult r;
+    runToCompletion(interp, &r.stats, rc);
+    r.completed = interp.halted();
+    if (prog.hasSymbol("__result"))
+        r.result = interp.memory().read(prog.symbol("__result"), 8);
+    return r;
+}
+
+core::ValueLocalityProfiler
+profileLocality(const isa::Program &prog, const RunConfig &rc)
+{
+    vm::Interpreter interp(prog);
+    core::ValueLocalityProfiler profiler;
+    runToCompletion(interp, &profiler, rc);
+    return profiler;
+}
+
+core::LvpStats
+runLvpOnly(const isa::Program &prog, const core::LvpConfig &cfg,
+           const RunConfig &rc)
+{
+    /** A sink that discards annotated records. */
+    class NullSink : public trace::TraceSink
+    {
+      public:
+        void consume(const trace::TraceRecord &) override {}
+    } null_sink;
+
+    vm::Interpreter interp(prog);
+    core::LvpAnnotator annot(cfg, null_sink);
+    runToCompletion(interp, &annot, rc);
+    return annot.unit().stats();
+}
+
+core::LvpStats
+runStrideOnly(const isa::Program &prog, const core::StrideConfig &cfg,
+              const RunConfig &rc)
+{
+    class NullSink : public trace::TraceSink
+    {
+      public:
+        void consume(const trace::TraceRecord &) override {}
+    } null_sink;
+
+    vm::Interpreter interp(prog);
+    core::StrideAnnotator annot(cfg, null_sink);
+    runToCompletion(interp, &annot, rc);
+    return annot.unit().stats();
+}
+
+core::LvpStats
+runFcmOnly(const isa::Program &prog, const core::FcmConfig &cfg,
+           const RunConfig &rc)
+{
+    /** Feed loads/stores straight into the unit; nothing downstream. */
+    class FcmSink : public trace::TraceSink
+    {
+      public:
+        explicit FcmSink(const core::FcmConfig &c) : unit(c) {}
+        void
+        consume(const trace::TraceRecord &rec) override
+        {
+            const auto &inst = *rec.inst;
+            if (inst.load())
+                unit.onLoad(rec.pc, rec.effAddr, rec.value,
+                            inst.accessSize());
+            else if (inst.store())
+                unit.onStore(rec.effAddr, inst.accessSize());
+        }
+        core::FcmUnit unit;
+    } sink(cfg);
+
+    vm::Interpreter interp(prog);
+    runToCompletion(interp, &sink, rc);
+    return sink.unit.stats();
+}
+
+PpcRun
+runPpc620(const isa::Program &prog, const uarch::Ppc620Config &mc,
+          const std::optional<core::LvpConfig> &lvp, const RunConfig &rc)
+{
+    vm::Interpreter interp(prog);
+    uarch::Ppc620Model model(mc, lvp.has_value());
+    PpcRun r;
+    if (lvp) {
+        core::LvpAnnotator annot(*lvp, model);
+        runToCompletion(interp, &annot, rc);
+        r.lvp = annot.unit().stats();
+    } else {
+        runToCompletion(interp, &model, rc);
+    }
+    r.timing = model.stats();
+    return r;
+}
+
+AlphaRun
+runAlpha21164(const isa::Program &prog, const uarch::AlphaConfig &mc,
+              const std::optional<core::LvpConfig> &lvp,
+              const RunConfig &rc)
+{
+    vm::Interpreter interp(prog);
+    uarch::Alpha21164Model model(mc, lvp.has_value());
+    AlphaRun r;
+    if (lvp) {
+        core::LvpAnnotator annot(*lvp, model);
+        runToCompletion(interp, &annot, rc);
+        r.lvp = annot.unit().stats();
+    } else {
+        runToCompletion(interp, &model, rc);
+    }
+    r.timing = model.stats();
+    return r;
+}
+
+} // namespace lvplib::sim

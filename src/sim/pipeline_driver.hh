@@ -1,0 +1,97 @@
+/**
+ * @file
+ * End-to-end run drivers implementing the paper's three-phase
+ * experimental framework (Section 5): functional trace generation,
+ * LVP-unit simulation, and timing simulation — composed as streaming
+ * trace sinks so no trace is ever materialized.
+ */
+
+#ifndef LVPLIB_SIM_PIPELINE_DRIVER_HH
+#define LVPLIB_SIM_PIPELINE_DRIVER_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "core/config.hh"
+#include "core/locality_profiler.hh"
+#include "core/lvp_unit.hh"
+#include "core/fcm_unit.hh"
+#include "core/stride_unit.hh"
+#include "isa/program.hh"
+#include "trace/trace_stats.hh"
+#include "uarch/alpha21164.hh"
+#include "uarch/ppc620.hh"
+#include "workloads/workload.hh"
+
+namespace lvplib::sim
+{
+
+/** Common run bounds. */
+struct RunConfig
+{
+    std::uint64_t maxInstructions = 200'000'000; ///< runaway guard
+};
+
+/** Result of a functional (phase-1 only) run. */
+struct FuncResult
+{
+    trace::TraceStats stats;
+    Word result = 0;      ///< the program's "__result" checksum
+    bool completed = false;
+};
+
+/** Run a program functionally, collecting trace statistics. */
+FuncResult runFunctional(const isa::Program &prog,
+                         const RunConfig &rc = {});
+
+/** Measure load value locality (Figures 1-2). */
+core::ValueLocalityProfiler profileLocality(const isa::Program &prog,
+                                            const RunConfig &rc = {});
+
+/** Run the LVP unit alone over a program's trace (Tables 3-4). */
+core::LvpStats runLvpOnly(const isa::Program &prog,
+                          const core::LvpConfig &cfg,
+                          const RunConfig &rc = {});
+
+/** Run the stride prediction unit (future-work extension) alone. */
+core::LvpStats runStrideOnly(const isa::Program &prog,
+                             const core::StrideConfig &cfg,
+                             const RunConfig &rc = {});
+
+/** Run the two-level FCM prediction unit (extension) alone. */
+core::LvpStats runFcmOnly(const isa::Program &prog,
+                          const core::FcmConfig &cfg,
+                          const RunConfig &rc = {});
+
+/** Timing result for the out-of-order machine. */
+struct PpcRun
+{
+    uarch::OooStats timing;
+    core::LvpStats lvp; ///< zeroed when no LVP config was given
+};
+
+/**
+ * Run the PowerPC 620/620+ timing model, optionally with an LVP unit
+ * annotating loads ahead of it.
+ */
+PpcRun runPpc620(const isa::Program &prog,
+                 const uarch::Ppc620Config &mc,
+                 const std::optional<core::LvpConfig> &lvp,
+                 const RunConfig &rc = {});
+
+/** Timing result for the in-order machine. */
+struct AlphaRun
+{
+    uarch::InOrderStats timing;
+    core::LvpStats lvp;
+};
+
+/** Run the Alpha 21164 timing model, optionally with LVP. */
+AlphaRun runAlpha21164(const isa::Program &prog,
+                       const uarch::AlphaConfig &mc,
+                       const std::optional<core::LvpConfig> &lvp,
+                       const RunConfig &rc = {});
+
+} // namespace lvplib::sim
+
+#endif // LVPLIB_SIM_PIPELINE_DRIVER_HH

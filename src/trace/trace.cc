@@ -1,0 +1,18 @@
+#include "trace/trace.hh"
+
+namespace lvplib::trace
+{
+
+const char *
+predStateName(PredState s)
+{
+    switch (s) {
+      case PredState::None: return "none";
+      case PredState::Incorrect: return "incorrect";
+      case PredState::Correct: return "correct";
+      case PredState::Constant: return "constant";
+    }
+    return "?";
+}
+
+} // namespace lvplib::trace

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Dynamic-trace record types and the streaming sink interface that
+ * connects the three phases of the paper's framework (Section 5):
+ * trace generation -> LVP-unit simulation -> timing simulation.
+ */
+
+#ifndef LVPLIB_TRACE_TRACE_HH
+#define LVPLIB_TRACE_TRACE_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "util/types.hh"
+
+namespace lvplib::trace
+{
+
+/**
+ * Per-load prediction annotation produced by the LVP-unit phase.
+ * The paper passes exactly this (two bits of state per load) into the
+ * timing simulators.
+ */
+enum class PredState : std::uint8_t
+{
+    None,      ///< LCT said "don't predict" (or no LVP unit present)
+    Incorrect, ///< predicted, verification failed
+    Correct,   ///< predicted, verified against the memory value
+    Constant,  ///< predicted and verified by the CVU (no cache access)
+};
+
+const char *predStateName(PredState s);
+
+/**
+ * One retired dynamic instruction. The static instruction is referenced
+ * by pointer; the Program outlives every simulation phase.
+ */
+struct TraceRecord
+{
+    SeqNum seq = 0;      ///< dynamic sequence number, from 0
+    Addr pc = 0;         ///< instruction address
+    const isa::Instruction *inst = nullptr;
+    Addr effAddr = 0;    ///< effective address (memory ops only)
+    Word value = 0;      ///< loaded value / stored value (memory ops)
+    Word destValue = 0;  ///< value written to destReg() (any producer)
+    bool taken = false;  ///< branch outcome (branches only)
+    Addr nextPc = 0;     ///< architectural successor pc
+    PredState pred = PredState::None; ///< filled in by the LVP phase
+};
+
+/**
+ * A consumer of a dynamic-instruction stream. Phases compose by
+ * chaining sinks; finish() flushes at end-of-trace.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Consume one retired instruction. */
+    virtual void consume(const TraceRecord &rec) = 0;
+
+    /** End of trace. */
+    virtual void finish() {}
+};
+
+/** A sink that forwards every record to two downstream sinks. */
+class TeeSink : public TraceSink
+{
+  public:
+    TeeSink(TraceSink &first, TraceSink &second)
+        : first_(first), second_(second)
+    {}
+
+    void
+    consume(const TraceRecord &rec) override
+    {
+        first_.consume(rec);
+        second_.consume(rec);
+    }
+
+    void
+    finish() override
+    {
+        first_.finish();
+        second_.finish();
+    }
+
+  private:
+    TraceSink &first_;
+    TraceSink &second_;
+};
+
+} // namespace lvplib::trace
+
+#endif // LVPLIB_TRACE_TRACE_HH

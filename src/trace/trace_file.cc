@@ -1,0 +1,210 @@
+#include "trace/trace_file.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace lvplib::trace
+{
+
+namespace
+{
+
+constexpr std::size_t RecordBytes = 8 + 8 + 8 + 1 + 1;
+
+void
+putU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (!file_)
+        lvp_fatal("cannot open trace file '%s' for writing",
+                  path.c_str());
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceFileWriter::consume(const TraceRecord &rec)
+{
+    std::array<std::uint8_t, RecordBytes> buf;
+    putU64(&buf[0], rec.pc);
+    // Memory ops use the second slot for their effective address;
+    // indirect branches reuse it for their target (the fields are
+    // mutually exclusive, keeping the record at 26 bytes).
+    bool indirect = rec.inst && isa::isIndirectBranch(rec.inst->op);
+    putU64(&buf[8], indirect ? rec.nextPc : rec.effAddr);
+    putU64(&buf[16], rec.value);
+    buf[24] = rec.taken ? 1 : 0;
+    buf[25] = static_cast<std::uint8_t>(rec.pred);
+    if (std::fwrite(buf.data(), buf.size(), 1, file_) != 1)
+        lvp_fatal("trace write failed");
+    ++written_;
+}
+
+void
+TraceFileWriter::finish()
+{
+    if (!finished_) {
+        std::fflush(file_);
+        finished_ = true;
+    }
+}
+
+TraceFileReader::TraceFileReader(const std::string &path,
+                                 const isa::Program &prog)
+    : file_(std::fopen(path.c_str(), "rb")), prog_(prog)
+{
+    if (!file_)
+        lvp_fatal("cannot open trace file '%s' for reading",
+                  path.c_str());
+}
+
+TraceFileReader::~TraceFileReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceFileReader::next(TraceRecord &rec)
+{
+    std::array<std::uint8_t, RecordBytes> buf;
+    if (std::fread(buf.data(), buf.size(), 1, file_) != 1)
+        return false;
+    rec.seq = seq_++;
+    rec.pc = getU64(&buf[0]);
+    rec.effAddr = getU64(&buf[8]);
+    rec.value = getU64(&buf[16]);
+    rec.taken = buf[24] != 0;
+    rec.pred = static_cast<PredState>(buf[25]);
+    rec.inst = &prog_.fetch(rec.pc);
+    // Reconstruct the architectural successor.
+    if (rec.inst->op == isa::Opcode::HALT) {
+        rec.nextPc = rec.pc;
+    } else if (rec.inst->branch() && rec.taken) {
+        if (isa::isIndirectBranch(rec.inst->op)) {
+            // Indirect targets are not stored; they are only needed
+            // by the branch predictor, which reads nextPc. Recover
+            // it from the value field convention below.
+            rec.nextPc = rec.effAddr;
+        } else {
+            rec.nextPc = static_cast<Addr>(rec.inst->imm);
+        }
+    } else {
+        rec.nextPc = rec.pc + isa::layout::InstBytes;
+    }
+    return true;
+}
+
+std::uint64_t
+TraceFileReader::replay(TraceSink &sink)
+{
+    TraceRecord rec;
+    std::uint64_t n = 0;
+    while (next(rec)) {
+        sink.consume(rec);
+        ++n;
+    }
+    sink.finish();
+    return n;
+}
+
+void
+AnnotationStream::append(PredState s)
+{
+    std::uint64_t i = count_++;
+    std::size_t byte = static_cast<std::size_t>(i / 4);
+    unsigned shift = static_cast<unsigned>((i % 4) * 2);
+    if (byte >= bits_.size())
+        bits_.push_back(0);
+    bits_[byte] = static_cast<std::uint8_t>(
+        bits_[byte] | (static_cast<std::uint8_t>(s) << shift));
+}
+
+PredState
+AnnotationStream::at(std::uint64_t i) const
+{
+    lvp_assert(i < count_, "annotation index %llu out of range",
+               static_cast<unsigned long long>(i));
+    std::size_t byte = static_cast<std::size_t>(i / 4);
+    unsigned shift = static_cast<unsigned>((i % 4) * 2);
+    return static_cast<PredState>((bits_[byte] >> shift) & 0x3);
+}
+
+void
+AnnotationStream::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        lvp_fatal("cannot open annotation file '%s'", path.c_str());
+    std::uint8_t header[8];
+    putU64(header, count_);
+    bool ok = std::fwrite(header, sizeof(header), 1, f) == 1;
+    ok = ok && (bits_.empty() ||
+                std::fwrite(bits_.data(), bits_.size(), 1, f) == 1);
+    std::fclose(f);
+    if (!ok)
+        lvp_fatal("annotation write failed");
+}
+
+AnnotationStream
+AnnotationStream::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        lvp_fatal("cannot open annotation file '%s'", path.c_str());
+    std::uint8_t header[8];
+    if (std::fread(header, sizeof(header), 1, f) != 1) {
+        std::fclose(f);
+        lvp_fatal("annotation file '%s' truncated", path.c_str());
+    }
+    AnnotationStream s;
+    s.count_ = getU64(header);
+    s.bits_.resize(static_cast<std::size_t>((s.count_ + 3) / 4));
+    if (!s.bits_.empty() &&
+        std::fread(s.bits_.data(), s.bits_.size(), 1, f) != 1) {
+        std::fclose(f);
+        lvp_fatal("annotation file '%s' truncated", path.c_str());
+    }
+    std::fclose(f);
+    return s;
+}
+
+void
+AnnotationRecorder::consume(const TraceRecord &rec)
+{
+    if (rec.inst->load())
+        stream_.append(rec.pred);
+}
+
+void
+AnnotationMerger::consume(const TraceRecord &rec)
+{
+    TraceRecord out = rec;
+    if (rec.inst->load())
+        out.pred = stream_.at(loadIndex_++);
+    down_.consume(out);
+}
+
+} // namespace lvplib::trace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Binary trace serialization, mirroring the paper's decoupled
+ * experimental flow (Section 5): phase 1 writes a full dynamic trace
+ * to disk; phase 2 runs the LVP unit over it and emits a compact
+ * annotation stream of TWO BITS PER LOAD ("to conserve trace
+ * bandwidth by passing only two bits of state per load to the
+ * microarchitectural simulator"); phase 3 replays the trace merged
+ * with the annotations into a timing model.
+ *
+ * Record format (little-endian, fixed 26 bytes):
+ *   u64 pc | u64 effAddr | u64 value | u8 taken | u8 pred
+ * nextPc and the static instruction are reconstructed from the
+ * Program at read time; seq is implicit in record order.
+ */
+
+#ifndef LVPLIB_TRACE_TRACE_FILE_HH
+#define LVPLIB_TRACE_TRACE_FILE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "trace/trace.hh"
+
+namespace lvplib::trace
+{
+
+/** A sink that streams records into a binary trace file. */
+class TraceFileWriter : public TraceSink
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter() override;
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void consume(const TraceRecord &rec) override;
+    void finish() override;
+
+    std::uint64_t recordsWritten() const { return written_; }
+
+  private:
+    std::FILE *file_;
+    std::uint64_t written_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Replays a binary trace file into a sink, re-binding each record to
+ * its static instruction in @p prog. The program must be the one the
+ * trace was generated from.
+ */
+class TraceFileReader
+{
+  public:
+    TraceFileReader(const std::string &path, const isa::Program &prog);
+    ~TraceFileReader();
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    /**
+     * Read one record into @p rec.
+     * @return false at end of file.
+     */
+    bool next(TraceRecord &rec);
+
+    /** Stream the whole file into @p sink (calls finish()). */
+    std::uint64_t replay(TraceSink &sink);
+
+  private:
+    std::FILE *file_;
+    const isa::Program &prog_;
+    SeqNum seq_ = 0;
+};
+
+/**
+ * The paper's compact annotation stream: two bits per dynamic load,
+ * in load order. Produced by the LVP phase and merged back into a
+ * trace by AnnotationMerger.
+ */
+class AnnotationStream
+{
+  public:
+    /** Append one load's prediction state. */
+    void append(PredState s);
+
+    /** Prediction state of load number @p i. */
+    PredState at(std::uint64_t i) const;
+
+    /** Number of loads annotated. */
+    std::uint64_t size() const { return count_; }
+
+    /** Bytes of storage used (4 loads per byte). */
+    std::size_t storageBytes() const { return bits_.size(); }
+
+    /** Serialize to / deserialize from a file. */
+    void save(const std::string &path) const;
+    static AnnotationStream load(const std::string &path);
+
+  private:
+    std::vector<std::uint8_t> bits_; ///< 2 bits per load, packed
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A sink that records each load's PredState into an AnnotationStream
+ * and forwards nothing (use behind an LvpAnnotator).
+ */
+class AnnotationRecorder : public TraceSink
+{
+  public:
+    void consume(const TraceRecord &rec) override;
+
+    const AnnotationStream &stream() const { return stream_; }
+    AnnotationStream takeStream() { return std::move(stream_); }
+
+  private:
+    AnnotationStream stream_;
+};
+
+/**
+ * A pass-through stage that stamps each load's PredState from an
+ * AnnotationStream (phase 3's input: raw trace + 2-bit annotations).
+ */
+class AnnotationMerger : public TraceSink
+{
+  public:
+    AnnotationMerger(const AnnotationStream &stream, TraceSink &down)
+        : stream_(stream), down_(down)
+    {}
+
+    void consume(const TraceRecord &rec) override;
+    void finish() override { down_.finish(); }
+
+  private:
+    const AnnotationStream &stream_;
+    TraceSink &down_;
+    std::uint64_t loadIndex_ = 0;
+};
+
+} // namespace lvplib::trace
+
+#endif // LVPLIB_TRACE_TRACE_FILE_HH

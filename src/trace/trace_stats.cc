@@ -1,0 +1,30 @@
+#include "trace/trace_stats.hh"
+
+namespace lvplib::trace
+{
+
+void
+TraceStats::consume(const TraceRecord &rec)
+{
+    ++instructions_;
+    const auto &inst = *rec.inst;
+    ++fuCounts_[static_cast<std::size_t>(inst.fu())];
+    if (inst.load()) {
+        ++loads_;
+        ++loadClasses_[static_cast<std::size_t>(inst.dataClass)];
+    } else if (inst.store()) {
+        ++stores_;
+    } else if (inst.branch()) {
+        ++branches_;
+        if (rec.taken)
+            ++takenBranches_;
+    }
+}
+
+void
+TraceStats::clear()
+{
+    *this = TraceStats();
+}
+
+} // namespace lvplib::trace

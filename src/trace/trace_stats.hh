@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A sink that accumulates the aggregate trace statistics reported in
+ * the paper's Table 1 (dynamic instruction and load counts) plus
+ * opcode-class and data-class breakdowns used by several experiments.
+ */
+
+#ifndef LVPLIB_TRACE_TRACE_STATS_HH
+#define LVPLIB_TRACE_TRACE_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace lvplib::trace
+{
+
+/** Aggregate dynamic-instruction statistics for one trace. */
+class TraceStats : public TraceSink
+{
+  public:
+    void consume(const TraceRecord &rec) override;
+
+    std::uint64_t instructions() const { return instructions_; }
+    std::uint64_t loads() const { return loads_; }
+    std::uint64_t stores() const { return stores_; }
+    std::uint64_t branches() const { return branches_; }
+    std::uint64_t takenBranches() const { return takenBranches_; }
+
+    /** Dynamic count per FU class. */
+    std::uint64_t
+    fuCount(isa::FuType t) const
+    {
+        return fuCounts_[static_cast<std::size_t>(t)];
+    }
+
+    /** Dynamic load count per data class (Figure 2 denominators). */
+    std::uint64_t
+    loadClassCount(isa::DataClass c) const
+    {
+        return loadClasses_[static_cast<std::size_t>(c)];
+    }
+
+    void clear();
+
+  private:
+    std::uint64_t instructions_ = 0;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t branches_ = 0;
+    std::uint64_t takenBranches_ = 0;
+    std::array<std::uint64_t, isa::NumFuTypes> fuCounts_{};
+    std::array<std::uint64_t, 4> loadClasses_{};
+};
+
+} // namespace lvplib::trace
+
+#endif // LVPLIB_TRACE_TRACE_STATS_HH

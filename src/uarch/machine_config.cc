@@ -1,0 +1,32 @@
+#include "uarch/machine_config.hh"
+
+namespace lvplib::uarch
+{
+
+Ppc620Config
+Ppc620Config::base620()
+{
+    return Ppc620Config();
+}
+
+Ppc620Config
+Ppc620Config::plus620()
+{
+    Ppc620Config c;
+    c.name = "620+";
+    c.rsPerUnit = 4;
+    c.gprRename = 16;
+    c.fprRename = 16;
+    c.completionEntries = 32;
+    c.numLsu = 2;
+    c.memOpsPerCycle = 2;
+    return c;
+}
+
+AlphaConfig
+AlphaConfig::base21164()
+{
+    return AlphaConfig();
+}
+
+} // namespace lvplib::uarch

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Scheduling primitives shared by the timing models:
+ *
+ *  - FuPipe / FuBank: functional-unit occupancy with gap-filling
+ *    booking (out-of-order issue can slot a younger ready instruction
+ *    into an idle cycle before an older stalled one);
+ *  - ResourcePool: bounded resources freed at known future cycles
+ *    (reservation stations, rename buffers, completion buffer);
+ *  - SlotCounter: per-cycle bandwidth limits (dispatch width,
+ *    completion width, memory ops per cycle);
+ *  - BankTracker: L1 bank occupancy and conflict-cycle accounting.
+ */
+
+#ifndef LVPLIB_UARCH_SCHED_HH
+#define LVPLIB_UARCH_SCHED_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace lvplib::uarch
+{
+
+/** Busy-interval calendar for one functional-unit instance. */
+class FuPipe
+{
+  public:
+    /** Earliest start >= @p t where the pipe is idle for @p dur
+     *  cycles, without booking it. */
+    Cycle
+    earliest(Cycle t, unsigned dur) const
+    {
+        Cycle cand = t;
+        auto it = busy_.upper_bound(cand);
+        if (it != busy_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > cand)
+                cand = prev->second;
+        }
+        while (it != busy_.end() && it->first < cand + dur) {
+            cand = it->second;
+            ++it;
+        }
+        return cand;
+    }
+
+    /** Book [start, start+dur). Caller got @p start from earliest(). */
+    void
+    book(Cycle start, unsigned dur)
+    {
+        busy_[start] = start + dur;
+    }
+
+    /** Drop intervals ending at or before @p before. */
+    void
+    prune(Cycle before)
+    {
+        auto it = busy_.begin();
+        while (it != busy_.end() && it->second <= before)
+            it = busy_.erase(it);
+    }
+
+  private:
+    std::map<Cycle, Cycle> busy_;
+};
+
+/** A pool of identical FU instances (e.g. the 620's two SCFX units). */
+class FuBank
+{
+  public:
+    explicit FuBank(unsigned instances = 1) : pipes_(instances) {}
+
+    /** Book the earliest available instance at or after @p t for
+     *  @p dur cycles; returns the booked start cycle. */
+    Cycle
+    book(Cycle t, unsigned dur)
+    {
+        std::size_t best = 0;
+        Cycle best_start = pipes_[0].earliest(t, dur);
+        for (std::size_t i = 1; i < pipes_.size(); ++i) {
+            Cycle s = pipes_[i].earliest(t, dur);
+            if (s < best_start) {
+                best_start = s;
+                best = i;
+            }
+        }
+        pipes_[best].book(best_start, dur);
+        maybePrune(t);
+        return best_start;
+    }
+
+    /** Earliest start >= @p t across instances, without booking. */
+    Cycle
+    earliestAvailable(Cycle t, unsigned dur) const
+    {
+        Cycle best = pipes_[0].earliest(t, dur);
+        for (std::size_t i = 1; i < pipes_.size(); ++i)
+            best = std::min(best, pipes_[i].earliest(t, dur));
+        return best;
+    }
+
+    /**
+     * Book an instance at exactly @p t (an in-order machine cannot
+     * slide the booking). @p t must come from earliestAvailable().
+     */
+    void
+    bookAt(Cycle t, unsigned dur)
+    {
+        for (auto &p : pipes_) {
+            if (p.earliest(t, dur) == t) {
+                p.book(t, dur);
+                maybePrune(t);
+                return;
+            }
+        }
+        lvp_panic("bookAt: no instance free at the requested cycle");
+    }
+
+  private:
+    void
+    maybePrune(Cycle t)
+    {
+        if (++opsSincePrune_ >= 4096) {
+            opsSincePrune_ = 0;
+            for (auto &p : pipes_)
+                p.prune(t > 512 ? t - 512 : 0);
+        }
+    }
+
+    std::vector<FuPipe> pipes_;
+    unsigned opsSincePrune_ = 0;
+};
+
+/**
+ * A resource with @p capacity units, each claimed until a known
+ * release cycle. earliestAvailable() is the first cycle a new claim
+ * can coexist with previous ones. Only the largest @p capacity
+ * release times can constrain, so older ones are discarded.
+ */
+class ResourcePool
+{
+  public:
+    explicit ResourcePool(unsigned capacity) : cap_(capacity) {}
+
+    Cycle
+    earliestAvailable() const
+    {
+        if (cap_ == 0)
+            return 0; // treated as unlimited
+        return releases_.size() < cap_ ? 0 : *releases_.begin();
+    }
+
+    void
+    claim(Cycle release)
+    {
+        if (cap_ == 0)
+            return;
+        releases_.insert(release);
+        if (releases_.size() > cap_)
+            releases_.erase(releases_.begin());
+    }
+
+    unsigned capacity() const { return cap_; }
+
+  private:
+    unsigned cap_;
+    std::multiset<Cycle> releases_;
+};
+
+/** Enforces at most @p width events per cycle, non-decreasing. */
+class SlotCounter
+{
+  public:
+    explicit SlotCounter(unsigned width) : width_(width) {}
+
+    /** First cycle >= @p t with a free slot (without claiming). */
+    Cycle
+    earliest(Cycle t) const
+    {
+        if (t > cycle_)
+            return t;
+        return count_ < width_ ? cycle_ : cycle_ + 1;
+    }
+
+    /** Claim a slot at @p t; @p t must be >= earliest(t). */
+    void
+    claim(Cycle t)
+    {
+        lvp_assert(t >= cycle_, "slot claim in the past");
+        if (t > cycle_) {
+            cycle_ = t;
+            count_ = 1;
+        } else {
+            ++count_;
+            lvp_assert(count_ <= width_, "slot overflow");
+        }
+    }
+
+    Cycle cycle() const { return cycle_; }
+
+  private:
+    unsigned width_;
+    Cycle cycle_ = 0;
+    unsigned count_ = 0;
+};
+
+/**
+ * L1 bank occupancy: one access per bank per cycle, loads have
+ * priority, stores retry on conflict. Tracks the number of distinct
+ * cycles in which at least one conflict occurred (paper Figure 9).
+ * Ring-buffered: assumes bookings stay within the horizon of the most
+ * recent cycle seen, which holds for bounded-window pipelines.
+ */
+class BankTracker
+{
+  public:
+    explicit BankTracker(unsigned banks, std::size_t horizon = 16384)
+        : banks_(banks), horizon_(horizon),
+          slots_(banks * horizon), stamp_(banks * horizon, NoCycle),
+          conflictStamp_(horizon, NoCycle)
+    {}
+
+    /**
+     * Book a load access at the first cycle >= @p t where @p bank has
+     * no load yet. A delay counts as a conflict in the cycle where the
+     * load was blocked.
+     */
+    Cycle
+    bookLoad(Cycle t, unsigned bank)
+    {
+        Cycle c = t;
+        while (loadBusy(c, bank)) {
+            markConflict(c);
+            ++c;
+        }
+        setLoad(c, bank);
+        return c;
+    }
+
+    /**
+     * Try to book a load access at exactly cycle @p t: succeeds and
+     * books when the bank is free of loads, otherwise does nothing.
+     * Used for CVU-verified constant loads, whose access is cancelled
+     * rather than retried when it would conflict (paper Section 3.4).
+     */
+    bool
+    tryBookLoad(Cycle t, unsigned bank)
+    {
+        if (loadBusy(t, bank))
+            return false;
+        setLoad(t, bank);
+        return true;
+    }
+
+    /**
+     * Book a store access at the first cycle >= @p t where @p bank is
+     * completely free; each blocked cycle is a conflict cycle.
+     */
+    Cycle
+    bookStore(Cycle t, unsigned bank)
+    {
+        Cycle c = t;
+        while (busy(c, bank)) {
+            markConflict(c);
+            ++c;
+        }
+        setStore(c, bank);
+        return c;
+    }
+
+    /** Distinct cycles in which at least one conflict occurred. */
+    std::uint64_t conflictCycles() const { return conflictCycles_; }
+
+    unsigned banks() const { return banks_; }
+
+  private:
+    static constexpr Cycle NoCycle = ~Cycle(0);
+    static constexpr std::uint8_t LoadBit = 1;
+    static constexpr std::uint8_t StoreBit = 2;
+
+    std::size_t
+    slot(Cycle c, unsigned bank) const
+    {
+        return (c % horizon_) * banks_ + bank;
+    }
+
+    std::uint8_t
+    flags(Cycle c, unsigned bank) const
+    {
+        std::size_t s = slot(c, bank);
+        return stamp_[s] == c ? slots_[s] : 0;
+    }
+
+    void
+    orFlags(Cycle c, unsigned bank, std::uint8_t bits)
+    {
+        std::size_t s = slot(c, bank);
+        if (stamp_[s] != c) {
+            stamp_[s] = c;
+            slots_[s] = 0;
+        }
+        slots_[s] |= bits;
+    }
+
+    bool loadBusy(Cycle c, unsigned b) const
+    {
+        return (flags(c, b) & LoadBit) != 0;
+    }
+    bool busy(Cycle c, unsigned b) const { return flags(c, b) != 0; }
+    void setLoad(Cycle c, unsigned b) { orFlags(c, b, LoadBit); }
+    void setStore(Cycle c, unsigned b) { orFlags(c, b, StoreBit); }
+
+    void
+    markConflict(Cycle c)
+    {
+        std::size_t s = c % horizon_;
+        if (conflictStamp_[s] != c) {
+            conflictStamp_[s] = c;
+            ++conflictCycles_;
+        }
+    }
+
+    unsigned banks_;
+    std::size_t horizon_;
+    std::vector<std::uint8_t> slots_;
+    std::vector<Cycle> stamp_;
+    std::vector<Cycle> conflictStamp_;
+    std::uint64_t conflictCycles_ = 0;
+};
+
+} // namespace lvplib::uarch
+
+#endif // LVPLIB_UARCH_SCHED_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic() is for conditions that indicate a bug in lvplib itself and
+ * aborts; fatal() is for user errors (bad configuration, malformed
+ * programs) and exits cleanly with a nonzero status; warn() informs
+ * without stopping the simulation.
+ */
+
+#ifndef LVPLIB_UTIL_LOGGING_HH
+#define LVPLIB_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace lvplib
+{
+
+namespace detail
+{
+
+[[noreturn]] inline void
+panicExit(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalExit(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+inline void
+warnPrint(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+template <typename... Args>
+std::string
+formatMsg(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        int n = std::snprintf(nullptr, 0, fmt, args...);
+        if (n < 0)
+            return std::string(fmt);
+        std::string buf(static_cast<std::size_t>(n), '\0');
+        std::snprintf(buf.data(), buf.size() + 1, fmt, args...);
+        return buf;
+    }
+}
+
+} // namespace detail
+
+} // namespace lvplib
+
+/** Abort: something happened that should never happen (lvplib bug). */
+#define lvp_panic(...) \
+    ::lvplib::detail::panicExit(__FILE__, __LINE__, \
+        ::lvplib::detail::formatMsg(__VA_ARGS__))
+
+/** Exit: the simulation cannot continue due to a user error. */
+#define lvp_fatal(...) \
+    ::lvplib::detail::fatalExit(__FILE__, __LINE__, \
+        ::lvplib::detail::formatMsg(__VA_ARGS__))
+
+/** Inform the user of suspicious but non-fatal conditions. */
+#define lvp_warn(...) \
+    ::lvplib::detail::warnPrint(::lvplib::detail::formatMsg(__VA_ARGS__))
+
+/** Internal invariant check; active in all build types. */
+#define lvp_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::lvplib::detail::panicExit(__FILE__, __LINE__, \
+                std::string("assertion failed: " #cond " ") + \
+                ::lvplib::detail::formatMsg("" __VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // LVPLIB_UTIL_LOGGING_HH

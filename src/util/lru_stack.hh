@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A small LRU-ordered container of unique values, used for per-entry
+ * value histories in the LVPT (paper Section 2: "the values ... stored
+ * at each entry are replaced with an LRU policy") and for cache-set
+ * replacement ordering.
+ */
+
+#ifndef LVPLIB_UTIL_LRU_STACK_HH
+#define LVPLIB_UTIL_LRU_STACK_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace lvplib
+{
+
+/**
+ * Keeps up to @p capacity unique values ordered most-recently-used
+ * first. Touching a value moves it to the front; inserting into a full
+ * stack evicts the least-recently-used value.
+ */
+template <typename T>
+class LruStack
+{
+  public:
+    explicit LruStack(std::size_t capacity = 1) : capacity_(capacity)
+    {
+        items_.reserve(capacity_);
+    }
+
+    /** Number of values currently held. */
+    std::size_t size() const { return items_.size(); }
+
+    /** Maximum number of values held. */
+    std::size_t capacity() const { return capacity_; }
+
+    bool empty() const { return items_.empty(); }
+
+    /** True when @p v is present anywhere in the stack. */
+    bool
+    contains(const T &v) const
+    {
+        return std::find(items_.begin(), items_.end(), v) != items_.end();
+    }
+
+    /** Most-recently-used value; undefined when empty. */
+    const T &mru() const { return items_.front(); }
+
+    /**
+     * Record a use of @p v: promote it to MRU position, inserting it
+     * (and evicting the LRU value) when absent.
+     *
+     * @return true when @p v was already present (an LRU "hit").
+     */
+    bool
+    touch(const T &v)
+    {
+        auto it = std::find(items_.begin(), items_.end(), v);
+        if (it != items_.end()) {
+            std::rotate(items_.begin(), it, it + 1);
+            return true;
+        }
+        if (items_.size() == capacity_)
+            items_.pop_back();
+        items_.insert(items_.begin(), v);
+        return false;
+    }
+
+    /** Remove every value. */
+    void clear() { items_.clear(); }
+
+    /** MRU-first view of the stored values. */
+    const std::vector<T> &items() const { return items_; }
+
+  private:
+    std::size_t capacity_;
+    std::vector<T> items_;
+};
+
+} // namespace lvplib
+
+#endif // LVPLIB_UTIL_LRU_STACK_HH

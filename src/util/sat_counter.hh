@@ -1,0 +1,83 @@
+/**
+ * @file
+ * An n-bit saturating counter, the building block of the LCT and of the
+ * branch history table (paper Section 3.2).
+ */
+
+#ifndef LVPLIB_UTIL_SAT_COUNTER_HH
+#define LVPLIB_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace lvplib
+{
+
+/**
+ * An n-bit saturating counter (1 <= n <= 8).
+ *
+ * The counter saturates at 0 and at 2^n - 1. The LCT interprets the
+ * counter states as load classes; the branch predictor interprets a
+ * 2-bit counter's upper half as "taken".
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits.
+     * @param initial Initial counter value (clamped to the legal range).
+     */
+    explicit SatCounter(unsigned bits = 2, std::uint8_t initial = 0)
+        : maxVal_(static_cast<std::uint8_t>((1u << bits) - 1)),
+          value_(initial > maxVal_ ? maxVal_ : initial)
+    {
+        lvp_assert(bits >= 1 && bits <= 8, "bits=%u", bits);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < maxVal_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Current counter value. */
+    std::uint8_t value() const { return value_; }
+
+    /** Saturation maximum, 2^bits - 1. */
+    std::uint8_t maxValue() const { return maxVal_; }
+
+    /** True when the counter sits at its saturation maximum. */
+    bool saturatedHigh() const { return value_ == maxVal_; }
+
+    /** True when the counter is in the upper half of its range. */
+    bool upperHalf() const { return value_ > maxVal_ / 2; }
+
+    /** Force the counter to a specific value (clamped). */
+    void
+    set(std::uint8_t v)
+    {
+        value_ = v > maxVal_ ? maxVal_ : v;
+    }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint8_t maxVal_;
+    std::uint8_t value_;
+};
+
+} // namespace lvplib
+
+#endif // LVPLIB_UTIL_SAT_COUNTER_HH

@@ -1,0 +1,116 @@
+#include "util/stats.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lvplib
+{
+
+double
+pct(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : 100.0 * static_cast<double>(num) /
+                          static_cast<double>(den);
+}
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    constexpr double eps = 1e-9;
+    double logsum = 0.0;
+    for (double x : xs)
+        logsum += std::log(x > eps ? x : eps);
+    return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0)
+{
+    lvp_assert(buckets > 0);
+}
+
+void
+Histogram::record(std::uint64_t v)
+{
+    record(v, 1);
+}
+
+void
+Histogram::record(std::uint64_t v, std::uint64_t count)
+{
+    if (v < counts_.size())
+        counts_[v] += count;
+    else
+        overflow_ += count;
+    total_ += count;
+    sum_ += static_cast<double>(v) * static_cast<double>(count);
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t b) const
+{
+    lvp_assert(b < counts_.size());
+    return counts_[b];
+}
+
+double
+Histogram::bucketPct(std::size_t b) const
+{
+    return pct(bucket(b), total_);
+}
+
+double
+Histogram::overflowPct() const
+{
+    return pct(overflow_, total_);
+}
+
+double
+Histogram::sampleMean() const
+{
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    lvp_assert(other.counts_.size() == counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+void
+Histogram::clear()
+{
+    for (auto &c : counts_)
+        c = 0;
+    overflow_ = 0;
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+} // namespace lvplib

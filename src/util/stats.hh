@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Lightweight statistics containers: counters, ratios, bucketed
+ * histograms, and geometric means (the paper reports GM rows in every
+ * table).
+ */
+
+#ifndef LVPLIB_UTIL_STATS_HH
+#define LVPLIB_UTIL_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lvplib
+{
+
+/** Percentage of @p num over @p den; 0 when the denominator is zero. */
+double pct(std::uint64_t num, std::uint64_t den);
+
+/** Ratio of @p num over @p den; 0 when the denominator is zero. */
+double ratio(std::uint64_t num, std::uint64_t den);
+
+/** Geometric mean of a sample; 0 for an empty sample. Values <= 0 are
+ *  clamped to a small epsilon so a single zero doesn't nuke the mean. */
+double geomean(const std::vector<double> &xs);
+
+/** Arithmetic mean of a sample; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * A histogram over small integer keys with an overflow bucket, used
+ * e.g. for the load-verification-latency distribution of Figure 7.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param buckets Number of directly indexed buckets [0, buckets).
+     * Samples >= buckets land in the overflow bucket.
+     */
+    explicit Histogram(std::size_t buckets);
+
+    /** Record one sample of value @p v. */
+    void record(std::uint64_t v);
+
+    /** Record @p count samples of value @p v. */
+    void record(std::uint64_t v, std::uint64_t count);
+
+    /** Count in bucket @p b (b < buckets()). */
+    std::uint64_t bucket(std::size_t b) const;
+
+    /** Count of samples >= buckets(). */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Number of directly indexed buckets. */
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Total samples recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction (0..100) of samples falling in bucket @p b. */
+    double bucketPct(std::size_t b) const;
+
+    /** Fraction (0..100) of samples in the overflow bucket. */
+    double overflowPct() const;
+
+    /** Mean sample value (overflow samples counted at their value). */
+    double sampleMean() const;
+
+    /** Merge another histogram of identical shape into this one. */
+    void merge(const Histogram &other);
+
+    /** Forget all samples. */
+    void clear();
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace lvplib
+
+#endif // LVPLIB_UTIL_STATS_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used throughout lvplib.
+ */
+
+#ifndef LVPLIB_UTIL_TYPES_HH
+#define LVPLIB_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace lvplib
+{
+
+/** A virtual address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A 64-bit architectural register value. */
+using Word = std::uint64_t;
+
+/** A signed view of a register value. */
+using SWord = std::int64_t;
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** A dynamic-instruction sequence number. */
+using SeqNum = std::uint64_t;
+
+/** An architectural register index (GPR or FPR). */
+using RegIndex = std::uint8_t;
+
+} // namespace lvplib
+
+#endif // LVPLIB_UTIL_TYPES_HH

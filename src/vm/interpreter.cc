@@ -1,0 +1,281 @@
+#include "vm/interpreter.hh"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace lvplib::vm
+{
+
+using isa::Cond;
+using isa::Instruction;
+using isa::Opcode;
+using namespace isa::layout;
+
+Interpreter::Interpreter(const isa::Program &prog) : prog_(prog)
+{
+    reset();
+}
+
+void
+Interpreter::reset()
+{
+    regs_.fill(0);
+    mem_.clear();
+    mem_.loadImage(prog_);
+    regs_[1] = StackTop;
+    if (prog_.hasSymbol("__toc"))
+        regs_[2] = prog_.symbol("__toc");
+    pc_ = prog_.entry();
+    retired_ = 0;
+    halted_ = false;
+}
+
+Word
+Interpreter::reg(RegIndex r) const
+{
+    lvp_assert(r < isa::NumRegs, "reg %u", r);
+    return r == 0 ? 0 : regs_[r];
+}
+
+void
+Interpreter::setReg(RegIndex r, Word v)
+{
+    lvp_assert(r < isa::NumRegs, "reg %u", r);
+    if (r != 0)
+        regs_[r] = v;
+}
+
+double
+Interpreter::fprAsDouble(RegIndex f) const
+{
+    return std::bit_cast<double>(reg(static_cast<RegIndex>(
+        isa::FprBase + f)));
+}
+
+std::uint64_t
+Interpreter::run(trace::TraceSink *sink, std::uint64_t max_instrs)
+{
+    std::uint64_t n = 0;
+    while (!halted_ && n < max_instrs) {
+        step(sink);
+        ++n;
+    }
+    if (halted_ && sink)
+        sink->finish();
+    return n;
+}
+
+void
+Interpreter::step(trace::TraceSink *sink)
+{
+    lvp_assert(!halted_, "step after halt");
+    const Instruction &inst = prog_.fetch(pc_);
+
+    trace::TraceRecord rec;
+    rec.seq = retired_;
+    rec.pc = pc_;
+    rec.inst = &inst;
+    rec.nextPc = pc_ + InstBytes;
+
+    execute(inst, rec);
+
+    if (RegIndex dest = inst.destReg(); dest != isa::NoReg)
+        rec.destValue = reg(dest);
+
+    pc_ = rec.nextPc;
+    ++retired_;
+    if (sink)
+        sink->consume(rec);
+}
+
+namespace
+{
+
+Word
+compareSigned(Word a, Word b)
+{
+    auto sa = static_cast<SWord>(a);
+    auto sb = static_cast<SWord>(b);
+    if (sa < sb)
+        return isa::CrLt;
+    if (sa > sb)
+        return isa::CrGt;
+    return isa::CrEq;
+}
+
+Word
+compareUnsigned(Word a, Word b)
+{
+    if (a < b)
+        return isa::CrLt;
+    if (a > b)
+        return isa::CrGt;
+    return isa::CrEq;
+}
+
+bool
+condHolds(Cond c, Word cr)
+{
+    switch (c) {
+      case Cond::LT: return (cr & isa::CrLt) != 0;
+      case Cond::GT: return (cr & isa::CrGt) != 0;
+      case Cond::EQ: return (cr & isa::CrEq) != 0;
+      case Cond::GE: return (cr & isa::CrLt) == 0;
+      case Cond::LE: return (cr & isa::CrGt) == 0;
+      case Cond::NE: return (cr & isa::CrEq) == 0;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+Interpreter::execute(const Instruction &inst, trace::TraceRecord &rec)
+{
+    auto rd = [&](Word v) { setReg(inst.rd, v); };
+    auto s1 = [&] { return reg(inst.rs1); };
+    auto s2 = [&] { return reg(inst.rs2); };
+    auto f1 = [&] { return std::bit_cast<double>(reg(inst.rs1)); };
+    auto f2 = [&] { return std::bit_cast<double>(reg(inst.rs2)); };
+    auto fd = [&](double v) { setReg(inst.rd, std::bit_cast<Word>(v)); };
+    auto uimm = [&] { return static_cast<Word>(inst.imm); };
+
+    switch (inst.op) {
+      case Opcode::ADD: rd(s1() + s2()); break;
+      case Opcode::SUB: rd(s1() - s2()); break;
+      case Opcode::AND: rd(s1() & s2()); break;
+      case Opcode::OR: rd(s1() | s2()); break;
+      case Opcode::XOR: rd(s1() ^ s2()); break;
+      case Opcode::SLD: rd(s2() >= 64 ? 0 : s1() << (s2() & 63)); break;
+      case Opcode::SRD: rd(s2() >= 64 ? 0 : s1() >> (s2() & 63)); break;
+      case Opcode::SRAD:
+        rd(static_cast<Word>(static_cast<SWord>(s1()) >>
+                             (s2() >= 63 ? 63 : (s2() & 63))));
+        break;
+      case Opcode::ADDI: rd(s1() + uimm()); break;
+      case Opcode::ANDI: rd(s1() & (uimm() & 0xffff)); break;
+      case Opcode::ORI: rd(s1() | (uimm() & 0xffff)); break;
+      case Opcode::XORI: rd(s1() ^ (uimm() & 0xffff)); break;
+      case Opcode::SLDI: rd(s1() << inst.imm); break;
+      case Opcode::SRDI: rd(s1() >> inst.imm); break;
+      case Opcode::SRADI:
+        rd(static_cast<Word>(static_cast<SWord>(s1()) >> inst.imm));
+        break;
+      case Opcode::CMP: rd(compareSigned(s1(), s2())); break;
+      case Opcode::CMPU: rd(compareUnsigned(s1(), s2())); break;
+      case Opcode::CMPI: rd(compareSigned(s1(), uimm())); break;
+      case Opcode::NOP: break;
+
+      case Opcode::MULL: rd(s1() * s2()); break;
+      case Opcode::DIVD: {
+        auto d = static_cast<SWord>(s2());
+        rd(d == 0 ? 0
+                  : static_cast<Word>(static_cast<SWord>(s1()) / d));
+        break;
+      }
+      case Opcode::REMD: {
+        auto d = static_cast<SWord>(s2());
+        rd(d == 0 ? s1()
+                  : static_cast<Word>(static_cast<SWord>(s1()) % d));
+        break;
+      }
+      case Opcode::MFLR: rd(reg(isa::RegLr)); break;
+      case Opcode::MTLR: setReg(isa::RegLr, s1()); break;
+      case Opcode::MFCTR: rd(reg(isa::RegCtr)); break;
+      case Opcode::MTCTR: setReg(isa::RegCtr, s1()); break;
+
+      case Opcode::FADD: fd(f1() + f2()); break;
+      case Opcode::FSUB: fd(f1() - f2()); break;
+      case Opcode::FMUL: fd(f1() * f2()); break;
+      case Opcode::FDIV: fd(f2() == 0.0 ? 0.0 : f1() / f2()); break;
+      case Opcode::FSQRT: fd(f1() < 0.0 ? 0.0 : std::sqrt(f1())); break;
+      case Opcode::FCMP: {
+        double a = f1(), b = f2();
+        rd(a < b ? isa::CrLt : a > b ? isa::CrGt : isa::CrEq);
+        break;
+      }
+      case Opcode::FCFID:
+        fd(static_cast<double>(static_cast<SWord>(s1())));
+        break;
+      case Opcode::FCTID: {
+        // Saturating conversion, as the PowerPC fctid defines it
+        // (NaN converts to zero here for determinism).
+        double v = f1();
+        SWord out;
+        if (std::isnan(v))
+            out = 0;
+        else if (v >= 0x1p63)
+            out = std::numeric_limits<SWord>::max();
+        else if (v < -0x1p63)
+            out = std::numeric_limits<SWord>::min();
+        else
+            out = static_cast<SWord>(v);
+        rd(static_cast<Word>(out));
+        break;
+      }
+      case Opcode::FMR: rd(s1()); break;
+      case Opcode::FNEG: fd(-f1()); break;
+      case Opcode::FABS: fd(std::fabs(f1())); break;
+
+      case Opcode::LD: case Opcode::LWZ: case Opcode::LBZ:
+      case Opcode::LFD: {
+        rec.effAddr = s1() + uimm();
+        rec.value = mem_.read(rec.effAddr, inst.accessSize());
+        rd(rec.value);
+        break;
+      }
+      case Opcode::STD: case Opcode::STW: case Opcode::STB:
+      case Opcode::STFD: {
+        rec.effAddr = s1() + uimm();
+        rec.value = s2();
+        mem_.write(rec.effAddr, rec.value, inst.accessSize());
+        break;
+      }
+
+      case Opcode::B:
+        rec.taken = true;
+        rec.nextPc = static_cast<Addr>(inst.imm);
+        break;
+      case Opcode::BC:
+        rec.taken = condHolds(inst.cond, reg(inst.rs1));
+        if (rec.taken)
+            rec.nextPc = static_cast<Addr>(inst.imm);
+        break;
+      case Opcode::BL:
+        rec.taken = true;
+        setReg(isa::RegLr, pc_ + InstBytes);
+        rec.nextPc = static_cast<Addr>(inst.imm);
+        break;
+      case Opcode::BLR:
+        rec.taken = true;
+        rec.nextPc = reg(isa::RegLr);
+        break;
+      case Opcode::BCTR:
+        rec.taken = true;
+        rec.nextPc = reg(isa::RegCtr);
+        break;
+      case Opcode::BCTRL:
+        rec.taken = true;
+        setReg(isa::RegLr, pc_ + InstBytes);
+        rec.nextPc = reg(isa::RegCtr);
+        break;
+
+      case Opcode::HALT:
+        halted_ = true;
+        rec.nextPc = pc_;
+        break;
+
+      case Opcode::NumOpcodes:
+        lvp_panic("bad opcode");
+    }
+
+    if (rec.nextPc != pc_ && !prog_.validPc(rec.nextPc) && !halted_)
+        lvp_fatal("control transfer to invalid pc 0x%llx from 0x%llx",
+                  static_cast<unsigned long long>(rec.nextPc),
+                  static_cast<unsigned long long>(pc_));
+}
+
+} // namespace lvplib::vm

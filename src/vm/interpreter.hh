@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The VLISA functional interpreter. Executes a Program to completion
+ * and streams one TraceRecord per retired instruction to a TraceSink —
+ * this is lvplib's stand-in for the paper's TRIP6000/ATOM tracing
+ * tools (user-state instruction, address, and value traces).
+ */
+
+#ifndef LVPLIB_VM_INTERPRETER_HH
+#define LVPLIB_VM_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "isa/program.hh"
+#include "trace/trace.hh"
+#include "vm/memory.hh"
+
+namespace lvplib::vm
+{
+
+/** Functional execution engine for one Program. */
+class Interpreter
+{
+  public:
+    /**
+     * Bind to @p prog and initialize machine state: data image loaded,
+     * r1 = stack top, r2 = the "__toc" symbol when the program defines
+     * one, pc = entry.
+     */
+    explicit Interpreter(const isa::Program &prog);
+
+    /** Reinitialize registers, memory, and pc. */
+    void reset();
+
+    /**
+     * Run until HALT or until @p max_instrs retire. Each retired
+     * instruction is passed to @p sink when non-null; sink->finish()
+     * is called when the program halts.
+     *
+     * @return Number of instructions retired by this call.
+     */
+    std::uint64_t run(trace::TraceSink *sink = nullptr,
+                      std::uint64_t max_instrs =
+                          std::numeric_limits<std::uint64_t>::max());
+
+    /** Single-step one instruction (no finish() call). */
+    void step(trace::TraceSink *sink = nullptr);
+
+    /** True once HALT has retired. */
+    bool halted() const { return halted_; }
+
+    /** Current pc. */
+    Addr pc() const { return pc_; }
+
+    /** Unified-space register read (r0 reads as zero). */
+    Word reg(RegIndex r) const;
+
+    /** Unified-space register write (writes to r0 are ignored). */
+    void setReg(RegIndex r, Word v);
+
+    /** FPR read as a double (f is FPR numbering, 0..31). */
+    double fprAsDouble(RegIndex f) const;
+
+    /** Simulated memory, for test inspection and input poking. */
+    SparseMemory &memory() { return mem_; }
+    const SparseMemory &memory() const { return mem_; }
+
+    /** Instructions retired since reset. */
+    std::uint64_t retired() const { return retired_; }
+
+    /** The bound program. */
+    const isa::Program &program() const { return prog_; }
+
+  private:
+    void execute(const isa::Instruction &inst, trace::TraceRecord &rec);
+
+    const isa::Program &prog_;
+    SparseMemory mem_;
+    std::array<Word, isa::NumRegs> regs_{};
+    Addr pc_;
+    std::uint64_t retired_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace lvplib::vm
+
+#endif // LVPLIB_VM_INTERPRETER_HH

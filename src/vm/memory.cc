@@ -1,0 +1,78 @@
+#include "vm/memory.hh"
+
+#include "util/logging.hh"
+
+namespace lvplib::vm
+{
+
+const SparseMemory::Page *
+SparseMemory::findPage(Addr a) const
+{
+    auto it = pages_.find(a >> PageShift);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+SparseMemory::Page &
+SparseMemory::touchPage(Addr a)
+{
+    auto &slot = pages_[a >> PageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+std::uint8_t
+SparseMemory::readByte(Addr a) const
+{
+    const Page *p = findPage(a);
+    return p ? (*p)[a & PageMask] : 0;
+}
+
+void
+SparseMemory::writeByte(Addr a, std::uint8_t v)
+{
+    touchPage(a)[a & PageMask] = v;
+}
+
+Word
+SparseMemory::read(Addr a, unsigned size) const
+{
+    lvp_assert(size == 1 || size == 4 || size == 8, "size=%u", size);
+    Word v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= static_cast<Word>(readByte(a + i)) << (8 * i);
+    return v;
+}
+
+void
+SparseMemory::write(Addr a, Word v, unsigned size)
+{
+    lvp_assert(size == 1 || size == 4 || size == 8, "size=%u", size);
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(a + i, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+SparseMemory::loadImage(const isa::Program &prog)
+{
+    for (const auto &[addr, byte] : prog.dataImage())
+        writeByte(addr, byte);
+}
+
+std::string
+SparseMemory::readString(Addr a) const
+{
+    std::string s;
+    for (Addr i = 0; i < 0x10000; ++i) {
+        std::uint8_t b = readByte(a + i);
+        if (b == 0)
+            return s;
+        s.push_back(static_cast<char>(b));
+    }
+    lvp_fatal("unterminated string at 0x%llx",
+              static_cast<unsigned long long>(a));
+}
+
+} // namespace lvplib::vm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sparse, paged byte-addressable memory for the functional interpreter.
+ * Pages are allocated on first touch and read as zero before any write,
+ * so programs can use large, mostly-empty address ranges cheaply (the
+ * sparse-matrix workloads depend on this).
+ */
+
+#ifndef LVPLIB_VM_MEMORY_HH
+#define LVPLIB_VM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "isa/program.hh"
+#include "util/types.hh"
+
+namespace lvplib::vm
+{
+
+/** Little-endian sparse memory with 4 KiB pages. */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned PageShift = 12;
+    static constexpr Addr PageSize = Addr(1) << PageShift;
+    static constexpr Addr PageMask = PageSize - 1;
+
+    SparseMemory() = default;
+
+    /** Read one byte; untouched memory reads as zero. */
+    std::uint8_t readByte(Addr a) const;
+
+    /** Write one byte, allocating the page if needed. */
+    void writeByte(Addr a, std::uint8_t v);
+
+    /**
+     * Read @p size bytes (1, 4, or 8) little-endian, zero-extended
+     * into a Word. Accesses may span pages.
+     */
+    Word read(Addr a, unsigned size) const;
+
+    /** Write the low @p size bytes of @p v little-endian. */
+    void write(Addr a, Word v, unsigned size);
+
+    /** Copy a program's initial data image into memory. */
+    void loadImage(const isa::Program &prog);
+
+    /** Read a NUL-terminated string (bounded at 64 KiB). */
+    std::string readString(Addr a) const;
+
+    /** Number of pages currently allocated. */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, PageSize>;
+
+    const Page *findPage(Addr a) const;
+    Page &touchPage(Addr a);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace lvplib::vm
+
+#endif // LVPLIB_VM_MEMORY_HH

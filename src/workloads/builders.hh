@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Forward declarations of the per-benchmark program builders. Only
+ * the registry includes this; users go through allWorkloads().
+ */
+
+#ifndef LVPLIB_WORKLOADS_BUILDERS_HH
+#define LVPLIB_WORKLOADS_BUILDERS_HH
+
+#include "workloads/workload.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program buildCc1(CodeGen cg, unsigned scale);
+isa::Program buildCjpeg(CodeGen cg, unsigned scale);
+isa::Program buildCompress(CodeGen cg, unsigned scale);
+isa::Program buildDoduc(CodeGen cg, unsigned scale);
+isa::Program buildEqntott(CodeGen cg, unsigned scale);
+isa::Program buildGawk(CodeGen cg, unsigned scale);
+isa::Program buildGperf(CodeGen cg, unsigned scale);
+isa::Program buildGrep(CodeGen cg, unsigned scale);
+isa::Program buildHydro2d(CodeGen cg, unsigned scale);
+isa::Program buildMpeg(CodeGen cg, unsigned scale);
+isa::Program buildPerl(CodeGen cg, unsigned scale);
+isa::Program buildQuick(CodeGen cg, unsigned scale);
+isa::Program buildSc(CodeGen cg, unsigned scale);
+isa::Program buildSwm256(CodeGen cg, unsigned scale);
+isa::Program buildTomcatv(CodeGen cg, unsigned scale);
+isa::Program buildXlisp(CodeGen cg, unsigned scale);
+
+} // namespace lvplib::workloads
+
+#endif // LVPLIB_WORKLOADS_BUILDERS_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * "cc1" workload: a compiler IR pass — walk a linked list of
+ * expression nodes, dispatch on the opcode, and constant-fold nodes
+ * whose operands are both literal (the paper runs GCC on .i files;
+ * cc1-271 is the same engine on a larger input).
+ *
+ * Value-locality sources: node opcodes and operand-kind flags never
+ * change (error-checking loads of run-time constants), dispatch goes
+ * through a jump table (instruction-address loads), and the next
+ * pointers of the list are constant (data-address loads / pointer
+ * chasing).
+ */
+
+#include "workloads/common.hh"
+
+#include "util/rng.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildCc1(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    const unsigned nodes = 64 + 16 * scale;
+    const unsigned passes = 4 * scale;
+
+    // ---- data -------------------------------------------------------
+    // Node (48 bytes): {op, kind1, kind2, v1, v2, next}.
+    // op: 0 add, 1 sub, 2 mul, 3 shift, 4 cmp, 5 nop.
+    // kindN: 1 when vN is a literal constant.
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dalign(8);
+    Addr pool = a.dataLabel("irnodes");
+    a.dspace(static_cast<std::size_t>(nodes) * 48);
+    Rng rng(0x63633145);
+    for (unsigned i = 0; i < nodes; ++i) {
+        Addr at = pool + static_cast<Addr>(i) * 48;
+        a.pokeWord(at + 0, rng.below(6));
+        // ~30% of operands are literals, so ~9% of nodes fold.
+        a.pokeWord(at + 8, rng.below(100) < 30 ? 1 : 0);
+        a.pokeWord(at + 16, rng.below(100) < 30 ? 1 : 0);
+        a.pokeWord(at + 24, rng.below(512));
+        a.pokeWord(at + 32, 1 + rng.below(31));
+        a.pokeWord(at + 40, i + 1 < nodes
+                                ? at + 48
+                                : 0); // next pointer (NULL at end)
+    }
+
+    // ---- main -----------------------------------------------------------
+    // S5 pass counter, S6 fold count, S7 value accumulator.
+    a.li(S5, 0);
+    a.li(S6, 0);
+    a.li(S7, 0);
+    b.loadConst(S4, "passes", passes);
+
+    a.label("pass");
+    b.loadAddr(S0, "irnodes"); // current node
+
+    a.label("walk");
+    a.cmpi(0, S0, 0);
+    a.bc(isa::Cond::EQ, 0, "endpass");
+    a.ld(T0, 0, S0); // opcode: constant
+    b.switchJump(T0, T1, {"oadd", "osub", "omul", "oshift",
+                          "ocmp", "onop"});
+
+    a.label("oadd");
+    a.bl("tryfold");
+    a.cmpi(0, A0, 0);
+    a.bc(isa::Cond::EQ, 0, "next");
+    a.ld(T1, 24, S0);
+    a.ld(T2, 32, S0);
+    a.add(T1, T1, T2);
+    a.add(S7, S7, T1);
+    a.addi(S6, S6, 1);
+    a.b("next");
+
+    a.label("osub");
+    a.bl("tryfold");
+    a.cmpi(0, A0, 0);
+    a.bc(isa::Cond::EQ, 0, "next");
+    a.ld(T1, 24, S0);
+    a.ld(T2, 32, S0);
+    a.sub(T1, T1, T2);
+    a.add(S7, S7, T1);
+    a.addi(S6, S6, 1);
+    a.b("next");
+
+    a.label("omul");
+    a.bl("tryfold");
+    a.cmpi(0, A0, 0);
+    a.bc(isa::Cond::EQ, 0, "next");
+    a.ld(T1, 24, S0);
+    a.ld(T2, 32, S0);
+    a.mull(T1, T1, T2);
+    a.add(S7, S7, T1);
+    a.addi(S6, S6, 1);
+    a.b("next");
+
+    a.label("oshift");
+    a.bl("tryfold");
+    a.cmpi(0, A0, 0);
+    a.bc(isa::Cond::EQ, 0, "next");
+    a.ld(T1, 24, S0);
+    a.ld(T2, 32, S0);
+    a.andi(T2, T2, 15);
+    a.sld(T1, T1, T2);
+    a.add(S7, S7, T1);
+    a.addi(S6, S6, 1);
+    a.b("next");
+
+    a.label("ocmp");
+    a.bl("tryfold");
+    a.cmpi(0, A0, 0);
+    a.bc(isa::Cond::EQ, 0, "next");
+    a.ld(T1, 24, S0);
+    a.ld(T2, 32, S0);
+    a.cmp(1, T1, T2);
+    a.bc(isa::Cond::LT, 1, "cmplt");
+    a.addi(S7, S7, 1);
+    a.label("cmplt");
+    a.addi(S6, S6, 1);
+    a.b("next");
+
+    a.label("onop");
+    // nothing to do
+
+    a.label("next");
+    a.ld(S0, 40, S0, isa::DataClass::DataAddr); // next ptr: constant
+    a.b("walk");
+
+    a.label("endpass");
+    a.addi(S5, S5, 1);
+    a.cmp(0, S5, S4);
+    a.bc(isa::Cond::LT, 0, "pass");
+
+    // result = (folds << 32) + (accumulator & 0xffffffff)
+    a.sldi(T0, S6, 32);
+    a.li(T1, -1);
+    a.srdi(T1, T1, 32);
+    a.and_(T1, S7, T1);
+    a.add(T0, T0, T1);
+    b.loadAddr(T1, "__result");
+    a.std_(T0, 0, T1);
+    a.halt();
+
+    // ---- tryfold(node in S0) -> A0 = 1 when both operands literal ---
+    b.prologue("tryfold", 0);
+    a.ld(T1, 8, S0);  // kind1: error-check load, mostly 0
+    a.ld(T2, 16, S0); // kind2
+    a.and_(A0, T1, T2);
+    b.epilogue();
+
+    return b.finish();
+}
+
+} // namespace lvplib::workloads

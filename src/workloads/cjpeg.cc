@@ -1,0 +1,124 @@
+/**
+ * @file
+ * "cjpeg" workload: JPEG-style encoding of a noisy greyscale image —
+ * blocked integer transform (shift/add butterflies, as fast DCT
+ * approximations use) followed by quantization.
+ *
+ * The paper's cjpeg is a LOW-locality benchmark: the dominant static
+ * loads fetch raw pixel bytes, which vary essentially randomly, so
+ * depth-1 value locality is poor. We keep the transform coefficients
+ * in synthesized form (shifts/adds) so pixel loads dominate.
+ */
+
+#include "workloads/common.hh"
+
+#include "util/rng.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildCjpeg(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    const std::size_t pixels = 2048 * scale; // multiple of 8
+
+    // ---- data ----------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dataLabel("image");
+    Rng rng(0x6a706567);
+    for (std::size_t i = 0; i < pixels; ++i)
+        a.db(static_cast<std::uint8_t>(rng.below(256)));
+    a.dalign(8);
+    a.dataLabel("coeffs"); // quantized outputs, 8 dwords per block
+    a.dspace(8 * 8);
+
+    // ---- code -----------------------------------------------------------
+    // Per 8-pixel block: load the 8 pixels into A0..A3,T0..T2,S6,
+    // run a 3-stage butterfly, quantize, accumulate a checksum.
+    // S0 image ptr, S1 image end, S2 checksum.
+    const auto img_end =
+        static_cast<std::int64_t>(a.symbolAddr("image") + pixels);
+    b.loadAddr(S0, "image");
+    b.loadConst(S1, "imgend", img_end);
+    a.li(S2, 0);
+
+    a.label("block");
+    // Per-block loop-bound reload (TOC idiom on PPC codegen).
+    RegIndex end_r = b.loopConst(T0, "imgend", img_end, S1);
+    a.cmpu(0, S0, end_r);
+    a.bc(isa::Cond::GE, 0, "done");
+    // load 8 pixels (random bytes: poor value locality)
+    a.lbz(A0, 0, S0);
+    a.lbz(A1, 1, S0);
+    a.lbz(A2, 2, S0);
+    a.lbz(A3, 3, S0);
+    a.lbz(T0, 4, S0);
+    a.lbz(T1, 5, S0);
+    a.lbz(T2, 6, S0);
+    a.lbz(S6, 7, S0);
+    a.addi(S0, S0, 8);
+
+    // stage 1: sums and differences of mirrored pairs
+    a.add(S3, A0, S6); // s0 = x0+x7
+    a.sub(S6, A0, S6); // d0 = x0-x7
+    a.add(S4, A1, T2); // s1 = x1+x6
+    a.sub(T2, A1, T2); // d1
+    a.add(S5, A2, T1); // s2 = x2+x5
+    a.sub(T1, A2, T1); // d2
+    a.add(S7, A3, T0); // s3 = x3+x4
+    a.sub(T0, A3, T0); // d3
+
+    // stage 2: even part
+    a.add(A0, S3, S7); // e0 = s0+s3
+    a.sub(A1, S3, S7); // e1 = s0-s3
+    a.add(A2, S4, S5); // e2 = s1+s2
+    a.sub(A3, S4, S5); // e3 = s1-s2
+
+    // stage 3: outputs with shift/add coefficient approximations
+    a.add(S3, A0, A2);       // F0 = e0+e2
+    a.sub(S4, A0, A2);       // F4 = e0-e2
+    a.sldi(S5, A1, 1);
+    a.add(S5, S5, A3);       // F2 ~ 2*e1+e3
+    a.sldi(S7, A3, 1);
+    a.sub(S7, A1, S7);       // F6 ~ e1-2*e3
+    // odd part folded into two terms
+    a.sldi(A0, S6, 1);
+    a.add(A0, A0, T2);
+    a.add(A0, A0, T1);       // F1 ~ 2*d0+d1+d2
+    a.sldi(A1, T0, 1);
+    a.sub(A1, T2, A1);
+    a.add(A1, A1, T1);       // F3 ~ d1-2*d3+d2
+
+    // quantize (arithmetic shifts) and accumulate the checksum
+    a.sradi(S3, S3, 3);
+    a.sradi(S4, S4, 3);
+    a.sradi(S5, S5, 4);
+    a.sradi(S7, S7, 4);
+    a.sradi(A0, A0, 4);
+    a.sradi(A1, A1, 4);
+    a.add(S2, S2, S3);
+    a.add(S2, S2, S4);
+    a.add(S2, S2, S5);
+    a.add(S2, S2, S7);
+    a.add(S2, S2, A0);
+    a.add(S2, S2, A1);
+    // rotate the checksum so ordering matters
+    a.sldi(T0, S2, 1);
+    a.srdi(T1, S2, 63);
+    a.or_(S2, T0, T1);
+    a.b("block");
+
+    a.label("done");
+    b.loadAddr(T0, "__result");
+    a.std_(S2, 0, T0);
+    a.halt();
+
+    return b.finish();
+}
+
+} // namespace lvplib::workloads

@@ -1,0 +1,182 @@
+#include "workloads/common.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace lvplib::workloads
+{
+
+const char *
+codeGenName(CodeGen cg)
+{
+    return cg == CodeGen::Ppc ? "ppc" : "alpha";
+}
+
+namespace
+{
+constexpr std::size_t TocSlots = 512;
+} // namespace
+
+Builder::Builder(CodeGen cg) : cg_(cg)
+{
+    // Reserve the TOC region up front; slot values are poked in at
+    // finish(). The interpreter initializes r2 to "__toc".
+    asm_.dalign(8);
+    tocBase_ = asm_.dataLabel("__toc");
+    asm_.dspace(TocSlots * 8);
+}
+
+std::int64_t
+Builder::tocSlot(const std::string &key, Word value)
+{
+    auto it = tocIndex_.find(key);
+    if (it != tocIndex_.end())
+        return it->second;
+    if (tocEntries_.size() >= TocSlots)
+        lvp_fatal("TOC overflow (%zu slots)", TocSlots);
+    auto off = static_cast<std::int64_t>(tocEntries_.size() * 8);
+    tocEntries_.emplace_back(key, value);
+    tocIndex_[key] = off;
+    return off;
+}
+
+void
+Builder::loadAddr(RegIndex rd, const std::string &sym)
+{
+    if (cg_ == CodeGen::Ppc) {
+        std::int64_t off = tocSlot("addr:" + sym, asm_.symbolAddr(sym));
+        asm_.ld(rd, off, regs::Toc, isa::DataClass::DataAddr);
+    } else {
+        asm_.la(rd, sym);
+    }
+}
+
+void
+Builder::loadConst(RegIndex rd, const std::string &key, std::int64_t value)
+{
+    if (value >= isa::ImmMin && value <= isa::ImmMax) {
+        asm_.li(rd, value);
+        return;
+    }
+    if (cg_ == CodeGen::Ppc) {
+        std::int64_t off = tocSlot("const:" + key,
+                                   static_cast<Word>(value));
+        asm_.ld(rd, off, regs::Toc, isa::DataClass::IntData);
+    } else {
+        asm_.li(rd, value);
+    }
+}
+
+void
+Builder::loadFpConst(RegIndex fd, const std::string &key, double value,
+                     RegIndex tmp)
+{
+    std::int64_t off = tocSlot("fp:" + key, std::bit_cast<Word>(value));
+    if (cg_ == CodeGen::Ppc) {
+        asm_.lfd(fd, off, regs::Toc);
+    } else {
+        asm_.la(tmp, "__toc");
+        asm_.lfd(fd, off, tmp);
+    }
+}
+
+RegIndex
+Builder::loopConst(RegIndex rd, const std::string &key,
+                   std::int64_t value, RegIndex hoisted)
+{
+    // Alpha-style codegen synthesizes 32-bit values with lda/ldah
+    // pairs (hoisted here), but loads full 64-bit literals from the
+    // .lita pool through $gp — the same memory idiom as a TOC.
+    // PPC-style codegen loads either through the TOC.
+    bool fits32 = value >= INT32_MIN && value <= INT32_MAX;
+    if (cg_ == CodeGen::Alpha && fits32)
+        return hoisted;
+    std::int64_t off = tocSlot("const:" + key, static_cast<Word>(value));
+    asm_.ld(rd, off, regs::Toc, isa::DataClass::IntData);
+    return rd;
+}
+
+void
+Builder::prologue(const std::string &name, unsigned saved)
+{
+    lvp_assert(saved <= 8, "too many callee-saved registers");
+    asm_.label(name);
+    unsigned frame = 16 + 8 * saved;
+    asm_.addi(regs::Sp, regs::Sp, -static_cast<std::int64_t>(frame));
+    asm_.mflr(regs::T1);
+    asm_.std_(regs::T1, frame - 8, regs::Sp);
+    for (unsigned i = 0; i < saved; ++i)
+        asm_.std_(static_cast<RegIndex>(regs::S0 + i), 8 * i, regs::Sp);
+    frameSaved_.push_back(saved);
+}
+
+void
+Builder::epilogue()
+{
+    lvp_assert(!frameSaved_.empty(), "epilogue without prologue");
+    unsigned saved = frameSaved_.back();
+    frameSaved_.pop_back();
+    unsigned frame = 16 + 8 * saved;
+    for (unsigned i = 0; i < saved; ++i) {
+        // Callee-save restores: the paper's "register spill code" /
+        // "call-subgraph identity" loads.
+        asm_.ld(static_cast<RegIndex>(regs::S0 + i), 8 * i, regs::Sp,
+                isa::DataClass::IntData);
+    }
+    // Link-register restore: an instruction-address load.
+    asm_.ld(regs::T1, frame - 8, regs::Sp, isa::DataClass::InstAddr);
+    asm_.mtlr(regs::T1);
+    asm_.addi(regs::Sp, regs::Sp, frame);
+    asm_.blr();
+}
+
+void
+Builder::callIndirect(RegIndex rt)
+{
+    asm_.mtctr(rt);
+    asm_.bctrl();
+}
+
+void
+Builder::switchJump(RegIndex rt, RegIndex tmp,
+                    const std::vector<std::string> &case_labels)
+{
+    lvp_assert(!case_labels.empty());
+    std::string sym = "__jt" + std::to_string(jtCounter_++);
+    asm_.dalign(8);
+    asm_.dataLabel(sym);
+    asm_.dspace(case_labels.size() * 8);
+    jumpTables_.push_back({sym, case_labels});
+
+    asm_.sldi(rt, rt, 3);
+    loadAddr(tmp, sym);
+    asm_.add(tmp, tmp, rt);
+    // The jump-table entry is an instruction address.
+    asm_.ld(tmp, 0, tmp, isa::DataClass::InstAddr);
+    asm_.mtctr(tmp);
+    asm_.bctr();
+}
+
+isa::Program
+Builder::finish()
+{
+    lvp_assert(frameSaved_.empty(), "unbalanced prologue/epilogue");
+    for (std::size_t i = 0; i < tocEntries_.size(); ++i)
+        asm_.pokeWord(tocBase_ + i * 8, tocEntries_[i].second);
+    for (const auto &jt : jumpTables_) {
+        Addr base = asm_.symbolAddr(jt.dataSym);
+        for (std::size_t i = 0; i < jt.labels.size(); ++i)
+            asm_.pokeWord(base + i * 8, asm_.symbolAddr(jt.labels[i]));
+    }
+    return asm_.finish();
+}
+
+void
+fillWords(isa::Assembler &a, Addr base, const std::vector<Word> &words)
+{
+    for (std::size_t i = 0; i < words.size(); ++i)
+        a.pokeWord(base + i * 8, words[i]);
+}
+
+} // namespace lvplib::workloads

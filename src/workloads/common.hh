@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The workload Builder: an Assembler wrapper that implements the
+ * software conventions whose memory idioms the paper identifies as
+ * value-locality sources (Section 2):
+ *
+ *  - a TOC (table of contents) through which PowerPC-style code loads
+ *    program constants and global addresses ("program constants",
+ *    "addressability");
+ *  - function prologues/epilogues that save and restore the link
+ *    register and callee-saved registers through the stack
+ *    ("call-subgraph identities", "register spill code");
+ *  - jump tables for computed branches ("computed branches") and
+ *    function-pointer calls ("virtual function calls").
+ *
+ * Alpha-style code generation synthesizes constants and addresses
+ * with immediate sequences instead of TOC loads, mirroring the
+ * paper's observation that value locality is ISA/compiler dependent.
+ */
+
+#ifndef LVPLIB_WORKLOADS_COMMON_HH
+#define LVPLIB_WORKLOADS_COMMON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "util/rng.hh"
+#include "workloads/workload.hh"
+
+namespace lvplib::workloads
+{
+
+/** Conventional register assignments used by all workloads. */
+namespace regs
+{
+constexpr RegIndex Sp = 1;   ///< stack pointer
+constexpr RegIndex Toc = 2;  ///< TOC pointer (PPC codegen)
+constexpr RegIndex A0 = 3;   ///< first argument / return value
+constexpr RegIndex A1 = 4;
+constexpr RegIndex A2 = 5;
+constexpr RegIndex A3 = 6;
+constexpr RegIndex T0 = 11;  ///< caller-saved temporaries
+constexpr RegIndex T1 = 12;
+constexpr RegIndex T2 = 13;
+constexpr RegIndex S0 = 14;  ///< callee-saved
+constexpr RegIndex S1 = 15;
+constexpr RegIndex S2 = 16;
+constexpr RegIndex S3 = 17;
+constexpr RegIndex S4 = 18;
+constexpr RegIndex S5 = 19;
+constexpr RegIndex S6 = 20;
+constexpr RegIndex S7 = 21;
+} // namespace regs
+
+class Builder
+{
+  public:
+    explicit Builder(CodeGen cg);
+
+    isa::Assembler &a() { return asm_; }
+    CodeGen cg() const { return cg_; }
+
+    // ---- TOC --------------------------------------------------------
+    /**
+     * Ensure a TOC slot named @p key holding @p value exists and
+     * return its displacement from the TOC base. TOC slots must be
+     * created before finish().
+     */
+    std::int64_t tocSlot(const std::string &key, Word value);
+
+    /**
+     * Load the address of data symbol @p sym into @p rd. PPC codegen
+     * loads it from a TOC slot (a data-address load); Alpha codegen
+     * synthesizes it with immediates.
+     */
+    void loadAddr(RegIndex rd, const std::string &sym);
+
+    /**
+     * Materialize the program constant @p value in @p rd. PPC codegen
+     * loads wide constants from the TOC (a run-time-constant load);
+     * Alpha codegen synthesizes them. Narrow constants use immediates
+     * in both styles.
+     */
+    void loadConst(RegIndex rd, const std::string &key, std::int64_t value);
+
+    /**
+     * Load the FP constant @p value into FPR @p fd (always a memory
+     * load: neither ISA has FP immediates). Alpha-style codegen
+     * synthesizes the slot address into @p tmp first (PPC-style
+     * reaches it through r2 directly).
+     */
+    void loadFpConst(RegIndex fd, const std::string &key, double value,
+                     RegIndex tmp = regs::T2);
+
+    /**
+     * Loop-body constant access. PPC-style codegen re-loads the
+     * constant from its TOC slot into @p rd on every execution (the
+     * idiom real TOC-based code exhibits under register pressure) and
+     * returns @p rd; Alpha-style codegen emits nothing and returns
+     * @p hoisted, a register the caller loaded outside the loop.
+     * This is one of the mechanisms behind the paper's observation
+     * that value locality differs between the two ISAs' binaries.
+     */
+    RegIndex loopConst(RegIndex rd, const std::string &key,
+                       std::int64_t value, RegIndex hoisted);
+
+    // ---- functions ----------------------------------------------------
+    /**
+     * Emit a function prologue: define label @p name, allocate a
+     * frame, save LR and @p saved callee-saved registers
+     * (regs::S0...). Matching epilogue() restores them — those
+     * restores are the paper's "call-subgraph identity" loads.
+     */
+    void prologue(const std::string &name, unsigned saved = 0);
+
+    /** Emit the matching epilogue and return. */
+    void epilogue();
+
+    /**
+     * Emit an indirect call through a function-pointer VALUE already
+     * in @p rt (virtual-call idiom): mtctr rt; bctrl.
+     */
+    void callIndirect(RegIndex rt);
+
+    /**
+     * Emit a computed branch: rt holds a 0-based case index; a jump
+     * table of code addresses for @p case_labels is placed in the
+     * data section. The load of the table entry is an
+     * instruction-address load.
+     */
+    void switchJump(RegIndex rt, RegIndex tmp,
+                    const std::vector<std::string> &case_labels);
+
+    /**
+     * Finalize: materializes the TOC image and any pending jump
+     * tables, then assembles.
+     */
+    isa::Program finish();
+
+  private:
+    struct PendingJumpTable
+    {
+        std::string dataSym;
+        std::vector<std::string> labels;
+    };
+
+    CodeGen cg_;
+    isa::Assembler asm_;
+    Addr tocBase_;
+    std::vector<std::pair<std::string, Word>> tocEntries_;
+    std::map<std::string, std::int64_t> tocIndex_;
+    std::vector<PendingJumpTable> jumpTables_;
+    std::vector<unsigned> frameSaved_; ///< prologue/epilogue nesting
+    int jtCounter_ = 0;
+};
+
+/**
+ * Fill @p sym (already reserved with dspace) in the data image with
+ * generated 64-bit words. Convenience for input generation.
+ */
+void fillWords(isa::Assembler &a, Addr base,
+               const std::vector<Word> &words);
+
+} // namespace lvplib::workloads
+
+#endif // LVPLIB_WORKLOADS_COMMON_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * "compress" workload: an LZW-style compressor over repetitive text
+ * (the paper compresses a SPEC92 input at 1/2 compression).
+ *
+ * Value-locality sources: dictionary-probe loads hit mostly-stable
+ * entries once the dictionary warms up, hash constants come from the
+ * TOC, and the input text has heavy data redundancy (repeated words
+ * and whitespace).
+ */
+
+#include "workloads/common.hh"
+
+#include "util/rng.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildCompress(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    const std::size_t text_len = 2200 * scale;
+    constexpr unsigned DictBits = 12;
+    constexpr unsigned DictEntries = 1u << DictBits; // (key,code) pairs
+
+    // ---- data ---------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dalign(8);
+    a.dataLabel("dict"); // 16 bytes per entry: key dword, code dword
+    a.dspace(DictEntries * 16);
+    a.dataLabel("text");
+    static const char *const words[] = {
+        "the", "compress", "value", "of", "a", "locality", "stream",
+        "data", "in", "and",
+    };
+    Rng rng(0x636d7072);
+    std::size_t written = 0;
+    while (written < text_len) {
+        const char *w = words[rng.below(10)];
+        for (const char *p = w; *p && written < text_len; ++p, ++written)
+            a.db(static_cast<std::uint8_t>(*p));
+        if (written < text_len) {
+            a.db(rng.chance(1, 10) ? '\n' : ' ');
+            ++written;
+        }
+    }
+    a.db(0);
+
+    // ---- code -----------------------------------------------------------
+    // LZW: prefix = first byte; for each next byte c:
+    //   key = (prefix << 9) | c; probe dict linearly from hash(key):
+    //     hit  -> prefix = entry code
+    //     free -> emit prefix (sum += prefix, ++count),
+    //             store (key, nextcode++), prefix = c
+    // Registers: S0 text ptr, S1 dict base, S2 prefix, S3 sum,
+    // S4 nextcode, S5 text end, S6 hash multiplier, S7 count.
+    const auto text_end =
+        static_cast<std::int64_t>(a.symbolAddr("text") + text_len);
+    const auto hash_mul =
+        static_cast<std::int64_t>(0x9E3779B97F4A7C15ull);
+    b.loadAddr(S0, "text");
+    b.loadAddr(S1, "dict");
+    b.loadConst(S5, "textend", text_end);
+    b.loadConst(S6, "hashmul", hash_mul);
+    a.li(S3, 0);
+    a.li(S7, 0);
+    a.li(S4, 256);
+    a.lbz(S2, 0, S0); // first byte
+    a.addi(S0, S0, 1);
+
+    a.label("mainloop");
+    // PPC codegen re-loads the loop bound and hash constant from the
+    // TOC each iteration (register-pressure idiom, high locality).
+    RegIndex end_r = b.loopConst(A2, "textend", text_end, S5);
+    a.cmpu(0, S0, end_r);
+    a.bc(isa::Cond::GE, 0, "flush");
+    a.lbz(T0, 0, S0); // input byte (redundant data)
+    a.addi(S0, S0, 1);
+    // key = (prefix << 9) | c
+    a.sldi(T1, S2, 9);
+    a.or_(T1, T1, T0);
+    // h = (key * mul) >> (64 - DictBits)
+    RegIndex mul_r = b.loopConst(A3, "hashmul", hash_mul, S6);
+    a.mull(T2, T1, mul_r);
+    a.srdi(T2, T2, 64 - DictBits);
+
+    a.label("probe");
+    // entry address = dict + h*16
+    a.sldi(A0, T2, 4);
+    a.add(A0, A0, S1);
+    a.ld(A1, 0, A0); // entry key (stable once inserted)
+    a.cmpi(1, A1, 0);
+    a.bc(isa::Cond::EQ, 1, "miss");
+    a.cmp(1, A1, T1);
+    a.bc(isa::Cond::EQ, 1, "hit");
+    // linear reprobe
+    a.addi(T2, T2, 1);
+    a.andi(T2, T2, DictEntries - 1);
+    a.b("probe");
+
+    a.label("hit");
+    a.ld(S2, 8, A0); // entry code
+    a.b("mainloop");
+
+    a.label("miss");
+    // Emit current prefix, insert (key, nextcode), restart with c.
+    // Inserts stop at 3/4 occupancy (a frozen dictionary, like
+    // classic compress) so linear probing always finds a free slot.
+    a.add(S3, S3, S2);
+    a.addi(S7, S7, 1);
+    a.cmpi(2, S4, 256 + 3 * DictEntries / 4);
+    a.bc(isa::Cond::GE, 2, "skipinsert");
+    a.std_(T1, 0, A0);
+    a.std_(S4, 8, A0);
+    a.addi(S4, S4, 1);
+    a.label("skipinsert");
+    a.mr(S2, T0);
+    a.b("mainloop");
+
+    a.label("flush");
+    a.add(S3, S3, S2); // emit final prefix
+    a.addi(S7, S7, 1);
+    // result = sum * 2^20 + emitted-count (both checkable)
+    a.sldi(T0, S3, 20);
+    a.add(T0, T0, S7);
+    b.loadAddr(T1, "__result");
+    a.std_(T0, 0, T1);
+    a.halt();
+
+    return b.finish();
+}
+
+} // namespace lvplib::workloads

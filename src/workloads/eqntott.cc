@@ -1,0 +1,133 @@
+/**
+ * @file
+ * "eqntott" workload: translate a boolean equation into a truth table
+ * by evaluating a postfix expression for every input combination (the
+ * paper converts equations to truth tables).
+ *
+ * Value-locality sources: the postfix-program bytes are reloaded for
+ * every input combination (run-time constants), and the evaluation
+ * stack holds only 0/1 values (extreme data redundancy) — eqntott is
+ * one of the paper's high-locality integer codes.
+ */
+
+#include "workloads/common.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildEqntott(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    // Postfix expression over 8 variables v0..v7. Opcodes: 0..7 push
+    // variable i, 8 = AND, 9 = OR, 10 = NOT, 11 = XOR, 255 = end.
+    static const std::uint8_t expr[] = {
+        0, 1, 8,        // v0 & v1
+        2, 10,          // ~v2
+        9,              // |
+        3, 4, 11,       // v3 ^ v4
+        8,              // &
+        5, 6, 9, 7, 8,  // (v5|v6)&v7
+        9,              // |
+        255,
+    };
+    const unsigned reps = scale; // full 256-row truth tables per rep
+
+    // ---- data --------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dataLabel("expr");
+    for (std::uint8_t op : expr)
+        a.db(op);
+    a.dalign(8);
+    a.dataLabel("stack");
+    a.dspace(64 * 8);
+
+    // ---- code ---------------------------------------------------------
+    // S0 expr base, S1 stack base, S2 input combination, S3 minterm
+    // count, S4 rep counter, S5 combination limit.
+    b.loadAddr(S0, "expr");
+    b.loadAddr(S1, "stack");
+    a.li(S3, 0);
+    a.li(S4, 0);
+    b.loadConst(S5, "reps", reps);
+
+    a.label("repeat");
+    a.li(S2, 0); // input combination 0..255
+    a.label("rowloop");
+    // evaluate: T0 = pc offset, T1 = stack depth
+    a.li(T0, 0);
+    a.li(T1, 0);
+    a.label("evalloop");
+    a.add(T2, S0, T0);
+    a.lbz(T2, 0, T2); // postfix opcode: a run-time constant
+    a.addi(T0, T0, 1);
+    a.cmpi(0, T2, 255);
+    a.bc(isa::Cond::EQ, 0, "evaldone");
+    a.cmpi(0, T2, 8);
+    a.bc(isa::Cond::GE, 0, "operator");
+    // push variable bit: (comb >> op) & 1
+    a.srd(A0, S2, T2);
+    a.andi(A0, A0, 1);
+    a.sldi(A1, T1, 3);
+    a.add(A1, A1, S1);
+    a.std_(A0, 0, A1);
+    a.addi(T1, T1, 1);
+    a.b("evalloop");
+
+    a.label("operator");
+    a.cmpi(0, T2, 10);
+    a.bc(isa::Cond::EQ, 0, "opnot");
+    // binary: pop two (0/1 values: high redundancy)
+    a.addi(T1, T1, -2);
+    a.sldi(A1, T1, 3);
+    a.add(A1, A1, S1);
+    a.ld(A0, 0, A1);  // lhs
+    a.ld(A2, 8, A1);  // rhs
+    a.cmpi(0, T2, 8);
+    a.bc(isa::Cond::EQ, 0, "opand");
+    a.cmpi(0, T2, 9);
+    a.bc(isa::Cond::EQ, 0, "opor");
+    a.xor_(A0, A0, A2);
+    a.b("push1");
+    a.label("opand");
+    a.and_(A0, A0, A2);
+    a.b("push1");
+    a.label("opor");
+    a.or_(A0, A0, A2);
+    a.b("push1");
+    a.label("opnot");
+    a.addi(T1, T1, -1);
+    a.sldi(A1, T1, 3);
+    a.add(A1, A1, S1);
+    a.ld(A0, 0, A1);
+    a.xori(A0, A0, 1);
+    a.label("push1");
+    a.sldi(A1, T1, 3);
+    a.add(A1, A1, S1);
+    a.std_(A0, 0, A1);
+    a.addi(T1, T1, 1);
+    a.b("evalloop");
+
+    a.label("evaldone");
+    // pop the result; count minterms
+    a.ld(A0, 0, S1);
+    a.add(S3, S3, A0);
+    a.addi(S2, S2, 1);
+    a.cmpi(0, S2, 256);
+    a.bc(isa::Cond::LT, 0, "rowloop");
+    a.addi(S4, S4, 1);
+    a.cmp(0, S4, S5);
+    a.bc(isa::Cond::LT, 0, "repeat");
+
+    b.loadAddr(T0, "__result");
+    a.std_(S3, 0, T0);
+    a.halt();
+
+    return b.finish();
+}
+
+} // namespace lvplib::workloads

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * "gawk" workload: parse a simulator-result-style text file of
+ * "<tag> <number>" lines and accumulate per-tag sums in an awk-style
+ * associative array (the paper runs GNU awk over a 1.7 MB simulator
+ * output file).
+ *
+ * The scanner is a table-driven DFA, as in real lexers: each input
+ * byte indexes a character-class table, and (class, state) indexes a
+ * transition table — two chained loads per character whose values are
+ * highly repetitive and sit on the scan's critical path (the state
+ * feeds the next transition's address). The associative-array update
+ * walks a per-bucket chain of tag cells (pointer loads that never
+ * change). This load-value-through-address-dependence structure is
+ * why the paper finds gawk data-dependence bound, with dramatic LVP
+ * speedups.
+ */
+
+#include <cstdio>
+
+#include "workloads/common.hh"
+
+#include "util/rng.hh"
+
+namespace lvplib::workloads
+{
+
+namespace
+{
+
+/** Character classes for the DFA. */
+enum CClass : std::uint8_t
+{
+    CcLetter = 0,
+    CcDigit = 1,
+    CcSpace = 2,
+    CcNewline = 3,
+    CcEnd = 4,
+    NumCClasses = 5,
+};
+
+/** Scanner states. */
+enum State : std::uint8_t
+{
+    StTag = 0,    ///< scanning the tag word
+    StNum = 1,    ///< scanning the number
+    StDone = 2,   ///< line complete (newline seen)
+    StEof = 3,    ///< NUL seen
+    NumStates = 4,
+};
+
+} // namespace
+
+isa::Program
+buildGawk(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    const unsigned lines = 120 * scale;
+    static const char *const tags[] = {
+        "cycles", "ipc", "loads", "stores", "misses", "hits",
+    };
+
+    // ---- data -------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dalign(8);
+
+    // Character-class table (256 entries, one byte each).
+    a.dataLabel("ctype");
+    for (unsigned c = 0; c < 256; ++c) {
+        std::uint8_t cc = CcLetter;
+        if (c >= '0' && c <= '9')
+            cc = CcDigit;
+        else if (c == ' ')
+            cc = CcSpace;
+        else if (c == '\n')
+            cc = CcNewline;
+        else if (c == 0)
+            cc = CcEnd;
+        a.db(cc);
+    }
+
+    // DFA transition table trans[state][cclass] (bytes).
+    a.dalign(8);
+    a.dataLabel("trans");
+    {
+        std::uint8_t t[NumStates][NumCClasses];
+        for (auto &row : t)
+            for (auto &e : row)
+                e = StDone;
+        t[StTag][CcLetter] = StTag;
+        t[StTag][CcSpace] = StNum; // the separator starts the number
+        t[StTag][CcDigit] = StTag; // digits may appear inside tags
+        t[StTag][CcNewline] = StDone;
+        t[StTag][CcEnd] = StEof;
+        t[StNum][CcDigit] = StNum;
+        t[StNum][CcNewline] = StDone;
+        t[StNum][CcSpace] = StNum;
+        t[StNum][CcLetter] = StNum;
+        t[StNum][CcEnd] = StEof;
+        for (auto &row : t)
+            for (auto &e : row)
+                a.db(e);
+    }
+
+    // Associative array: 8 hash buckets, each a chain of cells
+    // {tagchar, sum, next}. Cells are pre-built for the 6 tags (awk
+    // would allocate them on first insertion; the chains are constant
+    // thereafter, which is the point).
+    a.dalign(8);
+    Addr buckets = a.dataLabel("buckets");
+    a.dspace(8 * 8);
+    Addr cells = a.dataLabel("cells");
+    a.dspace(6 * 24);
+    a.dataLabel("text");
+    Rng rng(0x6761776b);
+    for (unsigned i = 0; i < lines; ++i) {
+        const char *tag = tags[rng.below(6)];
+        for (const char *p = tag; *p; ++p)
+            a.db(static_cast<std::uint8_t>(*p));
+        a.db(' ');
+        unsigned long v = rng.below(100000);
+        char buf[16];
+        int n = std::snprintf(buf, sizeof(buf), "%lu", v);
+        for (int k = 0; k < n; ++k)
+            a.db(static_cast<std::uint8_t>(buf[k]));
+        a.db('\n');
+    }
+    a.db(0);
+
+    // ---- code -----------------------------------------------------------
+    // S0 text ptr, S1 ctype base, S2 trans base, S3 line count,
+    // S4 buckets base, S5 state, S6 number value, S7 tag first char.
+    b.loadAddr(S0, "text");
+    b.loadAddr(S1, "ctype");
+    b.loadAddr(S2, "trans");
+    b.loadAddr(S4, "buckets");
+    a.li(S3, 0);
+
+    a.label("lineloop");
+    a.lbz(S7, 0, S0); // first char of the tag (or NUL at EOF)
+    a.cmpi(0, S7, 0);
+    a.bc(isa::Cond::EQ, 0, "eof");
+    a.li(S5, StTag);
+    a.li(S6, 0);
+
+    a.label("charloop");
+    a.lbz(T0, 0, S0); // input byte
+    a.addi(S0, S0, 1);
+    // cc = ctype[c]: repetitive class values
+    a.add(T1, S1, T0);
+    a.lbz(T1, 0, T1);
+    // state = trans[state*NumCClasses + cc]: the loaded class feeds
+    // this address, and the loaded state feeds the NEXT one — a
+    // loop-carried chain through two loads.
+    a.li(T2, NumCClasses);
+    a.mull(T2, S5, T2);
+    a.add(T2, T2, T1);
+    a.add(T2, T2, S2);
+    a.lbz(S5, 0, T2);
+    // accumulate digits while in the number state
+    a.cmpi(1, S5, StNum);
+    a.bc(isa::Cond::NE, 1, "notdigit");
+    a.add(T1, S1, T0);
+    a.lbz(T1, 0, T1);
+    a.cmpi(2, T1, CcDigit);
+    a.bc(isa::Cond::NE, 2, "notdigit");
+    // value = value*10 + (c - '0')
+    a.sldi(T2, S6, 3);
+    a.sldi(A1, S6, 1);
+    a.add(S6, T2, A1);
+    a.addi(T0, T0, -'0');
+    a.add(S6, S6, T0);
+    a.label("notdigit");
+    a.cmpi(1, S5, StDone);
+    a.bc(isa::Cond::EQ, 1, "lineend");
+    a.cmpi(1, S5, StEof);
+    a.bc(isa::Cond::EQ, 1, "eof");
+    a.b("charloop");
+
+    a.label("lineend");
+    // Associative-array update: find the tag's cell in its bucket
+    // chain (pointer loads: the chain never changes) and add value.
+    a.andi(T0, S7, 7); // bucket = first char & 7
+    a.sldi(T0, T0, 3);
+    a.add(T0, T0, S4);
+    a.ld(T1, 0, T0, isa::DataClass::DataAddr); // bucket head
+    a.label("chase");
+    a.cmpi(1, T1, 0);
+    a.bc(isa::Cond::EQ, 1, "nextline"); // tag not present: drop
+    a.ld(T2, 0, T1); // cell tag char (constant)
+    a.cmp(1, T2, S7);
+    a.bc(isa::Cond::EQ, 1, "found");
+    a.ld(T1, 16, T1, isa::DataClass::DataAddr); // next cell (constant)
+    a.b("chase");
+    a.label("found");
+    a.ld(T2, 8, T1); // running sum
+    a.add(T2, T2, S6);
+    a.std_(T2, 8, T1);
+    a.addi(S3, S3, 1);
+
+    a.label("nextline");
+    a.b("lineloop");
+
+    a.label("eof");
+    // result = sum over all cells + (lines << 40)
+    a.li(T0, 0); // cell index
+    a.li(S6, 0); // total
+    b.loadAddr(S5, "cells");
+    a.label("sumloop");
+    a.li(T1, 24);
+    a.mull(T1, T0, T1);
+    a.add(T1, T1, S5);
+    a.ld(T2, 8, T1);
+    a.add(S6, S6, T2);
+    a.addi(T0, T0, 1);
+    a.cmpi(0, T0, 6);
+    a.bc(isa::Cond::LT, 0, "sumloop");
+    a.sldi(T1, S3, 40);
+    a.add(S6, S6, T1);
+    b.loadAddr(T0, "__result");
+    a.std_(S6, 0, T0);
+    a.halt();
+
+    isa::Program prog = b.finish();
+
+    // Build the bucket chains: cells keyed by each tag's first char.
+    Addr chain_head[8] = {};
+    for (int i = 5; i >= 0; --i) { // reverse: heads end up in order
+        auto first = static_cast<std::uint8_t>(tags[i][0]);
+        unsigned bkt = first & 7;
+        Addr cell = cells + static_cast<Addr>(i) * 24;
+        prog.setWord(cell + 0, first);
+        prog.setWord(cell + 8, 0);
+        prog.setWord(cell + 16, chain_head[bkt]);
+        chain_head[bkt] = cell;
+    }
+    for (unsigned bkt = 0; bkt < 8; ++bkt)
+        prog.setWord(buckets + bkt * 8, chain_head[bkt]);
+    return prog;
+}
+
+} // namespace lvplib::workloads

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * "gperf" workload: search for a collision-free hash function over a
+ * fixed keyword set (GNU's perfect hash-function generator).
+ *
+ * Value-locality sources: every trial reloads the same keyword bytes
+ * and lengths (run-time constants with near-perfect locality); the
+ * associated-values table changes only one entry per failed trial.
+ */
+
+#include "workloads/common.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildGperf(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    static const char *const keywords[] = {
+        "auto", "break", "case", "char", "const", "continue",
+        "default", "do", "double", "else", "enum", "extern",
+        "float", "for", "goto", "if", "inline", "int", "long",
+        "register", "return", "short", "signed", "sizeof",
+    };
+    constexpr unsigned K = 24;
+    constexpr unsigned TableSize = 64; // hash range per trial
+
+    // ---- data ----------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dalign(8);
+    // Keyword table: K records of {ptr, len} — the pointers are data
+    // addresses loaded each trial.
+    Addr kwtab = a.dataLabel("kwtab");
+    a.dspace(K * 16);
+    for (unsigned i = 0; i < K; ++i) {
+        a.dataLabel("kw" + std::to_string(i));
+        a.dstring(keywords[i]);
+    }
+    a.dalign(8);
+    a.dataLabel("asso"); // 26 associated values
+    a.dspace(26 * 8);
+    a.dataLabel("occupied"); // TableSize occupancy flags per trial
+    a.dspace(TableSize * 8);
+
+    // ---- main -----------------------------------------------------------
+    // Trials: compute h(k) = (asso[first] + asso[last] + len) % 64 for
+    // every keyword; on the first collision, bump asso[first of the
+    // colliding keyword] and retry. Run `scale` full sweeps of this
+    // search (restarting with a cleared asso table each sweep).
+    // S0 kwtab, S1 asso, S2 occupied, S3 trial counter,
+    // S4 sweep counter, S5 sweep limit.
+    b.loadAddr(S0, "kwtab");
+    b.loadAddr(S1, "asso");
+    b.loadAddr(S2, "occupied");
+    a.li(S3, 0);
+    a.li(S4, 0);
+    b.loadConst(S5, "sweeps", scale);
+
+    a.label("sweep");
+    a.li(S7, 0); // trials this sweep (bounded: the search may cycle)
+    // clear asso
+    a.li(T0, 0);
+    a.label("clearasso");
+    a.sldi(T1, T0, 3);
+    a.add(T1, T1, S1);
+    a.std_(0, 0, T1);
+    a.addi(T0, T0, 1);
+    a.cmpi(0, T0, 26);
+    a.bc(isa::Cond::LT, 0, "clearasso");
+
+    a.label("trial");
+    a.addi(S3, S3, 1);
+    a.addi(S7, S7, 1);
+    a.cmpi(3, S7, 150); // give up on a pathological search
+    a.bc(isa::Cond::GT, 3, "sweepdone");
+    // clear occupancy
+    a.li(T0, 0);
+    a.label("clearocc");
+    a.sldi(T1, T0, 3);
+    a.add(T1, T1, S2);
+    a.std_(0, 0, T1);
+    a.addi(T0, T0, 1);
+    a.cmpi(0, T0, TableSize);
+    a.bc(isa::Cond::LT, 0, "clearocc");
+
+    // for each keyword compute the hash and mark occupancy
+    a.li(S6, 0); // keyword index
+    a.label("kwloop");
+    a.sldi(T0, S6, 4);
+    a.add(T0, T0, S0);
+    a.ld(A0, 0, T0, isa::DataClass::DataAddr); // keyword ptr (constant)
+    a.ld(A1, 8, T0);                           // keyword len (constant)
+    a.lbz(T1, 0, A0);  // first char (constant)
+    a.add(T2, A0, A1);
+    a.lbz(T2, -1, T2); // last char (constant)
+    // h = (asso[first-'a'] + asso[last-'a'] + len) & 63
+    a.addi(T1, T1, -'a');
+    a.sldi(T1, T1, 3);
+    a.add(T1, T1, S1);
+    a.ld(T1, 0, T1);
+    a.addi(T2, T2, -'a');
+    a.sldi(T2, T2, 3);
+    a.add(T2, T2, S1);
+    a.ld(T2, 0, T2);
+    a.add(T1, T1, T2);
+    a.add(T1, T1, A1);
+    a.andi(T1, T1, TableSize - 1);
+    // collision?
+    a.sldi(T1, T1, 3);
+    a.add(T1, T1, S2);
+    a.ld(T2, 0, T1); // occupancy flag (mostly 0: error-check load)
+    a.cmpi(0, T2, 0);
+    a.bc(isa::Cond::NE, 0, "collide");
+    a.li(T2, 1);
+    a.std_(T2, 0, T1);
+    a.addi(S6, S6, 1);
+    a.cmpi(0, S6, K);
+    a.bc(isa::Cond::LT, 0, "kwloop");
+    // perfect: sweep done
+    a.label("sweepdone");
+    a.addi(S4, S4, 1);
+    a.cmp(0, S4, S5);
+    a.bc(isa::Cond::LT, 0, "sweep");
+    a.b("finish");
+
+    a.label("collide");
+    // bump asso[first char of colliding keyword] and retry
+    a.lbz(T0, 0, A0);
+    a.addi(T0, T0, -'a');
+    a.sldi(T0, T0, 3);
+    a.add(T0, T0, S1);
+    a.ld(T1, 0, T0);
+    a.addi(T1, T1, 1);
+    a.std_(T1, 0, T0);
+    a.b("trial");
+
+    a.label("finish");
+    // result = total trials across sweeps
+    b.loadAddr(T0, "__result");
+    a.std_(S3, 0, T0);
+    a.halt();
+
+    isa::Program prog = b.finish();
+    // Patch the keyword table now that string addresses are known.
+    for (unsigned i = 0; i < K; ++i) {
+        prog.setWord(kwtab + i * 16,
+                     prog.symbol("kw" + std::to_string(i)));
+        prog.setWord(kwtab + i * 16 + 8,
+                     std::char_traits<char>::length(keywords[i]));
+    }
+    return prog;
+}
+
+} // namespace lvplib::workloads

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * "grep" workload: Boyer-Moore-Horspool search for a fixed pattern,
+ * counting matches (the paper runs gnu-grep -c, which uses a
+ * Boyer-Moore variant).
+ *
+ * Value-locality sources: the skip-table load returns the full
+ * pattern length for almost every window (a near-constant value), and
+ * the verify loop reloads pattern bytes (run-time constants). The
+ * skip value feeds the NEXT window's addresses, so the scan's
+ * critical path runs through a predictable load — this is why the
+ * paper calls grep data-dependence bound and why it gains so much
+ * from LVP.
+ */
+
+#include "workloads/common.hh"
+
+#include "util/rng.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildGrep(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    const std::string pattern = "abra";
+    const auto pat_len = static_cast<std::int64_t>(pattern.size());
+    const std::size_t text_len = 3000 * scale;
+
+    // ---- data ---------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dataLabel("pattern");
+    a.dstring(pattern);
+    // Horspool skip table: delta[c] = distance to shift the window
+    // when its LAST character is c; 0 marks "last char matches,
+    // verify the window".
+    a.dalign(8);
+    a.dataLabel("delta");
+    for (unsigned c = 0; c < 256; ++c) {
+        std::uint8_t d = static_cast<std::uint8_t>(pat_len);
+        for (std::size_t k = 0; k + 1 < pattern.size(); ++k) {
+            if (static_cast<std::uint8_t>(pattern[k]) == c)
+                d = static_cast<std::uint8_t>(pattern.size() - 1 - k);
+        }
+        if (static_cast<std::uint8_t>(pattern.back()) == c)
+            d = 0;
+        a.db(d);
+    }
+    a.dataLabel("text");
+    Rng rng(0x67726570);
+    for (std::size_t i = 0; i < text_len; ++i) {
+        if (rng.chance(1, 97)) {
+            for (char c : pattern)
+                a.db(static_cast<std::uint8_t>(c));
+            i += pattern.size() - 1;
+        } else if (rng.chance(1, 6)) {
+            a.db(rng.chance(1, 8) ? '\n' : ' ');
+        } else {
+            a.db(static_cast<std::uint8_t>('a' + rng.below(26)));
+        }
+    }
+    a.db(0);
+
+    // ---- code -----------------------------------------------------------
+    // S0 text base, S1 scan limit (last valid window start), S2
+    // pattern base, S3 match count, S4 window start, S5 delta base.
+    b.loadAddr(S0, "text");
+    b.loadConst(S1, "limit",
+                static_cast<std::int64_t>(text_len) - pat_len);
+    b.loadAddr(S2, "pattern");
+    b.loadAddr(S5, "delta");
+    a.li(S3, 0);
+    a.li(S4, 0);
+
+    a.label("scan");
+    a.cmp(0, S4, S1);
+    a.bc(isa::Cond::GT, 0, "done");
+    // c = text[i + patlen - 1] (the window's last character)
+    a.add(T0, S0, S4);
+    a.lbz(T1, pat_len - 1, T0);
+    // skip = delta[c]: a near-constant load on the critical path
+    a.add(T2, S5, T1);
+    a.lbz(T2, 0, T2);
+    a.cmpi(1, T2, 0);
+    a.bc(isa::Cond::EQ, 1, "verify");
+    a.add(S4, S4, T2); // the next window depends on the loaded skip
+    a.b("scan");
+
+    a.label("verify");
+    // Compare the full window against the pattern.
+    a.li(T0, 0);
+    a.label("vloop");
+    a.add(T1, S2, T0);
+    a.lbz(T1, 0, T1); // pattern byte: a run-time constant
+    a.cmpi(1, T1, 0);
+    a.bc(isa::Cond::EQ, 1, "matched");
+    a.add(T2, S0, S4);
+    a.add(T2, T2, T0);
+    a.lbz(T2, 0, T2);
+    a.cmp(1, T1, T2);
+    a.bc(isa::Cond::NE, 1, "nomatch");
+    a.addi(T0, T0, 1);
+    a.b("vloop");
+
+    a.label("matched");
+    a.addi(S3, S3, 1);
+
+    a.label("nomatch");
+    a.addi(S4, S4, 1);
+    a.b("scan");
+
+    a.label("done");
+    b.loadAddr(T0, "__result");
+    a.std_(S3, 0, T0);
+    a.halt();
+
+    return b.finish();
+}
+
+} // namespace lvplib::workloads

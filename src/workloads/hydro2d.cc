@@ -1,0 +1,109 @@
+/**
+ * @file
+ * "hydro2d" workload: 2-D hydrodynamical relaxation of a galactic-jet
+ * grid — a five-point stencil over a field that is zero almost
+ * everywhere except a small active jet region.
+ *
+ * Value-locality sources: the vast majority of stencil loads read
+ * cells that are and stay (near) zero — classic sparse-data
+ * redundancy — plus the grid-geometry constants. The paper measures
+ * hydro2d among the higher-locality FP codes.
+ */
+
+#include "workloads/common.hh"
+
+#include <bit>
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildHydro2d(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    constexpr unsigned N = 24;          // grid edge (with halo)
+    const unsigned iters = 2 * scale;
+
+    // ---- data ----------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dalign(8);
+    Addr src = a.dataLabel("gridA");
+    a.dspace(N * N * 8);
+    a.dataLabel("gridB");
+    a.dspace(N * N * 8);
+    // Active jet: a 3x3 hot spot near one edge; everything else 0.
+    for (unsigned i = 10; i < 13; ++i)
+        for (unsigned j = 2; j < 5; ++j)
+            a.pokeWord(src + (i * N + j) * 8,
+                       std::bit_cast<Word>(100.0 + 3.0 * i + j));
+
+    // ---- code -----------------------------------------------------------
+    // Ping-pong between gridA and gridB. S0 = src, S1 = dst,
+    // S2 iter counter, f2 = 0.249 diffusion factor.
+    b.loadAddr(S0, "gridA");
+    b.loadAddr(S1, "gridB");
+    a.li(S2, 0);
+    b.loadFpConst(2, "factor", 0.249);
+
+    a.label("iter");
+    a.li(S3, 1); // row
+    a.label("row");
+    a.li(S4, 1); // col
+    a.label("col");
+    // addr = base + (row*N + col)*8
+    a.li(T0, N);
+    a.mull(T0, S3, T0);
+    a.add(T0, T0, S4);
+    a.sldi(T0, T0, 3);
+    a.add(T1, T0, S0); // &src[r][c]
+    // five-point stencil: mostly-zero loads
+    a.lfd(3, -8, T1);
+    a.lfd(4, 8, T1);
+    a.lfd(5, -static_cast<std::int64_t>(N) * 8, T1);
+    a.lfd(6, static_cast<std::int64_t>(N) * 8, T1);
+    a.fadd(3, 3, 4);
+    a.fadd(5, 5, 6);
+    a.fadd(3, 3, 5);
+    a.fmul(3, 3, 2); // new = 0.249 * (sum of neighbours)
+    a.add(T2, T0, S1);
+    a.stfd(3, 0, T2);
+    a.addi(S4, S4, 1);
+    a.cmpi(0, S4, N - 1);
+    a.bc(isa::Cond::LT, 0, "col");
+    a.addi(S3, S3, 1);
+    a.cmpi(0, S3, N - 1);
+    a.bc(isa::Cond::LT, 0, "row");
+    // swap src/dst
+    a.mr(T0, S0);
+    a.mr(S0, S1);
+    a.mr(S1, T0);
+    a.addi(S2, S2, 1);
+    a.cmpi(0, S2, static_cast<std::int64_t>(iters));
+    a.bc(isa::Cond::LT, 0, "iter");
+
+    // checksum: integer-truncated sum over the final grid
+    a.li(T0, 0);  // index
+    a.li(S4, 0);  // sum
+    a.label("ck");
+    a.sldi(T1, T0, 3);
+    a.add(T1, T1, S0);
+    a.lfd(1, 0, T1);
+    b.loadFpConst(3, "ckscale", 1024.0);
+    a.fmul(1, 1, 3);
+    a.fctid(T2, 1);
+    a.add(S4, S4, T2);
+    a.addi(T0, T0, 1);
+    a.cmpi(0, T0, N * N);
+    a.bc(isa::Cond::LT, 0, "ck");
+    b.loadAddr(T0, "__result");
+    a.std_(S4, 0, T0);
+    a.halt();
+
+    return b.finish();
+}
+
+} // namespace lvplib::workloads

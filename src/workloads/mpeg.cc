@@ -1,0 +1,113 @@
+/**
+ * @file
+ * "mpeg" workload: video decoding with fast dithering — reconstruct
+ * pixels from a reference frame plus a delta stream, then dither
+ * through small lookup tables (the paper decodes 4 frames with fast
+ * dithering).
+ *
+ * Value-locality sources: the dither and clamp tables are small and
+ * constant (their loads dominate and hit near-100%); reference-frame
+ * pixels are quantized to few levels (moderate locality); only the
+ * delta-stream loads vary. The paper measures mpeg around 75-90%.
+ */
+
+#include "workloads/common.hh"
+
+#include "util/rng.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildMpeg(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    const std::size_t frame_pixels = 512;
+    const unsigned frames = 4 * scale;
+
+    // ---- data -----------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dataLabel("dither"); // 16-entry dither kernel
+    for (unsigned i = 0; i < 16; ++i)
+        a.db(static_cast<std::uint8_t>((i * 17) & 0x3f));
+    a.dataLabel("clamp"); // 64-entry clamp/gamma table
+    for (unsigned i = 0; i < 64; ++i)
+        a.db(static_cast<std::uint8_t>(i < 48 ? i * 5 : 239 + (i - 48)));
+    a.dataLabel("ref"); // reference frame: flat runs, as real images
+    Rng rng(0x6d706567);
+    {
+        std::size_t i = 0;
+        while (i < frame_pixels) {
+            auto val = static_cast<std::uint8_t>(rng.below(8) * 32);
+            std::size_t run = 4 + rng.below(13);
+            for (std::size_t k = 0; k < run && i < frame_pixels;
+                 ++k, ++i)
+                a.db(val);
+        }
+    }
+    a.dataLabel("deltas"); // inter-frame deltas: mostly zero
+    for (std::size_t i = 0; i < frame_pixels; ++i)
+        a.db(rng.chance(85, 100)
+                 ? 0
+                 : static_cast<std::uint8_t>(rng.below(16)));
+    a.dataLabel("out");
+    a.dspace(frame_pixels);
+
+    // ---- code ----------------------------------------------------------
+    // S0 ref, S1 deltas, S2 dither, S3 clamp, S4 out, S5 frame ctr,
+    // S6 checksum.
+    b.loadAddr(S0, "ref");
+    b.loadAddr(S1, "deltas");
+    b.loadAddr(S2, "dither");
+    b.loadAddr(S3, "clamp");
+    b.loadAddr(S4, "out");
+    a.li(S5, 0);
+    a.li(S6, 0);
+
+    a.label("frame");
+    a.li(S7, 0); // pixel index
+    a.label("pixel");
+    // ref pixel (8 distinct values: decent locality)
+    a.add(T0, S0, S7);
+    a.lbz(T0, 0, T0);
+    // delta (varies per pixel, rotated per frame via the index mix)
+    a.add(T1, S7, S5);
+    a.andi(T1, T1, frame_pixels - 1);
+    a.add(T1, S1, T1);
+    a.lbz(T1, 0, T1);
+    // dither kernel entry: row-based, so the index is stable for a
+    // 16-pixel row (fast dithering reuses one kernel row at a time)
+    a.srdi(T2, S7, 4);
+    a.andi(T2, T2, 15);
+    a.add(T2, S2, T2);
+    a.lbz(T2, 0, T2);
+    // combined = (ref + delta + dither) >> 2, clamped via table
+    a.add(T0, T0, T1);
+    a.add(T0, T0, T2);
+    a.srdi(T0, T0, 2);
+    a.andi(T0, T0, 63);
+    a.add(T0, S3, T0);
+    a.lbz(T0, 0, T0); // clamp table (constant)
+    // store and checksum
+    a.add(T1, S4, S7);
+    a.stb(T0, 0, T1);
+    a.add(S6, S6, T0);
+    a.addi(S7, S7, 1);
+    a.cmpi(0, S7, frame_pixels);
+    a.bc(isa::Cond::LT, 0, "pixel");
+    a.addi(S5, S5, 1);
+    a.cmpi(0, S5, static_cast<std::int64_t>(frames));
+    a.bc(isa::Cond::LT, 0, "frame");
+
+    b.loadAddr(T0, "__result");
+    a.std_(S6, 0, T0);
+    a.halt();
+
+    return b.finish();
+}
+
+} // namespace lvplib::workloads

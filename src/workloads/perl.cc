@@ -1,0 +1,130 @@
+/**
+ * @file
+ * "perl" workload: anagram search — find all words in a dictionary
+ * that are anagrams of a target word (the paper runs the SPEC95
+ * anagram-search perl script for "admits").
+ *
+ * Value-locality sources: the target word's letter-count signature is
+ * reloaded for every candidate word (run-time constants), and the
+ * per-word signature buffer mostly holds zeros (data redundancy).
+ */
+
+#include "workloads/common.hh"
+
+#include "util/rng.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildPerl(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    const std::string target = "admits";
+    const unsigned words = 40;
+    const unsigned sweeps = 3 * scale;
+
+    // ---- data ---------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dalign(8);
+    a.dataLabel("targetsig"); // 26 letter counts of the target
+    {
+        unsigned counts[26] = {};
+        for (char c : target)
+            ++counts[c - 'a'];
+        for (unsigned c : counts)
+            a.dd(c);
+    }
+    a.dataLabel("wordsig"); // scratch signature
+    a.dspace(26 * 8);
+    // Dictionary: fixed-width 16-byte word slots, some anagrams of
+    // the target planted.
+    a.dataLabel("dict");
+    Rng rng(0x7065726c);
+    static const char *const anagrams[] = {"admits", "amidst", "tsmida"};
+    for (unsigned i = 0; i < words; ++i) {
+        std::string w;
+        if (i % 13 == 5) {
+            w = anagrams[rng.below(3)];
+        } else {
+            unsigned len = 3 + static_cast<unsigned>(rng.below(10));
+            for (unsigned k = 0; k < len; ++k)
+                w.push_back(static_cast<char>('a' + rng.below(26)));
+        }
+        for (unsigned k = 0; k < 15; ++k)
+            a.db(k < w.size() ? static_cast<std::uint8_t>(w[k]) : 0);
+        a.db(0);
+    }
+
+    // ---- code -----------------------------------------------------------
+    // S0 dict base, S1 targetsig, S2 wordsig, S3 match count,
+    // S4 sweep counter, S5 word index.
+    b.loadAddr(S0, "dict");
+    b.loadAddr(S1, "targetsig");
+    b.loadAddr(S2, "wordsig");
+    a.li(S3, 0);
+    a.li(S4, 0);
+
+    a.label("sweep");
+    a.li(S5, 0);
+    a.label("wordloop");
+    // clear the scratch signature (mostly redundant stores)
+    a.li(T0, 0);
+    a.label("clearsig");
+    a.sldi(T1, T0, 3);
+    a.add(T1, T1, S2);
+    a.std_(0, 0, T1);
+    a.addi(T0, T0, 1);
+    a.cmpi(0, T0, 26);
+    a.bc(isa::Cond::LT, 0, "clearsig");
+    // count the word's letters
+    a.sldi(T0, S5, 4);
+    a.add(S6, T0, S0); // word ptr
+    a.label("countloop");
+    a.lbz(T0, 0, S6);
+    a.cmpi(0, T0, 0);
+    a.bc(isa::Cond::EQ, 0, "compare");
+    a.addi(T0, T0, -'a');
+    a.sldi(T0, T0, 3);
+    a.add(T0, T0, S2);
+    a.ld(T1, 0, T0);
+    a.addi(T1, T1, 1);
+    a.std_(T1, 0, T0);
+    a.addi(S6, S6, 1);
+    a.b("countloop");
+    // compare the signatures
+    a.label("compare");
+    a.li(T0, 0);
+    a.label("cmploop");
+    a.sldi(T1, T0, 3);
+    a.add(T2, T1, S1);
+    a.ld(T2, 0, T2); // target count: run-time constant
+    a.add(A0, T1, S2);
+    a.ld(A0, 0, A0); // word count: mostly zero
+    a.cmp(0, T2, A0);
+    a.bc(isa::Cond::NE, 0, "nextword");
+    a.addi(T0, T0, 1);
+    a.cmpi(0, T0, 26);
+    a.bc(isa::Cond::LT, 0, "cmploop");
+    a.addi(S3, S3, 1); // anagram found
+
+    a.label("nextword");
+    a.addi(S5, S5, 1);
+    a.cmpi(0, S5, words);
+    a.bc(isa::Cond::LT, 0, "wordloop");
+    a.addi(S4, S4, 1);
+    a.cmpi(0, S4, static_cast<std::int64_t>(sweeps));
+    a.bc(isa::Cond::LT, 0, "sweep");
+
+    b.loadAddr(T0, "__result");
+    a.std_(S3, 0, T0);
+    a.halt();
+
+    return b.finish();
+}
+
+} // namespace lvplib::workloads

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * "quick" workload: recursive quicksort of pseudo-random elements
+ * (the paper sorts 5,000 random elements).
+ *
+ * Value-locality sources: deep recursion makes the prologue/epilogue
+ * link-register and callee-save restores dominate the static loads
+ * (call-subgraph identities, spill code); the array-element loads
+ * themselves vary. The paper notes quick gains mostly from the Limit
+ * and Perfect configurations.
+ */
+
+#include "workloads/common.hh"
+
+#include "util/rng.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildQuick(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    const std::size_t n = 400 * scale;
+
+    // ---- data --------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dalign(8);
+    Addr arr = a.dataLabel("arr");
+    a.dspace(n * 8);
+    Rng rng(0x7175636b);
+    for (std::size_t i = 0; i < n; ++i)
+        a.pokeWord(arr + i * 8, rng.below(1000000));
+
+    // ---- main ----------------------------------------------------------
+    // S7 = array base kept across the whole program.
+    b.loadAddr(S7, "arr");
+    a.li(A0, 0);
+    b.loadConst(A1, "nminus1", static_cast<std::int64_t>(n - 1));
+    a.bl("qsort");
+    // checksum: sum a[i]*(i+1) over the sorted array
+    a.li(T0, 0); // i
+    a.li(S0, 0); // sum
+    b.loadConst(S1, "n", static_cast<std::int64_t>(n));
+    a.label("ckloop");
+    a.sldi(T1, T0, 3);
+    a.add(T1, T1, S7);
+    a.ld(T1, 0, T1);
+    a.addi(T2, T0, 1);
+    a.mull(T1, T1, T2);
+    a.add(S0, S0, T1);
+    a.addi(T0, T0, 1);
+    a.cmp(0, T0, S1);
+    a.bc(isa::Cond::LT, 0, "ckloop");
+    b.loadAddr(T0, "__result");
+    a.std_(S0, 0, T0);
+    a.halt();
+
+    // ---- qsort(lo=A0, hi=A1): Hoare partition, recursive --------------
+    b.prologue("qsort", 3);
+    a.mr(S0, A0); // lo
+    a.mr(S1, A1); // hi
+    a.cmp(0, S0, S1);
+    a.bc(isa::Cond::GE, 0, "qret");
+
+    // pivot = a[(lo+hi)/2]
+    a.add(T0, S0, S1);
+    a.srdi(T0, T0, 1);
+    a.sldi(T0, T0, 3);
+    a.add(T0, T0, S7);
+    a.ld(S2, 0, T0); // pivot in S2
+    // The pivot is also spilled to the frame; the scan loops reload
+    // it each iteration (register spill code: the reloaded value is
+    // constant for the whole partition pass).
+    a.std_(S2, 24, Sp);
+
+    // i = lo-1 (A2), j = hi+1 (A3)
+    a.addi(A2, S0, -1);
+    a.addi(A3, S1, 1);
+    a.label("part");
+    // do ++i while a[i] < pivot
+    a.label("upscan");
+    a.addi(A2, A2, 1);
+    a.sldi(T0, A2, 3);
+    a.add(T0, T0, S7);
+    a.ld(T1, 0, T0);
+    a.ld(A0, 24, Sp); // spilled pivot: constant per invocation
+    a.cmp(0, T1, A0);
+    a.bc(isa::Cond::LT, 0, "upscan");
+    // do --j while a[j] > pivot
+    a.label("downscan");
+    a.addi(A3, A3, -1);
+    a.sldi(T0, A3, 3);
+    a.add(T0, T0, S7);
+    a.ld(T2, 0, T0);
+    a.ld(A0, 24, Sp);
+    a.cmp(0, T2, A0);
+    a.bc(isa::Cond::GT, 0, "downscan");
+    // if i >= j: partition point found
+    a.cmp(0, A2, A3);
+    a.bc(isa::Cond::GE, 0, "partdone");
+    // swap a[i], a[j]  (T1 = a[i], T2 = a[j] already loaded)
+    a.sldi(T0, A2, 3);
+    a.add(T0, T0, S7);
+    a.std_(T2, 0, T0);
+    a.sldi(T0, A3, 3);
+    a.add(T0, T0, S7);
+    a.std_(T1, 0, T0);
+    a.b("part");
+
+    a.label("partdone");
+    // qsort(lo, j); qsort(j+1, hi)
+    a.mr(A0, S0);
+    a.mr(A1, A3);
+    a.mr(S0, A3); // keep j across the first call in S0
+    a.bl("qsort");
+    a.addi(A0, S0, 1);
+    a.mr(A1, S1);
+    a.bl("qsort");
+
+    a.label("qret");
+    b.epilogue();
+
+    return b.finish();
+}
+
+} // namespace lvplib::workloads

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * "sc" workload: a spreadsheet recalculation engine. Each cell holds
+ * a function pointer (its formula) and argument cell indices; the
+ * recalc loop calls every cell's formula indirectly (the paper runs
+ * the sc spreadsheet on a SPEC92 input).
+ *
+ * Value-locality sources: the per-cell function-pointer and argument
+ * loads never change between recalc passes (virtual-function-call
+ * idiom, instruction- and data-address loads); most cell VALUES also
+ * stabilize after a few passes.
+ */
+
+#include "workloads/common.hh"
+
+#include "util/rng.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildSc(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    constexpr unsigned Rows = 16;
+    constexpr unsigned Cols = 8;
+    constexpr unsigned Cells = Rows * Cols;
+    const unsigned passes = 6 * scale;
+
+    // ---- data ----------------------------------------------------------
+    // Cell record (32 bytes): {fnptr, arg1 index, arg2 index, value}.
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dalign(8);
+    Addr sheet = a.dataLabel("sheet");
+    a.dspace(Cells * 32);
+    a.dataLabel("recalcmode"); // run-time configuration flag
+    a.dd(1);
+
+    // ---- main ------------------------------------------------------------
+    // S5 sheet base, S6 pass counter, S7 cell index.
+    b.loadAddr(S5, "sheet");
+    b.loadAddr(S0, "recalcmode");
+    a.li(S6, 0);
+    b.loadConst(S4, "passes", passes);
+
+    a.label("pass");
+    a.li(S7, 0);
+    a.label("cellloop");
+    // Check the recalc-mode configuration flag: an error-checking
+    // load of a run-time constant (it is never 0 in practice).
+    a.ld(T1, 0, S0);
+    a.cmpi(1, T1, 0);
+    a.bc(isa::Cond::EQ, 1, "skipcell");
+    a.sldi(T0, S7, 5);
+    a.add(S3, T0, S5); // &cell in S3 (callee-saved: formulas preserve)
+    // formula pointer: an instruction-address load, constant per cell
+    a.ld(T0, 0, S3, isa::DataClass::InstAddr);
+    a.mr(A0, S3);
+    b.callIndirect(T0); // formula(cell) -> new value in A0
+    a.std_(A0, 24, S3);
+    a.label("skipcell");
+    a.addi(S7, S7, 1);
+    a.cmpi(0, S7, Cells);
+    a.bc(isa::Cond::LT, 0, "cellloop");
+    a.addi(S6, S6, 1);
+    a.cmp(0, S6, S4);
+    a.bc(isa::Cond::LT, 0, "pass");
+
+    // checksum: sum of all cell values
+    a.li(T0, 0);
+    a.li(T1, 0);
+    a.label("ck");
+    a.sldi(T2, T1, 5);
+    a.add(T2, T2, S5);
+    a.ld(T2, 24, T2);
+    a.add(T0, T0, T2);
+    a.addi(T1, T1, 1);
+    a.cmpi(0, T1, Cells);
+    a.bc(isa::Cond::LT, 0, "ck");
+    b.loadAddr(T1, "__result");
+    a.std_(T0, 0, T1);
+    a.halt();
+
+    // ---- formulas: cell ptr in A0, return new value in A0 ----------
+    // fnConst: value stays as initialized.
+    a.label("fnConst");
+    a.ld(A0, 24, A0);
+    a.blr();
+
+    // fnSum: value = cells[arg1].value + cells[arg2].value
+    a.label("fnSum");
+    a.ld(T1, 8, A0);  // arg1 index (constant)
+    a.ld(T2, 16, A0); // arg2 index (constant)
+    a.sldi(T1, T1, 5);
+    a.add(T1, T1, S5);
+    a.ld(T1, 24, T1);
+    a.sldi(T2, T2, 5);
+    a.add(T2, T2, S5);
+    a.ld(T2, 24, T2);
+    a.add(A0, T1, T2);
+    a.blr();
+
+    // fnAvg: value = (cells[arg1].value + cells[arg2].value) / 2
+    a.label("fnAvg");
+    a.ld(T1, 8, A0);
+    a.ld(T2, 16, A0);
+    a.sldi(T1, T1, 5);
+    a.add(T1, T1, S5);
+    a.ld(T1, 24, T1);
+    a.sldi(T2, T2, 5);
+    a.add(T2, T2, S5);
+    a.ld(T2, 24, T2);
+    a.add(A0, T1, T2);
+    a.sradi(A0, A0, 1);
+    a.blr();
+
+    // fnCount: value = value + 1 (a running counter cell)
+    a.label("fnCount");
+    a.ld(A0, 24, A0);
+    a.addi(A0, A0, 1);
+    a.blr();
+
+    isa::Program prog = b.finish();
+
+    // Populate the sheet now that formula addresses are known.
+    Rng rng(0x73636363);
+    const Addr fns[4] = {prog.symbol("fnConst"), prog.symbol("fnSum"),
+                         prog.symbol("fnAvg"), prog.symbol("fnCount")};
+    for (unsigned i = 0; i < Cells; ++i) {
+        Addr at = sheet + static_cast<Addr>(i) * 32;
+        // First row: literal cells; below it, mostly SUM formulas
+        // (real sheets repeat one formula down a column).
+        unsigned roll = static_cast<unsigned>(rng.below(100));
+        unsigned kind = i < Cols ? 0
+                        : roll < 70 ? 1
+                        : roll < 80 ? 2
+                        : roll < 95 ? 0
+                                    : 3;
+        // Formula args reference cells in earlier rows only.
+        Word arg1 = i < Cols ? 0 : rng.below(i);
+        Word arg2 = i < Cols ? 0 : rng.below(i);
+        prog.setWord(at + 0, fns[kind]);
+        prog.setWord(at + 8, arg1);
+        prog.setWord(at + 16, arg2);
+        prog.setWord(at + 24, rng.below(1000));
+    }
+    return prog;
+}
+
+} // namespace lvplib::workloads

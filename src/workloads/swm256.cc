@@ -1,0 +1,132 @@
+/**
+ * @file
+ * "swm256" workload: a shallow-water model timestep — update
+ * velocity (u,v) and pressure (p) fields from finite differences with
+ * a time-varying forcing term.
+ *
+ * Every field value changes on every timestep, so the dominant static
+ * loads rarely see a repeated value: the paper measures swm256 as one
+ * of its three LOW-locality benchmarks.
+ */
+
+#include "workloads/common.hh"
+
+#include <bit>
+
+#include "util/rng.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildSwm256(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    constexpr unsigned N = 20;
+    const unsigned steps = 2 * scale; // paper: 5 iterations (vs 1200)
+
+    // ---- data --------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dalign(8);
+    Addr u = a.dataLabel("ufield");
+    a.dspace(N * N * 8);
+    Addr v = a.dataLabel("vfield");
+    a.dspace(N * N * 8);
+    Addr p = a.dataLabel("pfield");
+    a.dspace(N * N * 8);
+    Rng rng(0x73776d32);
+    for (unsigned i = 0; i < N * N; ++i) {
+        a.pokeWord(u + i * 8, std::bit_cast<Word>(rng.uniform() - 0.5));
+        a.pokeWord(v + i * 8, std::bit_cast<Word>(rng.uniform() - 0.5));
+        a.pokeWord(p + i * 8,
+                   std::bit_cast<Word>(50.0 + 10.0 * rng.uniform()));
+    }
+
+    // ---- code -----------------------------------------------------------
+    // S0 u, S1 v, S2 p, S3 step, f2 dt, f3 g, f4 forcing (varies).
+    b.loadAddr(S0, "ufield");
+    b.loadAddr(S1, "vfield");
+    b.loadAddr(S2, "pfield");
+    a.li(S3, 0);
+    b.loadFpConst(2, "dt", 0.01);
+    b.loadFpConst(3, "g", 9.8);
+    b.loadFpConst(4, "force", 0.003);
+
+    a.label("step");
+    a.li(S4, 1); // row
+    a.label("row");
+    a.li(S5, 1); // col
+    a.label("col");
+    // dt has no immediate form; the compiler re-loads it per cell
+    // under FP register pressure (a constant FP load).
+    b.loadFpConst(2, "dt", 0.01);
+    a.li(T0, N);
+    a.mull(T0, S4, T0);
+    a.add(T0, T0, S5);
+    a.sldi(T0, T0, 3);
+    // u[i][j] += dt * (p[i][j-1] - p[i][j+1]) + force
+    a.add(T1, T0, S2);
+    a.lfd(5, -8, T1);
+    a.lfd(6, 8, T1);
+    a.fsub(5, 5, 6);
+    a.fmul(5, 5, 2);
+    a.fadd(5, 5, 4);
+    a.add(T2, T0, S0);
+    a.lfd(6, 0, T2); // u value: changes every step
+    a.fadd(6, 6, 5);
+    a.stfd(6, 0, T2);
+    // v[i][j] += dt * (p[i-1][j] - p[i+1][j]) + force
+    a.lfd(5, -static_cast<std::int64_t>(N) * 8, T1);
+    a.lfd(7, static_cast<std::int64_t>(N) * 8, T1);
+    a.fsub(5, 5, 7);
+    a.fmul(5, 5, 2);
+    a.fadd(5, 5, 4);
+    a.add(T2, T0, S1);
+    a.lfd(7, 0, T2); // v value: changes every step
+    a.fadd(7, 7, 5);
+    a.stfd(7, 0, T2);
+    // p[i][j] -= dt * g * (u + v)
+    a.fadd(6, 6, 7);
+    a.fmul(6, 6, 2);
+    a.fmul(6, 6, 3);
+    a.lfd(5, 0, T1); // p value: changes every step
+    a.fsub(5, 5, 6);
+    a.stfd(5, 0, T1);
+    a.addi(S5, S5, 1);
+    a.cmpi(0, S5, N - 1);
+    a.bc(isa::Cond::LT, 0, "col");
+    a.addi(S4, S4, 1);
+    a.cmpi(0, S4, N - 1);
+    a.bc(isa::Cond::LT, 0, "row");
+    // time-varying forcing so the fields never settle
+    a.fadd(4, 4, 2);
+    a.addi(S3, S3, 1);
+    a.cmpi(0, S3, static_cast<std::int64_t>(steps));
+    a.bc(isa::Cond::LT, 0, "step");
+
+    // checksum over p
+    a.li(T0, 0);
+    a.li(S4, 0);
+    b.loadFpConst(3, "ckscale", 64.0);
+    a.label("ck");
+    a.sldi(T1, T0, 3);
+    a.add(T1, T1, S2);
+    a.lfd(1, 0, T1);
+    a.fmul(1, 1, 3);
+    a.fctid(T2, 1);
+    a.add(S4, S4, T2);
+    a.addi(T0, T0, 1);
+    a.cmpi(0, T0, N * N);
+    a.bc(isa::Cond::LT, 0, "ck");
+    b.loadAddr(T0, "__result");
+    a.std_(S4, 0, T0);
+    a.halt();
+
+    return b.finish();
+}
+
+} // namespace lvplib::workloads

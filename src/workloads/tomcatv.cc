@@ -1,0 +1,141 @@
+/**
+ * @file
+ * "tomcatv" workload: vectorized mesh generation — Jacobi-style
+ * relaxation of x/y node coordinates toward the average of their
+ * neighbours, with residual tracking.
+ *
+ * The coordinates move every sweep (the relaxation runs far from
+ * convergence at the paper's truncated iteration counts), so
+ * coordinate loads rarely repeat: tomcatv is the paper's third
+ * LOW-locality benchmark.
+ */
+
+#include "workloads/common.hh"
+
+#include <bit>
+
+#include "util/rng.hh"
+
+namespace lvplib::workloads
+{
+
+isa::Program
+buildTomcatv(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    constexpr unsigned N = 20;
+    const unsigned sweeps = 2 * scale; // paper: 4 iterations (vs 100)
+
+    // ---- data -----------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dalign(8);
+    Addr xs = a.dataLabel("xcoord");
+    a.dspace(N * N * 8);
+    Addr ys = a.dataLabel("ycoord");
+    a.dspace(N * N * 8);
+    // A distorted initial mesh: grid positions plus noise.
+    Rng rng(0x746f6d63);
+    for (unsigned i = 0; i < N; ++i) {
+        for (unsigned j = 0; j < N; ++j) {
+            double noise_x = (rng.uniform() - 0.5) * 0.8;
+            double noise_y = (rng.uniform() - 0.5) * 0.8;
+            a.pokeWord(xs + (i * N + j) * 8,
+                       std::bit_cast<Word>(j + noise_x));
+            a.pokeWord(ys + (i * N + j) * 8,
+                       std::bit_cast<Word>(i + noise_y));
+        }
+    }
+
+    // ---- code ----------------------------------------------------------
+    // S0 x base, S1 y base, S2 sweep counter, f2 relaxation factor.
+    b.loadAddr(S0, "xcoord");
+    b.loadAddr(S1, "ycoord");
+    a.li(S2, 0);
+    b.loadFpConst(2, "relax", 0.11);
+
+    a.label("sweep");
+    a.li(S3, 1);
+    a.label("row");
+    a.li(S4, 1);
+    a.label("col");
+    // per-cell reload of the relaxation factor (FP constant load)
+    b.loadFpConst(2, "relax", 0.11);
+    a.li(T0, N);
+    a.mull(T0, S3, T0);
+    a.add(T0, T0, S4);
+    a.sldi(T0, T0, 3);
+
+    // relax x: x += relax * (avg(neighbours) - x)
+    a.add(T1, T0, S0);
+    a.lfd(3, -8, T1);
+    a.lfd(4, 8, T1);
+    a.lfd(5, -static_cast<std::int64_t>(N) * 8, T1);
+    a.lfd(6, static_cast<std::int64_t>(N) * 8, T1);
+    a.fadd(3, 3, 4);
+    a.fadd(5, 5, 6);
+    a.fadd(3, 3, 5);
+    b.loadFpConst(7, "quarter", 0.25);
+    a.fmul(3, 3, 7);
+    a.lfd(6, 0, T1); // x value: changes every sweep
+    a.fsub(3, 3, 6);
+    a.fmul(3, 3, 2);
+    a.fadd(6, 6, 3);
+    a.stfd(6, 0, T1);
+
+    // relax y identically
+    a.add(T1, T0, S1);
+    a.lfd(3, -8, T1);
+    a.lfd(4, 8, T1);
+    a.lfd(5, -static_cast<std::int64_t>(N) * 8, T1);
+    a.lfd(6, static_cast<std::int64_t>(N) * 8, T1);
+    a.fadd(3, 3, 4);
+    a.fadd(5, 5, 6);
+    a.fadd(3, 3, 5);
+    a.fmul(3, 3, 7);
+    a.lfd(6, 0, T1);
+    a.fsub(3, 3, 6);
+    a.fmul(3, 3, 2);
+    a.fadd(6, 6, 3);
+    a.stfd(6, 0, T1);
+
+    a.addi(S4, S4, 1);
+    a.cmpi(0, S4, N - 1);
+    a.bc(isa::Cond::LT, 0, "col");
+    a.addi(S3, S3, 1);
+    a.cmpi(0, S3, N - 1);
+    a.bc(isa::Cond::LT, 0, "row");
+    a.addi(S2, S2, 1);
+    a.cmpi(0, S2, static_cast<std::int64_t>(sweeps));
+    a.bc(isa::Cond::LT, 0, "sweep");
+
+    // checksum over both coordinate arrays
+    a.li(T0, 0);
+    a.li(S4, 0);
+    b.loadFpConst(3, "ckscale", 4096.0);
+    a.label("ck");
+    a.sldi(T1, T0, 3);
+    a.add(T2, T1, S0);
+    a.lfd(1, 0, T2);
+    a.fmul(1, 1, 3);
+    a.fctid(T2, 1);
+    a.add(S4, S4, T2);
+    a.add(T2, T1, S1);
+    a.lfd(1, 0, T2);
+    a.fmul(1, 1, 3);
+    a.fctid(T2, 1);
+    a.add(S4, S4, T2);
+    a.addi(T0, T0, 1);
+    a.cmpi(0, T0, N * N);
+    a.bc(isa::Cond::LT, 0, "ck");
+    b.loadAddr(T0, "__result");
+    a.std_(S4, 0, T0);
+    a.halt();
+
+    return b.finish();
+}
+
+} // namespace lvplib::workloads

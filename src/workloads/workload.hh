@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The benchmark-suite interface: one Workload per paper Table 1 row.
+ *
+ * Each workload is a real VLISA program implementing the same
+ * algorithmic kernel as the paper's benchmark, built for one of two
+ * code-generation conventions (the stand-ins for the paper's
+ * PowerPC/AIX and Alpha/OSF toolchains). Programs store a final
+ * checksum at the "__result" symbol so functional tests can verify
+ * them against C++ reference implementations.
+ */
+
+#ifndef LVPLIB_WORKLOADS_WORKLOAD_HH
+#define LVPLIB_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace lvplib::workloads
+{
+
+/** Code-generation convention (paper Section 5: two ISAs/compilers). */
+enum class CodeGen
+{
+    Ppc,   ///< TOC-based addressing, constants loaded from memory
+    Alpha, ///< more immediate synthesis, GOT-style addressing
+};
+
+const char *codeGenName(CodeGen cg);
+
+/** One benchmark: metadata plus a program builder. */
+struct Workload
+{
+    std::string name;        ///< paper benchmark name (e.g. "grep")
+    std::string description; ///< paper Table 1 description
+    std::string input;       ///< our synthetic-input description
+
+    /**
+     * Build the program. @p scale multiplies the input size /
+     * iteration count; 1 is the unit-test size, benchmarks typically
+     * run at 8-64.
+     */
+    isa::Program (*build)(CodeGen cg, unsigned scale);
+};
+
+/** All benchmarks, in the paper's Table 1 order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Find a benchmark by name; fatal when unknown. */
+const Workload &findWorkload(const std::string &name);
+
+} // namespace lvplib::workloads
+
+#endif // LVPLIB_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * "xlisp" workload: a tiny expression interpreter evaluating a fixed
+ * s-expression tree thousands of times (the paper runs the SPEC92
+ * LISP interpreter on 6-queens).
+ *
+ * Value-locality sources: the tree's tag/child/value fields never
+ * change between evaluations (run-time constants), the evaluator
+ * dispatches through a jump table (instruction-address loads), and
+ * deep recursion produces link-register and callee-save restores.
+ */
+
+#include "workloads/common.hh"
+
+#include "util/rng.hh"
+
+namespace lvplib::workloads
+{
+
+namespace
+{
+
+/** Node tags understood by the evaluator. */
+enum Tag : Word
+{
+    TagConst = 0,
+    TagAdd = 1,
+    TagSub = 2,
+    TagMul = 3,
+    TagIf = 4, ///< (if left!=0 then right.left else right.right)
+};
+
+struct TreeGen
+{
+    isa::Assembler &a;
+    Rng rng{0x6c697370};
+    Addr base;
+    std::size_t next = 0;
+    std::size_t capacity;
+
+    /** Allocate one 32-byte node {tag, val, left, right}. */
+    Addr
+    node(Word tag, Word val, Addr left, Addr right)
+    {
+        Addr at = base + next * 32;
+        next++;
+        a.pokeWord(at + 0, tag);
+        a.pokeWord(at + 8, val);
+        a.pokeWord(at + 16, left);
+        a.pokeWord(at + 24, right);
+        return at;
+    }
+
+    /** Build a random expression tree of the given depth. */
+    Addr
+    build(unsigned depth)
+    {
+        if (depth == 0 || rng.chance(1, 5) || next + 8 > capacity)
+            return node(TagConst, rng.below(100), 0, 0);
+        // Children are built left-to-right explicitly: C++ argument
+        // evaluation order is unspecified and must not leak into the
+        // generated program.
+        switch (rng.below(4)) {
+          case 0: {
+            Addr l = build(depth - 1);
+            Addr r = build(depth - 1);
+            return node(TagAdd, 0, l, r);
+          }
+          case 1: {
+            Addr l = build(depth - 1);
+            Addr r = build(depth - 1);
+            return node(TagSub, 0, l, r);
+          }
+          case 2: {
+            Addr l = build(depth - 1);
+            Addr r = build(depth - 1);
+            return node(TagMul, 0, l, r);
+          }
+          default: {
+            Addr then_arm = build(depth - 1);
+            Addr else_arm = build(depth - 1);
+            Addr arms = node(TagConst, 0, then_arm, else_arm);
+            Addr cond = build(depth - 1);
+            return node(TagIf, 0, cond, arms);
+          }
+        }
+    }
+};
+
+} // namespace
+
+isa::Program
+buildXlisp(CodeGen cg, unsigned scale)
+{
+    using namespace regs;
+    Builder b(cg);
+    isa::Assembler &a = b.a();
+
+    const unsigned evals = 12 * scale;
+
+    // ---- data ---------------------------------------------------------
+    a.dataLabel("__result");
+    a.dspace(8);
+    a.dalign(8);
+    Addr rootptr = a.dataLabel("rootptr"); // for external inspection
+    a.dspace(8);
+    Addr heap = a.dataLabel("nodes");
+    constexpr std::size_t MaxNodes = 8192;
+    a.dspace(MaxNodes * 32);
+    TreeGen gen{.a = a, .base = heap, .capacity = MaxNodes};
+    Addr root = gen.build(7);
+    a.pokeWord(rootptr, root);
+
+    // ---- main ----------------------------------------------------------
+    // S5 = evals remaining, S6 = accumulator, S7 = root.
+    b.loadConst(S7, "root", static_cast<std::int64_t>(root));
+    a.li(S6, 0);
+    b.loadConst(S5, "evals", evals);
+
+    a.label("evalrep");
+    a.mr(A0, S7);
+    a.bl("eval");
+    a.add(S6, S6, A0);
+    a.addi(S5, S5, -1);
+    a.cmpi(0, S5, 0);
+    a.bc(isa::Cond::GT, 0, "evalrep");
+
+    b.loadAddr(T0, "__result");
+    a.std_(S6, 0, T0);
+    a.halt();
+
+    // ---- eval(node=A0) -> A0 -------------------------------------------
+    b.prologue("eval", 2);
+    a.mr(S0, A0);
+    a.ld(T0, 0, S0); // tag: a run-time constant per node
+    b.switchJump(T0, T2,
+                 {"tconst", "tadd", "tsub", "tmul", "tif"});
+
+    a.label("tconst");
+    a.ld(A0, 8, S0); // node value: constant
+    a.b("evalret");
+
+    a.label("tadd");
+    a.ld(A0, 16, S0, isa::DataClass::DataAddr); // left child ptr
+    a.bl("eval");
+    a.mr(S1, A0);
+    a.ld(A0, 24, S0, isa::DataClass::DataAddr); // right child ptr
+    a.bl("eval");
+    a.add(A0, S1, A0);
+    a.b("evalret");
+
+    a.label("tsub");
+    a.ld(A0, 16, S0, isa::DataClass::DataAddr);
+    a.bl("eval");
+    a.mr(S1, A0);
+    a.ld(A0, 24, S0, isa::DataClass::DataAddr);
+    a.bl("eval");
+    a.sub(A0, S1, A0);
+    a.b("evalret");
+
+    a.label("tmul");
+    a.ld(A0, 16, S0, isa::DataClass::DataAddr);
+    a.bl("eval");
+    a.mr(S1, A0);
+    a.ld(A0, 24, S0, isa::DataClass::DataAddr);
+    a.bl("eval");
+    a.mull(A0, S1, A0);
+    // keep values small so repeated evals don't overflow
+    a.sradi(A0, A0, 4);
+    a.b("evalret");
+
+    a.label("tif");
+    a.ld(A0, 16, S0, isa::DataClass::DataAddr); // condition subtree
+    a.bl("eval");
+    a.ld(S1, 24, S0, isa::DataClass::DataAddr); // arms node
+    a.cmpi(0, A0, 0);
+    a.bc(isa::Cond::NE, 0, "ifthen");
+    a.ld(A0, 24, S1, isa::DataClass::DataAddr); // else arm
+    a.bl("eval");
+    a.b("evalret");
+    a.label("ifthen");
+    a.ld(A0, 16, S1, isa::DataClass::DataAddr); // then arm
+    a.bl("eval");
+
+    a.label("evalret");
+    b.epilogue();
+
+    return b.finish();
+}
+
+} // namespace lvplib::workloads

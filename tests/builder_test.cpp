@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the workload Builder's convention helpers: TOC slot
+ * management, codegen-dependent constant materialization, function
+ * prologue/epilogue pairing, jump tables, and indirect calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/interpreter.hh"
+#include "workloads/common.hh"
+
+namespace lvplib::workloads
+{
+namespace
+{
+
+using namespace regs;
+
+TEST(Builder, TocSlotsDeduplicateByKey)
+{
+    Builder b(CodeGen::Ppc);
+    auto off1 = b.tocSlot("k1", 111);
+    auto off2 = b.tocSlot("k2", 222);
+    auto again = b.tocSlot("k1", 999); // same key: same slot, value kept
+    EXPECT_NE(off1, off2);
+    EXPECT_EQ(off1, again);
+
+    b.a().ld(3, off1, Toc);
+    b.a().ld(4, off2, Toc);
+    b.a().halt();
+    auto prog = b.finish();
+    vm::Interpreter in(prog);
+    in.run();
+    EXPECT_EQ(in.reg(3), 111u) << "first registration wins";
+    EXPECT_EQ(in.reg(4), 222u);
+}
+
+TEST(Builder, LoadConstWideGoesThroughMemoryOnPpcOnly)
+{
+    auto count_loads = [](CodeGen cg) {
+        Builder b(cg);
+        b.loadConst(3, "big", 0x123456789abll);
+        b.a().halt();
+        auto prog = b.finish();
+        std::size_t loads = 0;
+        for (const auto &inst : prog.code())
+            loads += inst.load();
+        return loads;
+    };
+    EXPECT_EQ(count_loads(CodeGen::Ppc), 1u) << "TOC load";
+    EXPECT_EQ(count_loads(CodeGen::Alpha), 0u) << "immediate synthesis";
+}
+
+TEST(Builder, LoadConstNarrowIsImmediateInBothStyles)
+{
+    for (auto cg : {CodeGen::Ppc, CodeGen::Alpha}) {
+        Builder b(cg);
+        b.loadConst(3, "small", 42);
+        b.a().halt();
+        auto prog = b.finish();
+        for (const auto &inst : prog.code())
+            EXPECT_FALSE(inst.load());
+        vm::Interpreter in(prog);
+        in.run();
+        EXPECT_EQ(in.reg(3), 42u);
+    }
+}
+
+TEST(Builder, LoopConstValueAgreesAcrossStyles)
+{
+    for (auto cg : {CodeGen::Ppc, CodeGen::Alpha}) {
+        Builder b(cg);
+        isa::Assembler &a = b.a();
+        const std::int64_t wide =
+            static_cast<std::int64_t>(0xdeadbeefcafef00dull);
+        b.loadConst(S0, "w", wide); // hoisted copy
+        RegIndex r = b.loopConst(T0, "w", wide, S0);
+        a.mr(3, r);
+        a.halt();
+        auto prog = b.finish();
+        vm::Interpreter in(prog);
+        in.run();
+        EXPECT_EQ(in.reg(3), static_cast<Word>(wide))
+            << codeGenName(cg);
+    }
+}
+
+TEST(Builder, PrologueEpilogueRoundTripsCalleeSaved)
+{
+    Builder b(CodeGen::Ppc);
+    isa::Assembler &a = b.a();
+    a.li(S0, 7);
+    a.li(S1, 8);
+    a.bl("clobber");
+    a.add(3, S0, S1); // must still be 15 after the call
+    a.halt();
+    b.prologue("clobber", 2);
+    a.li(S0, 100); // callee trashes the saved registers...
+    a.li(S1, 200);
+    b.epilogue(); // ...and the epilogue restores them
+    auto prog = b.finish();
+    vm::Interpreter in(prog);
+    in.run();
+    EXPECT_EQ(in.reg(3), 15u);
+}
+
+TEST(Builder, NestedCallsPreserveLinkRegister)
+{
+    Builder b(CodeGen::Alpha);
+    isa::Assembler &a = b.a();
+    a.li(3, 0);
+    a.bl("outer");
+    a.addi(3, 3, 100);
+    a.halt();
+    b.prologue("outer", 0);
+    a.bl("inner");
+    a.addi(3, 3, 10);
+    b.epilogue();
+    a.label("inner");
+    a.addi(3, 3, 1);
+    a.blr();
+    auto prog = b.finish();
+    vm::Interpreter in(prog);
+    in.run();
+    EXPECT_EQ(in.reg(3), 111u);
+}
+
+TEST(Builder, SwitchJumpDispatchesEveryCase)
+{
+    for (Word sel = 0; sel < 3; ++sel) {
+        Builder b(CodeGen::Ppc);
+        isa::Assembler &a = b.a();
+        a.li(T0, static_cast<std::int64_t>(sel));
+        b.switchJump(T0, T1, {"c0", "c1", "c2"});
+        a.label("c0");
+        a.li(3, 100);
+        a.halt();
+        a.label("c1");
+        a.li(3, 200);
+        a.halt();
+        a.label("c2");
+        a.li(3, 300);
+        a.halt();
+        auto prog = b.finish();
+        vm::Interpreter in(prog);
+        in.run();
+        EXPECT_EQ(in.reg(3), 100 + sel * 100) << "case " << sel;
+    }
+}
+
+TEST(Builder, CallIndirectReturns)
+{
+    Builder b(CodeGen::Ppc);
+    isa::Assembler &a = b.a();
+    a.b("main");
+    a.label("callee");
+    a.li(3, 55);
+    a.blr();
+    a.label("main");
+    a.la(T0, "callee");
+    b.callIndirect(T0);
+    a.addi(3, 3, 1);
+    a.halt();
+    auto prog = b.finish();
+    vm::Interpreter in(prog);
+    in.run();
+    EXPECT_EQ(in.reg(3), 56u);
+}
+
+TEST(Builder, UnbalancedPrologueIsCaught)
+{
+    EXPECT_DEATH(
+        {
+            Builder b(CodeGen::Ppc);
+            b.prologue("f", 1);
+            b.a().halt();
+            b.finish();
+        },
+        "unbalanced prologue/epilogue");
+}
+
+} // namespace
+} // namespace lvplib::workloads

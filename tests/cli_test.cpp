@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the lvpsim command-line front end: option parsing,
+ * validation errors, and end-to-end execution into a string stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/cli.hh"
+
+namespace lvplib::sim
+{
+namespace
+{
+
+std::optional<CliOptions>
+parse(std::initializer_list<const char *> args, std::string *err = nullptr)
+{
+    std::vector<std::string> v;
+    for (const char *a : args)
+        v.emplace_back(a);
+    std::string e;
+    auto r = parseCli(v, e);
+    if (err)
+        *err = e;
+    return r;
+}
+
+TEST(Cli, Defaults)
+{
+    auto o = parse({});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->benchmark, "grep");
+    EXPECT_EQ(o->machine, CliOptions::Machine::Ppc620);
+    EXPECT_EQ(o->lvpConfig, "simple");
+    EXPECT_EQ(o->scale, 2u);
+    EXPECT_FALSE(o->help);
+}
+
+TEST(Cli, ParsesEveryOption)
+{
+    auto o = parse({"--bench", "compress", "--machine", "21164",
+                    "--lvp", "limit", "--scale", "5", "--codegen",
+                    "alpha", "--locality"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->benchmark, "compress");
+    EXPECT_EQ(o->machine, CliOptions::Machine::Alpha21164);
+    EXPECT_EQ(o->lvpConfig, "limit");
+    EXPECT_EQ(o->scale, 5u);
+    EXPECT_EQ(o->codegen, "alpha");
+    EXPECT_TRUE(o->profileLocality);
+}
+
+TEST(Cli, MachineAliases)
+{
+    EXPECT_EQ(parse({"--machine", "620+"})->machine,
+              CliOptions::Machine::Ppc620Plus);
+    EXPECT_EQ(parse({"--machine", "620plus"})->machine,
+              CliOptions::Machine::Ppc620Plus);
+    EXPECT_EQ(parse({"--machine", "alpha"})->machine,
+              CliOptions::Machine::Alpha21164);
+    EXPECT_EQ(parse({"--machine", "none"})->machine,
+              CliOptions::Machine::None);
+}
+
+TEST(Cli, RejectsBadInput)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"--machine", "586"}, &err));
+    EXPECT_NE(err.find("unknown machine"), std::string::npos);
+    EXPECT_FALSE(parse({"--lvp", "psychic"}, &err));
+    EXPECT_FALSE(parse({"--scale", "0"}, &err));
+    EXPECT_FALSE(parse({"--scale"}, &err));
+    EXPECT_NE(err.find("needs a value"), std::string::npos);
+    EXPECT_FALSE(parse({"--frobnicate"}, &err));
+    EXPECT_FALSE(parse({"--codegen", "mips"}, &err));
+}
+
+TEST(Cli, HelpAndListShortCircuit)
+{
+    std::ostringstream os;
+    CliOptions o;
+    o.help = true;
+    EXPECT_EQ(runCli(o, os), 0);
+    EXPECT_NE(os.str().find("usage:"), std::string::npos);
+
+    std::ostringstream os2;
+    CliOptions o2;
+    o2.listBenchmarks = true;
+    EXPECT_EQ(runCli(o2, os2), 0);
+    EXPECT_NE(os2.str().find("grep"), std::string::npos);
+    EXPECT_NE(os2.str().find("tomcatv"), std::string::npos);
+}
+
+TEST(Cli, RunsBenchmarkEndToEnd)
+{
+    CliOptions o;
+    o.benchmark = "grep";
+    o.scale = 1;
+    o.profileLocality = true;
+    std::ostringstream os;
+    EXPECT_EQ(runCli(o, os), 0);
+    std::string out = os.str();
+    EXPECT_NE(out.find("dynamic instructions"), std::string::npos);
+    EXPECT_NE(out.find("value locality"), std::string::npos);
+    EXPECT_NE(out.find("speedup"), std::string::npos);
+}
+
+TEST(Cli, RunsAlphaAndNoneMachines)
+{
+    CliOptions o;
+    o.benchmark = "mpeg";
+    o.scale = 1;
+    o.machine = CliOptions::Machine::Alpha21164;
+    std::ostringstream os;
+    EXPECT_EQ(runCli(o, os), 0);
+    EXPECT_NE(os.str().find("21164"), std::string::npos);
+
+    o.machine = CliOptions::Machine::None;
+    std::ostringstream os2;
+    EXPECT_EQ(runCli(o, os2), 0);
+    EXPECT_EQ(os2.str().find("cycles"), std::string::npos)
+        << "machine none must skip timing";
+}
+
+TEST(Cli, StrideRunIsStatsOnly)
+{
+    CliOptions o;
+    o.benchmark = "cc1";
+    o.scale = 1;
+    o.lvpConfig = "stride";
+    std::ostringstream os;
+    EXPECT_EQ(runCli(o, os), 0);
+    EXPECT_NE(os.str().find("stride unit"), std::string::npos);
+}
+
+} // namespace
+} // namespace lvplib::sim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Death tests for user-error paths: malformed assembly, bad
+ * configurations, undefined symbols. lvp_fatal exits with status 1
+ * and prints a diagnostic; these tests pin both.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "isa/assembler.hh"
+#include "isa/text_asm.hh"
+#include "mem/cache.hh"
+#include "vm/interpreter.hh"
+
+namespace lvplib
+{
+namespace
+{
+
+using ::testing::ExitedWithCode;
+
+TEST(ErrorPaths, UndefinedLabelIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            isa::Assembler a;
+            a.b("nowhere");
+            a.halt();
+            a.finish();
+        },
+        ExitedWithCode(1), "undefined label 'nowhere'");
+}
+
+TEST(ErrorPaths, DuplicateLabelIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            isa::Assembler a;
+            a.label("x");
+            a.label("x");
+        },
+        ExitedWithCode(1), "duplicate label 'x'");
+}
+
+TEST(ErrorPaths, ImmediateRangeIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            isa::Assembler a;
+            a.addi(3, 0, 99999);
+        },
+        ExitedWithCode(1), "out of 16-bit range");
+    EXPECT_EXIT(
+        {
+            isa::Assembler a;
+            a.ori(3, 3, -1);
+        },
+        ExitedWithCode(1), "unsigned 16-bit");
+}
+
+TEST(ErrorPaths, UnknownSymbolIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            isa::Assembler a;
+            a.la(3, "missing");
+        },
+        ExitedWithCode(1), "unknown symbol 'missing'");
+}
+
+TEST(ErrorPaths, TextAsmReportsLineNumbers)
+{
+    EXPECT_EXIT(isa::assembleText("\n\n  frobnicate r1\n"),
+                ExitedWithCode(1), "asm line 3: unknown mnemonic");
+    EXPECT_EXIT(isa::assembleText("add r3, r4\n"), ExitedWithCode(1),
+                "expects 3 operands");
+    EXPECT_EXIT(isa::assembleText("ld r3, r4\n"), ExitedWithCode(1),
+                "expected disp\\(base\\)");
+    EXPECT_EXIT(isa::assembleText("bc xx, cr0, somewhere\n"),
+                ExitedWithCode(1), "bad condition 'xx'");
+    EXPECT_EXIT(isa::assembleText(".data\nx: .dword nosuch\n"),
+                ExitedWithCode(1), "unknown symbol 'nosuch'");
+}
+
+TEST(ErrorPaths, BadRegistersAreFatal)
+{
+    EXPECT_EXIT(isa::assembleText("add r3, r4, r99\n"),
+                ExitedWithCode(1), "expected a GPR");
+    EXPECT_EXIT(isa::assembleText("fadd f1, f2, r3\n"),
+                ExitedWithCode(1), "expected an FPR");
+    EXPECT_EXIT(isa::assembleText("cmp cr9, r1, r2\n"),
+                ExitedWithCode(1), "expected a cr field");
+}
+
+TEST(ErrorPaths, BadLvpConfigIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            core::LvpConfig cfg;
+            cfg.lvptEntries = 1000; // not a power of two
+            cfg.validate();
+        },
+        ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(
+        {
+            core::LvpConfig cfg;
+            cfg.lctBits = 0;
+            cfg.validate();
+        },
+        ExitedWithCode(1), "lctBits");
+}
+
+TEST(ErrorPaths, BadCacheGeometryIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            mem::CacheConfig cfg;
+            cfg.sizeBytes = 1000; // 1000 % (3*64) != 0
+            cfg.assoc = 3;
+            cfg.lineBytes = 64;
+            cfg.validate();
+        },
+        ExitedWithCode(1), "not divisible");
+    EXPECT_EXIT(
+        {
+            mem::CacheConfig cfg;
+            cfg.sizeBytes = 1024;
+            cfg.assoc = 2;
+            cfg.lineBytes = 48; // not a power of two
+            cfg.validate();
+        },
+        ExitedWithCode(1), "bad lineBytes");
+}
+
+TEST(TextAsmSymbols, DwordSymbolEmitsAddress)
+{
+    isa::Program p = isa::assembleText(R"(
+        .data
+        node: .dword 7
+        ptr:  .dword node
+        .text
+        la r10, ptr
+        ld r3, 0(r10) @data
+        ld r4, 0(r3)
+        halt
+    )");
+    vm::Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.reg(3), p.symbol("node"));
+    EXPECT_EQ(in.reg(4), 7u);
+}
+
+} // namespace
+} // namespace lvplib

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the VLISA definition: opcode classification,
+ * dependence extraction, the latency table (paper Table 5), the
+ * assembler, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+#include "isa/latency.hh"
+#include "isa/program.hh"
+
+namespace lvplib::isa
+{
+namespace
+{
+
+TEST(Opcodes, FuClassification)
+{
+    EXPECT_EQ(fuType(Opcode::ADD), FuType::SCFX);
+    EXPECT_EQ(fuType(Opcode::CMP), FuType::SCFX);
+    EXPECT_EQ(fuType(Opcode::MULL), FuType::MCFX);
+    EXPECT_EQ(fuType(Opcode::MFLR), FuType::MCFX);
+    EXPECT_EQ(fuType(Opcode::FADD), FuType::FPU);
+    EXPECT_EQ(fuType(Opcode::LD), FuType::LSU);
+    EXPECT_EQ(fuType(Opcode::STFD), FuType::LSU);
+    EXPECT_EQ(fuType(Opcode::BC), FuType::BRU);
+    EXPECT_EQ(fuType(Opcode::HALT), FuType::BRU);
+}
+
+TEST(Opcodes, LoadStoreBranchPredicates)
+{
+    EXPECT_TRUE(isLoad(Opcode::LFD));
+    EXPECT_FALSE(isLoad(Opcode::STD));
+    EXPECT_TRUE(isStore(Opcode::STB));
+    EXPECT_TRUE(isBranch(Opcode::BLR));
+    EXPECT_TRUE(isCondBranch(Opcode::BC));
+    EXPECT_FALSE(isCondBranch(Opcode::B));
+    EXPECT_TRUE(isIndirectBranch(Opcode::BCTR));
+    EXPECT_FALSE(isIndirectBranch(Opcode::BL));
+}
+
+TEST(Instruction, DestRegOfCallIsLr)
+{
+    Instruction bl{.op = Opcode::BL};
+    EXPECT_EQ(bl.destReg(), RegLr);
+    Instruction bctrl{.op = Opcode::BCTRL};
+    EXPECT_EQ(bctrl.destReg(), RegLr);
+}
+
+TEST(Instruction, WritesToR0AreDiscarded)
+{
+    Instruction add{.op = Opcode::ADD, .rd = 0, .rs1 = 1, .rs2 = 2};
+    EXPECT_EQ(add.destReg(), NoReg);
+}
+
+TEST(Instruction, R0SourcesDontCreateDependencies)
+{
+    Instruction addi{.op = Opcode::ADDI, .rd = 3, .rs1 = 0, .imm = 5};
+    auto srcs = addi.srcRegs();
+    EXPECT_EQ(srcs[0], NoReg);
+}
+
+TEST(Instruction, StoreSourcesAreBaseAndData)
+{
+    Instruction st{.op = Opcode::STD, .rs1 = 5, .rs2 = 6, .imm = 8};
+    auto srcs = st.srcRegs();
+    EXPECT_EQ(srcs[0], 5);
+    EXPECT_EQ(srcs[1], 6);
+    EXPECT_EQ(st.destReg(), NoReg);
+}
+
+TEST(Instruction, IndirectBranchesReadSpecialRegs)
+{
+    Instruction blr{.op = Opcode::BLR};
+    EXPECT_EQ(blr.srcRegs()[0], RegLr);
+    Instruction bctr{.op = Opcode::BCTR};
+    EXPECT_EQ(bctr.srcRegs()[0], RegCtr);
+}
+
+TEST(Instruction, AccessSizes)
+{
+    EXPECT_EQ(Instruction{.op = Opcode::LBZ}.accessSize(), 1u);
+    EXPECT_EQ(Instruction{.op = Opcode::LWZ}.accessSize(), 4u);
+    EXPECT_EQ(Instruction{.op = Opcode::LD}.accessSize(), 8u);
+    EXPECT_EQ(Instruction{.op = Opcode::STFD}.accessSize(), 8u);
+    EXPECT_EQ(Instruction{.op = Opcode::ADD}.accessSize(), 0u);
+}
+
+TEST(Latency, PaperTable5Values)
+{
+    // Simple integer: 1/1 on both.
+    auto p = opLatency(MachineIsa::Ppc620, Opcode::ADD);
+    EXPECT_EQ(p.issue, 1u);
+    EXPECT_EQ(p.result, 1u);
+    auto al = opLatency(MachineIsa::Alpha21164, Opcode::ADD);
+    EXPECT_EQ(al.issue, 1u);
+    EXPECT_EQ(al.result, 1u);
+
+    // Complex integer: within 1-35 on the 620, 16/16 on the 21164.
+    auto pd = opLatency(MachineIsa::Ppc620, Opcode::DIVD);
+    EXPECT_GE(pd.issue, 1u);
+    EXPECT_LE(pd.issue, 35u);
+    auto ad = opLatency(MachineIsa::Alpha21164, Opcode::DIVD);
+    EXPECT_EQ(ad.issue, 16u);
+    EXPECT_EQ(ad.result, 16u);
+
+    // Load/store: 1 issue, 2 result.
+    auto pl = opLatency(MachineIsa::Ppc620, Opcode::LD);
+    EXPECT_EQ(pl.issue, 1u);
+    EXPECT_EQ(pl.result, 2u);
+
+    // Simple FP: 1/3 vs 1/4.
+    EXPECT_EQ(opLatency(MachineIsa::Ppc620, Opcode::FADD).result, 3u);
+    EXPECT_EQ(opLatency(MachineIsa::Alpha21164, Opcode::FADD).result,
+              4u);
+
+    // Complex FP: 18/18 vs 1/36-65.
+    auto pf = opLatency(MachineIsa::Ppc620, Opcode::FDIV);
+    EXPECT_EQ(pf.issue, 18u);
+    EXPECT_EQ(pf.result, 18u);
+    auto af = opLatency(MachineIsa::Alpha21164, Opcode::FDIV);
+    EXPECT_EQ(af.issue, 1u);
+    EXPECT_GE(af.result, 36u);
+    EXPECT_LE(af.result, 65u);
+    EXPECT_EQ(opLatency(MachineIsa::Alpha21164, Opcode::FSQRT).result,
+              65u);
+
+    // Mispredict penalties: 1 (plus refetch) vs 4.
+    EXPECT_EQ(mispredictPenalty(MachineIsa::Ppc620), 1u);
+    EXPECT_EQ(mispredictPenalty(MachineIsa::Alpha21164), 4u);
+}
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels)
+{
+    Assembler a;
+    a.label("start");
+    a.b("end");        // forward reference
+    a.b("start");      // backward reference
+    a.label("end");
+    a.halt();
+    Program p = a.finish();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(static_cast<Addr>(p.at(0).imm), p.symbol("end"));
+    EXPECT_EQ(static_cast<Addr>(p.at(1).imm), p.symbol("start"));
+}
+
+TEST(Assembler, DataDirectivesLayOutImage)
+{
+    Assembler a;
+    Addr d0 = a.dataLabel("words");
+    a.dd(0x1122334455667788ull);
+    a.dstring("hi");
+    a.dalign(8);
+    Addr d1 = a.dataCursor();
+    EXPECT_EQ(d1 % 8, 0u);
+    a.halt();
+    Program p = a.finish();
+    const auto &img = p.dataImage();
+    EXPECT_EQ(img.at(d0), 0x88);     // little endian
+    EXPECT_EQ(img.at(d0 + 7), 0x11);
+    EXPECT_EQ(img.at(d0 + 8), 'h');
+    EXPECT_EQ(img.at(d0 + 9), 'i');
+    EXPECT_EQ(img.at(d0 + 10), 0);   // NUL
+}
+
+TEST(Assembler, LiSynthesizesWideConstants)
+{
+    Assembler a;
+    a.li(3, 0x123456789abcdef0ll);
+    a.li(4, -1);
+    a.li(5, 42);
+    a.halt();
+    Program p = a.finish();
+    // Wide constant takes several instructions; narrow takes one.
+    EXPECT_GT(p.size(), 4u);
+}
+
+TEST(Assembler, LoadsCarryDataClass)
+{
+    Assembler a;
+    a.ld(3, 0, 2, DataClass::DataAddr);
+    a.lfd(1, 8, 2);
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.at(0).dataClass, DataClass::DataAddr);
+    EXPECT_EQ(p.at(1).dataClass, DataClass::FpData);
+}
+
+TEST(Assembler, PokeWordPatchesImage)
+{
+    Assembler a;
+    Addr at = a.dataLabel("slot");
+    a.dspace(8);
+    a.pokeWord(at, 0xdeadbeef);
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.dataImage().at(at), 0xef);
+}
+
+TEST(Program, FetchAndValidPc)
+{
+    Assembler a;
+    a.nop();
+    a.halt();
+    Program p = a.finish();
+    EXPECT_TRUE(p.validPc(p.entry()));
+    EXPECT_TRUE(p.validPc(p.entry() + 4));
+    EXPECT_FALSE(p.validPc(p.entry() + 8));
+    EXPECT_FALSE(p.validPc(p.entry() + 2));
+    EXPECT_EQ(p.fetch(p.entry()).op, Opcode::NOP);
+    EXPECT_EQ(p.fetch(p.entry() + 4).op, Opcode::HALT);
+}
+
+TEST(Disasm, RendersCommonFormats)
+{
+    EXPECT_EQ(disassemble({.op = Opcode::ADD, .rd = 3, .rs1 = 4,
+                           .rs2 = 5}),
+              "add r3,r4,r5");
+    EXPECT_EQ(disassemble({.op = Opcode::LD, .rd = 3, .rs1 = 2,
+                           .imm = 16}),
+              "ld r3,16(r2)");
+    EXPECT_EQ(disassemble({.op = Opcode::BLR}), "blr");
+    Instruction bc{.op = Opcode::BC, .rs1 = CrBase, .cond = Cond::LT,
+                   .imm = 0x10010};
+    EXPECT_EQ(disassemble(bc), "bc lt,cr0,0x10010");
+}
+
+TEST(Disasm, RendersFprAndSpecialRegs)
+{
+    Instruction lfd{.op = Opcode::LFD,
+                    .rd = static_cast<RegIndex>(FprBase + 2),
+                    .rs1 = 2, .imm = 8};
+    EXPECT_EQ(disassemble(lfd), "lfd f2,8(r2)");
+    EXPECT_EQ(disassemble({.op = Opcode::MFLR, .rd = 12}), "mflr r12");
+}
+
+} // namespace
+} // namespace lvplib::isa

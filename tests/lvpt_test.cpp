@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the Load Value Prediction Table (paper Section 3.1):
+ * direct-mapped untagged indexing (with constructive and destructive
+ * interference), MRU prediction, and LRU value histories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lvpt.hh"
+#include "isa/program.hh"
+
+namespace lvplib::core
+{
+namespace
+{
+
+constexpr Addr Pc0 = isa::layout::CodeBase;
+
+/** pc of the i-th static instruction. */
+Addr
+pc(std::uint32_t i)
+{
+    return Pc0 + i * isa::layout::InstBytes;
+}
+
+TEST(Lvpt, EmptyEntryMakesNoPrediction)
+{
+    Lvpt t(16, 1);
+    EXPECT_FALSE(t.lookup(Pc0).valid);
+}
+
+TEST(Lvpt, PredictsLastValue)
+{
+    Lvpt t(16, 1);
+    t.update(Pc0, 42);
+    auto l = t.lookup(Pc0);
+    ASSERT_TRUE(l.valid);
+    EXPECT_EQ(l.value, 42u);
+    t.update(Pc0, 43);
+    EXPECT_EQ(t.lookup(Pc0).value, 43u);
+}
+
+TEST(Lvpt, UntaggedAliasingInterferes)
+{
+    Lvpt t(16, 1);
+    // pc(0) and pc(16) map to the same entry in a 16-entry table.
+    EXPECT_EQ(t.index(pc(0)), t.index(pc(16)));
+    t.update(pc(0), 1);
+    t.update(pc(16), 2); // destructive interference
+    EXPECT_EQ(t.lookup(pc(0)).value, 2u)
+        << "untagged: aliased loads share the entry";
+}
+
+TEST(Lvpt, ConstructiveAliasing)
+{
+    Lvpt t(16, 1);
+    t.update(pc(0), 7);
+    // A different load at an aliasing pc predicts 7 "for free".
+    EXPECT_TRUE(t.lookup(pc(16)).valid);
+    EXPECT_EQ(t.lookup(pc(16)).value, 7u);
+}
+
+TEST(Lvpt, DistinctEntriesAreIndependent)
+{
+    Lvpt t(16, 1);
+    t.update(pc(0), 1);
+    t.update(pc(1), 2);
+    EXPECT_EQ(t.lookup(pc(0)).value, 1u);
+    EXPECT_EQ(t.lookup(pc(1)).value, 2u);
+}
+
+TEST(Lvpt, HistoryContainsChecksFullDepth)
+{
+    Lvpt t(16, 4);
+    for (Word v : {10, 20, 30, 40})
+        t.update(Pc0, v);
+    EXPECT_TRUE(t.historyContains(Pc0, 10));
+    EXPECT_TRUE(t.historyContains(Pc0, 40));
+    EXPECT_FALSE(t.historyContains(Pc0, 99));
+    // A fifth unique value evicts the LRU (10).
+    t.update(Pc0, 50);
+    EXPECT_FALSE(t.historyContains(Pc0, 10));
+    EXPECT_TRUE(t.historyContains(Pc0, 20));
+}
+
+TEST(Lvpt, LruTouchKeepsHotValueResident)
+{
+    Lvpt t(16, 2);
+    t.update(Pc0, 1);
+    t.update(Pc0, 2);
+    t.update(Pc0, 1); // touch 1 -> MRU
+    t.update(Pc0, 3); // evicts 2
+    EXPECT_TRUE(t.historyContains(Pc0, 1));
+    EXPECT_FALSE(t.historyContains(Pc0, 2));
+    EXPECT_TRUE(t.historyContains(Pc0, 3));
+}
+
+TEST(Lvpt, UpdateReportsMruDisplacement)
+{
+    Lvpt t(16, 1);
+    EXPECT_TRUE(t.update(Pc0, 5)) << "first write changes the MRU";
+    EXPECT_FALSE(t.update(Pc0, 5)) << "same value: no displacement";
+    EXPECT_TRUE(t.update(Pc0, 6)) << "new value displaces";
+}
+
+TEST(Lvpt, ResetClearsAllEntries)
+{
+    Lvpt t(16, 1);
+    t.update(Pc0, 1);
+    t.reset();
+    EXPECT_FALSE(t.lookup(Pc0).valid);
+}
+
+TEST(Lvpt, IndexUsesWordAddress)
+{
+    Lvpt t(1024, 1);
+    // Consecutive instructions map to consecutive entries.
+    EXPECT_EQ(t.index(pc(1)), t.index(pc(0)) + 1);
+    EXPECT_EQ(t.entries(), 1024u);
+}
+
+} // namespace
+} // namespace lvplib::core

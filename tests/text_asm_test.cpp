@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the VLISA text assembler: directive handling, every
+ * instruction format, pseudo-ops, labels, comments, and agreement
+ * with the programmatic Assembler (round-trip through the
+ * disassembler).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/text_asm.hh"
+#include "vm/interpreter.hh"
+
+namespace lvplib::isa
+{
+namespace
+{
+
+TEST(TextAsm, MinimalProgramRuns)
+{
+    Program p = assembleText(R"(
+        .text
+        li r3, 5
+        addi r3, r3, 2
+        halt
+    )");
+    vm::Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.reg(3), 7u);
+}
+
+TEST(TextAsm, CommentsAndBlankLinesIgnored)
+{
+    Program p = assembleText(
+        "; full-line comment\n"
+        "# hash comment\n"
+        "\n"
+        "  li r3, 1   ; trailing comment\n"
+        "  halt\n");
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(TextAsm, DataDirectivesAndLa)
+{
+    Program p = assembleText(R"(
+        .data
+        nums: .dword 11
+              .dword 22
+        msg:  .string "ok"
+              .align 8
+        buf:  .space 16
+        .text
+        la r10, nums
+        ld r3, 0(r10)
+        ld r4, 8(r10)
+        add r5, r3, r4
+        halt
+    )");
+    vm::Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.reg(5), 33u);
+    EXPECT_EQ(in.memory().readString(p.symbol("msg")), "ok");
+    EXPECT_TRUE(p.hasSymbol("buf"));
+}
+
+TEST(TextAsm, BranchesAndLabels)
+{
+    Program p = assembleText(R"(
+        .text
+        li r3, 0
+        li r4, 10
+        loop:
+        addi r3, r3, 1
+        cmp cr0, r3, r4
+        bc lt, cr0, loop
+        halt
+    )");
+    vm::Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.reg(3), 10u);
+}
+
+TEST(TextAsm, CallsThroughLr)
+{
+    Program p = assembleText(R"(
+        .text
+        li r3, 1
+        bl fn
+        addi r3, r3, 100
+        halt
+        fn:
+        addi r3, r3, 10
+        blr
+    )");
+    vm::Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.reg(3), 111u);
+}
+
+TEST(TextAsm, FloatingPointAndConversions)
+{
+    Program p = assembleText(R"(
+        .data
+        c: .double 2.25
+        .text
+        la r10, c
+        lfd f1, 0(r10)
+        fadd f2, f1, f1
+        fctid r3, f2
+        halt
+    )");
+    vm::Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.reg(3), 4u);
+    EXPECT_DOUBLE_EQ(in.fprAsDouble(2), 4.5);
+}
+
+TEST(TextAsm, MemoryOperandsWithClassTags)
+{
+    Program p = assembleText(R"(
+        .data
+        tbl: .dword 0
+        .text
+        la r10, tbl
+        ld r3, 0(r10) @inst
+        ld r4, 0(r10) @data
+        lbz r5, 3(r10)
+        halt
+    )");
+    EXPECT_EQ(p.at(p.size() - 4).dataClass, DataClass::InstAddr);
+    EXPECT_EQ(p.at(p.size() - 3).dataClass, DataClass::DataAddr);
+    EXPECT_EQ(p.at(p.size() - 2).op, Opcode::LBZ);
+    EXPECT_EQ(p.at(p.size() - 2).imm, 3);
+}
+
+TEST(TextAsm, StoresAndHexImmediates)
+{
+    Program p = assembleText(R"(
+        .data
+        buf: .space 32
+        .text
+        la r10, buf
+        li r3, 0x7f
+        stb r3, 0(r10)
+        li r4, 0x1234
+        std r4, 8(r10)
+        lbz r5, 0(r10)
+        ld r6, 8(r10)
+        halt
+    )");
+    vm::Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.reg(5), 0x7fu);
+    EXPECT_EQ(in.reg(6), 0x1234u);
+}
+
+TEST(TextAsm, SpecialRegistersAndComputedBranch)
+{
+    // `la` needs an already-defined symbol, so the target block is
+    // laid out before the code that takes its address.
+    Program p = assembleText(R"(
+        .text
+        b start
+        target:
+        li r3, 2
+        halt
+        start:
+        la r4, target
+        mtctr r4
+        bctr
+        li r3, 1
+        halt
+    )");
+    vm::Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.reg(3), 2u);
+}
+
+TEST(TextAsm, MulDivRem)
+{
+    Program p = assembleText(R"(
+        .text
+        li r3, 17
+        li r4, 5
+        mull r5, r3, r4
+        divd r6, r3, r4
+        remd r7, r3, r4
+        halt
+    )");
+    vm::Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.reg(5), 85u);
+    EXPECT_EQ(in.reg(6), 3u);
+    EXPECT_EQ(in.reg(7), 2u);
+}
+
+TEST(TextAsm, MultipleLabelsOnOneLine)
+{
+    Program p = assembleText(R"(
+        .text
+        a: b: li r3, 9
+        halt
+    )");
+    EXPECT_EQ(p.symbol("a"), p.symbol("b"));
+    EXPECT_EQ(p.symbol("a"), p.entry());
+}
+
+TEST(TextAsm, ShiftImmediates)
+{
+    Program p = assembleText(R"(
+        .text
+        li r3, 1
+        sldi r4, r3, 12
+        srdi r5, r4, 4
+        li r6, -64
+        sradi r7, r6, 3
+        halt
+    )");
+    vm::Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.reg(4), 4096u);
+    EXPECT_EQ(in.reg(5), 256u);
+    EXPECT_EQ(static_cast<SWord>(in.reg(7)), -8);
+}
+
+} // namespace
+} // namespace lvplib::isa

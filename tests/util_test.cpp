@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit tests for the utility layer: saturating counters, LRU stacks,
+ * the deterministic RNG, statistics containers, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/lru_stack.hh"
+#include "util/rng.hh"
+#include "util/sat_counter.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace lvplib
+{
+namespace
+{
+
+TEST(SatCounter, SaturatesAtTopAndBottom)
+{
+    SatCounter c(2);
+    EXPECT_EQ(c.value(), 0);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0) << "must saturate at zero";
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3) << "must saturate at 2^n - 1";
+    EXPECT_TRUE(c.saturatedHigh());
+}
+
+TEST(SatCounter, OneBitCounterHasTwoStates)
+{
+    SatCounter c(1);
+    EXPECT_EQ(c.maxValue(), 1);
+    c.increment();
+    EXPECT_EQ(c.value(), 1);
+    c.increment();
+    EXPECT_EQ(c.value(), 1);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(SatCounter, UpperHalfBoundary)
+{
+    SatCounter c(2);
+    EXPECT_FALSE(c.upperHalf()); // 0
+    c.increment();
+    EXPECT_FALSE(c.upperHalf()); // 1
+    c.increment();
+    EXPECT_TRUE(c.upperHalf()); // 2
+    c.increment();
+    EXPECT_TRUE(c.upperHalf()); // 3
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter c(2);
+    c.set(200);
+    EXPECT_EQ(c.value(), 3);
+    c.set(1);
+    EXPECT_EQ(c.value(), 1);
+}
+
+TEST(LruStack, TouchPromotesToMru)
+{
+    LruStack<int> s(3);
+    EXPECT_FALSE(s.touch(1));
+    EXPECT_FALSE(s.touch(2));
+    EXPECT_FALSE(s.touch(3));
+    EXPECT_EQ(s.mru(), 3);
+    EXPECT_TRUE(s.touch(1));
+    EXPECT_EQ(s.mru(), 1);
+    EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(LruStack, EvictsLeastRecentlyUsed)
+{
+    LruStack<int> s(2);
+    s.touch(1);
+    s.touch(2);
+    s.touch(3); // evicts 1
+    EXPECT_FALSE(s.contains(1));
+    EXPECT_TRUE(s.contains(2));
+    EXPECT_TRUE(s.contains(3));
+}
+
+TEST(LruStack, DepthOneKeepsOnlyMostRecent)
+{
+    LruStack<int> s(1);
+    s.touch(7);
+    s.touch(8);
+    EXPECT_FALSE(s.contains(7));
+    EXPECT_EQ(s.mru(), 8);
+}
+
+TEST(LruStack, TouchReportsHit)
+{
+    LruStack<int> s(4);
+    EXPECT_FALSE(s.touch(5));
+    EXPECT_TRUE(s.touch(5));
+}
+
+TEST(Rng, DeterministicForFixedSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(99);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Stats, PctHandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(pct(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(pct(1, 4), 25.0);
+}
+
+TEST(Stats, GeomeanMatchesHandComputation)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, MeanMatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4);
+    h.record(0);
+    h.record(3);
+    h.record(3);
+    h.record(9); // overflow
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.bucketPct(3), 50.0);
+    EXPECT_DOUBLE_EQ(h.overflowPct(), 25.0);
+}
+
+TEST(Histogram, WeightedRecordAndMean)
+{
+    Histogram h(8);
+    h.record(2, 3); // three samples of 2
+    h.record(6, 1);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.sampleMean(), (3 * 2 + 6) / 4.0);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a(4), b(4);
+    a.record(1);
+    b.record(1);
+    b.record(7);
+    a.merge(b);
+    EXPECT_EQ(a.bucket(1), 2u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(4);
+    h.record(2);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(TextTable, AlignsColumnsAndCountsRows)
+{
+    TextTable t;
+    t.header({"a", "bbbb"});
+    t.row({"xxxxx", "y"});
+    EXPECT_EQ(t.rows(), 1u);
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("xxxxx"), std::string::npos);
+    EXPECT_NE(out.find("bbbb"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::fmtPct(12.345, 1), "12.3%");
+    EXPECT_EQ(TextTable::fmtDouble(1.5, 2), "1.50");
+    EXPECT_EQ(TextTable::fmtCount(999), "999");
+    EXPECT_EQ(TextTable::fmtCount(25'000'000), "25.0M");
+    EXPECT_EQ(TextTable::fmtCount(48'000), "48.0K");
+}
+
+} // namespace
+} // namespace lvplib

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Reference validation of the remaining (mostly floating-point)
+ * workloads: cjpeg's integer transform, doduc's Monte-Carlo tally,
+ * and the three grid codes (hydro2d, swm256, tomcatv). Each reference
+ * reads the program's initial data image and replays the algorithm in
+ * C++ with the same operation order, so even the FP results must
+ * match bit-for-bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "sim/pipeline_driver.hh"
+#include "vm/memory.hh"
+#include "workloads/workload.hh"
+
+namespace lvplib
+{
+namespace
+{
+
+using workloads::CodeGen;
+using workloads::findWorkload;
+
+vm::SparseMemory
+imageOf(const isa::Program &p)
+{
+    vm::SparseMemory m;
+    m.loadImage(p);
+    return m;
+}
+
+Word
+runResult(const isa::Program &p)
+{
+    auto r = sim::runFunctional(p);
+    EXPECT_TRUE(r.completed);
+    return r.result;
+}
+
+double
+asDouble(Word w)
+{
+    return std::bit_cast<double>(w);
+}
+
+TEST(WorkloadFpRef, CjpegTransformChecksum)
+{
+    auto prog = findWorkload("cjpeg").build(CodeGen::Alpha, 1);
+    auto mem = imageOf(prog);
+    Addr img = prog.symbol("image");
+    const std::size_t pixels = 2048;
+    std::uint64_t ck = 0;
+    for (std::size_t base = 0; base < pixels; base += 8) {
+        std::int64_t x[8];
+        for (int i = 0; i < 8; ++i)
+            x[i] = mem.readByte(img + base + i);
+        std::int64_t s0 = x[0] + x[7], d0 = x[0] - x[7];
+        std::int64_t s1 = x[1] + x[6], d1 = x[1] - x[6];
+        std::int64_t s2 = x[2] + x[5], d2 = x[2] - x[5];
+        std::int64_t s3 = x[3] + x[4], d3 = x[3] - x[4];
+        std::int64_t e0 = s0 + s3, e1 = s0 - s3;
+        std::int64_t e2 = s1 + s2, e3 = s1 - s2;
+        std::int64_t f0 = e0 + e2;
+        std::int64_t f4 = e0 - e2;
+        std::int64_t f2 = 2 * e1 + e3;
+        std::int64_t f6 = e1 - 2 * e3;
+        std::int64_t f1 = 2 * d0 + d1 + d2;
+        std::int64_t f3 = d1 - 2 * d3 + d2;
+        ck += static_cast<std::uint64_t>(f0 >> 3);
+        ck += static_cast<std::uint64_t>(f4 >> 3);
+        ck += static_cast<std::uint64_t>(f2 >> 4);
+        ck += static_cast<std::uint64_t>(f6 >> 4);
+        ck += static_cast<std::uint64_t>(f1 >> 4);
+        ck += static_cast<std::uint64_t>(f3 >> 4);
+        ck = (ck << 1) | (ck >> 63); // the per-block rotate
+    }
+    EXPECT_EQ(runResult(prog), ck);
+}
+
+TEST(WorkloadFpRef, DoducBounceTally)
+{
+    auto prog = findWorkload("doduc").build(CodeGen::Ppc, 1);
+    auto mem = imageOf(prog);
+    Addr xsec = prog.symbol("xsec");
+    const unsigned particles = 120;
+    std::uint64_t rng = 0x1234567;
+    std::uint64_t tally = 0;
+    for (unsigned p = 0; p < particles; ++p) {
+        double weight = 1.0;
+        std::uint64_t bounces = 0;
+        for (;;) {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            double sigma = asDouble(mem.read(xsec + (rng & 15) * 8, 8));
+            weight = weight - weight * sigma * 0.5;
+            if (weight < 0.08)
+                break;
+            if (++bounces >= 64)
+                break;
+        }
+        tally += bounces;
+    }
+    EXPECT_EQ(runResult(prog), tally);
+}
+
+TEST(WorkloadFpRef, Hydro2dStencilChecksum)
+{
+    auto prog = findWorkload("hydro2d").build(CodeGen::Alpha, 1);
+    auto mem = imageOf(prog);
+    constexpr unsigned N = 24;
+    const unsigned iters = 2;
+    Addr ga = prog.symbol("gridA");
+    std::vector<double> src(N * N), dst(N * N, 0.0);
+    for (unsigned i = 0; i < N * N; ++i)
+        src[i] = asDouble(mem.read(ga + i * 8, 8));
+    for (unsigned it = 0; it < iters; ++it) {
+        for (unsigned r = 1; r < N - 1; ++r)
+            for (unsigned c = 1; c < N - 1; ++c) {
+                // The program's operand order: (left+right) +
+                // (up+down), then * 0.249.
+                double lr = src[r * N + c - 1] + src[r * N + c + 1];
+                double ud =
+                    src[(r - 1) * N + c] + src[(r + 1) * N + c];
+                dst[r * N + c] = (lr + ud) * 0.249;
+            }
+        std::swap(src, dst);
+    }
+    std::int64_t ck = 0;
+    for (unsigned i = 0; i < N * N; ++i)
+        ck += static_cast<std::int64_t>(src[i] * 1024.0);
+    EXPECT_EQ(runResult(prog), static_cast<Word>(ck));
+}
+
+TEST(WorkloadFpRef, Swm256TimestepChecksum)
+{
+    auto prog = findWorkload("swm256").build(CodeGen::Ppc, 1);
+    auto mem = imageOf(prog);
+    constexpr unsigned N = 20;
+    const unsigned steps = 2;
+    auto grid = [&](const char *sym) {
+        Addr a = prog.symbol(sym);
+        std::vector<double> g(N * N);
+        for (unsigned i = 0; i < N * N; ++i)
+            g[i] = asDouble(mem.read(a + i * 8, 8));
+        return g;
+    };
+    auto u = grid("ufield"), v = grid("vfield"), p = grid("pfield");
+    const double dt = 0.01, g = 9.8;
+    double force = 0.003;
+    for (unsigned s = 0; s < steps; ++s) {
+        for (unsigned r = 1; r < N - 1; ++r) {
+            for (unsigned c = 1; c < N - 1; ++c) {
+                unsigned i = r * N + c;
+                double du = (p[i - 1] - p[i + 1]) * dt + force;
+                u[i] = u[i] + du;
+                double dv = (p[i - N] - p[i + N]) * dt + force;
+                v[i] = v[i] + dv;
+                p[i] = p[i] - ((u[i] + v[i]) * dt) * g;
+            }
+        }
+        force = force + dt;
+    }
+    std::int64_t ck = 0;
+    for (unsigned i = 0; i < N * N; ++i)
+        ck += static_cast<std::int64_t>(p[i] * 64.0);
+    EXPECT_EQ(runResult(prog), static_cast<Word>(ck));
+}
+
+TEST(WorkloadFpRef, TomcatvRelaxationChecksum)
+{
+    auto prog = findWorkload("tomcatv").build(CodeGen::Alpha, 1);
+    auto mem = imageOf(prog);
+    constexpr unsigned N = 20;
+    const unsigned sweeps = 2;
+    auto grid = [&](const char *sym) {
+        Addr a = prog.symbol(sym);
+        std::vector<double> g(N * N);
+        for (unsigned i = 0; i < N * N; ++i)
+            g[i] = asDouble(mem.read(a + i * 8, 8));
+        return g;
+    };
+    auto xs = grid("xcoord"), ys = grid("ycoord");
+    auto relax_cell = [&](std::vector<double> &a, unsigned i,
+                          unsigned stride) {
+        double lr = a[i - 1] + a[i + 1];
+        double ud = a[i - stride] + a[i + stride];
+        double avg = (lr + ud) * 0.25;
+        double delta = (avg - a[i]) * 0.11;
+        a[i] = a[i] + delta;
+    };
+    for (unsigned s = 0; s < sweeps; ++s)
+        for (unsigned r = 1; r < N - 1; ++r)
+            for (unsigned c = 1; c < N - 1; ++c) {
+                relax_cell(xs, r * N + c, N);
+                relax_cell(ys, r * N + c, N);
+            }
+    std::int64_t ck = 0;
+    for (unsigned i = 0; i < N * N; ++i) {
+        ck += static_cast<std::int64_t>(xs[i] * 4096.0);
+        ck += static_cast<std::int64_t>(ys[i] * 4096.0);
+    }
+    EXPECT_EQ(runResult(prog), static_cast<Word>(ck));
+}
+
+} // namespace
+} // namespace lvplib

@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Functional validation of every benchmark program. For each integer
+ * workload, a C++ reference implementation reads the program's
+ * initial data image (inputs, tables, trees) and recomputes the
+ * expected "__result" checksum, which must match what the VLISA
+ * program computes. All workloads are additionally checked for
+ * completion, determinism, and PPC/Alpha codegen agreement
+ * (parameterized over the whole suite).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/pipeline_driver.hh"
+#include "vm/interpreter.hh"
+#include "vm/memory.hh"
+#include "workloads/workload.hh"
+
+namespace lvplib
+{
+namespace
+{
+
+using workloads::CodeGen;
+using workloads::findWorkload;
+
+/** Initial memory of a program (data image only). */
+vm::SparseMemory
+imageOf(const isa::Program &p)
+{
+    vm::SparseMemory m;
+    m.loadImage(p);
+    return m;
+}
+
+Word
+runResult(const isa::Program &p)
+{
+    auto r = sim::runFunctional(p);
+    EXPECT_TRUE(r.completed);
+    return r.result;
+}
+
+// ---------------------------------------------------------------------
+// Suite-wide properties, parameterized over (benchmark, codegen).
+// ---------------------------------------------------------------------
+
+class WorkloadSuite
+    : public ::testing::TestWithParam<std::tuple<std::string, CodeGen>>
+{
+};
+
+TEST_P(WorkloadSuite, RunsToCompletionWithinBudget)
+{
+    const auto &[name, cg] = GetParam();
+    auto prog = findWorkload(name).build(cg, 1);
+    sim::RunConfig rc;
+    rc.maxInstructions = 5'000'000;
+    auto r = sim::runFunctional(prog, rc);
+    EXPECT_TRUE(r.completed) << name << " did not halt";
+    EXPECT_GT(r.stats.instructions(), 500u) << name << " too trivial";
+    EXPECT_GT(r.stats.loads(), 0u);
+}
+
+TEST_P(WorkloadSuite, DeterministicAcrossRuns)
+{
+    const auto &[name, cg] = GetParam();
+    const auto &w = findWorkload(name);
+    EXPECT_EQ(runResult(w.build(cg, 1)), runResult(w.build(cg, 1)));
+}
+
+TEST_P(WorkloadSuite, ScaleGrowsWork)
+{
+    const auto &[name, cg] = GetParam();
+    const auto &w = findWorkload(name);
+    auto r1 = sim::runFunctional(w.build(cg, 1));
+    auto r2 = sim::runFunctional(w.build(cg, 2));
+    EXPECT_GT(r2.stats.instructions(), r1.stats.instructions())
+        << "scale must increase dynamic work";
+}
+
+std::vector<std::tuple<std::string, CodeGen>>
+allParams()
+{
+    std::vector<std::tuple<std::string, CodeGen>> ps;
+    for (const auto &w : workloads::allWorkloads())
+        for (auto cg : {CodeGen::Ppc, CodeGen::Alpha})
+            ps.emplace_back(w.name, cg);
+    return ps;
+}
+
+std::string
+paramName(
+    const ::testing::TestParamInfo<std::tuple<std::string, CodeGen>> &i)
+{
+    std::string n = std::get<0>(i.param) + "_" +
+                    workloads::codeGenName(std::get<1>(i.param));
+    std::replace(n.begin(), n.end(), '-', '_');
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadSuite,
+                         ::testing::ValuesIn(allParams()), paramName);
+
+/** Both codegen styles must compute the identical result. */
+class CodegenAgreement : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CodegenAgreement, PpcAndAlphaResultsMatch)
+{
+    const auto &w = findWorkload(GetParam());
+    EXPECT_EQ(runResult(w.build(CodeGen::Ppc, 1)),
+              runResult(w.build(CodeGen::Alpha, 1)))
+        << "the two code-generation styles are the same algorithm";
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> ns;
+    for (const auto &w : workloads::allWorkloads())
+        ns.push_back(w.name);
+    return ns;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, CodegenAgreement,
+                         ::testing::ValuesIn(allNames()),
+                         [](const auto &i) {
+                             std::string n = i.param;
+                             std::replace(n.begin(), n.end(), '-', '_');
+                             return n;
+                         });
+
+// ---------------------------------------------------------------------
+// Reference implementations (read the data image, recompute result).
+// ---------------------------------------------------------------------
+
+TEST(WorkloadRef, GrepCountsPlantedPattern)
+{
+    auto prog = findWorkload("grep").build(CodeGen::Ppc, 1);
+    auto mem = imageOf(prog);
+    std::string pattern = mem.readString(prog.symbol("pattern"));
+    Addr text = prog.symbol("text");
+    // The Horspool scan visits every window start in
+    // [0, text_len - pattern_len] without skipping matches, so the
+    // count equals the naive occurrence count over that range.
+    const std::size_t text_len = 3000;
+    std::uint64_t expect = 0;
+    for (std::size_t i = 0; i + pattern.size() <= text_len; ++i) {
+        bool match = true;
+        for (std::size_t k = 0; k < pattern.size(); ++k) {
+            if (mem.readByte(text + i + k) !=
+                static_cast<std::uint8_t>(pattern[k])) {
+                match = false;
+                break;
+            }
+        }
+        expect += match;
+    }
+    EXPECT_EQ(runResult(prog), expect);
+    EXPECT_GT(expect, 0u) << "inputs must contain planted matches";
+}
+
+TEST(WorkloadRef, QuickSortsAndChecksums)
+{
+    auto prog = findWorkload("quick").build(CodeGen::Alpha, 1);
+    auto mem = imageOf(prog);
+    Addr arr = prog.symbol("arr");
+    const std::size_t n = 400;
+    std::vector<std::uint64_t> ref(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ref[i] = mem.read(arr + i * 8, 8);
+    std::sort(ref.begin(), ref.end());
+    std::uint64_t expect = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        expect += ref[i] * (i + 1);
+
+    vm::Interpreter interp(prog);
+    interp.run();
+    ASSERT_TRUE(interp.halted());
+    // The array must be sorted in place...
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(interp.memory().read(arr + i * 8, 8), ref[i])
+            << "element " << i;
+    // ...and the checksum must match.
+    EXPECT_EQ(interp.memory().read(prog.symbol("__result"), 8), expect);
+}
+
+TEST(WorkloadRef, GawkSumsFields)
+{
+    auto prog = findWorkload("gawk").build(CodeGen::Ppc, 1);
+    auto mem = imageOf(prog);
+    Addr p = prog.symbol("text");
+    // One associative-array cell per distinct tag first-character.
+    std::uint64_t sums[256] = {};
+    std::uint64_t lines = 0;
+    while (mem.readByte(p) != 0) {
+        unsigned tag_char = mem.readByte(p);
+        while (mem.readByte(p) != ' ')
+            ++p;
+        ++p;
+        std::uint64_t v = 0;
+        while (mem.readByte(p) >= '0' && mem.readByte(p) <= '9') {
+            v = v * 10 + (mem.readByte(p) - '0');
+            ++p;
+        }
+        sums[tag_char] += v;
+        ++lines;
+        ++p; // newline
+    }
+    std::uint64_t expect = 0;
+    for (auto s : sums)
+        expect += s;
+    expect += lines << 40;
+    EXPECT_EQ(runResult(prog), expect);
+}
+
+TEST(WorkloadRef, EqntottCountsMinterms)
+{
+    auto prog = findWorkload("eqntott").build(CodeGen::Alpha, 1);
+    auto mem = imageOf(prog);
+    Addr expr = prog.symbol("expr");
+    std::uint64_t expect = 0;
+    for (unsigned comb = 0; comb < 256; ++comb) {
+        std::vector<std::uint64_t> stack;
+        for (Addr p = expr;; ++p) {
+            std::uint8_t op = mem.readByte(p);
+            if (op == 255)
+                break;
+            if (op < 8) {
+                stack.push_back((comb >> op) & 1);
+            } else if (op == 10) {
+                stack.back() ^= 1;
+            } else {
+                auto b = stack.back();
+                stack.pop_back();
+                auto &a = stack.back();
+                a = op == 8 ? (a & b) : op == 9 ? (a | b) : (a ^ b);
+            }
+        }
+        expect += stack.back();
+    }
+    EXPECT_EQ(runResult(prog), expect);
+    EXPECT_GT(expect, 0u);
+    EXPECT_LT(expect, 256u);
+}
+
+TEST(WorkloadRef, PerlCountsAnagrams)
+{
+    auto prog = findWorkload("perl").build(CodeGen::Ppc, 1);
+    auto mem = imageOf(prog);
+    Addr sig = prog.symbol("targetsig");
+    Addr dict = prog.symbol("dict");
+    std::uint64_t target[26];
+    for (int i = 0; i < 26; ++i)
+        target[i] = mem.read(sig + i * 8, 8);
+    std::uint64_t matches = 0;
+    for (unsigned w = 0; w < 40; ++w) {
+        std::uint64_t counts[26] = {};
+        Addr p = dict + w * 16;
+        while (mem.readByte(p) != 0) {
+            ++counts[mem.readByte(p) - 'a'];
+            ++p;
+        }
+        bool eq = std::equal(std::begin(counts), std::end(counts),
+                             std::begin(target));
+        matches += eq;
+    }
+    const unsigned sweeps = 3;
+    EXPECT_EQ(runResult(prog), matches * sweeps);
+    EXPECT_GT(matches, 0u) << "anagrams are planted in the dictionary";
+}
+
+TEST(WorkloadRef, CompressLzwChecksum)
+{
+    auto prog = findWorkload("compress").build(CodeGen::Alpha, 1);
+    auto mem = imageOf(prog);
+    Addr text = prog.symbol("text");
+    const std::size_t text_len = 2200;
+    constexpr unsigned DictBits = 12;
+    constexpr unsigned Entries = 1u << DictBits;
+    constexpr std::uint64_t Mul = 0x9E3779B97F4A7C15ull;
+    struct Ent
+    {
+        std::uint64_t key = 0, code = 0;
+    };
+    std::vector<Ent> dict(Entries);
+    std::uint64_t sum = 0, count = 0, nextcode = 256;
+    std::uint64_t prefix = mem.readByte(text);
+    for (std::size_t i = 1; i < text_len; ++i) {
+        std::uint64_t c = mem.readByte(text + i);
+        std::uint64_t key = (prefix << 9) | c;
+        std::uint64_t h = (key * Mul) >> (64 - DictBits);
+        for (;;) {
+            if (dict[h].key == 0) {
+                sum += prefix;
+                ++count;
+                if (nextcode < 256 + 3 * Entries / 4) {
+                    dict[h].key = key;
+                    dict[h].code = nextcode++;
+                }
+                prefix = c;
+                break;
+            }
+            if (dict[h].key == key) {
+                prefix = dict[h].code;
+                break;
+            }
+            h = (h + 1) & (Entries - 1);
+        }
+    }
+    sum += prefix;
+    ++count;
+    std::uint64_t expect = (sum << 20) + count;
+    EXPECT_EQ(runResult(prog), expect);
+}
+
+TEST(WorkloadRef, ScRecalculatesSheet)
+{
+    auto prog = findWorkload("sc").build(CodeGen::Ppc, 1);
+    auto mem = imageOf(prog);
+    Addr sheet = prog.symbol("sheet");
+    const unsigned cells = 16 * 8;
+    const unsigned passes = 6;
+    Addr fn_const = prog.symbol("fnConst");
+    Addr fn_sum = prog.symbol("fnSum");
+    Addr fn_avg = prog.symbol("fnAvg");
+    Addr fn_count = prog.symbol("fnCount");
+    struct Cell
+    {
+        Addr fn;
+        std::uint64_t a1, a2;
+        std::int64_t val;
+    };
+    std::vector<Cell> cs(cells);
+    for (unsigned i = 0; i < cells; ++i) {
+        Addr at = sheet + i * 32;
+        cs[i] = {mem.read(at, 8), mem.read(at + 8, 8),
+                 mem.read(at + 16, 8),
+                 static_cast<std::int64_t>(mem.read(at + 24, 8))};
+    }
+    for (unsigned p = 0; p < passes; ++p) {
+        for (unsigned i = 0; i < cells; ++i) {
+            auto &c = cs[i];
+            if (c.fn == fn_sum)
+                c.val = cs[c.a1].val + cs[c.a2].val;
+            else if (c.fn == fn_avg)
+                c.val = (cs[c.a1].val + cs[c.a2].val) >> 1;
+            else if (c.fn == fn_count)
+                c.val += 1;
+            else
+                ASSERT_EQ(c.fn, fn_const);
+        }
+    }
+    std::uint64_t expect = 0;
+    for (const auto &c : cs)
+        expect += static_cast<std::uint64_t>(c.val);
+    EXPECT_EQ(runResult(prog), expect);
+}
+
+TEST(WorkloadRef, XlispEvaluatesTree)
+{
+    auto prog = findWorkload("xlisp").build(CodeGen::Alpha, 1);
+    auto mem = imageOf(prog);
+    Addr root = mem.read(prog.symbol("rootptr"), 8);
+    ASSERT_NE(root, 0u);
+    // Recursive reference evaluator over the image.
+    std::function<std::int64_t(Addr)> eval = [&](Addr n) -> std::int64_t {
+        auto tag = mem.read(n, 8);
+        auto val = static_cast<std::int64_t>(mem.read(n + 8, 8));
+        Addr l = mem.read(n + 16, 8);
+        Addr r = mem.read(n + 24, 8);
+        switch (tag) {
+          case 0: return val;
+          case 1: return eval(l) + eval(r);
+          case 2: return eval(l) - eval(r);
+          case 3: return (eval(l) * eval(r)) >> 4;
+          case 4: {
+            Addr then_arm = mem.read(r + 16, 8);
+            Addr else_arm = mem.read(r + 24, 8);
+            return eval(l) != 0 ? eval(then_arm) : eval(else_arm);
+          }
+          default:
+            ADD_FAILURE() << "bad tag " << tag;
+            return 0;
+        }
+    };
+    std::int64_t one = eval(root);
+    const unsigned evals = 12;
+    EXPECT_EQ(runResult(prog),
+              static_cast<Word>(one * static_cast<std::int64_t>(evals)));
+}
+
+TEST(WorkloadRef, Cc1FoldsConstants)
+{
+    auto prog = findWorkload("cc1").build(CodeGen::Ppc, 1);
+    auto mem = imageOf(prog);
+    Addr node = prog.symbol("irnodes");
+    const unsigned passes = 4;
+    std::uint64_t folds = 0;
+    std::int64_t acc = 0;
+    for (unsigned p = 0; p < passes; ++p) {
+        for (Addr n = node; n != 0; n = mem.read(n + 40, 8)) {
+            auto op = mem.read(n, 8);
+            bool both = mem.read(n + 8, 8) && mem.read(n + 16, 8);
+            auto v1 = static_cast<std::int64_t>(mem.read(n + 24, 8));
+            auto v2 = static_cast<std::int64_t>(mem.read(n + 32, 8));
+            if (op == 5 || !both)
+                continue;
+            ++folds;
+            switch (op) {
+              case 0: acc += v1 + v2; break;
+              case 1: acc += v1 - v2; break;
+              case 2: acc += v1 * v2; break;
+              case 3: acc += v1 << (v2 & 15); break;
+              case 4: acc += (v1 < v2) ? 0 : 1; break;
+            }
+        }
+    }
+    std::uint64_t expect =
+        (folds << 32) +
+        (static_cast<std::uint64_t>(acc) & 0xffffffffull);
+    EXPECT_EQ(runResult(prog), expect);
+    EXPECT_GT(folds, 0u);
+}
+
+TEST(WorkloadRef, MpegDithersFrames)
+{
+    auto prog = findWorkload("mpeg").build(CodeGen::Alpha, 1);
+    auto mem = imageOf(prog);
+    Addr ref = prog.symbol("ref");
+    Addr deltas = prog.symbol("deltas");
+    Addr dither = prog.symbol("dither");
+    Addr clamp = prog.symbol("clamp");
+    const unsigned pixels = 512;
+    const unsigned frames = 4;
+    std::uint64_t sum = 0;
+    for (unsigned f = 0; f < frames; ++f) {
+        for (unsigned i = 0; i < pixels; ++i) {
+            std::uint64_t r = mem.readByte(ref + i);
+            std::uint64_t d =
+                mem.readByte(deltas + ((i + f) & (pixels - 1)));
+            std::uint64_t k = mem.readByte(dither + ((i >> 4) & 15));
+            std::uint64_t x = ((r + d + k) >> 2) & 63;
+            sum += mem.readByte(clamp + x);
+        }
+    }
+    EXPECT_EQ(runResult(prog), sum);
+}
+
+TEST(WorkloadRef, GperfTrialsMatchReference)
+{
+    auto prog = findWorkload("gperf").build(CodeGen::Ppc, 1);
+    auto mem = imageOf(prog);
+    Addr kwtab = prog.symbol("kwtab");
+    constexpr unsigned K = 24;
+    struct Kw
+    {
+        std::uint8_t first, last;
+        std::uint64_t len;
+    };
+    std::vector<Kw> kws(K);
+    for (unsigned i = 0; i < K; ++i) {
+        Addr ptr = mem.read(kwtab + i * 16, 8);
+        std::uint64_t len = mem.read(kwtab + i * 16 + 8, 8);
+        kws[i] = {mem.readByte(ptr), mem.readByte(ptr + len - 1), len};
+    }
+    const unsigned sweeps = 1;
+    std::uint64_t trials = 0;
+    for (unsigned s = 0; s < sweeps; ++s) {
+        std::uint64_t asso[26] = {};
+        // Mirror the program exactly: the trial counter increments
+        // BEFORE the give-up check, so an aborted 151st attempt still
+        // counts.
+        for (unsigned t = 0;;) {
+            ++trials;
+            if (++t > 150)
+                break;
+            bool occupied[64] = {};
+            bool collided = false;
+            for (unsigned i = 0; i < K && !collided; ++i) {
+                auto h = (asso[kws[i].first - 'a'] +
+                          asso[kws[i].last - 'a'] + kws[i].len) &
+                         63;
+                if (occupied[h]) {
+                    ++asso[kws[i].first - 'a'];
+                    collided = true;
+                } else {
+                    occupied[h] = true;
+                }
+            }
+            if (!collided)
+                break;
+        }
+    }
+    EXPECT_EQ(runResult(prog), trials);
+}
+
+} // namespace
+} // namespace lvplib

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * lvpsim: command-line driver for the lvplib simulation pipeline.
+ * Run `lvpsim --help` for usage.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "sim/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string error;
+    auto opts = lvplib::sim::parseCli(args, error);
+    if (!opts) {
+        std::cerr << "lvpsim: " << error << "\n"
+                  << lvplib::sim::cliUsage();
+        return 1;
+    }
+    return lvplib::sim::runCli(*opts, std::cout);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_all_values"
+  "../bench/ablation_all_values.pdb"
+  "CMakeFiles/ablation_all_values.dir/ablation_all_values.cpp.o"
+  "CMakeFiles/ablation_all_values.dir/ablation_all_values.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_all_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bpred"
+  "../bench/ablation_bpred.pdb"
+  "CMakeFiles/ablation_bpred.dir/ablation_bpred.cpp.o"
+  "CMakeFiles/ablation_bpred.dir/ablation_bpred.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

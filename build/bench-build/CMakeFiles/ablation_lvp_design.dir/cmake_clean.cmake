@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lvp_design"
+  "../bench/ablation_lvp_design.pdb"
+  "CMakeFiles/ablation_lvp_design.dir/ablation_lvp_design.cpp.o"
+  "CMakeFiles/ablation_lvp_design.dir/ablation_lvp_design.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lvp_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

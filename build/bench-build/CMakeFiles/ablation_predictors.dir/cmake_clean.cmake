@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_predictors"
+  "../bench/ablation_predictors.pdb"
+  "CMakeFiles/ablation_predictors.dir/ablation_predictors.cpp.o"
+  "CMakeFiles/ablation_predictors.dir/ablation_predictors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

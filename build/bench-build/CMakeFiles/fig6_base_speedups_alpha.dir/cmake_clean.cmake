@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_base_speedups_alpha"
+  "../bench/fig6_base_speedups_alpha.pdb"
+  "CMakeFiles/fig6_base_speedups_alpha.dir/fig6_base_speedups_alpha.cpp.o"
+  "CMakeFiles/fig6_base_speedups_alpha.dir/fig6_base_speedups_alpha.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_base_speedups_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_base_speedups_ppc"
+  "../bench/fig6_base_speedups_ppc.pdb"
+  "CMakeFiles/fig6_base_speedups_ppc.dir/fig6_base_speedups_ppc.cpp.o"
+  "CMakeFiles/fig6_base_speedups_ppc.dir/fig6_base_speedups_ppc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_base_speedups_ppc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

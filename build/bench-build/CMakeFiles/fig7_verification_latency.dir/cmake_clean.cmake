@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_verification_latency"
+  "../bench/fig7_verification_latency.pdb"
+  "CMakeFiles/fig7_verification_latency.dir/fig7_verification_latency.cpp.o"
+  "CMakeFiles/fig7_verification_latency.dir/fig7_verification_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_verification_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_dependency_resolution"
+  "../bench/fig8_dependency_resolution.pdb"
+  "CMakeFiles/fig8_dependency_resolution.dir/fig8_dependency_resolution.cpp.o"
+  "CMakeFiles/fig8_dependency_resolution.dir/fig8_dependency_resolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dependency_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

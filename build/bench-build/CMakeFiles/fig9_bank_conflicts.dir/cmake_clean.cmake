@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_bank_conflicts"
+  "../bench/fig9_bank_conflicts.pdb"
+  "CMakeFiles/fig9_bank_conflicts.dir/fig9_bank_conflicts.cpp.o"
+  "CMakeFiles/fig9_bank_conflicts.dir/fig9_bank_conflicts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_bank_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_lvp_structures"
+  "../bench/micro_lvp_structures.pdb"
+  "CMakeFiles/micro_lvp_structures.dir/micro_lvp_structures.cpp.o"
+  "CMakeFiles/micro_lvp_structures.dir/micro_lvp_structures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lvp_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec61_miss_rates"
+  "../bench/sec61_miss_rates.pdb"
+  "CMakeFiles/sec61_miss_rates.dir/sec61_miss_rates.cpp.o"
+  "CMakeFiles/sec61_miss_rates.dir/sec61_miss_rates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec61_miss_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

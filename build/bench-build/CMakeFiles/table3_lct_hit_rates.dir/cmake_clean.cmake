@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_lct_hit_rates"
+  "../bench/table3_lct_hit_rates.pdb"
+  "CMakeFiles/table3_lct_hit_rates.dir/table3_lct_hit_rates.cpp.o"
+  "CMakeFiles/table3_lct_hit_rates.dir/table3_lct_hit_rates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_lct_hit_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

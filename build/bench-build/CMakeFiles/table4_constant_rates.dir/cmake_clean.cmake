@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_constant_rates"
+  "../bench/table4_constant_rates.pdb"
+  "CMakeFiles/table4_constant_rates.dir/table4_constant_rates.cpp.o"
+  "CMakeFiles/table4_constant_rates.dir/table4_constant_rates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_constant_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_latencies"
+  "../bench/table5_latencies.pdb"
+  "CMakeFiles/table5_latencies.dir/table5_latencies.cpp.o"
+  "CMakeFiles/table5_latencies.dir/table5_latencies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_latencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

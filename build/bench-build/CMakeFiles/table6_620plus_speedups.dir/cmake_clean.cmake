@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_620plus_speedups"
+  "../bench/table6_620plus_speedups.pdb"
+  "CMakeFiles/table6_620plus_speedups.dir/table6_620plus_speedups.cpp.o"
+  "CMakeFiles/table6_620plus_speedups.dir/table6_620plus_speedups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_620plus_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

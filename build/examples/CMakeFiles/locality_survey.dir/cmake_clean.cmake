@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_survey.dir/locality_survey.cpp.o"
+  "CMakeFiles/locality_survey.dir/locality_survey.cpp.o.d"
+  "locality_survey"
+  "locality_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

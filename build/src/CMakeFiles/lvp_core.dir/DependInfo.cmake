@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/lvp_core.dir/core/config.cc.o" "gcc" "src/CMakeFiles/lvp_core.dir/core/config.cc.o.d"
+  "/root/repo/src/core/cvu.cc" "src/CMakeFiles/lvp_core.dir/core/cvu.cc.o" "gcc" "src/CMakeFiles/lvp_core.dir/core/cvu.cc.o.d"
+  "/root/repo/src/core/fcm_unit.cc" "src/CMakeFiles/lvp_core.dir/core/fcm_unit.cc.o" "gcc" "src/CMakeFiles/lvp_core.dir/core/fcm_unit.cc.o.d"
+  "/root/repo/src/core/lct.cc" "src/CMakeFiles/lvp_core.dir/core/lct.cc.o" "gcc" "src/CMakeFiles/lvp_core.dir/core/lct.cc.o.d"
+  "/root/repo/src/core/locality_profiler.cc" "src/CMakeFiles/lvp_core.dir/core/locality_profiler.cc.o" "gcc" "src/CMakeFiles/lvp_core.dir/core/locality_profiler.cc.o.d"
+  "/root/repo/src/core/lvp_unit.cc" "src/CMakeFiles/lvp_core.dir/core/lvp_unit.cc.o" "gcc" "src/CMakeFiles/lvp_core.dir/core/lvp_unit.cc.o.d"
+  "/root/repo/src/core/lvpt.cc" "src/CMakeFiles/lvp_core.dir/core/lvpt.cc.o" "gcc" "src/CMakeFiles/lvp_core.dir/core/lvpt.cc.o.d"
+  "/root/repo/src/core/stride_unit.cc" "src/CMakeFiles/lvp_core.dir/core/stride_unit.cc.o" "gcc" "src/CMakeFiles/lvp_core.dir/core/stride_unit.cc.o.d"
+  "/root/repo/src/core/value_profiler.cc" "src/CMakeFiles/lvp_core.dir/core/value_profiler.cc.o" "gcc" "src/CMakeFiles/lvp_core.dir/core/value_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lvp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lvp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lvp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lvp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvp_core.dir/core/config.cc.o"
+  "CMakeFiles/lvp_core.dir/core/config.cc.o.d"
+  "CMakeFiles/lvp_core.dir/core/cvu.cc.o"
+  "CMakeFiles/lvp_core.dir/core/cvu.cc.o.d"
+  "CMakeFiles/lvp_core.dir/core/fcm_unit.cc.o"
+  "CMakeFiles/lvp_core.dir/core/fcm_unit.cc.o.d"
+  "CMakeFiles/lvp_core.dir/core/lct.cc.o"
+  "CMakeFiles/lvp_core.dir/core/lct.cc.o.d"
+  "CMakeFiles/lvp_core.dir/core/locality_profiler.cc.o"
+  "CMakeFiles/lvp_core.dir/core/locality_profiler.cc.o.d"
+  "CMakeFiles/lvp_core.dir/core/lvp_unit.cc.o"
+  "CMakeFiles/lvp_core.dir/core/lvp_unit.cc.o.d"
+  "CMakeFiles/lvp_core.dir/core/lvpt.cc.o"
+  "CMakeFiles/lvp_core.dir/core/lvpt.cc.o.d"
+  "CMakeFiles/lvp_core.dir/core/stride_unit.cc.o"
+  "CMakeFiles/lvp_core.dir/core/stride_unit.cc.o.d"
+  "CMakeFiles/lvp_core.dir/core/value_profiler.cc.o"
+  "CMakeFiles/lvp_core.dir/core/value_profiler.cc.o.d"
+  "liblvp_core.a"
+  "liblvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

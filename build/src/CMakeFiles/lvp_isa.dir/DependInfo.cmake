@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/lvp_isa.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/lvp_isa.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/lvp_isa.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/lvp_isa.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/lvp_isa.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/lvp_isa.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/latency.cc" "src/CMakeFiles/lvp_isa.dir/isa/latency.cc.o" "gcc" "src/CMakeFiles/lvp_isa.dir/isa/latency.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/lvp_isa.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/lvp_isa.dir/isa/program.cc.o.d"
+  "/root/repo/src/isa/text_asm.cc" "src/CMakeFiles/lvp_isa.dir/isa/text_asm.cc.o" "gcc" "src/CMakeFiles/lvp_isa.dir/isa/text_asm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lvp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvp_isa.dir/isa/assembler.cc.o"
+  "CMakeFiles/lvp_isa.dir/isa/assembler.cc.o.d"
+  "CMakeFiles/lvp_isa.dir/isa/disasm.cc.o"
+  "CMakeFiles/lvp_isa.dir/isa/disasm.cc.o.d"
+  "CMakeFiles/lvp_isa.dir/isa/instruction.cc.o"
+  "CMakeFiles/lvp_isa.dir/isa/instruction.cc.o.d"
+  "CMakeFiles/lvp_isa.dir/isa/latency.cc.o"
+  "CMakeFiles/lvp_isa.dir/isa/latency.cc.o.d"
+  "CMakeFiles/lvp_isa.dir/isa/program.cc.o"
+  "CMakeFiles/lvp_isa.dir/isa/program.cc.o.d"
+  "CMakeFiles/lvp_isa.dir/isa/text_asm.cc.o"
+  "CMakeFiles/lvp_isa.dir/isa/text_asm.cc.o.d"
+  "liblvp_isa.a"
+  "liblvp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvp_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/lvp_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/lvp_mem.dir/mem/hierarchy.cc.o"
+  "CMakeFiles/lvp_mem.dir/mem/hierarchy.cc.o.d"
+  "liblvp_mem.a"
+  "liblvp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

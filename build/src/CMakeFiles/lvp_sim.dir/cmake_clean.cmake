@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvp_sim.dir/sim/cli.cc.o"
+  "CMakeFiles/lvp_sim.dir/sim/cli.cc.o.d"
+  "CMakeFiles/lvp_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/lvp_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/lvp_sim.dir/sim/pipeline_driver.cc.o"
+  "CMakeFiles/lvp_sim.dir/sim/pipeline_driver.cc.o.d"
+  "CMakeFiles/lvp_sim.dir/sim/report.cc.o"
+  "CMakeFiles/lvp_sim.dir/sim/report.cc.o.d"
+  "liblvp_sim.a"
+  "liblvp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvp_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/lvp_trace.dir/trace/trace.cc.o.d"
+  "CMakeFiles/lvp_trace.dir/trace/trace_file.cc.o"
+  "CMakeFiles/lvp_trace.dir/trace/trace_file.cc.o.d"
+  "CMakeFiles/lvp_trace.dir/trace/trace_stats.cc.o"
+  "CMakeFiles/lvp_trace.dir/trace/trace_stats.cc.o.d"
+  "liblvp_trace.a"
+  "liblvp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

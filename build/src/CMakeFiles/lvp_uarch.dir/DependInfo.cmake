@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/alpha21164.cc" "src/CMakeFiles/lvp_uarch.dir/uarch/alpha21164.cc.o" "gcc" "src/CMakeFiles/lvp_uarch.dir/uarch/alpha21164.cc.o.d"
+  "/root/repo/src/uarch/bpred.cc" "src/CMakeFiles/lvp_uarch.dir/uarch/bpred.cc.o" "gcc" "src/CMakeFiles/lvp_uarch.dir/uarch/bpred.cc.o.d"
+  "/root/repo/src/uarch/machine_config.cc" "src/CMakeFiles/lvp_uarch.dir/uarch/machine_config.cc.o" "gcc" "src/CMakeFiles/lvp_uarch.dir/uarch/machine_config.cc.o.d"
+  "/root/repo/src/uarch/ppc620.cc" "src/CMakeFiles/lvp_uarch.dir/uarch/ppc620.cc.o" "gcc" "src/CMakeFiles/lvp_uarch.dir/uarch/ppc620.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lvp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lvp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lvp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lvp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lvp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

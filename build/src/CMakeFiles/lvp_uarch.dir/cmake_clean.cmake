@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvp_uarch.dir/uarch/alpha21164.cc.o"
+  "CMakeFiles/lvp_uarch.dir/uarch/alpha21164.cc.o.d"
+  "CMakeFiles/lvp_uarch.dir/uarch/bpred.cc.o"
+  "CMakeFiles/lvp_uarch.dir/uarch/bpred.cc.o.d"
+  "CMakeFiles/lvp_uarch.dir/uarch/machine_config.cc.o"
+  "CMakeFiles/lvp_uarch.dir/uarch/machine_config.cc.o.d"
+  "CMakeFiles/lvp_uarch.dir/uarch/ppc620.cc.o"
+  "CMakeFiles/lvp_uarch.dir/uarch/ppc620.cc.o.d"
+  "liblvp_uarch.a"
+  "liblvp_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvp_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

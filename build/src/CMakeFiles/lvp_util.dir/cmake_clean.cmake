@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvp_util.dir/util/stats.cc.o"
+  "CMakeFiles/lvp_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/lvp_util.dir/util/table.cc.o"
+  "CMakeFiles/lvp_util.dir/util/table.cc.o.d"
+  "liblvp_util.a"
+  "liblvp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

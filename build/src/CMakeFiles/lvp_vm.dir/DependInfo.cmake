@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/interpreter.cc" "src/CMakeFiles/lvp_vm.dir/vm/interpreter.cc.o" "gcc" "src/CMakeFiles/lvp_vm.dir/vm/interpreter.cc.o.d"
+  "/root/repo/src/vm/memory.cc" "src/CMakeFiles/lvp_vm.dir/vm/memory.cc.o" "gcc" "src/CMakeFiles/lvp_vm.dir/vm/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lvp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lvp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lvp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvp_vm.dir/vm/interpreter.cc.o"
+  "CMakeFiles/lvp_vm.dir/vm/interpreter.cc.o.d"
+  "CMakeFiles/lvp_vm.dir/vm/memory.cc.o"
+  "CMakeFiles/lvp_vm.dir/vm/memory.cc.o.d"
+  "liblvp_vm.a"
+  "liblvp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

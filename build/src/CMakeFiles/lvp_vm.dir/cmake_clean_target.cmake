@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblvp_vm.a"
+)

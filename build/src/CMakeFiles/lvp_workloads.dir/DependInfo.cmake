@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cc1.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/cc1.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/cc1.cc.o.d"
+  "/root/repo/src/workloads/cjpeg.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/cjpeg.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/cjpeg.cc.o.d"
+  "/root/repo/src/workloads/common.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/common.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/common.cc.o.d"
+  "/root/repo/src/workloads/compress.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/compress.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/compress.cc.o.d"
+  "/root/repo/src/workloads/doduc.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/doduc.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/doduc.cc.o.d"
+  "/root/repo/src/workloads/eqntott.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/eqntott.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/eqntott.cc.o.d"
+  "/root/repo/src/workloads/gawk.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/gawk.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/gawk.cc.o.d"
+  "/root/repo/src/workloads/gperf.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/gperf.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/gperf.cc.o.d"
+  "/root/repo/src/workloads/grep.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/grep.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/grep.cc.o.d"
+  "/root/repo/src/workloads/hydro2d.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/hydro2d.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/hydro2d.cc.o.d"
+  "/root/repo/src/workloads/mpeg.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/mpeg.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/mpeg.cc.o.d"
+  "/root/repo/src/workloads/perl.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/perl.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/perl.cc.o.d"
+  "/root/repo/src/workloads/quick.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/quick.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/quick.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/sc.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/sc.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/sc.cc.o.d"
+  "/root/repo/src/workloads/swm256.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/swm256.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/swm256.cc.o.d"
+  "/root/repo/src/workloads/tomcatv.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/tomcatv.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/tomcatv.cc.o.d"
+  "/root/repo/src/workloads/xlisp.cc" "src/CMakeFiles/lvp_workloads.dir/workloads/xlisp.cc.o" "gcc" "src/CMakeFiles/lvp_workloads.dir/workloads/xlisp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lvp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lvp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lvp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lvp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvu_test.dir/cvu_test.cpp.o"
+  "CMakeFiles/cvu_test.dir/cvu_test.cpp.o.d"
+  "cvu_test"
+  "cvu_test.pdb"
+  "cvu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_timing_test.dir/experiment_timing_test.cpp.o"
+  "CMakeFiles/experiment_timing_test.dir/experiment_timing_test.cpp.o.d"
+  "experiment_timing_test"
+  "experiment_timing_test.pdb"
+  "experiment_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

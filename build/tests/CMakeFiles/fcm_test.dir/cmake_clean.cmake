@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcm_test.dir/fcm_test.cpp.o"
+  "CMakeFiles/fcm_test.dir/fcm_test.cpp.o.d"
+  "fcm_test"
+  "fcm_test.pdb"
+  "fcm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_interpreter_test.dir/fuzz_interpreter_test.cpp.o"
+  "CMakeFiles/fuzz_interpreter_test.dir/fuzz_interpreter_test.cpp.o.d"
+  "fuzz_interpreter_test"
+  "fuzz_interpreter_test.pdb"
+  "fuzz_interpreter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lct_test.dir/lct_test.cpp.o"
+  "CMakeFiles/lct_test.dir/lct_test.cpp.o.d"
+  "lct_test"
+  "lct_test.pdb"
+  "lct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

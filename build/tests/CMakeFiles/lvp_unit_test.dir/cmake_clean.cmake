@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvp_unit_test.dir/lvp_unit_test.cpp.o"
+  "CMakeFiles/lvp_unit_test.dir/lvp_unit_test.cpp.o.d"
+  "lvp_unit_test"
+  "lvp_unit_test.pdb"
+  "lvp_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvp_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

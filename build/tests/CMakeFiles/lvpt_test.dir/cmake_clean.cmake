@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvpt_test.dir/lvpt_test.cpp.o"
+  "CMakeFiles/lvpt_test.dir/lvpt_test.cpp.o.d"
+  "lvpt_test"
+  "lvpt_test.pdb"
+  "lvpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_detail_test.dir/uarch_detail_test.cpp.o"
+  "CMakeFiles/uarch_detail_test.dir/uarch_detail_test.cpp.o.d"
+  "uarch_detail_test"
+  "uarch_detail_test.pdb"
+  "uarch_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

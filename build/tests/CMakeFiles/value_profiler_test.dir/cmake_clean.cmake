@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_profiler_test.dir/value_profiler_test.cpp.o"
+  "CMakeFiles/value_profiler_test.dir/value_profiler_test.cpp.o.d"
+  "value_profiler_test"
+  "value_profiler_test.pdb"
+  "value_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

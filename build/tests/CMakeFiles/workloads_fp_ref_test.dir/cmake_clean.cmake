@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_fp_ref_test.dir/workloads_fp_ref_test.cpp.o"
+  "CMakeFiles/workloads_fp_ref_test.dir/workloads_fp_ref_test.cpp.o.d"
+  "workloads_fp_ref_test"
+  "workloads_fp_ref_test.pdb"
+  "workloads_fp_ref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_fp_ref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

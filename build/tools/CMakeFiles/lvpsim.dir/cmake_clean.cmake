@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvpsim.dir/lvpsim.cc.o"
+  "CMakeFiles/lvpsim.dir/lvpsim.cc.o.d"
+  "lvpsim"
+  "lvpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,65 +1,16 @@
 /**
  * @file
- * Extension study: value locality of ALL value-producing
- * instructions, not only loads — the paper's final future-work
- * suggestion ("speculating on values generated by instructions other
- * than loads"). Buckets by functional-unit class at history depths 1
- * and 16.
+ * Reproduces the extension study of value locality across ALL
+ * value-producing instructions.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "core/value_profiler.hh"
-#include "sim/experiment.hh"
-#include "sim/report.hh"
-#include "util/stats.hh"
-#include "vm/interpreter.hh"
-#include "workloads/workload.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib;
-    auto opts = sim::ExperimentOptions::fromEnv();
-
-    TextTable t;
-    t.header({"Benchmark", "ALL d=1", "ALL d=16", "SCFX d=1",
-              "SCFX d=16", "MCFX d=1", "FPU d=1", "LSU d=1",
-              "LSU d=16"});
-    auto cell = [](const core::LocalityCounts &c, bool deep) {
-        if (c.loads == 0)
-            return std::string("-");
-        return TextTable::fmtPct(deep ? c.pctDepthN() : c.pctDepth1());
-    };
-    std::vector<double> all1, all16;
-    for (const auto &w : workloads::allWorkloads()) {
-        auto prog = w.build(workloads::CodeGen::Ppc, opts.scale);
-        vm::Interpreter interp(prog);
-        core::AllValueLocalityProfiler prof;
-        interp.run(&prof, opts.maxInstructions);
-        all1.push_back(prof.total().pctDepth1());
-        all16.push_back(prof.total().pctDepthN());
-        t.row({w.name, cell(prof.total(), false),
-               cell(prof.total(), true),
-               cell(prof.byFu(isa::FuType::SCFX), false),
-               cell(prof.byFu(isa::FuType::SCFX), true),
-               cell(prof.byFu(isa::FuType::MCFX), false),
-               cell(prof.byFu(isa::FuType::FPU), false),
-               cell(prof.byFu(isa::FuType::LSU), false),
-               cell(prof.byFu(isa::FuType::LSU), true)});
-    }
-    t.row({"MEAN", TextTable::fmtPct(mean(all1)),
-           TextTable::fmtPct(mean(all16)), "-", "-", "-", "-", "-",
-           "-"});
-
-    sim::printExperiment(
-        std::cout,
-        "Extension: value locality of ALL value-producing instructions",
-        "the follow-up literature (e.g. Lipasti & Shen, MICRO-29) "
-        "found that non-load instructions also exhibit substantial "
-        "value locality; loads are not special, just the most "
-        "latency-critical.",
-        t, opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("ablation_all_values");
 }

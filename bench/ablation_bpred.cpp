@@ -1,68 +1,16 @@
 /**
  * @file
- * Front-end ablation: the 620's plain bimodal BHT versus a gshare
- * two-level predictor (the paper builds on the branch-prediction
- * lineage it cites — Smith'81, Yeh & Patt'91). Reports per-benchmark
- * mispredict rates and the resulting 620 IPC, with and without LVP,
- * showing how better control speculation and value speculation
- * compose.
+ * Reproduces the front-end ablation: bimodal vs gshare, with and
+ * without LVP.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "sim/experiment.hh"
-#include "sim/pipeline_driver.hh"
-#include "sim/report.hh"
-#include "util/stats.hh"
-#include "workloads/workload.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib;
-    auto opts = sim::ExperimentOptions::fromEnv();
-
-    TextTable t;
-    t.header({"Benchmark", "bimodal mispred", "gshare mispred",
-              "bimodal IPC", "gshare IPC", "gshare+LVP IPC"});
-    std::vector<double> bi, gs, gl;
-    for (const auto &w : workloads::allWorkloads()) {
-        auto prog = w.build(workloads::CodeGen::Ppc, opts.scale);
-        auto bimodal_cfg = uarch::Ppc620Config::base620();
-        auto gshare_cfg = uarch::Ppc620Config::base620();
-        gshare_cfg.bpred.gshareBits = 8;
-
-        auto bimodal = sim::runPpc620(prog, bimodal_cfg, std::nullopt,
-                                      {opts.maxInstructions});
-        auto gshare = sim::runPpc620(prog, gshare_cfg, std::nullopt,
-                                     {opts.maxInstructions});
-        auto gshare_lvp =
-            sim::runPpc620(prog, gshare_cfg, core::LvpConfig::simple(),
-                           {opts.maxInstructions});
-        auto mr = [&](const sim::PpcRun &r) {
-            return pct(r.timing.branchMispredicts,
-                       r.timing.instructions);
-        };
-        bi.push_back(bimodal.timing.ipc());
-        gs.push_back(gshare.timing.ipc());
-        gl.push_back(gshare_lvp.timing.ipc());
-        t.row({w.name, TextTable::fmtPct(mr(bimodal), 2),
-               TextTable::fmtPct(mr(gshare), 2),
-               TextTable::fmtDouble(bimodal.timing.ipc(), 3),
-               TextTable::fmtDouble(gshare.timing.ipc(), 3),
-               TextTable::fmtDouble(gshare_lvp.timing.ipc(), 3)});
-    }
-    t.row({"MEAN", "-", "-", TextTable::fmtDouble(mean(bi), 3),
-           TextTable::fmtDouble(mean(gs), 3),
-           TextTable::fmtDouble(mean(gl), 3)});
-
-    sim::printExperiment(
-        std::cout,
-        "Ablation: bimodal vs gshare front end (with and without LVP)",
-        "value prediction and better branch prediction compose: LVP "
-        "collapses the load half of load-compare-branch chains, so "
-        "its gains persist under a stronger front end.",
-        t, opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("ablation_bpred");
 }

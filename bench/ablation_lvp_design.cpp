@@ -1,197 +1,15 @@
 /**
  * @file
- * Design-space ablations for the LVP unit (DESIGN.md Section 4):
- *
- *  1. LVPT capacity sweep (aliasing pressure vs the paper's 1024);
- *  2. history-depth sweep with the oracle selector (1 .. 16);
- *  3. CVU capacity sweep (constant coverage vs CAM size);
- *  4. branch-history-indexed LVPT lookup (paper §7);
- *  5. value-misprediction recovery policy (selective reissue vs
- *     squash-and-refetch);
- *  6. tagged vs untagged LVPT (quantifying the constructive and
- *     destructive interference the paper's untagged design accepts).
- *
- * Prediction sweeps report the fraction of loads predicted correctly
- * (correct + constant, over all loads), averaged over the suite; the
- * recovery ablation reports geometric-mean machine speedups.
+ * Reproduces the six LVP design-space ablations (DESIGN.md Section 4).
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "sim/experiment.hh"
-#include "sim/pipeline_driver.hh"
-#include "uarch/machine_config.hh"
-#include "sim/report.hh"
-#include "util/stats.hh"
-#include "workloads/workload.hh"
-
-namespace
-{
-
-using namespace lvplib;
-
-/** Mean "good prediction" rate over the suite for one config. */
-double
-meanGood(const core::LvpConfig &cfg, const sim::ExperimentOptions &opts)
-{
-    std::vector<double> xs;
-    for (const auto &w : workloads::allWorkloads()) {
-        auto prog = w.build(workloads::CodeGen::Ppc, opts.scale);
-        auto st = sim::runLvpOnly(prog, cfg, {opts.maxInstructions});
-        xs.push_back(pct(st.correct + st.constants, st.loads));
-    }
-    return mean(xs);
-}
-
-} // namespace
+#include "sim/suite.hh"
 
 int
 main()
 {
-    auto opts = sim::ExperimentOptions::fromEnv();
-
-    {
-        TextTable t;
-        t.header({"LVPT entries", "good predictions"});
-        for (std::uint32_t entries : {64u, 256u, 1024u, 4096u}) {
-            auto cfg = core::LvpConfig::simple();
-            cfg.lvptEntries = entries;
-            t.row({std::to_string(entries),
-                   TextTable::fmtPct(meanGood(cfg, opts))});
-        }
-        sim::printExperiment(
-            std::cout, "Ablation 1: LVPT capacity sweep",
-            "small tables alias destructively; gains flatten once the "
-            "hot static loads fit (the paper picked 1024).",
-            t, opts);
-    }
-
-    {
-        TextTable t;
-        t.header({"History depth (oracle select)", "good predictions"});
-        for (std::uint32_t depth : {1u, 2u, 4u, 8u, 16u}) {
-            auto cfg = core::LvpConfig::limit();
-            cfg.historyDepth = depth;
-            t.row({std::to_string(depth),
-                   TextTable::fmtPct(meanGood(cfg, opts))});
-        }
-        sim::printExperiment(
-            std::cout, "Ablation 2: history-depth sweep",
-            "deeper histories with perfect selection capture "
-            "alternating values; most of the benefit arrives by depth "
-            "4-8 (the paper's Figure 1 contrasts depths 1 and 16).",
-            t, opts);
-    }
-
-    {
-        TextTable t;
-        t.header({"CVU entries", "constants (% of loads)"});
-        for (std::uint32_t entries : {8u, 32u, 128u, 512u}) {
-            auto cfg = core::LvpConfig::constant();
-            cfg.cvuEntries = entries;
-            std::vector<double> xs;
-            for (const auto &w : workloads::allWorkloads()) {
-                auto prog =
-                    w.build(workloads::CodeGen::Ppc, opts.scale);
-                auto st = sim::runLvpOnly(prog, cfg,
-                                          {opts.maxInstructions});
-                xs.push_back(st.constantRate());
-            }
-            t.row({std::to_string(entries),
-                   TextTable::fmtPct(mean(xs))});
-        }
-        // Organization: the paper's full CAM vs a cheaper 4-way
-        // set-associative CVU at the Constant config's capacity.
-        {
-            auto cfg = core::LvpConfig::constant();
-            cfg.cvuWays = 4;
-            std::vector<double> xs;
-            for (const auto &w : workloads::allWorkloads()) {
-                auto prog =
-                    w.build(workloads::CodeGen::Ppc, opts.scale);
-                auto st = sim::runLvpOnly(prog, cfg,
-                                          {opts.maxInstructions});
-                xs.push_back(st.constantRate());
-            }
-            t.row({"128 (4-way set-assoc)",
-                   TextTable::fmtPct(mean(xs))});
-        }
-        sim::printExperiment(
-            std::cout, "Ablation 3: CVU capacity and organization",
-            "more CAM entries keep more constants verified between "
-            "stores; returns diminish as the hot constant set fits.",
-            t, opts);
-    }
-
-    {
-        TextTable t;
-        t.header({"BHR bits in LVPT index", "good predictions"});
-        for (std::uint32_t bits : {0u, 2u, 4u, 8u}) {
-            auto cfg = core::LvpConfig::simple();
-            cfg.bhrBits = bits;
-            t.row({std::to_string(bits),
-                   TextTable::fmtPct(meanGood(cfg, opts))});
-        }
-        sim::printExperiment(
-            std::cout,
-            "Ablation 4: branch-history-indexed LVPT (paper §7)",
-            "hashing global branch history into the lookup index "
-            "gives context-dependent loads separate entries (helping "
-            "alternating-value loads) at the cost of spreading "
-            "context-independent loads across more entries.",
-            t, opts);
-    }
-
-    {
-        TextTable t;
-        t.header({"Recovery policy", "GM speedup (620, Simple)"});
-        for (bool squash : {false, true}) {
-            auto mc = uarch::Ppc620Config::base620();
-            mc.squashOnValueMispredict = squash;
-            std::vector<double> speedups;
-            for (const auto &w : workloads::allWorkloads()) {
-                auto prog =
-                    w.build(workloads::CodeGen::Ppc, opts.scale);
-                auto base = sim::runPpc620(prog, mc, std::nullopt,
-                                           {opts.maxInstructions});
-                auto run = sim::runPpc620(prog, mc,
-                                          core::LvpConfig::simple(),
-                                          {opts.maxInstructions});
-                speedups.push_back(run.timing.ipc() /
-                                   base.timing.ipc());
-            }
-            t.row({squash ? "squash + refetch" : "selective reissue "
-                                                 "(paper)",
-                   TextTable::fmtDouble(geomean(speedups), 3)});
-        }
-        sim::printExperiment(
-            std::cout,
-            "Ablation 5: value-misprediction recovery policy",
-            "the paper's selective reissue keeps the worst-case "
-            "penalty at one cycle plus structural hazards; squashing "
-            "like a branch mispredict erodes (or inverts) the Simple "
-            "configuration's gains, which is why the LCT + selective "
-            "recovery combination matters.",
-            t, opts);
-    }
-
-    {
-        TextTable t;
-        t.header({"LVPT tagging", "good predictions"});
-        for (bool tagged : {false, true}) {
-            auto cfg = core::LvpConfig::simple();
-            cfg.taggedLvpt = tagged;
-            t.row({tagged ? "tagged" : "untagged (paper)",
-                   TextTable::fmtPct(meanGood(cfg, opts))});
-        }
-        sim::printExperiment(
-            std::cout, "Ablation 6: tagged vs untagged LVPT",
-            "tags remove destructive interference but also the "
-            "constructive kind, and cost area; at 1024 entries the "
-            "difference is small, which is why the paper left the "
-            "table untagged.",
-            t, opts);
-    }
-    return 0;
+    return lvplib::sim::runSuiteBinary("ablation_lvp_design");
 }

@@ -1,70 +1,16 @@
 /**
  * @file
- * Extension ablation: history-based LVP (paper Section 3) versus
- * stride value prediction and the two-level finite-context method
- * (both trajectories the paper's Section 7 sketches), head-to-head
- * on every benchmark with comparable table budgets. Reports coverage
- * (fraction of loads predicted), accuracy (fraction of issued
- * predictions that verified), and the product (correctly predicted
- * loads as a fraction of all loads).
+ * Reproduces the extension ablation comparing history-based LVP with
+ * stride and two-level FCM value prediction.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/pipeline_driver.hh"
-#include "sim/report.hh"
-#include "util/stats.hh"
-#include "workloads/workload.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib;
-    auto opts = sim::ExperimentOptions::fromEnv();
-
-    TextTable t;
-    t.header({"Benchmark", "LVP cover", "LVP accur", "LVP good",
-              "Stride cover", "Stride accur", "Stride good",
-              "FCM cover", "FCM accur", "FCM good"});
-    std::vector<double> lvp_good, stride_good, fcm_good;
-    for (const auto &w : workloads::allWorkloads()) {
-        auto prog = w.build(workloads::CodeGen::Ppc, opts.scale);
-        auto lvp = sim::runLvpOnly(prog, core::LvpConfig::simple(),
-                                   {opts.maxInstructions});
-        auto st = sim::runStrideOnly(prog, core::StrideConfig::simple(),
-                                     {opts.maxInstructions});
-        auto fcm = sim::runFcmOnly(prog, core::FcmConfig::simple(),
-                                   {opts.maxInstructions});
-        auto good = [](const core::LvpStats &s) {
-            return pct(s.correct + s.constants, s.loads);
-        };
-        lvp_good.push_back(good(lvp));
-        stride_good.push_back(good(st));
-        fcm_good.push_back(good(fcm));
-        t.row({w.name, TextTable::fmtPct(lvp.predictionRate()),
-               TextTable::fmtPct(lvp.accuracy()),
-               TextTable::fmtPct(good(lvp)),
-               TextTable::fmtPct(st.predictionRate()),
-               TextTable::fmtPct(st.accuracy()),
-               TextTable::fmtPct(good(st)),
-               TextTable::fmtPct(fcm.predictionRate()),
-               TextTable::fmtPct(fcm.accuracy()),
-               TextTable::fmtPct(good(fcm))});
-    }
-    t.row({"MEAN", "-", "-", TextTable::fmtPct(mean(lvp_good)), "-",
-           "-", TextTable::fmtPct(mean(stride_good)), "-", "-",
-           TextTable::fmtPct(mean(fcm_good))});
-
-    sim::printExperiment(
-        std::cout,
-        "Ablation: last-value LVP vs stride vs two-level FCM",
-        "the paper's future-work directions, realized: stride "
-        "detection matches last-value prediction on constants and "
-        "wins on strided streams; the two-level finite-context "
-        "method (where the field ended up) dominates both on "
-        "patterned values, at the cost of losing the CVU's "
-        "bandwidth savings.",
-        t, opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("ablation_predictors");
 }

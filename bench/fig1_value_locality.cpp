@@ -1,21 +1,15 @@
 /**
  * @file
  * Reproduces paper Figure 1: Load Value Locality (history depth 1 and 16).
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/report.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib::sim;
-    auto opts = ExperimentOptions::fromEnv();
-    printExperiment(
-        std::cout, "Figure 1: Load Value Locality (history depth 1 and 16)",
-        "most integer programs show ~40-60% locality at depth 1 and >80% at depth 16; cjpeg, swm256, and tomcatv are the three poor-locality outliers.",
-        fig1ValueLocality(opts), opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("fig1");
 }

@@ -1,21 +1,15 @@
 /**
  * @file
  * Reproduces paper Figure 2: PowerPC Value Locality by Data Type.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/report.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib::sim;
-    auto opts = ExperimentOptions::fromEnv();
-    printExperiment(
-        std::cout, "Figure 2: PowerPC Value Locality by Data Type",
-        "address loads (instruction and data addresses) show better locality than data loads; instruction addresses hold a slight edge over data addresses; integer data beats floating-point data.",
-        fig2LocalityByType(opts), opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("fig2");
 }

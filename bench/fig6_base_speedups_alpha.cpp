@@ -1,21 +1,15 @@
 /**
  * @file
  * Reproduces paper Figure 6 (top): Alpha AXP 21164 Base Machine Speedups.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/report.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib::sim;
-    auto opts = ExperimentOptions::fromEnv();
-    printExperiment(
-        std::cout, "Figure 6 (top): Alpha AXP 21164 Base Machine Speedups",
-        "GM speedups ~1.06 (Simple), ~1.09 (Limit), ~1.16 (Perfect); grep and gawk are the dramatic winners.",
-        fig6AlphaSpeedups(opts), opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("fig6alpha");
 }

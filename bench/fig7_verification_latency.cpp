@@ -1,21 +1,15 @@
 /**
  * @file
  * Reproduces paper Figure 7: Load Verification Latency Distribution.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/report.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib::sim;
-    auto opts = ExperimentOptions::fromEnv();
-    printExperiment(
-        std::cout, "Figure 7: Load Verification Latency Distribution",
-        "most correctly-predicted loads verify 4-5 cycles after dispatch; the distributions look alike across LVP configurations; the 620+ shifts visibly right (time dilation).",
-        fig7VerificationLatency(opts), opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("fig7");
 }

@@ -1,21 +1,15 @@
 /**
  * @file
  * Reproduces paper Figure 8: Average Data Dependency Resolution Latencies.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/report.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib::sim;
-    auto opts = ExperimentOptions::fromEnv();
-    printExperiment(
-        std::cout, "Figure 8: Average Data Dependency Resolution Latencies",
-        "normalized RS operand-wait time vs no-LVP: BRU and MCFX barely improve (LVP does not predict cr/lr/ctr); FPU, SCFX and especially LSU drop sharply (LSU ~50% with Simple/Constant).",
-        fig8DependencyResolution(opts), opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("fig8");
 }

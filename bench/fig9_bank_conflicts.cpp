@@ -1,21 +1,15 @@
 /**
  * @file
  * Reproduces paper Figure 9: Percentage of Cycles with Bank Conflicts.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/report.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib::sim;
-    auto opts = ExperimentOptions::fromEnv();
-    printExperiment(
-        std::cout, "Figure 9: Percentage of Cycles with Bank Conflicts",
-        "bank conflicts occur in ~2.6% of 620 cycles and ~6.9% of 620+ cycles; Simple reduces them ~5-8%, Constant ~14% (the CVU targets conflict-prone loads).",
-        fig9BankConflicts(opts), opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("fig9");
 }

@@ -1,67 +1,16 @@
 /**
  * @file
- * Reproduces the paper's Section 6.1 bandwidth observations on the
- * Alpha 21164: CVU-verified constant loads bypass the cache entirely,
- * reducing L1 accesses and the per-instruction miss rate (the paper
- * reports compress dropping from 4.3% to 3.4% misses/instruction, a
- * 20% reduction, with ~10% reductions for eqntott and gperf).
+ * Reproduces the paper's Section 6.1 bandwidth observations: CVU-verified
+ * constant loads bypass the cache.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "sim/experiment.hh"
-#include "sim/pipeline_driver.hh"
-#include "sim/report.hh"
-#include "util/stats.hh"
-#include "workloads/workload.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib;
-    auto opts = sim::ExperimentOptions::fromEnv();
-
-    TextTable t;
-    t.header({"Benchmark", "base miss/instr", "Constant miss/instr",
-              "miss reduction", "L1 access reduction",
-              "const loads"});
-    std::vector<double> miss_red, acc_red;
-    for (const auto &w : workloads::allWorkloads()) {
-        auto prog = w.build(workloads::CodeGen::Alpha, opts.scale);
-        auto mc = uarch::AlphaConfig::base21164();
-        auto base = sim::runAlpha21164(prog, mc, std::nullopt,
-                                       {opts.maxInstructions});
-        auto with = sim::runAlpha21164(prog, mc,
-                                       core::LvpConfig::constant(),
-                                       {opts.maxInstructions});
-        double mr_base = base.timing.missRatePerInst();
-        double mr_with = with.timing.missRatePerInst();
-        double mred = mr_base > 0
-                          ? 100.0 * (mr_base - mr_with) / mr_base
-                          : 0.0;
-        double ared =
-            100.0 *
-            (static_cast<double>(base.timing.l1Accesses) -
-             static_cast<double>(with.timing.l1Accesses)) /
-            static_cast<double>(base.timing.l1Accesses);
-        miss_red.push_back(mred);
-        acc_red.push_back(ared);
-        t.row({w.name, TextTable::fmtPct(mr_base, 2),
-               TextTable::fmtPct(mr_with, 2),
-               TextTable::fmtPct(mred), TextTable::fmtPct(ared),
-               std::to_string(with.timing.constLoads)});
-    }
-    t.row({"MEAN", "-", "-", TextTable::fmtPct(mean(miss_red)),
-           TextTable::fmtPct(mean(acc_red)), "-"});
-
-    sim::printExperiment(
-        std::cout,
-        "Section 6.1: 21164 cache-bandwidth reduction from the CVU",
-        "constant loads never touch the cache: the paper reports a "
-        "20% miss-rate-per-instruction reduction for compress and "
-        "~10% for eqntott/gperf, and stresses that LVP REDUCES "
-        "bandwidth where other speculation increases it.",
-        t, opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("sec61");
 }

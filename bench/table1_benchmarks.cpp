@@ -2,23 +2,15 @@
  * @file
  * Reproduces paper Table 1: benchmark descriptions with dynamic
  * instruction and load counts for both code-generation styles.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/report.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib::sim;
-    auto opts = ExperimentOptions::fromEnv();
-    printExperiment(
-        std::cout, "Table 1: Benchmark Descriptions",
-        "17 benchmarks; dynamic instruction counts in the hundreds of "
-        "thousands to millions of instructions per run (the paper ran "
-        "0.7M-146M; our synthetic inputs are scaled down uniformly).",
-        table1Benchmarks(opts), opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("table1");
 }

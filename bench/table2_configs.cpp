@@ -1,21 +1,15 @@
 /**
  * @file
  * Reproduces paper Table 2: LVP Unit Configurations.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/report.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib::sim;
-    auto opts = ExperimentOptions::fromEnv();
-    printExperiment(
-        std::cout, "Table 2: LVP Unit Configurations",
-        "four configurations: Simple and Constant are buildable; Limit (16-deep history with perfect selection) and Perfect are oracle limit studies.",
-        table2Configs(), opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("table2");
 }

@@ -1,21 +1,15 @@
 /**
  * @file
  * Reproduces paper Table 3: LCT Hit Rates.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/report.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib::sim;
-    auto opts = ExperimentOptions::fromEnv();
-    printExperiment(
-        std::cout, "Table 3: LCT Hit Rates",
-        "the LCT identifies most unpredictable loads as unpredictable (GM ~80-90%) and most predictable loads as predictable (GM ~75-90%) in both Simple and Limit configurations.",
-        table3LctHitRates(opts), opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("table3");
 }

@@ -1,21 +1,15 @@
 /**
  * @file
  * Reproduces paper Table 4: Successful Constant Identification Rates.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/report.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib::sim;
-    auto opts = ExperimentOptions::fromEnv();
-    printExperiment(
-        std::cout, "Table 4: Successful Constant Identification Rates",
-        "constants are 10-25% of dynamic loads on average (GM ~13-22% in the paper), higher under the Constant configuration's 1-bit LCT + 128-entry CVU; near zero for quick and tomcatv.",
-        table4ConstantRates(opts), opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("table4");
 }

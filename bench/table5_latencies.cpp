@@ -1,21 +1,15 @@
 /**
  * @file
  * Reproduces paper Table 5: Instruction Latencies.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/report.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib::sim;
-    auto opts = ExperimentOptions::fromEnv();
-    printExperiment(
-        std::cout, "Table 5: Instruction Latencies",
-        "issue/result latencies of the two machine models, as configured (not measured).",
-        table5Latencies(), opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("table5");
 }

@@ -1,21 +1,15 @@
 /**
  * @file
  * Reproduces paper Table 6: PowerPC 620+ Speedups.
+ * The logic lives in the experiment suite (sim/suite.hh) so the
+ * lvpbench driver can run it in-process; this binary is a thin
+ * stand-alone wrapper around the same code.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "sim/report.hh"
+#include "sim/suite.hh"
 
 int
 main()
 {
-    using namespace lvplib::sim;
-    auto opts = ExperimentOptions::fromEnv();
-    printExperiment(
-        std::cout, "Table 6: PowerPC 620+ Speedups",
-        "the 620+ is ~6% faster than the 620 without LVP; LVP adds ~4.6% (Simple), ~4.2% (Constant), ~7.7% (Limit), ~11.3% (Perfect) on top - relative LVP gains are ~50% larger than on the base 620.",
-        table6Plus620Speedups(opts), opts);
-    return 0;
+    return lvplib::sim::runSuiteBinary("table6");
 }

@@ -1,12 +1,16 @@
 #include "sim/experiment.hh"
 
-#include <cstdlib>
+#include <array>
+#include <limits>
 #include <vector>
 
 #include "core/config.hh"
 #include "isa/latency.hh"
+#include "sim/parallel.hh"
 #include "sim/pipeline_driver.hh"
+#include "sim/run_cache.hh"
 #include "uarch/machine_config.hh"
+#include "util/env.hh"
 #include "util/stats.hh"
 #include "workloads/workload.hh"
 
@@ -20,7 +24,15 @@ using isa::MachineIsa;
 using uarch::AlphaConfig;
 using uarch::Ppc620Config;
 using workloads::CodeGen;
+using workloads::Workload;
 using workloads::allWorkloads;
+
+// Every runner has the same shape: fan per-workload (or per-workload
+// x per-codegen) jobs out across the shared TaskPool, with all
+// simulation going through the process-wide RunCache, then assemble
+// the TextTable serially in suite order. Results depend only on the
+// (pure) per-job values, so parallel output is byte-identical to
+// serial and to the pre-engine loops.
 
 namespace
 {
@@ -37,17 +49,42 @@ runCfg(const ExperimentOptions &opts)
     return {opts.maxInstructions};
 }
 
+RunCache &
+cache()
+{
+    return RunCache::instance();
+}
+
+/** One (workload, codegen) fan-out unit. */
+struct WorkUnit
+{
+    const Workload *w;
+    CodeGen cg;
+};
+
+/** The suite crossed with both codegen styles, workload-major:
+ *  unit 2*i is benchmark i under Ppc, 2*i+1 under Alpha. */
+std::vector<WorkUnit>
+workloadsByCodegen()
+{
+    std::vector<WorkUnit> units;
+    units.reserve(allWorkloads().size() * 2);
+    for (const auto &w : allWorkloads()) {
+        units.push_back({&w, CodeGen::Ppc});
+        units.push_back({&w, CodeGen::Alpha});
+    }
+    return units;
+}
+
 } // namespace
 
 ExperimentOptions
 ExperimentOptions::fromEnv()
 {
     ExperimentOptions opts;
-    if (const char *s = std::getenv("LVPLIB_SCALE")) {
-        int v = std::atoi(s);
-        if (v >= 1)
-            opts.scale = static_cast<unsigned>(v);
-    }
+    if (auto v = envUnsigned("LVPLIB_SCALE", 1,
+                             std::numeric_limits<unsigned>::max()))
+        opts.scale = static_cast<unsigned>(*v);
     return opts;
 }
 
@@ -57,11 +94,16 @@ table1Benchmarks(const ExperimentOptions &opts)
     TextTable t;
     t.header({"Benchmark", "Description", "Input", "Instr. (ppc)",
               "Loads (ppc)", "Instr. (alpha)", "Loads (alpha)"});
-    for (const auto &w : allWorkloads()) {
-        auto ppc = runFunctional(w.build(CodeGen::Ppc, opts.scale),
-                                 runCfg(opts));
-        auto alpha = runFunctional(w.build(CodeGen::Alpha, opts.scale),
-                                   runCfg(opts));
+    auto results = experimentPool().map(
+        workloadsByCodegen(), [&](const WorkUnit &u) {
+            return cache().functional(*u.w, u.cg, opts.scale,
+                                      runCfg(opts));
+        });
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &w = suite[i];
+        const auto &ppc = results[2 * i];
+        const auto &alpha = results[2 * i + 1];
         t.row({w.name, w.description, w.input,
                TextTable::fmtCount(ppc.stats.instructions()),
                TextTable::fmtCount(ppc.stats.loads()),
@@ -77,18 +119,22 @@ fig1ValueLocality(const ExperimentOptions &opts)
     TextTable t;
     t.header({"Benchmark", "Alpha d=1", "Alpha d=16", "PowerPC d=1",
               "PowerPC d=16"});
+    auto profiles = experimentPool().map(
+        workloadsByCodegen(), [&](const WorkUnit &u) {
+            return cache().locality(*u.w, u.cg, opts.scale,
+                                    runCfg(opts));
+        });
     std::vector<double> a1, a16, p1, p16;
-    for (const auto &w : allWorkloads()) {
-        auto ppc = profileLocality(w.build(CodeGen::Ppc, opts.scale),
-                                   runCfg(opts));
-        auto alpha = profileLocality(w.build(CodeGen::Alpha, opts.scale),
-                                     runCfg(opts));
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &ppc = *profiles[2 * i];
+        const auto &alpha = *profiles[2 * i + 1];
         a1.push_back(alpha.total().pctDepth1());
         a16.push_back(alpha.total().pctDepthN());
         p1.push_back(ppc.total().pctDepth1());
         p16.push_back(ppc.total().pctDepthN());
-        t.row({w.name, pc1(a1.back()), pc1(a16.back()), pc1(p1.back()),
-               pc1(p16.back())});
+        t.row({suite[i].name, pc1(a1.back()), pc1(a16.back()),
+               pc1(p1.back()), pc1(p16.back())});
     }
     t.row({"MEAN", pc1(mean(a1)), pc1(mean(a16)), pc1(mean(p1)),
            pc1(mean(p16))});
@@ -107,16 +153,21 @@ fig2LocalityByType(const ExperimentOptions &opts)
             return std::string("-");
         return pc1(deep ? c.pctDepthN() : c.pctDepth1());
     };
-    for (const auto &w : allWorkloads()) {
-        auto prof = profileLocality(w.build(CodeGen::Ppc, opts.scale),
+    auto profiles = experimentPool().map(
+        allWorkloads(), [&](const Workload &w) {
+            return cache().locality(w, CodeGen::Ppc, opts.scale,
                                     runCfg(opts));
+        });
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &prof = *profiles[i];
         const auto &fp = prof.byClass(DataClass::FpData);
         const auto &in = prof.byClass(DataClass::IntData);
         const auto &ia = prof.byClass(DataClass::InstAddr);
         const auto &da = prof.byClass(DataClass::DataAddr);
-        t.row({w.name, cell(fp, false), cell(fp, true), cell(in, false),
-               cell(in, true), cell(ia, false), cell(ia, true),
-               cell(da, false), cell(da, true)});
+        t.row({suite[i].name, cell(fp, false), cell(fp, true),
+               cell(in, false), cell(in, true), cell(ia, false),
+               cell(ia, true), cell(da, false), cell(da, true)});
     }
     return t;
 }
@@ -147,15 +198,23 @@ table3LctHitRates(const ExperimentOptions &opts)
               "PPC Limit unpred", "PPC Limit pred",
               "Alpha Simple unpred", "Alpha Simple pred",
               "Alpha Limit unpred", "Alpha Limit pred"});
-    std::vector<std::vector<double>> cols(8);
-    for (const auto &w : allWorkloads()) {
-        std::vector<std::string> row{w.name};
-        unsigned c = 0;
-        for (CodeGen cg : {CodeGen::Ppc, CodeGen::Alpha}) {
-            auto prog = w.build(cg, opts.scale);
+    auto stats = experimentPool().map(
+        workloadsByCodegen(), [&](const WorkUnit &u) {
+            std::array<core::LvpStats, 2> s;
+            unsigned i = 0;
             for (const auto &cfg :
-                 {LvpConfig::simple(), LvpConfig::limit()}) {
-                auto st = runLvpOnly(prog, cfg, runCfg(opts));
+                 {LvpConfig::simple(), LvpConfig::limit()})
+                s[i++] = cache().lvpOnly(*u.w, u.cg, opts.scale, cfg,
+                                         runCfg(opts));
+            return s;
+        });
+    std::vector<std::vector<double>> cols(8);
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        std::vector<std::string> row{suite[i].name};
+        unsigned c = 0;
+        for (std::size_t unit : {2 * i, 2 * i + 1}) {
+            for (const auto &st : stats[unit]) {
                 row.push_back(pc1(st.unpredHitRate()));
                 row.push_back(pc1(st.predHitRate()));
                 cols[c++].push_back(st.unpredHitRate());
@@ -177,15 +236,23 @@ table4ConstantRates(const ExperimentOptions &opts)
     TextTable t;
     t.header({"Benchmark", "PPC Simple", "PPC Constant", "Alpha Simple",
               "Alpha Constant"});
-    std::vector<std::vector<double>> cols(4);
-    for (const auto &w : allWorkloads()) {
-        std::vector<std::string> row{w.name};
-        unsigned c = 0;
-        for (CodeGen cg : {CodeGen::Ppc, CodeGen::Alpha}) {
-            auto prog = w.build(cg, opts.scale);
+    auto stats = experimentPool().map(
+        workloadsByCodegen(), [&](const WorkUnit &u) {
+            std::array<core::LvpStats, 2> s;
+            unsigned i = 0;
             for (const auto &cfg :
-                 {LvpConfig::simple(), LvpConfig::constant()}) {
-                auto st = runLvpOnly(prog, cfg, runCfg(opts));
+                 {LvpConfig::simple(), LvpConfig::constant()})
+                s[i++] = cache().lvpOnly(*u.w, u.cg, opts.scale, cfg,
+                                         runCfg(opts));
+            return s;
+        });
+    std::vector<std::vector<double>> cols(4);
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        std::vector<std::string> row{suite[i].name};
+        unsigned c = 0;
+        for (std::size_t unit : {2 * i, 2 * i + 1}) {
+            for (const auto &st : stats[unit]) {
                 row.push_back(pc1(st.constantRate()));
                 cols[c++].push_back(st.constantRate());
             }
@@ -234,6 +301,20 @@ table5Latencies()
     return t;
 }
 
+namespace
+{
+
+/** Per-benchmark base IPC plus speedup per LVP configuration. */
+struct SpeedupRow
+{
+    double baseIpc = 0;
+    std::uint64_t instructions = 0;
+    double plusRatio = 0; ///< table 6 only: 620+ over 620, no LVP
+    std::vector<double> speedups;
+};
+
+} // namespace
+
 TextTable
 fig6AlphaSpeedups(const ExperimentOptions &opts)
 {
@@ -241,20 +322,30 @@ fig6AlphaSpeedups(const ExperimentOptions &opts)
     t.header({"Benchmark", "Base IPC", "Simple", "Limit", "Perfect"});
     const std::vector<LvpConfig> cfgs = {
         LvpConfig::simple(), LvpConfig::limit(), LvpConfig::perfect()};
+    auto rows = experimentPool().map(
+        allWorkloads(), [&](const Workload &w) {
+            auto base = cache().alpha21164(
+                w, CodeGen::Alpha, opts.scale, AlphaConfig::base21164(),
+                std::nullopt, runCfg(opts));
+            SpeedupRow r;
+            r.baseIpc = base.timing.ipc();
+            for (const auto &cfg : cfgs) {
+                auto run = cache().alpha21164(
+                    w, CodeGen::Alpha, opts.scale,
+                    AlphaConfig::base21164(), cfg, runCfg(opts));
+                r.speedups.push_back(run.timing.ipc() /
+                                     base.timing.ipc());
+            }
+            return r;
+        });
     std::vector<std::vector<double>> speedups(cfgs.size());
-    for (const auto &w : allWorkloads()) {
-        auto prog = w.build(CodeGen::Alpha, opts.scale);
-        auto base =
-            runAlpha21164(prog, AlphaConfig::base21164(), std::nullopt,
-                          runCfg(opts));
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
         std::vector<std::string> row{
-            w.name, TextTable::fmtDouble(base.timing.ipc(), 3)};
-        for (std::size_t i = 0; i < cfgs.size(); ++i) {
-            auto run = runAlpha21164(prog, AlphaConfig::base21164(),
-                                     cfgs[i], runCfg(opts));
-            double s = run.timing.ipc() / base.timing.ipc();
-            speedups[i].push_back(s);
-            row.push_back(TextTable::fmtDouble(s, 3));
+            suite[i].name, TextTable::fmtDouble(rows[i].baseIpc, 3)};
+        for (std::size_t c = 0; c < cfgs.size(); ++c) {
+            speedups[c].push_back(rows[i].speedups[c]);
+            row.push_back(TextTable::fmtDouble(rows[i].speedups[c], 3));
         }
         t.row(std::move(row));
     }
@@ -274,19 +365,30 @@ fig6PpcSpeedups(const ExperimentOptions &opts)
     const std::vector<LvpConfig> cfgs = {
         LvpConfig::simple(), LvpConfig::constant(), LvpConfig::limit(),
         LvpConfig::perfect()};
+    auto rows = experimentPool().map(
+        allWorkloads(), [&](const Workload &w) {
+            auto base = cache().ppc620(w, CodeGen::Ppc, opts.scale,
+                                       Ppc620Config::base620(),
+                                       std::nullopt, runCfg(opts));
+            SpeedupRow r;
+            r.baseIpc = base.timing.ipc();
+            for (const auto &cfg : cfgs) {
+                auto run = cache().ppc620(w, CodeGen::Ppc, opts.scale,
+                                          Ppc620Config::base620(), cfg,
+                                          runCfg(opts));
+                r.speedups.push_back(run.timing.ipc() /
+                                     base.timing.ipc());
+            }
+            return r;
+        });
     std::vector<std::vector<double>> speedups(cfgs.size());
-    for (const auto &w : allWorkloads()) {
-        auto prog = w.build(CodeGen::Ppc, opts.scale);
-        auto base = runPpc620(prog, Ppc620Config::base620(),
-                              std::nullopt, runCfg(opts));
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
         std::vector<std::string> row{
-            w.name, TextTable::fmtDouble(base.timing.ipc(), 3)};
-        for (std::size_t i = 0; i < cfgs.size(); ++i) {
-            auto run = runPpc620(prog, Ppc620Config::base620(), cfgs[i],
-                                 runCfg(opts));
-            double s = run.timing.ipc() / base.timing.ipc();
-            speedups[i].push_back(s);
-            row.push_back(TextTable::fmtDouble(s, 3));
+            suite[i].name, TextTable::fmtDouble(rows[i].baseIpc, 3)};
+        for (std::size_t c = 0; c < cfgs.size(); ++c) {
+            speedups[c].push_back(rows[i].speedups[c]);
+            row.push_back(TextTable::fmtDouble(rows[i].speedups[c], 3));
         }
         t.row(std::move(row));
     }
@@ -306,28 +408,40 @@ table6Plus620Speedups(const ExperimentOptions &opts)
     const std::vector<LvpConfig> cfgs = {
         LvpConfig::simple(), LvpConfig::constant(), LvpConfig::limit(),
         LvpConfig::perfect()};
+    auto rows = experimentPool().map(
+        allWorkloads(), [&](const Workload &w) {
+            auto base620 = cache().ppc620(w, CodeGen::Ppc, opts.scale,
+                                          Ppc620Config::base620(),
+                                          std::nullopt, runCfg(opts));
+            auto base_plus = cache().ppc620(
+                w, CodeGen::Ppc, opts.scale, Ppc620Config::plus620(),
+                std::nullopt, runCfg(opts));
+            SpeedupRow r;
+            r.instructions = base620.timing.instructions;
+            r.plusRatio =
+                base_plus.timing.ipc() / base620.timing.ipc();
+            for (const auto &cfg : cfgs) {
+                auto run = cache().ppc620(w, CodeGen::Ppc, opts.scale,
+                                          Ppc620Config::plus620(), cfg,
+                                          runCfg(opts));
+                // Paper Table 6: additional speedup relative to the
+                // baseline 620+ with no LVP.
+                r.speedups.push_back(run.timing.ipc() /
+                                     base_plus.timing.ipc());
+            }
+            return r;
+        });
     std::vector<double> plus_col;
     std::vector<std::vector<double>> speedups(cfgs.size());
-    for (const auto &w : allWorkloads()) {
-        auto prog = w.build(CodeGen::Ppc, opts.scale);
-        auto base620 = runPpc620(prog, Ppc620Config::base620(),
-                                 std::nullopt, runCfg(opts));
-        auto base_plus = runPpc620(prog, Ppc620Config::plus620(),
-                                   std::nullopt, runCfg(opts));
-        double plus = base_plus.timing.ipc() / base620.timing.ipc();
-        plus_col.push_back(plus);
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        plus_col.push_back(rows[i].plusRatio);
         std::vector<std::string> row{
-            w.name,
-            TextTable::fmtCount(base620.timing.instructions),
-            TextTable::fmtDouble(plus, 3)};
-        for (std::size_t i = 0; i < cfgs.size(); ++i) {
-            auto run = runPpc620(prog, Ppc620Config::plus620(), cfgs[i],
-                                 runCfg(opts));
-            // Paper Table 6: additional speedup relative to the
-            // baseline 620+ with no LVP.
-            double s = run.timing.ipc() / base_plus.timing.ipc();
-            speedups[i].push_back(s);
-            row.push_back(TextTable::fmtDouble(s, 3));
+            suite[i].name, TextTable::fmtCount(rows[i].instructions),
+            TextTable::fmtDouble(rows[i].plusRatio, 3)};
+        for (std::size_t c = 0; c < cfgs.size(); ++c) {
+            speedups[c].push_back(rows[i].speedups[c]);
+            row.push_back(TextTable::fmtDouble(rows[i].speedups[c], 3));
         }
         t.row(std::move(row));
     }
@@ -348,12 +462,16 @@ Histogram
 verifyHistogram(const Ppc620Config &mc, const LvpConfig &cfg,
                 const ExperimentOptions &opts)
 {
+    auto hists = experimentPool().map(
+        allWorkloads(), [&](const Workload &w) {
+            return cache()
+                .ppc620(w, CodeGen::Ppc, opts.scale, mc, cfg,
+                        runCfg(opts))
+                .timing.verifyLatency;
+        });
     Histogram h(8);
-    for (const auto &w : allWorkloads()) {
-        auto prog = w.build(CodeGen::Ppc, opts.scale);
-        auto run = runPpc620(prog, mc, cfg, runCfg(opts));
-        h.merge(run.timing.verifyLatency);
-    }
+    for (const auto &wh : hists)
+        h.merge(wh);
     return h;
 }
 
@@ -379,6 +497,18 @@ fig7VerificationLatency(const ExperimentOptions &opts)
     return t;
 }
 
+namespace
+{
+
+/** Per-benchmark mean RS operand waits: baseline and per config. */
+struct WaitRow
+{
+    std::array<double, isa::NumFuTypes> base{};
+    std::array<std::array<double, isa::NumFuTypes>, 4> cfg{};
+};
+
+} // namespace
+
 TextTable
 fig8DependencyResolution(const ExperimentOptions &opts)
 {
@@ -388,26 +518,40 @@ fig8DependencyResolution(const ExperimentOptions &opts)
                                  FuType::FPU, FuType::LSU};
     for (const auto &mc :
          {Ppc620Config::base620(), Ppc620Config::plus620()}) {
-        // Baseline mean waits per FU type (averaged over benchmarks).
+        auto cfgs = LvpConfig::paperConfigs();
+        auto rows = experimentPool().map(
+            allWorkloads(), [&](const Workload &w) {
+                WaitRow r;
+                auto base =
+                    cache().ppc620(w, CodeGen::Ppc, opts.scale, mc,
+                                   std::nullopt, runCfg(opts));
+                for (FuType f : fus)
+                    r.base[static_cast<std::size_t>(f)] =
+                        base.timing.rsWaitMean(f);
+                for (std::size_t c = 0; c < cfgs.size(); ++c) {
+                    auto run =
+                        cache().ppc620(w, CodeGen::Ppc, opts.scale, mc,
+                                       cfgs[c], runCfg(opts));
+                    for (FuType f : fus)
+                        r.cfg[c][static_cast<std::size_t>(f)] =
+                            run.timing.rsWaitMean(f);
+                }
+                return r;
+            });
+        // Accumulate in suite order so floating-point sums match the
+        // original serial loops exactly.
         std::array<double, isa::NumFuTypes> base_wait{};
         std::array<std::array<double, isa::NumFuTypes>, 4> cfg_wait{};
-        std::array<unsigned, isa::NumFuTypes> n{};
-        auto cfgs = LvpConfig::paperConfigs();
-        for (const auto &w : allWorkloads()) {
-            auto prog = w.build(CodeGen::Ppc, opts.scale);
-            auto base =
-                runPpc620(prog, mc, std::nullopt, runCfg(opts));
+        for (const auto &r : rows) {
             for (FuType f : fus) {
                 auto fi = static_cast<std::size_t>(f);
-                base_wait[fi] += base.timing.rsWaitMean(f);
-                ++n[fi];
+                base_wait[fi] += r.base[fi];
             }
-            for (std::size_t c = 0; c < cfgs.size(); ++c) {
-                auto run = runPpc620(prog, mc, cfgs[c], runCfg(opts));
-                for (FuType f : fus)
-                    cfg_wait[c][static_cast<std::size_t>(f)] +=
-                        run.timing.rsWaitMean(f);
-            }
+            for (std::size_t c = 0; c < cfgs.size(); ++c)
+                for (FuType f : fus) {
+                    auto fi = static_cast<std::size_t>(f);
+                    cfg_wait[c][fi] += r.cfg[c][fi];
+                }
         }
         for (std::size_t c = 0; c < cfgs.size(); ++c) {
             std::vector<std::string> row{mc.name + "/" + cfgs[c].name};
@@ -431,22 +575,33 @@ fig9BankConflicts(const ExperimentOptions &opts)
     TextTable t;
     t.header({"Benchmark", "620 NoLVP", "620 Simple", "620 Constant",
               "620+ NoLVP", "620+ Simple", "620+ Constant"});
-    std::vector<std::vector<double>> cols(6);
-    for (const auto &w : allWorkloads()) {
-        auto prog = w.build(CodeGen::Ppc, opts.scale);
-        std::vector<std::string> row{w.name};
-        unsigned c = 0;
-        for (const auto &mc :
-             {Ppc620Config::base620(), Ppc620Config::plus620()}) {
-            auto base = runPpc620(prog, mc, std::nullopt, runCfg(opts));
-            row.push_back(pc1(base.timing.bankConflictPct()));
-            cols[c++].push_back(base.timing.bankConflictPct());
-            for (const auto &cfg :
-                 {LvpConfig::simple(), LvpConfig::constant()}) {
-                auto run = runPpc620(prog, mc, cfg, runCfg(opts));
-                row.push_back(pc1(run.timing.bankConflictPct()));
-                cols[c++].push_back(run.timing.bankConflictPct());
+    auto rows = experimentPool().map(
+        allWorkloads(), [&](const Workload &w) {
+            std::array<double, 6> pcts{};
+            unsigned c = 0;
+            for (const auto &mc :
+                 {Ppc620Config::base620(), Ppc620Config::plus620()}) {
+                auto base =
+                    cache().ppc620(w, CodeGen::Ppc, opts.scale, mc,
+                                   std::nullopt, runCfg(opts));
+                pcts[c++] = base.timing.bankConflictPct();
+                for (const auto &cfg :
+                     {LvpConfig::simple(), LvpConfig::constant()}) {
+                    auto run = cache().ppc620(w, CodeGen::Ppc,
+                                              opts.scale, mc, cfg,
+                                              runCfg(opts));
+                    pcts[c++] = run.timing.bankConflictPct();
+                }
             }
+            return pcts;
+        });
+    std::vector<std::vector<double>> cols(6);
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        std::vector<std::string> row{suite[i].name};
+        for (unsigned c = 0; c < 6; ++c) {
+            row.push_back(pc1(rows[i][c]));
+            cols[c].push_back(rows[i][c]);
         }
         t.row(std::move(row));
     }

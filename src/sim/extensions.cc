@@ -1,0 +1,414 @@
+#include "sim/extensions.hh"
+
+#include <array>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/value_profiler.hh"
+#include "sim/parallel.hh"
+#include "sim/pipeline_driver.hh"
+#include "sim/run_cache.hh"
+#include "uarch/machine_config.hh"
+#include "util/stats.hh"
+#include "workloads/workload.hh"
+
+namespace lvplib::sim
+{
+
+using core::LvpConfig;
+using uarch::Ppc620Config;
+using workloads::CodeGen;
+using workloads::Workload;
+using workloads::allWorkloads;
+
+namespace
+{
+
+RunConfig
+runCfg(const ExperimentOptions &opts)
+{
+    return {opts.maxInstructions};
+}
+
+RunCache &
+cache()
+{
+    return RunCache::instance();
+}
+
+/** Mean "good prediction" rate over the suite for one config. */
+double
+meanGood(const core::LvpConfig &cfg, const ExperimentOptions &opts)
+{
+    auto xs = experimentPool().map(
+        allWorkloads(), [&](const Workload &w) {
+            auto st = cache().lvpOnly(w, CodeGen::Ppc, opts.scale, cfg,
+                                      runCfg(opts));
+            return pct(st.correct + st.constants, st.loads);
+        });
+    return mean(xs);
+}
+
+/** Mean constant-identification rate over the suite for one config. */
+double
+meanConstant(const core::LvpConfig &cfg, const ExperimentOptions &opts)
+{
+    auto xs = experimentPool().map(
+        allWorkloads(), [&](const Workload &w) {
+            return cache()
+                .lvpOnly(w, CodeGen::Ppc, opts.scale, cfg, runCfg(opts))
+                .constantRate();
+        });
+    return mean(xs);
+}
+
+} // namespace
+
+std::vector<ExperimentSection>
+ablationPredictors(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "LVP cover", "LVP accur", "LVP good",
+              "Stride cover", "Stride accur", "Stride good",
+              "FCM cover", "FCM accur", "FCM good"});
+    struct PredRow
+    {
+        core::LvpStats lvp, stride, fcm;
+    };
+    auto rows = experimentPool().map(
+        allWorkloads(), [&](const Workload &w) {
+            PredRow r;
+            r.lvp = cache().lvpOnly(w, CodeGen::Ppc, opts.scale,
+                                    LvpConfig::simple(), runCfg(opts));
+            auto prog = cache().program(w, CodeGen::Ppc, opts.scale);
+            r.stride = runStrideOnly(*prog, core::StrideConfig::simple(),
+                                     runCfg(opts));
+            r.fcm = runFcmOnly(*prog, core::FcmConfig::simple(),
+                               runCfg(opts));
+            return r;
+        });
+    auto good = [](const core::LvpStats &s) {
+        return pct(s.correct + s.constants, s.loads);
+    };
+    std::vector<double> lvp_good, stride_good, fcm_good;
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &r = rows[i];
+        lvp_good.push_back(good(r.lvp));
+        stride_good.push_back(good(r.stride));
+        fcm_good.push_back(good(r.fcm));
+        t.row({suite[i].name, TextTable::fmtPct(r.lvp.predictionRate()),
+               TextTable::fmtPct(r.lvp.accuracy()),
+               TextTable::fmtPct(good(r.lvp)),
+               TextTable::fmtPct(r.stride.predictionRate()),
+               TextTable::fmtPct(r.stride.accuracy()),
+               TextTable::fmtPct(good(r.stride)),
+               TextTable::fmtPct(r.fcm.predictionRate()),
+               TextTable::fmtPct(r.fcm.accuracy()),
+               TextTable::fmtPct(good(r.fcm))});
+    }
+    t.row({"MEAN", "-", "-", TextTable::fmtPct(mean(lvp_good)), "-",
+           "-", TextTable::fmtPct(mean(stride_good)), "-", "-",
+           TextTable::fmtPct(mean(fcm_good))});
+
+    return {{"Ablation: last-value LVP vs stride vs two-level FCM",
+             "the paper's future-work directions, realized: stride "
+             "detection matches last-value prediction on constants and "
+             "wins on strided streams; the two-level finite-context "
+             "method (where the field ended up) dominates both on "
+             "patterned values, at the cost of losing the CVU's "
+             "bandwidth savings.",
+             std::move(t)}};
+}
+
+std::vector<ExperimentSection>
+ablationLvpDesign(const ExperimentOptions &opts)
+{
+    std::vector<ExperimentSection> sections;
+
+    {
+        TextTable t;
+        t.header({"LVPT entries", "good predictions"});
+        for (std::uint32_t entries : {64u, 256u, 1024u, 4096u}) {
+            auto cfg = LvpConfig::simple();
+            cfg.lvptEntries = entries;
+            t.row({std::to_string(entries),
+                   TextTable::fmtPct(meanGood(cfg, opts))});
+        }
+        sections.push_back(
+            {"Ablation 1: LVPT capacity sweep",
+             "small tables alias destructively; gains flatten once the "
+             "hot static loads fit (the paper picked 1024).",
+             std::move(t)});
+    }
+
+    {
+        TextTable t;
+        t.header({"History depth (oracle select)", "good predictions"});
+        for (std::uint32_t depth : {1u, 2u, 4u, 8u, 16u}) {
+            auto cfg = LvpConfig::limit();
+            cfg.historyDepth = depth;
+            t.row({std::to_string(depth),
+                   TextTable::fmtPct(meanGood(cfg, opts))});
+        }
+        sections.push_back(
+            {"Ablation 2: history-depth sweep",
+             "deeper histories with perfect selection capture "
+             "alternating values; most of the benefit arrives by depth "
+             "4-8 (the paper's Figure 1 contrasts depths 1 and 16).",
+             std::move(t)});
+    }
+
+    {
+        TextTable t;
+        t.header({"CVU entries", "constants (% of loads)"});
+        for (std::uint32_t entries : {8u, 32u, 128u, 512u}) {
+            auto cfg = LvpConfig::constant();
+            cfg.cvuEntries = entries;
+            t.row({std::to_string(entries),
+                   TextTable::fmtPct(meanConstant(cfg, opts))});
+        }
+        // Organization: the paper's full CAM vs a cheaper 4-way
+        // set-associative CVU at the Constant config's capacity.
+        {
+            auto cfg = LvpConfig::constant();
+            cfg.cvuWays = 4;
+            t.row({"128 (4-way set-assoc)",
+                   TextTable::fmtPct(meanConstant(cfg, opts))});
+        }
+        sections.push_back(
+            {"Ablation 3: CVU capacity and organization",
+             "more CAM entries keep more constants verified between "
+             "stores; returns diminish as the hot constant set fits.",
+             std::move(t)});
+    }
+
+    {
+        TextTable t;
+        t.header({"BHR bits in LVPT index", "good predictions"});
+        for (std::uint32_t bits : {0u, 2u, 4u, 8u}) {
+            auto cfg = LvpConfig::simple();
+            cfg.bhrBits = bits;
+            t.row({std::to_string(bits),
+                   TextTable::fmtPct(meanGood(cfg, opts))});
+        }
+        sections.push_back(
+            {"Ablation 4: branch-history-indexed LVPT (paper §7)",
+             "hashing global branch history into the lookup index "
+             "gives context-dependent loads separate entries (helping "
+             "alternating-value loads) at the cost of spreading "
+             "context-independent loads across more entries.",
+             std::move(t)});
+    }
+
+    {
+        TextTable t;
+        t.header({"Recovery policy", "GM speedup (620, Simple)"});
+        for (bool squash : {false, true}) {
+            auto mc = Ppc620Config::base620();
+            mc.squashOnValueMispredict = squash;
+            auto speedups = experimentPool().map(
+                allWorkloads(), [&](const Workload &w) {
+                    auto base =
+                        cache().ppc620(w, CodeGen::Ppc, opts.scale, mc,
+                                       std::nullopt, runCfg(opts));
+                    auto run = cache().ppc620(w, CodeGen::Ppc,
+                                              opts.scale, mc,
+                                              LvpConfig::simple(),
+                                              runCfg(opts));
+                    return run.timing.ipc() / base.timing.ipc();
+                });
+            t.row({squash ? "squash + refetch" : "selective reissue "
+                                                 "(paper)",
+                   TextTable::fmtDouble(geomean(speedups), 3)});
+        }
+        sections.push_back(
+            {"Ablation 5: value-misprediction recovery policy",
+             "the paper's selective reissue keeps the worst-case "
+             "penalty at one cycle plus structural hazards; squashing "
+             "like a branch mispredict erodes (or inverts) the Simple "
+             "configuration's gains, which is why the LCT + selective "
+             "recovery combination matters.",
+             std::move(t)});
+    }
+
+    {
+        TextTable t;
+        t.header({"LVPT tagging", "good predictions"});
+        for (bool tagged : {false, true}) {
+            auto cfg = LvpConfig::simple();
+            cfg.taggedLvpt = tagged;
+            t.row({tagged ? "tagged" : "untagged (paper)",
+                   TextTable::fmtPct(meanGood(cfg, opts))});
+        }
+        sections.push_back(
+            {"Ablation 6: tagged vs untagged LVPT",
+             "tags remove destructive interference but also the "
+             "constructive kind, and cost area; at 1024 entries the "
+             "difference is small, which is why the paper left the "
+             "table untagged.",
+             std::move(t)});
+    }
+
+    return sections;
+}
+
+std::vector<ExperimentSection>
+ablationAllValues(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "ALL d=1", "ALL d=16", "SCFX d=1",
+              "SCFX d=16", "MCFX d=1", "FPU d=1", "LSU d=1",
+              "LSU d=16"});
+    auto cell = [](const core::LocalityCounts &c, bool deep) {
+        if (c.loads == 0)
+            return std::string("-");
+        return TextTable::fmtPct(deep ? c.pctDepthN() : c.pctDepth1());
+    };
+    // All-value profiling is this experiment's private phase (the
+    // trace cache only records load values), so it interprets.
+    auto profs = experimentPool().map(
+        allWorkloads(), [&](const Workload &w) {
+            return profileAllValues(
+                *cache().program(w, CodeGen::Ppc, opts.scale),
+                runCfg(opts));
+        });
+    std::vector<double> all1, all16;
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &prof = profs[i];
+        all1.push_back(prof.total().pctDepth1());
+        all16.push_back(prof.total().pctDepthN());
+        t.row({suite[i].name, cell(prof.total(), false),
+               cell(prof.total(), true),
+               cell(prof.byFu(isa::FuType::SCFX), false),
+               cell(prof.byFu(isa::FuType::SCFX), true),
+               cell(prof.byFu(isa::FuType::MCFX), false),
+               cell(prof.byFu(isa::FuType::FPU), false),
+               cell(prof.byFu(isa::FuType::LSU), false),
+               cell(prof.byFu(isa::FuType::LSU), true)});
+    }
+    t.row({"MEAN", TextTable::fmtPct(mean(all1)),
+           TextTable::fmtPct(mean(all16)), "-", "-", "-", "-", "-",
+           "-"});
+
+    return {{"Extension: value locality of ALL value-producing "
+             "instructions",
+             "the follow-up literature (e.g. Lipasti & Shen, MICRO-29) "
+             "found that non-load instructions also exhibit substantial "
+             "value locality; loads are not special, just the most "
+             "latency-critical.",
+             std::move(t)}};
+}
+
+std::vector<ExperimentSection>
+ablationBpred(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "bimodal mispred", "gshare mispred",
+              "bimodal IPC", "gshare IPC", "gshare+LVP IPC"});
+    auto bimodal_cfg = Ppc620Config::base620();
+    auto gshare_cfg = Ppc620Config::base620();
+    gshare_cfg.bpred.gshareBits = 8;
+    struct BpredRow
+    {
+        PpcRun bimodal, gshare, gshare_lvp;
+    };
+    auto rows = experimentPool().map(
+        allWorkloads(), [&](const Workload &w) {
+            BpredRow r;
+            r.bimodal = cache().ppc620(w, CodeGen::Ppc, opts.scale,
+                                       bimodal_cfg, std::nullopt,
+                                       runCfg(opts));
+            r.gshare = cache().ppc620(w, CodeGen::Ppc, opts.scale,
+                                      gshare_cfg, std::nullopt,
+                                      runCfg(opts));
+            r.gshare_lvp = cache().ppc620(w, CodeGen::Ppc, opts.scale,
+                                          gshare_cfg,
+                                          LvpConfig::simple(),
+                                          runCfg(opts));
+            return r;
+        });
+    auto mr = [](const PpcRun &r) {
+        return pct(r.timing.branchMispredicts, r.timing.instructions);
+    };
+    std::vector<double> bi, gs, gl;
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &r = rows[i];
+        bi.push_back(r.bimodal.timing.ipc());
+        gs.push_back(r.gshare.timing.ipc());
+        gl.push_back(r.gshare_lvp.timing.ipc());
+        t.row({suite[i].name, TextTable::fmtPct(mr(r.bimodal), 2),
+               TextTable::fmtPct(mr(r.gshare), 2),
+               TextTable::fmtDouble(r.bimodal.timing.ipc(), 3),
+               TextTable::fmtDouble(r.gshare.timing.ipc(), 3),
+               TextTable::fmtDouble(r.gshare_lvp.timing.ipc(), 3)});
+    }
+    t.row({"MEAN", "-", "-", TextTable::fmtDouble(mean(bi), 3),
+           TextTable::fmtDouble(mean(gs), 3),
+           TextTable::fmtDouble(mean(gl), 3)});
+
+    return {{"Ablation: bimodal vs gshare front end (with and without "
+             "LVP)",
+             "value prediction and better branch prediction compose: "
+             "LVP collapses the load half of load-compare-branch "
+             "chains, so its gains persist under a stronger front end.",
+             std::move(t)}};
+}
+
+std::vector<ExperimentSection>
+sec61MissRates(const ExperimentOptions &opts)
+{
+    TextTable t;
+    t.header({"Benchmark", "base miss/instr", "Constant miss/instr",
+              "miss reduction", "L1 access reduction",
+              "const loads"});
+    struct MissRow
+    {
+        AlphaRun base, with;
+    };
+    auto rows = experimentPool().map(
+        allWorkloads(), [&](const Workload &w) {
+            auto mc = uarch::AlphaConfig::base21164();
+            MissRow r;
+            r.base = cache().alpha21164(w, CodeGen::Alpha, opts.scale,
+                                        mc, std::nullopt, runCfg(opts));
+            r.with = cache().alpha21164(w, CodeGen::Alpha, opts.scale,
+                                        mc, LvpConfig::constant(),
+                                        runCfg(opts));
+            return r;
+        });
+    std::vector<double> miss_red, acc_red;
+    const auto &suite = allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &r = rows[i];
+        double mr_base = r.base.timing.missRatePerInst();
+        double mr_with = r.with.timing.missRatePerInst();
+        double mred = mr_base > 0
+                          ? 100.0 * (mr_base - mr_with) / mr_base
+                          : 0.0;
+        double ared =
+            100.0 *
+            (static_cast<double>(r.base.timing.l1Accesses) -
+             static_cast<double>(r.with.timing.l1Accesses)) /
+            static_cast<double>(r.base.timing.l1Accesses);
+        miss_red.push_back(mred);
+        acc_red.push_back(ared);
+        t.row({suite[i].name, TextTable::fmtPct(mr_base, 2),
+               TextTable::fmtPct(mr_with, 2),
+               TextTable::fmtPct(mred), TextTable::fmtPct(ared),
+               std::to_string(r.with.timing.constLoads)});
+    }
+    t.row({"MEAN", "-", "-", TextTable::fmtPct(mean(miss_red)),
+           TextTable::fmtPct(mean(acc_red)), "-"});
+
+    return {{"Section 6.1: 21164 cache-bandwidth reduction from the CVU",
+             "constant loads never touch the cache: the paper reports a "
+             "20% miss-rate-per-instruction reduction for compress and "
+             "~10% for eqntott/gperf, and stresses that LVP REDUCES "
+             "bandwidth where other speculation increases it.",
+             std::move(t)}};
+}
+
+} // namespace lvplib::sim

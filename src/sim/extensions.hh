@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Extension-study runners (ablations and Section 6.1/7 follow-ups)
+ * that used to live in the bench binaries' main() functions, now
+ * routed through the parallel experiment engine and run-cache like
+ * the paper runners in experiment.cc. Each returns the sections
+ * (title, expectation, table) its binary prints.
+ */
+
+#ifndef LVPLIB_SIM_EXTENSIONS_HH
+#define LVPLIB_SIM_EXTENSIONS_HH
+
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/suite.hh"
+
+namespace lvplib::sim
+{
+
+/** Last-value LVP vs stride vs two-level FCM, head-to-head. */
+std::vector<ExperimentSection>
+ablationPredictors(const ExperimentOptions &opts);
+
+/** The six LVP design-space ablations (DESIGN.md Section 4). */
+std::vector<ExperimentSection>
+ablationLvpDesign(const ExperimentOptions &opts);
+
+/** Value locality of ALL value-producing instructions. */
+std::vector<ExperimentSection>
+ablationAllValues(const ExperimentOptions &opts);
+
+/** Bimodal vs gshare front end, with and without LVP. */
+std::vector<ExperimentSection>
+ablationBpred(const ExperimentOptions &opts);
+
+/** Section 6.1: 21164 cache-bandwidth reduction from the CVU. */
+std::vector<ExperimentSection>
+sec61MissRates(const ExperimentOptions &opts);
+
+} // namespace lvplib::sim
+
+#endif // LVPLIB_SIM_EXTENSIONS_HH

@@ -1,0 +1,91 @@
+#include "sim/parallel.hh"
+
+#include <memory>
+
+#include "util/env.hh"
+
+namespace lvplib::sim
+{
+
+TaskPool::TaskPool(unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    workers_.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        workers_.emplace_back(
+            [this](std::stop_token st) { worker(st); });
+}
+
+TaskPool::~TaskPool()
+{
+    for (auto &w : workers_)
+        w.request_stop();
+    cv_.notify_all();
+    // std::jthread joins in its destructor.
+}
+
+std::future<void>
+TaskPool::submit(std::function<void()> fn)
+{
+    std::packaged_task<void()> task(std::move(fn));
+    auto fut = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+void
+TaskPool::worker(std::stop_token st)
+{
+    std::unique_lock<std::mutex> lock(m_);
+    while (true) {
+        cv_.wait(lock, st, [this] { return !queue_.empty(); });
+        if (queue_.empty())
+            return; // stop requested and nothing left to drain
+        auto task = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        task();
+        lock.lock();
+    }
+}
+
+unsigned
+TaskPool::defaultJobs()
+{
+    if (auto v = envUnsigned("LVPLIB_JOBS", 1, 1024))
+        return static_cast<unsigned>(*v);
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+namespace
+{
+
+std::mutex g_pool_mutex;
+std::unique_ptr<TaskPool> g_pool;
+
+} // namespace
+
+TaskPool &
+experimentPool()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool)
+        g_pool = std::make_unique<TaskPool>();
+    return *g_pool;
+}
+
+void
+setExperimentJobs(unsigned jobs)
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_pool.reset(); // join the old workers before starting new ones
+    g_pool = std::make_unique<TaskPool>(jobs);
+}
+
+} // namespace lvplib::sim

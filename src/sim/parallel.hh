@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The parallel experiment engine's task pool: a fixed set of
+ * std::jthread workers draining a FIFO queue, plus a deterministic
+ * map() that fans work items out across the pool and hands results
+ * back in submission order — so a table assembled from map() output
+ * is byte-identical no matter how many workers ran it.
+ *
+ * Sizing: LVPLIB_JOBS when set (parsed strictly, see util/env.hh),
+ * otherwise std::thread::hardware_concurrency().
+ */
+
+#ifndef LVPLIB_SIM_PARALLEL_HH
+#define LVPLIB_SIM_PARALLEL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lvplib::sim
+{
+
+/** A fixed-size worker pool with FIFO scheduling. */
+class TaskPool
+{
+  public:
+    /** @param jobs Worker count; 0 means defaultJobs(). */
+    explicit TaskPool(unsigned jobs = 0);
+
+    /** Requests stop, drains queued tasks, and joins the workers. */
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned
+    jobs() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue one task. The returned future becomes ready when the
+     * task finishes and rethrows any exception the task threw.
+     */
+    std::future<void> submit(std::function<void()> fn);
+
+    /**
+     * Run fn(item) for every item on the pool and return the results
+     * in input order (deterministic regardless of worker count or
+     * completion order). Exceptions are collected; after all jobs
+     * settle, the first failing item's exception (in input order) is
+     * rethrown. Must not be called from inside a pool task.
+     */
+    template <typename In, typename Fn>
+    auto
+    map(const std::vector<In> &items, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn &, const In &>>
+    {
+        using Out = std::invoke_result_t<Fn &, const In &>;
+        std::vector<std::optional<Out>> slots(items.size());
+        std::vector<std::exception_ptr> errors(items.size());
+        std::vector<std::future<void>> done;
+        done.reserve(items.size());
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            done.push_back(submit([&slots, &errors, &items, &fn, i] {
+                try {
+                    slots[i].emplace(fn(items[i]));
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }));
+        }
+        // Wait for every job before touching slots/errors: an early
+        // rethrow would unwind stack the in-flight jobs still
+        // reference.
+        for (auto &f : done)
+            f.get();
+        for (auto &e : errors)
+            if (e)
+                std::rethrow_exception(e);
+        std::vector<Out> out;
+        out.reserve(items.size());
+        for (auto &s : slots)
+            out.push_back(std::move(*s));
+        return out;
+    }
+
+    /** LVPLIB_JOBS when validly set, else hardware_concurrency. */
+    static unsigned defaultJobs();
+
+  private:
+    void worker(std::stop_token st);
+
+    std::mutex m_;
+    std::condition_variable_any cv_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::vector<std::jthread> workers_;
+};
+
+/**
+ * The process-wide pool every experiment runner submits through.
+ * Created on first use with defaultJobs() workers.
+ */
+TaskPool &experimentPool();
+
+/**
+ * Replace the shared pool with one of @p jobs workers (0 restores
+ * the LVPLIB_JOBS / hardware-concurrency default). Not thread-safe
+ * against concurrently running experiments; call between runs.
+ */
+void setExperimentJobs(unsigned jobs);
+
+} // namespace lvplib::sim
+
+#endif // LVPLIB_SIM_PARALLEL_HH

@@ -1,5 +1,7 @@
 #include "sim/pipeline_driver.hh"
 
+#include <atomic>
+
 #include "util/logging.hh"
 #include "vm/interpreter.hh"
 
@@ -9,17 +11,31 @@ namespace lvplib::sim
 namespace
 {
 
+std::atomic<std::uint64_t> g_instructions{0};
+
 void
 runToCompletion(vm::Interpreter &interp, trace::TraceSink *sink,
                 const RunConfig &rc)
 {
-    interp.run(sink, rc.maxInstructions);
+    addInstructionsProcessed(interp.run(sink, rc.maxInstructions));
     if (!interp.halted())
         lvp_warn("program did not halt within %llu instructions",
                  static_cast<unsigned long long>(rc.maxInstructions));
 }
 
 } // namespace
+
+std::uint64_t
+instructionsProcessed()
+{
+    return g_instructions.load(std::memory_order_relaxed);
+}
+
+void
+addInstructionsProcessed(std::uint64_t n)
+{
+    g_instructions.fetch_add(n, std::memory_order_relaxed);
+}
 
 FuncResult
 runFunctional(const isa::Program &prog, const RunConfig &rc)
@@ -38,6 +54,15 @@ profileLocality(const isa::Program &prog, const RunConfig &rc)
 {
     vm::Interpreter interp(prog);
     core::ValueLocalityProfiler profiler;
+    runToCompletion(interp, &profiler, rc);
+    return profiler;
+}
+
+core::AllValueLocalityProfiler
+profileAllValues(const isa::Program &prog, const RunConfig &rc)
+{
+    vm::Interpreter interp(prog);
+    core::AllValueLocalityProfiler profiler;
     runToCompletion(interp, &profiler, rc);
     return profiler;
 }

@@ -15,6 +15,7 @@
 #include "core/config.hh"
 #include "core/locality_profiler.hh"
 #include "core/lvp_unit.hh"
+#include "core/value_profiler.hh"
 #include "core/fcm_unit.hh"
 #include "core/stride_unit.hh"
 #include "isa/program.hh"
@@ -47,6 +48,10 @@ FuncResult runFunctional(const isa::Program &prog,
 /** Measure load value locality (Figures 1-2). */
 core::ValueLocalityProfiler profileLocality(const isa::Program &prog,
                                             const RunConfig &rc = {});
+
+/** Measure all-instruction value locality (Section 7 extension). */
+core::AllValueLocalityProfiler
+profileAllValues(const isa::Program &prog, const RunConfig &rc = {});
 
 /** Run the LVP unit alone over a program's trace (Tables 3-4). */
 core::LvpStats runLvpOnly(const isa::Program &prog,
@@ -91,6 +96,17 @@ AlphaRun runAlpha21164(const isa::Program &prog,
                        const uarch::AlphaConfig &mc,
                        const std::optional<core::LvpConfig> &lvp,
                        const RunConfig &rc = {});
+
+/**
+ * Process-wide count of dynamic instructions pushed through any
+ * pipeline (interpreted or replayed from a cached trace). The
+ * lvpbench driver differences this around each experiment to report
+ * simulation throughput.
+ */
+std::uint64_t instructionsProcessed();
+
+/** Add @p n to the process-wide instruction counter. */
+void addInstructionsProcessed(std::uint64_t n);
 
 } // namespace lvplib::sim
 

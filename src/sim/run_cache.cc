@@ -1,0 +1,458 @@
+#include "sim/run_cache.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "core/lvp_unit.hh"
+#include "trace/trace_file.hh"
+#include "uarch/alpha21164.hh"
+#include "uarch/ppc620.hh"
+#include "util/logging.hh"
+#include "vm/interpreter.hh"
+
+namespace lvplib::sim
+{
+
+namespace
+{
+
+using workloads::CodeGen;
+using workloads::Workload;
+
+/** Append one key component with a separator that never occurs in
+ *  benchmark or configuration names. */
+template <typename T>
+void
+keyPart(std::ostringstream &os, const T &v)
+{
+    os << '|' << v;
+}
+
+std::string
+baseKey(const Workload &w, CodeGen cg, unsigned scale)
+{
+    std::ostringstream os;
+    os << w.name;
+    keyPart(os, workloads::codeGenName(cg));
+    keyPart(os, scale);
+    return os.str();
+}
+
+std::string
+runKey(const Workload &w, CodeGen cg, unsigned scale,
+       const RunConfig &rc)
+{
+    std::ostringstream os;
+    os << baseKey(w, cg, scale);
+    keyPart(os, rc.maxInstructions);
+    return os.str();
+}
+
+/** Full-field fingerprints: ablation variants that tweak any knob of
+ *  a preset must never alias the preset's cache entries. */
+std::string
+fp(const core::LvpConfig &c)
+{
+    std::ostringstream os;
+    os << c.name;
+    for (auto v : {c.lvptEntries, c.historyDepth, c.lctEntries,
+                   c.lctBits, c.cvuEntries, c.cvuWays, c.bhrBits})
+        keyPart(os, v);
+    keyPart(os, c.perfectPrediction);
+    keyPart(os, c.taggedLvpt);
+    return os.str();
+}
+
+std::string
+fp(const mem::HierarchyConfig &h)
+{
+    std::ostringstream os;
+    for (auto v : {h.l1.sizeBytes, h.l1.assoc, h.l1.lineBytes,
+                   h.l2.sizeBytes, h.l2.assoc, h.l2.lineBytes,
+                   h.banks, h.l2Latency, h.memLatency})
+        keyPart(os, v);
+    return os.str();
+}
+
+std::string
+fp(const uarch::BpredConfig &b)
+{
+    std::ostringstream os;
+    keyPart(os, b.bhtEntries);
+    keyPart(os, b.btbEntries);
+    keyPart(os, b.gshareBits);
+    return os.str();
+}
+
+std::string
+fp(const uarch::Ppc620Config &m)
+{
+    std::ostringstream os;
+    os << m.name;
+    for (auto v : {m.fetchWidth, m.fetchBuffer, m.dispatchWidth,
+                   m.completeWidth, m.rsPerUnit, m.gprRename,
+                   m.fprRename, m.completionEntries, m.numScfx,
+                   m.numMcfx, m.numFpu, m.numLsu, m.numBru,
+                   m.memOpsPerCycle, m.mshrs})
+        keyPart(os, v);
+    keyPart(os, m.squashOnValueMispredict);
+    os << fp(m.mem) << fp(m.bpred);
+    return os.str();
+}
+
+std::string
+fp(const uarch::AlphaConfig &m)
+{
+    std::ostringstream os;
+    os << m.name;
+    for (auto v :
+         {m.width, m.intPipes, m.fpPipes, m.inflight})
+        keyPart(os, v);
+    os << fp(m.mem) << fp(m.bpred);
+    return os.str();
+}
+
+std::string
+fp(const std::optional<core::LvpConfig> &c)
+{
+    return c ? fp(*c) : std::string("nolvp");
+}
+
+} // namespace
+
+struct RunCache::Impl
+{
+    mutable std::mutex m;
+    std::string traceDir;
+
+    std::map<std::string,
+             std::shared_future<std::shared_ptr<const isa::Program>>>
+        programs;
+    std::map<std::string, std::shared_future<FuncResult>> funcs;
+    std::map<std::string,
+             std::shared_future<
+                 std::shared_ptr<const core::ValueLocalityProfiler>>>
+        localities;
+    std::map<std::string, std::shared_future<core::LvpStats>> lvps;
+    std::map<std::string, std::shared_future<PpcRun>> ppcRuns;
+    std::map<std::string, std::shared_future<AlphaRun>> alphaRuns;
+    /** Value: trace-file path ("" when generation was skipped). */
+    std::map<std::string, std::shared_future<std::string>> traces;
+
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> traceWrites{0};
+    std::atomic<std::uint64_t> traceReplays{0};
+
+    std::string ensureTrace(RunCache &cache, const Workload &w,
+                            CodeGen cg, unsigned scale,
+                            const RunConfig &rc);
+
+    /**
+     * Return the memoized value for @p key, computing it with
+     * @p make exactly once: the first requester publishes a future
+     * under the lock and computes outside it; concurrent requesters
+     * block on that future.
+     */
+    template <typename V>
+    V
+    getOrCompute(std::map<std::string, std::shared_future<V>> &map,
+                 const std::string &key,
+                 const std::function<V()> &make)
+    {
+        std::promise<V> prom;
+        std::shared_future<V> fut;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(m);
+            auto it = map.find(key);
+            if (it != map.end()) {
+                fut = it->second;
+            } else {
+                fut = prom.get_future().share();
+                map.emplace(key, fut);
+                owner = true;
+            }
+        }
+        if (owner) {
+            misses.fetch_add(1, std::memory_order_relaxed);
+            try {
+                prom.set_value(make());
+            } catch (...) {
+                prom.set_exception(std::current_exception());
+            }
+        } else {
+            hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        return fut.get();
+    }
+};
+
+RunCache::RunCache() : impl_(std::make_unique<Impl>())
+{
+    if (const char *dir = std::getenv("LVPLIB_TRACE_CACHE"))
+        impl_->traceDir = dir;
+}
+
+RunCache::~RunCache() = default;
+
+RunCache &
+RunCache::instance()
+{
+    static RunCache cache;
+    return cache;
+}
+
+std::shared_ptr<const isa::Program>
+RunCache::program(const Workload &w, CodeGen cg, unsigned scale)
+{
+    return impl_->getOrCompute<std::shared_ptr<const isa::Program>>(
+        impl_->programs, baseKey(w, cg, scale), [&] {
+            return std::make_shared<const isa::Program>(
+                w.build(cg, scale));
+        });
+}
+
+namespace
+{
+
+/** Discards annotated records (mirrors runLvpOnly's internal sink). */
+class NullSink : public trace::TraceSink
+{
+  public:
+    void consume(const trace::TraceRecord &) override {}
+};
+
+bool
+fileExists(const std::string &path)
+{
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        std::fclose(f);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+/**
+ * Phase 1, once per (workload, codegen, scale, maxInstructions):
+ * interpret the program and persist its dynamic trace. Returns the
+ * trace path, or "" when the trace cache is disabled.
+ */
+std::string
+RunCache::Impl::ensureTrace(RunCache &cache, const Workload &w,
+                            CodeGen cg, unsigned scale,
+                            const RunConfig &rc)
+{
+    std::string dir;
+    {
+        std::lock_guard<std::mutex> lock(m);
+        dir = traceDir;
+    }
+    if (dir.empty())
+        return "";
+    std::ostringstream name;
+    name << dir << '/' << w.name << '-' << workloads::codeGenName(cg)
+         << "-s" << scale << "-m" << rc.maxInstructions << ".trace";
+    return getOrCompute<std::string>(
+        traces, name.str(), [&, path = name.str()] {
+            if (fileExists(path))
+                return path; // reuse a previous process's phase 1
+            auto prog = cache.program(w, cg, scale);
+            std::string tmp = path + ".tmp";
+            {
+                trace::TraceFileWriter writer(tmp);
+                vm::Interpreter interp(*prog);
+                interp.run(&writer, rc.maxInstructions);
+                if (!interp.halted())
+                    writer.finish();
+                addInstructionsProcessed(interp.retired());
+            }
+            if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+                lvp_warn("cannot rename trace '%s'", tmp.c_str());
+                return std::string();
+            }
+            traceWrites.fetch_add(1, std::memory_order_relaxed);
+            return path;
+        });
+}
+
+FuncResult
+RunCache::functional(const Workload &w, CodeGen cg, unsigned scale,
+                     const RunConfig &rc)
+{
+    return impl_->getOrCompute<FuncResult>(
+        impl_->funcs, runKey(w, cg, scale, rc), [&] {
+            // Functional runs need the final memory image (the
+            // "__result" checksum), so they always interpret.
+            return runFunctional(*program(w, cg, scale), rc);
+        });
+}
+
+std::shared_ptr<const core::ValueLocalityProfiler>
+RunCache::locality(const Workload &w, CodeGen cg, unsigned scale,
+                   const RunConfig &rc)
+{
+    return impl_->getOrCompute<
+        std::shared_ptr<const core::ValueLocalityProfiler>>(
+        impl_->localities, runKey(w, cg, scale, rc), [&] {
+            auto prog = program(w, cg, scale);
+            std::string tr =
+                impl_->ensureTrace(*this, w, cg, scale, rc);
+            if (!tr.empty()) {
+                auto prof =
+                    std::make_shared<core::ValueLocalityProfiler>();
+                trace::TraceFileReader reader(tr, *prog);
+                addInstructionsProcessed(reader.replay(*prof));
+                impl_->traceReplays.fetch_add(
+                    1, std::memory_order_relaxed);
+                return std::shared_ptr<
+                    const core::ValueLocalityProfiler>(prof);
+            }
+            return std::shared_ptr<
+                const core::ValueLocalityProfiler>(
+                std::make_shared<core::ValueLocalityProfiler>(
+                    profileLocality(*prog, rc)));
+        });
+}
+
+core::LvpStats
+RunCache::lvpOnly(const Workload &w, CodeGen cg, unsigned scale,
+                  const core::LvpConfig &cfg, const RunConfig &rc)
+{
+    std::string key = runKey(w, cg, scale, rc) + "|lvp|" + fp(cfg);
+    return impl_->getOrCompute<core::LvpStats>(
+        impl_->lvps, key, [&] {
+            auto prog = program(w, cg, scale);
+            std::string tr =
+                impl_->ensureTrace(*this, w, cg, scale, rc);
+            if (!tr.empty()) {
+                NullSink null_sink;
+                core::LvpAnnotator annot(cfg, null_sink);
+                trace::TraceFileReader reader(tr, *prog);
+                addInstructionsProcessed(reader.replay(annot));
+                impl_->traceReplays.fetch_add(
+                    1, std::memory_order_relaxed);
+                return annot.unit().stats();
+            }
+            return runLvpOnly(*prog, cfg, rc);
+        });
+}
+
+PpcRun
+RunCache::ppc620(const Workload &w, CodeGen cg, unsigned scale,
+                 const uarch::Ppc620Config &mc,
+                 const std::optional<core::LvpConfig> &lvp,
+                 const RunConfig &rc)
+{
+    std::string key =
+        runKey(w, cg, scale, rc) + "|ppc|" + fp(mc) + '|' + fp(lvp);
+    return impl_->getOrCompute<PpcRun>(
+        impl_->ppcRuns, key, [&] {
+            auto prog = program(w, cg, scale);
+            std::string tr =
+                impl_->ensureTrace(*this, w, cg, scale, rc);
+            if (!tr.empty()) {
+                uarch::Ppc620Model model(mc, lvp.has_value());
+                PpcRun r;
+                trace::TraceFileReader reader(tr, *prog);
+                if (lvp) {
+                    core::LvpAnnotator annot(*lvp, model);
+                    addInstructionsProcessed(reader.replay(annot));
+                    r.lvp = annot.unit().stats();
+                } else {
+                    addInstructionsProcessed(reader.replay(model));
+                }
+                impl_->traceReplays.fetch_add(
+                    1, std::memory_order_relaxed);
+                r.timing = model.stats();
+                return r;
+            }
+            return runPpc620(*prog, mc, lvp, rc);
+        });
+}
+
+AlphaRun
+RunCache::alpha21164(const Workload &w, CodeGen cg, unsigned scale,
+                     const uarch::AlphaConfig &mc,
+                     const std::optional<core::LvpConfig> &lvp,
+                     const RunConfig &rc)
+{
+    std::string key =
+        runKey(w, cg, scale, rc) + "|alpha|" + fp(mc) + '|' + fp(lvp);
+    return impl_->getOrCompute<AlphaRun>(
+        impl_->alphaRuns, key, [&] {
+            auto prog = program(w, cg, scale);
+            std::string tr =
+                impl_->ensureTrace(*this, w, cg, scale, rc);
+            if (!tr.empty()) {
+                uarch::Alpha21164Model model(mc, lvp.has_value());
+                AlphaRun r;
+                trace::TraceFileReader reader(tr, *prog);
+                if (lvp) {
+                    core::LvpAnnotator annot(*lvp, model);
+                    addInstructionsProcessed(reader.replay(annot));
+                    r.lvp = annot.unit().stats();
+                } else {
+                    addInstructionsProcessed(reader.replay(model));
+                }
+                impl_->traceReplays.fetch_add(
+                    1, std::memory_order_relaxed);
+                r.timing = model.stats();
+                return r;
+            }
+            return runAlpha21164(*prog, mc, lvp, rc);
+        });
+}
+
+void
+RunCache::setTraceDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->traceDir = std::move(dir);
+}
+
+std::string
+RunCache::traceDir() const
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    return impl_->traceDir;
+}
+
+RunCache::Stats
+RunCache::stats() const
+{
+    Stats s;
+    s.hits = impl_->hits.load(std::memory_order_relaxed);
+    s.misses = impl_->misses.load(std::memory_order_relaxed);
+    s.traceWrites =
+        impl_->traceWrites.load(std::memory_order_relaxed);
+    s.traceReplays =
+        impl_->traceReplays.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+RunCache::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->programs.clear();
+    impl_->funcs.clear();
+    impl_->localities.clear();
+    impl_->lvps.clear();
+    impl_->ppcRuns.clear();
+    impl_->alphaRuns.clear();
+    impl_->traces.clear();
+    impl_->hits = 0;
+    impl_->misses = 0;
+    impl_->traceWrites = 0;
+    impl_->traceReplays = 0;
+}
+
+} // namespace lvplib::sim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Process-wide memoizing run-cache for the experiment engine.
+ *
+ * The paper's evaluation re-runs the same 17 workloads through the
+ * same handful of machine/LVP configurations for every table and
+ * figure; a whole-suite regeneration used to rebuild and re-simulate
+ * each (workload, codegen, scale) program dozens of times. The cache
+ * shares, across every experiment runner in the process:
+ *
+ *  - built Programs, keyed on (workload, codegen, scale);
+ *  - functional results, locality profiles, LVP-only statistics, and
+ *    timing runs, keyed additionally on maxInstructions and on a full
+ *    fingerprint of the machine/LVP configuration (so ablation
+ *    variants never alias the paper presets);
+ *  - optionally, on-disk phase-1 traces (Section 5's decoupled
+ *    methodology): when a trace directory is configured, the
+ *    functional interpreter runs once per (workload, codegen, scale,
+ *    maxInstructions) to write a binary trace via TraceFileWriter,
+ *    and every phase-2/3 run (LVP-only, locality, timing) replays
+ *    that trace through TraceFileReader instead of re-interpreting.
+ *
+ * All entries are computed at most once even under concurrent access:
+ * the first requester computes, later requesters block on a shared
+ * future. Cached values are pure functions of their keys, so cache
+ * order (and therefore thread schedule) never changes any result.
+ *
+ * The trace directory comes from the LVPLIB_TRACE_CACHE environment
+ * variable at construction, or setTraceDir(). Trace files are keyed
+ * by workload/codegen/scale/maxInstructions only — wipe the directory
+ * when the workload builders or the interpreter change.
+ */
+
+#ifndef LVPLIB_SIM_RUN_CACHE_HH
+#define LVPLIB_SIM_RUN_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/config.hh"
+#include "core/locality_profiler.hh"
+#include "sim/pipeline_driver.hh"
+#include "workloads/workload.hh"
+
+namespace lvplib::sim
+{
+
+/** Memoizes experiment sub-runs; see file comment. */
+class RunCache
+{
+  public:
+    /** The process-wide instance the experiment runners share. */
+    static RunCache &instance();
+
+    ~RunCache();
+    RunCache(const RunCache &) = delete;
+    RunCache &operator=(const RunCache &) = delete;
+
+    /** Build (once) and share the program for one workload. */
+    std::shared_ptr<const isa::Program>
+    program(const workloads::Workload &w, workloads::CodeGen cg,
+            unsigned scale);
+
+    /** Cached runFunctional(). */
+    FuncResult functional(const workloads::Workload &w,
+                          workloads::CodeGen cg, unsigned scale,
+                          const RunConfig &rc);
+
+    /** Cached profileLocality(). */
+    std::shared_ptr<const core::ValueLocalityProfiler>
+    locality(const workloads::Workload &w, workloads::CodeGen cg,
+             unsigned scale, const RunConfig &rc);
+
+    /** Cached runLvpOnly(). */
+    core::LvpStats lvpOnly(const workloads::Workload &w,
+                           workloads::CodeGen cg, unsigned scale,
+                           const core::LvpConfig &cfg,
+                           const RunConfig &rc);
+
+    /** Cached runPpc620(). */
+    PpcRun ppc620(const workloads::Workload &w, workloads::CodeGen cg,
+                  unsigned scale, const uarch::Ppc620Config &mc,
+                  const std::optional<core::LvpConfig> &lvp,
+                  const RunConfig &rc);
+
+    /** Cached runAlpha21164(). */
+    AlphaRun alpha21164(const workloads::Workload &w,
+                        workloads::CodeGen cg, unsigned scale,
+                        const uarch::AlphaConfig &mc,
+                        const std::optional<core::LvpConfig> &lvp,
+                        const RunConfig &rc);
+
+    /**
+     * Enable (non-empty) or disable (empty) the on-disk trace cache.
+     * The directory must already exist.
+     */
+    void setTraceDir(std::string dir);
+
+    /** Current trace-cache directory ("" = disabled). */
+    std::string traceDir() const;
+
+    /** Effectiveness counters. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;     ///< memoized results returned
+        std::uint64_t misses = 0;   ///< results computed
+        std::uint64_t traceWrites = 0;  ///< phase-1 traces written
+        std::uint64_t traceReplays = 0; ///< runs served by replay
+    };
+
+    Stats stats() const;
+
+    /** Drop every memoized entry (trace files stay on disk). */
+    void clear();
+
+  private:
+    RunCache();
+
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace lvplib::sim
+
+#endif // LVPLIB_SIM_RUN_CACHE_HH

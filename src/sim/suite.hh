@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The experiment suite registry: every table/figure the repo
+ * reproduces, each as a named spec the lvpbench driver (and the thin
+ * per-experiment bench binaries) run through the parallel engine.
+ */
+
+#ifndef LVPLIB_SIM_SUITE_HH
+#define LVPLIB_SIM_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+namespace lvplib::sim
+{
+
+/** One printed table: exactly what printExperiment needs. */
+struct ExperimentSection
+{
+    std::string title;
+    std::string expectation;
+    TextTable table;
+};
+
+/** One table/figure registration in the experiment suite. */
+struct ExperimentSpec
+{
+    std::string id;      ///< short handle, e.g. "fig1"
+    std::string binary;  ///< historical bench binary name
+    std::string summary; ///< one-line description for --list
+    std::vector<ExperimentSection> (*run)(const ExperimentOptions &);
+};
+
+/** Every table/figure, in paper-then-extensions order. */
+const std::vector<ExperimentSpec> &experimentSuite();
+
+/** Look up a spec by id or binary name; nullptr when unknown. */
+const ExperimentSpec *findExperiment(const std::string &idOrBinary);
+
+/**
+ * Entry point for the thin bench binaries: run one experiment with
+ * ExperimentOptions::fromEnv() and print every section to stdout.
+ * Returns the process exit code.
+ */
+int runSuiteBinary(const std::string &id);
+
+} // namespace lvplib::sim
+
+#endif // LVPLIB_SIM_SUITE_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Strict environment-variable parsing. lvplib knobs (LVPLIB_SCALE,
+ * LVPLIB_JOBS, ...) are numeric; a typo silently becoming 0 via atoi
+ * is worse than rejecting it loudly, so everything goes through
+ * std::from_chars with full-string and range validation.
+ */
+
+#ifndef LVPLIB_UTIL_ENV_HH
+#define LVPLIB_UTIL_ENV_HH
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+namespace lvplib
+{
+
+/**
+ * Parse environment variable @p name as an unsigned integer.
+ *
+ * @return The value when @p name is set to a whole base-10 integer
+ * within [@p min, @p max]; std::nullopt when the variable is unset.
+ * Garbage, trailing characters, overflow, or out-of-range values are
+ * rejected with a warning on stderr (and treated as unset), never
+ * silently coerced.
+ */
+inline std::optional<unsigned long long>
+envUnsigned(const char *name, unsigned long long min = 0,
+            unsigned long long max =
+                ~static_cast<unsigned long long>(0))
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return std::nullopt;
+    unsigned long long v = 0;
+    const char *end = s + std::strlen(s);
+    auto [ptr, ec] = std::from_chars(s, end, v);
+    if (ec != std::errc() || ptr != end || v < min || v > max) {
+        std::fprintf(stderr,
+                     "lvplib: ignoring %s='%s' (expected an integer "
+                     "in [%llu, %llu])\n",
+                     name, s, min, max);
+        return std::nullopt;
+    }
+    return v;
+}
+
+} // namespace lvplib
+
+#endif // LVPLIB_UTIL_ENV_HH

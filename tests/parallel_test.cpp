@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: the TaskPool itself, the
+ * determinism guarantee (parallel output byte-identical to serial),
+ * and the RunCache's memoization and trace-replay paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <latch>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unistd.h>
+
+#include "sim/experiment.hh"
+#include "sim/parallel.hh"
+#include "sim/pipeline_driver.hh"
+#include "sim/run_cache.hh"
+#include "util/env.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace lvplib;
+using sim::RunCache;
+using sim::TaskPool;
+
+sim::ExperimentOptions
+smallOpts()
+{
+    sim::ExperimentOptions opts;
+    opts.scale = 1;
+    return opts;
+}
+
+TEST(TaskPoolTest, RunsJobsAndReturnsResultsInOrder)
+{
+    TaskPool pool(4);
+    EXPECT_EQ(pool.jobs(), 4u);
+    std::vector<int> items;
+    for (int i = 0; i < 100; ++i)
+        items.push_back(i);
+    auto out = pool.map(items, [](const int &v) { return v * v; });
+    ASSERT_EQ(out.size(), items.size());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(TaskPoolTest, UsesMultipleWorkerThreads)
+{
+    TaskPool pool(4);
+    // Hold every job at a latch until all four workers arrive: the
+    // map can only finish if four distinct threads run concurrently.
+    std::latch gate(4);
+    std::mutex m;
+    std::set<std::thread::id> ids;
+    std::vector<int> items(4, 0);
+    pool.map(items, [&](const int &) {
+        gate.arrive_and_wait();
+        std::lock_guard<std::mutex> lock(m);
+        ids.insert(std::this_thread::get_id());
+        return 0;
+    });
+    EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(TaskPoolTest, PropagatesExceptions)
+{
+    TaskPool pool(2);
+    std::vector<int> items{1, 2, 3, 4};
+    EXPECT_THROW(pool.map(items,
+                          [](const int &v) -> int {
+                              if (v == 3)
+                                  throw std::runtime_error("boom");
+                              return v;
+                          }),
+                 std::runtime_error);
+}
+
+TEST(TaskPoolTest, SingleWorkerPoolStillCompletes)
+{
+    TaskPool pool(1);
+    std::vector<int> items{5, 6, 7};
+    auto out = pool.map(items, [](const int &v) { return v + 1; });
+    EXPECT_EQ(out, (std::vector<int>{6, 7, 8}));
+}
+
+TEST(TaskPoolTest, DefaultJobsPositive)
+{
+    EXPECT_GE(TaskPool::defaultJobs(), 1u);
+}
+
+TEST(EnvTest, EnvUnsignedParsesStrictly)
+{
+    setenv("LVPLIB_TEST_ENV", "42", 1);
+    EXPECT_EQ(lvplib::envUnsigned("LVPLIB_TEST_ENV"), 42ull);
+    setenv("LVPLIB_TEST_ENV", "42garbage", 1);
+    EXPECT_FALSE(lvplib::envUnsigned("LVPLIB_TEST_ENV").has_value());
+    setenv("LVPLIB_TEST_ENV", "-3", 1);
+    EXPECT_FALSE(lvplib::envUnsigned("LVPLIB_TEST_ENV").has_value());
+    setenv("LVPLIB_TEST_ENV", "99999999999999999999999", 1);
+    EXPECT_FALSE(lvplib::envUnsigned("LVPLIB_TEST_ENV").has_value());
+    setenv("LVPLIB_TEST_ENV", "7", 1);
+    EXPECT_FALSE(
+        lvplib::envUnsigned("LVPLIB_TEST_ENV", 8, 100).has_value());
+    unsetenv("LVPLIB_TEST_ENV");
+    EXPECT_FALSE(lvplib::envUnsigned("LVPLIB_TEST_ENV").has_value());
+}
+
+/** Render one experiment's table exactly as the bench binary would. */
+std::string
+renderFig1()
+{
+    std::ostringstream os;
+    sim::fig1ValueLocality(smallOpts()).print(os);
+    return os.str();
+}
+
+TEST(ParallelDeterminismTest, Fig1ByteIdenticalAcrossJobCounts)
+{
+    RunCache::instance().clear();
+    sim::setExperimentJobs(1);
+    std::string serial = renderFig1();
+
+    RunCache::instance().clear();
+    sim::setExperimentJobs(4);
+    std::string parallel = renderFig1();
+
+    sim::setExperimentJobs(0); // restore the default pool
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(RunCacheTest, HitReturnsSameStatsAsColdRun)
+{
+    auto &cache = RunCache::instance();
+    cache.clear();
+    const auto &w = workloads::allWorkloads().front();
+    auto opts = smallOpts();
+    sim::RunConfig rc{opts.maxInstructions};
+
+    auto before = cache.stats();
+    auto cold = cache.functional(w, workloads::CodeGen::Ppc,
+                                 opts.scale, rc);
+    auto warm = cache.functional(w, workloads::CodeGen::Ppc,
+                                 opts.scale, rc);
+    auto after = cache.stats();
+
+    EXPECT_EQ(cold.stats.instructions(), warm.stats.instructions());
+    EXPECT_EQ(cold.stats.loads(), warm.stats.loads());
+    EXPECT_EQ(cold.result, warm.result);
+    EXPECT_GT(after.misses, before.misses);
+    EXPECT_GT(after.hits, before.hits);
+
+    // The built program is shared, not rebuilt.
+    auto p1 = cache.program(w, workloads::CodeGen::Ppc, opts.scale);
+    auto p2 = cache.program(w, workloads::CodeGen::Ppc, opts.scale);
+    EXPECT_EQ(p1.get(), p2.get());
+}
+
+TEST(RunCacheTest, TraceReplayMatchesDirectInterpretation)
+{
+    namespace fs = std::filesystem;
+    const auto &w = workloads::allWorkloads().front();
+    auto opts = smallOpts();
+    sim::RunConfig rc{opts.maxInstructions};
+    auto cfg = core::LvpConfig::simple();
+
+    auto &cache = RunCache::instance();
+    cache.clear();
+    cache.setTraceDir("");
+    auto direct = cache.lvpOnly(w, workloads::CodeGen::Ppc, opts.scale,
+                                cfg, rc);
+
+    fs::path dir =
+        fs::temp_directory_path() /
+        ("lvpbench-cache-test-" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    cache.clear();
+    cache.setTraceDir(dir.string());
+    auto replayed = cache.lvpOnly(w, workloads::CodeGen::Ppc,
+                                  opts.scale, cfg, rc);
+    auto stats = cache.stats();
+    cache.setTraceDir("");
+    cache.clear();
+    fs::remove_all(dir);
+
+    EXPECT_EQ(stats.traceWrites, 1u);
+    EXPECT_EQ(stats.traceReplays, 1u);
+    EXPECT_EQ(direct.loads, replayed.loads);
+    EXPECT_EQ(direct.correct, replayed.correct);
+    EXPECT_EQ(direct.incorrect, replayed.incorrect);
+    EXPECT_EQ(direct.constants, replayed.constants);
+}
+
+} // namespace

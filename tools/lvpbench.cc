@@ -1,0 +1,277 @@
+/**
+ * @file
+ * lvpbench: regenerate every table and figure in one process.
+ *
+ * Replaces running each build/bench binary serially: all experiments run
+ * through the shared TaskPool (LVPLIB_JOBS or --jobs) and the
+ * process-wide RunCache, so common sub-runs (the same workload under
+ * the same machine/LVP configuration) simulate exactly once, and
+ * phase-1 traces are written to an on-disk cache and replayed by
+ * every later phase-2/3 run instead of re-interpreting.
+ *
+ *   lvpbench                  # everything, human-readable
+ *   lvpbench --filter fig     # experiments whose id/binary matches
+ *   lvpbench --jobs 8         # override LVPLIB_JOBS
+ *   lvpbench --scale 2        # override LVPLIB_SCALE
+ *   lvpbench --json           # machine-readable timings on stdout
+ *   lvpbench --list           # show experiment ids and exit
+ *   lvpbench --no-trace-cache # keep phase 1 in-memory only
+ *
+ * The trace cache defaults to a fresh temporary directory (removed on
+ * exit); set LVPLIB_TRACE_CACHE to persist traces across runs.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/parallel.hh"
+#include "sim/pipeline_driver.hh"
+#include "sim/report.hh"
+#include "sim/run_cache.hh"
+#include "sim/suite.hh"
+#include "util/env.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace lvplib;
+using Clock = std::chrono::steady_clock;
+
+struct Timing
+{
+    std::string id;
+    std::string title;
+    std::size_t sections = 0;
+    double wallSeconds = 0;
+    std::uint64_t instructions = 0;
+
+    double
+    mips() const
+    {
+        return wallSeconds > 0
+                   ? static_cast<double>(instructions) / wallSeconds /
+                         1e6
+                   : 0.0;
+    }
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+fmtSeconds(double s)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", s);
+    return buf;
+}
+
+int
+usage(int code)
+{
+    std::cerr
+        << "usage: lvpbench [--filter SUBSTR]... [--jobs N] "
+           "[--scale N]\n"
+           "                [--json] [--list] [--no-trace-cache]\n";
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> filters;
+    bool json = false, list = false, traceCache = true;
+    std::optional<unsigned> jobs, scale;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "lvpbench: " << arg
+                          << " needs a value\n";
+                std::exit(usage(1));
+            }
+            return argv[++i];
+        };
+        if (arg == "--filter") {
+            filters.push_back(value());
+        } else if (arg == "--jobs") {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(value(), &end, 10);
+            if (!end || *end || v < 1 || v > 1024) {
+                std::cerr << "lvpbench: bad --jobs value\n";
+                return usage(1);
+            }
+            jobs = static_cast<unsigned>(v);
+        } else if (arg == "--scale") {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(value(), &end, 10);
+            if (!end || *end || v < 1) {
+                std::cerr << "lvpbench: bad --scale value\n";
+                return usage(1);
+            }
+            scale = static_cast<unsigned>(v);
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--no-trace-cache") {
+            traceCache = false;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(0);
+        } else {
+            std::cerr << "lvpbench: unknown option '" << arg << "'\n";
+            return usage(1);
+        }
+    }
+
+    if (list) {
+        for (const auto &spec : sim::experimentSuite())
+            std::cout << spec.id << '\t' << spec.binary << '\t'
+                      << spec.summary << '\n';
+        return 0;
+    }
+
+    if (jobs)
+        sim::setExperimentJobs(*jobs);
+    auto opts = sim::ExperimentOptions::fromEnv();
+    if (scale)
+        opts.scale = *scale;
+
+    auto &cache = sim::RunCache::instance();
+    std::filesystem::path tempTraceDir;
+    if (!traceCache) {
+        cache.setTraceDir("");
+    } else if (cache.traceDir().empty()) {
+        // No LVPLIB_TRACE_CACHE: use a private temp dir for this run.
+        std::string tmpl =
+            (std::filesystem::temp_directory_path() /
+             "lvpbench-cache-XXXXXX")
+                .string();
+        if (char *dir = mkdtemp(tmpl.data())) {
+            tempTraceDir = dir;
+            cache.setTraceDir(dir);
+        }
+    }
+
+    std::vector<Timing> timings;
+    double totalWall = 0;
+    std::uint64_t totalInstr = 0;
+
+    for (const auto &spec : sim::experimentSuite()) {
+        if (!filters.empty()) {
+            bool match = false;
+            for (const auto &f : filters)
+                if (spec.id.find(f) != std::string::npos ||
+                    spec.binary.find(f) != std::string::npos)
+                    match = true;
+            if (!match)
+                continue;
+        }
+        Timing tm;
+        tm.id = spec.id;
+        std::uint64_t instr0 = sim::instructionsProcessed();
+        auto t0 = Clock::now();
+        auto sections = spec.run(opts);
+        tm.wallSeconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        tm.instructions = sim::instructionsProcessed() - instr0;
+        tm.sections = sections.size();
+        tm.title = sections.empty() ? spec.summary : sections[0].title;
+        if (!json)
+            for (const auto &sec : sections)
+                sim::printExperiment(std::cout, sec.title,
+                                     sec.expectation, sec.table, opts);
+        totalWall += tm.wallSeconds;
+        totalInstr += tm.instructions;
+        timings.push_back(std::move(tm));
+    }
+
+    if (!tempTraceDir.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(tempTraceDir, ec);
+    }
+
+    if (timings.empty()) {
+        std::cerr << "lvpbench: no experiment matches the filter\n";
+        return 1;
+    }
+
+    auto cs = cache.stats();
+    double totalMips =
+        totalWall > 0
+            ? static_cast<double>(totalInstr) / totalWall / 1e6
+            : 0.0;
+
+    if (json) {
+        std::ostringstream os;
+        os << "{\n  \"schema\": \"lvpbench-v1\",\n"
+           << "  \"scale\": " << opts.scale << ",\n"
+           << "  \"jobs\": " << sim::experimentPool().jobs() << ",\n"
+           << "  \"experiments\": [\n";
+        for (std::size_t i = 0; i < timings.size(); ++i) {
+            const auto &tm = timings[i];
+            os << "    {\"id\": \"" << jsonEscape(tm.id)
+               << "\", \"title\": \"" << jsonEscape(tm.title)
+               << "\", \"sections\": " << tm.sections
+               << ", \"wall_seconds\": " << fmtSeconds(tm.wallSeconds)
+               << ", \"instructions\": " << tm.instructions
+               << ", \"mips\": " << fmtSeconds(tm.mips()) << "}"
+               << (i + 1 < timings.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n"
+           << "  \"total\": {\"wall_seconds\": "
+           << fmtSeconds(totalWall)
+           << ", \"instructions\": " << totalInstr
+           << ", \"mips\": " << fmtSeconds(totalMips) << "},\n"
+           << "  \"run_cache\": {\"hits\": " << cs.hits
+           << ", \"misses\": " << cs.misses
+           << ", \"trace_writes\": " << cs.traceWrites
+           << ", \"trace_replays\": " << cs.traceReplays << "}\n"
+           << "}\n";
+        std::cout << os.str();
+    } else {
+        TextTable t;
+        t.header({"Experiment", "Wall (s)", "Instructions", "MIPS"});
+        for (const auto &tm : timings)
+            t.row({tm.id, fmtSeconds(tm.wallSeconds),
+                   TextTable::fmtCount(tm.instructions),
+                   fmtSeconds(tm.mips())});
+        t.row({"TOTAL", fmtSeconds(totalWall),
+               TextTable::fmtCount(totalInstr),
+               fmtSeconds(totalMips)});
+        std::cout << "\n== lvpbench timings (jobs="
+                  << sim::experimentPool().jobs()
+                  << ", scale=" << opts.scale << ") ==\n";
+        t.print(std::cout);
+        std::cout << "run cache: " << cs.hits << " hits, " << cs.misses
+                  << " misses, " << cs.traceWrites
+                  << " traces written, " << cs.traceReplays
+                  << " replays\n";
+    }
+    return 0;
+}

@@ -46,9 +46,15 @@ main(int argc, char **argv)
 
     // ---- phase 1: trace generation --------------------------------
     {
-        trace::TraceFileWriter writer(trace_path);
+        trace::TraceFileWriter writer(
+            trace_path, trace::programFingerprint(prog));
         vm::Interpreter interp(prog);
         interp.run(&writer);
+        if (!writer.close()) {
+            std::fprintf(stderr, "trace write failed: %s\n",
+                         writer.error().c_str());
+            return 1;
+        }
         std::printf("phase 1: %llu records -> %s\n",
                     (unsigned long long)writer.recordsWritten(),
                     trace_path.c_str());
@@ -59,7 +65,10 @@ main(int argc, char **argv)
     {
         trace::AnnotationRecorder recorder;
         core::LvpAnnotator annot(core::LvpConfig::simple(), recorder);
-        trace::TraceFileReader reader(trace_path, prog);
+        // The fingerprint argument rejects a trace generated from a
+        // different program instead of replaying garbage.
+        trace::TraceFileReader reader(trace_path, prog,
+                                      trace::programFingerprint(prog));
         reader.replay(annot);
         loads = recorder.stream().size();
         recorder.stream().save(annot_path);

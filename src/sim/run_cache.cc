@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <unistd.h>
 
 #include "core/lvp_unit.hh"
 #include "trace/trace_file.hh"
@@ -148,6 +149,7 @@ struct RunCache::Impl
     std::atomic<std::uint64_t> misses{0};
     std::atomic<std::uint64_t> traceWrites{0};
     std::atomic<std::uint64_t> traceReplays{0};
+    std::atomic<std::uint64_t> traceInvalid{0};
 
     std::string ensureTrace(RunCache &cache, const Workload &w,
                             CodeGen cg, unsigned scale,
@@ -238,12 +240,35 @@ fileExists(const std::string &path)
     return false;
 }
 
+/**
+ * A temp name no other writer can collide with: trace directories may
+ * be shared by concurrent lvpbench processes, so the name carries the
+ * pid plus a process-local counter.
+ */
+std::string
+uniqueTempName(const std::string &path)
+{
+    static std::atomic<unsigned> seq{0};
+    std::ostringstream os;
+    os << path << ".tmp." << ::getpid() << '.'
+       << seq.fetch_add(1, std::memory_order_relaxed);
+    return os.str();
+}
+
 } // namespace
 
 /**
  * Phase 1, once per (workload, codegen, scale, maxInstructions):
  * interpret the program and persist its dynamic trace. Returns the
- * trace path, or "" when the trace cache is disabled.
+ * trace path, or "" when the trace cache is disabled or the write
+ * failed (callers then fall back to in-memory interpretation; the
+ * failure itself is never memoized, so a later request retries).
+ *
+ * An existing file is fully verified (envelope, checksum, and the
+ * fingerprint of the program + run key) before reuse; any mismatch —
+ * stale fingerprint, old format version, truncation, bit flip — is
+ * treated as a cache miss: the bad file is deleted, counted in
+ * Stats::traceInvalid, and regenerated.
  */
 std::string
 RunCache::Impl::ensureTrace(RunCache &cache, const Workload &w,
@@ -260,27 +285,60 @@ RunCache::Impl::ensureTrace(RunCache &cache, const Workload &w,
     std::ostringstream name;
     name << dir << '/' << w.name << '-' << workloads::codeGenName(cg)
          << "-s" << scale << "-m" << rc.maxInstructions << ".trace";
-    return getOrCompute<std::string>(
+    std::string result = getOrCompute<std::string>(
         traces, name.str(), [&, path = name.str()] {
-            if (fileExists(path))
-                return path; // reuse a previous process's phase 1
             auto prog = cache.program(w, cg, scale);
-            std::string tmp = path + ".tmp";
+            std::ostringstream salt;
+            salt << baseKey(w, cg, scale);
+            keyPart(salt, rc.maxInstructions);
+            std::uint64_t fp = trace::mixFingerprint(
+                trace::programFingerprint(*prog), salt.str());
+            if (fileExists(path)) {
+                // Reuse a previous process's phase 1 — but only
+                // after it proves it matches this program and run.
+                auto rep = trace::verifyTraceFile(path, fp);
+                if (rep.ok())
+                    return path;
+                lvp_warn("trace cache: '%s' invalid (%s%s%s), "
+                         "regenerating",
+                         path.c_str(),
+                         trace::traceFileStatusName(rep.status),
+                         rep.detail.empty() ? "" : ": ",
+                         rep.detail.c_str());
+                traceInvalid.fetch_add(1, std::memory_order_relaxed);
+                std::remove(path.c_str());
+            }
+            std::string tmp = uniqueTempName(path);
+            bool written;
             {
-                trace::TraceFileWriter writer(tmp);
+                trace::TraceFileWriter writer(tmp, fp);
                 vm::Interpreter interp(*prog);
                 interp.run(&writer, rc.maxInstructions);
                 if (!interp.halted())
                     writer.finish();
                 addInstructionsProcessed(interp.retired());
+                written = writer.close();
+                if (!written)
+                    lvp_warn("trace cache: cannot write '%s' (%s)",
+                             tmp.c_str(), writer.error().c_str());
             }
-            if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-                lvp_warn("cannot rename trace '%s'", tmp.c_str());
+            if (!written ||
+                std::rename(tmp.c_str(), path.c_str()) != 0) {
+                if (written)
+                    lvp_warn("cannot rename trace '%s'", tmp.c_str());
+                std::remove(tmp.c_str());
                 return std::string();
             }
             traceWrites.fetch_add(1, std::memory_order_relaxed);
             return path;
         });
+    if (result.empty()) {
+        // Do not memoize the failure: let a later request retry
+        // (disk pressure and permission problems are transient).
+        std::lock_guard<std::mutex> lock(m);
+        traces.erase(name.str());
+    }
+    return result;
 }
 
 FuncResult
@@ -435,6 +493,8 @@ RunCache::stats() const
         impl_->traceWrites.load(std::memory_order_relaxed);
     s.traceReplays =
         impl_->traceReplays.load(std::memory_order_relaxed);
+    s.traceInvalid =
+        impl_->traceInvalid.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -453,6 +513,7 @@ RunCache::clear()
     impl_->misses = 0;
     impl_->traceWrites = 0;
     impl_->traceReplays = 0;
+    impl_->traceInvalid = 0;
 }
 
 } // namespace lvplib::sim

@@ -26,9 +26,21 @@
  * order (and therefore thread schedule) never changes any result.
  *
  * The trace directory comes from the LVPLIB_TRACE_CACHE environment
- * variable at construction, or setTraceDir(). Trace files are keyed
- * by workload/codegen/scale/maxInstructions only — wipe the directory
- * when the workload builders or the interpreter change.
+ * variable at construction, or setTraceDir(). Trace files are named
+ * by workload/codegen/scale/maxInstructions, but reuse is gated on
+ * the self-describing trace format (trace/trace_file.hh): before a
+ * file is replayed its header fingerprint — a hash of the encoded
+ * Program plus the run key — its format version, its footer record
+ * count, and its payload checksum are all verified. A stale,
+ * truncated, or corrupt file is treated as a cache miss (deleted,
+ * regenerated, and counted in Stats::traceInvalid), never as a
+ * silent replay and never as a fatal error; there is no need to wipe
+ * the directory when workload builders or the interpreter change.
+ * Writes go through per-process-unique temp files and an atomic
+ * rename, so concurrent processes sharing one directory cannot
+ * publish interleaved or partial traces; if the write itself fails
+ * (e.g. disk full) the run falls back to in-memory interpretation
+ * and the failure is not memoized.
  */
 
 #ifndef LVPLIB_SIM_RUN_CACHE_HH
@@ -108,6 +120,7 @@ class RunCache
         std::uint64_t misses = 0;   ///< results computed
         std::uint64_t traceWrites = 0;  ///< phase-1 traces written
         std::uint64_t traceReplays = 0; ///< runs served by replay
+        std::uint64_t traceInvalid = 0; ///< bad traces regenerated
     };
 
     Stats stats() const;

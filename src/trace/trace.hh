@@ -29,6 +29,9 @@ enum class PredState : std::uint8_t
     Constant,  ///< predicted and verified by the CVU (no cache access)
 };
 
+/** Number of PredState values (for validating serialized bytes). */
+constexpr unsigned NumPredStates = 4;
+
 const char *predStateName(PredState s);
 
 /**

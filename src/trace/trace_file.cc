@@ -1,6 +1,7 @@
 #include "trace/trace_file.hh"
 
 #include <array>
+#include <cstring>
 
 #include "util/logging.hh"
 
@@ -10,7 +11,27 @@ namespace lvplib::trace
 namespace
 {
 
-constexpr std::size_t RecordBytes = 8 + 8 + 8 + 1 + 1;
+constexpr std::size_t RecordBytes = TraceRecordBytes;
+
+constexpr char HeaderMagic[8] = {'L', 'V', 'P', 'T',
+                                 'R', 'A', 'C', 'E'};
+constexpr char FooterMagic[8] = {'E', 'C', 'A', 'R',
+                                 'T', 'P', 'V', 'L'};
+
+constexpr std::uint64_t FnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t FnvPrime = 0x00000100000001b3ull;
+
+std::uint64_t
+fnv1a(const void *data, std::size_t n, std::uint64_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= FnvPrime;
+    }
+    return h;
+}
 
 void
 putU64(std::uint8_t *p, std::uint64_t v)
@@ -28,25 +49,265 @@ getU64(const std::uint8_t *p)
     return v;
 }
 
+void
+putU32(std::uint8_t *p, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** True when a record's one-byte fields decode to legal values. */
+bool
+recordBytesValid(const std::uint8_t *rec)
+{
+    return rec[24] <= 1 && rec[25] < NumPredStates;
+}
+
+/** Parsed header + footer of an open trace file. */
+struct Envelope
+{
+    std::uint64_t fingerprint = 0;
+    std::uint64_t records = 0;
+    std::uint64_t checksum = 0;
+};
+
+/**
+ * Validate the envelope of @p f and leave the stream positioned at
+ * the first payload byte. On failure @p detail explains the specifics.
+ */
+TraceFileStatus
+readEnvelope(std::FILE *f, Envelope &env, std::string &detail)
+{
+    if (std::fseek(f, 0, SEEK_END) != 0)
+        return TraceFileStatus::ReadFailed;
+    long size = std::ftell(f);
+    if (size < 0)
+        return TraceFileStatus::ReadFailed;
+    if (static_cast<std::size_t>(size) <
+        TraceHeaderBytes + TraceFooterBytes) {
+        detail = std::to_string(size) + " bytes, need at least " +
+                 std::to_string(TraceHeaderBytes + TraceFooterBytes);
+        return TraceFileStatus::TooSmall;
+    }
+
+    std::array<std::uint8_t, TraceHeaderBytes> hdr;
+    if (std::fseek(f, 0, SEEK_SET) != 0 ||
+        std::fread(hdr.data(), hdr.size(), 1, f) != 1)
+        return TraceFileStatus::ReadFailed;
+    if (std::memcmp(hdr.data(), HeaderMagic, sizeof(HeaderMagic)) != 0)
+        return TraceFileStatus::BadMagic;
+    std::uint32_t version = getU32(&hdr[8]);
+    if (version != TraceFormatVersion) {
+        detail = "file version " + std::to_string(version) +
+                 ", expected " + std::to_string(TraceFormatVersion);
+        return TraceFileStatus::BadVersion;
+    }
+    std::uint32_t recBytes = getU32(&hdr[12]);
+    if (recBytes != RecordBytes) {
+        detail = "record size " + std::to_string(recBytes) +
+                 ", expected " + std::to_string(RecordBytes);
+        return TraceFileStatus::BadRecordSize;
+    }
+    env.fingerprint = getU64(&hdr[16]);
+
+    std::array<std::uint8_t, TraceFooterBytes> ftr;
+    if (std::fseek(f, -static_cast<long>(TraceFooterBytes),
+                   SEEK_END) != 0 ||
+        std::fread(ftr.data(), ftr.size(), 1, f) != 1)
+        return TraceFileStatus::ReadFailed;
+    if (std::memcmp(ftr.data(), FooterMagic, sizeof(FooterMagic)) !=
+        0) {
+        detail = "footer magic missing (interrupted write?)";
+        return TraceFileStatus::BadFooter;
+    }
+    env.records = getU64(&ftr[8]);
+    env.checksum = getU64(&ftr[16]);
+
+    std::uint64_t payload = static_cast<std::uint64_t>(size) -
+                            TraceHeaderBytes - TraceFooterBytes;
+    if (payload % RecordBytes != 0) {
+        detail = std::to_string(payload % RecordBytes) +
+                 " trailing bytes after " +
+                 std::to_string(payload / RecordBytes) +
+                 " whole records";
+        return TraceFileStatus::PartialRecord;
+    }
+    if (payload / RecordBytes != env.records) {
+        detail = "payload holds " +
+                 std::to_string(payload / RecordBytes) +
+                 " records, footer promises " +
+                 std::to_string(env.records);
+        return TraceFileStatus::CountMismatch;
+    }
+
+    if (std::fseek(f, static_cast<long>(TraceHeaderBytes),
+                   SEEK_SET) != 0)
+        return TraceFileStatus::ReadFailed;
+    return TraceFileStatus::Ok;
+}
+
 } // namespace
 
-TraceFileWriter::TraceFileWriter(const std::string &path)
-    : file_(std::fopen(path.c_str(), "wb"))
+std::uint64_t
+programFingerprint(const isa::Program &prog)
 {
-    if (!file_)
-        lvp_fatal("cannot open trace file '%s' for writing",
-                  path.c_str());
+    std::uint64_t h = FnvOffset;
+    auto mixU64 = [&h](std::uint64_t v) {
+        std::uint8_t b[8];
+        putU64(b, v);
+        h = fnv1a(b, sizeof(b), h);
+    };
+    mixU64(prog.size());
+    for (const auto &inst : prog.code()) {
+        std::uint8_t b[6] = {
+            static_cast<std::uint8_t>(inst.op),
+            inst.rd,
+            inst.rs1,
+            inst.rs2,
+            static_cast<std::uint8_t>(inst.cond),
+            static_cast<std::uint8_t>(inst.dataClass),
+        };
+        h = fnv1a(b, sizeof(b), h);
+        mixU64(static_cast<std::uint64_t>(inst.imm));
+    }
+    for (const auto &[addr, byte] : prog.dataImage()) {
+        mixU64(addr);
+        h = fnv1a(&byte, 1, h);
+    }
+    for (const auto &[name, addr] : prog.symbols()) {
+        h = fnv1a(name.data(), name.size(), h);
+        mixU64(addr);
+    }
+    return h;
+}
+
+std::uint64_t
+mixFingerprint(std::uint64_t fp, const std::string &salt)
+{
+    return fnv1a(salt.data(), salt.size(), fp);
+}
+
+const char *
+traceFileStatusName(TraceFileStatus s)
+{
+    switch (s) {
+      case TraceFileStatus::Ok: return "ok";
+      case TraceFileStatus::OpenFailed: return "open-failed";
+      case TraceFileStatus::TooSmall: return "too-small";
+      case TraceFileStatus::BadMagic: return "bad-magic";
+      case TraceFileStatus::BadVersion: return "bad-version";
+      case TraceFileStatus::BadRecordSize: return "bad-record-size";
+      case TraceFileStatus::BadFingerprint: return "stale-fingerprint";
+      case TraceFileStatus::BadFooter: return "bad-footer";
+      case TraceFileStatus::PartialRecord: return "partial-record";
+      case TraceFileStatus::CountMismatch: return "count-mismatch";
+      case TraceFileStatus::BadRecord: return "bad-record";
+      case TraceFileStatus::ChecksumMismatch:
+        return "checksum-mismatch";
+      case TraceFileStatus::ReadFailed: return "read-failed";
+    }
+    return "?";
+}
+
+TraceVerifyReport
+verifyTraceFile(const std::string &path,
+                std::optional<std::uint64_t> expectFingerprint)
+{
+    TraceVerifyReport rep;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        rep.status = TraceFileStatus::OpenFailed;
+        return rep;
+    }
+    Envelope env;
+    rep.status = readEnvelope(f, env, rep.detail);
+    rep.fingerprint = env.fingerprint;
+    rep.records = env.records;
+    if (rep.status != TraceFileStatus::Ok) {
+        std::fclose(f);
+        return rep;
+    }
+    if (expectFingerprint && env.fingerprint != *expectFingerprint) {
+        rep.status = TraceFileStatus::BadFingerprint;
+        rep.detail = "generating program or run key changed";
+        std::fclose(f);
+        return rep;
+    }
+    std::uint64_t checksum = FnvOffset;
+    std::array<std::uint8_t, RecordBytes> buf;
+    for (std::uint64_t i = 0; i < env.records; ++i) {
+        if (std::fread(buf.data(), buf.size(), 1, f) != 1) {
+            rep.status = TraceFileStatus::ReadFailed;
+            rep.detail = "short read at record " + std::to_string(i);
+            std::fclose(f);
+            return rep;
+        }
+        if (!recordBytesValid(buf.data())) {
+            rep.status = TraceFileStatus::BadRecord;
+            rep.detail = "record " + std::to_string(i) +
+                         ": taken=" + std::to_string(buf[24]) +
+                         " pred=" + std::to_string(buf[25]);
+            std::fclose(f);
+            return rep;
+        }
+        checksum = fnv1a(buf.data(), buf.size(), checksum);
+    }
+    std::fclose(f);
+    if (checksum != env.checksum) {
+        rep.status = TraceFileStatus::ChecksumMismatch;
+        rep.detail = "payload bytes do not match footer checksum";
+    }
+    return rep;
+}
+
+TraceFileWriter::TraceFileWriter(const std::string &path,
+                                 std::uint64_t fingerprint)
+    : file_(std::fopen(path.c_str(), "wb")), path_(path),
+      fingerprint_(fingerprint), checksum_(FnvOffset)
+{
+    if (!file_) {
+        fail("cannot open for writing");
+        return;
+    }
+    std::array<std::uint8_t, TraceHeaderBytes> hdr;
+    std::memcpy(hdr.data(), HeaderMagic, sizeof(HeaderMagic));
+    putU32(&hdr[8], TraceFormatVersion);
+    putU32(&hdr[12], static_cast<std::uint32_t>(RecordBytes));
+    putU64(&hdr[16], fingerprint_);
+    if (std::fwrite(hdr.data(), hdr.size(), 1, file_) != 1)
+        fail("header write failed");
 }
 
 TraceFileWriter::~TraceFileWriter()
 {
-    if (file_)
-        std::fclose(file_);
+    if (!closed_ && !close())
+        lvp_warn("trace file '%s': %s", path_.c_str(),
+                 error_.c_str());
+}
+
+void
+TraceFileWriter::fail(const std::string &what)
+{
+    if (!failed_) {
+        failed_ = true;
+        error_ = what;
+    }
 }
 
 void
 TraceFileWriter::consume(const TraceRecord &rec)
 {
+    if (failed_)
+        return;
     std::array<std::uint8_t, RecordBytes> buf;
     putU64(&buf[0], rec.pc);
     // Memory ops use the second slot for their effective address;
@@ -57,27 +318,75 @@ TraceFileWriter::consume(const TraceRecord &rec)
     putU64(&buf[16], rec.value);
     buf[24] = rec.taken ? 1 : 0;
     buf[25] = static_cast<std::uint8_t>(rec.pred);
-    if (std::fwrite(buf.data(), buf.size(), 1, file_) != 1)
-        lvp_fatal("trace write failed");
+    if (std::fwrite(buf.data(), buf.size(), 1, file_) != 1) {
+        fail("record write failed (disk full?)");
+        return;
+    }
+    checksum_ = fnv1a(buf.data(), buf.size(), checksum_);
     ++written_;
 }
 
 void
 TraceFileWriter::finish()
 {
-    if (!finished_) {
-        std::fflush(file_);
-        finished_ = true;
+    if (finished_)
+        return;
+    finished_ = true;
+    if (failed_)
+        return;
+    std::array<std::uint8_t, TraceFooterBytes> ftr;
+    std::memcpy(ftr.data(), FooterMagic, sizeof(FooterMagic));
+    putU64(&ftr[8], written_);
+    putU64(&ftr[16], checksum_);
+    if (std::fwrite(ftr.data(), ftr.size(), 1, file_) != 1) {
+        fail("footer write failed (disk full?)");
+        return;
     }
+    if (std::fflush(file_) != 0)
+        fail("flush failed (disk full?)");
 }
 
-TraceFileReader::TraceFileReader(const std::string &path,
-                                 const isa::Program &prog)
-    : file_(std::fopen(path.c_str(), "rb")), prog_(prog)
+bool
+TraceFileWriter::close()
+{
+    if (closed_)
+        return !failed_;
+    closed_ = true;
+    finish();
+    if (file_) {
+        if (std::fclose(file_) != 0)
+            fail("close failed (disk full?)");
+        file_ = nullptr;
+    }
+    return !failed_;
+}
+
+TraceFileReader::TraceFileReader(
+    const std::string &path, const isa::Program &prog,
+    std::optional<std::uint64_t> expectFingerprint)
+    : file_(std::fopen(path.c_str(), "rb")), prog_(prog), path_(path),
+      checksum_(FnvOffset)
 {
     if (!file_)
         lvp_fatal("cannot open trace file '%s' for reading",
                   path.c_str());
+    Envelope env;
+    std::string detail;
+    TraceFileStatus st = readEnvelope(file_, env, detail);
+    if (st != TraceFileStatus::Ok)
+        lvp_fatal("invalid trace file '%s': %s%s%s", path.c_str(),
+                  traceFileStatusName(st), detail.empty() ? "" : ": ",
+                  detail.c_str());
+    if (expectFingerprint && env.fingerprint != *expectFingerprint)
+        lvp_fatal("invalid trace file '%s': %s (have %016llx, "
+                  "expected %016llx)",
+                  path.c_str(),
+                  traceFileStatusName(TraceFileStatus::BadFingerprint),
+                  static_cast<unsigned long long>(env.fingerprint),
+                  static_cast<unsigned long long>(*expectFingerprint));
+    records_ = env.records;
+    fingerprint_ = env.fingerprint;
+    expectChecksum_ = env.checksum;
 }
 
 TraceFileReader::~TraceFileReader()
@@ -89,9 +398,28 @@ TraceFileReader::~TraceFileReader()
 bool
 TraceFileReader::next(TraceRecord &rec)
 {
+    if (seq_ == records_) {
+        if (checksum_ != expectChecksum_)
+            lvp_fatal("invalid trace file '%s': %s", path_.c_str(),
+                      traceFileStatusName(
+                          TraceFileStatus::ChecksumMismatch));
+        return false;
+    }
     std::array<std::uint8_t, RecordBytes> buf;
     if (std::fread(buf.data(), buf.size(), 1, file_) != 1)
-        return false;
+        lvp_fatal("invalid trace file '%s': truncated at record "
+                  "%llu of %llu",
+                  path_.c_str(),
+                  static_cast<unsigned long long>(seq_),
+                  static_cast<unsigned long long>(records_));
+    if (!recordBytesValid(buf.data()))
+        lvp_fatal("invalid trace file '%s': %s at record %llu "
+                  "(taken=%u pred=%u)",
+                  path_.c_str(),
+                  traceFileStatusName(TraceFileStatus::BadRecord),
+                  static_cast<unsigned long long>(seq_), buf[24],
+                  buf[25]);
+    checksum_ = fnv1a(buf.data(), buf.size(), checksum_);
     rec.seq = seq_++;
     rec.pc = getU64(&buf[0]);
     rec.effAddr = getU64(&buf[8]);
@@ -163,7 +491,7 @@ AnnotationStream::save(const std::string &path) const
     bool ok = std::fwrite(header, sizeof(header), 1, f) == 1;
     ok = ok && (bits_.empty() ||
                 std::fwrite(bits_.data(), bits_.size(), 1, f) == 1);
-    std::fclose(f);
+    ok = std::fclose(f) == 0 && ok;
     if (!ok)
         lvp_fatal("annotation write failed");
 }

@@ -8,10 +8,37 @@
  * microarchitectural simulator"); phase 3 replays the trace merged
  * with the annotations into a timing model.
  *
- * Record format (little-endian, fixed 26 bytes):
- *   u64 pc | u64 effAddr | u64 value | u8 taken | u8 pred
+ * On-disk layout (little-endian throughout):
+ *
+ *   header (24 bytes)
+ *     [ 0.. 8)  magic "LVPTRACE"
+ *     [ 8..12)  u32 format version (TraceFormatVersion)
+ *     [12..16)  u32 record size in bytes (TraceRecordBytes)
+ *     [16..24)  u64 fingerprint of the generating program + run key
+ *   payload: N fixed-size records
+ *     u64 pc | u64 effAddr | u64 value | u8 taken | u8 pred
+ *   footer (24 bytes)
+ *     [ 0.. 8)  magic "ECARTPVL"
+ *     [ 8..16)  u64 record count N
+ *     [16..24)  u64 FNV-1a checksum over all payload bytes
+ *
  * nextPc and the static instruction are reconstructed from the
  * Program at read time; seq is implicit in record order.
+ *
+ * The fingerprint (programFingerprint() mixed with a caller-chosen
+ * salt, e.g. workload|codegen|scale|maxInstructions) ties a trace to
+ * the exact program it was generated from: a cache that stores traces
+ * can detect stale files after a workload-builder or codegen change
+ * without any out-of-band bookkeeping. Bump TraceFormatVersion when
+ * the record encoding or the interpreter's observable semantics
+ * change; readers reject other versions.
+ *
+ * verifyTraceFile() is the non-fatal integrity check (used by the
+ * run-cache and by `lvpbench --verify-trace-cache`): it validates the
+ * envelope, every record's enum bytes, and the checksum, and reports
+ * a TraceFileStatus instead of exiting. TraceFileReader is strict: it
+ * is for files that are expected to be valid and fails fatally on
+ * corruption, naming the reason (never silently truncating a replay).
  */
 
 #ifndef LVPLIB_TRACE_TRACE_FILE_HH
@@ -19,6 +46,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,37 +56,138 @@
 namespace lvplib::trace
 {
 
-/** A sink that streams records into a binary trace file. */
+/** Bump when the record encoding or interpreter semantics change. */
+constexpr std::uint32_t TraceFormatVersion = 2;
+
+/** Fixed encoded record size: u64 pc|effAddr|value + u8 taken|pred. */
+constexpr std::size_t TraceRecordBytes = 8 + 8 + 8 + 1 + 1;
+
+/** Encoded header / footer sizes (see file comment for layout). */
+constexpr std::size_t TraceHeaderBytes = 8 + 4 + 4 + 8;
+constexpr std::size_t TraceFooterBytes = 8 + 8 + 8;
+
+/**
+ * Stable fingerprint of a program image (instructions, data image,
+ * symbols). Two programs that could produce different traces hash
+ * differently; rebuilding the same workload hashes identically.
+ */
+std::uint64_t programFingerprint(const isa::Program &prog);
+
+/** Fold @p salt (e.g. a run-cache key) into fingerprint @p fp. */
+std::uint64_t mixFingerprint(std::uint64_t fp, const std::string &salt);
+
+/** Why a trace file failed (or passed) verification. */
+enum class TraceFileStatus
+{
+    Ok,
+    OpenFailed,       ///< cannot open for reading
+    TooSmall,         ///< shorter than header + footer
+    BadMagic,         ///< header magic mismatch (not a trace file)
+    BadVersion,       ///< written by a different format version
+    BadRecordSize,    ///< record size field disagrees with ours
+    BadFingerprint,   ///< stale: generating program/run key changed
+    BadFooter,        ///< footer magic missing (interrupted write)
+    PartialRecord,    ///< payload has 1..25 trailing bytes
+    CountMismatch,    ///< footer count disagrees with payload size
+    BadRecord,        ///< out-of-range taken/pred byte in a record
+    ChecksumMismatch, ///< payload bytes corrupted
+    ReadFailed,       ///< I/O error while scanning
+};
+
+const char *traceFileStatusName(TraceFileStatus s);
+
+/** Result of verifyTraceFile(). */
+struct TraceVerifyReport
+{
+    TraceFileStatus status = TraceFileStatus::Ok;
+    std::uint64_t records = 0;     ///< footer count (when readable)
+    std::uint64_t fingerprint = 0; ///< header fingerprint (when readable)
+    std::string detail;            ///< human-readable specifics
+
+    bool ok() const { return status == TraceFileStatus::Ok; }
+};
+
+/**
+ * Fully verify @p path: envelope, per-record enum bytes, checksum,
+ * and (when given) the expected fingerprint. Never fatal; a missing
+ * or corrupt file is reported in the returned status.
+ */
+TraceVerifyReport
+verifyTraceFile(const std::string &path,
+                std::optional<std::uint64_t> expectFingerprint =
+                    std::nullopt);
+
+/**
+ * A sink that streams records into a binary trace file.
+ *
+ * I/O errors (open, write, flush, close) are latched instead of
+ * fatal: good() turns false, further records are dropped, and close()
+ * reports overall success so callers can discard the file and fall
+ * back rather than publish a truncated trace. A file is only valid
+ * once finish() has written the footer and close() returned true.
+ */
 class TraceFileWriter : public TraceSink
 {
   public:
-    /** Open @p path for writing; fatal on failure. */
-    explicit TraceFileWriter(const std::string &path);
+    /** Open @p path for writing; failure is latched, not fatal. */
+    explicit TraceFileWriter(const std::string &path,
+                             std::uint64_t fingerprint = 0);
     ~TraceFileWriter() override;
 
     TraceFileWriter(const TraceFileWriter &) = delete;
     TraceFileWriter &operator=(const TraceFileWriter &) = delete;
 
     void consume(const TraceRecord &rec) override;
+
+    /** Write the footer and flush (idempotent). */
     void finish() override;
+
+    /**
+     * finish() if needed, then fclose.
+     * @return true when every write (records, footer, flush, close)
+     * succeeded; on false the file must not be used.
+     */
+    bool close();
+
+    /** False once any I/O error has occurred. */
+    bool good() const { return !failed_; }
+
+    /** First I/O error message ("" when good()). */
+    const std::string &error() const { return error_; }
 
     std::uint64_t recordsWritten() const { return written_; }
 
   private:
+    void fail(const std::string &what);
+
     std::FILE *file_;
+    std::string path_;
+    std::uint64_t fingerprint_;
+    std::uint64_t checksum_;
     std::uint64_t written_ = 0;
     bool finished_ = false;
+    bool closed_ = false;
+    bool failed_ = false;
+    std::string error_;
 };
 
 /**
  * Replays a binary trace file into a sink, re-binding each record to
  * its static instruction in @p prog. The program must be the one the
- * trace was generated from.
+ * trace was generated from (pass @p expectFingerprint to enforce it).
+ *
+ * The reader is strict: a malformed envelope, a truncated payload, an
+ * out-of-range record byte, or a checksum mismatch is fatal with a
+ * diagnostic — corruption is never reported as a clean end-of-trace.
+ * Callers that must survive corrupt files (the run-cache, the
+ * verification tool) run verifyTraceFile() first.
  */
 class TraceFileReader
 {
   public:
-    TraceFileReader(const std::string &path, const isa::Program &prog);
+    TraceFileReader(const std::string &path, const isa::Program &prog,
+                    std::optional<std::uint64_t> expectFingerprint =
+                        std::nullopt);
     ~TraceFileReader();
 
     TraceFileReader(const TraceFileReader &) = delete;
@@ -66,17 +195,28 @@ class TraceFileReader
 
     /**
      * Read one record into @p rec.
-     * @return false at end of file.
+     * @return false at the (checksum-verified) end of the trace.
      */
     bool next(TraceRecord &rec);
 
     /** Stream the whole file into @p sink (calls finish()). */
     std::uint64_t replay(TraceSink &sink);
 
+    /** Total records promised by the footer. */
+    std::uint64_t records() const { return records_; }
+
+    /** Fingerprint stored in the header. */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
   private:
     std::FILE *file_;
     const isa::Program &prog_;
+    std::string path_;
     SeqNum seq_ = 0;
+    std::uint64_t records_ = 0;
+    std::uint64_t fingerprint_ = 0;
+    std::uint64_t expectChecksum_ = 0;
+    std::uint64_t checksum_;
 };
 
 /**

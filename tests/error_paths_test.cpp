@@ -7,10 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "core/config.hh"
 #include "isa/assembler.hh"
 #include "isa/text_asm.hh"
 #include "mem/cache.hh"
+#include "trace/trace_file.hh"
 #include "vm/interpreter.hh"
 
 namespace lvplib
@@ -131,6 +136,44 @@ TEST(ErrorPaths, BadCacheGeometryIsFatal)
             cfg.validate();
         },
         ExitedWithCode(1), "bad lineBytes");
+}
+
+TEST(ErrorPaths, MissingTraceFileIsFatal)
+{
+    isa::Program prog = isa::assembleText("halt\n");
+    EXPECT_EXIT(
+        {
+            trace::TraceFileReader r("/no/such/file.trace", prog);
+        },
+        ExitedWithCode(1), "cannot open trace file");
+}
+
+TEST(ErrorPaths, GarbageTraceFileIsFatalWithReason)
+{
+    isa::Program prog = isa::assembleText("halt\n");
+    std::string path =
+        std::string(::testing::TempDir()) + "lvplib_garbage.trace";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace file, not even close to one....";
+    }
+    EXPECT_EXIT({ trace::TraceFileReader r(path, prog); },
+                ExitedWithCode(1), "invalid trace file.*bad-magic");
+    std::remove(path.c_str());
+}
+
+TEST(ErrorPaths, TinyTraceFileIsFatalWithReason)
+{
+    isa::Program prog = isa::assembleText("halt\n");
+    std::string path =
+        std::string(::testing::TempDir()) + "lvplib_tiny.trace";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "short";
+    }
+    EXPECT_EXIT({ trace::TraceFileReader r(path, prog); },
+                ExitedWithCode(1), "invalid trace file.*too-small");
+    std::remove(path.c_str());
 }
 
 TEST(TextAsmSymbols, DwordSymbolEmitsAddress)

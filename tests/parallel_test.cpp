@@ -22,6 +22,7 @@
 #include "sim/parallel.hh"
 #include "sim/pipeline_driver.hh"
 #include "sim/run_cache.hh"
+#include "trace/trace_file.hh"
 #include "util/env.hh"
 #include "workloads/workload.hh"
 
@@ -197,6 +198,177 @@ TEST(RunCacheTest, TraceReplayMatchesDirectInterpretation)
     EXPECT_EQ(direct.correct, replayed.correct);
     EXPECT_EQ(direct.incorrect, replayed.incorrect);
     EXPECT_EQ(direct.constants, replayed.constants);
+}
+
+/** RAII temp trace-cache directory. */
+struct TempTraceDir
+{
+    std::filesystem::path dir;
+
+    explicit TempTraceDir(const char *tag)
+        : dir(std::filesystem::temp_directory_path() /
+              (std::string("lvplib-") + tag + "-" +
+               std::to_string(::getpid())))
+    {
+        std::filesystem::create_directories(dir);
+    }
+    ~TempTraceDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+
+    /** The single *.trace file generated so far. */
+    std::filesystem::path
+    onlyTrace() const
+    {
+        std::filesystem::path found;
+        for (const auto &e :
+             std::filesystem::directory_iterator(dir))
+            if (e.path().extension() == ".trace") {
+                EXPECT_TRUE(found.empty())
+                    << "expected exactly one trace file";
+                found = e.path();
+            }
+        EXPECT_FALSE(found.empty()) << "no trace file in " << dir;
+        return found;
+    }
+};
+
+void
+flipByteAt(const std::filesystem::path &path, long offset)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, offset < 0 ? SEEK_END : SEEK_SET),
+              0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+    std::fputc(c ^ 0x01, f);
+    ASSERT_EQ(std::fclose(f), 0);
+}
+
+TEST(RunCacheTest, CorruptTraceIsRegeneratedNotReplayed)
+{
+    const auto &w = workloads::allWorkloads().front();
+    auto opts = smallOpts();
+    sim::RunConfig rc{opts.maxInstructions};
+    auto cfg = core::LvpConfig::simple();
+    auto &cache = RunCache::instance();
+
+    // Ground truth: pure in-memory run.
+    cache.clear();
+    cache.setTraceDir("");
+    auto direct = cache.lvpOnly(w, workloads::CodeGen::Ppc,
+                                opts.scale, cfg, rc);
+
+    TempTraceDir tmp("corrupt-trace");
+    cache.clear();
+    cache.setTraceDir(tmp.dir.string());
+    auto cold = cache.lvpOnly(w, workloads::CodeGen::Ppc, opts.scale,
+                              cfg, rc);
+    EXPECT_EQ(cache.stats().traceWrites, 1u);
+    EXPECT_EQ(cache.stats().traceInvalid, 0u);
+
+    // Flip one payload bit, then act like a fresh process.
+    flipByteAt(tmp.onlyTrace(),
+               static_cast<long>(trace::TraceHeaderBytes) + 16);
+    cache.clear();
+    auto recovered = cache.lvpOnly(w, workloads::CodeGen::Ppc,
+                                   opts.scale, cfg, rc);
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.traceInvalid, 1u)
+        << "corruption must be detected and counted";
+    EXPECT_EQ(stats.traceWrites, 1u) << "and the trace regenerated";
+
+    // The regenerated file is valid again and results identical.
+    EXPECT_TRUE(trace::verifyTraceFile(tmp.onlyTrace().string()).ok());
+    cache.clear();
+    auto warm = cache.lvpOnly(w, workloads::CodeGen::Ppc, opts.scale,
+                              cfg, rc);
+    EXPECT_EQ(cache.stats().traceInvalid, 0u);
+    for (const auto &r : {cold, recovered, warm}) {
+        EXPECT_EQ(direct.loads, r.loads);
+        EXPECT_EQ(direct.correct, r.correct);
+        EXPECT_EQ(direct.incorrect, r.incorrect);
+        EXPECT_EQ(direct.constants, r.constants);
+    }
+    cache.setTraceDir("");
+    cache.clear();
+}
+
+TEST(RunCacheTest, StaleFingerprintAndLegacyFilesRegenerate)
+{
+    const auto &w = workloads::allWorkloads().front();
+    auto opts = smallOpts();
+    sim::RunConfig rc{opts.maxInstructions};
+    auto cfg = core::LvpConfig::simple();
+    auto &cache = RunCache::instance();
+
+    TempTraceDir tmp("stale-trace");
+    cache.clear();
+    cache.setTraceDir(tmp.dir.string());
+    cache.lvpOnly(w, workloads::CodeGen::Ppc, opts.scale, cfg, rc);
+    auto path = tmp.onlyTrace();
+
+    // Flip a fingerprint byte: same payload, "different" program.
+    flipByteAt(path, 16);
+    cache.clear();
+    cache.lvpOnly(w, workloads::CodeGen::Ppc, opts.scale, cfg, rc);
+    EXPECT_EQ(cache.stats().traceInvalid, 1u);
+
+    // Overwrite with a v1-era headerless record stream.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::vector<char> raw(26 * 3, 0);
+        ASSERT_EQ(std::fwrite(raw.data(), raw.size(), 1, f), 1u);
+        ASSERT_EQ(std::fclose(f), 0);
+    }
+    cache.clear();
+    auto out = cache.lvpOnly(w, workloads::CodeGen::Ppc, opts.scale,
+                             cfg, rc);
+    EXPECT_EQ(cache.stats().traceInvalid, 1u);
+    EXPECT_TRUE(trace::verifyTraceFile(path.string()).ok());
+
+    cache.setTraceDir("");
+    cache.clear();
+    auto direct = cache.lvpOnly(w, workloads::CodeGen::Ppc,
+                                opts.scale, cfg, rc);
+    EXPECT_EQ(direct.correct, out.correct);
+    cache.clear();
+}
+
+TEST(RunCacheTest, WriteFailureFallsBackAndIsNotMemoized)
+{
+    const auto &w = workloads::allWorkloads().front();
+    auto opts = smallOpts();
+    sim::RunConfig rc{opts.maxInstructions};
+    auto &cache = RunCache::instance();
+
+    // Point the cache at a directory that does not exist: phase 1
+    // cannot write, but the run must still succeed in-memory.
+    TempTraceDir tmp("late-dir");
+    std::filesystem::path missing = tmp.dir / "not-yet";
+    cache.clear();
+    cache.setTraceDir(missing.string());
+    auto fallback = cache.lvpOnly(w, workloads::CodeGen::Ppc,
+                                  opts.scale,
+                                  core::LvpConfig::simple(), rc);
+    EXPECT_EQ(cache.stats().traceWrites, 0u);
+    EXPECT_GT(fallback.loads, 0u);
+
+    // The failure must not be memoized: once the directory exists, a
+    // different run against the same trace key writes the trace.
+    std::filesystem::create_directories(missing);
+    cache.lvpOnly(w, workloads::CodeGen::Ppc, opts.scale,
+                  core::LvpConfig::limit(), rc);
+    EXPECT_EQ(cache.stats().traceWrites, 1u)
+        << "a transient write failure must be retried";
+
+    cache.setTraceDir("");
+    cache.clear();
 }
 
 } // namespace

@@ -16,11 +16,21 @@
  *   lvpbench --json           # machine-readable timings on stdout
  *   lvpbench --list           # show experiment ids and exit
  *   lvpbench --no-trace-cache # keep phase 1 in-memory only
+ *   lvpbench --verify-trace-cache DIR [--prune]
+ *                             # scan a trace directory and exit
  *
  * The trace cache defaults to a fresh temporary directory (removed on
- * exit); set LVPLIB_TRACE_CACHE to persist traces across runs.
+ * exit); set LVPLIB_TRACE_CACHE to persist traces across runs. Trace
+ * files are self-describing (versioned header, program fingerprint,
+ * checksummed footer); stale or corrupt files are detected and
+ * regenerated automatically and counted as trace_invalid in the
+ * run-cache stats. --verify-trace-cache reports each file's status
+ * without running any experiment; with --prune, invalid trace files
+ * and leftover *.tmp.* files are deleted. Exit status: 0 when every
+ * trace verifies, 2 otherwise.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -37,6 +47,7 @@
 #include "sim/report.hh"
 #include "sim/run_cache.hh"
 #include "sim/suite.hh"
+#include "trace/trace_file.hh"
 #include "util/env.hh"
 #include "util/table.hh"
 
@@ -94,8 +105,76 @@ usage(int code)
     std::cerr
         << "usage: lvpbench [--filter SUBSTR]... [--jobs N] "
            "[--scale N]\n"
-           "                [--json] [--list] [--no-trace-cache]\n";
+           "                [--json] [--list] [--no-trace-cache]\n"
+           "       lvpbench --verify-trace-cache DIR [--prune]\n";
     return code;
+}
+
+/**
+ * Scan @p dir for trace files, report each one's integrity, and
+ * (with @p prune) delete the invalid ones plus abandoned temp files.
+ * Fingerprints are reported but not matched against a program: the
+ * full stale-program check happens when the run-cache reuses a file.
+ * @return 0 when every trace verifies, 2 otherwise.
+ */
+int
+verifyTraceCacheDir(const std::string &dir, bool prune)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+        std::cerr << "lvpbench: cannot read directory '" << dir
+                  << "': " << ec.message() << '\n';
+        return 1;
+    }
+    std::vector<fs::path> traces, temps;
+    for (const auto &ent : it) {
+        if (!ent.is_regular_file(ec))
+            continue;
+        std::string name = ent.path().filename().string();
+        if (name.size() > 6 &&
+            name.compare(name.size() - 6, 6, ".trace") == 0)
+            traces.push_back(ent.path());
+        else if (name.find(".trace.tmp.") != std::string::npos)
+            temps.push_back(ent.path());
+    }
+    std::sort(traces.begin(), traces.end());
+    std::sort(temps.begin(), temps.end());
+
+    std::size_t bad = 0;
+    for (const auto &path : traces) {
+        auto rep = trace::verifyTraceFile(path.string());
+        char fp[32];
+        std::snprintf(fp, sizeof fp, "%016llx",
+                      static_cast<unsigned long long>(
+                          rep.fingerprint));
+        if (rep.ok()) {
+            std::cout << "ok       " << path.filename().string()
+                      << "  " << rep.records << " records  fp " << fp
+                      << '\n';
+            continue;
+        }
+        ++bad;
+        std::cout << "INVALID  " << path.filename().string() << "  "
+                  << trace::traceFileStatusName(rep.status)
+                  << (rep.detail.empty() ? "" : ": ") << rep.detail
+                  << (prune ? "  [pruned]" : "") << '\n';
+        if (prune)
+            fs::remove(path, ec);
+    }
+    for (const auto &path : temps) {
+        std::cout << "STALE    " << path.filename().string()
+                  << "  abandoned temp file"
+                  << (prune ? "  [pruned]" : "") << '\n';
+        if (prune)
+            fs::remove(path, ec);
+    }
+    std::cout << traces.size() << " trace file(s), " << bad
+              << " invalid, " << temps.size() << " stale temp(s)"
+              << (prune && (bad || !temps.empty()) ? ", pruned" : "")
+              << '\n';
+    return bad == 0 ? 0 : 2;
 }
 
 } // namespace
@@ -105,6 +184,8 @@ main(int argc, char **argv)
 {
     std::vector<std::string> filters;
     bool json = false, list = false, traceCache = true;
+    bool prune = false;
+    std::string verifyDir;
     std::optional<unsigned> jobs, scale;
 
     for (int i = 1; i < argc; ++i) {
@@ -141,6 +222,10 @@ main(int argc, char **argv)
             list = true;
         } else if (arg == "--no-trace-cache") {
             traceCache = false;
+        } else if (arg == "--verify-trace-cache") {
+            verifyDir = value();
+        } else if (arg == "--prune") {
+            prune = true;
         } else if (arg == "--help" || arg == "-h") {
             return usage(0);
         } else {
@@ -148,6 +233,9 @@ main(int argc, char **argv)
             return usage(1);
         }
     }
+
+    if (!verifyDir.empty())
+        return verifyTraceCacheDir(verifyDir, prune);
 
     if (list) {
         for (const auto &spec : sim::experimentSuite())
@@ -251,7 +339,8 @@ main(int argc, char **argv)
            << "  \"run_cache\": {\"hits\": " << cs.hits
            << ", \"misses\": " << cs.misses
            << ", \"trace_writes\": " << cs.traceWrites
-           << ", \"trace_replays\": " << cs.traceReplays << "}\n"
+           << ", \"trace_replays\": " << cs.traceReplays
+           << ", \"trace_invalid\": " << cs.traceInvalid << "}\n"
            << "}\n";
         std::cout << os.str();
     } else {
@@ -271,7 +360,8 @@ main(int argc, char **argv)
         std::cout << "run cache: " << cs.hits << " hits, " << cs.misses
                   << " misses, " << cs.traceWrites
                   << " traces written, " << cs.traceReplays
-                  << " replays\n";
+                  << " replays, " << cs.traceInvalid
+                  << " invalid traces regenerated\n";
     }
     return 0;
 }

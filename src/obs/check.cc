@@ -1,0 +1,227 @@
+#include "obs/check.hh"
+
+#include <cmath>
+
+#include "obs/metrics.hh"
+
+namespace lvplib::obs
+{
+
+namespace
+{
+
+bool
+withinTol(double a, double b, double relTol)
+{
+    if (a == b)
+        return true;
+    double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= relTol * scale;
+}
+
+std::string
+fmtNum(double v)
+{
+    return jsonNumber(v);
+}
+
+/**
+ * Diff one numeric-or-null field of a metric entry. @p path is the
+ * drift label ("fig1.grep.alpha_d1" or "fig7....latency.p90").
+ */
+void
+diffField(const std::string &path, const JsonValue *base,
+          const JsonValue *cur, double relTol, CheckReport &report)
+{
+    if (!base)
+        return; // field absent from the baseline: nothing to enforce
+    if (!cur) {
+        report.drifts.push_back(
+            {path, "field missing from current run"});
+        return;
+    }
+    if (base->isNull() || cur->isNull()) {
+        if (base->isNull() != cur->isNull())
+            report.drifts.push_back(
+                {path, std::string("baseline is ") +
+                           (base->isNull() ? "null (invalid)"
+                                           : fmtNum(base->asDouble())) +
+                           ", current is " +
+                           (cur->isNull() ? "null (invalid)"
+                                          : fmtNum(cur->asDouble()))});
+        return;
+    }
+    if (!base->isNumber() || !cur->isNumber()) {
+        report.drifts.push_back({path, "field is not numeric"});
+        return;
+    }
+    double a = base->asDouble(), b = cur->asDouble();
+    if (!withinTol(a, b, relTol)) {
+        double scale = std::max(std::fabs(a), std::fabs(b));
+        double rel = scale > 0 ? std::fabs(a - b) / scale : 0.0;
+        report.drifts.push_back(
+            {path, "baseline " + fmtNum(a) + ", current " + fmtNum(b) +
+                       " (rel delta " + fmtNum(rel) + ")"});
+    }
+}
+
+void
+diffMetric(const std::string &name, const JsonValue &base,
+           const JsonValue &cur, double relTol, CheckReport &report)
+{
+    const JsonValue *bt = base.find("type");
+    const JsonValue *ct = cur.find("type");
+    std::string btype = bt ? bt->asString() : "";
+    std::string ctype = ct ? ct->asString() : "";
+    if (btype != ctype) {
+        report.drifts.push_back(
+            {name, "type changed: baseline '" + btype +
+                       "', current '" + ctype + "'"});
+        return;
+    }
+    if (btype == "counter" || btype == "gauge") {
+        diffField(name, base.find("value"), cur.find("value"), relTol,
+                  report);
+        return;
+    }
+    if (btype == "distribution") {
+        for (const char *field :
+             {"count", "mean", "p50", "p90", "p99", "overflow"})
+            diffField(name + "." + field, base.find(field),
+                      cur.find(field), relTol, report);
+        const JsonValue *bb = base.find("buckets");
+        const JsonValue *cb = cur.find("buckets");
+        if (!bb || !bb->isArray() || !cb || !cb->isArray()) {
+            report.drifts.push_back({name, "malformed buckets array"});
+            return;
+        }
+        if (bb->items().size() != cb->items().size()) {
+            report.drifts.push_back(
+                {name + ".buckets",
+                 "bucket count changed: baseline " +
+                     std::to_string(bb->items().size()) + ", current " +
+                     std::to_string(cb->items().size())});
+            return;
+        }
+        for (std::size_t i = 0; i < bb->items().size(); ++i)
+            diffField(name + ".buckets[" + std::to_string(i) + "]",
+                      &bb->items()[i], &cb->items()[i], relTol,
+                      report);
+        return;
+    }
+    report.drifts.push_back(
+        {name, "unknown metric type '" + btype + "'"});
+}
+
+} // namespace
+
+CheckReport
+checkMetrics(const JsonValue &baseline, const JsonValue &current,
+             double relTol)
+{
+    CheckReport report;
+
+    if (!baseline.isObject()) {
+        report.error = "baseline is not a JSON object";
+        return report;
+    }
+    if (!current.isObject()) {
+        report.error = "current dump is not a JSON object";
+        return report;
+    }
+    const JsonValue *bs = baseline.find("schema");
+    const JsonValue *cs = current.find("schema");
+    if (!bs || bs->asString() != kMetricsSchema) {
+        report.error = "baseline schema is '" +
+                       (bs ? bs->asString() : std::string("<missing>")) +
+                       "', expected '" + kMetricsSchema + "'";
+        return report;
+    }
+    if (!cs || cs->asString() != kMetricsSchema) {
+        report.error = "current dump schema is '" +
+                       (cs ? cs->asString() : std::string("<missing>")) +
+                       "', expected '" + kMetricsSchema + "'";
+        return report;
+    }
+
+    // Context: every key the baseline pins must match exactly. On
+    // mismatch, stop — comparing metrics recorded under different
+    // scales would bury the root cause in follow-on drifts.
+    const JsonValue *bctx = baseline.find("context");
+    const JsonValue *cctx = current.find("context");
+    if (bctx && bctx->isObject()) {
+        for (const auto &[key, bval] : bctx->members()) {
+            const JsonValue *cval =
+                cctx ? cctx->find(key) : nullptr;
+            if (!cval) {
+                report.drifts.push_back(
+                    {"context." + key,
+                     "missing from the current run's context"});
+            } else if (bval.isNumber() &&
+                       bval.asDouble() != cval->asDouble()) {
+                report.drifts.push_back(
+                    {"context." + key,
+                     "baseline " + fmtNum(bval.asDouble()) +
+                         ", current " + fmtNum(cval->asDouble()) +
+                         " — rerun with matching settings or "
+                         "regenerate the baseline"});
+            } else if (bval.isString() &&
+                       bval.asString() != cval->asString()) {
+                report.drifts.push_back(
+                    {"context." + key,
+                     "baseline '" + bval.asString() + "', current '" +
+                         cval->asString() + "'"});
+            }
+        }
+        if (!report.drifts.empty())
+            return report;
+    }
+
+    const JsonValue *bm = baseline.find("metrics");
+    const JsonValue *cm = current.find("metrics");
+    if (!bm || !bm->isObject()) {
+        report.error = "baseline has no \"metrics\" object";
+        return report;
+    }
+    if (!cm || !cm->isObject()) {
+        report.error = "current dump has no \"metrics\" object";
+        return report;
+    }
+
+    for (const auto &[name, bval] : bm->members()) {
+        const JsonValue *vol = bval.find("volatile");
+        if (vol && vol->asBool()) {
+            ++report.skippedVolatile;
+            continue;
+        }
+        const JsonValue *cval = cm->find(name);
+        if (!cval) {
+            report.drifts.push_back(
+                {name, "metric missing from current run"});
+            continue;
+        }
+        ++report.compared;
+        diffMetric(name, bval, *cval, relTol, report);
+    }
+    return report;
+}
+
+void
+printCheckReport(std::ostream &os, const CheckReport &report,
+                 const std::string &baselinePath, double relTol)
+{
+    if (!report.error.empty()) {
+        os << "metrics check: ERROR: " << report.error << '\n';
+        return;
+    }
+    for (const auto &d : report.drifts)
+        os << "DRIFT  " << d.name << ": " << d.reason << '\n';
+    os << "metrics check: " << report.compared
+       << " metric(s) compared against " << baselinePath << ", "
+       << report.drifts.size() << " drift(s), "
+       << report.skippedVolatile
+       << " volatile skipped (rel-tol " << jsonNumber(relTol)
+       << ")\n";
+}
+
+} // namespace lvplib::obs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The golden-baseline regression checker: diff a metrics dump
+ * against a committed baseline (bench/golden/metrics.json) and
+ * report every numeric drift by name. Backing for
+ * `lvpbench --check BASELINE.json [--rel-tol X]`, which turns every
+ * reproduced table and figure of the paper into an enforced
+ * regression test.
+ *
+ * Rules:
+ *  - both documents must carry the same schema tag
+ *    (obs::kMetricsSchema); anything else is a fatal error, not a
+ *    drift;
+ *  - "context" members present in the baseline (scale,
+ *    max_instructions) must match the run exactly — every reproduced
+ *    number depends on them, so a mismatch is reported as drift on
+ *    "context.<key>" rather than as hundreds of follow-on drifts;
+ *  - metrics flagged volatile in the baseline (cache effectiveness,
+ *    pool occupancy, wall times) are skipped;
+ *  - every other baseline metric must exist in the run with the same
+ *    type, and every numeric field must agree within the relative
+ *    tolerance (|a-b| <= relTol * max(|a|,|b|)); null (an invalid
+ *    gauge) only matches null;
+ *  - metrics present only in the current run are fine — new
+ *    instruments don't invalidate old baselines.
+ */
+
+#ifndef LVPLIB_OBS_CHECK_HH
+#define LVPLIB_OBS_CHECK_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace lvplib::obs
+{
+
+/** One divergence between baseline and current run. */
+struct MetricDrift
+{
+    std::string name;   ///< metric (or "context.<key>" / field path)
+    std::string reason; ///< human-readable: what differed and by how much
+};
+
+/** Outcome of a baseline comparison. */
+struct CheckReport
+{
+    std::string error; ///< fatal problem (schema/shape); empty if none
+    std::vector<MetricDrift> drifts;
+    std::size_t compared = 0;        ///< baseline metrics diffed
+    std::size_t skippedVolatile = 0; ///< baseline metrics skipped
+
+    bool
+    ok() const
+    {
+        return error.empty() && drifts.empty();
+    }
+};
+
+/**
+ * Compare @p current against @p baseline under @p relTol.
+ * Both values are parsed metrics dumps (see parseJson).
+ */
+CheckReport checkMetrics(const JsonValue &baseline,
+                         const JsonValue &current, double relTol);
+
+/** Print @p report for humans: one line per drift, then a summary. */
+void printCheckReport(std::ostream &os, const CheckReport &report,
+                      const std::string &baselinePath, double relTol);
+
+} // namespace lvplib::obs
+
+#endif // LVPLIB_OBS_CHECK_HH

@@ -1,0 +1,527 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace lvplib::obs
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                // UTF-8 multi-byte sequences pass through verbatim.
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof buf, v);
+    lvp_assert(res.ec == std::errc());
+    return std::string(buf, res.ptr);
+}
+
+void
+JsonWriter::indent()
+{
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::separate(bool isKey)
+{
+    lvp_assert(!(stack_.empty() && emitted_),
+               "JSON document already complete");
+    if (stack_.empty())
+        return; // first (and only) top-level value
+    Level &top = stack_.back();
+    if (top.ctx == Ctx::Object) {
+        if (isKey) {
+            lvp_assert(!top.keyPending, "two keys in a row");
+            if (!top.first)
+                os_ << ',';
+            indent();
+            top.first = false;
+            top.keyPending = true;
+        } else {
+            lvp_assert(top.keyPending,
+                       "object member value without a key");
+            top.keyPending = false;
+        }
+    } else {
+        lvp_assert(!isKey, "key inside an array");
+        if (!top.first)
+            os_ << ',';
+        indent();
+        top.first = false;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate(false);
+    os_ << '{';
+    stack_.push_back({Ctx::Object});
+}
+
+void
+JsonWriter::endObject()
+{
+    lvp_assert(!stack_.empty() && stack_.back().ctx == Ctx::Object &&
+               !stack_.back().keyPending);
+    bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (!empty) {
+        os_ << '\n';
+        for (std::size_t i = 0; i < stack_.size(); ++i)
+            os_ << "  ";
+    }
+    os_ << '}';
+    emitted_ = true;
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate(false);
+    os_ << '[';
+    stack_.push_back({Ctx::Array});
+}
+
+void
+JsonWriter::endArray()
+{
+    lvp_assert(!stack_.empty() && stack_.back().ctx == Ctx::Array);
+    bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (!empty) {
+        os_ << '\n';
+        for (std::size_t i = 0; i < stack_.size(); ++i)
+            os_ << "  ";
+    }
+    os_ << ']';
+    emitted_ = true;
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    separate(true);
+    os_ << '"' << jsonEscape(name) << "\": ";
+}
+
+void
+JsonWriter::value(std::string_view s)
+{
+    separate(false);
+    os_ << '"' << jsonEscape(s) << '"';
+    emitted_ = true;
+}
+
+void
+JsonWriter::value(bool b)
+{
+    separate(false);
+    os_ << (b ? "true" : "false");
+    emitted_ = true;
+}
+
+void
+JsonWriter::value(double d)
+{
+    separate(false);
+    os_ << jsonNumber(d);
+    emitted_ = true;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separate(false);
+    os_ << v;
+    emitted_ = true;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    separate(false);
+    os_ << v;
+    emitted_ = true;
+}
+
+void
+JsonWriter::null()
+{
+    separate(false);
+    os_ << "null";
+    emitted_ = true;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (auto it = members_.rbegin(); it != members_.rend(); ++it)
+        if (it->first == key)
+            return &it->second;
+    return nullptr;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.type_ = Type::Bool;
+    v.num_ = b ? 1.0 : 0.0;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double d)
+{
+    JsonValue v;
+    v.type_ = Type::Number;
+    v.num_ = d;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.type_ = Type::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v.type_ = Type::Array;
+    v.items_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(
+    std::vector<std::pair<std::string, JsonValue>> members)
+{
+    JsonValue v;
+    v.type_ = Type::Object;
+    v.members_ = std::move(members);
+    return v;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a string_view. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string &error)
+        : text_(text), error_(error)
+    {}
+
+    std::optional<JsonValue>
+    parse()
+    {
+        skipWs();
+        auto v = parseValue(0);
+        if (!v)
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after JSON document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    void
+    fail(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = what + " at byte " + std::to_string(pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) == lit) {
+            pos_ += lit.size();
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<JsonValue>
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth) {
+            fail("nesting too deep");
+            return std::nullopt;
+        }
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return std::nullopt;
+        }
+        char c = text_[pos_];
+        if (c == '{')
+            return parseObject(depth);
+        if (c == '[')
+            return parseArray(depth);
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return std::nullopt;
+            return JsonValue::makeString(std::move(s));
+        }
+        if (literal("true"))
+            return JsonValue::makeBool(true);
+        if (literal("false"))
+            return JsonValue::makeBool(false);
+        if (literal("null"))
+            return JsonValue::makeNull();
+        return parseNumber();
+    }
+
+    std::optional<JsonValue>
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) {
+            fail("invalid value");
+            return std::nullopt;
+        }
+        double d = 0;
+        auto res = std::from_chars(text_.data() + start,
+                                   text_.data() + pos_, d);
+        if (res.ec != std::errc() ||
+            res.ptr != text_.data() + pos_) {
+            pos_ = start;
+            fail("malformed number");
+            return std::nullopt;
+        }
+        return JsonValue::makeNumber(d);
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"')) {
+            fail("expected '\"'");
+            return false;
+        }
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    --pos_;
+                    fail("unescaped control character in string");
+                    return false;
+                }
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (pos_ + 4 > text_.size()) {
+                      fail("truncated \\u escape");
+                      return false;
+                  }
+                  unsigned cp = 0;
+                  auto res = std::from_chars(
+                      text_.data() + pos_, text_.data() + pos_ + 4,
+                      cp, 16);
+                  if (res.ec != std::errc() ||
+                      res.ptr != text_.data() + pos_ + 4) {
+                      fail("malformed \\u escape");
+                      return false;
+                  }
+                  pos_ += 4;
+                  // Encode the code point as UTF-8. Surrogate pairs
+                  // are not combined — the exporters never emit them
+                  // (only control characters are \u-escaped).
+                  if (cp < 0x80) {
+                      out += static_cast<char>(cp);
+                  } else if (cp < 0x800) {
+                      out += static_cast<char>(0xC0 | (cp >> 6));
+                      out += static_cast<char>(0x80 | (cp & 0x3F));
+                  } else {
+                      out += static_cast<char>(0xE0 | (cp >> 12));
+                      out += static_cast<char>(0x80 |
+                                               ((cp >> 6) & 0x3F));
+                      out += static_cast<char>(0x80 | (cp & 0x3F));
+                  }
+                  break;
+              }
+              default:
+                pos_ -= 2;
+                fail("unknown escape sequence");
+                return false;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    std::optional<JsonValue>
+    parseArray(int depth)
+    {
+        consume('[');
+        std::vector<JsonValue> items;
+        skipWs();
+        if (consume(']'))
+            return JsonValue::makeArray(std::move(items));
+        while (true) {
+            skipWs();
+            auto v = parseValue(depth + 1);
+            if (!v)
+                return std::nullopt;
+            items.push_back(std::move(*v));
+            skipWs();
+            if (consume(']'))
+                return JsonValue::makeArray(std::move(items));
+            if (!consume(',')) {
+                fail("expected ',' or ']' in array");
+                return std::nullopt;
+            }
+        }
+    }
+
+    std::optional<JsonValue>
+    parseObject(int depth)
+    {
+        consume('{');
+        std::vector<std::pair<std::string, JsonValue>> members;
+        skipWs();
+        if (consume('}'))
+            return JsonValue::makeObject(std::move(members));
+        while (true) {
+            skipWs();
+            std::string k;
+            if (!parseString(k))
+                return std::nullopt;
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return std::nullopt;
+            }
+            skipWs();
+            auto v = parseValue(depth + 1);
+            if (!v)
+                return std::nullopt;
+            members.emplace_back(std::move(k), std::move(*v));
+            skipWs();
+            if (consume('}'))
+                return JsonValue::makeObject(std::move(members));
+            if (!consume(',')) {
+                fail("expected ',' or '}' in object");
+                return std::nullopt;
+            }
+        }
+    }
+
+    std::string_view text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string &error)
+{
+    error.clear();
+    Parser p(text, error);
+    auto v = p.parse();
+    if (!v && error.empty())
+        error = "malformed JSON";
+    return v;
+}
+
+} // namespace lvplib::obs

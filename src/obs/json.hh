@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Minimal, dependency-free JSON support for the observability
+ * subsystem: a streaming writer (used by the metrics and timeline
+ * exporters) and a small value-tree parser (used by the
+ * golden-baseline checker to read dumps back).
+ *
+ * Policy decisions, shared by every exporter:
+ *  - strings are UTF-8 passed through verbatim; only '"', '\\', and
+ *    control characters below 0x20 are escaped;
+ *  - doubles are printed with std::to_chars, the shortest
+ *    representation that round-trips exactly, so re-exporting a
+ *    parsed dump is byte-stable;
+ *  - non-finite doubles (NaN, +/-Inf) have no JSON encoding and are
+ *    emitted as null — callers that can observe them (the gauge
+ *    exporter) add a "<name>_invalid" sibling counter instead of
+ *    silently dropping the information.
+ */
+
+#ifndef LVPLIB_OBS_JSON_HH
+#define LVPLIB_OBS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lvplib::obs
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+/** Shortest round-trip text for @p v; "null" when not finite. */
+std::string jsonNumber(double v);
+
+/**
+ * A streaming JSON writer with automatic commas and two-space
+ * indentation. Usage errors (a value where a key is required, etc.)
+ * are lvp_assert failures — the writers in this repo emit fixed
+ * shapes, so any violation is a programming bug.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key of the next object member. */
+    void key(std::string_view name);
+
+    void value(std::string_view s);
+    void value(const char *s) { value(std::string_view(s)); }
+    void value(bool b);
+    void value(double d); ///< non-finite emits null
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    member(std::string_view name, T v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** True once every container has been closed. */
+    bool complete() const { return stack_.empty() && emitted_; }
+
+  private:
+    enum class Ctx
+    {
+        Object,
+        Array
+    };
+
+    void separate(bool isKey);
+    void indent();
+
+    std::ostream &os_;
+    struct Level
+    {
+        Ctx ctx;
+        bool first = true;
+        bool keyPending = false;
+    };
+    std::vector<Level> stack_;
+    bool emitted_ = false;
+};
+
+/**
+ * A parsed JSON value. Objects preserve no duplicate keys (the last
+ * one wins) and numbers are stored as double — sufficient for the
+ * metric dumps this repo produces (counters stay far below 2^53).
+ */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    JsonValue() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** 0 / false / "" when the type doesn't match. */
+    double asDouble() const { return isNumber() ? num_ : 0.0; }
+    bool asBool() const { return type_ == Type::Bool && num_ != 0.0; }
+    const std::string &asString() const { return str_; }
+
+    const std::vector<JsonValue> &items() const { return items_; }
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Object members in original insertion order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double d);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> members);
+
+  private:
+    Type type_ = Type::Null;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse a complete JSON document. Trailing garbage, unterminated
+ * containers, and malformed literals are all errors.
+ * @return std::nullopt plus a message (with byte offset) in @p error.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string &error);
+
+} // namespace lvplib::obs
+
+#endif // LVPLIB_OBS_JSON_HH

@@ -1,0 +1,184 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace lvplib::obs
+{
+
+void
+Gauge::set(double v)
+{
+    if (!std::isfinite(v))
+        invalid_.fetch_add(1, std::memory_order_relaxed);
+    v_.store(v, std::memory_order_relaxed);
+}
+
+std::string
+metricPart(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c >= 'A' && c <= 'Z')
+            out += static_cast<char>(c - 'A' + 'a');
+        else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                 c == '_')
+            out += c;
+        else if (c == '+')
+            out += "plus";
+        else
+            out += '_';
+    }
+    return out;
+}
+
+std::string
+metricKey(std::initializer_list<std::string_view> parts)
+{
+    std::string out;
+    for (std::string_view p : parts) {
+        if (!out.empty())
+            out += '.';
+        out += metricPart(p);
+    }
+    return out;
+}
+
+MetricRegistry::~MetricRegistry() = default;
+
+MetricRegistry &
+MetricRegistry::process()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+MetricRegistry &
+metrics()
+{
+    return MetricRegistry::process();
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name, bool isVolatile)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e{Kind::Counter, isVolatile,
+                std::make_unique<Counter>(), nullptr, nullptr};
+        it = entries_.emplace(name, std::move(e)).first;
+    }
+    lvp_assert(it->second.kind == Kind::Counter,
+               "metric '%s' registered with a different type",
+               name.c_str());
+    return *it->second.counter;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name, bool isVolatile)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e{Kind::Gauge, isVolatile, nullptr,
+                std::make_unique<Gauge>(), nullptr};
+        it = entries_.emplace(name, std::move(e)).first;
+    }
+    lvp_assert(it->second.kind == Kind::Gauge,
+               "metric '%s' registered with a different type",
+               name.c_str());
+    return *it->second.gauge;
+}
+
+Distribution &
+MetricRegistry::distribution(const std::string &name,
+                             std::size_t buckets, bool isVolatile)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e{Kind::Distribution, isVolatile, nullptr, nullptr,
+                std::make_unique<Distribution>(buckets)};
+        it = entries_.emplace(name, std::move(e)).first;
+    }
+    lvp_assert(it->second.kind == Kind::Distribution,
+               "metric '%s' registered with a different type",
+               name.c_str());
+    return *it->second.dist;
+}
+
+std::size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return entries_.size();
+}
+
+void
+MetricRegistry::writeJson(JsonWriter &w) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    w.beginObject();
+    // std::map iterates in name order: the dump (and therefore the
+    // committed golden baseline) is byte-stable across runs.
+    for (const auto &[name, e] : entries_) {
+        w.key(name);
+        w.beginObject();
+        switch (e.kind) {
+          case Kind::Counter:
+            w.member("type", "counter");
+            w.member("value", e.counter->value());
+            break;
+          case Kind::Gauge: {
+              w.member("type", "gauge");
+              double v = e.gauge->value();
+              w.key("value");
+              if (std::isfinite(v))
+                  w.value(v);
+              else
+                  w.null(); // policy: non-finite has no JSON number
+              break;
+          }
+          case Kind::Distribution: {
+              Histogram h = e.dist->snapshot();
+              w.member("type", "distribution");
+              w.member("count", h.total());
+              w.member("mean", h.sampleMean());
+              w.member("p50",
+                       static_cast<std::uint64_t>(h.quantile(0.50)));
+              w.member("p90",
+                       static_cast<std::uint64_t>(h.quantile(0.90)));
+              w.member("p99",
+                       static_cast<std::uint64_t>(h.quantile(0.99)));
+              w.key("buckets");
+              w.beginArray();
+              for (Histogram::BucketEntry b : h)
+                  w.value(b.count);
+              w.endArray();
+              w.member("overflow", h.overflow());
+              break;
+          }
+        }
+        if (e.isVolatile)
+            w.member("volatile", true);
+        w.endObject();
+        // The *_invalid sibling makes a swallowed NaN/Inf visible to
+        // both humans and the checker.
+        if (e.kind == Kind::Gauge && e.gauge->invalidSets() > 0) {
+            w.key(name + "_invalid");
+            w.beginObject();
+            w.member("type", "counter");
+            w.member("value", e.gauge->invalidSets());
+            if (e.isVolatile)
+                w.member("volatile", true);
+            w.endObject();
+        }
+    }
+    w.endObject();
+}
+
+} // namespace lvplib::obs

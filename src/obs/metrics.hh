@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The structured-metrics spine of lvplib: a thread-safe
+ * MetricRegistry holding typed instruments that every subsystem
+ * publishes into, and a versioned JSON export that turns the paper's
+ * reproduced numbers into machine-readable, regression-checkable
+ * data.
+ *
+ * Instruments:
+ *  - Counter: monotonically increasing uint64 (cache hits, tasks
+ *    executed). Lock-free.
+ *  - Gauge: last-written double (every experiment headline number —
+ *    a locality percentage, an LCT hit rate, a speedup, a GM row).
+ *    Setting a gauge is idempotent, so experiment runners may be
+ *    re-run in one process without skewing the export. Non-finite
+ *    writes are counted and exported as null with a
+ *    "<name>_invalid" sibling counter.
+ *  - Distribution: a mutex-guarded util::Histogram (per-model IPC,
+ *    queue depths); exported with count/mean/p50/p90/p99 plus the
+ *    raw buckets.
+ *
+ * Naming convention (enforced by metricKey()): dot-separated
+ * lowercase components, "subsystem.metric" for operational metrics
+ * (runcache.hits, taskpool.submitted) and
+ * "experiment.row.column" for reproduced paper numbers
+ * (fig1.grep.alpha_d1, fig6ppc.gm.simple). metricPart() maps '+' to
+ * "plus" and any other non-[a-z0-9_] byte to '_', so machine and
+ * configuration display names ("620+", "Simple") sanitize cleanly.
+ *
+ * Instruments registered volatile are operational telemetry whose
+ * values legitimately vary run-to-run (cache effectiveness, pool
+ * occupancy, wall times); the golden-baseline checker (obs/check.hh)
+ * skips them. Experiment gauges default to non-volatile: they are
+ * pure functions of (workload, scale, configuration) and any drift
+ * is a regression.
+ *
+ * References returned by the registry stay valid for the registry's
+ * lifetime; hot paths should cache them instead of re-looking-up by
+ * name.
+ */
+
+#ifndef LVPLIB_OBS_METRICS_HH
+#define LVPLIB_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/stats.hh"
+
+namespace lvplib::obs
+{
+
+class JsonWriter;
+
+/** Version tag written into (and required of) every metrics dump. */
+inline constexpr const char *kMetricsSchema = "lvplib-metrics-v1";
+
+/** A monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** A last-value-wins measurement. */
+class Gauge
+{
+  public:
+    /** Record @p v. Non-finite values are kept (exported as null)
+     *  and counted in invalidSets(). */
+    void set(double v);
+
+    double
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    /** How many times set() saw NaN or +/-Inf. */
+    std::uint64_t
+    invalidSets() const
+    {
+        return invalid_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> v_{0.0};
+    std::atomic<std::uint64_t> invalid_{0};
+};
+
+/** A histogram-backed sample distribution. */
+class Distribution
+{
+  public:
+    explicit Distribution(std::size_t buckets) : h_(buckets) {}
+
+    void
+    record(std::uint64_t v, std::uint64_t count = 1)
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        h_.record(v, count);
+    }
+
+    /** A consistent copy of the underlying histogram. */
+    Histogram
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return h_;
+    }
+
+  private:
+    mutable std::mutex m_;
+    Histogram h_;
+};
+
+/** Sanitize one dotted-name component; see the naming convention. */
+std::string metricPart(std::string_view s);
+
+/** Join sanitized components with '.': metricKey({"fig1", w.name,
+ *  "alpha_d1"}). */
+std::string metricKey(std::initializer_list<std::string_view> parts);
+
+/**
+ * The instrument directory. Registration is get-or-create keyed on
+ * the full metric name; re-registering an existing name with a
+ * different instrument type is a programming error (lvp_panic).
+ * All methods are thread-safe.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+    ~MetricRegistry();
+
+    /** The process-wide registry every subsystem publishes into. */
+    static MetricRegistry &process();
+
+    Counter &counter(const std::string &name, bool isVolatile = true);
+    Gauge &gauge(const std::string &name, bool isVolatile = false);
+    Distribution &distribution(const std::string &name,
+                               std::size_t buckets,
+                               bool isVolatile = true);
+
+    /** Number of registered instruments. */
+    std::size_t size() const;
+
+    /**
+     * Write the registry as one JSON object value, instruments in
+     * name order: { "name": {"type": ..., "value": ...}, ... }.
+     * The caller owns the surrounding envelope (schema, context).
+     * Non-finite gauges emit null plus a "<name>_invalid" sibling.
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Distribution
+    };
+
+    struct Entry
+    {
+        Kind kind;
+        bool isVolatile;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Distribution> dist;
+    };
+
+    mutable std::mutex m_;
+    std::map<std::string, Entry> entries_;
+};
+
+/** Shorthand for MetricRegistry::process(). */
+MetricRegistry &metrics();
+
+} // namespace lvplib::obs
+
+#endif // LVPLIB_OBS_METRICS_HH

@@ -1,0 +1,106 @@
+#include "obs/timeline.hh"
+
+#include "obs/json.hh"
+
+namespace lvplib::obs
+{
+
+Timeline &
+Timeline::process()
+{
+    static Timeline tl;
+    return tl;
+}
+
+std::uint64_t
+Timeline::nowUs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+int
+Timeline::threadId() const
+{
+    // Caller holds m_.
+    auto id = std::this_thread::get_id();
+    auto it = tids_.find(id);
+    if (it == tids_.end())
+        it = tids_.emplace(id, static_cast<int>(tids_.size()) + 1)
+                 .first;
+    return it->second;
+}
+
+void
+Timeline::recordSpan(std::string name, std::string cat,
+                     std::uint64_t startUs, std::uint64_t durUs)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(m_);
+    spans_.push_back({std::move(name), std::move(cat), startUs, durUs,
+                      threadId()});
+}
+
+std::size_t
+Timeline::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return spans_.size();
+}
+
+void
+Timeline::clear()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    spans_.clear();
+}
+
+void
+Timeline::writeJson(std::ostream &os) const
+{
+    std::vector<Span> spans;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        spans = spans_;
+    }
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+    for (const auto &s : spans) {
+        w.beginObject();
+        w.member("name", s.name);
+        w.member("cat", s.cat);
+        w.member("ph", "X");
+        w.member("ts", s.startUs);
+        w.member("dur", s.durUs);
+        w.member("pid", 1);
+        w.member("tid", s.tid);
+        w.endObject();
+    }
+    w.endArray();
+    w.member("displayTimeUnit", "ms");
+    w.endObject();
+    os << '\n';
+}
+
+Timeline::Scope::Scope(std::string name, std::string cat, Timeline &tl)
+    : tl_(tl), name_(std::move(name)), cat_(std::move(cat))
+{
+    if (tl_.enabled()) {
+        active_ = true;
+        startUs_ = tl_.nowUs();
+    }
+}
+
+Timeline::Scope::~Scope()
+{
+    if (active_)
+        tl_.recordSpan(std::move(name_), std::move(cat_), startUs_,
+                       tl_.nowUs() - startUs_);
+}
+
+} // namespace lvplib::obs

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A run-timeline recorder emitting Chrome trace_event JSON
+ * (the "JSON Array Format" consumed by chrome://tracing and
+ * Perfetto). Experiment phases — trace generation, cache replay, LVP
+ * simulation, the timing models — record complete ("ph":"X") spans
+ * with microsecond timestamps relative to process start.
+ *
+ * Recording is off by default and costs one relaxed atomic load per
+ * span when disabled; `lvpbench --timeline-out FILE` enables it for
+ * the run. All methods are thread-safe; spans recorded from pool
+ * workers carry a small stable per-thread tid so the trace viewer
+ * lays them out in worker rows.
+ */
+
+#ifndef LVPLIB_OBS_TIMELINE_HH
+#define LVPLIB_OBS_TIMELINE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lvplib::obs
+{
+
+/** Span recorder; see file comment. */
+class Timeline
+{
+  public:
+    Timeline() = default;
+    Timeline(const Timeline &) = delete;
+    Timeline &operator=(const Timeline &) = delete;
+
+    /** The process-wide timeline the subsystems record into. */
+    static Timeline &process();
+
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Microseconds since this Timeline was constructed. */
+    std::uint64_t nowUs() const;
+
+    /**
+     * Record one complete span. No-op when disabled. @p cat groups
+     * spans in the viewer ("experiment", "trace", "sim").
+     */
+    void recordSpan(std::string name, std::string cat,
+                    std::uint64_t startUs, std::uint64_t durUs);
+
+    /** Number of spans recorded so far. */
+    std::size_t spanCount() const;
+
+    /** Drop all recorded spans (tests). */
+    void clear();
+
+    /**
+     * Write the Chrome trace_event document:
+     * {"traceEvents": [...], "displayTimeUnit": "ms"}.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * RAII span: stamps the start on construction and records on
+     * destruction when the timeline is enabled. Cheap when disabled
+     * (no clock read).
+     */
+    class Scope
+    {
+      public:
+        Scope(std::string name, std::string cat,
+              Timeline &tl = Timeline::process());
+        ~Scope();
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Timeline &tl_;
+        std::string name_;
+        std::string cat_;
+        std::uint64_t startUs_ = 0;
+        bool active_ = false;
+    };
+
+  private:
+    struct Span
+    {
+        std::string name;
+        std::string cat;
+        std::uint64_t startUs;
+        std::uint64_t durUs;
+        int tid;
+    };
+
+    int threadId() const;
+
+    std::atomic<bool> enabled_{false};
+    const std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+    mutable std::mutex m_;
+    std::vector<Span> spans_;
+    mutable std::map<std::thread::id, int> tids_;
+};
+
+} // namespace lvplib::obs
+
+#endif // LVPLIB_OBS_TIMELINE_HH

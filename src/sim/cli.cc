@@ -1,6 +1,7 @@
 #include "sim/cli.hh"
 
 #include <cstdlib>
+#include <limits>
 
 #include "core/stride_unit.hh"
 #include "isa/text_asm.hh"
@@ -144,6 +145,123 @@ parseCli(const std::vector<std::string> &args, std::string &error)
                 return std::nullopt;
             }
             opts.codegen = *v;
+        } else {
+            error = "unknown option '" + a + "'";
+            return std::nullopt;
+        }
+    }
+    return opts;
+}
+
+std::string
+benchUsage()
+{
+    return R"(usage: lvpbench [options]
+  --filter SUBSTR   run experiments whose id/binary contains SUBSTR
+                    (repeatable; matches are OR-ed)
+  --jobs N          worker threads (1..1024; default LVPLIB_JOBS or
+                    hardware concurrency)
+  --scale N         workload input scale (default LVPLIB_SCALE or 4)
+  --json            machine-readable timings on stdout
+  --list            show experiment ids and exit
+  --no-trace-cache  keep phase 1 in-memory only
+  --metrics-out F   write the metric registry (every reproduced paper
+                    number) as versioned JSON to F
+  --timeline-out F  record experiment phases and write a Chrome
+                    trace_event timeline to F
+  --check F         after the run, diff metrics against baseline F
+                    (e.g. bench/golden/metrics.json); exit 3 on drift
+  --rel-tol X       relative tolerance for --check (default 1e-6)
+  --help            this text
+       lvpbench --verify-trace-cache DIR [--prune]
+                    scan a trace directory and exit (2 if any invalid)
+)";
+}
+
+std::optional<BenchOptions>
+parseBenchCli(const std::vector<std::string> &args, std::string &error)
+{
+    BenchOptions opts;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto value = [&]() -> const std::string * {
+            if (i + 1 >= args.size()) {
+                error = a + " needs a value";
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        auto unsignedValue =
+            [&](unsigned long min,
+                unsigned long max) -> std::optional<unsigned> {
+            const std::string *v = value();
+            if (!v)
+                return std::nullopt;
+            char *end = nullptr;
+            unsigned long n = std::strtoul(v->c_str(), &end, 10);
+            if (v->empty() || !end || *end || n < min || n > max) {
+                error = "bad " + a + " value '" + *v + "'";
+                return std::nullopt;
+            }
+            return static_cast<unsigned>(n);
+        };
+        if (a == "--help" || a == "-h") {
+            opts.help = true;
+        } else if (a == "--json") {
+            opts.json = true;
+        } else if (a == "--list") {
+            opts.list = true;
+        } else if (a == "--no-trace-cache") {
+            opts.traceCache = false;
+        } else if (a == "--prune") {
+            opts.prune = true;
+        } else if (a == "--filter") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            opts.filters.push_back(*v);
+        } else if (a == "--jobs") {
+            auto n = unsignedValue(1, 1024);
+            if (!n)
+                return std::nullopt;
+            opts.jobs = n;
+        } else if (a == "--scale") {
+            auto n = unsignedValue(
+                1, std::numeric_limits<unsigned>::max());
+            if (!n)
+                return std::nullopt;
+            opts.scale = n;
+        } else if (a == "--verify-trace-cache") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            opts.verifyDir = *v;
+        } else if (a == "--metrics-out") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            opts.metricsOut = *v;
+        } else if (a == "--timeline-out") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            opts.timelineOut = *v;
+        } else if (a == "--check") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            opts.checkBaseline = *v;
+        } else if (a == "--rel-tol") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            char *end = nullptr;
+            double x = std::strtod(v->c_str(), &end);
+            if (v->empty() || !end || *end || !(x >= 0.0)) {
+                error = "bad --rel-tol value '" + *v + "'";
+                return std::nullopt;
+            }
+            opts.relTol = x;
         } else {
             error = "unknown option '" + a + "'";
             return std::nullopt;

@@ -52,6 +52,36 @@ std::optional<CliOptions> parseCli(const std::vector<std::string> &args,
 /** Usage text. */
 std::string cliUsage();
 
+/** Parsed lvpbench command line (tools/lvpbench.cc is a thin main). */
+struct BenchOptions
+{
+    std::vector<std::string> filters; ///< --filter, OR-matched
+    std::optional<unsigned> jobs;     ///< --jobs (1..1024)
+    std::optional<unsigned> scale;    ///< --scale (>= 1)
+    bool json = false;
+    bool list = false;
+    bool traceCache = true; ///< cleared by --no-trace-cache
+    bool prune = false;
+    bool help = false;
+    std::string verifyDir;      ///< --verify-trace-cache DIR
+    std::string metricsOut;     ///< --metrics-out FILE.json
+    std::string timelineOut;    ///< --timeline-out FILE.json
+    std::string checkBaseline;  ///< --check BASELINE.json
+    double relTol = 1e-6;       ///< --rel-tol for --check
+};
+
+/**
+ * Parse lvpbench argv into options. Every failure names the
+ * offending token in @p error ("unknown option '--x'",
+ * "--jobs needs a value", "bad --scale value '0'").
+ * @return std::nullopt plus a message in @p error on bad input.
+ */
+std::optional<BenchOptions>
+parseBenchCli(const std::vector<std::string> &args, std::string &error);
+
+/** lvpbench usage text. */
+std::string benchUsage();
+
 /**
  * Execute the parsed command, writing the report to @p os.
  * @return process exit code.

@@ -6,6 +6,7 @@
 
 #include "core/config.hh"
 #include "isa/latency.hh"
+#include "obs/metrics.hh"
 #include "sim/parallel.hh"
 #include "sim/pipeline_driver.hh"
 #include "sim/run_cache.hh"
@@ -53,6 +54,17 @@ RunCache &
 cache()
 {
     return RunCache::instance();
+}
+
+/**
+ * Publish one reproduced headline number under the
+ * "experiment.row.column" naming convention. Gauges are idempotent,
+ * so runners may execute any number of times per process.
+ */
+void
+pub(std::initializer_list<std::string_view> parts, double v)
+{
+    obs::metrics().gauge(obs::metricKey(parts)).set(v);
 }
 
 /** One (workload, codegen) fan-out unit. */
@@ -109,6 +121,14 @@ table1Benchmarks(const ExperimentOptions &opts)
                TextTable::fmtCount(ppc.stats.loads()),
                TextTable::fmtCount(alpha.stats.instructions()),
                TextTable::fmtCount(alpha.stats.loads())});
+        pub({"table1", w.name, "ppc_instructions"},
+            static_cast<double>(ppc.stats.instructions()));
+        pub({"table1", w.name, "ppc_loads"},
+            static_cast<double>(ppc.stats.loads()));
+        pub({"table1", w.name, "alpha_instructions"},
+            static_cast<double>(alpha.stats.instructions()));
+        pub({"table1", w.name, "alpha_loads"},
+            static_cast<double>(alpha.stats.loads()));
     }
     return t;
 }
@@ -135,9 +155,17 @@ fig1ValueLocality(const ExperimentOptions &opts)
         p16.push_back(ppc.total().pctDepthN());
         t.row({suite[i].name, pc1(a1.back()), pc1(a16.back()),
                pc1(p1.back()), pc1(p16.back())});
+        pub({"fig1", suite[i].name, "alpha_d1"}, a1.back());
+        pub({"fig1", suite[i].name, "alpha_d16"}, a16.back());
+        pub({"fig1", suite[i].name, "ppc_d1"}, p1.back());
+        pub({"fig1", suite[i].name, "ppc_d16"}, p16.back());
     }
     t.row({"MEAN", pc1(mean(a1)), pc1(mean(a16)), pc1(mean(p1)),
            pc1(mean(p16))});
+    pub({"fig1", "mean", "alpha_d1"}, mean(a1));
+    pub({"fig1", "mean", "alpha_d16"}, mean(a16));
+    pub({"fig1", "mean", "ppc_d1"}, mean(p1));
+    pub({"fig1", "mean", "ppc_d16"}, mean(p16));
     return t;
 }
 
@@ -168,6 +196,21 @@ fig2LocalityByType(const ExperimentOptions &opts)
         t.row({suite[i].name, cell(fp, false), cell(fp, true),
                cell(in, false), cell(in, true), cell(ia, false),
                cell(ia, true), cell(da, false), cell(da, true)});
+        struct ClassCol
+        {
+            const char *key;
+            const core::LocalityCounts *c;
+        };
+        for (const auto &[key, c] :
+             {ClassCol{"fp", &fp}, ClassCol{"int", &in},
+              ClassCol{"instaddr", &ia}, ClassCol{"dataaddr", &da}}) {
+            if (c->loads == 0)
+                continue; // rendered as "-": no number to publish
+            pub({"fig2", suite[i].name, std::string(key) + "_d1"},
+                c->pctDepth1());
+            pub({"fig2", suite[i].name, std::string(key) + "_d16"},
+                c->pctDepthN());
+        }
     }
     return t;
 }
@@ -186,6 +229,18 @@ table2Configs()
                std::to_string(c.lctEntries), std::to_string(c.lctBits),
                std::to_string(c.cvuEntries),
                c.perfectPrediction ? "yes" : "no"});
+        pub({"table2", c.name, "lvpt_entries"},
+            static_cast<double>(c.lvptEntries));
+        pub({"table2", c.name, "history_depth"},
+            static_cast<double>(c.historyDepth));
+        pub({"table2", c.name, "lct_entries"},
+            static_cast<double>(c.lctEntries));
+        pub({"table2", c.name, "lct_bits"},
+            static_cast<double>(c.lctBits));
+        pub({"table2", c.name, "cvu_entries"},
+            static_cast<double>(c.cvuEntries));
+        pub({"table2", c.name, "oracle"},
+            c.perfectPrediction ? 1.0 : 0.0);
     }
     return t;
 }
@@ -208,6 +263,10 @@ table3LctHitRates(const ExperimentOptions &opts)
                                          runCfg(opts));
             return s;
         });
+    static const char *const colNames[8] = {
+        "ppc_simple_unpred", "ppc_simple_pred", "ppc_limit_unpred",
+        "ppc_limit_pred",    "alpha_simple_unpred",
+        "alpha_simple_pred", "alpha_limit_unpred", "alpha_limit_pred"};
     std::vector<std::vector<double>> cols(8);
     const auto &suite = allWorkloads();
     for (std::size_t i = 0; i < suite.size(); ++i) {
@@ -217,15 +276,21 @@ table3LctHitRates(const ExperimentOptions &opts)
             for (const auto &st : stats[unit]) {
                 row.push_back(pc1(st.unpredHitRate()));
                 row.push_back(pc1(st.predHitRate()));
+                pub({"table3", suite[i].name, colNames[c]},
+                    st.unpredHitRate());
                 cols[c++].push_back(st.unpredHitRate());
+                pub({"table3", suite[i].name, colNames[c]},
+                    st.predHitRate());
                 cols[c++].push_back(st.predHitRate());
             }
         }
         t.row(std::move(row));
     }
     std::vector<std::string> gm{"GM"};
-    for (auto &col : cols)
-        gm.push_back(pc1(geomean(col)));
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+        gm.push_back(pc1(geomean(cols[c])));
+        pub({"table3", "gm", colNames[c]}, geomean(cols[c]));
+    }
     t.row(std::move(gm));
     return t;
 }
@@ -246,6 +311,8 @@ table4ConstantRates(const ExperimentOptions &opts)
                                          runCfg(opts));
             return s;
         });
+    static const char *const colNames[4] = {
+        "ppc_simple", "ppc_constant", "alpha_simple", "alpha_constant"};
     std::vector<std::vector<double>> cols(4);
     const auto &suite = allWorkloads();
     for (std::size_t i = 0; i < suite.size(); ++i) {
@@ -254,14 +321,18 @@ table4ConstantRates(const ExperimentOptions &opts)
         for (std::size_t unit : {2 * i, 2 * i + 1}) {
             for (const auto &st : stats[unit]) {
                 row.push_back(pc1(st.constantRate()));
+                pub({"table4", suite[i].name, colNames[c]},
+                    st.constantRate());
                 cols[c++].push_back(st.constantRate());
             }
         }
         t.row(std::move(row));
     }
     std::vector<std::string> m{"MEAN"};
-    for (auto &col : cols)
-        m.push_back(pc1(mean(col)));
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+        m.push_back(pc1(mean(cols[c])));
+        pub({"table4", "mean", colNames[c]}, mean(cols[c]));
+    }
     t.row(std::move(m));
     return t;
 }
@@ -291,6 +362,14 @@ table5Latencies()
         auto al = isa::opLatency(MachineIsa::Alpha21164, r.op);
         t.row({r.name, std::to_string(p.issue), std::to_string(p.result),
                std::to_string(al.issue), std::to_string(al.result)});
+        pub({"table5", r.name, "620_issue"},
+            static_cast<double>(p.issue));
+        pub({"table5", r.name, "620_result"},
+            static_cast<double>(p.result));
+        pub({"table5", r.name, "21164_issue"},
+            static_cast<double>(al.issue));
+        pub({"table5", r.name, "21164_result"},
+            static_cast<double>(al.result));
     }
     t.row({"Branch mispredict penalty", "-",
            std::to_string(isa::mispredictPenalty(MachineIsa::Ppc620)) +
@@ -298,6 +377,11 @@ table5Latencies()
            "-",
            std::to_string(
                isa::mispredictPenalty(MachineIsa::Alpha21164))});
+    pub({"table5", "mispredict_penalty", "620_result"},
+        static_cast<double>(isa::mispredictPenalty(MachineIsa::Ppc620)));
+    pub({"table5", "mispredict_penalty", "21164_result"},
+        static_cast<double>(
+            isa::mispredictPenalty(MachineIsa::Alpha21164)));
     return t;
 }
 
@@ -343,15 +427,20 @@ fig6AlphaSpeedups(const ExperimentOptions &opts)
     for (std::size_t i = 0; i < suite.size(); ++i) {
         std::vector<std::string> row{
             suite[i].name, TextTable::fmtDouble(rows[i].baseIpc, 3)};
+        pub({"fig6alpha", suite[i].name, "base_ipc"}, rows[i].baseIpc);
         for (std::size_t c = 0; c < cfgs.size(); ++c) {
             speedups[c].push_back(rows[i].speedups[c]);
             row.push_back(TextTable::fmtDouble(rows[i].speedups[c], 3));
+            pub({"fig6alpha", suite[i].name, cfgs[c].name},
+                rows[i].speedups[c]);
         }
         t.row(std::move(row));
     }
     std::vector<std::string> gm{"GM", "-"};
-    for (auto &col : speedups)
-        gm.push_back(TextTable::fmtDouble(geomean(col), 3));
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        gm.push_back(TextTable::fmtDouble(geomean(speedups[c]), 3));
+        pub({"fig6alpha", "gm", cfgs[c].name}, geomean(speedups[c]));
+    }
     t.row(std::move(gm));
     return t;
 }
@@ -386,15 +475,20 @@ fig6PpcSpeedups(const ExperimentOptions &opts)
     for (std::size_t i = 0; i < suite.size(); ++i) {
         std::vector<std::string> row{
             suite[i].name, TextTable::fmtDouble(rows[i].baseIpc, 3)};
+        pub({"fig6ppc", suite[i].name, "base_ipc"}, rows[i].baseIpc);
         for (std::size_t c = 0; c < cfgs.size(); ++c) {
             speedups[c].push_back(rows[i].speedups[c]);
             row.push_back(TextTable::fmtDouble(rows[i].speedups[c], 3));
+            pub({"fig6ppc", suite[i].name, cfgs[c].name},
+                rows[i].speedups[c]);
         }
         t.row(std::move(row));
     }
     std::vector<std::string> gm{"GM", "-"};
-    for (auto &col : speedups)
-        gm.push_back(TextTable::fmtDouble(geomean(col), 3));
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        gm.push_back(TextTable::fmtDouble(geomean(speedups[c]), 3));
+        pub({"fig6ppc", "gm", cfgs[c].name}, geomean(speedups[c]));
+    }
     t.row(std::move(gm));
     return t;
 }
@@ -439,16 +533,24 @@ table6Plus620Speedups(const ExperimentOptions &opts)
         std::vector<std::string> row{
             suite[i].name, TextTable::fmtCount(rows[i].instructions),
             TextTable::fmtDouble(rows[i].plusRatio, 3)};
+        pub({"table6", suite[i].name, "instructions"},
+            static_cast<double>(rows[i].instructions));
+        pub({"table6", suite[i].name, "plus_ratio"}, rows[i].plusRatio);
         for (std::size_t c = 0; c < cfgs.size(); ++c) {
             speedups[c].push_back(rows[i].speedups[c]);
             row.push_back(TextTable::fmtDouble(rows[i].speedups[c], 3));
+            pub({"table6", suite[i].name, cfgs[c].name},
+                rows[i].speedups[c]);
         }
         t.row(std::move(row));
     }
     std::vector<std::string> gm{"GM", "-",
                                 TextTable::fmtDouble(geomean(plus_col), 3)};
-    for (auto &col : speedups)
-        gm.push_back(TextTable::fmtDouble(geomean(col), 3));
+    pub({"table6", "gm", "plus_ratio"}, geomean(plus_col));
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        gm.push_back(TextTable::fmtDouble(geomean(speedups[c]), 3));
+        pub({"table6", "gm", cfgs[c].name}, geomean(speedups[c]));
+    }
     t.row(std::move(gm));
     return t;
 }
@@ -492,6 +594,13 @@ fig7VerificationLatency(const ExperimentOptions &opts)
                    pc1(h.bucketPct(4)), pc1(h.bucketPct(5)),
                    pc1(h.bucketPct(6)), pc1(h.bucketPct(7)),
                    pc1(h.overflowPct())});
+            const std::string rowKey = mc.name + "_" + cfg.name;
+            pub({"fig7", rowKey, "lt4"}, lt4);
+            pub({"fig7", rowKey, "c4"}, h.bucketPct(4));
+            pub({"fig7", rowKey, "c5"}, h.bucketPct(5));
+            pub({"fig7", rowKey, "c6"}, h.bucketPct(6));
+            pub({"fig7", rowKey, "c7"}, h.bucketPct(7));
+            pub({"fig7", rowKey, "gt7"}, h.overflowPct());
         }
     }
     return t;
@@ -553,15 +662,19 @@ fig8DependencyResolution(const ExperimentOptions &opts)
                     cfg_wait[c][fi] += r.cfg[c][fi];
                 }
         }
+        static const char *const fuKeys[] = {"bru", "mcfx", "scfx",
+                                             "fpu", "lsu"};
         for (std::size_t c = 0; c < cfgs.size(); ++c) {
             std::vector<std::string> row{mc.name + "/" + cfgs[c].name};
-            for (FuType f : fus) {
-                auto fi = static_cast<std::size_t>(f);
+            const std::string rowKey = mc.name + "_" + cfgs[c].name;
+            for (std::size_t k = 0; k < std::size(fus); ++k) {
+                auto fi = static_cast<std::size_t>(fus[k]);
                 double norm = base_wait[fi] > 0
                                   ? 100.0 * cfg_wait[c][fi] /
                                         base_wait[fi]
                                   : 100.0;
                 row.push_back(pc1(norm));
+                pub({"fig8", rowKey, fuKeys[k]}, norm);
             }
             t.row(std::move(row));
         }
@@ -595,19 +708,25 @@ fig9BankConflicts(const ExperimentOptions &opts)
             }
             return pcts;
         });
+    static const char *const colNames[6] = {
+        "620_nolvp",     "620_simple",     "620_constant",
+        "620plus_nolvp", "620plus_simple", "620plus_constant"};
     std::vector<std::vector<double>> cols(6);
     const auto &suite = allWorkloads();
     for (std::size_t i = 0; i < suite.size(); ++i) {
         std::vector<std::string> row{suite[i].name};
         for (unsigned c = 0; c < 6; ++c) {
             row.push_back(pc1(rows[i][c]));
+            pub({"fig9", suite[i].name, colNames[c]}, rows[i][c]);
             cols[c].push_back(rows[i][c]);
         }
         t.row(std::move(row));
     }
     std::vector<std::string> m{"MEAN"};
-    for (auto &col : cols)
-        m.push_back(pc1(mean(col)));
+    for (unsigned c = 0; c < 6; ++c) {
+        m.push_back(pc1(mean(cols[c])));
+        pub({"fig9", "mean", colNames[c]}, mean(cols[c]));
+    }
     t.row(std::move(m));
     return t;
 }

@@ -5,6 +5,7 @@
 
 #include "core/config.hh"
 #include "core/value_profiler.hh"
+#include "obs/metrics.hh"
 #include "sim/parallel.hh"
 #include "sim/pipeline_driver.hh"
 #include "sim/run_cache.hh"
@@ -34,6 +35,13 @@ RunCache &
 cache()
 {
     return RunCache::instance();
+}
+
+/** Publish one headline number, mirroring experiment.cc's helper. */
+void
+pub(std::initializer_list<std::string_view> parts, double v)
+{
+    obs::metrics().gauge(obs::metricKey(parts)).set(v);
 }
 
 /** Mean "good prediction" rate over the suite for one config. */
@@ -106,10 +114,32 @@ ablationPredictors(const ExperimentOptions &opts)
                TextTable::fmtPct(r.fcm.predictionRate()),
                TextTable::fmtPct(r.fcm.accuracy()),
                TextTable::fmtPct(good(r.fcm))});
+        struct PredCol
+        {
+            const char *key;
+            const core::LvpStats *s;
+        };
+        for (const auto &[key, s] :
+             {PredCol{"lvp", &r.lvp}, PredCol{"stride", &r.stride},
+              PredCol{"fcm", &r.fcm}}) {
+            pub({"ablation_predictors", suite[i].name,
+                 std::string(key) + "_cover"},
+                s->predictionRate());
+            pub({"ablation_predictors", suite[i].name,
+                 std::string(key) + "_accur"},
+                s->accuracy());
+            pub({"ablation_predictors", suite[i].name,
+                 std::string(key) + "_good"},
+                good(*s));
+        }
     }
     t.row({"MEAN", "-", "-", TextTable::fmtPct(mean(lvp_good)), "-",
            "-", TextTable::fmtPct(mean(stride_good)), "-", "-",
            TextTable::fmtPct(mean(fcm_good))});
+    pub({"ablation_predictors", "mean", "lvp_good"}, mean(lvp_good));
+    pub({"ablation_predictors", "mean", "stride_good"},
+        mean(stride_good));
+    pub({"ablation_predictors", "mean", "fcm_good"}, mean(fcm_good));
 
     return {{"Ablation: last-value LVP vs stride vs two-level FCM",
              "the paper's future-work directions, realized: stride "
@@ -132,8 +162,11 @@ ablationLvpDesign(const ExperimentOptions &opts)
         for (std::uint32_t entries : {64u, 256u, 1024u, 4096u}) {
             auto cfg = LvpConfig::simple();
             cfg.lvptEntries = entries;
-            t.row({std::to_string(entries),
-                   TextTable::fmtPct(meanGood(cfg, opts))});
+            double g = meanGood(cfg, opts);
+            t.row({std::to_string(entries), TextTable::fmtPct(g)});
+            pub({"ablation_lvp_design",
+                 "lvpt_" + std::to_string(entries), "good"},
+                g);
         }
         sections.push_back(
             {"Ablation 1: LVPT capacity sweep",
@@ -148,8 +181,11 @@ ablationLvpDesign(const ExperimentOptions &opts)
         for (std::uint32_t depth : {1u, 2u, 4u, 8u, 16u}) {
             auto cfg = LvpConfig::limit();
             cfg.historyDepth = depth;
-            t.row({std::to_string(depth),
-                   TextTable::fmtPct(meanGood(cfg, opts))});
+            double g = meanGood(cfg, opts);
+            t.row({std::to_string(depth), TextTable::fmtPct(g)});
+            pub({"ablation_lvp_design",
+                 "history_" + std::to_string(depth), "good"},
+                g);
         }
         sections.push_back(
             {"Ablation 2: history-depth sweep",
@@ -165,16 +201,21 @@ ablationLvpDesign(const ExperimentOptions &opts)
         for (std::uint32_t entries : {8u, 32u, 128u, 512u}) {
             auto cfg = LvpConfig::constant();
             cfg.cvuEntries = entries;
-            t.row({std::to_string(entries),
-                   TextTable::fmtPct(meanConstant(cfg, opts))});
+            double c = meanConstant(cfg, opts);
+            t.row({std::to_string(entries), TextTable::fmtPct(c)});
+            pub({"ablation_lvp_design",
+                 "cvu_" + std::to_string(entries), "constants"},
+                c);
         }
         // Organization: the paper's full CAM vs a cheaper 4-way
         // set-associative CVU at the Constant config's capacity.
         {
             auto cfg = LvpConfig::constant();
             cfg.cvuWays = 4;
-            t.row({"128 (4-way set-assoc)",
-                   TextTable::fmtPct(meanConstant(cfg, opts))});
+            double c = meanConstant(cfg, opts);
+            t.row({"128 (4-way set-assoc)", TextTable::fmtPct(c)});
+            pub({"ablation_lvp_design", "cvu_128_4way", "constants"},
+                c);
         }
         sections.push_back(
             {"Ablation 3: CVU capacity and organization",
@@ -189,8 +230,11 @@ ablationLvpDesign(const ExperimentOptions &opts)
         for (std::uint32_t bits : {0u, 2u, 4u, 8u}) {
             auto cfg = LvpConfig::simple();
             cfg.bhrBits = bits;
-            t.row({std::to_string(bits),
-                   TextTable::fmtPct(meanGood(cfg, opts))});
+            double g = meanGood(cfg, opts);
+            t.row({std::to_string(bits), TextTable::fmtPct(g)});
+            pub({"ablation_lvp_design", "bhr_" + std::to_string(bits),
+                 "good"},
+                g);
         }
         sections.push_back(
             {"Ablation 4: branch-history-indexed LVPT (paper §7)",
@@ -221,6 +265,10 @@ ablationLvpDesign(const ExperimentOptions &opts)
             t.row({squash ? "squash + refetch" : "selective reissue "
                                                  "(paper)",
                    TextTable::fmtDouble(geomean(speedups), 3)});
+            pub({"ablation_lvp_design",
+                 squash ? "recovery_squash" : "recovery_reissue",
+                 "gm_speedup"},
+                geomean(speedups));
         }
         sections.push_back(
             {"Ablation 5: value-misprediction recovery policy",
@@ -238,8 +286,12 @@ ablationLvpDesign(const ExperimentOptions &opts)
         for (bool tagged : {false, true}) {
             auto cfg = LvpConfig::simple();
             cfg.taggedLvpt = tagged;
+            double g = meanGood(cfg, opts);
             t.row({tagged ? "tagged" : "untagged (paper)",
-                   TextTable::fmtPct(meanGood(cfg, opts))});
+                   TextTable::fmtPct(g)});
+            pub({"ablation_lvp_design",
+                 tagged ? "lvpt_tagged" : "lvpt_untagged", "good"},
+                g);
         }
         sections.push_back(
             {"Ablation 6: tagged vs untagged LVPT",
@@ -287,10 +339,35 @@ ablationAllValues(const ExperimentOptions &opts)
                cell(prof.byFu(isa::FuType::FPU), false),
                cell(prof.byFu(isa::FuType::LSU), false),
                cell(prof.byFu(isa::FuType::LSU), true)});
+        pub({"ablation_all_values", suite[i].name, "all_d1"},
+            all1.back());
+        pub({"ablation_all_values", suite[i].name, "all_d16"},
+            all16.back());
+        struct FuCol
+        {
+            const char *key;
+            isa::FuType fu;
+            bool deep;
+        };
+        for (const auto &[key, fu, deep] :
+             {FuCol{"scfx_d1", isa::FuType::SCFX, false},
+              FuCol{"scfx_d16", isa::FuType::SCFX, true},
+              FuCol{"mcfx_d1", isa::FuType::MCFX, false},
+              FuCol{"fpu_d1", isa::FuType::FPU, false},
+              FuCol{"lsu_d1", isa::FuType::LSU, false},
+              FuCol{"lsu_d16", isa::FuType::LSU, true}}) {
+            const auto &c = prof.byFu(fu);
+            if (c.loads == 0)
+                continue; // rendered as "-": no number to publish
+            pub({"ablation_all_values", suite[i].name, key},
+                deep ? c.pctDepthN() : c.pctDepth1());
+        }
     }
     t.row({"MEAN", TextTable::fmtPct(mean(all1)),
            TextTable::fmtPct(mean(all16)), "-", "-", "-", "-", "-",
            "-"});
+    pub({"ablation_all_values", "mean", "all_d1"}, mean(all1));
+    pub({"ablation_all_values", "mean", "all_d16"}, mean(all16));
 
     return {{"Extension: value locality of ALL value-producing "
              "instructions",
@@ -344,10 +421,23 @@ ablationBpred(const ExperimentOptions &opts)
                TextTable::fmtDouble(r.bimodal.timing.ipc(), 3),
                TextTable::fmtDouble(r.gshare.timing.ipc(), 3),
                TextTable::fmtDouble(r.gshare_lvp.timing.ipc(), 3)});
+        pub({"ablation_bpred", suite[i].name, "bimodal_mispred"},
+            mr(r.bimodal));
+        pub({"ablation_bpred", suite[i].name, "gshare_mispred"},
+            mr(r.gshare));
+        pub({"ablation_bpred", suite[i].name, "bimodal_ipc"},
+            r.bimodal.timing.ipc());
+        pub({"ablation_bpred", suite[i].name, "gshare_ipc"},
+            r.gshare.timing.ipc());
+        pub({"ablation_bpred", suite[i].name, "gshare_lvp_ipc"},
+            r.gshare_lvp.timing.ipc());
     }
     t.row({"MEAN", "-", "-", TextTable::fmtDouble(mean(bi), 3),
            TextTable::fmtDouble(mean(gs), 3),
            TextTable::fmtDouble(mean(gl), 3)});
+    pub({"ablation_bpred", "mean", "bimodal_ipc"}, mean(bi));
+    pub({"ablation_bpred", "mean", "gshare_ipc"}, mean(gs));
+    pub({"ablation_bpred", "mean", "gshare_lvp_ipc"}, mean(gl));
 
     return {{"Ablation: bimodal vs gshare front end (with and without "
              "LVP)",
@@ -399,9 +489,18 @@ sec61MissRates(const ExperimentOptions &opts)
                TextTable::fmtPct(mr_with, 2),
                TextTable::fmtPct(mred), TextTable::fmtPct(ared),
                std::to_string(r.with.timing.constLoads)});
+        pub({"sec61", suite[i].name, "base_miss_per_instr"}, mr_base);
+        pub({"sec61", suite[i].name, "constant_miss_per_instr"},
+            mr_with);
+        pub({"sec61", suite[i].name, "miss_reduction"}, mred);
+        pub({"sec61", suite[i].name, "access_reduction"}, ared);
+        pub({"sec61", suite[i].name, "const_loads"},
+            static_cast<double>(r.with.timing.constLoads));
     }
     t.row({"MEAN", "-", "-", TextTable::fmtPct(mean(miss_red)),
            TextTable::fmtPct(mean(acc_red)), "-"});
+    pub({"sec61", "mean", "miss_reduction"}, mean(miss_red));
+    pub({"sec61", "mean", "access_reduction"}, mean(acc_red));
 
     return {{"Section 6.1: 21164 cache-bandwidth reduction from the CVU",
              "constant loads never touch the cache: the paper reports a "

@@ -2,12 +2,17 @@
 
 #include <memory>
 
+#include "obs/metrics.hh"
 #include "util/env.hh"
 
 namespace lvplib::sim
 {
 
 TaskPool::TaskPool(unsigned jobs)
+    : submitted_(obs::metrics().counter("taskpool.submitted")),
+      executed_(obs::metrics().counter("taskpool.executed")),
+      queuePeak_(obs::metrics().gauge("taskpool.queue_peak",
+                                      /*isVolatile=*/true))
 {
     if (jobs == 0)
         jobs = defaultJobs();
@@ -15,6 +20,9 @@ TaskPool::TaskPool(unsigned jobs)
     for (unsigned i = 0; i < jobs; ++i)
         workers_.emplace_back(
             [this](std::stop_token st) { worker(st); });
+    obs::metrics()
+        .gauge("taskpool.workers", /*isVolatile=*/true)
+        .set(static_cast<double>(jobs));
 }
 
 TaskPool::~TaskPool()
@@ -33,7 +41,16 @@ TaskPool::submit(std::function<void()> fn)
     {
         std::lock_guard<std::mutex> lock(m_);
         queue_.push_back(std::move(task));
+        if (queue_.size() > localQueuePeak_) {
+            localQueuePeak_ = queue_.size();
+            // Keep the process-wide peak across pool replacements
+            // (setExperimentJobs): only ever raise the gauge.
+            if (static_cast<double>(localQueuePeak_) >
+                queuePeak_.value())
+                queuePeak_.set(static_cast<double>(localQueuePeak_));
+        }
     }
+    submitted_.add();
     cv_.notify_one();
     return fut;
 }
@@ -50,6 +67,7 @@ TaskPool::worker(std::stop_token st)
         queue_.pop_front();
         lock.unlock();
         task();
+        executed_.add();
         lock.lock();
     }
 }

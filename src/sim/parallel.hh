@@ -24,6 +24,12 @@
 #include <type_traits>
 #include <vector>
 
+namespace lvplib::obs
+{
+class Counter;
+class Gauge;
+} // namespace lvplib::obs
+
 namespace lvplib::sim
 {
 
@@ -104,6 +110,13 @@ class TaskPool
     std::condition_variable_any cv_;
     std::deque<std::packaged_task<void()>> queue_;
     std::vector<std::jthread> workers_;
+
+    // Pool telemetry (taskpool.* in the metric registry), resolved
+    // once in the constructor; all volatile.
+    obs::Counter &submitted_;
+    obs::Counter &executed_;
+    obs::Gauge &queuePeak_;
+    std::size_t localQueuePeak_ = 0; ///< guarded by m_
 };
 
 /**

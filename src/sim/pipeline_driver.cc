@@ -1,7 +1,9 @@
 #include "sim/pipeline_driver.hh"
 
 #include <atomic>
+#include <cmath>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "vm/interpreter.hh"
 
@@ -23,7 +25,56 @@ runToCompletion(vm::Interpreter &interp, trace::TraceSink *sink,
                  static_cast<unsigned long long>(rc.maxInstructions));
 }
 
+/**
+ * Per-model instrument bundle, resolved once: registry references
+ * stay valid for its lifetime, so finishing a run costs three relaxed
+ * atomic adds and one short mutex hold. All volatile — how many runs
+ * a process performs depends on which experiments it executes.
+ */
+struct ModelMetrics
+{
+    explicit ModelMetrics(const std::string &model)
+        : runs(obs::metrics().counter("pipeline." + model + ".runs")),
+          cycles(
+              obs::metrics().counter("pipeline." + model + ".cycles")),
+          instructions(obs::metrics().counter("pipeline." + model +
+                                              ".instructions")),
+          ipcX100(obs::metrics().distribution(
+              "pipeline." + model + ".ipc_x100", 512))
+    {
+    }
+
+    void
+    publish(std::uint64_t cyc, std::uint64_t insts, double ipc)
+    {
+        runs.add();
+        cycles.add(cyc);
+        instructions.add(insts);
+        ipcX100.record(
+            static_cast<std::uint64_t>(std::llround(ipc * 100.0)));
+    }
+
+    obs::Counter &runs;
+    obs::Counter &cycles;
+    obs::Counter &instructions;
+    obs::Distribution &ipcX100;
+};
+
 } // namespace
+
+void
+publishModelRun(const uarch::OooStats &s)
+{
+    static ModelMetrics mm("ppc620");
+    mm.publish(s.cycles, s.instructions, s.ipc());
+}
+
+void
+publishModelRun(const uarch::InOrderStats &s)
+{
+    static ModelMetrics mm("alpha21164");
+    mm.publish(s.cycles, s.instructions, s.ipc());
+}
 
 std::uint64_t
 instructionsProcessed()
@@ -142,6 +193,7 @@ runPpc620(const isa::Program &prog, const uarch::Ppc620Config &mc,
         runToCompletion(interp, &model, rc);
     }
     r.timing = model.stats();
+    publishModelRun(r.timing);
     return r;
 }
 
@@ -161,6 +213,7 @@ runAlpha21164(const isa::Program &prog, const uarch::AlphaConfig &mc,
         runToCompletion(interp, &model, rc);
     }
     r.timing = model.stats();
+    publishModelRun(r.timing);
     return r;
 }
 

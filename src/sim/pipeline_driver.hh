@@ -98,6 +98,16 @@ AlphaRun runAlpha21164(const isa::Program &prog,
                        const RunConfig &rc = {});
 
 /**
+ * Publish one finished timing-model run into the process metric
+ * registry: pipeline.<model>.{runs,cycles,instructions} counters plus
+ * a pipeline.<model>.ipc_x100 distribution (IPC in hundredths).
+ * Called by the drivers above and by RunCache's trace-replay paths,
+ * which construct the models directly.
+ */
+void publishModelRun(const uarch::OooStats &s);
+void publishModelRun(const uarch::InOrderStats &s);
+
+/**
  * Process-wide count of dynamic instructions pushed through any
  * pipeline (interpreted or replayed from a cached trace). The
  * lvpbench driver differences this around each experiment to report

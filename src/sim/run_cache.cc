@@ -10,6 +10,8 @@
 #include <unistd.h>
 
 #include "core/lvp_unit.hh"
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
 #include "trace/trace_file.hh"
 #include "uarch/alpha21164.hh"
 #include "uarch/ppc620.hh"
@@ -151,6 +153,19 @@ struct RunCache::Impl
     std::atomic<std::uint64_t> traceReplays{0};
     std::atomic<std::uint64_t> traceInvalid{0};
 
+    // Obs mirrors of the counters above, resolved once: registry
+    // references stay valid for its lifetime, so the hot path never
+    // re-looks-up by name. All volatile — cache effectiveness depends
+    // on which experiments ran and in what order.
+    obs::Counter &obsHits = obs::metrics().counter("runcache.hits");
+    obs::Counter &obsMisses = obs::metrics().counter("runcache.misses");
+    obs::Counter &obsTraceWrites =
+        obs::metrics().counter("runcache.trace_writes");
+    obs::Counter &obsTraceReplays =
+        obs::metrics().counter("runcache.trace_replays");
+    obs::Counter &obsTraceInvalid =
+        obs::metrics().counter("runcache.trace_invalid");
+
     std::string ensureTrace(RunCache &cache, const Workload &w,
                             CodeGen cg, unsigned scale,
                             const RunConfig &rc);
@@ -183,6 +198,7 @@ struct RunCache::Impl
         }
         if (owner) {
             misses.fetch_add(1, std::memory_order_relaxed);
+            obsMisses.add();
             try {
                 prom.set_value(make());
             } catch (...) {
@@ -190,6 +206,7 @@ struct RunCache::Impl
             }
         } else {
             hits.fetch_add(1, std::memory_order_relaxed);
+            obsHits.add();
         }
         return fut.get();
     }
@@ -306,11 +323,13 @@ RunCache::Impl::ensureTrace(RunCache &cache, const Workload &w,
                          rep.detail.empty() ? "" : ": ",
                          rep.detail.c_str());
                 traceInvalid.fetch_add(1, std::memory_order_relaxed);
+                obsTraceInvalid.add();
                 std::remove(path.c_str());
             }
             std::string tmp = uniqueTempName(path);
             bool written;
             {
+                obs::Timeline::Scope span("trace:" + w.name, "trace");
                 trace::TraceFileWriter writer(tmp, fp);
                 vm::Interpreter interp(*prog);
                 interp.run(&writer, rc.maxInstructions);
@@ -330,6 +349,7 @@ RunCache::Impl::ensureTrace(RunCache &cache, const Workload &w,
                 return std::string();
             }
             traceWrites.fetch_add(1, std::memory_order_relaxed);
+            obsTraceWrites.add();
             return path;
         });
     if (result.empty()) {
@@ -347,6 +367,7 @@ RunCache::functional(const Workload &w, CodeGen cg, unsigned scale,
 {
     return impl_->getOrCompute<FuncResult>(
         impl_->funcs, runKey(w, cg, scale, rc), [&] {
+            obs::Timeline::Scope span("functional:" + w.name, "sim");
             // Functional runs need the final memory image (the
             // "__result" checksum), so they always interpret.
             return runFunctional(*program(w, cg, scale), rc);
@@ -363,6 +384,7 @@ RunCache::locality(const Workload &w, CodeGen cg, unsigned scale,
             auto prog = program(w, cg, scale);
             std::string tr =
                 impl_->ensureTrace(*this, w, cg, scale, rc);
+            obs::Timeline::Scope span("locality:" + w.name, "sim");
             if (!tr.empty()) {
                 auto prof =
                     std::make_shared<core::ValueLocalityProfiler>();
@@ -370,6 +392,7 @@ RunCache::locality(const Workload &w, CodeGen cg, unsigned scale,
                 addInstructionsProcessed(reader.replay(*prof));
                 impl_->traceReplays.fetch_add(
                     1, std::memory_order_relaxed);
+                impl_->obsTraceReplays.add();
                 return std::shared_ptr<
                     const core::ValueLocalityProfiler>(prof);
             }
@@ -390,6 +413,7 @@ RunCache::lvpOnly(const Workload &w, CodeGen cg, unsigned scale,
             auto prog = program(w, cg, scale);
             std::string tr =
                 impl_->ensureTrace(*this, w, cg, scale, rc);
+            obs::Timeline::Scope span("lvp:" + w.name, "sim");
             if (!tr.empty()) {
                 NullSink null_sink;
                 core::LvpAnnotator annot(cfg, null_sink);
@@ -397,6 +421,7 @@ RunCache::lvpOnly(const Workload &w, CodeGen cg, unsigned scale,
                 addInstructionsProcessed(reader.replay(annot));
                 impl_->traceReplays.fetch_add(
                     1, std::memory_order_relaxed);
+                impl_->obsTraceReplays.add();
                 return annot.unit().stats();
             }
             return runLvpOnly(*prog, cfg, rc);
@@ -416,6 +441,7 @@ RunCache::ppc620(const Workload &w, CodeGen cg, unsigned scale,
             auto prog = program(w, cg, scale);
             std::string tr =
                 impl_->ensureTrace(*this, w, cg, scale, rc);
+            obs::Timeline::Scope span("ppc620:" + w.name, "sim");
             if (!tr.empty()) {
                 uarch::Ppc620Model model(mc, lvp.has_value());
                 PpcRun r;
@@ -429,7 +455,9 @@ RunCache::ppc620(const Workload &w, CodeGen cg, unsigned scale,
                 }
                 impl_->traceReplays.fetch_add(
                     1, std::memory_order_relaxed);
+                impl_->obsTraceReplays.add();
                 r.timing = model.stats();
+                publishModelRun(r.timing);
                 return r;
             }
             return runPpc620(*prog, mc, lvp, rc);
@@ -449,6 +477,7 @@ RunCache::alpha21164(const Workload &w, CodeGen cg, unsigned scale,
             auto prog = program(w, cg, scale);
             std::string tr =
                 impl_->ensureTrace(*this, w, cg, scale, rc);
+            obs::Timeline::Scope span("alpha21164:" + w.name, "sim");
             if (!tr.empty()) {
                 uarch::Alpha21164Model model(mc, lvp.has_value());
                 AlphaRun r;
@@ -462,7 +491,9 @@ RunCache::alpha21164(const Workload &w, CodeGen cg, unsigned scale,
                 }
                 impl_->traceReplays.fetch_add(
                     1, std::memory_order_relaxed);
+                impl_->obsTraceReplays.add();
                 r.timing = model.stats();
+                publishModelRun(r.timing);
                 return r;
             }
             return runAlpha21164(*prog, mc, lvp, rc);

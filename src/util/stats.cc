@@ -92,6 +92,27 @@ Histogram::sampleMean() const
     return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
 }
 
+std::size_t
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    // Rank of the quantile sample, 1-based: ceil(q * total), at
+    // least 1 so quantile(0) is the smallest recorded value.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        seen += counts_[b];
+        if (seen >= rank)
+            return b;
+    }
+    return counts_.size(); // the quantile lies in the overflow bucket
+}
+
 void
 Histogram::merge(const Histogram &other)
 {

@@ -8,6 +8,7 @@
 #ifndef LVPLIB_UTIL_STATS_HH
 #define LVPLIB_UTIL_STATS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -67,6 +68,73 @@ class Histogram
 
     /** Mean sample value (overflow samples counted at their value). */
     double sampleMean() const;
+
+    /**
+     * The @p q-quantile (q clamped to [0, 1]) of the recorded
+     * samples as a bucket value: the smallest bucket b such that at
+     * least ceil(q * total) samples are <= b. Samples that landed in
+     * the overflow bucket have no exact value, so a quantile falling
+     * there is reported as buckets() (the first out-of-range value).
+     * An empty histogram reports 0.
+     */
+    std::size_t quantile(double q) const;
+
+    /** One directly indexed bucket, as seen through the iterator. */
+    struct BucketEntry
+    {
+        std::size_t value;        ///< the bucket's sample value
+        std::uint64_t count;      ///< samples recorded at that value
+    };
+
+    /**
+     * Read-only forward iterator over the directly indexed buckets
+     * (the overflow bucket is not included; read it via overflow()).
+     */
+    class const_iterator
+    {
+      public:
+        using value_type = BucketEntry;
+        using difference_type = std::ptrdiff_t;
+
+        const_iterator() = default;
+        const_iterator(const Histogram *h, std::size_t i)
+            : h_(h), i_(i)
+        {}
+
+        BucketEntry
+        operator*() const
+        {
+            return {i_, h_->bucket(i_)};
+        }
+
+        const_iterator &
+        operator++()
+        {
+            ++i_;
+            return *this;
+        }
+
+        const_iterator
+        operator++(int)
+        {
+            const_iterator old = *this;
+            ++i_;
+            return old;
+        }
+
+        bool
+        operator==(const const_iterator &o) const
+        {
+            return h_ == o.h_ && i_ == o.i_;
+        }
+
+      private:
+        const Histogram *h_ = nullptr;
+        std::size_t i_ = 0;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, counts_.size()}; }
 
     /** Merge another histogram of identical shape into this one. */
     void merge(const Histogram &other);

@@ -125,6 +125,124 @@ TEST(Cli, RunsAlphaAndNoneMachines)
         << "machine none must skip timing";
 }
 
+std::optional<BenchOptions>
+parseBench(std::initializer_list<const char *> args,
+           std::string *err = nullptr)
+{
+    std::vector<std::string> v;
+    for (const char *a : args)
+        v.emplace_back(a);
+    std::string e;
+    auto r = parseBenchCli(v, e);
+    if (err)
+        *err = e;
+    return r;
+}
+
+TEST(BenchCli, Defaults)
+{
+    auto o = parseBench({});
+    ASSERT_TRUE(o);
+    EXPECT_TRUE(o->filters.empty());
+    EXPECT_FALSE(o->jobs.has_value());
+    EXPECT_FALSE(o->scale.has_value());
+    EXPECT_FALSE(o->json);
+    EXPECT_FALSE(o->list);
+    EXPECT_TRUE(o->traceCache);
+    EXPECT_FALSE(o->prune);
+    EXPECT_FALSE(o->help);
+    EXPECT_TRUE(o->metricsOut.empty());
+    EXPECT_TRUE(o->timelineOut.empty());
+    EXPECT_TRUE(o->checkBaseline.empty());
+    EXPECT_DOUBLE_EQ(o->relTol, 1e-6);
+}
+
+TEST(BenchCli, ParsesEveryOption)
+{
+    auto o = parseBench({"--filter", "fig1", "--filter", "table6",
+                         "--jobs", "8", "--scale", "3", "--json",
+                         "--no-trace-cache", "--prune",
+                         "--metrics-out", "m.json", "--timeline-out",
+                         "t.json", "--check", "golden.json",
+                         "--rel-tol", "0.01"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->filters,
+              (std::vector<std::string>{"fig1", "table6"}));
+    EXPECT_EQ(o->jobs, 8u);
+    EXPECT_EQ(o->scale, 3u);
+    EXPECT_TRUE(o->json);
+    EXPECT_FALSE(o->traceCache);
+    EXPECT_TRUE(o->prune);
+    EXPECT_EQ(o->metricsOut, "m.json");
+    EXPECT_EQ(o->timelineOut, "t.json");
+    EXPECT_EQ(o->checkBaseline, "golden.json");
+    EXPECT_DOUBLE_EQ(o->relTol, 0.01);
+}
+
+TEST(BenchCli, ListHelpAndVerify)
+{
+    EXPECT_TRUE(parseBench({"--list"})->list);
+    EXPECT_TRUE(parseBench({"--help"})->help);
+    EXPECT_TRUE(parseBench({"-h"})->help);
+    auto o = parseBench({"--verify-trace-cache", "/tmp/traces"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->verifyDir, "/tmp/traces");
+}
+
+TEST(BenchCli, UnknownOptionNamesTheToken)
+{
+    std::string err;
+    EXPECT_FALSE(parseBench({"--bogus"}, &err));
+    EXPECT_NE(err.find("unknown option '--bogus'"),
+              std::string::npos);
+    EXPECT_FALSE(parseBench({"stray"}, &err));
+    EXPECT_NE(err.find("'stray'"), std::string::npos);
+}
+
+TEST(BenchCli, MissingValueNamesTheFlag)
+{
+    std::string err;
+    EXPECT_FALSE(parseBench({"--filter"}, &err));
+    EXPECT_NE(err.find("--filter needs a value"), std::string::npos);
+    EXPECT_FALSE(parseBench({"--jobs"}, &err));
+    EXPECT_NE(err.find("--jobs needs a value"), std::string::npos);
+    EXPECT_FALSE(parseBench({"--metrics-out"}, &err));
+    EXPECT_NE(err.find("--metrics-out needs a value"),
+              std::string::npos);
+    EXPECT_FALSE(parseBench({"--check"}, &err));
+    EXPECT_NE(err.find("--check needs a value"), std::string::npos);
+    EXPECT_FALSE(parseBench({"--rel-tol"}, &err));
+    EXPECT_NE(err.find("--rel-tol needs a value"), std::string::npos);
+}
+
+TEST(BenchCli, MalformedValuesNameTheToken)
+{
+    std::string err;
+    EXPECT_FALSE(parseBench({"--jobs", "abc"}, &err));
+    EXPECT_NE(err.find("bad --jobs value 'abc'"), std::string::npos);
+    EXPECT_FALSE(parseBench({"--jobs", "0"}, &err));
+    EXPECT_NE(err.find("'0'"), std::string::npos);
+    EXPECT_FALSE(parseBench({"--jobs", "9999"}, &err));
+    EXPECT_FALSE(parseBench({"--scale", "0"}, &err));
+    EXPECT_NE(err.find("bad --scale value '0'"), std::string::npos);
+    EXPECT_FALSE(parseBench({"--scale", "12x"}, &err));
+    EXPECT_FALSE(parseBench({"--rel-tol", "nope"}, &err));
+    EXPECT_NE(err.find("bad --rel-tol value 'nope'"),
+              std::string::npos);
+    EXPECT_FALSE(parseBench({"--rel-tol", "-0.5"}, &err));
+}
+
+TEST(BenchCli, UsageMentionsEveryFlag)
+{
+    std::string u = benchUsage();
+    for (const char *flag :
+         {"--filter", "--jobs", "--scale", "--json", "--list",
+          "--no-trace-cache", "--prune",
+          "--verify-trace-cache", "--metrics-out", "--timeline-out",
+          "--check", "--rel-tol"})
+        EXPECT_NE(u.find(flag), std::string::npos) << flag;
+}
+
 TEST(Cli, StrideRunIsStatsOnly)
 {
     CliOptions o;

@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Tests for the observability subsystem: JSON escaping and number
+ * formatting, writer/parser round trips, the metric naming helpers,
+ * the MetricRegistry export (including the NaN/Inf -> null +
+ * "_invalid" sibling policy), the run timeline, and the
+ * golden-baseline checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "obs/check.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
+
+namespace lvplib::obs
+{
+namespace
+{
+
+TEST(JsonEscape, EscapesQuotesBackslashAndControls)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+    EXPECT_EQ(jsonEscape(std::string_view("\x01\x1f", 2)),
+              "\\u0001\\u001f");
+}
+
+TEST(JsonEscape, Utf8PassesThroughVerbatim)
+{
+    // "µops" and a 4-byte emoji: multi-byte sequences are >= 0x80
+    // per byte and must not be escaped or mangled.
+    EXPECT_EQ(jsonEscape("\xc2\xb5ops"), "\xc2\xb5ops");
+    EXPECT_EQ(jsonEscape("\xf0\x9f\x9a\x80"), "\xf0\x9f\x9a\x80");
+}
+
+TEST(JsonNumber, ShortestRoundTrip)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(5.0), "5");
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+    EXPECT_EQ(jsonNumber(-3.25), "-3.25");
+    // The formatted text must parse back to the identical double.
+    for (double v : {1.0 / 3.0, 26.643990929705215, 1e-6, 1e20}) {
+        std::string e;
+        auto parsed = parseJson(jsonNumber(v), e);
+        ASSERT_TRUE(parsed) << e;
+        EXPECT_EQ(parsed->asDouble(), v);
+        EXPECT_EQ(jsonNumber(parsed->asDouble()), jsonNumber(v))
+            << "re-export must be byte-stable";
+    }
+}
+
+TEST(JsonNumber, NonFiniteIsNull)
+{
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(JsonWriter, EmitsExpectedShapes)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("s", "hi\n");
+    w.member("n", 42);
+    w.member("d", 1.5);
+    w.member("b", true);
+    w.key("null");
+    w.null();
+    w.key("arr");
+    w.beginArray();
+    w.value(1);
+    w.value(2);
+    w.endArray();
+    w.key("obj");
+    w.beginObject();
+    w.endObject();
+    EXPECT_FALSE(w.complete());
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+
+    std::string e;
+    auto v = parseJson(os.str(), e);
+    ASSERT_TRUE(v) << e;
+    EXPECT_EQ(v->find("s")->asString(), "hi\n");
+    EXPECT_EQ(v->find("n")->asDouble(), 42.0);
+    EXPECT_EQ(v->find("d")->asDouble(), 1.5);
+    EXPECT_TRUE(v->find("b")->asBool());
+    EXPECT_TRUE(v->find("null")->isNull());
+    ASSERT_EQ(v->find("arr")->items().size(), 2u);
+    EXPECT_TRUE(v->find("obj")->isObject());
+}
+
+TEST(JsonWriter, NonFiniteValueEmitsNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("x", std::nan(""));
+    w.endObject();
+    EXPECT_NE(os.str().find("null"), std::string::npos);
+    std::string e;
+    auto v = parseJson(os.str(), e);
+    ASSERT_TRUE(v) << e;
+    EXPECT_TRUE(v->find("x")->isNull());
+}
+
+/** Re-serialize a parsed value through JsonWriter, recursively. */
+void
+dumpValue(JsonWriter &w, const JsonValue &v)
+{
+    switch (v.type()) {
+      case JsonValue::Type::Null: w.null(); break;
+      case JsonValue::Type::Bool: w.value(v.asBool()); break;
+      case JsonValue::Type::Number: w.value(v.asDouble()); break;
+      case JsonValue::Type::String:
+        w.value(std::string_view(v.asString()));
+        break;
+      case JsonValue::Type::Array:
+        w.beginArray();
+        for (const auto &item : v.items())
+            dumpValue(w, item);
+        w.endArray();
+        break;
+      case JsonValue::Type::Object:
+        w.beginObject();
+        for (const auto &[k, m] : v.members()) {
+            w.key(k);
+            dumpValue(w, m);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+std::string
+dump(const JsonValue &v)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    dumpValue(w, v);
+    return os.str();
+}
+
+TEST(JsonParser, RoundTripIsByteStable)
+{
+    const char *text =
+        "{\"a\": [1, 2.5, -3e2, \"x\\ny\", true, false, null],"
+        " \"b\": {\"nested\": \"\\u0041\\\"\"}}";
+    std::string e;
+    auto v1 = parseJson(text, e);
+    ASSERT_TRUE(v1) << e;
+    std::string once = dump(*v1);
+    auto v2 = parseJson(once, e);
+    ASSERT_TRUE(v2) << e;
+    EXPECT_EQ(dump(*v2), once)
+        << "normalized form must be a fixed point";
+}
+
+TEST(JsonParser, ReportsErrors)
+{
+    std::string e;
+    EXPECT_FALSE(parseJson("", e));
+    EXPECT_FALSE(parseJson("{", e));
+    EXPECT_FALSE(parseJson("[1, 2", e));
+    EXPECT_FALSE(parseJson("{\"a\": }", e));
+    EXPECT_FALSE(parseJson("{\"a\": 1} trailing", e));
+    EXPECT_FALSE(e.empty()) << "errors must carry a message";
+    EXPECT_FALSE(parseJson("tru", e));
+    EXPECT_FALSE(parseJson("\"unterminated", e));
+    EXPECT_FALSE(parseJson("nan", e));
+}
+
+TEST(JsonParser, LastDuplicateKeyWins)
+{
+    std::string e;
+    auto v = parseJson("{\"k\": 1, \"k\": 2}", e);
+    ASSERT_TRUE(v) << e;
+    EXPECT_EQ(v->find("k")->asDouble(), 2.0);
+}
+
+TEST(MetricNames, PartSanitizes)
+{
+    EXPECT_EQ(metricPart("grep"), "grep");
+    EXPECT_EQ(metricPart("Simple"), "simple");
+    EXPECT_EQ(metricPart("620+"), "620plus");
+    EXPECT_EQ(metricPart("a-b c"), "a_b_c");
+    EXPECT_EQ(metricPart("alpha_d1"), "alpha_d1");
+}
+
+TEST(MetricNames, KeyJoinsWithDots)
+{
+    EXPECT_EQ(metricKey({"fig1", "grep", "alpha_d1"}),
+              "fig1.grep.alpha_d1");
+    EXPECT_EQ(metricKey({"fig9", "Mean", "620+_simple"}),
+              "fig9.mean.620plus_simple");
+}
+
+TEST(MetricRegistry, GetOrCreateReturnsStableReferences)
+{
+    MetricRegistry r;
+    Counter &c = r.counter("a.hits");
+    c.add(3);
+    EXPECT_EQ(&r.counter("a.hits"), &c);
+    EXPECT_EQ(r.counter("a.hits").value(), 3u);
+
+    Gauge &g = r.gauge("fig.x.y");
+    g.set(1.5);
+    EXPECT_EQ(&r.gauge("fig.x.y"), &g);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+    g.set(2.5); // last value wins
+    EXPECT_DOUBLE_EQ(r.gauge("fig.x.y").value(), 2.5);
+    EXPECT_EQ(g.invalidSets(), 0u);
+
+    Distribution &d = r.distribution("lat", 16);
+    d.record(4, 2);
+    EXPECT_EQ(&r.distribution("lat", 16), &d);
+    EXPECT_EQ(d.snapshot().total(), 2u);
+
+    EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(MetricRegistry, GaugeCountsInvalidSets)
+{
+    MetricRegistry r;
+    Gauge &g = r.gauge("bad");
+    g.set(std::nan(""));
+    g.set(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(g.invalidSets(), 2u);
+}
+
+/** Dump a registry as bare JSON (the "metrics" object). */
+std::string
+dumpRegistry(const MetricRegistry &r)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    r.writeJson(w);
+    return os.str();
+}
+
+TEST(MetricRegistry, WriteJsonShape)
+{
+    MetricRegistry r;
+    r.counter("z.count", /*isVolatile=*/true).add(7);
+    r.gauge("a.value").set(12.5);
+    Distribution &d = r.distribution("m.lat", 4);
+    d.record(1, 3);
+    d.record(9); // overflow
+
+    std::string e;
+    auto v = parseJson(dumpRegistry(r), e);
+    ASSERT_TRUE(v) << e;
+
+    const JsonValue *c = v->find("z.count");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->find("type")->asString(), "counter");
+    EXPECT_EQ(c->find("value")->asDouble(), 7.0);
+    EXPECT_TRUE(c->find("volatile")->asBool());
+
+    const JsonValue *g = v->find("a.value");
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->find("type")->asString(), "gauge");
+    EXPECT_DOUBLE_EQ(g->find("value")->asDouble(), 12.5);
+    EXPECT_EQ(g->find("volatile"), nullptr)
+        << "experiment gauges default to non-volatile";
+
+    const JsonValue *m = v->find("m.lat");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->find("type")->asString(), "distribution");
+    EXPECT_EQ(m->find("count")->asDouble(), 4.0);
+    EXPECT_EQ(m->find("overflow")->asDouble(), 1.0);
+    ASSERT_TRUE(m->find("buckets")->isArray());
+    EXPECT_EQ(m->find("buckets")->items().size(), 4u);
+
+    // std::map iteration: members appear in name order.
+    ASSERT_EQ(v->members().size(), 3u);
+    EXPECT_EQ(v->members()[0].first, "a.value");
+    EXPECT_EQ(v->members()[1].first, "m.lat");
+    EXPECT_EQ(v->members()[2].first, "z.count");
+}
+
+TEST(MetricRegistry, InvalidGaugeExportsNullPlusSibling)
+{
+    MetricRegistry r;
+    r.gauge("fig.bad").set(std::nan(""));
+    r.gauge("fig.good").set(1.0);
+
+    std::string e;
+    auto v = parseJson(dumpRegistry(r), e);
+    ASSERT_TRUE(v) << e;
+
+    const JsonValue *bad = v->find("fig.bad");
+    ASSERT_NE(bad, nullptr);
+    EXPECT_TRUE(bad->find("value")->isNull());
+    const JsonValue *sib = v->find("fig.bad_invalid");
+    ASSERT_NE(sib, nullptr) << "NaN must surface a sibling counter";
+    EXPECT_EQ(sib->find("type")->asString(), "counter");
+    EXPECT_EQ(sib->find("value")->asDouble(), 1.0);
+    EXPECT_EQ(v->find("fig.good_invalid"), nullptr)
+        << "finite gauges get no sibling";
+}
+
+TEST(Timeline, DisabledRecordingIsANoOp)
+{
+    Timeline tl;
+    EXPECT_FALSE(tl.enabled());
+    tl.recordSpan("x", "sim", 0, 10);
+    {
+        Timeline::Scope s("scoped", "sim", tl);
+    }
+    EXPECT_EQ(tl.spanCount(), 0u);
+}
+
+TEST(Timeline, RecordsAndExportsSpans)
+{
+    Timeline tl;
+    tl.setEnabled(true);
+    tl.recordSpan("phase-a", "trace", 5, 20);
+    {
+        Timeline::Scope s("phase-b", "experiment", tl);
+    }
+    EXPECT_EQ(tl.spanCount(), 2u);
+
+    std::ostringstream os;
+    tl.writeJson(os);
+    std::string e;
+    auto v = parseJson(os.str(), e);
+    ASSERT_TRUE(v) << e;
+    EXPECT_EQ(v->find("displayTimeUnit")->asString(), "ms");
+    const JsonValue *events = v->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->items().size(), 2u);
+    const JsonValue &first = events->items()[0];
+    EXPECT_EQ(first.find("name")->asString(), "phase-a");
+    EXPECT_EQ(first.find("cat")->asString(), "trace");
+    EXPECT_EQ(first.find("ph")->asString(), "X");
+    EXPECT_EQ(first.find("ts")->asDouble(), 5.0);
+    EXPECT_EQ(first.find("dur")->asDouble(), 20.0);
+    EXPECT_EQ(first.find("pid")->asDouble(), 1.0);
+    EXPECT_EQ(events->items()[1].find("cat")->asString(),
+              "experiment");
+
+    tl.clear();
+    EXPECT_EQ(tl.spanCount(), 0u);
+}
+
+/** Build a minimal metrics dump document for checker tests. */
+std::string
+metricsDoc(const char *schema, double scale, const char *metricsBody)
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"" << schema << "\", \"context\": {\"scale\": "
+       << scale << "}, \"metrics\": {" << metricsBody << "}}";
+    return os.str();
+}
+
+JsonValue
+parsed(const std::string &text)
+{
+    std::string e;
+    auto v = parseJson(text, e);
+    EXPECT_TRUE(v) << e << " in: " << text;
+    return v ? *v : JsonValue();
+}
+
+TEST(Checker, IdenticalDumpsPass)
+{
+    auto doc = parsed(metricsDoc(
+        kMetricsSchema, 4,
+        "\"fig1.grep.alpha_d1\": {\"type\": \"gauge\", \"value\": 49.1}"));
+    auto report = checkMetrics(doc, doc, 1e-6);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.compared, 1u);
+    EXPECT_EQ(report.skippedVolatile, 0u);
+}
+
+TEST(Checker, ValueDriftIsNamed)
+{
+    auto base = parsed(metricsDoc(
+        kMetricsSchema, 4,
+        "\"fig1.grep.alpha_d1\": {\"type\": \"gauge\", \"value\": 49.1}"));
+    auto cur = parsed(metricsDoc(
+        kMetricsSchema, 4,
+        "\"fig1.grep.alpha_d1\": {\"type\": \"gauge\", \"value\": 48.0}"));
+    auto report = checkMetrics(base, cur, 1e-6);
+    EXPECT_FALSE(report.ok());
+    ASSERT_EQ(report.drifts.size(), 1u);
+    EXPECT_EQ(report.drifts[0].name, "fig1.grep.alpha_d1");
+    EXPECT_NE(report.drifts[0].reason.find("49.1"),
+              std::string::npos);
+    EXPECT_NE(report.drifts[0].reason.find("48"), std::string::npos);
+
+    // A generous tolerance absorbs the same delta.
+    EXPECT_TRUE(checkMetrics(base, cur, 0.05).ok());
+}
+
+TEST(Checker, ContextMismatchShortCircuits)
+{
+    auto base = parsed(metricsDoc(
+        kMetricsSchema, 4,
+        "\"a\": {\"type\": \"gauge\", \"value\": 1}"));
+    auto cur = parsed(metricsDoc(
+        kMetricsSchema, 2,
+        "\"a\": {\"type\": \"gauge\", \"value\": 999}"));
+    auto report = checkMetrics(base, cur, 1e-6);
+    ASSERT_EQ(report.drifts.size(), 1u)
+        << "metric drifts must not pile on top of a context mismatch";
+    EXPECT_EQ(report.drifts[0].name, "context.scale");
+    EXPECT_EQ(report.compared, 0u);
+}
+
+TEST(Checker, VolatileMetricsAreSkipped)
+{
+    auto base = parsed(metricsDoc(
+        kMetricsSchema, 4,
+        "\"runcache.hits\": {\"type\": \"counter\", \"value\": 10, "
+        "\"volatile\": true}"));
+    auto cur = parsed(metricsDoc(
+        kMetricsSchema, 4,
+        "\"runcache.hits\": {\"type\": \"counter\", \"value\": 99, "
+        "\"volatile\": true}"));
+    auto report = checkMetrics(base, cur, 1e-6);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.skippedVolatile, 1u);
+    EXPECT_EQ(report.compared, 0u);
+}
+
+TEST(Checker, SchemaMismatchIsFatal)
+{
+    auto good = parsed(metricsDoc(kMetricsSchema, 4, ""));
+    auto bad = parsed(metricsDoc("something-else", 4, ""));
+    EXPECT_FALSE(checkMetrics(bad, good, 1e-6).error.empty());
+    EXPECT_FALSE(checkMetrics(good, bad, 1e-6).error.empty());
+    EXPECT_TRUE(checkMetrics(good, good, 1e-6).ok());
+}
+
+TEST(Checker, MissingMetricAndTypeChangeAreDrifts)
+{
+    auto base = parsed(metricsDoc(
+        kMetricsSchema, 4,
+        "\"a\": {\"type\": \"gauge\", \"value\": 1}, "
+        "\"b\": {\"type\": \"gauge\", \"value\": 2}"));
+    auto cur = parsed(metricsDoc(
+        kMetricsSchema, 4,
+        "\"b\": {\"type\": \"counter\", \"value\": 2}, "
+        "\"only.current\": {\"type\": \"gauge\", \"value\": 3}"));
+    auto report = checkMetrics(base, cur, 1e-6);
+    ASSERT_EQ(report.drifts.size(), 2u);
+    EXPECT_EQ(report.drifts[0].name, "a");
+    EXPECT_NE(report.drifts[0].reason.find("missing"),
+              std::string::npos);
+    EXPECT_EQ(report.drifts[1].name, "b");
+    EXPECT_NE(report.drifts[1].reason.find("type changed"),
+              std::string::npos);
+}
+
+TEST(Checker, NullOnlyMatchesNull)
+{
+    auto base = parsed(metricsDoc(
+        kMetricsSchema, 4,
+        "\"g\": {\"type\": \"gauge\", \"value\": null}"));
+    auto same = checkMetrics(base, base, 1e-6);
+    EXPECT_TRUE(same.ok());
+    auto cur = parsed(metricsDoc(
+        kMetricsSchema, 4,
+        "\"g\": {\"type\": \"gauge\", \"value\": 1.0}"));
+    auto report = checkMetrics(base, cur, 1e-6);
+    ASSERT_EQ(report.drifts.size(), 1u);
+    EXPECT_NE(report.drifts[0].reason.find("null"),
+              std::string::npos);
+}
+
+TEST(Checker, DistributionFieldsAndBucketsAreDiffed)
+{
+    const char *distBase =
+        "\"d\": {\"type\": \"distribution\", \"count\": 4, \"mean\": "
+        "2.5, \"p50\": 2, \"p90\": 4, \"p99\": 4, \"buckets\": [1, 2, "
+        "1, 0], \"overflow\": 0}";
+    auto base = parsed(metricsDoc(kMetricsSchema, 4, distBase));
+    EXPECT_TRUE(checkMetrics(base, base, 1e-6).ok());
+
+    const char *distCur =
+        "\"d\": {\"type\": \"distribution\", \"count\": 4, \"mean\": "
+        "2.5, \"p50\": 2, \"p90\": 4, \"p99\": 4, \"buckets\": [1, 2, "
+        "0, 1], \"overflow\": 0}";
+    auto cur = parsed(metricsDoc(kMetricsSchema, 4, distCur));
+    auto report = checkMetrics(base, cur, 1e-6);
+    ASSERT_EQ(report.drifts.size(), 2u);
+    EXPECT_EQ(report.drifts[0].name, "d.buckets[2]");
+    EXPECT_EQ(report.drifts[1].name, "d.buckets[3]");
+}
+
+TEST(Checker, PrintReportNamesDriftsAndSummary)
+{
+    auto base = parsed(metricsDoc(
+        kMetricsSchema, 4,
+        "\"a\": {\"type\": \"gauge\", \"value\": 1}"));
+    auto cur = parsed(metricsDoc(
+        kMetricsSchema, 4,
+        "\"a\": {\"type\": \"gauge\", \"value\": 2}"));
+    auto report = checkMetrics(base, cur, 1e-6);
+    std::ostringstream os;
+    printCheckReport(os, report, "golden.json", 1e-6);
+    std::string out = os.str();
+    EXPECT_NE(out.find("DRIFT"), std::string::npos);
+    EXPECT_NE(out.find("a: baseline 1, current 2"),
+              std::string::npos);
+    EXPECT_NE(out.find("golden.json"), std::string::npos);
+    EXPECT_NE(out.find("1 drift(s)"), std::string::npos);
+}
+
+} // namespace
+} // namespace lvplib::obs

@@ -18,6 +18,7 @@
 #include <thread>
 #include <unistd.h>
 
+#include "obs/metrics.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
 #include "sim/pipeline_driver.hh"
@@ -96,6 +97,51 @@ TEST(TaskPoolTest, SingleWorkerPoolStillCompletes)
 TEST(TaskPoolTest, DefaultJobsPositive)
 {
     EXPECT_GE(TaskPool::defaultJobs(), 1u);
+}
+
+TEST(TaskPoolTest, PublishesSubmissionTelemetry)
+{
+    auto &reg = obs::metrics();
+    auto submittedBefore = reg.counter("taskpool.submitted").value();
+    auto executedBefore = reg.counter("taskpool.executed").value();
+    {
+        TaskPool pool(2);
+        std::vector<int> items(16, 0);
+        pool.map(items, [](const int &v) { return v; });
+    }
+    EXPECT_GE(reg.counter("taskpool.submitted").value(),
+              submittedBefore + 16);
+    EXPECT_GE(reg.counter("taskpool.executed").value(),
+              executedBefore + 16);
+    EXPECT_GE(reg.gauge("taskpool.queue_peak", true).value(), 1.0);
+}
+
+TEST(MetricRegistryRace, ConcurrentRegistrationAndUpdatesAreSafe)
+{
+    // Hammer one shared registry from pool workers: mixed
+    // registration (get-or-create under the registry mutex) and
+    // lock-free updates of a shared counter, distinct per-item
+    // gauges, and a mutex-guarded distribution. Exercised under TSan
+    // by the sanitizer CI job; the assertions also pin down the
+    // counting semantics.
+    obs::MetricRegistry reg;
+    TaskPool pool(8);
+    std::vector<int> items;
+    for (int i = 0; i < 256; ++i)
+        items.push_back(i);
+    pool.map(items, [&reg](const int &i) {
+        reg.counter("race.shared").add();
+        reg.gauge("race.gauge_" + std::to_string(i % 16))
+            .set(static_cast<double>(i));
+        reg.distribution("race.dist", 32)
+            .record(static_cast<std::uint64_t>(i % 32));
+        return 0;
+    });
+    EXPECT_EQ(reg.counter("race.shared").value(), 256u);
+    EXPECT_EQ(reg.distribution("race.dist", 32).snapshot().total(),
+              256u);
+    // 1 counter + 16 gauges + 1 distribution.
+    EXPECT_EQ(reg.size(), 18u);
 }
 
 TEST(EnvTest, EnvUnsignedParsesStrictly)

@@ -197,6 +197,93 @@ TEST(Histogram, MergeAddsCounts)
     EXPECT_EQ(a.total(), 3u);
 }
 
+TEST(Histogram, QuantileMatchesHandComputation)
+{
+    Histogram h(10);
+    // 1,1,1,1, 3,3,3, 5,5, 9 — ten samples.
+    h.record(1, 4);
+    h.record(3, 3);
+    h.record(5, 2);
+    h.record(9, 1);
+    EXPECT_EQ(h.quantile(0.0), 1u) << "q=0 is the smallest sample";
+    EXPECT_EQ(h.quantile(0.4), 1u);
+    EXPECT_EQ(h.quantile(0.5), 3u);
+    EXPECT_EQ(h.quantile(0.7), 3u);
+    EXPECT_EQ(h.quantile(0.9), 5u);
+    EXPECT_EQ(h.quantile(1.0), 9u);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeQ)
+{
+    Histogram h(4);
+    h.record(2, 5);
+    EXPECT_EQ(h.quantile(-1.0), 2u);
+    EXPECT_EQ(h.quantile(2.0), 2u);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero)
+{
+    Histogram h(8);
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(Histogram, QuantileAllOverflowReportsBucketCount)
+{
+    Histogram h(4);
+    h.record(100, 3); // everything lands in overflow
+    EXPECT_EQ(h.overflow(), 3u);
+    EXPECT_EQ(h.quantile(0.5), h.buckets())
+        << "overflow samples have no exact value";
+    EXPECT_EQ(h.quantile(1.0), h.buckets());
+}
+
+TEST(Histogram, QuantileSingleBucket)
+{
+    Histogram h(1);
+    h.record(0, 7);
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.quantile(1.0), 0u);
+    h.record(5); // overflow on a one-bucket histogram
+    EXPECT_EQ(h.quantile(1.0), 1u);
+}
+
+TEST(Histogram, IteratorVisitsDirectBucketsOnly)
+{
+    Histogram h(4);
+    h.record(0);
+    h.record(2, 2);
+    h.record(9); // overflow, not visited
+    std::vector<Histogram::BucketEntry> seen;
+    for (auto e : h)
+        seen.push_back(e);
+    ASSERT_EQ(seen.size(), 4u);
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i].value, i);
+        EXPECT_EQ(seen[i].count, h.bucket(i));
+    }
+    EXPECT_EQ(seen[0].count, 1u);
+    EXPECT_EQ(seen[2].count, 2u);
+
+    std::uint64_t direct = 0;
+    for (auto e : h)
+        direct += e.count;
+    EXPECT_EQ(direct + h.overflow(), h.total());
+}
+
+TEST(Histogram, IteratorEqualityAndPostIncrement)
+{
+    Histogram h(2);
+    auto it = h.begin();
+    auto old = it++;
+    EXPECT_EQ(old, h.begin());
+    EXPECT_FALSE(it == h.begin());
+    ++it;
+    EXPECT_EQ(it, h.end());
+}
+
 TEST(Histogram, ClearResets)
 {
     Histogram h(4);

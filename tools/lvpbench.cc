@@ -16,6 +16,13 @@
  *   lvpbench --json           # machine-readable timings on stdout
  *   lvpbench --list           # show experiment ids and exit
  *   lvpbench --no-trace-cache # keep phase 1 in-memory only
+ *   lvpbench --metrics-out run.json
+ *                             # export every reproduced paper number
+ *   lvpbench --timeline-out tl.json
+ *                             # record a chrome://tracing timeline
+ *   lvpbench --check bench/golden/metrics.json [--rel-tol X]
+ *                             # diff this run against the golden
+ *                             # baseline; exit 3 on drift
  *   lvpbench --verify-trace-cache DIR [--prune]
  *                             # scan a trace directory and exit
  *
@@ -26,8 +33,11 @@
  * regenerated automatically and counted as trace_invalid in the
  * run-cache stats. --verify-trace-cache reports each file's status
  * without running any experiment; with --prune, invalid trace files
- * and leftover *.tmp.* files are deleted. Exit status: 0 when every
- * trace verifies, 2 otherwise.
+ * and leftover *.tmp.* files are deleted.
+ *
+ * Exit status: 0 success; 1 usage or file errors; 2 when
+ * --verify-trace-cache finds an invalid trace; 3 when --check finds
+ * metric drift.
  */
 
 #include <algorithm>
@@ -35,13 +45,18 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/check.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
+#include "sim/cli.hh"
 #include "sim/parallel.hh"
 #include "sim/pipeline_driver.hh"
 #include "sim/report.hh"
@@ -76,22 +91,6 @@ struct Timing
 };
 
 std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          default: out += c;
-        }
-    }
-    return out;
-}
-
-std::string
 fmtSeconds(double s)
 {
     char buf[32];
@@ -102,11 +101,7 @@ fmtSeconds(double s)
 int
 usage(int code)
 {
-    std::cerr
-        << "usage: lvpbench [--filter SUBSTR]... [--jobs N] "
-           "[--scale N]\n"
-           "                [--json] [--list] [--no-trace-cache]\n"
-           "       lvpbench --verify-trace-cache DIR [--prune]\n";
+    (code == 0 ? std::cout : std::cerr) << sim::benchUsage();
     return code;
 }
 
@@ -177,82 +172,115 @@ verifyTraceCacheDir(const std::string &dir, bool prune)
     return bad == 0 ? 0 : 2;
 }
 
+/**
+ * The versioned metrics dump --metrics-out writes and --check
+ * consumes: schema tag, the context every reproduced number depends
+ * on, then the whole registry. Returned as a string so --check can
+ * diff the exact bytes that would be written.
+ */
+std::string
+metricsDump(const sim::ExperimentOptions &opts)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.member("schema", obs::kMetricsSchema);
+    w.key("context");
+    w.beginObject();
+    w.member("scale", static_cast<std::uint64_t>(opts.scale));
+    w.member("max_instructions", opts.maxInstructions);
+    w.endObject();
+    w.key("metrics");
+    obs::metrics().writeJson(w);
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << content;
+    f.flush();
+    return f.good();
+}
+
+/**
+ * Diff this run's metrics against the committed baseline.
+ * @return 0 on agreement, 1 on file/parse errors, 3 on drift.
+ */
+int
+checkAgainstBaseline(const std::string &baselinePath, double relTol,
+                     const sim::ExperimentOptions &opts)
+{
+    std::ifstream f(baselinePath, std::ios::binary);
+    if (!f) {
+        std::cerr << "lvpbench: cannot read baseline '" << baselinePath
+                  << "'\n";
+        return 1;
+    }
+    std::ostringstream text;
+    text << f.rdbuf();
+    std::string error;
+    auto baseline = obs::parseJson(text.str(), error);
+    if (!baseline) {
+        std::cerr << "lvpbench: baseline '" << baselinePath
+                  << "' is not valid JSON: " << error << '\n';
+        return 1;
+    }
+    auto current = obs::parseJson(metricsDump(opts), error);
+    if (!current) {
+        std::cerr << "lvpbench: internal error: metrics dump does not "
+                     "parse: "
+                  << error << '\n';
+        return 1;
+    }
+    auto report = obs::checkMetrics(*baseline, *current, relTol);
+    obs::printCheckReport(std::cout, report, baselinePath, relTol);
+    if (!report.error.empty())
+        return 1;
+    return report.ok() ? 0 : 3;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> filters;
-    bool json = false, list = false, traceCache = true;
-    bool prune = false;
-    std::string verifyDir;
-    std::optional<unsigned> jobs, scale;
-
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto value = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::cerr << "lvpbench: " << arg
-                          << " needs a value\n";
-                std::exit(usage(1));
-            }
-            return argv[++i];
-        };
-        if (arg == "--filter") {
-            filters.push_back(value());
-        } else if (arg == "--jobs") {
-            char *end = nullptr;
-            unsigned long v = std::strtoul(value(), &end, 10);
-            if (!end || *end || v < 1 || v > 1024) {
-                std::cerr << "lvpbench: bad --jobs value\n";
-                return usage(1);
-            }
-            jobs = static_cast<unsigned>(v);
-        } else if (arg == "--scale") {
-            char *end = nullptr;
-            unsigned long v = std::strtoul(value(), &end, 10);
-            if (!end || *end || v < 1) {
-                std::cerr << "lvpbench: bad --scale value\n";
-                return usage(1);
-            }
-            scale = static_cast<unsigned>(v);
-        } else if (arg == "--json") {
-            json = true;
-        } else if (arg == "--list") {
-            list = true;
-        } else if (arg == "--no-trace-cache") {
-            traceCache = false;
-        } else if (arg == "--verify-trace-cache") {
-            verifyDir = value();
-        } else if (arg == "--prune") {
-            prune = true;
-        } else if (arg == "--help" || arg == "-h") {
-            return usage(0);
-        } else {
-            std::cerr << "lvpbench: unknown option '" << arg << "'\n";
-            return usage(1);
-        }
+    std::string error;
+    auto parsed = sim::parseBenchCli(
+        std::vector<std::string>(argv + 1, argv + argc), error);
+    if (!parsed) {
+        std::cerr << "lvpbench: " << error << '\n';
+        return usage(1);
     }
+    const sim::BenchOptions &bench = *parsed;
 
-    if (!verifyDir.empty())
-        return verifyTraceCacheDir(verifyDir, prune);
+    if (bench.help)
+        return usage(0);
 
-    if (list) {
+    if (!bench.verifyDir.empty())
+        return verifyTraceCacheDir(bench.verifyDir, bench.prune);
+
+    if (bench.list) {
         for (const auto &spec : sim::experimentSuite())
             std::cout << spec.id << '\t' << spec.binary << '\t'
                       << spec.summary << '\n';
         return 0;
     }
 
-    if (jobs)
-        sim::setExperimentJobs(*jobs);
+    if (bench.jobs)
+        sim::setExperimentJobs(*bench.jobs);
     auto opts = sim::ExperimentOptions::fromEnv();
-    if (scale)
-        opts.scale = *scale;
+    if (bench.scale)
+        opts.scale = *bench.scale;
+    if (!bench.timelineOut.empty())
+        obs::Timeline::process().setEnabled(true);
 
     auto &cache = sim::RunCache::instance();
     std::filesystem::path tempTraceDir;
-    if (!traceCache) {
+    if (!bench.traceCache) {
         cache.setTraceDir("");
     } else if (cache.traceDir().empty()) {
         // No LVPLIB_TRACE_CACHE: use a private temp dir for this run.
@@ -271,9 +299,9 @@ main(int argc, char **argv)
     std::uint64_t totalInstr = 0;
 
     for (const auto &spec : sim::experimentSuite()) {
-        if (!filters.empty()) {
+        if (!bench.filters.empty()) {
             bool match = false;
-            for (const auto &f : filters)
+            for (const auto &f : bench.filters)
                 if (spec.id.find(f) != std::string::npos ||
                     spec.binary.find(f) != std::string::npos)
                     match = true;
@@ -284,13 +312,17 @@ main(int argc, char **argv)
         tm.id = spec.id;
         std::uint64_t instr0 = sim::instructionsProcessed();
         auto t0 = Clock::now();
-        auto sections = spec.run(opts);
+        std::vector<sim::ExperimentSection> sections;
+        {
+            obs::Timeline::Scope span(spec.id, "experiment");
+            sections = spec.run(opts);
+        }
         tm.wallSeconds =
             std::chrono::duration<double>(Clock::now() - t0).count();
         tm.instructions = sim::instructionsProcessed() - instr0;
         tm.sections = sections.size();
         tm.title = sections.empty() ? spec.summary : sections[0].title;
-        if (!json)
+        if (!bench.json)
             for (const auto &sec : sections)
                 sim::printExperiment(std::cout, sec.title,
                                      sec.expectation, sec.table, opts);
@@ -315,33 +347,44 @@ main(int argc, char **argv)
             ? static_cast<double>(totalInstr) / totalWall / 1e6
             : 0.0;
 
-    if (json) {
+    if (bench.json) {
         std::ostringstream os;
-        os << "{\n  \"schema\": \"lvpbench-v1\",\n"
-           << "  \"scale\": " << opts.scale << ",\n"
-           << "  \"jobs\": " << sim::experimentPool().jobs() << ",\n"
-           << "  \"experiments\": [\n";
-        for (std::size_t i = 0; i < timings.size(); ++i) {
-            const auto &tm = timings[i];
-            os << "    {\"id\": \"" << jsonEscape(tm.id)
-               << "\", \"title\": \"" << jsonEscape(tm.title)
-               << "\", \"sections\": " << tm.sections
-               << ", \"wall_seconds\": " << fmtSeconds(tm.wallSeconds)
-               << ", \"instructions\": " << tm.instructions
-               << ", \"mips\": " << fmtSeconds(tm.mips()) << "}"
-               << (i + 1 < timings.size() ? "," : "") << "\n";
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.member("schema", "lvpbench-v1");
+        w.member("scale", static_cast<std::uint64_t>(opts.scale));
+        w.member("jobs", static_cast<std::uint64_t>(
+                             sim::experimentPool().jobs()));
+        w.key("experiments");
+        w.beginArray();
+        for (const auto &tm : timings) {
+            w.beginObject();
+            w.member("id", tm.id);
+            w.member("title", tm.title);
+            w.member("sections",
+                     static_cast<std::uint64_t>(tm.sections));
+            w.member("wall_seconds", tm.wallSeconds);
+            w.member("instructions", tm.instructions);
+            w.member("mips", tm.mips());
+            w.endObject();
         }
-        os << "  ],\n"
-           << "  \"total\": {\"wall_seconds\": "
-           << fmtSeconds(totalWall)
-           << ", \"instructions\": " << totalInstr
-           << ", \"mips\": " << fmtSeconds(totalMips) << "},\n"
-           << "  \"run_cache\": {\"hits\": " << cs.hits
-           << ", \"misses\": " << cs.misses
-           << ", \"trace_writes\": " << cs.traceWrites
-           << ", \"trace_replays\": " << cs.traceReplays
-           << ", \"trace_invalid\": " << cs.traceInvalid << "}\n"
-           << "}\n";
+        w.endArray();
+        w.key("total");
+        w.beginObject();
+        w.member("wall_seconds", totalWall);
+        w.member("instructions", totalInstr);
+        w.member("mips", totalMips);
+        w.endObject();
+        w.key("run_cache");
+        w.beginObject();
+        w.member("hits", cs.hits);
+        w.member("misses", cs.misses);
+        w.member("trace_writes", cs.traceWrites);
+        w.member("trace_replays", cs.traceReplays);
+        w.member("trace_invalid", cs.traceInvalid);
+        w.endObject();
+        w.endObject();
+        os << '\n';
         std::cout << os.str();
     } else {
         TextTable t;
@@ -363,5 +406,32 @@ main(int argc, char **argv)
                   << " replays, " << cs.traceInvalid
                   << " invalid traces regenerated\n";
     }
+
+    if (!bench.metricsOut.empty()) {
+        if (!writeFile(bench.metricsOut, metricsDump(opts))) {
+            std::cerr << "lvpbench: cannot write metrics to '"
+                      << bench.metricsOut << "'\n";
+            return 1;
+        }
+        std::cerr << "lvpbench: wrote " << obs::metrics().size()
+                  << " metrics to " << bench.metricsOut << '\n';
+    }
+
+    if (!bench.timelineOut.empty()) {
+        std::ostringstream os;
+        obs::Timeline::process().writeJson(os);
+        if (!writeFile(bench.timelineOut, os.str())) {
+            std::cerr << "lvpbench: cannot write timeline to '"
+                      << bench.timelineOut << "'\n";
+            return 1;
+        }
+        std::cerr << "lvpbench: wrote "
+                  << obs::Timeline::process().spanCount()
+                  << " spans to " << bench.timelineOut << '\n';
+    }
+
+    if (!bench.checkBaseline.empty())
+        return checkAgainstBaseline(bench.checkBaseline, bench.relTol,
+                                    opts);
     return 0;
 }

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The lvpchaos campaign (`lvpbench --chaos SEED[,N]`): run real
+ * workloads under seeded fault injection and check the two system
+ * invariants end to end:
+ *
+ *  1. Speculation safety (the paper's Section 4 contract): corrupting
+ *     predictor state — LVPT values, LCT counters, CVU entries — may
+ *     cost predictions but must never change architectural results.
+ *     Each faulted run's final "__result" word, memory-image hash,
+ *     retired-instruction count, and CVU stale-hit count (must stay
+ *     0) are compared against a fault-free reference.
+ *
+ *  2. Engine recovery: every injected engine fault (trace write/read
+ *     corruption, cache rename failure, worker-task death, watchdog
+ *     expiry) is either absorbed by a recovery path — fallback to
+ *     in-memory replay, degrade to cache-less operation, retry — or
+ *     surfaces as a clean typed SimError. Never a crash, never a
+ *     silently wrong table.
+ *
+ * The report is deterministic per seed (no timestamps, no wall-clock
+ * numbers), so CI can diff two runs of the same seed byte for byte.
+ */
+
+#ifndef LVPLIB_CHAOS_CAMPAIGN_HH
+#define LVPLIB_CHAOS_CAMPAIGN_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace lvplib::chaos
+{
+
+/** Knobs for one campaign run. */
+struct CampaignOptions
+{
+    std::uint64_t seed = 1;
+    /** Keep tightening the fault period until at least this many
+     *  predictor-state faults have been injected. */
+    std::uint64_t minPredictorFaults = 1000;
+    unsigned scale = 2;            ///< workload scale
+    std::uint64_t maxInstructions = 200'000'000;
+    unsigned numWorkloads = 3;     ///< first N of allWorkloads()
+};
+
+/**
+ * Run the campaign, writing the per-seed report to @p out.
+ * @return 0 when every invariant held, 4 on any violation.
+ */
+int runChaosCampaign(const CampaignOptions &opts, std::ostream &out);
+
+} // namespace lvplib::chaos
+
+#endif // LVPLIB_CHAOS_CAMPAIGN_HH

@@ -126,6 +126,25 @@ Cvu::storeInvalidate(Addr store_addr, unsigned store_size)
     return n;
 }
 
+bool
+Cvu::corruptEvict(std::uint64_t which)
+{
+    std::size_t total = size();
+    if (total == 0)
+        return false;
+    std::size_t target = static_cast<std::size_t>(which % total);
+    for (auto &set : sets_) {
+        if (target < set.size()) {
+            auto it = set.begin();
+            std::advance(it, static_cast<std::ptrdiff_t>(target));
+            set.erase(it);
+            return true;
+        }
+        target -= set.size();
+    }
+    return false; // unreachable
+}
+
 unsigned
 Cvu::displaceInvalidate(std::uint32_t lvpt_index)
 {

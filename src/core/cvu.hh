@@ -75,6 +75,17 @@ class Cvu
      */
     unsigned displaceInvalidate(std::uint32_t lvpt_index);
 
+    /**
+     * Fault injection (lvpchaos): evict entry number (@p which mod
+     * size()), modelling a parity-detected corrupt CAM entry. A real
+     * CVU must treat an entry that fails parity as absent — anything
+     * else could vouch for a stale value — so the fault only costs a
+     * verified constant, never correctness.
+     *
+     * @return false when the unit is empty (nothing to evict).
+     */
+    bool corruptEvict(std::uint64_t which);
+
     std::uint32_t capacity() const { return capacity_; }
     std::uint32_t ways() const { return ways_; }
     std::size_t size() const;

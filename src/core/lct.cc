@@ -58,6 +58,13 @@ Lct::update(Addr pc, bool prediction_correct)
         c.decrement();
 }
 
+void
+Lct::corruptCounter(std::uint32_t idx)
+{
+    SatCounter &c = table_[idx & mask_];
+    c.set(static_cast<std::uint8_t>(c.value() ^ 1));
+}
+
 std::uint8_t
 Lct::counter(Addr pc) const
 {

@@ -63,6 +63,14 @@ class Lct
     std::uint32_t entries() const { return mask_ + 1; }
     unsigned bits() const { return bits_; }
 
+    /**
+     * Fault injection (lvpchaos): flip the low bit of counter @p idx,
+     * modelling a bit flip in the classification state. Worst case the
+     * flip promotes a load to Constant; the CVU still only vouches for
+     * values it verified, so architectural results are unaffected.
+     */
+    void corruptCounter(std::uint32_t idx);
+
     void reset();
 
   private:

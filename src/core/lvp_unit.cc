@@ -1,5 +1,6 @@
 #include "core/lvp_unit.hh"
 
+#include "chaos/chaos.hh"
 #include "isa/program.hh"
 #include "util/stats.hh"
 
@@ -43,6 +44,7 @@ LvpUnit::LvpUnit(const LvpConfig &config)
       cvu_(config.cvuEntries, config.cvuWays)
 {
     config_.validate();
+    chaosKey_ = chaos::streamKey(config_.name);
 }
 
 trace::PredState
@@ -60,6 +62,9 @@ LvpUnit::onLoad(Addr pc, Addr addr, Word value, unsigned size)
         ++stats_.predIdentified;
         return PredState::Correct;
     }
+
+    if (chaos::engine().enabled())
+        injectChaos();
 
     // The LVPT (and with it the CVU's index half) is looked up with
     // the pc, optionally hashed with global branch history (paper
@@ -131,6 +136,39 @@ LvpUnit::onLoad(Addr pc, Addr addr, Word value, unsigned size)
     }
 
     return state;
+}
+
+void
+LvpUnit::injectChaos()
+{
+    // One decision per armed point per dynamic load, all keyed on the
+    // unit's own load counter so the fault schedule is independent of
+    // thread scheduling. Every corruption models what real hardware
+    // does on that fault: an LVPT value flip changes the entry's MRU
+    // value, so constants verified against the old value must be
+    // displace-invalidated; an LCT flip only perturbs classification;
+    // a CVU parity fault evicts the entry (treating it as present
+    // could vouch for a stale value).
+    using chaos::Point;
+    auto &ce = chaos::engine();
+    const std::uint64_t n = chaosLoads_++;
+
+    if (ce.shouldInject(Point::LvptValue, chaosKey_, n)) {
+        std::uint64_t h = ce.faultHash(Point::LvptValue, chaosKey_, n);
+        auto idx = static_cast<std::uint32_t>(h) & (lvpt_.entries() - 1);
+        Word mask = Word(1) << ((h >> 32) & 63);
+        if (lvpt_.corruptMruValue(idx, mask) && cvu_.enabled()) {
+            stats_.cvuDisplaceInvalidations +=
+                cvu_.displaceInvalidate(idx);
+        }
+    }
+    if (ce.shouldInject(Point::LctCounter, chaosKey_, n)) {
+        std::uint64_t h = ce.faultHash(Point::LctCounter, chaosKey_, n);
+        lct_.corruptCounter(static_cast<std::uint32_t>(h));
+    }
+    if (ce.shouldInject(Point::CvuEntry, chaosKey_, n)) {
+        cvu_.corruptEvict(ce.faultHash(Point::CvuEntry, chaosKey_, n));
+    }
 }
 
 Addr

@@ -105,12 +105,17 @@ class LvpUnit
     /** LVPT lookup key: the pc, optionally hashed with the BHR. */
     Addr lookupKey(Addr pc) const;
 
+    /** lvpchaos: maybe corrupt predictor state for this load. */
+    void injectChaos();
+
     LvpConfig config_;
     Lvpt lvpt_;
     Lct lct_;
     Cvu cvu_;
     Word bhr_ = 0; ///< global branch history (bhrBits wide)
     LvpStats stats_;
+    std::uint64_t chaosLoads_ = 0; ///< per-unit fault-stream counter
+    std::uint64_t chaosKey_ = 0;   ///< streamKey(config_.name)
 };
 
 /**

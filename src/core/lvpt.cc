@@ -64,6 +64,16 @@ Lvpt::update(Addr pc, Word value)
     return mru_changed;
 }
 
+bool
+Lvpt::corruptMruValue(std::uint32_t idx, Word xorMask)
+{
+    auto &entry = table_[idx & mask_];
+    if (entry.empty())
+        return false;
+    entry.mru() ^= xorMask;
+    return true;
+}
+
 void
 Lvpt::reset()
 {

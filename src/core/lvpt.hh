@@ -68,6 +68,16 @@ class Lvpt
     std::uint32_t depth() const { return depth_; }
     bool tagged() const { return tagged_; }
 
+    /**
+     * Fault injection (lvpchaos): XOR @p xorMask into the MRU value of
+     * entry @p idx, modelling a bit flip in the value store. The caller
+     * must displace-invalidate the CVU for @p idx afterwards, exactly
+     * as hardware would on any MRU value change.
+     *
+     * @return false when the entry holds no values (nothing to flip).
+     */
+    bool corruptMruValue(std::uint32_t idx, Word xorMask);
+
     /** Clear all histories. */
     void reset();
 

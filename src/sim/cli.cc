@@ -172,9 +172,20 @@ benchUsage()
   --check F         after the run, diff metrics against baseline F
                     (e.g. bench/golden/metrics.json); exit 3 on drift
   --rel-tol X       relative tolerance for --check (default 1e-6)
+  --retries N       extra attempts per failed experiment (0..8,
+                    default 2; exponential backoff between attempts)
+  --watchdog-ms N   wall-clock budget per pipeline run (0 = off);
+                    a run over budget fails with a watchdog error
   --help            this text
        lvpbench --verify-trace-cache DIR [--prune]
-                    scan a trace directory and exit (2 if any invalid)
+                    scan a trace directory and exit (2 if any invalid);
+                    --prune deletes invalid traces and abandoned temp
+                    files (age-gated: fresh temps are left for their
+                    possibly-live writers)
+       lvpbench --chaos SEED[,N]
+                    run the seeded fault-injection campaign (N =
+                    predictor-fault quota, default 1000) and exit
+                    (0 = every invariant held, 4 = violation)
 )";
 }
 
@@ -262,6 +273,51 @@ parseBenchCli(const std::vector<std::string> &args, std::string &error)
                 return std::nullopt;
             }
             opts.relTol = x;
+        } else if (a == "--retries") {
+            auto n = unsignedValue(0, 8);
+            if (!n)
+                return std::nullopt;
+            opts.retries = *n;
+        } else if (a == "--watchdog-ms") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(v->c_str(), &end, 10);
+            if (v->empty() || !end || *end) {
+                error = "bad --watchdog-ms value '" + *v + "'";
+                return std::nullopt;
+            }
+            opts.watchdogMs = n;
+        } else if (a == "--chaos") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            // SEED or SEED,N — both strict unsigned decimals.
+            std::string seedPart = *v, faultPart;
+            if (auto comma = v->find(','); comma != std::string::npos) {
+                seedPart = v->substr(0, comma);
+                faultPart = v->substr(comma + 1);
+            }
+            char *end = nullptr;
+            unsigned long long seed =
+                std::strtoull(seedPart.c_str(), &end, 10);
+            bool ok = !seedPart.empty() && end && !*end;
+            if (ok && !faultPart.empty()) {
+                unsigned long long n =
+                    std::strtoull(faultPart.c_str(), &end, 10);
+                ok = end && !*end && n > 0;
+                if (ok)
+                    opts.chaosFaults = n;
+            } else if (ok && faultPart.empty() &&
+                       v->find(',') != std::string::npos) {
+                ok = false; // "--chaos 1," is malformed
+            }
+            if (!ok) {
+                error = "bad --chaos value '" + *v + "'";
+                return std::nullopt;
+            }
+            opts.chaosSeed = seed;
         } else {
             error = "unknown option '" + a + "'";
             return std::nullopt;

@@ -9,6 +9,7 @@
 #ifndef LVPLIB_SIM_CLI_HH
 #define LVPLIB_SIM_CLI_HH
 
+#include <cstdint>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -68,6 +69,11 @@ struct BenchOptions
     std::string timelineOut;    ///< --timeline-out FILE.json
     std::string checkBaseline;  ///< --check BASELINE.json
     double relTol = 1e-6;       ///< --rel-tol for --check
+    /** --chaos SEED[,N]: run the fault-injection campaign and exit. */
+    std::optional<std::uint64_t> chaosSeed;
+    std::uint64_t chaosFaults = 1000; ///< the N in --chaos SEED,N
+    unsigned retries = 2;             ///< --retries (0..8) per experiment
+    std::uint64_t watchdogMs = 0;     ///< --watchdog-ms (0 = off) per run
 };
 
 /**

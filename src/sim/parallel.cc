@@ -2,8 +2,10 @@
 
 #include <memory>
 
+#include "chaos/chaos.hh"
 #include "obs/metrics.hh"
 #include "util/env.hh"
+#include "util/logging.hh"
 
 namespace lvplib::sim
 {
@@ -36,6 +38,20 @@ TaskPool::~TaskPool()
 std::future<void>
 TaskPool::submit(std::function<void()> fn)
 {
+    if (chaos::engine().enabled()) {
+        // Model a worker task dying: the injected task replaces the
+        // real one and its exception reaches the submitter through
+        // the returned future (the path map() must survive).
+        std::uint64_t n =
+            chaosSeq_.fetch_add(1, std::memory_order_relaxed);
+        if (chaos::engine().shouldInject(chaos::Point::TaskThrow, 0,
+                                         n)) {
+            fn = [] {
+                throw SimError(ErrorKind::Injected,
+                               "chaos: injected worker-task failure");
+            };
+        }
+    }
     std::packaged_task<void()> task(std::move(fn));
     auto fut = task.get_future();
     {

@@ -13,7 +13,9 @@
 #ifndef LVPLIB_SIM_PARALLEL_HH
 #define LVPLIB_SIM_PARALLEL_HH
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -62,8 +64,10 @@ class TaskPool
     /**
      * Run fn(item) for every item on the pool and return the results
      * in input order (deterministic regardless of worker count or
-     * completion order). Exceptions are collected; after all jobs
-     * settle, the first failing item's exception (in input order) is
+     * completion order). A throwing task never wedges the call: every
+     * job settles first — whether its exception was caught by the
+     * item wrapper or surfaced through the task's future — and then
+     * the first failing item's exception (in input order) is
      * rethrown. Must not be called from inside a pool task.
      */
     template <typename In, typename Fn>
@@ -76,20 +80,42 @@ class TaskPool
         std::vector<std::exception_ptr> errors(items.size());
         std::vector<std::future<void>> done;
         done.reserve(items.size());
-        for (std::size_t i = 0; i < items.size(); ++i) {
-            done.push_back(submit([&slots, &errors, &items, &fn, i] {
+        try {
+            for (std::size_t i = 0; i < items.size(); ++i) {
+                done.push_back(
+                    submit([&slots, &errors, &items, &fn, i] {
+                        try {
+                            slots[i].emplace(fn(items[i]));
+                        } catch (...) {
+                            errors[i] = std::current_exception();
+                        }
+                    }));
+            }
+        } catch (...) {
+            // submit() failed mid-fan-out: settle what was already
+            // queued before unwinding the frame the in-flight jobs
+            // still reference.
+            for (auto &f : done) {
                 try {
-                    slots[i].emplace(fn(items[i]));
+                    f.get();
                 } catch (...) {
-                    errors[i] = std::current_exception();
                 }
-            }));
+            }
+            throw;
         }
-        // Wait for every job before touching slots/errors: an early
+        // Settle every job before touching slots/errors: an early
         // rethrow would unwind stack the in-flight jobs still
-        // reference.
-        for (auto &f : done)
-            f.get();
+        // reference. A future can itself hold an exception (a task
+        // that died outside the item wrapper, e.g. an injected
+        // worker fault); fold it into the same submission-order slot.
+        for (std::size_t i = 0; i < done.size(); ++i) {
+            try {
+                done[i].get();
+            } catch (...) {
+                if (!errors[i])
+                    errors[i] = std::current_exception();
+            }
+        }
         for (auto &e : errors)
             if (e)
                 std::rethrow_exception(e);
@@ -117,6 +143,8 @@ class TaskPool
     obs::Counter &executed_;
     obs::Gauge &queuePeak_;
     std::size_t localQueuePeak_ = 0; ///< guarded by m_
+    /** lvpchaos TaskThrow stream: one decision per submission. */
+    std::atomic<std::uint64_t> chaosSeq_{0};
 };
 
 /**

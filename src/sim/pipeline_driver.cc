@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.hh"
+#include "sim/resilience.hh"
 #include "util/logging.hh"
 #include "vm/interpreter.hh"
 
@@ -19,7 +20,16 @@ void
 runToCompletion(vm::Interpreter &interp, trace::TraceSink *sink,
                 const RunConfig &rc)
 {
-    addInstructionsProcessed(interp.run(sink, rc.maxInstructions));
+    std::uint64_t wallMs =
+        rc.wallLimitMs != 0 ? rc.wallLimitMs : defaultWallLimitMs();
+    if (wallMs != 0 || rc.recordBudget != 0) {
+        WatchdogSink wd(sink, wallMs, rc.recordBudget);
+        addInstructionsProcessed(
+            interp.run(&wd, rc.maxInstructions));
+    } else {
+        addInstructionsProcessed(
+            interp.run(sink, rc.maxInstructions));
+    }
     if (!interp.halted())
         lvp_warn("program did not halt within %llu instructions",
                  static_cast<unsigned long long>(rc.maxInstructions));

@@ -31,6 +31,17 @@ namespace lvplib::sim
 struct RunConfig
 {
     std::uint64_t maxInstructions = 200'000'000; ///< runaway guard
+
+    // Watchdog guards (sim/resilience.hh). Unlike maxInstructions,
+    // hitting one is an error: the run throws SimError(Watchdog)
+    // instead of ending early with partial results. Both are
+    // excluded from RunCache keys — a watchdog-aborted run throws,
+    // and thrown runs are never memoized, so the cache only ever
+    // holds results the limits did not affect. 0 disables; a zero
+    // wallLimitMs falls back to the process default
+    // (setDefaultWallLimitMs).
+    std::uint64_t wallLimitMs = 0;   ///< wall-clock deadline
+    std::uint64_t recordBudget = 0;  ///< max trace records consumed
 };
 
 /** Result of a functional (phase-1 only) run. */

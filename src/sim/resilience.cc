@@ -1,0 +1,78 @@
+#include "sim/resilience.hh"
+
+#include <atomic>
+
+#include "obs/metrics.hh"
+
+namespace lvplib::sim
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> gDefaultWallLimitMs{0};
+
+} // namespace
+
+void
+WatchdogSink::throwBudget() const
+{
+    throw SimError(
+        ErrorKind::Watchdog,
+        detail::formatMsg("watchdog: record budget of %llu exhausted",
+                          static_cast<unsigned long long>(recordBudget_)));
+}
+
+void
+WatchdogSink::checkWall() const
+{
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+    if (static_cast<std::uint64_t>(elapsed) > wallLimitMs_) {
+        throw SimError(
+            ErrorKind::Watchdog,
+            detail::formatMsg(
+                "watchdog: wall-clock limit of %llu ms exceeded "
+                "(%llu ms elapsed, %llu records)",
+                static_cast<unsigned long long>(wallLimitMs_),
+                static_cast<unsigned long long>(elapsed),
+                static_cast<unsigned long long>(n_)));
+    }
+}
+
+void
+setDefaultWallLimitMs(std::uint64_t ms)
+{
+    gDefaultWallLimitMs.store(ms, std::memory_order_relaxed);
+}
+
+std::uint64_t
+defaultWallLimitMs()
+{
+    return gDefaultWallLimitMs.load(std::memory_order_relaxed);
+}
+
+void
+noteRetryAttemptFailed(const std::string &what, unsigned attempt,
+                       const char *err)
+{
+    lvp_warn("%s: attempt %u failed: %s", what.c_str(), attempt, err);
+    obs::metrics().counter("engine.retry.attempts").add();
+}
+
+void
+noteRetryRecovered(const std::string &what, unsigned attempt)
+{
+    lvp_warn("%s: recovered on attempt %u", what.c_str(), attempt);
+    obs::metrics().counter("engine.retry.recovered").add();
+}
+
+void
+noteRetryExhausted(const std::string &what, unsigned attempts)
+{
+    lvp_warn("%s: all %u attempt(s) failed", what.c_str(), attempts);
+    obs::metrics().counter("engine.retry.exhausted").add();
+}
+
+} // namespace lvplib::sim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Self-healing primitives for the experiment engine: a per-task
+ * watchdog that turns runaway runs into a typed SimError, and a
+ * bounded retry-with-exponential-backoff wrapper that absorbs
+ * transient per-run failures (corrupt trace input, injected faults,
+ * disk pressure) before they surface to the driver.
+ */
+
+#ifndef LVPLIB_SIM_RESILIENCE_HH
+#define LVPLIB_SIM_RESILIENCE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <type_traits>
+
+#include "trace/trace.hh"
+#include "util/logging.hh"
+
+namespace lvplib::sim
+{
+
+/**
+ * A pass-through trace sink enforcing run limits: a deterministic
+ * record budget checked per record, and a wall-clock deadline checked
+ * every 64 Ki records (a steady_clock read per record would dominate
+ * the pipeline). Either limit throws SimError(Watchdog), which the
+ * drivers/TaskPool propagate to the submitting thread.
+ */
+class WatchdogSink : public trace::TraceSink
+{
+  public:
+    /**
+     * @param down Downstream sink (may be null: count-only).
+     * @param wallLimitMs Wall-clock deadline; 0 disables.
+     * @param recordBudget Max records consumed; 0 disables.
+     */
+    WatchdogSink(trace::TraceSink *down, std::uint64_t wallLimitMs,
+                 std::uint64_t recordBudget = 0)
+        : down_(down), wallLimitMs_(wallLimitMs),
+          recordBudget_(recordBudget),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    void
+    consume(const trace::TraceRecord &rec) override
+    {
+        if (recordBudget_ != 0 && n_ >= recordBudget_)
+            throwBudget();
+        if (wallLimitMs_ != 0 && (n_ & WallCheckMask) == 0)
+            checkWall();
+        ++n_;
+        if (down_)
+            down_->consume(rec);
+    }
+
+    void
+    finish() override
+    {
+        if (down_)
+            down_->finish();
+    }
+
+    std::uint64_t consumed() const { return n_; }
+
+  private:
+    static constexpr std::uint64_t WallCheckMask = (1u << 16) - 1;
+
+    [[noreturn]] void throwBudget() const;
+    void checkWall() const;
+
+    trace::TraceSink *down_;
+    std::uint64_t wallLimitMs_;
+    std::uint64_t recordBudget_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t n_ = 0;
+};
+
+/**
+ * Process-wide default wall-clock deadline applied by the run
+ * drivers when RunConfig::wallLimitMs is 0 (set from lvpbench's
+ * --watchdog-ms). 0 means no deadline.
+ */
+void setDefaultWallLimitMs(std::uint64_t ms);
+std::uint64_t defaultWallLimitMs();
+
+/** Bounded-retry policy for runWithRetry(). */
+struct RetryPolicy
+{
+    unsigned attempts = 3;          ///< total tries, including the first
+    std::uint64_t backoffMs = 25;   ///< sleep before the second try
+    std::uint64_t maxBackoffMs = 1000;
+    unsigned multiplier = 2;        ///< exponential growth factor
+    bool sleep = true;              ///< false: skip sleeps (tests)
+};
+
+/** @{ Internal: publish engine.retry.* counters (lazily). */
+void noteRetryAttemptFailed(const std::string &what, unsigned attempt,
+                            const char *err);
+void noteRetryRecovered(const std::string &what, unsigned attempt);
+void noteRetryExhausted(const std::string &what, unsigned attempts);
+/** @} */
+
+/**
+ * Run @p fn, retrying on SimError up to policy.attempts times with
+ * exponential backoff. Anything that is not a SimError propagates
+ * immediately (it is a bug, not a recoverable run failure). When every
+ * attempt fails, throws SimError(RetryExhausted) naming @p what and
+ * the last error. Each failed attempt and each recovery publishes a
+ * volatile engine.retry.* counter.
+ */
+template <typename Fn>
+auto
+runWithRetry(const std::string &what, const RetryPolicy &policy, Fn fn)
+    -> std::invoke_result_t<Fn &>
+{
+    std::uint64_t backoff = policy.backoffMs;
+    unsigned attempts = policy.attempts == 0 ? 1 : policy.attempts;
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            if constexpr (std::is_void_v<std::invoke_result_t<Fn &>>) {
+                fn();
+                if (attempt > 1)
+                    noteRetryRecovered(what, attempt);
+                return;
+            } else {
+                auto result = fn();
+                if (attempt > 1)
+                    noteRetryRecovered(what, attempt);
+                return result;
+            }
+        } catch (const SimError &e) {
+            noteRetryAttemptFailed(what, attempt, e.what());
+            if (attempt >= attempts) {
+                noteRetryExhausted(what, attempts);
+                throw SimError(
+                    ErrorKind::RetryExhausted,
+                    what + ": giving up after " +
+                        std::to_string(attempts) +
+                        " attempt(s); last error: " + e.what());
+            }
+            if (policy.sleep && backoff > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff));
+            backoff *= policy.multiplier;
+            if (backoff > policy.maxBackoffMs)
+                backoff = policy.maxBackoffMs;
+        }
+    }
+}
+
+} // namespace lvplib::sim
+
+#endif // LVPLIB_SIM_RESILIENCE_HH

@@ -9,9 +9,11 @@
 #include <sstream>
 #include <unistd.h>
 
+#include "chaos/chaos.hh"
 #include "core/lvp_unit.hh"
 #include "obs/metrics.hh"
 #include "obs/timeline.hh"
+#include "sim/resilience.hh"
 #include "trace/trace_file.hh"
 #include "uarch/alpha21164.hh"
 #include "uarch/ppc620.hh"
@@ -166,9 +168,68 @@ struct RunCache::Impl
     obs::Counter &obsTraceInvalid =
         obs::metrics().counter("runcache.trace_invalid");
 
+    /** Consecutive failed trace writes before degrading to
+     *  cache-less in-memory replay (clearing traceDir). */
+    static constexpr unsigned DegradeThreshold = 3;
+    std::atomic<unsigned> consecutiveTraceFailures{0};
+
     std::string ensureTrace(RunCache &cache, const Workload &w,
                             CodeGen cg, unsigned scale,
                             const RunConfig &rc);
+
+    void
+    noteTraceSuccess()
+    {
+        consecutiveTraceFailures.store(0, std::memory_order_relaxed);
+    }
+
+    /**
+     * A trace write or publish failed (the run itself fell back to
+     * in-memory interpretation, so this is recovered, not fatal). A
+     * persistently failing disk degrades the cache: after
+     * DegradeThreshold consecutive failures the trace directory is
+     * dropped and every later run interprets in memory.
+     */
+    void
+    noteTraceFailure()
+    {
+        chaos::engine().recordRecovered("trace_write");
+        unsigned n = consecutiveTraceFailures.fetch_add(
+                         1, std::memory_order_relaxed) +
+                     1;
+        if (n < DegradeThreshold)
+            return;
+        std::lock_guard<std::mutex> lock(m);
+        if (traceDir.empty())
+            return;
+        lvp_warn("trace cache: %u consecutive write failures, "
+                 "degrading to in-memory replay (disabling '%s')",
+                 n, traceDir.c_str());
+        traceDir.clear();
+        obs::metrics().counter("runcache.degraded").add();
+    }
+
+    /**
+     * A persisted trace failed mid-replay (corrupt payload, vanished
+     * file, injected bit flip). Discard the file and its memo so the
+     * caller's in-memory fallback — and any later request — starts
+     * clean.
+     */
+    void
+    onReplayError(const std::string &path, const SimError &e)
+    {
+        lvp_warn("trace cache: replay of '%s' failed (%s), falling "
+                 "back to in-memory run: %s",
+                 path.c_str(), errorKindName(e.kind()), e.what());
+        traceInvalid.fetch_add(1, std::memory_order_relaxed);
+        obsTraceInvalid.add();
+        std::remove(path.c_str());
+        {
+            std::lock_guard<std::mutex> lock(m);
+            traces.erase(path);
+        }
+        chaos::engine().recordRecovered("trace_replay");
+    }
 
     /**
      * Return the memoized value for @p key, computing it with
@@ -202,6 +263,13 @@ struct RunCache::Impl
             try {
                 prom.set_value(make());
             } catch (...) {
+                // Failures are not memoized: drop the future before
+                // publishing the exception so current waiters see it
+                // but a later request recomputes from scratch.
+                {
+                    std::lock_guard<std::mutex> lock(m);
+                    map.erase(key);
+                }
                 prom.set_exception(std::current_exception());
             }
         } else {
@@ -332,7 +400,25 @@ RunCache::Impl::ensureTrace(RunCache &cache, const Workload &w,
                 obs::Timeline::Scope span("trace:" + w.name, "trace");
                 trace::TraceFileWriter writer(tmp, fp);
                 vm::Interpreter interp(*prog);
-                interp.run(&writer, rc.maxInstructions);
+                // Phase 1 is the unbounded phase, so it honors the
+                // same watchdog budgets as the in-memory drivers
+                // (replays are bounded by the verified file).
+                std::uint64_t wallMs = rc.wallLimitMs != 0
+                                           ? rc.wallLimitMs
+                                           : defaultWallLimitMs();
+                try {
+                    if (wallMs != 0 || rc.recordBudget != 0) {
+                        WatchdogSink wd(&writer, wallMs,
+                                        rc.recordBudget);
+                        interp.run(&wd, rc.maxInstructions);
+                    } else {
+                        interp.run(&writer, rc.maxInstructions);
+                    }
+                } catch (const SimError &) {
+                    writer.close();
+                    std::remove(tmp.c_str());
+                    throw;
+                }
                 if (!interp.halted())
                     writer.finish();
                 addInstructionsProcessed(interp.retired());
@@ -341,13 +427,20 @@ RunCache::Impl::ensureTrace(RunCache &cache, const Workload &w,
                     lvp_warn("trace cache: cannot write '%s' (%s)",
                              tmp.c_str(), writer.error().c_str());
             }
-            if (!written ||
-                std::rename(tmp.c_str(), path.c_str()) != 0) {
-                if (written)
+            bool renameFailed =
+                written &&
+                (chaos::engine().shouldInject(
+                     chaos::Point::CacheRename,
+                     trace::mixFingerprint(0, path), 0) ||
+                 std::rename(tmp.c_str(), path.c_str()) != 0);
+            if (!written || renameFailed) {
+                if (renameFailed)
                     lvp_warn("cannot rename trace '%s'", tmp.c_str());
                 std::remove(tmp.c_str());
+                noteTraceFailure();
                 return std::string();
             }
+            noteTraceSuccess();
             traceWrites.fetch_add(1, std::memory_order_relaxed);
             obsTraceWrites.add();
             return path;
@@ -386,15 +479,19 @@ RunCache::locality(const Workload &w, CodeGen cg, unsigned scale,
                 impl_->ensureTrace(*this, w, cg, scale, rc);
             obs::Timeline::Scope span("locality:" + w.name, "sim");
             if (!tr.empty()) {
-                auto prof =
-                    std::make_shared<core::ValueLocalityProfiler>();
-                trace::TraceFileReader reader(tr, *prog);
-                addInstructionsProcessed(reader.replay(*prof));
-                impl_->traceReplays.fetch_add(
-                    1, std::memory_order_relaxed);
-                impl_->obsTraceReplays.add();
-                return std::shared_ptr<
-                    const core::ValueLocalityProfiler>(prof);
+                try {
+                    auto prof = std::make_shared<
+                        core::ValueLocalityProfiler>();
+                    trace::TraceFileReader reader(tr, *prog);
+                    addInstructionsProcessed(reader.replay(*prof));
+                    impl_->traceReplays.fetch_add(
+                        1, std::memory_order_relaxed);
+                    impl_->obsTraceReplays.add();
+                    return std::shared_ptr<
+                        const core::ValueLocalityProfiler>(prof);
+                } catch (const SimError &e) {
+                    impl_->onReplayError(tr, e);
+                }
             }
             return std::shared_ptr<
                 const core::ValueLocalityProfiler>(
@@ -415,14 +512,18 @@ RunCache::lvpOnly(const Workload &w, CodeGen cg, unsigned scale,
                 impl_->ensureTrace(*this, w, cg, scale, rc);
             obs::Timeline::Scope span("lvp:" + w.name, "sim");
             if (!tr.empty()) {
-                NullSink null_sink;
-                core::LvpAnnotator annot(cfg, null_sink);
-                trace::TraceFileReader reader(tr, *prog);
-                addInstructionsProcessed(reader.replay(annot));
-                impl_->traceReplays.fetch_add(
-                    1, std::memory_order_relaxed);
-                impl_->obsTraceReplays.add();
-                return annot.unit().stats();
+                try {
+                    NullSink null_sink;
+                    core::LvpAnnotator annot(cfg, null_sink);
+                    trace::TraceFileReader reader(tr, *prog);
+                    addInstructionsProcessed(reader.replay(annot));
+                    impl_->traceReplays.fetch_add(
+                        1, std::memory_order_relaxed);
+                    impl_->obsTraceReplays.add();
+                    return annot.unit().stats();
+                } catch (const SimError &e) {
+                    impl_->onReplayError(tr, e);
+                }
             }
             return runLvpOnly(*prog, cfg, rc);
         });
@@ -443,22 +544,28 @@ RunCache::ppc620(const Workload &w, CodeGen cg, unsigned scale,
                 impl_->ensureTrace(*this, w, cg, scale, rc);
             obs::Timeline::Scope span("ppc620:" + w.name, "sim");
             if (!tr.empty()) {
-                uarch::Ppc620Model model(mc, lvp.has_value());
-                PpcRun r;
-                trace::TraceFileReader reader(tr, *prog);
-                if (lvp) {
-                    core::LvpAnnotator annot(*lvp, model);
-                    addInstructionsProcessed(reader.replay(annot));
-                    r.lvp = annot.unit().stats();
-                } else {
-                    addInstructionsProcessed(reader.replay(model));
+                try {
+                    uarch::Ppc620Model model(mc, lvp.has_value());
+                    PpcRun r;
+                    trace::TraceFileReader reader(tr, *prog);
+                    if (lvp) {
+                        core::LvpAnnotator annot(*lvp, model);
+                        addInstructionsProcessed(
+                            reader.replay(annot));
+                        r.lvp = annot.unit().stats();
+                    } else {
+                        addInstructionsProcessed(
+                            reader.replay(model));
+                    }
+                    impl_->traceReplays.fetch_add(
+                        1, std::memory_order_relaxed);
+                    impl_->obsTraceReplays.add();
+                    r.timing = model.stats();
+                    publishModelRun(r.timing);
+                    return r;
+                } catch (const SimError &e) {
+                    impl_->onReplayError(tr, e);
                 }
-                impl_->traceReplays.fetch_add(
-                    1, std::memory_order_relaxed);
-                impl_->obsTraceReplays.add();
-                r.timing = model.stats();
-                publishModelRun(r.timing);
-                return r;
             }
             return runPpc620(*prog, mc, lvp, rc);
         });
@@ -479,22 +586,28 @@ RunCache::alpha21164(const Workload &w, CodeGen cg, unsigned scale,
                 impl_->ensureTrace(*this, w, cg, scale, rc);
             obs::Timeline::Scope span("alpha21164:" + w.name, "sim");
             if (!tr.empty()) {
-                uarch::Alpha21164Model model(mc, lvp.has_value());
-                AlphaRun r;
-                trace::TraceFileReader reader(tr, *prog);
-                if (lvp) {
-                    core::LvpAnnotator annot(*lvp, model);
-                    addInstructionsProcessed(reader.replay(annot));
-                    r.lvp = annot.unit().stats();
-                } else {
-                    addInstructionsProcessed(reader.replay(model));
+                try {
+                    uarch::Alpha21164Model model(mc, lvp.has_value());
+                    AlphaRun r;
+                    trace::TraceFileReader reader(tr, *prog);
+                    if (lvp) {
+                        core::LvpAnnotator annot(*lvp, model);
+                        addInstructionsProcessed(
+                            reader.replay(annot));
+                        r.lvp = annot.unit().stats();
+                    } else {
+                        addInstructionsProcessed(
+                            reader.replay(model));
+                    }
+                    impl_->traceReplays.fetch_add(
+                        1, std::memory_order_relaxed);
+                    impl_->obsTraceReplays.add();
+                    r.timing = model.stats();
+                    publishModelRun(r.timing);
+                    return r;
+                } catch (const SimError &e) {
+                    impl_->onReplayError(tr, e);
                 }
-                impl_->traceReplays.fetch_add(
-                    1, std::memory_order_relaxed);
-                impl_->obsTraceReplays.add();
-                r.timing = model.stats();
-                publishModelRun(r.timing);
-                return r;
             }
             return runAlpha21164(*prog, mc, lvp, rc);
         });
@@ -545,6 +658,7 @@ RunCache::clear()
     impl_->traceWrites = 0;
     impl_->traceReplays = 0;
     impl_->traceInvalid = 0;
+    impl_->consecutiveTraceFailures = 0;
 }
 
 } // namespace lvplib::sim

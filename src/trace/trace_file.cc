@@ -3,6 +3,7 @@
 #include <array>
 #include <cstring>
 
+#include "chaos/chaos.hh"
 #include "util/logging.hh"
 
 namespace lvplib::trace
@@ -308,6 +309,11 @@ TraceFileWriter::consume(const TraceRecord &rec)
 {
     if (failed_)
         return;
+    if (chaos::engine().shouldInject(chaos::Point::TraceWriteRecord,
+                                     fingerprint_, written_)) {
+        fail("chaos: injected record write failure");
+        return;
+    }
     std::array<std::uint8_t, RecordBytes> buf;
     putU64(&buf[0], rec.pc);
     // Memory ops use the second slot for their effective address;
@@ -334,6 +340,11 @@ TraceFileWriter::finish()
     finished_ = true;
     if (failed_)
         return;
+    if (chaos::engine().shouldInject(chaos::Point::TraceWriteFooter,
+                                     fingerprint_, 0)) {
+        fail("chaos: injected footer write failure");
+        return;
+    }
     std::array<std::uint8_t, TraceFooterBytes> ftr;
     std::memcpy(ftr.data(), FooterMagic, sizeof(FooterMagic));
     putU64(&ftr[8], written_);
@@ -368,22 +379,38 @@ TraceFileReader::TraceFileReader(
       checksum_(FnvOffset)
 {
     if (!file_)
-        lvp_fatal("cannot open trace file '%s' for reading",
-                  path.c_str());
+        throw SimError(ErrorKind::TraceIo,
+                       detail::formatMsg(
+                           "cannot open trace file '%s' for reading",
+                           path.c_str()));
     Envelope env;
-    std::string detail;
-    TraceFileStatus st = readEnvelope(file_, env, detail);
-    if (st != TraceFileStatus::Ok)
-        lvp_fatal("invalid trace file '%s': %s%s%s", path.c_str(),
-                  traceFileStatusName(st), detail.empty() ? "" : ": ",
-                  detail.c_str());
-    if (expectFingerprint && env.fingerprint != *expectFingerprint)
-        lvp_fatal("invalid trace file '%s': %s (have %016llx, "
-                  "expected %016llx)",
-                  path.c_str(),
-                  traceFileStatusName(TraceFileStatus::BadFingerprint),
-                  static_cast<unsigned long long>(env.fingerprint),
-                  static_cast<unsigned long long>(*expectFingerprint));
+    std::string detailStr;
+    TraceFileStatus st = readEnvelope(file_, env, detailStr);
+    if (st != TraceFileStatus::Ok) {
+        // The destructor will not run when the constructor throws:
+        // close the stream here.
+        std::fclose(file_);
+        file_ = nullptr;
+        throw SimError(ErrorKind::TraceCorrupt,
+                       detail::formatMsg(
+                           "invalid trace file '%s': %s%s%s",
+                           path.c_str(), traceFileStatusName(st),
+                           detailStr.empty() ? "" : ": ",
+                           detailStr.c_str()));
+    }
+    if (expectFingerprint && env.fingerprint != *expectFingerprint) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw SimError(
+            ErrorKind::TraceCorrupt,
+            detail::formatMsg(
+                "invalid trace file '%s': %s (have %016llx, "
+                "expected %016llx)",
+                path.c_str(),
+                traceFileStatusName(TraceFileStatus::BadFingerprint),
+                static_cast<unsigned long long>(env.fingerprint),
+                static_cast<unsigned long long>(*expectFingerprint)));
+    }
     records_ = env.records;
     fingerprint_ = env.fingerprint;
     expectChecksum_ = env.checksum;
@@ -400,25 +427,44 @@ TraceFileReader::next(TraceRecord &rec)
 {
     if (seq_ == records_) {
         if (checksum_ != expectChecksum_)
-            lvp_fatal("invalid trace file '%s': %s", path_.c_str(),
-                      traceFileStatusName(
-                          TraceFileStatus::ChecksumMismatch));
+            throw SimError(
+                ErrorKind::TraceCorrupt,
+                detail::formatMsg(
+                    "invalid trace file '%s': %s", path_.c_str(),
+                    traceFileStatusName(
+                        TraceFileStatus::ChecksumMismatch)));
         return false;
     }
     std::array<std::uint8_t, RecordBytes> buf;
     if (std::fread(buf.data(), buf.size(), 1, file_) != 1)
-        lvp_fatal("invalid trace file '%s': truncated at record "
-                  "%llu of %llu",
-                  path_.c_str(),
-                  static_cast<unsigned long long>(seq_),
-                  static_cast<unsigned long long>(records_));
+        throw SimError(
+            ErrorKind::TraceCorrupt,
+            detail::formatMsg(
+                "invalid trace file '%s': truncated at record "
+                "%llu of %llu",
+                path_.c_str(), static_cast<unsigned long long>(seq_),
+                static_cast<unsigned long long>(records_)));
+    if (chaos::engine().enabled() &&
+        chaos::engine().shouldInject(chaos::Point::TraceReadFlip,
+                                     fingerprint_, seq_)) {
+        // Flip one bit of the record as read; the flip is caught by
+        // record validation or by the end-of-trace checksum, never
+        // silently accepted.
+        std::uint64_t h = chaos::engine().faultHash(
+            chaos::Point::TraceReadFlip, fingerprint_, seq_);
+        buf[h % RecordBytes] ^=
+            static_cast<std::uint8_t>(1u << ((h >> 8) % 8));
+    }
     if (!recordBytesValid(buf.data()))
-        lvp_fatal("invalid trace file '%s': %s at record %llu "
-                  "(taken=%u pred=%u)",
-                  path_.c_str(),
-                  traceFileStatusName(TraceFileStatus::BadRecord),
-                  static_cast<unsigned long long>(seq_), buf[24],
-                  buf[25]);
+        throw SimError(
+            ErrorKind::TraceCorrupt,
+            detail::formatMsg(
+                "invalid trace file '%s': %s at record %llu "
+                "(taken=%u pred=%u)",
+                path_.c_str(),
+                traceFileStatusName(TraceFileStatus::BadRecord),
+                static_cast<unsigned long long>(seq_), buf[24],
+                buf[25]));
     checksum_ = fnv1a(buf.data(), buf.size(), checksum_);
     rec.seq = seq_++;
     rec.pc = getU64(&buf[0]);
@@ -426,6 +472,15 @@ TraceFileReader::next(TraceRecord &rec)
     rec.value = getU64(&buf[16]);
     rec.taken = buf[24] != 0;
     rec.pred = static_cast<PredState>(buf[25]);
+    if (!prog_.validPc(rec.pc))
+        throw SimError(
+            ErrorKind::TraceCorrupt,
+            detail::formatMsg(
+                "invalid trace file '%s': record %llu names pc "
+                "0x%llx outside the program",
+                path_.c_str(),
+                static_cast<unsigned long long>(rec.seq),
+                static_cast<unsigned long long>(rec.pc)));
     rec.inst = &prog_.fetch(rec.pc);
     // Reconstruct the architectural successor.
     if (rec.inst->op == isa::Opcode::HALT) {
@@ -485,7 +540,10 @@ AnnotationStream::save(const std::string &path) const
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
-        lvp_fatal("cannot open annotation file '%s'", path.c_str());
+        throw SimError(ErrorKind::TraceIo,
+                       detail::formatMsg(
+                           "cannot open annotation file '%s'",
+                           path.c_str()));
     std::uint8_t header[8];
     putU64(header, count_);
     bool ok = std::fwrite(header, sizeof(header), 1, f) == 1;
@@ -493,7 +551,10 @@ AnnotationStream::save(const std::string &path) const
                 std::fwrite(bits_.data(), bits_.size(), 1, f) == 1);
     ok = std::fclose(f) == 0 && ok;
     if (!ok)
-        lvp_fatal("annotation write failed");
+        throw SimError(ErrorKind::TraceIo,
+                       detail::formatMsg(
+                           "annotation file '%s': write failed",
+                           path.c_str()));
 }
 
 AnnotationStream
@@ -501,11 +562,17 @@ AnnotationStream::load(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        lvp_fatal("cannot open annotation file '%s'", path.c_str());
+        throw SimError(ErrorKind::TraceIo,
+                       detail::formatMsg(
+                           "cannot open annotation file '%s'",
+                           path.c_str()));
     std::uint8_t header[8];
     if (std::fread(header, sizeof(header), 1, f) != 1) {
         std::fclose(f);
-        lvp_fatal("annotation file '%s' truncated", path.c_str());
+        throw SimError(ErrorKind::TraceIo,
+                       detail::formatMsg(
+                           "annotation file '%s' truncated",
+                           path.c_str()));
     }
     AnnotationStream s;
     s.count_ = getU64(header);
@@ -513,7 +580,10 @@ AnnotationStream::load(const std::string &path)
     if (!s.bits_.empty() &&
         std::fread(s.bits_.data(), s.bits_.size(), 1, f) != 1) {
         std::fclose(f);
-        lvp_fatal("annotation file '%s' truncated", path.c_str());
+        throw SimError(ErrorKind::TraceIo,
+                       detail::formatMsg(
+                           "annotation file '%s' truncated",
+                           path.c_str()));
     }
     std::fclose(f);
     return s;

@@ -37,8 +37,11 @@
  * run-cache and by `lvpbench --verify-trace-cache`): it validates the
  * envelope, every record's enum bytes, and the checksum, and reports
  * a TraceFileStatus instead of exiting. TraceFileReader is strict: it
- * is for files that are expected to be valid and fails fatally on
- * corruption, naming the reason (never silently truncating a replay).
+ * is for files that are expected to be valid and throws
+ * SimError(TraceCorrupt) — or SimError(TraceIo) for an unopenable
+ * file — on corruption, naming the reason (never silently truncating
+ * a replay). The run-cache catches the exception and falls back to
+ * in-memory interpretation.
  */
 
 #ifndef LVPLIB_TRACE_TRACE_FILE_HH
@@ -177,10 +180,12 @@ class TraceFileWriter : public TraceSink
  * trace was generated from (pass @p expectFingerprint to enforce it).
  *
  * The reader is strict: a malformed envelope, a truncated payload, an
- * out-of-range record byte, or a checksum mismatch is fatal with a
- * diagnostic — corruption is never reported as a clean end-of-trace.
- * Callers that must survive corrupt files (the run-cache, the
- * verification tool) run verifyTraceFile() first.
+ * out-of-range record byte or pc, or a checksum mismatch throws
+ * SimError(TraceCorrupt) with a diagnostic — corruption is never
+ * reported as a clean end-of-trace. An unopenable file throws
+ * SimError(TraceIo). Callers that must survive corrupt files catch
+ * SimError and discard the partial replay (the run-cache falls back
+ * to in-memory interpretation and deletes the file).
  */
 class TraceFileReader
 {

@@ -6,6 +6,15 @@
  * aborts; fatal() is for user errors (bad configuration, malformed
  * programs) and exits cleanly with a nonzero status; warn() informs
  * without stopping the simulation.
+ *
+ * SimError is the recoverable tier below fatal(): a typed exception
+ * for per-run failures (corrupt trace input, an invalid control
+ * transfer in a replayed stream, a watchdog timeout, injected faults)
+ * that one simulation run must report cleanly without taking down the
+ * whole experiment engine. TaskPool futures propagate it to the
+ * submitting thread; the engine retries, falls back, or records the
+ * run as failed — it never turns into a process exit unless every
+ * recovery layer is exhausted.
  */
 
 #ifndef LVPLIB_UTIL_LOGGING_HH
@@ -13,11 +22,53 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 namespace lvplib
 {
+
+/** What went wrong, for programmatic recovery decisions. */
+enum class ErrorKind
+{
+    TraceIo,        ///< trace/annotation file unreadable or unwritable
+    TraceCorrupt,   ///< trace payload failed validation mid-replay
+    InvalidPc,      ///< control transfer left the program's code range
+    Watchdog,       ///< instruction budget or wall-clock deadline hit
+    RetryExhausted, ///< every retry attempt failed
+    Injected,       ///< a chaos-engine fault with no subtler model
+};
+
+const char *errorKindName(ErrorKind k);
+
+/** A recoverable per-run simulation failure; see file comment. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorKind kind, const std::string &msg)
+        : std::runtime_error(msg), kind_(kind)
+    {}
+
+    ErrorKind kind() const { return kind_; }
+
+  private:
+    ErrorKind kind_;
+};
+
+inline const char *
+errorKindName(ErrorKind k)
+{
+    switch (k) {
+      case ErrorKind::TraceIo: return "trace-io";
+      case ErrorKind::TraceCorrupt: return "trace-corrupt";
+      case ErrorKind::InvalidPc: return "invalid-pc";
+      case ErrorKind::Watchdog: return "watchdog";
+      case ErrorKind::RetryExhausted: return "retry-exhausted";
+      case ErrorKind::Injected: return "injected";
+    }
+    return "?";
+}
 
 namespace detail
 {

@@ -48,6 +48,9 @@ class LruStack
     /** Most-recently-used value; undefined when empty. */
     const T &mru() const { return items_.front(); }
 
+    /** Mutable MRU value (fault injection); undefined when empty. */
+    T &mru() { return items_.front(); }
+
     /**
      * Record a use of @p v: promote it to MRU position, inserting it
      * (and evicting the LRU value) when absent.

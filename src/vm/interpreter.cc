@@ -272,10 +272,16 @@ Interpreter::execute(const Instruction &inst, trace::TraceRecord &rec)
         lvp_panic("bad opcode");
     }
 
+    // Recoverable (SimError, not fatal): a malformed program or a
+    // corrupt indirect-branch target must fail this run cleanly, not
+    // take down the whole experiment engine.
     if (rec.nextPc != pc_ && !prog_.validPc(rec.nextPc) && !halted_)
-        lvp_fatal("control transfer to invalid pc 0x%llx from 0x%llx",
-                  static_cast<unsigned long long>(rec.nextPc),
-                  static_cast<unsigned long long>(pc_));
+        throw SimError(
+            ErrorKind::InvalidPc,
+            detail::formatMsg(
+                "control transfer to invalid pc 0x%llx from 0x%llx",
+                static_cast<unsigned long long>(rec.nextPc),
+                static_cast<unsigned long long>(pc_)));
 }
 
 } // namespace lvplib::vm

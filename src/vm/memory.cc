@@ -1,9 +1,27 @@
 #include "vm/memory.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/logging.hh"
 
 namespace lvplib::vm
 {
+
+namespace
+{
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t n, std::uint64_t h)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x00000100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
 
 const SparseMemory::Page *
 SparseMemory::findPage(Addr a) const
@@ -59,6 +77,26 @@ SparseMemory::loadImage(const isa::Program &prog)
 {
     for (const auto &[addr, byte] : prog.dataImage())
         writeByte(addr, byte);
+}
+
+std::uint64_t
+SparseMemory::imageHash() const
+{
+    std::vector<Addr> pageNums;
+    pageNums.reserve(pages_.size());
+    for (const auto &[num, page] : pages_)
+        pageNums.push_back(num);
+    std::sort(pageNums.begin(), pageNums.end());
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (Addr num : pageNums) {
+        std::uint8_t b[8];
+        for (unsigned i = 0; i < 8; ++i)
+            b[i] = static_cast<std::uint8_t>(num >> (8 * i));
+        h = fnv1a(b, sizeof(b), h);
+        const Page &page = *pages_.at(num);
+        h = fnv1a(page.data(), page.size(), h);
+    }
+    return h;
 }
 
 std::string

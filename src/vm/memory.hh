@@ -55,6 +55,15 @@ class SparseMemory
     /** Number of pages currently allocated. */
     std::size_t pageCount() const { return pages_.size(); }
 
+    /**
+     * Order-independent FNV-1a hash of the full memory image (page
+     * numbers + contents, in ascending page order). Two memories with
+     * identical contents hash identically regardless of allocation
+     * order; used by the chaos campaign to compare final images bit
+     * for bit.
+     */
+    std::uint64_t imageHash() const;
+
     /** Drop all contents. */
     void clear() { pages_.clear(); }
 

@@ -155,6 +155,10 @@ TEST(BenchCli, Defaults)
     EXPECT_TRUE(o->timelineOut.empty());
     EXPECT_TRUE(o->checkBaseline.empty());
     EXPECT_DOUBLE_EQ(o->relTol, 1e-6);
+    EXPECT_FALSE(o->chaosSeed.has_value());
+    EXPECT_EQ(o->chaosFaults, 1000u);
+    EXPECT_EQ(o->retries, 2u);
+    EXPECT_EQ(o->watchdogMs, 0u);
 }
 
 TEST(BenchCli, ParsesEveryOption)
@@ -187,6 +191,40 @@ TEST(BenchCli, ListHelpAndVerify)
     auto o = parseBench({"--verify-trace-cache", "/tmp/traces"});
     ASSERT_TRUE(o);
     EXPECT_EQ(o->verifyDir, "/tmp/traces");
+}
+
+TEST(BenchCli, ChaosRetriesAndWatchdog)
+{
+    auto o = parseBench({"--chaos", "7"});
+    ASSERT_TRUE(o);
+    ASSERT_TRUE(o->chaosSeed.has_value());
+    EXPECT_EQ(*o->chaosSeed, 7u);
+    EXPECT_EQ(o->chaosFaults, 1000u);
+
+    o = parseBench({"--chaos", "12,500"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(*o->chaosSeed, 12u);
+    EXPECT_EQ(o->chaosFaults, 500u);
+
+    o = parseBench({"--retries", "0", "--watchdog-ms", "60000"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->retries, 0u);
+    EXPECT_EQ(o->watchdogMs, 60000u);
+
+    std::string err;
+    EXPECT_FALSE(parseBench({"--chaos"}, &err));
+    EXPECT_NE(err.find("--chaos needs a value"), std::string::npos);
+    EXPECT_FALSE(parseBench({"--chaos", "abc"}, &err));
+    EXPECT_NE(err.find("bad --chaos value 'abc'"), std::string::npos);
+    EXPECT_FALSE(parseBench({"--chaos", "1,"}, &err));
+    EXPECT_FALSE(parseBench({"--chaos", "1,0"}, &err));
+    EXPECT_FALSE(parseBench({"--chaos", "1,x"}, &err));
+    EXPECT_FALSE(parseBench({"--retries", "9"}, &err));
+    EXPECT_NE(err.find("bad --retries value '9'"), std::string::npos);
+    EXPECT_FALSE(parseBench({"--retries", "abc"}, &err));
+    EXPECT_FALSE(parseBench({"--watchdog-ms", "5s"}, &err));
+    EXPECT_NE(err.find("bad --watchdog-ms value '5s'"),
+              std::string::npos);
 }
 
 TEST(BenchCli, UnknownOptionNamesTheToken)
@@ -239,7 +277,8 @@ TEST(BenchCli, UsageMentionsEveryFlag)
          {"--filter", "--jobs", "--scale", "--json", "--list",
           "--no-trace-cache", "--prune",
           "--verify-trace-cache", "--metrics-out", "--timeline-out",
-          "--check", "--rel-tol"})
+          "--check", "--rel-tol", "--chaos", "--retries",
+          "--watchdog-ms"})
         EXPECT_NE(u.find(flag), std::string::npos) << flag;
 }
 

@@ -1,13 +1,18 @@
 /**
  * @file
- * Death tests for user-error paths: malformed assembly, bad
- * configurations, undefined symbols. lvp_fatal exits with status 1
- * and prints a diagnostic; these tests pin both.
+ * Error-path tests. Programmer errors (malformed assembly, bad
+ * configurations, undefined symbols) stay fatal: lvp_fatal exits with
+ * status 1 and prints a diagnostic, pinned by death tests. Runtime
+ * faults the engine can survive (unreadable or corrupt traces, disk
+ * full, watchdog expiry, exhausted retries) throw typed SimError
+ * exceptions instead, and the recovery paths must leave results
+ * byte-identical to a fault-free run.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -15,8 +20,11 @@
 #include "isa/assembler.hh"
 #include "isa/text_asm.hh"
 #include "mem/cache.hh"
+#include "sim/resilience.hh"
+#include "sim/run_cache.hh"
 #include "trace/trace_file.hh"
 #include "vm/interpreter.hh"
+#include "workloads/workload.hh"
 
 namespace lvplib
 {
@@ -138,17 +146,32 @@ TEST(ErrorPaths, BadCacheGeometryIsFatal)
         ExitedWithCode(1), "bad lineBytes");
 }
 
-TEST(ErrorPaths, MissingTraceFileIsFatal)
+/** Run @p fn and require a SimError of @p kind whose message contains
+ *  @p needle. */
+template <typename Fn>
+void
+expectSimError(Fn &&fn, ErrorKind kind, const std::string &needle)
 {
-    isa::Program prog = isa::assembleText("halt\n");
-    EXPECT_EXIT(
-        {
-            trace::TraceFileReader r("/no/such/file.trace", prog);
-        },
-        ExitedWithCode(1), "cannot open trace file");
+    try {
+        fn();
+        FAIL() << "expected SimError(" << errorKindName(kind) << ")";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), kind) << e.what();
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
-TEST(ErrorPaths, GarbageTraceFileIsFatalWithReason)
+TEST(ErrorPaths, MissingTraceFileThrowsTraceIo)
+{
+    isa::Program prog = isa::assembleText("halt\n");
+    expectSimError(
+        [&] { trace::TraceFileReader r("/no/such/file.trace", prog); },
+        ErrorKind::TraceIo, "cannot open trace file");
+}
+
+TEST(ErrorPaths, GarbageTraceFileThrowsWithReason)
 {
     isa::Program prog = isa::assembleText("halt\n");
     std::string path =
@@ -157,12 +180,12 @@ TEST(ErrorPaths, GarbageTraceFileIsFatalWithReason)
         std::ofstream out(path, std::ios::binary);
         out << "this is not a trace file, not even close to one....";
     }
-    EXPECT_EXIT({ trace::TraceFileReader r(path, prog); },
-                ExitedWithCode(1), "invalid trace file.*bad-magic");
+    expectSimError([&] { trace::TraceFileReader r(path, prog); },
+                   ErrorKind::TraceCorrupt, "bad-magic");
     std::remove(path.c_str());
 }
 
-TEST(ErrorPaths, TinyTraceFileIsFatalWithReason)
+TEST(ErrorPaths, TinyTraceFileThrowsWithReason)
 {
     isa::Program prog = isa::assembleText("halt\n");
     std::string path =
@@ -171,9 +194,166 @@ TEST(ErrorPaths, TinyTraceFileIsFatalWithReason)
         std::ofstream out(path, std::ios::binary);
         out << "short";
     }
-    EXPECT_EXIT({ trace::TraceFileReader r(path, prog); },
-                ExitedWithCode(1), "invalid trace file.*too-small");
+    expectSimError([&] { trace::TraceFileReader r(path, prog); },
+                   ErrorKind::TraceCorrupt, "too-small");
     std::remove(path.c_str());
+}
+
+TEST(ErrorPaths, TruncatedTraceMidSuiteFallsBackByteIdentical)
+{
+    namespace fs = std::filesystem;
+    auto &cache = sim::RunCache::instance();
+    const std::string saved = cache.traceDir();
+    fs::path dir =
+        fs::path(::testing::TempDir()) / "lvplib_trunc_fallback";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    cache.clear();
+    cache.setTraceDir(dir.string());
+
+    const auto &w = workloads::findWorkload("grep");
+    core::LvpConfig cfg = core::LvpConfig::simple();
+    sim::RunConfig rc;
+    core::LvpStats ref =
+        cache.lvpOnly(w, workloads::CodeGen::Ppc, 1, cfg, rc);
+    cache.clear(); // drop the memo, keep the trace file
+
+    // Truncate the just-written trace as an interrupted writer would.
+    fs::path traceFile;
+    for (const auto &e : fs::directory_iterator(dir))
+        if (e.path().extension() == ".trace")
+            traceFile = e.path();
+    ASSERT_FALSE(traceFile.empty());
+    fs::resize_file(traceFile, fs::file_size(traceFile) - 13);
+
+    // The damage must be detected up front, the file regenerated, and
+    // the run's statistics stay byte-identical to the fault-free run.
+    core::LvpStats got =
+        cache.lvpOnly(w, workloads::CodeGen::Ppc, 1, cfg, rc);
+    EXPECT_EQ(got.loads, ref.loads);
+    EXPECT_EQ(got.correct, ref.correct);
+    EXPECT_EQ(got.incorrect, ref.incorrect);
+    EXPECT_EQ(got.cvuInsertions, ref.cvuInsertions);
+    EXPECT_GE(cache.stats().traceInvalid, 1u)
+        << "the truncation must be detected and counted";
+    EXPECT_TRUE(trace::verifyTraceFile(traceFile.string()).ok())
+        << "the corrupt trace must have been replaced, not replayed";
+
+    cache.clear();
+    cache.setTraceDir(saved);
+    fs::remove_all(dir);
+}
+
+TEST(ErrorPaths, UnwritableTraceDirDuringRegenerateFallsBack)
+{
+    // Regeneration onto a device/directory that refuses the write
+    // (ENOSPC, read-only, missing) must degrade to in-memory runs,
+    // never crash or publish a partial trace.
+    auto &cache = sim::RunCache::instance();
+    const std::string saved = cache.traceDir();
+    cache.clear();
+    cache.setTraceDir("/nonexistent-lvplib-dir");
+
+    const auto &w = workloads::findWorkload("grep");
+    core::LvpConfig cfg = core::LvpConfig::simple();
+    sim::RunConfig rc;
+    core::LvpStats got =
+        cache.lvpOnly(w, workloads::CodeGen::Ppc, 1, cfg, rc);
+
+    cache.clear();
+    cache.setTraceDir("");
+    core::LvpStats ref =
+        cache.lvpOnly(w, workloads::CodeGen::Ppc, 1, cfg, rc);
+    EXPECT_EQ(got.loads, ref.loads);
+    EXPECT_EQ(got.correct, ref.correct);
+    EXPECT_EQ(got.incorrect, ref.incorrect);
+
+    cache.clear();
+    cache.setTraceDir(saved);
+}
+
+TEST(ErrorPaths, EnospcOnAnnotationSaveThrowsTraceIo)
+{
+    // Linux /dev/full: every flush fails with ENOSPC.
+    if (std::FILE *probe = std::fopen("/dev/full", "wb")) {
+        std::fclose(probe);
+        trace::AnnotationStream stream;
+        for (int i = 0; i < 64; ++i)
+            stream.append(trace::PredState::None);
+        expectSimError([&] { stream.save("/dev/full"); },
+                       ErrorKind::TraceIo, "write failed");
+    }
+}
+
+TEST(ErrorPaths, WatchdogBudgetThrowsTypedError)
+{
+    isa::Program prog = workloads::findWorkload("grep").build(
+        workloads::CodeGen::Ppc, 1);
+    expectSimError(
+        [&] {
+            vm::Interpreter interp(prog);
+            sim::WatchdogSink wd(nullptr, /*wallLimitMs=*/0,
+                                 /*recordBudget=*/100);
+            interp.run(&wd);
+        },
+        ErrorKind::Watchdog, "record budget");
+}
+
+// The watchdog must also cover phase-1 trace *generation* inside the
+// run cache — the unbounded interpretation path when the disk cache
+// is enabled — and an over-budget run must not leave a partial trace
+// or temp file behind, nor poison the memo for a later retry.
+TEST(ErrorPaths, WatchdogGuardsTraceCacheGeneration)
+{
+    namespace fs = std::filesystem;
+    auto &cache = sim::RunCache::instance();
+    const std::string saved = cache.traceDir();
+    fs::path dir =
+        fs::path(::testing::TempDir()) / "lvplib_watchdog_trace";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    cache.clear();
+    cache.setTraceDir(dir.string());
+
+    const auto &w = workloads::findWorkload("grep");
+    core::LvpConfig cfg = core::LvpConfig::simple();
+    sim::RunConfig tight;
+    tight.recordBudget = 100;
+    expectSimError(
+        [&] {
+            cache.lvpOnly(w, workloads::CodeGen::Ppc, 1, cfg, tight);
+        },
+        ErrorKind::Watchdog, "record budget");
+    EXPECT_TRUE(fs::is_empty(dir)) << "partial trace left behind";
+
+    // The failure is not memoized: the same run with a sane budget
+    // succeeds and writes its trace.
+    sim::RunConfig rc;
+    core::LvpStats got =
+        cache.lvpOnly(w, workloads::CodeGen::Ppc, 1, cfg, rc);
+    EXPECT_GT(got.loads, 0u);
+    EXPECT_FALSE(fs::is_empty(dir));
+
+    cache.clear();
+    cache.setTraceDir(saved);
+    fs::remove_all(dir);
+}
+
+TEST(ErrorPaths, RetryExhaustedThrowsTypedError)
+{
+    sim::RetryPolicy policy;
+    policy.attempts = 3;
+    policy.sleep = false;
+    int calls = 0;
+    expectSimError(
+        [&] {
+            sim::runWithRetry("doomed", policy, [&]() -> int {
+                ++calls;
+                throw SimError(ErrorKind::TraceIo, "disk on fire");
+            });
+        },
+        ErrorKind::RetryExhausted, "giving up after 3");
+    EXPECT_EQ(calls, 3);
 }
 
 TEST(TextAsmSymbols, DwordSymbolEmitsAddress)

@@ -18,6 +18,7 @@
 #include <thread>
 #include <unistd.h>
 
+#include "chaos/chaos.hh"
 #include "obs/metrics.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
@@ -84,6 +85,77 @@ TEST(TaskPoolTest, PropagatesExceptions)
                               return v;
                           }),
                  std::runtime_error);
+}
+
+TEST(TaskPoolTest, ThrowingTaskDoesNotWedgeMapOrLeakQueue)
+{
+    // Exercised under TSan by the sanitizer CI job: a task that dies
+    // mid-fan-out must not wedge map(), deadlock later futures, or
+    // leave orphaned work in the queue.
+    TaskPool pool(2);
+    std::vector<int> items;
+    for (int i = 0; i < 64; ++i)
+        items.push_back(i);
+    std::atomic<int> executed{0};
+    EXPECT_THROW(pool.map(items,
+                          [&](const int &v) -> int {
+                              executed.fetch_add(1);
+                              if (v == 10)
+                                  throw std::runtime_error("boom");
+                              return v;
+                          }),
+                 std::runtime_error);
+    // Every submitted task still ran to a verdict — none abandoned.
+    EXPECT_EQ(executed.load(), 64);
+
+    // The pool is fully reusable afterwards.
+    auto out = pool.map(items, [](const int &v) { return v + 1; });
+    ASSERT_EQ(out.size(), items.size());
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(out[i], i + 1);
+}
+
+TEST(TaskPoolTest, FirstExceptionInSubmissionOrderIsRethrown)
+{
+    TaskPool pool(4);
+    std::vector<int> items;
+    for (int i = 0; i < 32; ++i)
+        items.push_back(i);
+    // Items 5, 9, and 20 all throw; the caller must always see item
+    // 5's exception regardless of which worker finishes first.
+    for (int round = 0; round < 8; ++round) {
+        try {
+            pool.map(items, [](const int &v) -> int {
+                if (v == 5 || v == 9 || v == 20)
+                    throw std::runtime_error(
+                        "boom-" + std::to_string(v));
+                return v;
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom-5");
+        }
+    }
+}
+
+TEST(TaskPoolTest, InjectedSubmitFaultIsCleanAndPoolSurvives)
+{
+    auto &ce = chaos::engine();
+    // Period 1: every submission is replaced with a throwing task.
+    ce.arm({/*seed=*/42, chaos::pointBit(chaos::Point::TaskThrow), 1});
+    TaskPool pool(2);
+    std::vector<int> items(8, 1);
+    try {
+        pool.map(items, [](const int &v) { return v; });
+        ADD_FAILURE() << "expected the injected fault to propagate";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Injected);
+    }
+    ce.disarm();
+    EXPECT_GE(ce.injected(chaos::Point::TaskThrow), 8u);
+
+    auto out = pool.map(items, [](const int &v) { return v * 3; });
+    EXPECT_EQ(out, std::vector<int>(8, 3));
 }
 
 TEST(TaskPoolTest, SingleWorkerPoolStillCompletes)

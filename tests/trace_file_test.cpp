@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -15,6 +17,7 @@
 
 #include "core/lvp_unit.hh"
 #include "sim/pipeline_driver.hh"
+#include "trace/trace_dir.hh"
 #include "trace/trace_file.hh"
 #include "trace/trace_stats.hh"
 #include "uarch/machine_config.hh"
@@ -48,6 +51,23 @@ demoProgram()
 {
     return workloads::findWorkload("grep").build(workloads::CodeGen::Ppc,
                                                  1);
+}
+
+/** Run @p fn and require a SimError of @p kind whose message contains
+ *  @p needle. */
+template <typename Fn>
+void
+expectSimError(Fn &&fn, ErrorKind kind, const std::string &needle)
+{
+    try {
+        fn();
+        FAIL() << "expected SimError(" << errorKindName(kind) << ")";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), kind) << e.what();
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(TraceFile, RoundTripPreservesEveryRecord)
@@ -253,9 +273,8 @@ TEST(TraceIntegrity, TruncationDetected)
 
     auto rep = verifyTraceFile(tmp.path);
     EXPECT_EQ(rep.status, TraceFileStatus::BadFooter);
-    EXPECT_EXIT({ TraceFileReader r(tmp.path, prog); },
-                ::testing::ExitedWithCode(1),
-                "invalid trace file.*bad-footer");
+    expectSimError([&] { TraceFileReader r(tmp.path, prog); },
+                   ErrorKind::TraceCorrupt, "bad-footer");
 }
 
 TEST(TraceIntegrity, PartialTrailingRecordDetected)
@@ -306,13 +325,13 @@ TEST(TraceIntegrity, OutOfRangeEnumBytesDetected)
     writeAll(tmp.path, bytes);
     auto rep = verifyTraceFile(tmp.path);
     EXPECT_EQ(rep.status, TraceFileStatus::BadRecord);
-    EXPECT_EXIT(
-        {
+    expectSimError(
+        [&] {
             TraceFileReader r(tmp.path, prog);
             trace::TraceRecord rec;
             r.next(rec);
         },
-        ::testing::ExitedWithCode(1), "bad-record");
+        ErrorKind::TraceCorrupt, "bad-record");
 
     // taken byte of record 0 -> not a bool.
     bytes = readAll(tmp.path);
@@ -357,8 +376,8 @@ TEST(TraceIntegrity, StaleFingerprintDetected)
     EXPECT_TRUE(verifyTraceFile(tmp.path, 0x1234u).ok());
     auto rep = verifyTraceFile(tmp.path, 0x9999u);
     EXPECT_EQ(rep.status, TraceFileStatus::BadFingerprint);
-    EXPECT_EXIT({ TraceFileReader r(tmp.path, prog, 0x9999u); },
-                ::testing::ExitedWithCode(1), "stale-fingerprint");
+    expectSimError([&] { TraceFileReader r(tmp.path, prog, 0x9999u); },
+                   ErrorKind::TraceCorrupt, "stale-fingerprint");
 }
 
 TEST(TraceIntegrity, ProgramFingerprintStableAndSensitive)
@@ -434,6 +453,47 @@ TEST(TraceIntegrity, WriteFailuresAreLatchedNotSilent)
         EXPECT_FALSE(writer.close())
             << "ENOSPC must fail the write path";
     }
+}
+
+TEST(TraceDirScan, PruneIsAgeGatedSoLiveWritersSurvive)
+{
+    namespace fs = std::filesystem;
+    fs::path dir =
+        fs::path(::testing::TempDir()) / "lvplib_trace_dir_scan";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    auto prog = demoProgram();
+    writeDemoTrace((dir / "good.trace").string(), prog, 7);
+
+    // A temp file from a writer that is still running (fresh mtime)
+    // and one from a writer that died an hour ago.
+    fs::path fresh = dir / "good.trace.tmp.1111.1";
+    fs::path stale = dir / "dead.trace.tmp.2222.9";
+    std::ofstream(fresh) << "partial";
+    std::ofstream(stale) << "partial";
+    fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(1));
+
+    auto scan = trace::scanTraceDir(dir.string(), /*prune=*/true);
+    ASSERT_TRUE(scan.ok) << scan.error;
+    ASSERT_EQ(scan.traces.size(), 1u);
+    EXPECT_TRUE(scan.traces[0].report.ok());
+    ASSERT_EQ(scan.temps.size(), 2u);
+    EXPECT_EQ(scan.prunedCount, 1u);
+
+    EXPECT_TRUE(fs::exists(fresh))
+        << "a fresh temp may belong to a live concurrent writer";
+    EXPECT_FALSE(fs::exists(stale))
+        << "an hour-old temp is an abandoned write";
+
+    // Without --prune nothing is ever deleted, however old.
+    fs::last_write_time(fresh, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(2));
+    scan = trace::scanTraceDir(dir.string(), /*prune=*/false);
+    EXPECT_EQ(scan.prunedCount, 0u);
+    EXPECT_TRUE(fs::exists(fresh));
+    fs::remove_all(dir);
 }
 
 TEST(AnnotationFlow, StorageIsTwoBitsPerLoad)

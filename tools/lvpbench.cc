@@ -25,6 +25,10 @@
  *                             # baseline; exit 3 on drift
  *   lvpbench --verify-trace-cache DIR [--prune]
  *                             # scan a trace directory and exit
+ *   lvpbench --chaos 1        # seeded fault-injection campaign
+ *   lvpbench --retries 3      # extra attempts per failed experiment
+ *   lvpbench --watchdog-ms 60000
+ *                             # wall-clock budget per pipeline run
  *
  * The trace cache defaults to a fresh temporary directory (removed on
  * exit); set LVPLIB_TRACE_CACHE to persist traces across runs. Trace
@@ -37,7 +41,8 @@
  *
  * Exit status: 0 success; 1 usage or file errors; 2 when
  * --verify-trace-cache finds an invalid trace; 3 when --check finds
- * metric drift.
+ * metric drift; 4 when an experiment still fails after its retries
+ * or when --chaos finds an invariant violation.
  */
 
 #include <algorithm>
@@ -52,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/campaign.hh"
 #include "obs/check.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
@@ -60,8 +66,10 @@
 #include "sim/parallel.hh"
 #include "sim/pipeline_driver.hh"
 #include "sim/report.hh"
+#include "sim/resilience.hh"
 #include "sim/run_cache.hh"
 #include "sim/suite.hh"
+#include "trace/trace_dir.hh"
 #include "trace/trace_file.hh"
 #include "util/env.hh"
 #include "util/table.hh"
@@ -108,6 +116,8 @@ usage(int code)
 /**
  * Scan @p dir for trace files, report each one's integrity, and
  * (with @p prune) delete the invalid ones plus abandoned temp files.
+ * Temps are age-gated (trace::TempPruneAgeSeconds): a young temp may
+ * belong to a live concurrent writer and is never deleted.
  * Fingerprints are reported but not matched against a program: the
  * full stale-program check happens when the run-cache reuses a file.
  * @return 0 when every trace verifies, 2 otherwise.
@@ -115,61 +125,47 @@ usage(int code)
 int
 verifyTraceCacheDir(const std::string &dir, bool prune)
 {
-    namespace fs = std::filesystem;
-    std::error_code ec;
-    fs::directory_iterator it(dir, ec);
-    if (ec) {
+    auto scan = trace::scanTraceDir(dir, prune);
+    if (!scan.ok) {
         std::cerr << "lvpbench: cannot read directory '" << dir
-                  << "': " << ec.message() << '\n';
+                  << "': " << scan.error << '\n';
         return 1;
     }
-    std::vector<fs::path> traces, temps;
-    for (const auto &ent : it) {
-        if (!ent.is_regular_file(ec))
-            continue;
-        std::string name = ent.path().filename().string();
-        if (name.size() > 6 &&
-            name.compare(name.size() - 6, 6, ".trace") == 0)
-            traces.push_back(ent.path());
-        else if (name.find(".trace.tmp.") != std::string::npos)
-            temps.push_back(ent.path());
-    }
-    std::sort(traces.begin(), traces.end());
-    std::sort(temps.begin(), temps.end());
-
-    std::size_t bad = 0;
-    for (const auto &path : traces) {
-        auto rep = trace::verifyTraceFile(path.string());
+    for (const auto &e : scan.traces) {
         char fp[32];
         std::snprintf(fp, sizeof fp, "%016llx",
                       static_cast<unsigned long long>(
-                          rep.fingerprint));
-        if (rep.ok()) {
-            std::cout << "ok       " << path.filename().string()
-                      << "  " << rep.records << " records  fp " << fp
+                          e.report.fingerprint));
+        if (e.report.ok()) {
+            std::cout << "ok       " << e.name << "  "
+                      << e.report.records << " records  fp " << fp
                       << '\n';
             continue;
         }
-        ++bad;
-        std::cout << "INVALID  " << path.filename().string() << "  "
-                  << trace::traceFileStatusName(rep.status)
-                  << (rep.detail.empty() ? "" : ": ") << rep.detail
-                  << (prune ? "  [pruned]" : "") << '\n';
-        if (prune)
-            fs::remove(path, ec);
+        std::cout << "INVALID  " << e.name << "  "
+                  << trace::traceFileStatusName(e.report.status)
+                  << (e.report.detail.empty() ? "" : ": ")
+                  << e.report.detail << (e.pruned ? "  [pruned]" : "")
+                  << '\n';
     }
-    for (const auto &path : temps) {
-        std::cout << "STALE    " << path.filename().string()
-                  << "  abandoned temp file"
-                  << (prune ? "  [pruned]" : "") << '\n';
-        if (prune)
-            fs::remove(path, ec);
+    for (const auto &e : scan.temps) {
+        if (e.ageSeconds > trace::TempPruneAgeSeconds)
+            std::cout << "STALE    " << e.name
+                      << "  abandoned temp file"
+                      << (e.pruned ? "  [pruned]" : "") << '\n';
+        else
+            std::cout << "TEMP     " << e.name
+                      << "  [kept: possible live writer]\n";
     }
-    std::cout << traces.size() << " trace file(s), " << bad
-              << " invalid, " << temps.size() << " stale temp(s)"
-              << (prune && (bad || !temps.empty()) ? ", pruned" : "")
+    std::cout << scan.traces.size() << " trace file(s), "
+              << scan.invalid << " invalid, " << scan.temps.size()
+              << " temp(s)"
+              << (scan.prunedCount
+                      ? ", " + std::to_string(scan.prunedCount) +
+                            " pruned"
+                      : "")
               << '\n';
-    return bad == 0 ? 0 : 2;
+    return scan.invalid == 0 ? 0 : 2;
 }
 
 /**
@@ -275,6 +271,18 @@ main(int argc, char **argv)
     auto opts = sim::ExperimentOptions::fromEnv();
     if (bench.scale)
         opts.scale = *bench.scale;
+
+    if (bench.chaosSeed) {
+        chaos::CampaignOptions copts;
+        copts.seed = *bench.chaosSeed;
+        copts.minPredictorFaults = bench.chaosFaults;
+        copts.scale = opts.scale;
+        copts.maxInstructions = opts.maxInstructions;
+        return chaos::runChaosCampaign(copts, std::cout);
+    }
+
+    if (bench.watchdogMs)
+        sim::setDefaultWallLimitMs(bench.watchdogMs);
     if (!bench.timelineOut.empty())
         obs::Timeline::process().setEnabled(true);
 
@@ -297,6 +305,9 @@ main(int argc, char **argv)
     std::vector<Timing> timings;
     double totalWall = 0;
     std::uint64_t totalInstr = 0;
+    unsigned matched = 0, failedExperiments = 0;
+    sim::RetryPolicy retryPolicy;
+    retryPolicy.attempts = 1 + bench.retries;
 
     for (const auto &spec : sim::experimentSuite()) {
         if (!bench.filters.empty()) {
@@ -308,14 +319,23 @@ main(int argc, char **argv)
             if (!match)
                 continue;
         }
+        ++matched;
         Timing tm;
         tm.id = spec.id;
         std::uint64_t instr0 = sim::instructionsProcessed();
         auto t0 = Clock::now();
         std::vector<sim::ExperimentSection> sections;
-        {
+        try {
             obs::Timeline::Scope span(spec.id, "experiment");
-            sections = spec.run(opts);
+            sections = sim::runWithRetry(spec.id, retryPolicy,
+                                         [&] { return spec.run(opts); });
+        } catch (const SimError &e) {
+            // A recoverable failure in one experiment must not take
+            // down the rest of the suite.
+            std::cerr << "lvpbench: experiment " << spec.id
+                      << " failed: " << e.what() << '\n';
+            ++failedExperiments;
+            continue;
         }
         tm.wallSeconds =
             std::chrono::duration<double>(Clock::now() - t0).count();
@@ -336,9 +356,13 @@ main(int argc, char **argv)
         std::filesystem::remove_all(tempTraceDir, ec);
     }
 
-    if (timings.empty()) {
+    if (matched == 0) {
         std::cerr << "lvpbench: no experiment matches the filter\n";
         return 1;
+    }
+    if (timings.empty()) {
+        std::cerr << "lvpbench: every matched experiment failed\n";
+        return 4;
     }
 
     auto cs = cache.stats();
@@ -428,6 +452,13 @@ main(int argc, char **argv)
         std::cerr << "lvpbench: wrote "
                   << obs::Timeline::process().spanCount()
                   << " spans to " << bench.timelineOut << '\n';
+    }
+
+    if (failedExperiments) {
+        std::cerr << "lvpbench: " << failedExperiments
+                  << " experiment(s) failed after "
+                  << retryPolicy.attempts << " attempt(s) each\n";
+        return 4;
     }
 
     if (!bench.checkBaseline.empty())

@@ -8,11 +8,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
 #include "core/lvp_unit.hh"
 #include "isa/program.hh"
 #include "sim/pipeline_driver.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_stats.hh"
 #include "uarch/machine_config.hh"
 #include "util/rng.hh"
+#include "vm/interpreter.hh"
+#include "vm/memory.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -144,6 +153,66 @@ BM_Alpha21164ModelThroughput(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
 }
 BENCHMARK(BM_Alpha21164ModelThroughput)->Unit(benchmark::kMillisecond);
+
+/**
+ * Trace-replay throughput: records per second through the
+ * block-buffered reader's batched consumeBatch() path, into the same
+ * TraceStats sink the run-cache fan-out uses.
+ */
+void
+BM_TraceReplayThroughput(benchmark::State &state)
+{
+    auto prog = workloads::findWorkload("grep").build(
+        workloads::CodeGen::Ppc, 2);
+    std::string path = "/tmp/lvplib_bench_replay." +
+                       std::to_string(::getpid()) + ".trace";
+    std::uint64_t records = 0;
+    {
+        trace::TraceFileWriter writer(path);
+        vm::Interpreter interp(prog);
+        interp.run(&writer);
+        writer.close();
+        records = writer.recordsWritten();
+    }
+    std::uint64_t replayed = 0;
+    for (auto _ : state) {
+        trace::TraceStats stats;
+        trace::TraceFileReader reader(path, prog);
+        replayed += reader.replay(stats);
+        benchmark::DoNotOptimize(stats.instructions());
+    }
+    std::remove(path.c_str());
+    state.SetItemsProcessed(static_cast<std::int64_t>(replayed));
+    benchmark::DoNotOptimize(records);
+}
+BENCHMARK(BM_TraceReplayThroughput)->Unit(benchmark::kMillisecond);
+
+/**
+ * SparseMemory hot path: word reads/writes with strong page locality
+ * (the interpreter's access pattern the page cache is built for) and
+ * a page-striding pattern that defeats the one-entry cache.
+ */
+void
+BM_SparseMemoryReadWrite(benchmark::State &state)
+{
+    vm::SparseMemory mem;
+    const Addr stride = static_cast<Addr>(state.range(0));
+    constexpr Addr Base = 0x100000;
+    constexpr unsigned Slots = 4096;
+    for (unsigned i = 0; i < Slots; ++i)
+        mem.write(Base + i * stride, i, 8);
+    Rng rng(5);
+    for (auto _ : state) {
+        Addr a = Base + rng.below(Slots) * stride;
+        mem.write(a, rng.below(1u << 30), 8);
+        benchmark::DoNotOptimize(mem.read(a, 8));
+        benchmark::DoNotOptimize(mem.read(a, 4));
+    }
+    state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_SparseMemoryReadWrite)
+    ->Arg(8)                              // page-local (cache-friendly)
+    ->Arg(vm::SparseMemory::PageSize);    // one page per slot
 
 } // namespace
 

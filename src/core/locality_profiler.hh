@@ -54,6 +54,15 @@ class ValueLocalityProfiler : public trace::TraceSink
 
     void consume(const trace::TraceRecord &rec) override;
 
+    void
+    consumeBatch(std::span<const trace::TraceRecord> recs) override
+    {
+        // Qualified call: one virtual dispatch per batch, not per
+        // record.
+        for (const trace::TraceRecord &rec : recs)
+            ValueLocalityProfiler::consume(rec);
+    }
+
     /** All loads (Figure 1). */
     const LocalityCounts &total() const { return total_; }
 

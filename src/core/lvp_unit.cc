@@ -208,19 +208,35 @@ LvpUnit::reset()
 }
 
 void
+LvpAnnotator::annotate(trace::TraceRecord &out)
+{
+    const auto &inst = *out.inst;
+    if (inst.load()) {
+        out.pred = unit_.onLoad(out.pc, out.effAddr, out.value,
+                                inst.accessSize());
+    } else if (inst.store()) {
+        unit_.onStore(out.effAddr, inst.accessSize());
+    } else if (inst.branch()) {
+        unit_.onBranch(out.taken);
+    }
+}
+
+void
 LvpAnnotator::consume(const trace::TraceRecord &rec)
 {
     trace::TraceRecord out = rec;
-    const auto &inst = *rec.inst;
-    if (inst.load()) {
-        out.pred = unit_.onLoad(rec.pc, rec.effAddr, rec.value,
-                                inst.accessSize());
-    } else if (inst.store()) {
-        unit_.onStore(rec.effAddr, inst.accessSize());
-    } else if (inst.branch()) {
-        unit_.onBranch(rec.taken);
-    }
+    annotate(out);
     downstream_.consume(out);
+}
+
+void
+LvpAnnotator::consumeBatch(std::span<const trace::TraceRecord> recs)
+{
+    batch_.assign(recs.begin(), recs.end());
+    for (trace::TraceRecord &out : batch_)
+        annotate(out);
+    downstream_.consumeBatch(std::span<const trace::TraceRecord>(
+        batch_.data(), batch_.size()));
 }
 
 } // namespace lvplib::core

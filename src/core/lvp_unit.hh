@@ -131,13 +131,18 @@ class LvpAnnotator : public trace::TraceSink
     {}
 
     void consume(const trace::TraceRecord &rec) override;
+    void consumeBatch(std::span<const trace::TraceRecord> recs) override;
     void finish() override { downstream_.finish(); }
 
     const LvpUnit &unit() const { return unit_; }
 
   private:
+    /** Run the LVP unit over @p out, stamping its pred in place. */
+    void annotate(trace::TraceRecord &out);
+
     LvpUnit unit_;
     trace::TraceSink &downstream_;
+    std::vector<trace::TraceRecord> batch_; ///< annotated copies
 };
 
 } // namespace lvplib::core

@@ -105,154 +105,4 @@ dataClassName(DataClass c)
     return "?";
 }
 
-FuType
-fuType(Opcode op)
-{
-    switch (op) {
-      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
-      case Opcode::OR: case Opcode::XOR: case Opcode::SLD:
-      case Opcode::SRD: case Opcode::SRAD: case Opcode::ADDI:
-      case Opcode::ANDI: case Opcode::ORI: case Opcode::XORI:
-      case Opcode::SLDI: case Opcode::SRDI: case Opcode::SRADI:
-      case Opcode::CMP: case Opcode::CMPU: case Opcode::CMPI:
-      case Opcode::NOP:
-        return FuType::SCFX;
-
-      case Opcode::MULL: case Opcode::DIVD: case Opcode::REMD:
-      case Opcode::MFLR: case Opcode::MTLR: case Opcode::MFCTR:
-      case Opcode::MTCTR:
-        return FuType::MCFX;
-
-      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
-      case Opcode::FDIV: case Opcode::FSQRT: case Opcode::FCMP:
-      case Opcode::FCFID: case Opcode::FCTID: case Opcode::FMR:
-      case Opcode::FNEG: case Opcode::FABS:
-        return FuType::FPU;
-
-      case Opcode::LD: case Opcode::LWZ: case Opcode::LBZ:
-      case Opcode::LFD: case Opcode::STD: case Opcode::STW:
-      case Opcode::STB: case Opcode::STFD:
-        return FuType::LSU;
-
-      case Opcode::B: case Opcode::BC: case Opcode::BL:
-      case Opcode::BLR: case Opcode::BCTR: case Opcode::BCTRL:
-      case Opcode::HALT:
-        return FuType::BRU;
-
-      case Opcode::NumOpcodes:
-        break;
-    }
-    lvp_panic("fuType: bad opcode %d", static_cast<int>(op));
-}
-
-bool
-isLoad(Opcode op)
-{
-    return op == Opcode::LD || op == Opcode::LWZ || op == Opcode::LBZ ||
-           op == Opcode::LFD;
-}
-
-bool
-isStore(Opcode op)
-{
-    return op == Opcode::STD || op == Opcode::STW || op == Opcode::STB ||
-           op == Opcode::STFD;
-}
-
-bool
-isBranch(Opcode op)
-{
-    return op == Opcode::B || op == Opcode::BC || op == Opcode::BL ||
-           op == Opcode::BLR || op == Opcode::BCTR || op == Opcode::BCTRL;
-}
-
-bool
-isCondBranch(Opcode op)
-{
-    return op == Opcode::BC;
-}
-
-bool
-isIndirectBranch(Opcode op)
-{
-    return op == Opcode::BLR || op == Opcode::BCTR || op == Opcode::BCTRL;
-}
-
-bool
-isFp(Opcode op)
-{
-    return fuType(op) == FuType::FPU || op == Opcode::LFD ||
-           op == Opcode::STFD;
-}
-
-RegIndex
-Instruction::destReg() const
-{
-    switch (op) {
-      case Opcode::BL:
-      case Opcode::BCTRL:
-        return RegLr;
-      case Opcode::MTLR:
-        return RegLr;
-      case Opcode::MTCTR:
-        return RegCtr;
-      case Opcode::STD: case Opcode::STW: case Opcode::STB:
-      case Opcode::STFD:
-      case Opcode::B: case Opcode::BC: case Opcode::BLR:
-      case Opcode::BCTR:
-      case Opcode::HALT: case Opcode::NOP:
-        return NoReg;
-      default:
-        // Writes to r0 are discarded; report no destination so the
-        // timing models don't create false dependencies.
-        return rd == 0 ? NoReg : rd;
-    }
-}
-
-std::array<RegIndex, 3>
-Instruction::srcRegs() const
-{
-    auto fix = [](RegIndex r) { return (r == 0) ? NoReg : r; };
-    switch (op) {
-      case Opcode::BLR:
-        return {RegLr, NoReg, NoReg};
-      case Opcode::BCTR:
-      case Opcode::BCTRL:
-        return {RegCtr, NoReg, NoReg};
-      case Opcode::MTLR:
-      case Opcode::MTCTR:
-        return {fix(rs1), NoReg, NoReg};
-      case Opcode::MFLR:
-        return {RegLr, NoReg, NoReg};
-      case Opcode::MFCTR:
-        return {RegCtr, NoReg, NoReg};
-      case Opcode::BC:
-        return {rs1, NoReg, NoReg}; // rs1 holds the cr-field register
-      case Opcode::STD: case Opcode::STW: case Opcode::STB:
-      case Opcode::STFD:
-        return {fix(rs1), fix(rs2), NoReg};
-      case Opcode::B: case Opcode::BL: case Opcode::HALT:
-      case Opcode::NOP:
-        return {NoReg, NoReg, NoReg};
-      default:
-        return {fix(rs1), fix(rs2), NoReg};
-    }
-}
-
-unsigned
-Instruction::accessSize() const
-{
-    switch (op) {
-      case Opcode::LBZ: case Opcode::STB:
-        return 1;
-      case Opcode::LWZ: case Opcode::STW:
-        return 4;
-      case Opcode::LD: case Opcode::LFD: case Opcode::STD:
-      case Opcode::STFD:
-        return 8;
-      default:
-        return 0;
-    }
-}
-
 } // namespace lvplib::isa

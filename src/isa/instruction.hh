@@ -78,6 +78,80 @@ struct Instruction
     bool operator==(const Instruction &o) const = default;
 };
 
+// destReg/srcRegs/accessSize run several times per retired
+// instruction in the timing models; defined inline so those call
+// sites pay no cross-TU call.
+
+inline RegIndex
+Instruction::destReg() const
+{
+    switch (op) {
+      case Opcode::BL:
+      case Opcode::BCTRL:
+        return RegLr;
+      case Opcode::MTLR:
+        return RegLr;
+      case Opcode::MTCTR:
+        return RegCtr;
+      case Opcode::STD: case Opcode::STW: case Opcode::STB:
+      case Opcode::STFD:
+      case Opcode::B: case Opcode::BC: case Opcode::BLR:
+      case Opcode::BCTR:
+      case Opcode::HALT: case Opcode::NOP:
+        return NoReg;
+      default:
+        // Writes to r0 are discarded; report no destination so the
+        // timing models don't create false dependencies.
+        return rd == 0 ? NoReg : rd;
+    }
+}
+
+inline std::array<RegIndex, 3>
+Instruction::srcRegs() const
+{
+    auto fix = [](RegIndex r) { return (r == 0) ? NoReg : r; };
+    switch (op) {
+      case Opcode::BLR:
+        return {RegLr, NoReg, NoReg};
+      case Opcode::BCTR:
+      case Opcode::BCTRL:
+        return {RegCtr, NoReg, NoReg};
+      case Opcode::MTLR:
+      case Opcode::MTCTR:
+        return {fix(rs1), NoReg, NoReg};
+      case Opcode::MFLR:
+        return {RegLr, NoReg, NoReg};
+      case Opcode::MFCTR:
+        return {RegCtr, NoReg, NoReg};
+      case Opcode::BC:
+        return {rs1, NoReg, NoReg}; // rs1 holds the cr-field register
+      case Opcode::STD: case Opcode::STW: case Opcode::STB:
+      case Opcode::STFD:
+        return {fix(rs1), fix(rs2), NoReg};
+      case Opcode::B: case Opcode::BL: case Opcode::HALT:
+      case Opcode::NOP:
+        return {NoReg, NoReg, NoReg};
+      default:
+        return {fix(rs1), fix(rs2), NoReg};
+    }
+}
+
+inline unsigned
+Instruction::accessSize() const
+{
+    switch (op) {
+      case Opcode::LBZ: case Opcode::STB:
+        return 1;
+      case Opcode::LWZ: case Opcode::STW:
+        return 4;
+      case Opcode::LD: case Opcode::LFD: case Opcode::STD:
+      case Opcode::STFD:
+        return 8;
+      default:
+        return 0;
+    }
+}
+
 /** Disassemble one instruction (pc used to render branch targets). */
 std::string disassemble(const Instruction &inst, Addr pc = 0);
 

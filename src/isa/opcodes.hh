@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace lvplib::isa
@@ -138,26 +139,98 @@ const char *opcodeName(Opcode op);
 /** Mnemonic for a condition code. */
 const char *condName(Cond c);
 
+// The opcode classifiers below sit on every timing model's
+// per-record path (several calls per retired instruction), so they
+// are defined inline here rather than out-of-line in instruction.cc.
+
 /** Functional unit that executes @p op. */
-FuType fuType(Opcode op);
+inline FuType
+fuType(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLD:
+      case Opcode::SRD: case Opcode::SRAD: case Opcode::ADDI:
+      case Opcode::ANDI: case Opcode::ORI: case Opcode::XORI:
+      case Opcode::SLDI: case Opcode::SRDI: case Opcode::SRADI:
+      case Opcode::CMP: case Opcode::CMPU: case Opcode::CMPI:
+      case Opcode::NOP:
+        return FuType::SCFX;
+
+      case Opcode::MULL: case Opcode::DIVD: case Opcode::REMD:
+      case Opcode::MFLR: case Opcode::MTLR: case Opcode::MFCTR:
+      case Opcode::MTCTR:
+        return FuType::MCFX;
+
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FSQRT: case Opcode::FCMP:
+      case Opcode::FCFID: case Opcode::FCTID: case Opcode::FMR:
+      case Opcode::FNEG: case Opcode::FABS:
+        return FuType::FPU;
+
+      case Opcode::LD: case Opcode::LWZ: case Opcode::LBZ:
+      case Opcode::LFD: case Opcode::STD: case Opcode::STW:
+      case Opcode::STB: case Opcode::STFD:
+        return FuType::LSU;
+
+      case Opcode::B: case Opcode::BC: case Opcode::BL:
+      case Opcode::BLR: case Opcode::BCTR: case Opcode::BCTRL:
+      case Opcode::HALT:
+        return FuType::BRU;
+
+      case Opcode::NumOpcodes:
+        break;
+    }
+    lvp_panic("fuType: bad opcode %d", static_cast<int>(op));
+}
 
 /** True for the four load opcodes. */
-bool isLoad(Opcode op);
+inline bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LD || op == Opcode::LWZ || op == Opcode::LBZ ||
+           op == Opcode::LFD;
+}
 
 /** True for the four store opcodes. */
-bool isStore(Opcode op);
+inline bool
+isStore(Opcode op)
+{
+    return op == Opcode::STD || op == Opcode::STW || op == Opcode::STB ||
+           op == Opcode::STFD;
+}
 
 /** True for any branch opcode. */
-bool isBranch(Opcode op);
+inline bool
+isBranch(Opcode op)
+{
+    return op == Opcode::B || op == Opcode::BC || op == Opcode::BL ||
+           op == Opcode::BLR || op == Opcode::BCTR ||
+           op == Opcode::BCTRL;
+}
 
 /** True for conditional branches only. */
-bool isCondBranch(Opcode op);
+inline bool
+isCondBranch(Opcode op)
+{
+    return op == Opcode::BC;
+}
 
 /** True for branches whose target comes from LR/CTR. */
-bool isIndirectBranch(Opcode op);
+inline bool
+isIndirectBranch(Opcode op)
+{
+    return op == Opcode::BLR || op == Opcode::BCTR ||
+           op == Opcode::BCTRL;
+}
 
 /** True for opcodes executed by the FPU. */
-bool isFp(Opcode op);
+inline bool
+isFp(Opcode op)
+{
+    return fuType(op) == FuType::FPU || op == Opcode::LFD ||
+           op == Opcode::STFD;
+}
 
 } // namespace lvplib::isa
 

@@ -167,6 +167,9 @@ benchUsage()
   --no-trace-cache  keep phase 1 in-memory only
   --metrics-out F   write the metric registry (every reproduced paper
                     number) as versioned JSON to F
+  --bench-out F     write the performance snapshot (per-experiment
+                    wall time and MIPS, suite totals, run-cache
+                    counters) as the --json document to F
   --timeline-out F  record experiment phases and write a Chrome
                     trace_event timeline to F
   --check F         after the run, diff metrics against baseline F
@@ -252,6 +255,11 @@ parseBenchCli(const std::vector<std::string> &args, std::string &error)
             if (!v)
                 return std::nullopt;
             opts.metricsOut = *v;
+        } else if (a == "--bench-out") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            opts.benchOut = *v;
         } else if (a == "--timeline-out") {
             auto *v = value();
             if (!v)

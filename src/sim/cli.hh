@@ -66,6 +66,7 @@ struct BenchOptions
     bool help = false;
     std::string verifyDir;      ///< --verify-trace-cache DIR
     std::string metricsOut;     ///< --metrics-out FILE.json
+    std::string benchOut;       ///< --bench-out FILE.json
     std::string timelineOut;    ///< --timeline-out FILE.json
     std::string checkBaseline;  ///< --check BASELINE.json
     double relTol = 1e-6;       ///< --rel-tol for --check

@@ -255,13 +255,10 @@ table3LctHitRates(const ExperimentOptions &opts)
               "Alpha Limit unpred", "Alpha Limit pred"});
     auto stats = experimentPool().map(
         workloadsByCodegen(), [&](const WorkUnit &u) {
-            std::array<core::LvpStats, 2> s;
-            unsigned i = 0;
-            for (const auto &cfg :
-                 {LvpConfig::simple(), LvpConfig::limit()})
-                s[i++] = cache().lvpOnly(*u.w, u.cg, opts.scale, cfg,
-                                         runCfg(opts));
-            return s;
+            return cache().lvpOnlyMany(
+                *u.w, u.cg, opts.scale,
+                {LvpConfig::simple(), LvpConfig::limit()},
+                runCfg(opts));
         });
     static const char *const colNames[8] = {
         "ppc_simple_unpred", "ppc_simple_pred", "ppc_limit_unpred",
@@ -303,13 +300,10 @@ table4ConstantRates(const ExperimentOptions &opts)
               "Alpha Constant"});
     auto stats = experimentPool().map(
         workloadsByCodegen(), [&](const WorkUnit &u) {
-            std::array<core::LvpStats, 2> s;
-            unsigned i = 0;
-            for (const auto &cfg :
-                 {LvpConfig::simple(), LvpConfig::constant()})
-                s[i++] = cache().lvpOnly(*u.w, u.cg, opts.scale, cfg,
-                                         runCfg(opts));
-            return s;
+            return cache().lvpOnlyMany(
+                *u.w, u.cg, opts.scale,
+                {LvpConfig::simple(), LvpConfig::constant()},
+                runCfg(opts));
         });
     static const char *const colNames[4] = {
         "ppc_simple", "ppc_constant", "alpha_simple", "alpha_constant"};
@@ -406,20 +400,20 @@ fig6AlphaSpeedups(const ExperimentOptions &opts)
     t.header({"Benchmark", "Base IPC", "Simple", "Limit", "Perfect"});
     const std::vector<LvpConfig> cfgs = {
         LvpConfig::simple(), LvpConfig::limit(), LvpConfig::perfect()};
+    std::vector<RunCache::AlphaVariant> variants;
+    variants.push_back({AlphaConfig::base21164(), std::nullopt});
+    for (const auto &cfg : cfgs)
+        variants.push_back({AlphaConfig::base21164(), cfg});
     auto rows = experimentPool().map(
         allWorkloads(), [&](const Workload &w) {
-            auto base = cache().alpha21164(
-                w, CodeGen::Alpha, opts.scale, AlphaConfig::base21164(),
-                std::nullopt, runCfg(opts));
+            auto runs = cache().alpha21164Many(w, CodeGen::Alpha,
+                                               opts.scale, variants,
+                                               runCfg(opts));
             SpeedupRow r;
-            r.baseIpc = base.timing.ipc();
-            for (const auto &cfg : cfgs) {
-                auto run = cache().alpha21164(
-                    w, CodeGen::Alpha, opts.scale,
-                    AlphaConfig::base21164(), cfg, runCfg(opts));
-                r.speedups.push_back(run.timing.ipc() /
-                                     base.timing.ipc());
-            }
+            r.baseIpc = runs[0].timing.ipc();
+            for (std::size_t c = 0; c < cfgs.size(); ++c)
+                r.speedups.push_back(runs[c + 1].timing.ipc() /
+                                     runs[0].timing.ipc());
             return r;
         });
     std::vector<std::vector<double>> speedups(cfgs.size());
@@ -454,20 +448,19 @@ fig6PpcSpeedups(const ExperimentOptions &opts)
     const std::vector<LvpConfig> cfgs = {
         LvpConfig::simple(), LvpConfig::constant(), LvpConfig::limit(),
         LvpConfig::perfect()};
+    std::vector<RunCache::PpcVariant> variants;
+    variants.push_back({Ppc620Config::base620(), std::nullopt});
+    for (const auto &cfg : cfgs)
+        variants.push_back({Ppc620Config::base620(), cfg});
     auto rows = experimentPool().map(
         allWorkloads(), [&](const Workload &w) {
-            auto base = cache().ppc620(w, CodeGen::Ppc, opts.scale,
-                                       Ppc620Config::base620(),
-                                       std::nullopt, runCfg(opts));
+            auto runs = cache().ppc620Many(w, CodeGen::Ppc, opts.scale,
+                                           variants, runCfg(opts));
             SpeedupRow r;
-            r.baseIpc = base.timing.ipc();
-            for (const auto &cfg : cfgs) {
-                auto run = cache().ppc620(w, CodeGen::Ppc, opts.scale,
-                                          Ppc620Config::base620(), cfg,
-                                          runCfg(opts));
-                r.speedups.push_back(run.timing.ipc() /
-                                     base.timing.ipc());
-            }
+            r.baseIpc = runs[0].timing.ipc();
+            for (std::size_t c = 0; c < cfgs.size(); ++c)
+                r.speedups.push_back(runs[c + 1].timing.ipc() /
+                                     runs[0].timing.ipc());
             return r;
         });
     std::vector<std::vector<double>> speedups(cfgs.size());
@@ -502,27 +495,26 @@ table6Plus620Speedups(const ExperimentOptions &opts)
     const std::vector<LvpConfig> cfgs = {
         LvpConfig::simple(), LvpConfig::constant(), LvpConfig::limit(),
         LvpConfig::perfect()};
+    std::vector<RunCache::PpcVariant> variants;
+    variants.push_back({Ppc620Config::base620(), std::nullopt});
+    variants.push_back({Ppc620Config::plus620(), std::nullopt});
+    for (const auto &cfg : cfgs)
+        variants.push_back({Ppc620Config::plus620(), cfg});
     auto rows = experimentPool().map(
         allWorkloads(), [&](const Workload &w) {
-            auto base620 = cache().ppc620(w, CodeGen::Ppc, opts.scale,
-                                          Ppc620Config::base620(),
-                                          std::nullopt, runCfg(opts));
-            auto base_plus = cache().ppc620(
-                w, CodeGen::Ppc, opts.scale, Ppc620Config::plus620(),
-                std::nullopt, runCfg(opts));
+            auto runs = cache().ppc620Many(w, CodeGen::Ppc, opts.scale,
+                                           variants, runCfg(opts));
+            const auto &base620 = runs[0];
+            const auto &base_plus = runs[1];
             SpeedupRow r;
             r.instructions = base620.timing.instructions;
             r.plusRatio =
                 base_plus.timing.ipc() / base620.timing.ipc();
-            for (const auto &cfg : cfgs) {
-                auto run = cache().ppc620(w, CodeGen::Ppc, opts.scale,
-                                          Ppc620Config::plus620(), cfg,
-                                          runCfg(opts));
-                // Paper Table 6: additional speedup relative to the
-                // baseline 620+ with no LVP.
-                r.speedups.push_back(run.timing.ipc() /
+            // Paper Table 6: additional speedup relative to the
+            // baseline 620+ with no LVP.
+            for (std::size_t c = 0; c < cfgs.size(); ++c)
+                r.speedups.push_back(runs[c + 2].timing.ipc() /
                                      base_plus.timing.ipc());
-            }
             return r;
         });
     std::vector<double> plus_col;
@@ -558,23 +550,30 @@ table6Plus620Speedups(const ExperimentOptions &opts)
 namespace
 {
 
-/** Sum verification-latency histograms over all benchmarks for one
- *  machine/LVP configuration. */
-Histogram
-verifyHistogram(const Ppc620Config &mc, const LvpConfig &cfg,
-                const ExperimentOptions &opts)
+/** Sum verification-latency histograms over all benchmarks for every
+ *  figure-7 machine/LVP configuration, fetching each workload's whole
+ *  variant sweep from one single-pass replay. */
+std::vector<Histogram>
+verifyHistograms(const std::vector<RunCache::PpcVariant> &variants,
+                 const ExperimentOptions &opts)
 {
-    auto hists = experimentPool().map(
+    auto rows = experimentPool().map(
         allWorkloads(), [&](const Workload &w) {
-            return cache()
-                .ppc620(w, CodeGen::Ppc, opts.scale, mc, cfg,
-                        runCfg(opts))
-                .timing.verifyLatency;
+            auto runs = cache().ppc620Many(w, CodeGen::Ppc, opts.scale,
+                                           variants, runCfg(opts));
+            std::vector<Histogram> hs;
+            hs.reserve(runs.size());
+            for (const auto &r : runs)
+                hs.push_back(r.timing.verifyLatency);
+            return hs;
         });
-    Histogram h(8);
-    for (const auto &wh : hists)
-        h.merge(wh);
-    return h;
+    // Merge each variant in suite order, exactly as the previous
+    // per-configuration loops did.
+    std::vector<Histogram> out(variants.size(), Histogram(8));
+    for (const auto &wh : rows)
+        for (std::size_t v = 0; v < variants.size(); ++v)
+            out[v].merge(wh[v]);
+    return out;
 }
 
 } // namespace
@@ -584,24 +583,28 @@ fig7VerificationLatency(const ExperimentOptions &opts)
 {
     TextTable t;
     t.header({"Machine/Config", "<4", "4", "5", "6", "7", ">7"});
+    std::vector<RunCache::PpcVariant> variants;
     for (const auto &mc :
-         {Ppc620Config::base620(), Ppc620Config::plus620()}) {
-        for (const auto &cfg : LvpConfig::paperConfigs()) {
-            Histogram h = verifyHistogram(mc, cfg, opts);
-            double lt4 = h.bucketPct(0) + h.bucketPct(1) +
-                         h.bucketPct(2) + h.bucketPct(3);
-            t.row({mc.name + "/" + cfg.name, pc1(lt4),
-                   pc1(h.bucketPct(4)), pc1(h.bucketPct(5)),
-                   pc1(h.bucketPct(6)), pc1(h.bucketPct(7)),
-                   pc1(h.overflowPct())});
-            const std::string rowKey = mc.name + "_" + cfg.name;
-            pub({"fig7", rowKey, "lt4"}, lt4);
-            pub({"fig7", rowKey, "c4"}, h.bucketPct(4));
-            pub({"fig7", rowKey, "c5"}, h.bucketPct(5));
-            pub({"fig7", rowKey, "c6"}, h.bucketPct(6));
-            pub({"fig7", rowKey, "c7"}, h.bucketPct(7));
-            pub({"fig7", rowKey, "gt7"}, h.overflowPct());
-        }
+         {Ppc620Config::base620(), Ppc620Config::plus620()})
+        for (const auto &cfg : LvpConfig::paperConfigs())
+            variants.push_back({mc, cfg});
+    auto hists = verifyHistograms(variants, opts);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const auto &mc = variants[v].mc;
+        const auto &cfg = *variants[v].lvp;
+        const Histogram &h = hists[v];
+        double lt4 = h.bucketPct(0) + h.bucketPct(1) + h.bucketPct(2) +
+                     h.bucketPct(3);
+        t.row({mc.name + "/" + cfg.name, pc1(lt4), pc1(h.bucketPct(4)),
+               pc1(h.bucketPct(5)), pc1(h.bucketPct(6)),
+               pc1(h.bucketPct(7)), pc1(h.overflowPct())});
+        const std::string rowKey = mc.name + "_" + cfg.name;
+        pub({"fig7", rowKey, "lt4"}, lt4);
+        pub({"fig7", rowKey, "c4"}, h.bucketPct(4));
+        pub({"fig7", rowKey, "c5"}, h.bucketPct(5));
+        pub({"fig7", rowKey, "c6"}, h.bucketPct(6));
+        pub({"fig7", rowKey, "c7"}, h.bucketPct(7));
+        pub({"fig7", rowKey, "gt7"}, h.overflowPct());
     }
     return t;
 }
@@ -628,23 +631,23 @@ fig8DependencyResolution(const ExperimentOptions &opts)
     for (const auto &mc :
          {Ppc620Config::base620(), Ppc620Config::plus620()}) {
         auto cfgs = LvpConfig::paperConfigs();
+        std::vector<RunCache::PpcVariant> variants;
+        variants.push_back({mc, std::nullopt});
+        for (const auto &cfg : cfgs)
+            variants.push_back({mc, cfg});
         auto rows = experimentPool().map(
             allWorkloads(), [&](const Workload &w) {
+                auto runs = cache().ppc620Many(w, CodeGen::Ppc,
+                                               opts.scale, variants,
+                                               runCfg(opts));
                 WaitRow r;
-                auto base =
-                    cache().ppc620(w, CodeGen::Ppc, opts.scale, mc,
-                                   std::nullopt, runCfg(opts));
                 for (FuType f : fus)
                     r.base[static_cast<std::size_t>(f)] =
-                        base.timing.rsWaitMean(f);
-                for (std::size_t c = 0; c < cfgs.size(); ++c) {
-                    auto run =
-                        cache().ppc620(w, CodeGen::Ppc, opts.scale, mc,
-                                       cfgs[c], runCfg(opts));
+                        runs[0].timing.rsWaitMean(f);
+                for (std::size_t c = 0; c < cfgs.size(); ++c)
                     for (FuType f : fus)
                         r.cfg[c][static_cast<std::size_t>(f)] =
-                            run.timing.rsWaitMean(f);
-                }
+                            runs[c + 1].timing.rsWaitMean(f);
                 return r;
             });
         // Accumulate in suite order so floating-point sums match the
@@ -688,24 +691,21 @@ fig9BankConflicts(const ExperimentOptions &opts)
     TextTable t;
     t.header({"Benchmark", "620 NoLVP", "620 Simple", "620 Constant",
               "620+ NoLVP", "620+ Simple", "620+ Constant"});
+    std::vector<RunCache::PpcVariant> variants;
+    for (const auto &mc :
+         {Ppc620Config::base620(), Ppc620Config::plus620()}) {
+        variants.push_back({mc, std::nullopt});
+        for (const auto &cfg :
+             {LvpConfig::simple(), LvpConfig::constant()})
+            variants.push_back({mc, cfg});
+    }
     auto rows = experimentPool().map(
         allWorkloads(), [&](const Workload &w) {
+            auto runs = cache().ppc620Many(w, CodeGen::Ppc, opts.scale,
+                                           variants, runCfg(opts));
             std::array<double, 6> pcts{};
-            unsigned c = 0;
-            for (const auto &mc :
-                 {Ppc620Config::base620(), Ppc620Config::plus620()}) {
-                auto base =
-                    cache().ppc620(w, CodeGen::Ppc, opts.scale, mc,
-                                   std::nullopt, runCfg(opts));
-                pcts[c++] = base.timing.bankConflictPct();
-                for (const auto &cfg :
-                     {LvpConfig::simple(), LvpConfig::constant()}) {
-                    auto run = cache().ppc620(w, CodeGen::Ppc,
-                                              opts.scale, mc, cfg,
-                                              runCfg(opts));
-                    pcts[c++] = run.timing.bankConflictPct();
-                }
-            }
+            for (unsigned c = 0; c < 6; ++c)
+                pcts[c] = runs[c].timing.bankConflictPct();
             return pcts;
         });
     static const char *const colNames[6] = {

@@ -44,30 +44,58 @@ pub(std::initializer_list<std::string_view> parts, double v)
     obs::metrics().gauge(obs::metricKey(parts)).set(v);
 }
 
-/** Mean "good prediction" rate over the suite for one config. */
-double
-meanGood(const core::LvpConfig &cfg, const ExperimentOptions &opts)
+/**
+ * Suite statistics for a whole config sweep at once: element c of the
+ * result is the per-workload mean of stat(workload, cfgs[c]). Each
+ * workload's sweep comes from one single-pass fan-out replay, and the
+ * per-config means accumulate in suite order, exactly as the old
+ * one-config-at-a-time helpers did.
+ */
+template <typename StatFn>
+std::vector<double>
+meanOverSuite(const std::vector<core::LvpConfig> &cfgs,
+              const ExperimentOptions &opts, StatFn stat)
 {
-    auto xs = experimentPool().map(
+    auto rows = experimentPool().map(
         allWorkloads(), [&](const Workload &w) {
-            auto st = cache().lvpOnly(w, CodeGen::Ppc, opts.scale, cfg,
-                                      runCfg(opts));
-            return pct(st.correct + st.constants, st.loads);
+            auto sts = cache().lvpOnlyMany(w, CodeGen::Ppc, opts.scale,
+                                           cfgs, runCfg(opts));
+            std::vector<double> xs;
+            xs.reserve(sts.size());
+            for (const auto &st : sts)
+                xs.push_back(stat(st));
+            return xs;
         });
-    return mean(xs);
+    std::vector<double> out;
+    out.reserve(cfgs.size());
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        std::vector<double> col;
+        col.reserve(rows.size());
+        for (const auto &r : rows)
+            col.push_back(r[c]);
+        out.push_back(mean(col));
+    }
+    return out;
 }
 
-/** Mean constant-identification rate over the suite for one config. */
-double
-meanConstant(const core::LvpConfig &cfg, const ExperimentOptions &opts)
+/** Mean "good prediction" rate over the suite, per config. */
+std::vector<double>
+meanGoodMany(const std::vector<core::LvpConfig> &cfgs,
+             const ExperimentOptions &opts)
 {
-    auto xs = experimentPool().map(
-        allWorkloads(), [&](const Workload &w) {
-            return cache()
-                .lvpOnly(w, CodeGen::Ppc, opts.scale, cfg, runCfg(opts))
-                .constantRate();
-        });
-    return mean(xs);
+    return meanOverSuite(cfgs, opts, [](const core::LvpStats &st) {
+        return pct(st.correct + st.constants, st.loads);
+    });
+}
+
+/** Mean constant-identification rate over the suite, per config. */
+std::vector<double>
+meanConstantMany(const std::vector<core::LvpConfig> &cfgs,
+                 const ExperimentOptions &opts)
+{
+    return meanOverSuite(cfgs, opts, [](const core::LvpStats &st) {
+        return st.constantRate();
+    });
 }
 
 } // namespace
@@ -159,13 +187,21 @@ ablationLvpDesign(const ExperimentOptions &opts)
     {
         TextTable t;
         t.header({"LVPT entries", "good predictions"});
-        for (std::uint32_t entries : {64u, 256u, 1024u, 4096u}) {
+        static const std::uint32_t entriesSweep[] = {64u, 256u, 1024u,
+                                                     4096u};
+        std::vector<LvpConfig> cfgs;
+        for (std::uint32_t entries : entriesSweep) {
             auto cfg = LvpConfig::simple();
             cfg.lvptEntries = entries;
-            double g = meanGood(cfg, opts);
-            t.row({std::to_string(entries), TextTable::fmtPct(g)});
+            cfgs.push_back(cfg);
+        }
+        auto goods = meanGoodMany(cfgs, opts);
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            double g = goods[i];
+            t.row({std::to_string(entriesSweep[i]),
+                   TextTable::fmtPct(g)});
             pub({"ablation_lvp_design",
-                 "lvpt_" + std::to_string(entries), "good"},
+                 "lvpt_" + std::to_string(entriesSweep[i]), "good"},
                 g);
         }
         sections.push_back(
@@ -178,13 +214,19 @@ ablationLvpDesign(const ExperimentOptions &opts)
     {
         TextTable t;
         t.header({"History depth (oracle select)", "good predictions"});
-        for (std::uint32_t depth : {1u, 2u, 4u, 8u, 16u}) {
+        static const std::uint32_t depthSweep[] = {1u, 2u, 4u, 8u, 16u};
+        std::vector<LvpConfig> cfgs;
+        for (std::uint32_t depth : depthSweep) {
             auto cfg = LvpConfig::limit();
             cfg.historyDepth = depth;
-            double g = meanGood(cfg, opts);
-            t.row({std::to_string(depth), TextTable::fmtPct(g)});
+            cfgs.push_back(cfg);
+        }
+        auto goods = meanGoodMany(cfgs, opts);
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            double g = goods[i];
+            t.row({std::to_string(depthSweep[i]), TextTable::fmtPct(g)});
             pub({"ablation_lvp_design",
-                 "history_" + std::to_string(depth), "good"},
+                 "history_" + std::to_string(depthSweep[i]), "good"},
                 g);
         }
         sections.push_back(
@@ -198,25 +240,32 @@ ablationLvpDesign(const ExperimentOptions &opts)
     {
         TextTable t;
         t.header({"CVU entries", "constants (% of loads)"});
-        for (std::uint32_t entries : {8u, 32u, 128u, 512u}) {
+        static const std::uint32_t cvuSweep[] = {8u, 32u, 128u, 512u};
+        std::vector<LvpConfig> cfgs;
+        for (std::uint32_t entries : cvuSweep) {
             auto cfg = LvpConfig::constant();
             cfg.cvuEntries = entries;
-            double c = meanConstant(cfg, opts);
-            t.row({std::to_string(entries), TextTable::fmtPct(c)});
-            pub({"ablation_lvp_design",
-                 "cvu_" + std::to_string(entries), "constants"},
-                c);
+            cfgs.push_back(cfg);
         }
         // Organization: the paper's full CAM vs a cheaper 4-way
         // set-associative CVU at the Constant config's capacity.
         {
             auto cfg = LvpConfig::constant();
             cfg.cvuWays = 4;
-            double c = meanConstant(cfg, opts);
-            t.row({"128 (4-way set-assoc)", TextTable::fmtPct(c)});
-            pub({"ablation_lvp_design", "cvu_128_4way", "constants"},
+            cfgs.push_back(cfg);
+        }
+        auto consts = meanConstantMany(cfgs, opts);
+        for (std::size_t i = 0; i < std::size(cvuSweep); ++i) {
+            double c = consts[i];
+            t.row({std::to_string(cvuSweep[i]), TextTable::fmtPct(c)});
+            pub({"ablation_lvp_design",
+                 "cvu_" + std::to_string(cvuSweep[i]), "constants"},
                 c);
         }
+        t.row({"128 (4-way set-assoc)",
+               TextTable::fmtPct(consts.back())});
+        pub({"ablation_lvp_design", "cvu_128_4way", "constants"},
+            consts.back());
         sections.push_back(
             {"Ablation 3: CVU capacity and organization",
              "more CAM entries keep more constants verified between "
@@ -227,13 +276,19 @@ ablationLvpDesign(const ExperimentOptions &opts)
     {
         TextTable t;
         t.header({"BHR bits in LVPT index", "good predictions"});
-        for (std::uint32_t bits : {0u, 2u, 4u, 8u}) {
+        static const std::uint32_t bhrSweep[] = {0u, 2u, 4u, 8u};
+        std::vector<LvpConfig> cfgs;
+        for (std::uint32_t bits : bhrSweep) {
             auto cfg = LvpConfig::simple();
             cfg.bhrBits = bits;
-            double g = meanGood(cfg, opts);
-            t.row({std::to_string(bits), TextTable::fmtPct(g)});
-            pub({"ablation_lvp_design", "bhr_" + std::to_string(bits),
-                 "good"},
+            cfgs.push_back(cfg);
+        }
+        auto goods = meanGoodMany(cfgs, opts);
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            double g = goods[i];
+            t.row({std::to_string(bhrSweep[i]), TextTable::fmtPct(g)});
+            pub({"ablation_lvp_design",
+                 "bhr_" + std::to_string(bhrSweep[i]), "good"},
                 g);
         }
         sections.push_back(
@@ -251,16 +306,14 @@ ablationLvpDesign(const ExperimentOptions &opts)
         for (bool squash : {false, true}) {
             auto mc = Ppc620Config::base620();
             mc.squashOnValueMispredict = squash;
+            const std::vector<RunCache::PpcVariant> variants = {
+                {mc, std::nullopt}, {mc, LvpConfig::simple()}};
             auto speedups = experimentPool().map(
                 allWorkloads(), [&](const Workload &w) {
-                    auto base =
-                        cache().ppc620(w, CodeGen::Ppc, opts.scale, mc,
-                                       std::nullopt, runCfg(opts));
-                    auto run = cache().ppc620(w, CodeGen::Ppc,
-                                              opts.scale, mc,
-                                              LvpConfig::simple(),
-                                              runCfg(opts));
-                    return run.timing.ipc() / base.timing.ipc();
+                    auto runs = cache().ppc620Many(w, CodeGen::Ppc,
+                                                   opts.scale, variants,
+                                                   runCfg(opts));
+                    return runs[1].timing.ipc() / runs[0].timing.ipc();
                 });
             t.row({squash ? "squash + refetch" : "selective reissue "
                                                  "(paper)",
@@ -283,10 +336,16 @@ ablationLvpDesign(const ExperimentOptions &opts)
     {
         TextTable t;
         t.header({"LVPT tagging", "good predictions"});
+        std::vector<LvpConfig> cfgs;
         for (bool tagged : {false, true}) {
             auto cfg = LvpConfig::simple();
             cfg.taggedLvpt = tagged;
-            double g = meanGood(cfg, opts);
+            cfgs.push_back(cfg);
+        }
+        auto goods = meanGoodMany(cfgs, opts);
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            bool tagged = i == 1;
+            double g = goods[i];
             t.row({tagged ? "tagged" : "untagged (paper)",
                    TextTable::fmtPct(g)});
             pub({"ablation_lvp_design",
@@ -391,20 +450,15 @@ ablationBpred(const ExperimentOptions &opts)
     {
         PpcRun bimodal, gshare, gshare_lvp;
     };
+    const std::vector<RunCache::PpcVariant> variants = {
+        {bimodal_cfg, std::nullopt},
+        {gshare_cfg, std::nullopt},
+        {gshare_cfg, LvpConfig::simple()}};
     auto rows = experimentPool().map(
         allWorkloads(), [&](const Workload &w) {
-            BpredRow r;
-            r.bimodal = cache().ppc620(w, CodeGen::Ppc, opts.scale,
-                                       bimodal_cfg, std::nullopt,
-                                       runCfg(opts));
-            r.gshare = cache().ppc620(w, CodeGen::Ppc, opts.scale,
-                                      gshare_cfg, std::nullopt,
-                                      runCfg(opts));
-            r.gshare_lvp = cache().ppc620(w, CodeGen::Ppc, opts.scale,
-                                          gshare_cfg,
-                                          LvpConfig::simple(),
-                                          runCfg(opts));
-            return r;
+            auto runs = cache().ppc620Many(w, CodeGen::Ppc, opts.scale,
+                                           variants, runCfg(opts));
+            return BpredRow{runs[0], runs[1], runs[2]};
         });
     auto mr = [](const PpcRun &r) {
         return pct(r.timing.branchMispredicts, r.timing.instructions);
@@ -458,16 +512,15 @@ sec61MissRates(const ExperimentOptions &opts)
     {
         AlphaRun base, with;
     };
+    const std::vector<RunCache::AlphaVariant> variants = {
+        {uarch::AlphaConfig::base21164(), std::nullopt},
+        {uarch::AlphaConfig::base21164(), LvpConfig::constant()}};
     auto rows = experimentPool().map(
         allWorkloads(), [&](const Workload &w) {
-            auto mc = uarch::AlphaConfig::base21164();
-            MissRow r;
-            r.base = cache().alpha21164(w, CodeGen::Alpha, opts.scale,
-                                        mc, std::nullopt, runCfg(opts));
-            r.with = cache().alpha21164(w, CodeGen::Alpha, opts.scale,
-                                        mc, LvpConfig::constant(),
-                                        runCfg(opts));
-            return r;
+            auto runs = cache().alpha21164Many(w, CodeGen::Alpha,
+                                               opts.scale, variants,
+                                               runCfg(opts));
+            return MissRow{runs[0], runs[1]};
         });
     std::vector<double> miss_red, acc_red;
     const auto &suite = allWorkloads();

@@ -70,20 +70,36 @@ struct ModelMetrics
     obs::Distribution &ipcX100;
 };
 
+/**
+ * Both models' bundles behind one once-initialized lookup: the
+ * instrument-name strings are concatenated and resolved against the
+ * registry exactly once per process, not per publishModelRun call
+ * site (and a future model costs one line here, not another
+ * function-local static with its own guard).
+ */
+ModelMetrics &
+modelMetrics(bool alpha)
+{
+    static struct
+    {
+        ModelMetrics ppc{"ppc620"};
+        ModelMetrics alpha{"alpha21164"};
+    } bundles;
+    return alpha ? bundles.alpha : bundles.ppc;
+}
+
 } // namespace
 
 void
 publishModelRun(const uarch::OooStats &s)
 {
-    static ModelMetrics mm("ppc620");
-    mm.publish(s.cycles, s.instructions, s.ipc());
+    modelMetrics(false).publish(s.cycles, s.instructions, s.ipc());
 }
 
 void
 publishModelRun(const uarch::InOrderStats &s)
 {
-    static ModelMetrics mm("alpha21164");
-    mm.publish(s.cycles, s.instructions, s.ipc());
+    modelMetrics(true).publish(s.cycles, s.instructions, s.ipc());
 }
 
 std::uint64_t

@@ -10,8 +10,10 @@
 #ifndef LVPLIB_SIM_RESILIENCE_HH
 #define LVPLIB_SIM_RESILIENCE_HH
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -54,6 +56,33 @@ class WatchdogSink : public trace::TraceSink
         ++n_;
         if (down_)
             down_->consume(rec);
+    }
+
+    /**
+     * Batched path with identical trip points: the budget throw and
+     * each 64 Ki wall check fire at exactly the same record count as
+     * the per-record path, and every record before a throw has been
+     * forwarded downstream.
+     */
+    void
+    consumeBatch(std::span<const trace::TraceRecord> recs) override
+    {
+        while (!recs.empty()) {
+            if (recordBudget_ != 0 && n_ >= recordBudget_)
+                throwBudget();
+            if (wallLimitMs_ != 0 && (n_ & WallCheckMask) == 0)
+                checkWall();
+            // Records until the next check would fire.
+            std::uint64_t run = WallCheckMask + 1 - (n_ & WallCheckMask);
+            if (recordBudget_ != 0)
+                run = std::min(run, recordBudget_ - n_);
+            std::size_t k = static_cast<std::size_t>(
+                std::min<std::uint64_t>(run, recs.size()));
+            if (down_)
+                down_->consumeBatch(recs.first(k));
+            n_ += k;
+            recs = recs.subspan(k);
+        }
     }
 
     void

@@ -167,6 +167,10 @@ struct RunCache::Impl
         obs::metrics().counter("runcache.trace_replays");
     obs::Counter &obsTraceInvalid =
         obs::metrics().counter("runcache.trace_invalid");
+    obs::Counter &obsFanoutPasses =
+        obs::metrics().counter("runcache.fanout.passes");
+    obs::Counter &obsFanoutSinks =
+        obs::metrics().counter("runcache.fanout.sinks");
 
     /** Consecutive failed trace writes before degrading to
      *  cache-less in-memory replay (clearing traceDir). */
@@ -181,6 +185,16 @@ struct RunCache::Impl
     noteTraceSuccess()
     {
         consecutiveTraceFailures.store(0, std::memory_order_relaxed);
+    }
+
+    /** One single-pass fan-out replay served @p sinks variants. */
+    void
+    noteFanoutReplay(std::size_t sinks)
+    {
+        traceReplays.fetch_add(1, std::memory_order_relaxed);
+        obsTraceReplays.add();
+        obsFanoutPasses.add();
+        obsFanoutSinks.add(sinks);
     }
 
     /**
@@ -277,6 +291,95 @@ struct RunCache::Impl
             obsHits.add();
         }
         return fut.get();
+    }
+
+    /**
+     * Fan-out variant of getOrCompute(): resolve @p keys together.
+     * Already-memoized keys are hits; the rest are claimed under one
+     * lock (so concurrent sweeps block on our futures instead of
+     * recomputing) and handed as index lists to @p batch, which
+     * computes them in one shared trace replay, filling vals[k] for
+     * owned[k]. Any owned variant @p batch could not serve (no trace,
+     * replay failed and was reported, or batch threw) is computed by
+     * the per-variant @p fallback. Every claimed promise is settled —
+     * value, or key erased then exception, mirroring getOrCompute's
+     * no-memoized-failures rule — before results are collected, and
+     * the first failing variant's exception (in variant order)
+     * propagates to the caller.
+     */
+    template <typename V>
+    std::vector<V>
+    fanOutCompute(
+        std::map<std::string, std::shared_future<V>> &map,
+        const std::vector<std::string> &keys,
+        const std::function<void(const std::vector<std::size_t> &,
+                                 std::vector<std::optional<V>> &)>
+            &batch,
+        const std::function<V(std::size_t)> &fallback)
+    {
+        std::vector<std::shared_future<V>> futs(keys.size());
+        std::vector<std::promise<V>> proms(keys.size());
+        std::vector<std::size_t> owned;
+        {
+            std::lock_guard<std::mutex> lock(m);
+            for (std::size_t i = 0; i < keys.size(); ++i) {
+                auto it = map.find(keys[i]);
+                if (it != map.end()) {
+                    // Includes duplicate keys earlier in this call:
+                    // the first occurrence owns, the rest wait.
+                    futs[i] = it->second;
+                } else {
+                    futs[i] = proms[i].get_future().share();
+                    map.emplace(keys[i], futs[i]);
+                    owned.push_back(i);
+                }
+            }
+        }
+        std::size_t nHits = keys.size() - owned.size();
+        if (nHits > 0) {
+            hits.fetch_add(nHits, std::memory_order_relaxed);
+            obsHits.add(nHits);
+        }
+        if (!owned.empty()) {
+            misses.fetch_add(owned.size(), std::memory_order_relaxed);
+            obsMisses.add(owned.size());
+            std::vector<std::optional<V>> vals(owned.size());
+            std::vector<std::exception_ptr> errs(owned.size());
+            try {
+                batch(owned, vals);
+            } catch (...) {
+                auto e = std::current_exception();
+                for (std::size_t k = 0; k < owned.size(); ++k)
+                    if (!vals[k])
+                        errs[k] = e;
+            }
+            for (std::size_t k = 0; k < owned.size(); ++k) {
+                if (vals[k] || errs[k])
+                    continue;
+                try {
+                    vals[k] = fallback(owned[k]);
+                } catch (...) {
+                    errs[k] = std::current_exception();
+                }
+            }
+            for (std::size_t k = 0; k < owned.size(); ++k) {
+                std::size_t i = owned[k];
+                if (vals[k]) {
+                    proms[i].set_value(std::move(*vals[k]));
+                } else {
+                    {
+                        std::lock_guard<std::mutex> lock(m);
+                        map.erase(keys[i]);
+                    }
+                    proms[i].set_exception(errs[k]);
+                }
+            }
+        }
+        std::vector<V> out;
+        out.reserve(keys.size());
+        for (auto &f : futs)
+            out.push_back(f.get());
+        return out;
     }
 };
 
@@ -610,6 +713,185 @@ RunCache::alpha21164(const Workload &w, CodeGen cg, unsigned scale,
                 }
             }
             return runAlpha21164(*prog, mc, lvp, rc);
+        });
+}
+
+std::vector<core::LvpStats>
+RunCache::lvpOnlyMany(const Workload &w, CodeGen cg, unsigned scale,
+                      const std::vector<core::LvpConfig> &cfgs,
+                      const RunConfig &rc)
+{
+    std::string base = runKey(w, cg, scale, rc) + "|lvp|";
+    std::vector<std::string> keys;
+    keys.reserve(cfgs.size());
+    for (const auto &cfg : cfgs)
+        keys.push_back(base + fp(cfg));
+    return impl_->fanOutCompute<core::LvpStats>(
+        impl_->lvps, keys,
+        [&](const std::vector<std::size_t> &owned,
+            std::vector<std::optional<core::LvpStats>> &vals) {
+            auto prog = program(w, cg, scale);
+            std::string tr =
+                impl_->ensureTrace(*this, w, cg, scale, rc);
+            if (tr.empty())
+                return;
+            obs::Timeline::Scope span("lvp:" + w.name, "sim");
+            NullSink null_sink;
+            std::vector<std::unique_ptr<core::LvpAnnotator>> annots;
+            std::vector<trace::TraceSink *> tops;
+            for (std::size_t i : owned) {
+                annots.push_back(std::make_unique<core::LvpAnnotator>(
+                    cfgs[i], null_sink));
+                tops.push_back(annots.back().get());
+            }
+            try {
+                trace::TraceFileReader reader(tr, *prog);
+                trace::MultiSink multi(std::move(tops));
+                std::uint64_t n = reader.replay(multi);
+                addInstructionsProcessed(n * owned.size());
+                impl_->noteFanoutReplay(owned.size());
+            } catch (const SimError &e) {
+                impl_->onReplayError(tr, e);
+                return;
+            }
+            for (std::size_t k = 0; k < owned.size(); ++k)
+                vals[k] = annots[k]->unit().stats();
+        },
+        [&](std::size_t i) {
+            auto prog = program(w, cg, scale);
+            obs::Timeline::Scope span("lvp:" + w.name, "sim");
+            return runLvpOnly(*prog, cfgs[i], rc);
+        });
+}
+
+std::vector<PpcRun>
+RunCache::ppc620Many(const Workload &w, CodeGen cg, unsigned scale,
+                     const std::vector<PpcVariant> &variants,
+                     const RunConfig &rc)
+{
+    std::string base = runKey(w, cg, scale, rc) + "|ppc|";
+    std::vector<std::string> keys;
+    keys.reserve(variants.size());
+    for (const auto &v : variants)
+        keys.push_back(base + fp(v.mc) + '|' + fp(v.lvp));
+    return impl_->fanOutCompute<PpcRun>(
+        impl_->ppcRuns, keys,
+        [&](const std::vector<std::size_t> &owned,
+            std::vector<std::optional<PpcRun>> &vals) {
+            auto prog = program(w, cg, scale);
+            std::string tr =
+                impl_->ensureTrace(*this, w, cg, scale, rc);
+            if (tr.empty())
+                return;
+            obs::Timeline::Scope span("ppc620:" + w.name, "sim");
+            std::vector<std::unique_ptr<uarch::Ppc620Model>> models;
+            std::vector<std::unique_ptr<core::LvpAnnotator>> annots;
+            std::vector<trace::TraceSink *> tops;
+            for (std::size_t i : owned) {
+                const PpcVariant &v = variants[i];
+                models.push_back(std::make_unique<uarch::Ppc620Model>(
+                    v.mc, v.lvp.has_value()));
+                if (v.lvp) {
+                    annots.push_back(
+                        std::make_unique<core::LvpAnnotator>(
+                            *v.lvp, *models.back()));
+                    tops.push_back(annots.back().get());
+                } else {
+                    annots.push_back(nullptr);
+                    tops.push_back(models.back().get());
+                }
+            }
+            try {
+                trace::TraceFileReader reader(tr, *prog);
+                trace::MultiSink multi(std::move(tops));
+                std::uint64_t n = reader.replay(multi);
+                addInstructionsProcessed(n * owned.size());
+                impl_->noteFanoutReplay(owned.size());
+            } catch (const SimError &e) {
+                impl_->onReplayError(tr, e);
+                return;
+            }
+            for (std::size_t k = 0; k < owned.size(); ++k) {
+                PpcRun r;
+                if (annots[k])
+                    r.lvp = annots[k]->unit().stats();
+                r.timing = models[k]->stats();
+                publishModelRun(r.timing);
+                vals[k] = std::move(r);
+            }
+        },
+        [&](std::size_t i) {
+            const PpcVariant &v = variants[i];
+            auto prog = program(w, cg, scale);
+            obs::Timeline::Scope span("ppc620:" + w.name, "sim");
+            return runPpc620(*prog, v.mc, v.lvp, rc);
+        });
+}
+
+std::vector<AlphaRun>
+RunCache::alpha21164Many(const Workload &w, CodeGen cg,
+                         unsigned scale,
+                         const std::vector<AlphaVariant> &variants,
+                         const RunConfig &rc)
+{
+    std::string base = runKey(w, cg, scale, rc) + "|alpha|";
+    std::vector<std::string> keys;
+    keys.reserve(variants.size());
+    for (const auto &v : variants)
+        keys.push_back(base + fp(v.mc) + '|' + fp(v.lvp));
+    return impl_->fanOutCompute<AlphaRun>(
+        impl_->alphaRuns, keys,
+        [&](const std::vector<std::size_t> &owned,
+            std::vector<std::optional<AlphaRun>> &vals) {
+            auto prog = program(w, cg, scale);
+            std::string tr =
+                impl_->ensureTrace(*this, w, cg, scale, rc);
+            if (tr.empty())
+                return;
+            obs::Timeline::Scope span("alpha21164:" + w.name, "sim");
+            std::vector<std::unique_ptr<uarch::Alpha21164Model>>
+                models;
+            std::vector<std::unique_ptr<core::LvpAnnotator>> annots;
+            std::vector<trace::TraceSink *> tops;
+            for (std::size_t i : owned) {
+                const AlphaVariant &v = variants[i];
+                models.push_back(
+                    std::make_unique<uarch::Alpha21164Model>(
+                        v.mc, v.lvp.has_value()));
+                if (v.lvp) {
+                    annots.push_back(
+                        std::make_unique<core::LvpAnnotator>(
+                            *v.lvp, *models.back()));
+                    tops.push_back(annots.back().get());
+                } else {
+                    annots.push_back(nullptr);
+                    tops.push_back(models.back().get());
+                }
+            }
+            try {
+                trace::TraceFileReader reader(tr, *prog);
+                trace::MultiSink multi(std::move(tops));
+                std::uint64_t n = reader.replay(multi);
+                addInstructionsProcessed(n * owned.size());
+                impl_->noteFanoutReplay(owned.size());
+            } catch (const SimError &e) {
+                impl_->onReplayError(tr, e);
+                return;
+            }
+            for (std::size_t k = 0; k < owned.size(); ++k) {
+                AlphaRun r;
+                if (annots[k])
+                    r.lvp = annots[k]->unit().stats();
+                r.timing = models[k]->stats();
+                publishModelRun(r.timing);
+                vals[k] = std::move(r);
+            }
+        },
+        [&](std::size_t i) {
+            const AlphaVariant &v = variants[i];
+            auto prog = program(w, cg, scale);
+            obs::Timeline::Scope span("alpha21164:" + w.name, "sim");
+            return runAlpha21164(*prog, v.mc, v.lvp, rc);
         });
 }
 

@@ -50,6 +50,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/config.hh"
 #include "core/locality_profiler.hh"
@@ -103,6 +104,49 @@ class RunCache
                         const uarch::AlphaConfig &mc,
                         const std::optional<core::LvpConfig> &lvp,
                         const RunConfig &rc);
+
+    /**
+     * @{
+     * Single-pass configuration sweeps. Each call is equivalent to
+     * invoking the matching singular method once per variant, in
+     * order — same keys, same memoized values, same exceptions — but
+     * every variant still missing from the cache is computed in ONE
+     * replay of the shared phase-1 trace, fanned out through a
+     * MultiSink (runcache.trace_replays counts one replay per pass,
+     * not per variant). If the trace is unusable the un-memoized
+     * variants fall back to per-variant in-memory runs.
+     */
+    std::vector<core::LvpStats>
+    lvpOnlyMany(const workloads::Workload &w, workloads::CodeGen cg,
+                unsigned scale,
+                const std::vector<core::LvpConfig> &cfgs,
+                const RunConfig &rc);
+
+    /** One timing-sweep variant: a machine config plus an optional
+     *  LVP unit (nullopt = the no-LVP baseline machine). */
+    struct PpcVariant
+    {
+        uarch::Ppc620Config mc;
+        std::optional<core::LvpConfig> lvp;
+    };
+
+    struct AlphaVariant
+    {
+        uarch::AlphaConfig mc;
+        std::optional<core::LvpConfig> lvp;
+    };
+
+    std::vector<PpcRun>
+    ppc620Many(const workloads::Workload &w, workloads::CodeGen cg,
+               unsigned scale, const std::vector<PpcVariant> &variants,
+               const RunConfig &rc);
+
+    std::vector<AlphaRun>
+    alpha21164Many(const workloads::Workload &w, workloads::CodeGen cg,
+                   unsigned scale,
+                   const std::vector<AlphaVariant> &variants,
+                   const RunConfig &rc);
+    /** @} */
 
     /**
      * Enable (non-empty) or disable (empty) the on-disk trace cache.

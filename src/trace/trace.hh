@@ -9,6 +9,8 @@
 #define LVPLIB_TRACE_TRACE_HH
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "isa/instruction.hh"
 #include "util/types.hh"
@@ -54,6 +56,15 @@ struct TraceRecord
 /**
  * A consumer of a dynamic-instruction stream. Phases compose by
  * chaining sinks; finish() flushes at end-of-trace.
+ *
+ * Producers that already hold records in memory (the block-buffered
+ * trace reader, the interpreter's retire buffer) hand whole spans to
+ * consumeBatch(), amortizing one virtual call over thousands of
+ * records. The default forwards record-at-a-time, so a sink only
+ * implementing consume() observes the exact same sequence; hot sinks
+ * override consumeBatch() to keep the per-record loop non-virtual.
+ * Overrides must preserve record order and per-record effects (an
+ * exception thrown at record k must leave records [0, k) consumed).
  */
 class TraceSink
 {
@@ -62,6 +73,14 @@ class TraceSink
 
     /** Consume one retired instruction. */
     virtual void consume(const TraceRecord &rec) = 0;
+
+    /** Consume a span of retired instructions, in order. */
+    virtual void
+    consumeBatch(std::span<const TraceRecord> recs)
+    {
+        for (const TraceRecord &rec : recs)
+            consume(rec);
+    }
 
     /** End of trace. */
     virtual void finish() {}
@@ -83,6 +102,13 @@ class TeeSink : public TraceSink
     }
 
     void
+    consumeBatch(std::span<const TraceRecord> recs) override
+    {
+        first_.consumeBatch(recs);
+        second_.consumeBatch(recs);
+    }
+
+    void
     finish() override
     {
         first_.finish();
@@ -92,6 +118,45 @@ class TeeSink : public TraceSink
   private:
     TraceSink &first_;
     TraceSink &second_;
+};
+
+/**
+ * A sink that forwards every record (and batch) to N downstream
+ * sinks, in the order given. One trace replay through a MultiSink
+ * feeds a whole configuration sweep in a single pass over the file —
+ * each downstream sees exactly the stream it would have seen from its
+ * own private replay.
+ */
+class MultiSink : public TraceSink
+{
+  public:
+    explicit MultiSink(std::vector<TraceSink *> sinks)
+        : sinks_(std::move(sinks))
+    {}
+
+    void
+    consume(const TraceRecord &rec) override
+    {
+        for (TraceSink *s : sinks_)
+            s->consume(rec);
+    }
+
+    void
+    consumeBatch(std::span<const TraceRecord> recs) override
+    {
+        for (TraceSink *s : sinks_)
+            s->consumeBatch(recs);
+    }
+
+    void
+    finish() override
+    {
+        for (TraceSink *s : sinks_)
+            s->finish();
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
 };
 
 } // namespace lvplib::trace

@@ -1,9 +1,11 @@
 #include "trace/trace_file.hh"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
 #include "chaos/chaos.hh"
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace lvplib::trace
@@ -13,6 +15,17 @@ namespace
 {
 
 constexpr std::size_t RecordBytes = TraceRecordBytes;
+
+/**
+ * Block-buffer sizing. The reader fills up to ReaderBufRecords per
+ * fread; replay() decodes and forwards ReplayBatchRecords per
+ * consumeBatch; the writer flushes its encode buffer once it holds
+ * WriterBufBytes. Sized so a buffer comfortably exceeds the stdio /
+ * page-cache transfer granularity while staying cache-friendly.
+ */
+constexpr std::size_t ReaderBufRecords = 64 * 1024;
+constexpr std::size_t ReplayBatchRecords = 4096;
+constexpr std::size_t WriterBufBytes = 1u << 20;
 
 constexpr char HeaderMagic[8] = {'L', 'V', 'P', 'T',
                                  'R', 'A', 'C', 'E'};
@@ -279,6 +292,7 @@ TraceFileWriter::TraceFileWriter(const std::string &path,
         fail("cannot open for writing");
         return;
     }
+    wbuf_.reserve(WriterBufBytes + RecordBytes);
     std::array<std::uint8_t, TraceHeaderBytes> hdr;
     std::memcpy(hdr.data(), HeaderMagic, sizeof(HeaderMagic));
     putU32(&hdr[8], TraceFormatVersion);
@@ -305,7 +319,7 @@ TraceFileWriter::fail(const std::string &what)
 }
 
 void
-TraceFileWriter::consume(const TraceRecord &rec)
+TraceFileWriter::encodeRecord(const TraceRecord &rec)
 {
     if (failed_)
         return;
@@ -324,12 +338,38 @@ TraceFileWriter::consume(const TraceRecord &rec)
     putU64(&buf[16], rec.value);
     buf[24] = rec.taken ? 1 : 0;
     buf[25] = static_cast<std::uint8_t>(rec.pred);
-    if (std::fwrite(buf.data(), buf.size(), 1, file_) != 1) {
-        fail("record write failed (disk full?)");
-        return;
-    }
+    wbuf_.insert(wbuf_.end(), buf.begin(), buf.end());
     checksum_ = fnv1a(buf.data(), buf.size(), checksum_);
     ++written_;
+    if (wbuf_.size() >= WriterBufBytes)
+        flushBuffer();
+}
+
+void
+TraceFileWriter::flushBuffer()
+{
+    if (wbuf_.empty())
+        return;
+    // A latched failure discards the whole file; dropping the
+    // buffered bytes just gets there faster.
+    if (!failed_ &&
+        std::fwrite(wbuf_.data(), 1, wbuf_.size(), file_) !=
+            wbuf_.size())
+        fail("record write failed (disk full?)");
+    wbuf_.clear();
+}
+
+void
+TraceFileWriter::consume(const TraceRecord &rec)
+{
+    encodeRecord(rec);
+}
+
+void
+TraceFileWriter::consumeBatch(std::span<const TraceRecord> recs)
+{
+    for (const TraceRecord &rec : recs)
+        encodeRecord(rec);
 }
 
 void
@@ -338,6 +378,9 @@ TraceFileWriter::finish()
     if (finished_)
         return;
     finished_ = true;
+    if (failed_)
+        return;
+    flushBuffer();
     if (failed_)
         return;
     if (chaos::engine().shouldInject(chaos::Point::TraceWriteFooter,
@@ -414,12 +457,43 @@ TraceFileReader::TraceFileReader(
     records_ = env.records;
     fingerprint_ = env.fingerprint;
     expectChecksum_ = env.checksum;
+    iobuf_.resize(static_cast<std::size_t>(std::min<std::uint64_t>(
+                      records_, ReaderBufRecords)) *
+                  RecordBytes);
 }
 
 TraceFileReader::~TraceFileReader()
 {
     if (file_)
         std::fclose(file_);
+}
+
+void
+TraceFileReader::fillBuffer()
+{
+    std::uint64_t want = std::min<std::uint64_t>(
+        records_ - seq_, ReaderBufRecords);
+    std::size_t got = std::fread(
+        iobuf_.data(), 1,
+        static_cast<std::size_t>(want) * RecordBytes, file_);
+    // The envelope fixed the file size at open, so a short fill
+    // means the file shrank underneath us. Hand back any whole
+    // records we did get; the next fill throws at the first record
+    // we cannot deliver. Re-align the stream past a partial tail so
+    // the failing position is reported exactly once.
+    if (std::size_t tail = got % RecordBytes; tail != 0)
+        std::fseek(file_, -static_cast<long>(tail), SEEK_CUR);
+    std::size_t whole = got / RecordBytes;
+    if (whole == 0)
+        throw SimError(
+            ErrorKind::TraceCorrupt,
+            detail::formatMsg(
+                "invalid trace file '%s': truncated at record "
+                "%llu of %llu",
+                path_.c_str(), static_cast<unsigned long long>(seq_),
+                static_cast<unsigned long long>(records_)));
+    bufPos_ = 0;
+    bufLen_ = whole * RecordBytes;
 }
 
 bool
@@ -435,15 +509,10 @@ TraceFileReader::next(TraceRecord &rec)
                         TraceFileStatus::ChecksumMismatch)));
         return false;
     }
-    std::array<std::uint8_t, RecordBytes> buf;
-    if (std::fread(buf.data(), buf.size(), 1, file_) != 1)
-        throw SimError(
-            ErrorKind::TraceCorrupt,
-            detail::formatMsg(
-                "invalid trace file '%s': truncated at record "
-                "%llu of %llu",
-                path_.c_str(), static_cast<unsigned long long>(seq_),
-                static_cast<unsigned long long>(records_)));
+    if (bufPos_ == bufLen_)
+        fillBuffer();
+    std::uint8_t *buf = iobuf_.data() + bufPos_;
+    bufPos_ += RecordBytes;
     if (chaos::engine().enabled() &&
         chaos::engine().shouldInject(chaos::Point::TraceReadFlip,
                                      fingerprint_, seq_)) {
@@ -455,7 +524,7 @@ TraceFileReader::next(TraceRecord &rec)
         buf[h % RecordBytes] ^=
             static_cast<std::uint8_t>(1u << ((h >> 8) % 8));
     }
-    if (!recordBytesValid(buf.data()))
+    if (!recordBytesValid(buf))
         throw SimError(
             ErrorKind::TraceCorrupt,
             detail::formatMsg(
@@ -465,7 +534,7 @@ TraceFileReader::next(TraceRecord &rec)
                 traceFileStatusName(TraceFileStatus::BadRecord),
                 static_cast<unsigned long long>(seq_), buf[24],
                 buf[25]));
-    checksum_ = fnv1a(buf.data(), buf.size(), checksum_);
+    checksum_ = fnv1a(buf, RecordBytes, checksum_);
     rec.seq = seq_++;
     rec.pc = getU64(&buf[0]);
     rec.effAddr = getU64(&buf[8]);
@@ -503,11 +572,30 @@ TraceFileReader::next(TraceRecord &rec)
 std::uint64_t
 TraceFileReader::replay(TraceSink &sink)
 {
-    TraceRecord rec;
+    obs::Counter &batches =
+        obs::metrics().counter("trace.replay.batches");
+    obs::Counter &batchRecords =
+        obs::metrics().counter("trace.replay.batch_records");
+    // At least one slot so an empty trace still runs the
+    // end-of-trace checksum verification in next().
+    std::vector<TraceRecord> batch(static_cast<std::size_t>(
+        std::max<std::uint64_t>(
+            1, std::min<std::uint64_t>(records_,
+                                       ReplayBatchRecords))));
     std::uint64_t n = 0;
-    while (next(rec)) {
-        sink.consume(rec);
-        ++n;
+    for (;;) {
+        std::size_t k = 0;
+        while (k < batch.size() && next(batch[k]))
+            ++k;
+        if (k == 0)
+            break;
+        sink.consumeBatch(std::span<const TraceRecord>(
+            batch.data(), k));
+        batches.add();
+        batchRecords.add(k);
+        n += k;
+        if (k < batch.size())
+            break;
     }
     sink.finish();
     return n;
@@ -597,12 +685,31 @@ AnnotationRecorder::consume(const TraceRecord &rec)
 }
 
 void
+AnnotationRecorder::consumeBatch(std::span<const TraceRecord> recs)
+{
+    for (const TraceRecord &rec : recs)
+        if (rec.inst->load())
+            stream_.append(rec.pred);
+}
+
+void
 AnnotationMerger::consume(const TraceRecord &rec)
 {
     TraceRecord out = rec;
     if (rec.inst->load())
         out.pred = stream_.at(loadIndex_++);
     down_.consume(out);
+}
+
+void
+AnnotationMerger::consumeBatch(std::span<const TraceRecord> recs)
+{
+    batch_.assign(recs.begin(), recs.end());
+    for (TraceRecord &out : batch_)
+        if (out.inst->load())
+            out.pred = stream_.at(loadIndex_++);
+    down_.consumeBatch(
+        std::span<const TraceRecord>(batch_.data(), batch_.size()));
 }
 
 } // namespace lvplib::trace

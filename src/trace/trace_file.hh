@@ -123,6 +123,12 @@ verifyTraceFile(const std::string &path,
 /**
  * A sink that streams records into a binary trace file.
  *
+ * Records are encoded into a block buffer and written with one
+ * fwrite per buffer-full rather than one per record; a latched write
+ * failure still poisons the whole file, so buffering does not change
+ * what callers can observe (a file is either complete and verified
+ * or discarded).
+ *
  * I/O errors (open, write, flush, close) are latched instead of
  * fatal: good() turns false, further records are dropped, and close()
  * reports overall success so callers can discard the file and fall
@@ -141,6 +147,7 @@ class TraceFileWriter : public TraceSink
     TraceFileWriter &operator=(const TraceFileWriter &) = delete;
 
     void consume(const TraceRecord &rec) override;
+    void consumeBatch(std::span<const TraceRecord> recs) override;
 
     /** Write the footer and flush (idempotent). */
     void finish() override;
@@ -162,6 +169,8 @@ class TraceFileWriter : public TraceSink
 
   private:
     void fail(const std::string &what);
+    void encodeRecord(const TraceRecord &rec);
+    void flushBuffer();
 
     std::FILE *file_;
     std::string path_;
@@ -172,6 +181,7 @@ class TraceFileWriter : public TraceSink
     bool closed_ = false;
     bool failed_ = false;
     std::string error_;
+    std::vector<std::uint8_t> wbuf_; ///< encoded-record block buffer
 };
 
 /**
@@ -186,6 +196,15 @@ class TraceFileWriter : public TraceSink
  * SimError(TraceIo). Callers that must survive corrupt files catch
  * SimError and discard the partial replay (the run-cache falls back
  * to in-memory interpretation and deletes the file).
+ *
+ * I/O is block-buffered: the reader fills a multi-record buffer with
+ * one fread and decodes records out of it, so next() never touches
+ * the FILE* on the hot path. replay() additionally batches decoded
+ * records and hands them to TraceSink::consumeBatch(), keeping one
+ * virtual call per batch instead of per record. Validation is
+ * unchanged and strictly in record order: chaos read-flip, enum-byte
+ * check, checksum accumulation, pc validation — a corrupt record
+ * throws before any later record is observed by the sink.
  */
 class TraceFileReader
 {
@@ -214,6 +233,10 @@ class TraceFileReader
     std::uint64_t fingerprint() const { return fingerprint_; }
 
   private:
+    /** Refill iobuf_; throws TraceCorrupt when no whole record is
+     *  available (the file shrank after the envelope was checked). */
+    void fillBuffer();
+
     std::FILE *file_;
     const isa::Program &prog_;
     std::string path_;
@@ -222,6 +245,9 @@ class TraceFileReader
     std::uint64_t fingerprint_ = 0;
     std::uint64_t expectChecksum_ = 0;
     std::uint64_t checksum_;
+    std::vector<std::uint8_t> iobuf_; ///< raw-byte block buffer
+    std::size_t bufPos_ = 0;          ///< next unread byte in iobuf_
+    std::size_t bufLen_ = 0;          ///< valid bytes in iobuf_
 };
 
 /**
@@ -261,6 +287,7 @@ class AnnotationRecorder : public TraceSink
 {
   public:
     void consume(const TraceRecord &rec) override;
+    void consumeBatch(std::span<const TraceRecord> recs) override;
 
     const AnnotationStream &stream() const { return stream_; }
     AnnotationStream takeStream() { return std::move(stream_); }
@@ -281,12 +308,14 @@ class AnnotationMerger : public TraceSink
     {}
 
     void consume(const TraceRecord &rec) override;
+    void consumeBatch(std::span<const TraceRecord> recs) override;
     void finish() override { down_.finish(); }
 
   private:
     const AnnotationStream &stream_;
     TraceSink &down_;
     std::uint64_t loadIndex_ = 0;
+    std::vector<TraceRecord> batch_; ///< stamped copies for batches
 };
 
 } // namespace lvplib::trace

@@ -22,6 +22,15 @@ class TraceStats : public TraceSink
   public:
     void consume(const TraceRecord &rec) override;
 
+    void
+    consumeBatch(std::span<const TraceRecord> recs) override
+    {
+        // Qualified call: one virtual dispatch per batch, not per
+        // record.
+        for (const TraceRecord &rec : recs)
+            TraceStats::consume(rec);
+    }
+
     std::uint64_t instructions() const { return instructions_; }
     std::uint64_t loads() const { return loads_; }
     std::uint64_t stores() const { return stores_; }

@@ -61,6 +61,16 @@ class Alpha21164Model : public trace::TraceSink
     Alpha21164Model(const AlphaConfig &config, bool lvp_enabled);
 
     void consume(const trace::TraceRecord &rec) override;
+
+    void
+    consumeBatch(std::span<const trace::TraceRecord> recs) override
+    {
+        // Qualified call: one virtual dispatch per batch, not per
+        // record.
+        for (const trace::TraceRecord &rec : recs)
+            Alpha21164Model::consume(rec);
+    }
+
     void finish() override;
 
     const InOrderStats &stats() const { return stats_; }

@@ -197,9 +197,9 @@ Ppc620Model::loadDataReturn(const trace::TraceRecord &rec, Cycle issue,
     // Store-to-load forwarding: a younger load of bytes written by an
     // in-flight older store gets the data once the store's data is
     // ready.
+    const Addr loadEnd = rec.effAddr + rec.inst->accessSize();
     for (const auto &st : storeQueue_) {
-        if (st.addr < rec.effAddr + rec.inst->accessSize() &&
-            rec.effAddr < st.addr + st.size) {
+        if (st.addr < loadEnd && rec.effAddr < st.addr + st.size) {
             ret = std::max(ret, st.ready + 1);
         }
     }

@@ -86,6 +86,16 @@ class Ppc620Model : public trace::TraceSink
     Ppc620Model(const Ppc620Config &config, bool lvp_enabled);
 
     void consume(const trace::TraceRecord &rec) override;
+
+    void
+    consumeBatch(std::span<const trace::TraceRecord> recs) override
+    {
+        // Qualified call: one virtual dispatch per batch, not per
+        // record.
+        for (const trace::TraceRecord &rec : recs)
+            Ppc620Model::consume(rec);
+    }
+
     void finish() override;
 
     const OooStats &stats() const { return stats_; }

@@ -15,9 +15,8 @@
 #ifndef LVPLIB_UARCH_SCHED_HH
 #define LVPLIB_UARCH_SCHED_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "util/logging.hh"
@@ -26,7 +25,15 @@
 namespace lvplib::uarch
 {
 
-/** Busy-interval calendar for one functional-unit instance. */
+/**
+ * Busy-interval calendar for one functional-unit instance.
+ *
+ * Intervals live in a vector sorted by start cycle. Issue cycles are
+ * almost always non-decreasing, so book() nearly always appends —
+ * no per-booking node allocation, and lookups are a binary search
+ * over a short contiguous array (the calendar is pruned to a sliding
+ * window by the owning FuBank).
+ */
 class FuPipe
 {
   public:
@@ -36,7 +43,7 @@ class FuPipe
     earliest(Cycle t, unsigned dur) const
     {
         Cycle cand = t;
-        auto it = busy_.upper_bound(cand);
+        auto it = upperBound(cand);
         if (it != busy_.begin()) {
             auto prev = std::prev(it);
             if (prev->second > cand)
@@ -53,7 +60,11 @@ class FuPipe
     void
     book(Cycle start, unsigned dur)
     {
-        busy_[start] = start + dur;
+        if (busy_.empty() || busy_.back().first < start) {
+            busy_.emplace_back(start, start + dur);
+            return;
+        }
+        busy_.insert(upperBound(start), {start, start + dur});
     }
 
     /** Drop intervals ending at or before @p before. */
@@ -62,11 +73,31 @@ class FuPipe
     {
         auto it = busy_.begin();
         while (it != busy_.end() && it->second <= before)
-            it = busy_.erase(it);
+            ++it;
+        busy_.erase(busy_.begin(), it);
     }
 
   private:
-    std::map<Cycle, Cycle> busy_;
+    using Interval = std::pair<Cycle, Cycle>;
+
+    /** First interval whose start is > @p t. */
+    std::vector<Interval>::const_iterator
+    upperBound(Cycle t) const
+    {
+        return std::upper_bound(
+            busy_.begin(), busy_.end(), t,
+            [](Cycle c, const Interval &iv) { return c < iv.first; });
+    }
+
+    std::vector<Interval>::iterator
+    upperBound(Cycle t)
+    {
+        return std::upper_bound(
+            busy_.begin(), busy_.end(), t,
+            [](Cycle c, const Interval &iv) { return c < iv.first; });
+    }
+
+    std::vector<Interval> busy_;
 };
 
 /** A pool of identical FU instances (e.g. the 620's two SCFX units). */
@@ -140,19 +171,24 @@ class FuBank
  * A resource with @p capacity units, each claimed until a known
  * release cycle. earliestAvailable() is the first cycle a new claim
  * can coexist with previous ones. Only the largest @p capacity
- * release times can constrain, so older ones are discarded.
+ * release times can constrain, so older ones are discarded — the
+ * live set is a bounded min-heap over a flat vector (no per-claim
+ * node allocation; the heap never exceeds @p capacity entries).
  */
 class ResourcePool
 {
   public:
-    explicit ResourcePool(unsigned capacity) : cap_(capacity) {}
+    explicit ResourcePool(unsigned capacity) : cap_(capacity)
+    {
+        releases_.reserve(capacity);
+    }
 
     Cycle
     earliestAvailable() const
     {
         if (cap_ == 0)
             return 0; // treated as unlimited
-        return releases_.size() < cap_ ? 0 : *releases_.begin();
+        return releases_.size() < cap_ ? 0 : releases_.front();
     }
 
     void
@@ -160,16 +196,29 @@ class ResourcePool
     {
         if (cap_ == 0)
             return;
-        releases_.insert(release);
-        if (releases_.size() > cap_)
-            releases_.erase(releases_.begin());
+        if (releases_.size() < cap_) {
+            releases_.push_back(release);
+            std::push_heap(releases_.begin(), releases_.end(), cmp_);
+            return;
+        }
+        // Full: the new release replaces the smallest kept one (which
+        // can no longer constrain anything) unless it is itself the
+        // smallest.
+        if (release <= releases_.front())
+            return;
+        std::pop_heap(releases_.begin(), releases_.end(), cmp_);
+        releases_.back() = release;
+        std::push_heap(releases_.begin(), releases_.end(), cmp_);
     }
 
     unsigned capacity() const { return cap_; }
 
   private:
+    // Min-heap: the root is the smallest kept release time.
+    static constexpr auto cmp_ = [](Cycle a, Cycle b) { return a > b; };
+
     unsigned cap_;
-    std::multiset<Cycle> releases_;
+    std::vector<Cycle> releases_;
 };
 
 /** Enforces at most @p width events per cycle, non-decreasing. */

@@ -137,4 +137,20 @@ formatMsg(const char *fmt, Args &&...args)
         } \
     } while (0)
 
+/**
+ * Developer-build invariant check for per-record/per-access hot
+ * paths (interpreter register file, sparse-memory loads/stores).
+ * Compiled to nothing unless LVPLIB_DEVELOPER_CHECKS is defined (the
+ * CMake option of the same name, default ON in Debug and sanitizer
+ * builds). Use lvp_assert for anything outside a proven hot loop —
+ * the release-build savings only pay for themselves there.
+ */
+#ifdef LVPLIB_DEVELOPER_CHECKS
+#define lvp_dassert(cond, ...) lvp_assert(cond, __VA_ARGS__)
+#else
+#define lvp_dassert(cond, ...) \
+    do { \
+    } while (0)
+#endif
+
 #endif // LVPLIB_UTIL_LOGGING_HH

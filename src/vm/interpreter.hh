@@ -39,6 +39,14 @@ class Interpreter
      * instruction is passed to @p sink when non-null; sink->finish()
      * is called when the program halts.
      *
+     * Records are accumulated into an internal retire buffer and
+     * handed to sink->consumeBatch() (one virtual call per ~1 Ki
+     * instructions) in retirement order. A sink that throws mid-batch
+     * (e.g. WatchdogSink) observes exactly the records it would have
+     * seen record-at-a-time; the interpreter itself may have retired
+     * further instructions into the undelivered tail of the buffer,
+     * which callers discard along with the failed run.
+     *
      * @return Number of instructions retired by this call.
      */
     std::uint64_t run(trace::TraceSink *sink = nullptr,
@@ -75,6 +83,9 @@ class Interpreter
 
   private:
     void execute(const isa::Instruction &inst, trace::TraceRecord &rec);
+
+    /** Execute and retire one instruction into @p rec. */
+    void stepInto(trace::TraceRecord &rec);
 
     const isa::Program &prog_;
     SparseMemory mem_;

@@ -1,6 +1,8 @@
 #include "vm/memory.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <vector>
 
 #include "util/logging.hh"
@@ -26,18 +28,30 @@ fnv1a(const std::uint8_t *data, std::size_t n, std::uint64_t h)
 const SparseMemory::Page *
 SparseMemory::findPage(Addr a) const
 {
-    auto it = pages_.find(a >> PageShift);
-    return it == pages_.end() ? nullptr : it->second.get();
+    Addr num = a >> PageShift;
+    if (cachedPage_ && cachedPageNum_ == num)
+        return cachedPage_;
+    auto it = pages_.find(num);
+    if (it == pages_.end())
+        return nullptr;
+    cachedPageNum_ = num;
+    cachedPage_ = it->second.get();
+    return cachedPage_;
 }
 
 SparseMemory::Page &
 SparseMemory::touchPage(Addr a)
 {
-    auto &slot = pages_[a >> PageShift];
+    Addr num = a >> PageShift;
+    if (cachedPage_ && cachedPageNum_ == num)
+        return *cachedPage_;
+    auto &slot = pages_[num];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    cachedPageNum_ = num;
+    cachedPage_ = slot.get();
     return *slot;
 }
 
@@ -57,7 +71,19 @@ SparseMemory::writeByte(Addr a, std::uint8_t v)
 Word
 SparseMemory::read(Addr a, unsigned size) const
 {
-    lvp_assert(size == 1 || size == 4 || size == 8, "size=%u", size);
+    lvp_dassert(size == 1 || size == 4 || size == 8, "size=%u", size);
+    Addr off = a & PageMask;
+    if constexpr (std::endian::native == std::endian::little) {
+        if (off + size <= PageSize) {
+            const Page *p = findPage(a);
+            if (!p)
+                return 0;
+            Word v = 0;
+            std::memcpy(&v, p->data() + off, size);
+            return v;
+        }
+    }
+    // Page-straddling (or big-endian host): per-byte assembly.
     Word v = 0;
     for (unsigned i = 0; i < size; ++i)
         v |= static_cast<Word>(readByte(a + i)) << (8 * i);
@@ -67,7 +93,14 @@ SparseMemory::read(Addr a, unsigned size) const
 void
 SparseMemory::write(Addr a, Word v, unsigned size)
 {
-    lvp_assert(size == 1 || size == 4 || size == 8, "size=%u", size);
+    lvp_dassert(size == 1 || size == 4 || size == 8, "size=%u", size);
+    Addr off = a & PageMask;
+    if constexpr (std::endian::native == std::endian::little) {
+        if (off + size <= PageSize) {
+            std::memcpy(touchPage(a).data() + off, &v, size);
+            return;
+        }
+    }
     for (unsigned i = 0; i < size; ++i)
         writeByte(a + i, static_cast<std::uint8_t>(v >> (8 * i)));
 }

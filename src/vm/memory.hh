@@ -21,7 +21,19 @@
 namespace lvplib::vm
 {
 
-/** Little-endian sparse memory with 4 KiB pages. */
+/**
+ * Little-endian sparse memory with 4 KiB pages.
+ *
+ * The hot path is the interpreter issuing one read()/write() per
+ * load/store. Two optimizations keep it out of the page hash map:
+ * a one-entry page cache (workload accesses are strongly page-local,
+ * so most lookups hit the page touched by the previous access), and
+ * a word-granular memcpy for accesses that stay inside one page
+ * (replacing the per-byte readByte/writeByte loop). Page storage is
+ * heap-allocated behind unique_ptr, so cached Page pointers survive
+ * hash-map rehashes; the cache is dropped on clear(), the only
+ * operation that frees pages.
+ */
 class SparseMemory
 {
   public:
@@ -65,7 +77,12 @@ class SparseMemory
     std::uint64_t imageHash() const;
 
     /** Drop all contents. */
-    void clear() { pages_.clear(); }
+    void
+    clear()
+    {
+        pages_.clear();
+        cachedPage_ = nullptr;
+    }
 
   private:
     using Page = std::array<std::uint8_t, PageSize>;
@@ -74,6 +91,14 @@ class SparseMemory
     Page &touchPage(Addr a);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    /**
+     * One-entry cache of the most recently found allocated page.
+     * Only ever caches present pages (never a miss), so a later
+     * allocation cannot make it stale; clear() resets it.
+     */
+    mutable Addr cachedPageNum_ = 0;
+    mutable Page *cachedPage_ = nullptr;
 };
 
 } // namespace lvplib::vm

@@ -371,7 +371,9 @@ main(int argc, char **argv)
             ? static_cast<double>(totalInstr) / totalWall / 1e6
             : 0.0;
 
-    if (bench.json) {
+    // One JSON document serves both --json (stdout) and --bench-out
+    // (file): the performance-trajectory snapshot.
+    auto benchJson = [&] {
         std::ostringstream os;
         obs::JsonWriter w(os);
         w.beginObject();
@@ -409,7 +411,11 @@ main(int argc, char **argv)
         w.endObject();
         w.endObject();
         os << '\n';
-        std::cout << os.str();
+        return os.str();
+    };
+
+    if (bench.json) {
+        std::cout << benchJson();
     } else {
         TextTable t;
         t.header({"Experiment", "Wall (s)", "Instructions", "MIPS"});
@@ -429,6 +435,17 @@ main(int argc, char **argv)
                   << " traces written, " << cs.traceReplays
                   << " replays, " << cs.traceInvalid
                   << " invalid traces regenerated\n";
+    }
+
+    if (!bench.benchOut.empty()) {
+        if (!writeFile(bench.benchOut, benchJson())) {
+            std::cerr << "lvpbench: cannot write bench snapshot to '"
+                      << bench.benchOut << "'\n";
+            return 1;
+        }
+        std::cerr << "lvpbench: wrote bench snapshot ("
+                  << timings.size() << " experiments) to "
+                  << bench.benchOut << '\n';
     }
 
     if (!bench.metricsOut.empty()) {

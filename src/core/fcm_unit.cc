@@ -118,4 +118,18 @@ FcmUnit::reset()
     stats_ = LvpStats();
 }
 
+FcmUnit::Snapshot
+FcmUnit::snapshot() const
+{
+    return Snapshot{contexts_, values_, lct_};
+}
+
+void
+FcmUnit::restore(const Snapshot &s)
+{
+    contexts_ = s.contexts;
+    values_ = s.values;
+    lct_ = s.lct;
+}
+
 } // namespace lvplib::core

@@ -66,15 +66,33 @@ class FcmUnit
     std::uint32_t level1Index(Addr pc) const;
     std::uint32_t level2Index(Addr pc, Word context) const;
 
-    FcmConfig config_;
-    std::uint32_t l1Mask_;
-    std::uint32_t l2Mask_;
-    std::vector<Word> contexts_; ///< level 1: folded value history
     struct L2Entry
     {
         Word value = 0;
         bool valid = false;
     };
+
+  public:
+    /** Checkpointable predictor state (stats excluded), mirroring
+     *  LvpUnit::Snapshot for sharded replay. */
+    struct Snapshot
+    {
+        std::vector<Word> contexts;
+        std::vector<L2Entry> values;
+        Lct lct;
+    };
+
+    /** Capture the unit's replayable state (stats excluded). */
+    Snapshot snapshot() const;
+
+    /** Restore state captured by snapshot(); stats are untouched. */
+    void restore(const Snapshot &s);
+
+  private:
+    FcmConfig config_;
+    std::uint32_t l1Mask_;
+    std::uint32_t l2Mask_;
+    std::vector<Word> contexts_; ///< level 1: folded value history
     std::vector<L2Entry> values_; ///< level 2
     Lct lct_;
     LvpStats stats_;

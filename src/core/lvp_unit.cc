@@ -37,6 +37,25 @@ LvpStats::accuracy() const
     return pct(correct + constants, incorrect + correct + constants);
 }
 
+LvpStats &
+LvpStats::operator+=(const LvpStats &o)
+{
+    loads += o.loads;
+    noPred += o.noPred;
+    incorrect += o.incorrect;
+    correct += o.correct;
+    constants += o.constants;
+    actualUnpred += o.actualUnpred;
+    actualPred += o.actualPred;
+    unpredIdentified += o.unpredIdentified;
+    predIdentified += o.predIdentified;
+    cvuInsertions += o.cvuInsertions;
+    cvuStoreInvalidations += o.cvuStoreInvalidations;
+    cvuDisplaceInvalidations += o.cvuDisplaceInvalidations;
+    cvuStaleHits += o.cvuStaleHits;
+    return *this;
+}
+
 LvpUnit::LvpUnit(const LvpConfig &config)
     : config_(config),
       lvpt_(config.lvptEntries, config.historyDepth, config.taggedLvpt),
@@ -205,6 +224,25 @@ LvpUnit::reset()
     cvu_.reset();
     bhr_ = 0;
     stats_ = LvpStats();
+    chaosLoads_ = 0;
+}
+
+LvpUnit::Snapshot
+LvpUnit::snapshot() const
+{
+    return Snapshot{lvpt_, lct_, cvu_, bhr_, chaosLoads_};
+}
+
+void
+LvpUnit::restore(const Snapshot &s)
+{
+    lvpt_ = s.lvpt;
+    lct_ = s.lct;
+    cvu_ = s.cvu;
+    bhr_ = s.bhr;
+    // Resuming the fault-stream counter keeps a chaos-armed sharded
+    // replay injecting exactly the faults the serial replay would.
+    chaosLoads_ = s.chaosLoads;
 }
 
 void

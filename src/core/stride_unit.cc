@@ -137,6 +137,20 @@ StrideLvpUnit::reset()
     stats_ = LvpStats();
 }
 
+StrideLvpUnit::Snapshot
+StrideLvpUnit::snapshot() const
+{
+    return Snapshot{table_, lct_, cvu_};
+}
+
+void
+StrideLvpUnit::restore(const Snapshot &s)
+{
+    table_ = s.table;
+    lct_ = s.lct;
+    cvu_ = s.cvu;
+}
+
 void
 StrideAnnotator::consume(const trace::TraceRecord &rec)
 {

@@ -72,6 +72,24 @@ class StrideLvpUnit
         bool valid = false;
     };
 
+  public:
+    /** Checkpointable predictor state (stats excluded), mirroring
+     *  LvpUnit::Snapshot for sharded replay. */
+    struct Snapshot
+    {
+        std::vector<Entry> table;
+        Lct lct;
+        Cvu cvu;
+    };
+
+    /** Capture the unit's replayable state (stats excluded). */
+    Snapshot snapshot() const;
+
+    /** Restore state captured by snapshot(); stats are untouched. */
+    void restore(const Snapshot &s);
+
+  private:
+
     std::uint32_t index(Addr pc) const;
 
     /** The value this entry would predict right now. */

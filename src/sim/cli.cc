@@ -161,6 +161,9 @@ benchUsage()
                     (repeatable; matches are OR-ed)
   --jobs N          worker threads (1..1024; default LVPLIB_JOBS or
                     hardware concurrency)
+  --shards N        intra-experiment replay shards (1..1024; default
+                    LVPLIB_SHARDS or the worker-thread count; 1
+                    disables replay sharding)
   --scale N         workload input scale (default LVPLIB_SCALE or 4)
   --json            machine-readable timings on stdout
   --list            show experiment ids and exit
@@ -239,6 +242,11 @@ parseBenchCli(const std::vector<std::string> &args, std::string &error)
             if (!n)
                 return std::nullopt;
             opts.jobs = n;
+        } else if (a == "--shards") {
+            auto n = unsignedValue(1, 1024);
+            if (!n)
+                return std::nullopt;
+            opts.shards = n;
         } else if (a == "--scale") {
             auto n = unsignedValue(
                 1, std::numeric_limits<unsigned>::max());

@@ -1,6 +1,7 @@
 #include "sim/parallel.hh"
 
 #include <memory>
+#include <optional>
 
 #include "chaos/chaos.hh"
 #include "obs/metrics.hh"
@@ -103,6 +104,25 @@ namespace
 std::mutex g_pool_mutex;
 std::unique_ptr<TaskPool> g_pool;
 
+std::mutex g_shard_mutex;
+std::unique_ptr<TaskPool> g_shard_pool;
+unsigned g_shard_override = 0; ///< 0 = no setShardJobs() override
+
+/** shardJobs() with g_shard_mutex already held. */
+unsigned
+shardJobsLocked()
+{
+    if (g_shard_override != 0)
+        return g_shard_override;
+    // shardJobs() runs once per replay; parse the environment once so
+    // a malformed LVPLIB_SHARDS warns once, not once per experiment.
+    static const std::optional<unsigned long long> env =
+        envUnsigned("LVPLIB_SHARDS", 1, 1024);
+    if (env)
+        return static_cast<unsigned>(*env);
+    return TaskPool::defaultJobs();
+}
+
 } // namespace
 
 TaskPool &
@@ -120,6 +140,30 @@ setExperimentJobs(unsigned jobs)
     std::lock_guard<std::mutex> lock(g_pool_mutex);
     g_pool.reset(); // join the old workers before starting new ones
     g_pool = std::make_unique<TaskPool>(jobs);
+}
+
+TaskPool &
+shardPool()
+{
+    std::lock_guard<std::mutex> lock(g_shard_mutex);
+    if (!g_shard_pool)
+        g_shard_pool = std::make_unique<TaskPool>(shardJobsLocked());
+    return *g_shard_pool;
+}
+
+unsigned
+shardJobs()
+{
+    std::lock_guard<std::mutex> lock(g_shard_mutex);
+    return shardJobsLocked();
+}
+
+void
+setShardJobs(unsigned jobs)
+{
+    std::lock_guard<std::mutex> lock(g_shard_mutex);
+    g_shard_override = jobs;
+    g_shard_pool.reset(); // rebuilt at the new width on next use
 }
 
 } // namespace lvplib::sim

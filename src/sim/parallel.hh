@@ -160,6 +160,33 @@ TaskPool &experimentPool();
  */
 void setExperimentJobs(unsigned jobs);
 
+/**
+ * The pool intra-experiment replay sharding runs on. Kept separate
+ * from experimentPool() because shard fan-out happens from *inside*
+ * an experiment task, and TaskPool::map must not be called from a
+ * task running on the same pool (the mapping task would wait on
+ * workers that are all busy waiting on it).
+ * Created on first use with shardJobs() workers.
+ */
+TaskPool &shardPool();
+
+/**
+ * Shard count replay fan-out aims for: the explicit override from
+ * setShardJobs() when set, otherwise LVPLIB_SHARDS when validly set
+ * (1..1024, strict parse — see util/env.hh), otherwise
+ * TaskPool::defaultJobs(). A value of 1 disables sharding entirely
+ * (serial replay, shard pool untouched).
+ */
+unsigned shardJobs();
+
+/**
+ * Override the shard count (0 restores the LVPLIB_SHARDS /
+ * defaultJobs() resolution) and drop any existing shard pool so the
+ * next shardPool() call rebuilds it at the new width. Call between
+ * runs, like setExperimentJobs().
+ */
+void setShardJobs(unsigned jobs);
+
 } // namespace lvplib::sim
 
 #endif // LVPLIB_SIM_PARALLEL_HH

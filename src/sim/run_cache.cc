@@ -1,7 +1,9 @@
 #include "sim/run_cache.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <utility>
 #include <functional>
 #include <future>
 #include <map>
@@ -13,7 +15,9 @@
 #include "core/lvp_unit.hh"
 #include "obs/metrics.hh"
 #include "obs/timeline.hh"
+#include "sim/parallel.hh"
 #include "sim/resilience.hh"
+#include "sim/sharded_replay.hh"
 #include "trace/trace_file.hh"
 #include "uarch/alpha21164.hh"
 #include "uarch/ppc620.hh"
@@ -418,6 +422,27 @@ class NullSink : public trace::TraceSink
     void consume(const trace::TraceRecord &) override {}
 };
 
+/**
+ * Contiguous near-equal partition of [0, n) into at most @p g
+ * non-empty [lo, hi) groups, for fanning one sweep's variants out
+ * across the shard pool. Contiguity keeps the group→variant mapping
+ * order-preserving, so results can be stitched back by walking
+ * groups in order.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+partitionGroups(std::size_t n, std::size_t g)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    out.reserve(g);
+    for (std::size_t i = 0; i < g; ++i) {
+        std::size_t lo = i * n / g;
+        std::size_t hi = (i + 1) * n / g;
+        if (lo != hi)
+            out.emplace_back(lo, hi);
+    }
+    return out;
+}
+
 bool
 fileExists(const std::string &path)
 {
@@ -615,15 +640,27 @@ RunCache::lvpOnly(const Workload &w, CodeGen cg, unsigned scale,
                 impl_->ensureTrace(*this, w, cg, scale, rc);
             obs::Timeline::Scope span("lvp:" + w.name, "sim");
             if (!tr.empty()) {
+                // Checkpointed sharded replay is byte-identical to
+                // the serial annotator pass (shard_replay_test), but
+                // it is disabled while chaos is armed: shard tasks
+                // would consume the shard pool's TaskThrow stream,
+                // changing which faults later campaign runs see.
+                unsigned shards = shardJobs();
                 try {
-                    NullSink null_sink;
-                    core::LvpAnnotator annot(cfg, null_sink);
-                    trace::TraceFileReader reader(tr, *prog);
-                    addInstructionsProcessed(reader.replay(annot));
+                    core::LvpStats s;
+                    if (shards > 1 && !chaos::engine().enabled()) {
+                        s = shardedLvpReplay(tr, *prog, cfg, shards);
+                    } else {
+                        NullSink null_sink;
+                        core::LvpAnnotator annot(cfg, null_sink);
+                        trace::TraceFileReader reader(tr, *prog);
+                        addInstructionsProcessed(reader.replay(annot));
+                        s = annot.unit().stats();
+                    }
                     impl_->traceReplays.fetch_add(
                         1, std::memory_order_relaxed);
                     impl_->obsTraceReplays.add();
-                    return annot.unit().stats();
+                    return s;
                 } catch (const SimError &e) {
                     impl_->onReplayError(tr, e);
                 }
@@ -736,6 +773,62 @@ RunCache::lvpOnlyMany(const Workload &w, CodeGen cg, unsigned scale,
             if (tr.empty())
                 return;
             obs::Timeline::Scope span("lvp:" + w.name, "sim");
+            // Variant-group sharding: cut the owned variants into
+            // contiguous groups and replay each group's MultiSink
+            // pass concurrently on the shard pool. Each group reads
+            // the (verified) trace independently, so groups share
+            // nothing and results stitch back in variant order.
+            // Disabled while chaos is armed: shard-pool tasks would
+            // consume its TaskThrow stream and shift which faults
+            // later campaign runs observe.
+            std::size_t G = std::min<std::size_t>(shardJobs(),
+                                                  owned.size());
+            if (G >= 2 && !chaos::engine().enabled()) {
+                struct GroupOut
+                {
+                    std::vector<core::LvpStats> stats;
+                    std::uint64_t n = 0;
+                };
+                auto groups = partitionGroups(owned.size(), G);
+                try {
+                    auto outs = shardPool().map(
+                        groups,
+                        [&](const std::pair<std::size_t,
+                                            std::size_t> &g) {
+                            NullSink null_sink;
+                            std::vector<
+                                std::unique_ptr<core::LvpAnnotator>>
+                                annots;
+                            std::vector<trace::TraceSink *> tops;
+                            for (std::size_t k = g.first;
+                                 k < g.second; ++k) {
+                                annots.push_back(
+                                    std::make_unique<
+                                        core::LvpAnnotator>(
+                                        cfgs[owned[k]], null_sink));
+                                tops.push_back(annots.back().get());
+                            }
+                            trace::TraceFileReader reader(tr, *prog);
+                            trace::MultiSink multi(std::move(tops));
+                            GroupOut out;
+                            out.n = reader.replay(multi);
+                            for (const auto &a : annots)
+                                out.stats.push_back(a->unit().stats());
+                            return out;
+                        });
+                    std::size_t k = 0;
+                    for (const auto &o : outs) {
+                        for (const auto &s : o.stats)
+                            vals[k++] = s;
+                        impl_->noteFanoutReplay(o.stats.size());
+                    }
+                    addInstructionsProcessed(outs.front().n *
+                                             owned.size());
+                } catch (const SimError &e) {
+                    impl_->onReplayError(tr, e);
+                }
+                return;
+            }
             NullSink null_sink;
             std::vector<std::unique_ptr<core::LvpAnnotator>> annots;
             std::vector<trace::TraceSink *> tops;
@@ -784,6 +877,78 @@ RunCache::ppc620Many(const Workload &w, CodeGen cg, unsigned scale,
             if (tr.empty())
                 return;
             obs::Timeline::Scope span("ppc620:" + w.name, "sim");
+            // Variant-group sharding; see lvpOnlyMany for the shape
+            // and the chaos gating rationale.
+            std::size_t G = std::min<std::size_t>(shardJobs(),
+                                                  owned.size());
+            if (G >= 2 && !chaos::engine().enabled()) {
+                struct GroupOut
+                {
+                    std::vector<PpcRun> runs;
+                    std::uint64_t n = 0;
+                };
+                auto groups = partitionGroups(owned.size(), G);
+                try {
+                    auto outs = shardPool().map(
+                        groups,
+                        [&](const std::pair<std::size_t,
+                                            std::size_t> &g) {
+                            std::vector<
+                                std::unique_ptr<uarch::Ppc620Model>>
+                                models;
+                            std::vector<
+                                std::unique_ptr<core::LvpAnnotator>>
+                                annots;
+                            std::vector<trace::TraceSink *> tops;
+                            for (std::size_t k = g.first;
+                                 k < g.second; ++k) {
+                                const PpcVariant &v =
+                                    variants[owned[k]];
+                                models.push_back(
+                                    std::make_unique<
+                                        uarch::Ppc620Model>(
+                                        v.mc, v.lvp.has_value()));
+                                if (v.lvp) {
+                                    annots.push_back(
+                                        std::make_unique<
+                                            core::LvpAnnotator>(
+                                            *v.lvp, *models.back()));
+                                    tops.push_back(
+                                        annots.back().get());
+                                } else {
+                                    annots.push_back(nullptr);
+                                    tops.push_back(
+                                        models.back().get());
+                                }
+                            }
+                            trace::TraceFileReader reader(tr, *prog);
+                            trace::MultiSink multi(std::move(tops));
+                            GroupOut out;
+                            out.n = reader.replay(multi);
+                            for (std::size_t j = 0;
+                                 j < models.size(); ++j) {
+                                PpcRun r;
+                                if (annots[j])
+                                    r.lvp = annots[j]->unit().stats();
+                                r.timing = models[j]->stats();
+                                publishModelRun(r.timing);
+                                out.runs.push_back(std::move(r));
+                            }
+                            return out;
+                        });
+                    std::size_t k = 0;
+                    for (auto &o : outs) {
+                        for (auto &r : o.runs)
+                            vals[k++] = std::move(r);
+                        impl_->noteFanoutReplay(o.runs.size());
+                    }
+                    addInstructionsProcessed(outs.front().n *
+                                             owned.size());
+                } catch (const SimError &e) {
+                    impl_->onReplayError(tr, e);
+                }
+                return;
+            }
             std::vector<std::unique_ptr<uarch::Ppc620Model>> models;
             std::vector<std::unique_ptr<core::LvpAnnotator>> annots;
             std::vector<trace::TraceSink *> tops;
@@ -849,6 +1014,78 @@ RunCache::alpha21164Many(const Workload &w, CodeGen cg,
             if (tr.empty())
                 return;
             obs::Timeline::Scope span("alpha21164:" + w.name, "sim");
+            // Variant-group sharding; see lvpOnlyMany for the shape
+            // and the chaos gating rationale.
+            std::size_t G = std::min<std::size_t>(shardJobs(),
+                                                  owned.size());
+            if (G >= 2 && !chaos::engine().enabled()) {
+                struct GroupOut
+                {
+                    std::vector<AlphaRun> runs;
+                    std::uint64_t n = 0;
+                };
+                auto groups = partitionGroups(owned.size(), G);
+                try {
+                    auto outs = shardPool().map(
+                        groups,
+                        [&](const std::pair<std::size_t,
+                                            std::size_t> &g) {
+                            std::vector<std::unique_ptr<
+                                uarch::Alpha21164Model>>
+                                models;
+                            std::vector<
+                                std::unique_ptr<core::LvpAnnotator>>
+                                annots;
+                            std::vector<trace::TraceSink *> tops;
+                            for (std::size_t k = g.first;
+                                 k < g.second; ++k) {
+                                const AlphaVariant &v =
+                                    variants[owned[k]];
+                                models.push_back(
+                                    std::make_unique<
+                                        uarch::Alpha21164Model>(
+                                        v.mc, v.lvp.has_value()));
+                                if (v.lvp) {
+                                    annots.push_back(
+                                        std::make_unique<
+                                            core::LvpAnnotator>(
+                                            *v.lvp, *models.back()));
+                                    tops.push_back(
+                                        annots.back().get());
+                                } else {
+                                    annots.push_back(nullptr);
+                                    tops.push_back(
+                                        models.back().get());
+                                }
+                            }
+                            trace::TraceFileReader reader(tr, *prog);
+                            trace::MultiSink multi(std::move(tops));
+                            GroupOut out;
+                            out.n = reader.replay(multi);
+                            for (std::size_t j = 0;
+                                 j < models.size(); ++j) {
+                                AlphaRun r;
+                                if (annots[j])
+                                    r.lvp = annots[j]->unit().stats();
+                                r.timing = models[j]->stats();
+                                publishModelRun(r.timing);
+                                out.runs.push_back(std::move(r));
+                            }
+                            return out;
+                        });
+                    std::size_t k = 0;
+                    for (auto &o : outs) {
+                        for (auto &r : o.runs)
+                            vals[k++] = std::move(r);
+                        impl_->noteFanoutReplay(o.runs.size());
+                    }
+                    addInstructionsProcessed(outs.front().n *
+                                             owned.size());
+                } catch (const SimError &e) {
+                    impl_->onReplayError(tr, e);
+                }
+                return;
+            }
             std::vector<std::unique_ptr<uarch::Alpha21164Model>>
                 models;
             std::vector<std::unique_ptr<core::LvpAnnotator>> annots;

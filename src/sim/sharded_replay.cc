@@ -1,0 +1,167 @@
+#include "sim/sharded_replay.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/parallel.hh"
+#include "sim/pipeline_driver.hh"
+#include "trace/trace_file.hh"
+#include "util/logging.hh"
+
+namespace lvplib::sim
+{
+
+namespace
+{
+
+/**
+ * One record's unit protocol, exactly as the serial annotators run
+ * it: LvpAnnotator::annotate for the paper unit (loads, stores,
+ * branches for the BHR extension), StrideAnnotator::consume and
+ * runFcmOnly's sink for the others (loads and stores only). Byte
+ * identity of the stitched stats depends on these staying in
+ * lockstep with the annotators.
+ */
+inline void
+drive(core::LvpUnit &u, const trace::TraceRecord &rec)
+{
+    const auto &inst = *rec.inst;
+    if (inst.load())
+        u.onLoad(rec.pc, rec.effAddr, rec.value, inst.accessSize());
+    else if (inst.store())
+        u.onStore(rec.effAddr, inst.accessSize());
+    else if (inst.branch())
+        u.onBranch(rec.taken);
+}
+
+inline void
+drive(core::StrideLvpUnit &u, const trace::TraceRecord &rec)
+{
+    const auto &inst = *rec.inst;
+    if (inst.load())
+        u.onLoad(rec.pc, rec.effAddr, rec.value, inst.accessSize());
+    else if (inst.store())
+        u.onStore(rec.effAddr, inst.accessSize());
+}
+
+inline void
+drive(core::FcmUnit &u, const trace::TraceRecord &rec)
+{
+    const auto &inst = *rec.inst;
+    if (inst.load())
+        u.onLoad(rec.pc, rec.effAddr, rec.value, inst.accessSize());
+    else if (inst.store())
+        u.onStore(rec.effAddr, inst.accessSize());
+}
+
+template <typename Unit, typename Config>
+core::LvpStats
+shardedReplay(const std::string &path, const isa::Program &prog,
+              const Config &cfg, unsigned shards)
+{
+    trace::TraceFileReader leader(path, prog);
+    const std::uint64_t total = leader.records();
+    // Snapshot count is bounded by the shard count; cap it at the
+    // LVPLIB_SHARDS / --shards ceiling so a wild caller value cannot
+    // balloon checkpoint memory.
+    shards = std::min(shards, 1024u);
+    if (shards < 2 || total < 2) {
+        // Serial degenerate case: one unit over the whole file, the
+        // shard pool untouched.
+        Unit unit(cfg);
+        trace::TraceRecord rec;
+        std::uint64_t n = 0;
+        while (leader.next(rec)) {
+            drive(unit, rec);
+            ++n;
+        }
+        addInstructionsProcessed(n);
+        return unit.stats();
+    }
+
+    const std::uint64_t slice =
+        (total + shards - 1) / shards; // >= 1 since total >= 2
+    const auto nShards =
+        static_cast<std::size_t>((total + slice - 1) / slice);
+
+    // Leader pass: drive a scout unit over the full trace, capturing
+    // the predictor state entering each slice. The scout's stats are
+    // deliberately discarded — the returned stats come only from the
+    // stitched shard replays, so a checkpoint missing any replayable
+    // state shows up as a stats mismatch, never as a silent pass.
+    std::vector<typename Unit::Snapshot> snaps;
+    snaps.reserve(nShards);
+    {
+        Unit scout(cfg);
+        snaps.push_back(scout.snapshot());
+        trace::TraceRecord rec;
+        std::uint64_t i = 0;
+        while (leader.next(rec)) {
+            drive(scout, rec);
+            ++i;
+            if (i % slice == 0 && i < total)
+                snaps.push_back(scout.snapshot());
+        }
+        lvp_assert(i == total && snaps.size() == nShards,
+                   "leader pass saw %llu of %llu records",
+                   static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(total));
+    }
+
+    std::vector<trace::TraceFileReader::Window> windows;
+    windows.reserve(nShards);
+    for (std::size_t k = 0; k < nShards; ++k) {
+        std::uint64_t first = k * slice;
+        windows.push_back({first, std::min(slice, total - first)});
+    }
+    std::vector<core::LvpStats> partials = shardPool().map(
+        windows, [&](const trace::TraceFileReader::Window &w) {
+            Unit unit(cfg);
+            unit.restore(snaps[w.first / slice]);
+            trace::TraceFileReader reader(path, prog, std::nullopt, w);
+            trace::TraceRecord rec;
+            std::uint64_t n = 0;
+            while (reader.next(rec)) {
+                drive(unit, rec);
+                ++n;
+            }
+            if (n != w.count)
+                throw SimError(
+                    ErrorKind::TraceCorrupt,
+                    "sharded replay: window delivered fewer records "
+                    "than promised");
+            return unit.stats();
+        });
+
+    addInstructionsProcessed(total);
+    core::LvpStats out;
+    for (const auto &p : partials)
+        out += p;
+    return out;
+}
+
+} // namespace
+
+core::LvpStats
+shardedLvpReplay(const std::string &path, const isa::Program &prog,
+                 const core::LvpConfig &cfg, unsigned shards)
+{
+    return shardedReplay<core::LvpUnit>(path, prog, cfg, shards);
+}
+
+core::LvpStats
+shardedStrideReplay(const std::string &path, const isa::Program &prog,
+                    const core::StrideConfig &cfg, unsigned shards)
+{
+    return shardedReplay<core::StrideLvpUnit>(path, prog, cfg, shards);
+}
+
+core::LvpStats
+shardedFcmReplay(const std::string &path, const isa::Program &prog,
+                 const core::FcmConfig &cfg, unsigned shards)
+{
+    return shardedReplay<core::FcmUnit>(path, prog, cfg, shards);
+}
+
+} // namespace lvplib::sim

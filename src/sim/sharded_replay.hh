@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Time-slice sharded replay of one phase-1 trace through one value
+ * predictor: the trace's record range [0, N) is cut into
+ * ceil(N/shards)-record slices, a serial leader pass drives a scout
+ * unit across the file capturing a predictor-state checkpoint
+ * (Unit::Snapshot) at every slice boundary, and the slices are then
+ * replayed concurrently on shardPool(), each shard restoring its
+ * boundary checkpoint first. Per-slice LvpStats are plain event
+ * counts, so summing them in slice order reproduces, bit for bit, the
+ * stats of one serial pass — the stitched result is byte-identical by
+ * construction, and shard_replay_test proves it against the serial
+ * replay for every predictor family (including chaos-armed runs: the
+ * snapshot carries the unit's fault-stream position, and windowed
+ * readers key read-flip decisions by absolute record number).
+ *
+ * The leader pass costs one full serial drive, so this engine cannot
+ * make a single replay faster than serial — its job is to make
+ * checkpointed replay *correct*, letting the run-cache overlap the
+ * shard tails of many replays on multi-core hosts. With shards <= 1
+ * (or a trace too small to cut) the engine degrades to a plain serial
+ * replay and never touches the shard pool.
+ *
+ * Errors surface exactly like a serial replay's: trace corruption
+ * (including injected read flips) throws SimError(TraceCorrupt), an
+ * unopenable file SimError(TraceIo), an injected shard-task failure
+ * SimError(Injected) — callers fall back the same way they do for
+ * TraceFileReader.
+ */
+
+#ifndef LVPLIB_SIM_SHARDED_REPLAY_HH
+#define LVPLIB_SIM_SHARDED_REPLAY_HH
+
+#include <string>
+
+#include "core/config.hh"
+#include "core/fcm_unit.hh"
+#include "core/lvp_unit.hh"
+#include "core/stride_unit.hh"
+#include "isa/program.hh"
+
+namespace lvplib::sim
+{
+
+/**
+ * Replay the trace at @p path through a paper LVP unit (LVPT + LCT +
+ * CVU) in @p shards time slices; see the file comment. The returned
+ * stats are byte-identical to a serial LvpAnnotator replay. Counts
+ * the trace's records via addInstructionsProcessed() exactly once.
+ */
+core::LvpStats shardedLvpReplay(const std::string &path,
+                                const isa::Program &prog,
+                                const core::LvpConfig &cfg,
+                                unsigned shards);
+
+/** shardedLvpReplay() for the stride predictor. */
+core::LvpStats shardedStrideReplay(const std::string &path,
+                                   const isa::Program &prog,
+                                   const core::StrideConfig &cfg,
+                                   unsigned shards);
+
+/** shardedLvpReplay() for the FCM predictor. */
+core::LvpStats shardedFcmReplay(const std::string &path,
+                                const isa::Program &prog,
+                                const core::FcmConfig &cfg,
+                                unsigned shards);
+
+} // namespace lvplib::sim
+
+#endif // LVPLIB_SIM_SHARDED_REPLAY_HH

@@ -455,10 +455,56 @@ TraceFileReader::TraceFileReader(
                 static_cast<unsigned long long>(*expectFingerprint)));
     }
     records_ = env.records;
+    end_ = records_;
     fingerprint_ = env.fingerprint;
     expectChecksum_ = env.checksum;
     iobuf_.resize(static_cast<std::size_t>(std::min<std::uint64_t>(
                       records_, ReaderBufRecords)) *
+                  RecordBytes);
+}
+
+TraceFileReader::TraceFileReader(
+    const std::string &path, const isa::Program &prog,
+    std::optional<std::uint64_t> expectFingerprint,
+    const Window &window)
+    : TraceFileReader(path, prog, expectFingerprint)
+{
+    if (window.first > records_ ||
+        window.count > records_ - window.first) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw SimError(
+            ErrorKind::TraceCorrupt,
+            detail::formatMsg(
+                "invalid trace window [%llu, +%llu) for '%s': file "
+                "has %llu records",
+                static_cast<unsigned long long>(window.first),
+                static_cast<unsigned long long>(window.count),
+                path.c_str(),
+                static_cast<unsigned long long>(records_)));
+    }
+    if (std::fseek(file_,
+                   static_cast<long>(TraceHeaderBytes +
+                                     window.first * RecordBytes),
+                   SEEK_SET) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw SimError(ErrorKind::TraceIo,
+                       detail::formatMsg(
+                           "cannot seek to record %llu in '%s'",
+                           static_cast<unsigned long long>(
+                               window.first),
+                           path.c_str()));
+    }
+    seq_ = window.first;
+    end_ = window.first + window.count;
+    // The whole-payload checksum cannot be verified from a window;
+    // callers guarantee the file was verified beforehand.
+    verifyChecksum_ = false;
+    bufPos_ = 0;
+    bufLen_ = 0;
+    iobuf_.resize(static_cast<std::size_t>(std::min<std::uint64_t>(
+                      window.count, ReaderBufRecords)) *
                   RecordBytes);
 }
 
@@ -472,7 +518,7 @@ void
 TraceFileReader::fillBuffer()
 {
     std::uint64_t want = std::min<std::uint64_t>(
-        records_ - seq_, ReaderBufRecords);
+        end_ - seq_, ReaderBufRecords);
     std::size_t got = std::fread(
         iobuf_.data(), 1,
         static_cast<std::size_t>(want) * RecordBytes, file_);
@@ -499,8 +545,8 @@ TraceFileReader::fillBuffer()
 bool
 TraceFileReader::next(TraceRecord &rec)
 {
-    if (seq_ == records_) {
-        if (checksum_ != expectChecksum_)
+    if (seq_ == end_) {
+        if (verifyChecksum_ && checksum_ != expectChecksum_)
             throw SimError(
                 ErrorKind::TraceCorrupt,
                 detail::formatMsg(
@@ -580,7 +626,7 @@ TraceFileReader::replay(TraceSink &sink)
     // end-of-trace checksum verification in next().
     std::vector<TraceRecord> batch(static_cast<std::size_t>(
         std::max<std::uint64_t>(
-            1, std::min<std::uint64_t>(records_,
+            1, std::min<std::uint64_t>(end_ - seq_,
                                        ReplayBatchRecords))));
     std::uint64_t n = 0;
     for (;;) {

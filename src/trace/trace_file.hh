@@ -209,9 +209,35 @@ class TraceFileWriter : public TraceSink
 class TraceFileReader
 {
   public:
+    /**
+     * A half-open record window [first, first + count) of a trace
+     * file, for sharded replay. A windowed reader seeks straight to
+     * record `first`, delivers exactly `count` records with their
+     * absolute sequence numbers, then reports end-of-trace WITHOUT
+     * the whole-payload checksum comparison (the checksum covers all
+     * payload bytes, which a window by definition does not read).
+     * Use only on files already verified end to end — the run cache
+     * verifies before replaying, and the sharded engine's leader pass
+     * reads the full file first. Per-record validation (chaos
+     * read-flip keyed by absolute record number, enum bytes, pc)
+     * is identical to a full read.
+     */
+    struct Window
+    {
+        std::uint64_t first = 0;
+        std::uint64_t count = 0;
+    };
+
     TraceFileReader(const std::string &path, const isa::Program &prog,
                     std::optional<std::uint64_t> expectFingerprint =
                         std::nullopt);
+
+    /** Open a windowed reader (see Window). Throws TraceCorrupt when
+     *  the window exceeds the footer's record count. */
+    TraceFileReader(const std::string &path, const isa::Program &prog,
+                    std::optional<std::uint64_t> expectFingerprint,
+                    const Window &window);
+
     ~TraceFileReader();
 
     TraceFileReader(const TraceFileReader &) = delete;
@@ -219,11 +245,13 @@ class TraceFileReader
 
     /**
      * Read one record into @p rec.
-     * @return false at the (checksum-verified) end of the trace.
+     * @return false at the end of the trace (checksum-verified for a
+     * full reader; windowed readers skip the whole-payload check).
      */
     bool next(TraceRecord &rec);
 
-    /** Stream the whole file into @p sink (calls finish()). */
+    /** Stream the whole file (or window) into @p sink (calls
+     *  finish()). */
     std::uint64_t replay(TraceSink &sink);
 
     /** Total records promised by the footer. */
@@ -242,6 +270,8 @@ class TraceFileReader
     std::string path_;
     SeqNum seq_ = 0;
     std::uint64_t records_ = 0;
+    std::uint64_t end_ = 0;       ///< one past the last record to read
+    bool verifyChecksum_ = true;  ///< false for windowed readers
     std::uint64_t fingerprint_ = 0;
     std::uint64_t expectChecksum_ = 0;
     std::uint64_t checksum_;

@@ -12,13 +12,53 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
+#include "isa/instruction.hh"
 #include "isa/program.hh"
 #include "trace/trace.hh"
 #include "vm/memory.hh"
 
 namespace lvplib::vm
 {
+
+/** How Interpreter::run() dispatches instructions. */
+enum class DispatchMode : std::uint8_t
+{
+    /** Decode operands from the Instruction on every step via the
+     *  original switch core. Kept as the differential-testing oracle
+     *  and the dispatch baseline for BM_InterpreterDispatch. */
+    LegacySwitch,
+    /** Execute from the predecoded DecodedInst array through a dense
+     *  switch — portable to any compiler. */
+    Predecoded,
+    /** Predecoded array + computed-goto threading (GNU/Clang label
+     *  addresses). Falls back to Predecoded when the build has no
+     *  computed-goto core (see threadedGotoAvailable()). */
+    ThreadedGoto,
+};
+
+/**
+ * One statically predecoded instruction. Everything run() needs per
+ * step — operands, cached destination register, pre-resolved BC
+ * condition test, immediate — lives in this flat 32-byte record, so
+ * the execution cores touch neither Instruction::destReg() nor
+ * condHolds() on the hot path. Built once per Interpreter from the
+ * bound Program; `src` points back at the program's Instruction so
+ * emitted TraceRecords are indistinguishable from the legacy core's.
+ */
+struct DecodedInst
+{
+    isa::Opcode op;
+    RegIndex rd;
+    RegIndex rs1;
+    RegIndex rs2;
+    RegIndex dest;       ///< Instruction::destReg(), resolved once
+    std::uint8_t crMask; ///< BC: CR bit under test (CrLt/CrGt/CrEq)
+    bool crExpect;       ///< BC: taken when (cr & crMask) != 0 equals this
+    std::int64_t imm;
+    const isa::Instruction *src; ///< backing instruction (rec.inst)
+};
 
 /** Functional execution engine for one Program. */
 class Interpreter
@@ -27,7 +67,7 @@ class Interpreter
     /**
      * Bind to @p prog and initialize machine state: data image loaded,
      * r1 = stack top, r2 = the "__toc" symbol when the program defines
-     * one, pc = entry.
+     * one, pc = entry. The static code is predecoded here, once.
      */
     explicit Interpreter(const isa::Program &prog);
 
@@ -47,6 +87,9 @@ class Interpreter
      * further instructions into the undelivered tail of the buffer,
      * which callers discard along with the failed run.
      *
+     * All three dispatch modes produce bit-identical record streams,
+     * register files, and memory images; they differ only in speed.
+     *
      * @return Number of instructions retired by this call.
      */
     std::uint64_t run(trace::TraceSink *sink = nullptr,
@@ -55,6 +98,19 @@ class Interpreter
 
     /** Single-step one instruction (no finish() call). */
     void step(trace::TraceSink *sink = nullptr);
+
+    /** Select the execution core used by run(). */
+    void setDispatch(DispatchMode m) { dispatch_ = m; }
+
+    /** The core run() currently uses. */
+    DispatchMode dispatch() const { return dispatch_; }
+
+    /** Fastest core compiled into this build. */
+    static DispatchMode defaultDispatch();
+
+    /** True when the computed-goto core was compiled in
+     *  (LVPLIB_THREADED_DISPATCH on a GNU-compatible compiler). */
+    static bool threadedGotoAvailable();
 
     /** True once HALT has retired. */
     bool halted() const { return halted_; }
@@ -87,12 +143,24 @@ class Interpreter
     /** Execute and retire one instruction into @p rec. */
     void stepInto(trace::TraceRecord &rec);
 
+    /** Build dcode_ from the bound program. */
+    void predecode();
+
+    std::uint64_t runLegacy(trace::TraceSink *sink,
+                            std::uint64_t max_instrs);
+    std::uint64_t runPredecoded(trace::TraceSink *sink,
+                                std::uint64_t max_instrs);
+    std::uint64_t runThreaded(trace::TraceSink *sink,
+                              std::uint64_t max_instrs);
+
     const isa::Program &prog_;
     SparseMemory mem_;
     std::array<Word, isa::NumRegs> regs_{};
+    std::vector<DecodedInst> dcode_;
     Addr pc_;
     std::uint64_t retired_ = 0;
     bool halted_ = false;
+    DispatchMode dispatch_ = defaultDispatch();
 };
 
 } // namespace lvplib::vm

@@ -69,9 +69,8 @@ SparseMemory::writeByte(Addr a, std::uint8_t v)
 }
 
 Word
-SparseMemory::read(Addr a, unsigned size) const
+SparseMemory::readSlow(Addr a, unsigned size) const
 {
-    lvp_dassert(size == 1 || size == 4 || size == 8, "size=%u", size);
     Addr off = a & PageMask;
     if constexpr (std::endian::native == std::endian::little) {
         if (off + size <= PageSize) {
@@ -91,9 +90,8 @@ SparseMemory::read(Addr a, unsigned size) const
 }
 
 void
-SparseMemory::write(Addr a, Word v, unsigned size)
+SparseMemory::writeSlow(Addr a, Word v, unsigned size)
 {
-    lvp_dassert(size == 1 || size == 4 || size == 8, "size=%u", size);
     Addr off = a & PageMask;
     if constexpr (std::endian::native == std::endian::little) {
         if (off + size <= PageSize) {

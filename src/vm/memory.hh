@@ -10,12 +10,15 @@
 #define LVPLIB_VM_MEMORY_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "isa/program.hh"
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace lvplib::vm
@@ -52,11 +55,44 @@ class SparseMemory
     /**
      * Read @p size bytes (1, 4, or 8) little-endian, zero-extended
      * into a Word. Accesses may span pages.
+     *
+     * Inlined so the interpreter's load path resolves a cached-page
+     * hit (the overwhelmingly common case) without a function call;
+     * misses, straddles, and big-endian hosts take readSlow().
      */
-    Word read(Addr a, unsigned size) const;
+    Word
+    read(Addr a, unsigned size) const
+    {
+        lvp_dassert(size == 1 || size == 4 || size == 8, "size=%u",
+                    size);
+        if constexpr (std::endian::native == std::endian::little) {
+            Addr off = a & PageMask;
+            if (off + size <= PageSize && cachedPage_ &&
+                cachedPageNum_ == (a >> PageShift)) {
+                Word v = 0;
+                std::memcpy(&v, cachedPage_->data() + off, size);
+                return v;
+            }
+        }
+        return readSlow(a, size);
+    }
 
     /** Write the low @p size bytes of @p v little-endian. */
-    void write(Addr a, Word v, unsigned size);
+    void
+    write(Addr a, Word v, unsigned size)
+    {
+        lvp_dassert(size == 1 || size == 4 || size == 8, "size=%u",
+                    size);
+        if constexpr (std::endian::native == std::endian::little) {
+            Addr off = a & PageMask;
+            if (off + size <= PageSize && cachedPage_ &&
+                cachedPageNum_ == (a >> PageShift)) {
+                std::memcpy(cachedPage_->data() + off, &v, size);
+                return;
+            }
+        }
+        writeSlow(a, v, size);
+    }
 
     /** Copy a program's initial data image into memory. */
     void loadImage(const isa::Program &prog);
@@ -89,6 +125,9 @@ class SparseMemory
 
     const Page *findPage(Addr a) const;
     Page &touchPage(Addr a);
+
+    Word readSlow(Addr a, unsigned size) const;
+    void writeSlow(Addr a, Word v, unsigned size);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
 

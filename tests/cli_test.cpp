@@ -145,6 +145,7 @@ TEST(BenchCli, Defaults)
     ASSERT_TRUE(o);
     EXPECT_TRUE(o->filters.empty());
     EXPECT_FALSE(o->jobs.has_value());
+    EXPECT_FALSE(o->shards.has_value());
     EXPECT_FALSE(o->scale.has_value());
     EXPECT_FALSE(o->json);
     EXPECT_FALSE(o->list);
@@ -164,8 +165,8 @@ TEST(BenchCli, Defaults)
 TEST(BenchCli, ParsesEveryOption)
 {
     auto o = parseBench({"--filter", "fig1", "--filter", "table6",
-                         "--jobs", "8", "--scale", "3", "--json",
-                         "--no-trace-cache", "--prune",
+                         "--jobs", "8", "--shards", "4", "--scale",
+                         "3", "--json", "--no-trace-cache", "--prune",
                          "--metrics-out", "m.json", "--timeline-out",
                          "t.json", "--check", "golden.json",
                          "--rel-tol", "0.01"});
@@ -173,6 +174,7 @@ TEST(BenchCli, ParsesEveryOption)
     EXPECT_EQ(o->filters,
               (std::vector<std::string>{"fig1", "table6"}));
     EXPECT_EQ(o->jobs, 8u);
+    EXPECT_EQ(o->shards, 4u);
     EXPECT_EQ(o->scale, 3u);
     EXPECT_TRUE(o->json);
     EXPECT_FALSE(o->traceCache);
@@ -244,6 +246,8 @@ TEST(BenchCli, MissingValueNamesTheFlag)
     EXPECT_NE(err.find("--filter needs a value"), std::string::npos);
     EXPECT_FALSE(parseBench({"--jobs"}, &err));
     EXPECT_NE(err.find("--jobs needs a value"), std::string::npos);
+    EXPECT_FALSE(parseBench({"--shards"}, &err));
+    EXPECT_NE(err.find("--shards needs a value"), std::string::npos);
     EXPECT_FALSE(parseBench({"--metrics-out"}, &err));
     EXPECT_NE(err.find("--metrics-out needs a value"),
               std::string::npos);
@@ -261,6 +265,11 @@ TEST(BenchCli, MalformedValuesNameTheToken)
     EXPECT_FALSE(parseBench({"--jobs", "0"}, &err));
     EXPECT_NE(err.find("'0'"), std::string::npos);
     EXPECT_FALSE(parseBench({"--jobs", "9999"}, &err));
+    EXPECT_FALSE(parseBench({"--shards", "abc"}, &err));
+    EXPECT_NE(err.find("bad --shards value 'abc'"),
+              std::string::npos);
+    EXPECT_FALSE(parseBench({"--shards", "0"}, &err));
+    EXPECT_FALSE(parseBench({"--shards", "9999"}, &err));
     EXPECT_FALSE(parseBench({"--scale", "0"}, &err));
     EXPECT_NE(err.find("bad --scale value '0'"), std::string::npos);
     EXPECT_FALSE(parseBench({"--scale", "12x"}, &err));
@@ -274,7 +283,8 @@ TEST(BenchCli, UsageMentionsEveryFlag)
 {
     std::string u = benchUsage();
     for (const char *flag :
-         {"--filter", "--jobs", "--scale", "--json", "--list",
+         {"--filter", "--jobs", "--shards", "--scale", "--json",
+          "--list",
           "--no-trace-cache", "--prune",
           "--verify-trace-cache", "--metrics-out", "--timeline-out",
           "--check", "--rel-tol", "--chaos", "--retries",

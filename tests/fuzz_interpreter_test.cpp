@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <bit>
 #include <cmath>
 #include <limits>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "isa/assembler.hh"
+#include "trace/trace.hh"
 #include "util/rng.hh"
 #include "vm/interpreter.hh"
 
@@ -198,9 +200,12 @@ class InterpreterFuzz : public ::testing::TestWithParam<int>
 {
 };
 
-TEST_P(InterpreterFuzz, RandomStraightLineProgramsAgree)
+/** Build the per-seed random straight-line program (shared by the
+ *  oracle test and the dispatch-core differential test). */
+Program
+randomProgram(int seed)
 {
-    Rng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ull +
+    Rng rng(static_cast<std::uint64_t>(seed) * 6364136223846793005ull +
             1442695040888963407ull);
 
     Assembler a;
@@ -300,7 +305,12 @@ TEST_P(InterpreterFuzz, RandomStraightLineProgramsAgree)
         (void)fpr;
     }
     a.halt();
-    Program p = a.finish();
+    return a.finish();
+}
+
+TEST_P(InterpreterFuzz, RandomStraightLineProgramsAgree)
+{
+    Program p = randomProgram(GetParam());
 
     // Reference run: oracle over the same instruction list, skipping
     // the prologue that the assembler emitted for la/li (the oracle
@@ -318,6 +328,71 @@ TEST_P(InterpreterFuzz, RandomStraightLineProgramsAgree)
     for (const auto &[addr, byte] : oracle.mem)
         ASSERT_EQ(interp.memory().readByte(addr), byte)
             << "memory byte at " << std::hex << addr;
+}
+
+TEST_P(InterpreterFuzz, DispatchCoresProduceIdenticalRuns)
+{
+    // Differential check of the three dispatch cores on the same
+    // random program: every core must emit the exact same trace
+    // stream (every field, destValue included) and end with the same
+    // architectural state. ThreadedGoto silently falls back to the
+    // predecoded core on toolchains without computed goto, which
+    // still exercises the mode-selection path.
+    Program p = randomProgram(GetParam());
+
+    struct Capture : trace::TraceSink
+    {
+        std::vector<trace::TraceRecord> recs;
+        void
+        consume(const trace::TraceRecord &rec) override
+        {
+            recs.push_back(rec);
+        }
+    };
+
+    struct Run
+    {
+        std::vector<trace::TraceRecord> recs;
+        std::array<Word, isa::NumRegs> regs;
+    };
+    std::vector<Run> runs;
+    for (auto mode :
+         {vm::DispatchMode::LegacySwitch, vm::DispatchMode::Predecoded,
+          vm::DispatchMode::ThreadedGoto}) {
+        vm::Interpreter interp(p);
+        interp.setDispatch(mode);
+        Capture cap;
+        std::uint64_t n = interp.run(&cap);
+        ASSERT_TRUE(interp.halted());
+        ASSERT_EQ(n, cap.recs.size());
+        Run r;
+        r.recs = std::move(cap.recs);
+        for (RegIndex i = 0; i < isa::NumRegs; ++i)
+            r.regs[i] = interp.reg(i);
+        runs.push_back(std::move(r));
+    }
+
+    for (std::size_t m = 1; m < runs.size(); ++m) {
+        ASSERT_EQ(runs[0].recs.size(), runs[m].recs.size());
+        for (std::size_t i = 0; i < runs[0].recs.size(); ++i) {
+            const auto &a = runs[0].recs[i];
+            const auto &b = runs[m].recs[i];
+            ASSERT_EQ(a.seq, b.seq) << "mode " << m << " record " << i;
+            ASSERT_EQ(a.pc, b.pc) << "mode " << m << " record " << i;
+            ASSERT_EQ(a.inst, b.inst) << "mode " << m << " record " << i;
+            ASSERT_EQ(a.effAddr, b.effAddr)
+                << "mode " << m << " record " << i;
+            ASSERT_EQ(a.value, b.value)
+                << "mode " << m << " record " << i;
+            ASSERT_EQ(a.destValue, b.destValue)
+                << "mode " << m << " record " << i;
+            ASSERT_EQ(a.taken, b.taken)
+                << "mode " << m << " record " << i;
+            ASSERT_EQ(a.nextPc, b.nextPc)
+                << "mode " << m << " record " << i;
+        }
+        ASSERT_EQ(runs[0].regs, runs[m].regs) << "mode " << m;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, InterpreterFuzz,

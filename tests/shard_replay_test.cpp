@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Byte-identity proof for sharded intra-experiment replay: the
+ * time-slice checkpoint engine (sim/sharded_replay.hh) must stitch
+ * per-shard predictor statistics back into EXACTLY the stats one
+ * serial annotator pass produces — for every predictor family (paper
+ * LVP unit in all its presets and the BHR extension, stride, FCM),
+ * for any shard count, and with chaos predictor faults armed (the
+ * snapshot carries the unit's fault-stream position). Also covers the
+ * windowed TraceFileReader the shards are built on and the RunCache
+ * wiring (group-sharded *Many sweeps and the sharded singular path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hh"
+#include "core/config.hh"
+#include "core/fcm_unit.hh"
+#include "core/lvp_unit.hh"
+#include "core/stride_unit.hh"
+#include "sim/parallel.hh"
+#include "sim/run_cache.hh"
+#include "sim/sharded_replay.hh"
+#include "trace/trace_file.hh"
+#include "vm/interpreter.hh"
+#include "workloads/workload.hh"
+
+namespace lvplib
+{
+namespace
+{
+
+using trace::TraceFileReader;
+using trace::TraceFileWriter;
+using trace::TraceRecord;
+using trace::TraceSink;
+
+struct TempPath
+{
+    std::string path;
+    explicit TempPath(const std::string &name)
+        : path(std::string(::testing::TempDir()) + name)
+    {}
+    ~TempPath() { std::remove(path.c_str()); }
+};
+
+isa::Program
+demoProgram()
+{
+    return workloads::findWorkload("grep").build(workloads::CodeGen::Ppc,
+                                                 1);
+}
+
+std::uint64_t
+writeTrace(const std::string &path, const isa::Program &prog,
+           std::uint64_t limit)
+{
+    TraceFileWriter writer(path);
+    vm::Interpreter interp(prog);
+    interp.run(&writer, limit);
+    writer.finish();
+    EXPECT_TRUE(writer.close()) << writer.error();
+    return writer.recordsWritten();
+}
+
+class NullSink : public TraceSink
+{
+  public:
+    void consume(const TraceRecord &) override {}
+};
+
+/** Serial reference: one LvpAnnotator pass over the whole file. */
+core::LvpStats
+serialLvp(const std::string &path, const isa::Program &prog,
+          const core::LvpConfig &cfg)
+{
+    NullSink null_sink;
+    core::LvpAnnotator annot(cfg, null_sink);
+    TraceFileReader reader(path, prog);
+    reader.replay(annot);
+    return annot.unit().stats();
+}
+
+core::LvpStats
+serialStride(const std::string &path, const isa::Program &prog,
+             const core::StrideConfig &cfg)
+{
+    NullSink null_sink;
+    core::StrideAnnotator annot(cfg, null_sink);
+    TraceFileReader reader(path, prog);
+    reader.replay(annot);
+    return annot.unit().stats();
+}
+
+core::LvpStats
+serialFcm(const std::string &path, const isa::Program &prog,
+          const core::FcmConfig &cfg)
+{
+    /** Mirrors runFcmOnly's sink: loads and stores into the unit. */
+    class FcmSink : public TraceSink
+    {
+      public:
+        explicit FcmSink(const core::FcmConfig &c) : unit(c) {}
+        void
+        consume(const TraceRecord &rec) override
+        {
+            const auto &inst = *rec.inst;
+            if (inst.load())
+                unit.onLoad(rec.pc, rec.effAddr, rec.value,
+                            inst.accessSize());
+            else if (inst.store())
+                unit.onStore(rec.effAddr, inst.accessSize());
+        }
+        core::FcmUnit unit;
+    } sink(cfg);
+    TraceFileReader reader(path, prog);
+    reader.replay(sink);
+    return sink.unit.stats();
+}
+
+/** Every field — byte identity, not just the headline counters. */
+void
+expectSameStats(const core::LvpStats &a, const core::LvpStats &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.loads, b.loads) << what;
+    EXPECT_EQ(a.noPred, b.noPred) << what;
+    EXPECT_EQ(a.incorrect, b.incorrect) << what;
+    EXPECT_EQ(a.correct, b.correct) << what;
+    EXPECT_EQ(a.constants, b.constants) << what;
+    EXPECT_EQ(a.actualUnpred, b.actualUnpred) << what;
+    EXPECT_EQ(a.actualPred, b.actualPred) << what;
+    EXPECT_EQ(a.unpredIdentified, b.unpredIdentified) << what;
+    EXPECT_EQ(a.predIdentified, b.predIdentified) << what;
+    EXPECT_EQ(a.cvuInsertions, b.cvuInsertions) << what;
+    EXPECT_EQ(a.cvuStoreInvalidations, b.cvuStoreInvalidations) << what;
+    EXPECT_EQ(a.cvuDisplaceInvalidations, b.cvuDisplaceInvalidations)
+        << what;
+    EXPECT_EQ(a.cvuStaleHits, b.cvuStaleHits) << what;
+}
+
+TEST(ShardReplay, WindowedReaderDeliversExactSlices)
+{
+    TempPath tmp("lvplib_shard_window.trace");
+    auto prog = demoProgram();
+    const std::uint64_t n = writeTrace(tmp.path, prog, 10000);
+    ASSERT_EQ(n, 10000u);
+
+    std::vector<TraceRecord> full;
+    {
+        TraceFileReader reader(tmp.path, prog);
+        TraceRecord rec;
+        while (reader.next(rec))
+            full.push_back(rec);
+    }
+    ASSERT_EQ(full.size(), n);
+
+    // Windows at the start, in the middle, spanning the reader's
+    // block buffer, and ending exactly at the last record.
+    const TraceFileReader::Window windows[] = {
+        {0, 1}, {0, 4096}, {1, 4096}, {4095, 4099}, {9999, 1}, {3000, 7000}};
+    for (const auto &w : windows) {
+        TraceFileReader reader(tmp.path, prog, std::nullopt, w);
+        TraceRecord rec;
+        std::uint64_t i = 0;
+        while (reader.next(rec)) {
+            ASSERT_LT(i, w.count);
+            const TraceRecord &want = full[w.first + i];
+            ASSERT_EQ(rec.seq, want.seq) << "absolute seq preserved";
+            ASSERT_EQ(rec.pc, want.pc);
+            ASSERT_EQ(rec.inst, want.inst);
+            ASSERT_EQ(rec.effAddr, want.effAddr);
+            ASSERT_EQ(rec.value, want.value);
+            ASSERT_EQ(rec.taken, want.taken);
+            ASSERT_EQ(rec.nextPc, want.nextPc);
+            ++i;
+        }
+        EXPECT_EQ(i, w.count);
+    }
+}
+
+TEST(ShardReplay, WindowBeyondFooterCountThrows)
+{
+    TempPath tmp("lvplib_shard_badwindow.trace");
+    auto prog = demoProgram();
+    const std::uint64_t n = writeTrace(tmp.path, prog, 100);
+    ASSERT_EQ(n, 100u);
+    EXPECT_THROW(TraceFileReader(tmp.path, prog, std::nullopt,
+                                 TraceFileReader::Window{100, 1}),
+                 SimError);
+    EXPECT_THROW(TraceFileReader(tmp.path, prog, std::nullopt,
+                                 TraceFileReader::Window{50, 51}),
+                 SimError);
+    // A zero-count window at the end is legal and empty.
+    TraceFileReader reader(tmp.path, prog, std::nullopt,
+                           TraceFileReader::Window{100, 0});
+    TraceRecord rec;
+    EXPECT_FALSE(reader.next(rec));
+}
+
+TEST(ShardReplay, LvpShardingMatchesSerialAcrossConfigsAndCounts)
+{
+    TempPath tmp("lvplib_shard_lvp.trace");
+    auto prog = demoProgram();
+    ASSERT_EQ(writeTrace(tmp.path, prog, 10000), 10000u);
+
+    core::LvpConfig bhr = core::LvpConfig::simple();
+    bhr.name = "simple+bhr";
+    bhr.bhrBits = 4;
+    const core::LvpConfig cfgs[] = {
+        core::LvpConfig::simple(), core::LvpConfig::constant(),
+        core::LvpConfig::limit(), core::LvpConfig::perfect(), bhr};
+    const unsigned shardCounts[] = {1, 2, 3, 7, 16, 64};
+
+    for (const auto &cfg : cfgs) {
+        core::LvpStats serial = serialLvp(tmp.path, prog, cfg);
+        for (unsigned shards : shardCounts) {
+            core::LvpStats sharded =
+                sim::shardedLvpReplay(tmp.path, prog, cfg, shards);
+            expectSameStats(serial, sharded,
+                            cfg.name + " shards=" +
+                                std::to_string(shards));
+        }
+    }
+}
+
+TEST(ShardReplay, StrideAndFcmShardingMatchSerial)
+{
+    TempPath tmp("lvplib_shard_sf.trace");
+    auto prog = demoProgram();
+    ASSERT_EQ(writeTrace(tmp.path, prog, 10000), 10000u);
+
+    const auto scfg = core::StrideConfig::simple();
+    core::LvpStats sSerial = serialStride(tmp.path, prog, scfg);
+    const auto fcfg = core::FcmConfig::simple();
+    core::LvpStats fSerial = serialFcm(tmp.path, prog, fcfg);
+    for (unsigned shards : {2u, 5u, 32u}) {
+        expectSameStats(
+            sSerial,
+            sim::shardedStrideReplay(tmp.path, prog, scfg, shards),
+            "stride shards=" + std::to_string(shards));
+        expectSameStats(
+            fSerial, sim::shardedFcmReplay(tmp.path, prog, fcfg, shards),
+            "fcm shards=" + std::to_string(shards));
+    }
+}
+
+TEST(ShardReplay, ChaosArmedShardingMatchesSerial)
+{
+    TempPath tmp("lvplib_shard_chaos.trace");
+    auto prog = demoProgram();
+    ASSERT_EQ(writeTrace(tmp.path, prog, 10000), 10000u);
+
+    // Predictor faults are keyed on (config name, per-unit load
+    // counter); the snapshot carries that counter, so shard units
+    // must resume the exact fault stream the serial unit sees. The
+    // mask arms ONLY predictor points: TaskThrow would kill shard
+    // tasks and TraceReadFlip is exercised by batch_replay_test.
+    auto &ce = chaos::engine();
+    const auto cfg = core::LvpConfig::simple();
+    ce.arm({99, chaos::PredictorPoints, 512});
+    core::LvpStats serial;
+    core::LvpStats sharded;
+    try {
+        serial = serialLvp(tmp.path, prog, cfg);
+        sharded = sim::shardedLvpReplay(tmp.path, prog, cfg, 5);
+    } catch (...) {
+        ce.disarm();
+        throw;
+    }
+    std::uint64_t faults = ce.injectedTotal();
+    ce.disarm();
+    EXPECT_GT(faults, 0u) << "predictor faults must actually fire";
+    expectSameStats(serial, sharded, "chaos-armed shards=5");
+}
+
+TEST(ShardReplay, RunCacheShardedPathsMatchSerialResults)
+{
+    namespace fs = std::filesystem;
+    auto &cache = sim::RunCache::instance();
+    const std::string savedDir = cache.traceDir();
+    fs::path dir =
+        fs::path(::testing::TempDir()) / "lvplib_shard_runcache";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const auto &w = workloads::findWorkload("grep");
+    sim::RunConfig rc;
+    const std::vector<core::LvpConfig> sweep = {
+        core::LvpConfig::simple(), core::LvpConfig::constant(),
+        core::LvpConfig::limit()};
+
+    // Serial reference: shards forced to 1.
+    sim::setShardJobs(1);
+    cache.clear();
+    cache.setTraceDir(dir.string());
+    std::vector<core::LvpStats> serial =
+        cache.lvpOnlyMany(w, workloads::CodeGen::Ppc, 1, sweep, rc);
+    core::LvpStats serialOne = cache.lvpOnly(
+        w, workloads::CodeGen::Ppc, 1, core::LvpConfig::simple(), rc);
+
+    // Sharded: group-sharded sweep + checkpoint-sharded singular,
+    // recomputed from scratch (cache cleared, trace regenerated).
+    sim::setShardJobs(3);
+    cache.clear();
+    std::vector<core::LvpStats> sharded =
+        cache.lvpOnlyMany(w, workloads::CodeGen::Ppc, 1, sweep, rc);
+    core::LvpStats shardedOne = cache.lvpOnly(
+        w, workloads::CodeGen::Ppc, 1, core::LvpConfig::simple(), rc);
+
+    ASSERT_EQ(serial.size(), sharded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectSameStats(serial[i], sharded[i],
+                        "sweep variant " + std::to_string(i));
+    expectSameStats(serialOne, shardedOne, "singular lvpOnly");
+
+    sim::setShardJobs(0);
+    cache.clear();
+    cache.setTraceDir(savedDir);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace lvplib

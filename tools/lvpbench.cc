@@ -12,6 +12,7 @@
  *   lvpbench                  # everything, human-readable
  *   lvpbench --filter fig     # experiments whose id/binary matches
  *   lvpbench --jobs 8         # override LVPLIB_JOBS
+ *   lvpbench --shards 8       # override LVPLIB_SHARDS (replay fan-out)
  *   lvpbench --scale 2        # override LVPLIB_SCALE
  *   lvpbench --json           # machine-readable timings on stdout
  *   lvpbench --list           # show experiment ids and exit
@@ -268,6 +269,8 @@ main(int argc, char **argv)
 
     if (bench.jobs)
         sim::setExperimentJobs(*bench.jobs);
+    if (bench.shards)
+        sim::setShardJobs(*bench.shards);
     auto opts = sim::ExperimentOptions::fromEnv();
     if (bench.scale)
         opts.scale = *bench.scale;
@@ -381,6 +384,8 @@ main(int argc, char **argv)
         w.member("scale", static_cast<std::uint64_t>(opts.scale));
         w.member("jobs", static_cast<std::uint64_t>(
                              sim::experimentPool().jobs()));
+        w.member("shards",
+                 static_cast<std::uint64_t>(sim::shardJobs()));
         w.key("experiments");
         w.beginArray();
         for (const auto &tm : timings) {

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * CVP-style predictor championship: every registered predictor over
+ * the full workload suite, ranked by mean good-prediction rate with
+ * hardware bit budgets alongside.
+ */
+
+#include "sim/suite.hh"
+
+int
+main()
+{
+    return lvplib::sim::runSuiteBinary("championship");
+}

@@ -62,6 +62,14 @@ LvpConfig::validate() const
         lvp_fatal("historyDepth out of range (%u)", historyDepth);
     if (lctBits < 1 || lctBits > 8)
         lvp_fatal("lctBits out of range (%u)", lctBits);
+    // A set-associative CVU needs a power-of-two set count; catch it
+    // here at config time rather than deep in the Cvu constructor.
+    if (cvuWays > 0 &&
+        (cvuEntries % cvuWays != 0 ||
+         !powerOfTwo(cvuEntries / cvuWays)))
+        lvp_fatal("cvu sets (cvuEntries %u / cvuWays %u) must be a "
+                  "power of two",
+                  cvuEntries, cvuWays);
 }
 
 } // namespace lvplib::core

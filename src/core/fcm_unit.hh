@@ -19,6 +19,7 @@
 
 #include "core/lct.hh"
 #include "core/lvp_unit.hh"
+#include "core/value_predictor.hh"
 #include "trace/trace.hh"
 #include "util/types.hh"
 
@@ -36,6 +37,9 @@ struct FcmConfig
 
     /** A budget comparable to the paper's Simple configuration. */
     static FcmConfig simple();
+
+    /** lvp_fatal on any parameter the table math cannot support. */
+    void validate() const;
 };
 
 /**
@@ -44,23 +48,27 @@ struct FcmConfig
  * location whose coherence a CAM could guarantee, so constants are
  * never identified (stats().constants stays 0).
  */
-class FcmUnit
+class FcmUnit : public ValuePredictor
 {
   public:
     explicit FcmUnit(const FcmConfig &config);
 
     /** Process one dynamic load; returns its prediction state. */
     trace::PredState onLoad(Addr pc, Addr addr, Word value,
-                            unsigned size);
+                            unsigned size) override;
 
     /** Stores don't affect a CVU-less predictor; kept for interface
      *  symmetry. */
-    void onStore(Addr addr, unsigned size);
+    void onStore(Addr addr, unsigned size) override;
 
     const FcmConfig &config() const { return config_; }
-    const LvpStats &stats() const { return stats_; }
+    const LvpStats &stats() const override { return stats_; }
 
-    void reset();
+    void reset() override;
+
+    std::uint64_t bitBudget() const override;
+    std::any snapshotState() const override;
+    void restoreState(const std::any &s) override;
 
   private:
     std::uint32_t level1Index(Addr pc) const;
@@ -92,6 +100,7 @@ class FcmUnit
     FcmConfig config_;
     std::uint32_t l1Mask_;
     std::uint32_t l2Mask_;
+    unsigned foldShift_; ///< ceil(64 / order): context bits per fold
     std::vector<Word> contexts_; ///< level 1: folded value history
     std::vector<L2Entry> values_; ///< level 2
     Lct lct_;

@@ -2,6 +2,7 @@
 
 #include "chaos/chaos.hh"
 #include "isa/program.hh"
+#include "util/logging.hh"
 #include "util/stats.hh"
 
 namespace lvplib::core
@@ -56,13 +57,16 @@ LvpStats::operator+=(const LvpStats &o)
     return *this;
 }
 
+// The (validate(), config) comma idiom runs the config's own fatal
+// checks BEFORE the member-initializer list builds any sub-table,
+// whose internal asserts would otherwise fire first with a cruder
+// message.
 LvpUnit::LvpUnit(const LvpConfig &config)
-    : config_(config),
+    : config_((config.validate(), config)),
       lvpt_(config.lvptEntries, config.historyDepth, config.taggedLvpt),
       lct_(config.lctEntries, config.lctBits),
       cvu_(config.cvuEntries, config.cvuWays)
 {
-    config_.validate();
     chaosKey_ = chaos::streamKey(config_.name);
 }
 
@@ -243,6 +247,47 @@ LvpUnit::restore(const Snapshot &s)
     // Resuming the fault-stream counter keeps a chaos-armed sharded
     // replay injecting exactly the faults the serial replay would.
     chaosLoads_ = s.chaosLoads;
+}
+
+std::uint64_t
+LvpUnit::bitBudget() const
+{
+    auto log2up = [](std::uint64_t v) {
+        std::uint64_t n = 0;
+        while ((std::uint64_t{1} << n) < v)
+            ++n;
+        return n;
+    };
+    // LVPT: depth 64-bit values + valid bit each, LRU ordering bits
+    // when depth > 1, and a full tag per entry in the tagged ablation.
+    const std::uint64_t depth = config_.historyDepth;
+    std::uint64_t lvptEntry = depth * (64 + 1) + depth * log2up(depth);
+    if (config_.taggedLvpt)
+        lvptEntry += 64;
+    std::uint64_t bits = config_.lvptEntries * lvptEntry;
+    // LCT: one saturating counter per entry.
+    bits += std::uint64_t{config_.lctEntries} * config_.lctBits;
+    // CVU: each CAM entry holds a data address, the owning LVPT
+    // index, an access size (4 bits cover 1..8 bytes), and a valid.
+    bits += std::uint64_t{config_.cvuEntries} *
+            (64 + log2up(config_.lvptEntries) + 4 + 1);
+    // Branch history register (bhrBits == 0 for the paper design).
+    bits += config_.bhrBits;
+    return bits;
+}
+
+std::any
+LvpUnit::snapshotState() const
+{
+    return snapshot();
+}
+
+void
+LvpUnit::restoreState(const std::any &s)
+{
+    const auto *snap = std::any_cast<Snapshot>(&s);
+    lvp_assert(snap, "lvp restoreState: wrong snapshot type");
+    restore(*snap);
 }
 
 void

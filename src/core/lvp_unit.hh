@@ -16,6 +16,7 @@
 #include "core/cvu.hh"
 #include "core/lct.hh"
 #include "core/lvpt.hh"
+#include "core/value_predictor.hh"
 #include "trace/trace.hh"
 #include "util/types.hh"
 
@@ -73,7 +74,7 @@ struct LvpStats
  * with the actual loaded value — this is a trace-driven unit, as in
  * the paper) and every dynamic store (for CVU coherence).
  */
-class LvpUnit
+class LvpUnit : public ValuePredictor
 {
   public:
     explicit LvpUnit(const LvpConfig &config);
@@ -86,20 +87,21 @@ class LvpUnit
      * @param value Actual loaded value.
      * @param size Access size in bytes.
      */
-    trace::PredState onLoad(Addr pc, Addr addr, Word value, unsigned size);
+    trace::PredState onLoad(Addr pc, Addr addr, Word value,
+                            unsigned size) override;
 
     /** Process one dynamic store (invalidates matching CVU entries). */
-    void onStore(Addr addr, unsigned size);
+    void onStore(Addr addr, unsigned size) override;
 
     /**
      * Process one dynamic branch outcome. Only used when
      * config.bhrBits > 0 (the branch-history-indexed LVPT extension);
      * a no-op otherwise.
      */
-    void onBranch(bool taken);
+    void onBranch(bool taken) override;
 
     const LvpConfig &config() const { return config_; }
-    const LvpStats &stats() const { return stats_; }
+    const LvpStats &stats() const override { return stats_; }
 
     /** Component access for tests and diagnostics. */
     const Lvpt &lvpt() const { return lvpt_; }
@@ -107,7 +109,11 @@ class LvpUnit
     const Cvu &cvu() const { return cvu_; }
 
     /** Clear tables and statistics. */
-    void reset();
+    void reset() override;
+
+    std::uint64_t bitBudget() const override;
+    std::any snapshotState() const override;
+    void restoreState(const std::any &s) override;
 
     /**
      * Checkpointable predictor state: everything a later onLoad /

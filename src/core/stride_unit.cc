@@ -12,13 +12,29 @@ StrideConfig::simple()
     return StrideConfig();
 }
 
+void
+StrideConfig::validate() const
+{
+    auto pow2 = [](std::uint32_t v) {
+        return v != 0 && (v & (v - 1)) == 0;
+    };
+    if (!pow2(entries))
+        lvp_fatal("stride entries must be a power of two (%u)",
+                  entries);
+    if (!pow2(lctEntries))
+        lvp_fatal("stride lctEntries must be a power of two (%u)",
+                  lctEntries);
+    if (lctBits < 1 || lctBits > 8)
+        lvp_fatal("stride lctBits out of range (%u)", lctBits);
+    if (strideConfBits < 1 || strideConfBits > 8)
+        lvp_fatal("stride strideConfBits out of range (%u)",
+                  strideConfBits);
+}
+
 StrideLvpUnit::StrideLvpUnit(const StrideConfig &config)
-    : config_(config), mask_(config.entries - 1),
+    : config_((config.validate(), config)), mask_(config.entries - 1),
       lct_(config.lctEntries, config.lctBits), cvu_(config.cvuEntries)
 {
-    lvp_assert(config.entries != 0 &&
-                   (config.entries & (config.entries - 1)) == 0,
-               "entries=%u", config.entries);
     table_.assign(config.entries, Entry());
     for (auto &e : table_)
         e.conf = SatCounter(config.strideConfBits);
@@ -135,6 +151,40 @@ StrideLvpUnit::reset()
     lct_.reset();
     cvu_.reset();
     stats_ = LvpStats();
+}
+
+std::uint64_t
+StrideLvpUnit::bitBudget() const
+{
+    auto log2up = [](std::uint64_t v) {
+        std::uint64_t n = 0;
+        while ((std::uint64_t{1} << n) < v)
+            ++n;
+        return n;
+    };
+    // Stride table: last value + stride + confidence + valid.
+    std::uint64_t bits =
+        std::uint64_t{config_.entries} *
+        (64 + 64 + config_.strideConfBits + 1);
+    bits += std::uint64_t{config_.lctEntries} * config_.lctBits;
+    // CVU CAM entries, as in LvpUnit::bitBudget().
+    bits += std::uint64_t{config_.cvuEntries} *
+            (64 + log2up(config_.entries) + 4 + 1);
+    return bits;
+}
+
+std::any
+StrideLvpUnit::snapshotState() const
+{
+    return snapshot();
+}
+
+void
+StrideLvpUnit::restoreState(const std::any &s)
+{
+    const auto *snap = std::any_cast<Snapshot>(&s);
+    lvp_assert(snap, "stride restoreState: wrong snapshot type");
+    restore(*snap);
 }
 
 StrideLvpUnit::Snapshot

@@ -22,6 +22,7 @@
 #include "core/cvu.hh"
 #include "core/lct.hh"
 #include "core/lvp_unit.hh"
+#include "core/value_predictor.hh"
 #include "trace/trace.hh"
 #include "util/sat_counter.hh"
 #include "util/types.hh"
@@ -40,28 +41,35 @@ struct StrideConfig
 
     /** Same table budget as the paper's Simple configuration. */
     static StrideConfig simple();
+
+    /** lvp_fatal on any parameter the table math cannot support. */
+    void validate() const;
 };
 
 /**
  * Stride-based load value prediction unit. Interface mirrors LvpUnit
  * so the two can be swapped behind the same annotation pipeline.
  */
-class StrideLvpUnit
+class StrideLvpUnit : public ValuePredictor
 {
   public:
     explicit StrideLvpUnit(const StrideConfig &config);
 
     /** Process one dynamic load; returns its prediction state. */
     trace::PredState onLoad(Addr pc, Addr addr, Word value,
-                            unsigned size);
+                            unsigned size) override;
 
     /** Process one dynamic store (CVU coherence). */
-    void onStore(Addr addr, unsigned size);
+    void onStore(Addr addr, unsigned size) override;
 
     const StrideConfig &config() const { return config_; }
-    const LvpStats &stats() const { return stats_; }
+    const LvpStats &stats() const override { return stats_; }
 
-    void reset();
+    void reset() override;
+
+    std::uint64_t bitBudget() const override;
+    std::any snapshotState() const override;
+    void restoreState(const std::any &s) override;
 
   private:
     struct Entry

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/stride_unit.hh"
+#include "core/value_predictor.hh"
 #include "isa/text_asm.hh"
 #include "sim/pipeline_driver.hh"
 #include "uarch/machine_config.hh"
@@ -165,6 +166,9 @@ benchUsage()
                     LVPLIB_SHARDS or the worker-thread count; 1
                     disables replay sharding)
   --scale N         workload input scale (default LVPLIB_SCALE or 4)
+  --predictors L    championship contenders: comma-separated registry
+                    names, e.g. lvp,vtage (default LVPLIB_PREDICTORS
+                    or every registered predictor)
   --json            machine-readable timings on stdout
   --list            show experiment ids and exit
   --no-trace-cache  keep phase 1 in-memory only
@@ -253,6 +257,33 @@ parseBenchCli(const std::vector<std::string> &args, std::string &error)
             if (!n)
                 return std::nullopt;
             opts.scale = n;
+        } else if (a == "--predictors") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            // Validate names here so a typo fails before any
+            // experiment runs rather than mid-suite.
+            std::string rest = *v;
+            bool any = false;
+            while (!rest.empty()) {
+                auto comma = rest.find(',');
+                std::string name = rest.substr(0, comma);
+                rest = comma == std::string::npos
+                           ? ""
+                           : rest.substr(comma + 1);
+                if (name.empty())
+                    continue;
+                if (!core::findPredictor(name)) {
+                    error = "unknown predictor '" + name + "'";
+                    return std::nullopt;
+                }
+                any = true;
+            }
+            if (!any) {
+                error = "bad --predictors value '" + *v + "'";
+                return std::nullopt;
+            }
+            opts.predictors = *v;
         } else if (a == "--verify-trace-cache") {
             auto *v = value();
             if (!v)

@@ -60,6 +60,9 @@ struct BenchOptions
     std::optional<unsigned> jobs;     ///< --jobs (1..1024)
     std::optional<unsigned> shards;   ///< --shards (1..1024)
     std::optional<unsigned> scale;    ///< --scale (>= 1)
+    /** --predictors LIST: championship contenders, comma-separated
+     *  registry names ("" = every registered predictor). */
+    std::string predictors;
     bool json = false;
     bool list = false;
     bool traceCache = true; ///< cleared by --no-trace-cache

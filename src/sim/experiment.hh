@@ -10,6 +10,7 @@
 #define LVPLIB_SIM_EXPERIMENT_HH
 
 #include <cstdint>
+#include <string>
 
 #include "util/table.hh"
 
@@ -22,7 +23,16 @@ struct ExperimentOptions
     unsigned scale = 4;   ///< workload input-size multiplier
     std::uint64_t maxInstructions = 200'000'000;
 
-    /** Read LVPLIB_SCALE from the environment when set. */
+    /**
+     * Comma-separated registry names restricting the championship's
+     * contenders ("" = every registered predictor). Set by
+     * `lvpbench --predictors` / LVPLIB_PREDICTORS; unknown names are
+     * rejected at parse time.
+     */
+    std::string predictors;
+
+    /** Read LVPLIB_SCALE / LVPLIB_PREDICTORS from the environment
+     *  when set. */
     static ExperimentOptions fromEnv();
 };
 

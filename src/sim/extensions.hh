@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "core/value_predictor.hh"
 #include "sim/experiment.hh"
 #include "sim/suite.hh"
 
@@ -37,6 +38,20 @@ ablationBpred(const ExperimentOptions &opts);
 /** Section 6.1: 21164 cache-bandwidth reduction from the CVU. */
 std::vector<ExperimentSection>
 sec61MissRates(const ExperimentOptions &opts);
+
+/**
+ * The contenders a championship run sweeps: every registered
+ * predictor, or the subset named by opts.predictors (comma-separated
+ * registry names; lvp_fatal on an unknown name). Registry order is
+ * preserved — it is part of the golden-metrics contract.
+ */
+std::vector<const core::PredictorInfo *>
+championshipPredictors(const ExperimentOptions &opts);
+
+/** CVP-style championship: every registry predictor over all 17
+ *  workloads, ranked under bit-budget-fair accounting. */
+std::vector<ExperimentSection>
+championship(const ExperimentOptions &opts);
 
 } // namespace lvplib::sim
 

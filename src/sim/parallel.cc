@@ -1,5 +1,6 @@
 #include "sim/parallel.hh"
 
+#include <cstdlib>
 #include <memory>
 #include <optional>
 
@@ -108,6 +109,41 @@ std::mutex g_shard_mutex;
 std::unique_ptr<TaskPool> g_shard_pool;
 unsigned g_shard_override = 0; ///< 0 = no setShardJobs() override
 
+/**
+ * Join every pool worker before the metric registry can be torn
+ * down. The pools' namespace-scope statics are constructed at load
+ * time, but the registry their workers' counters live in is
+ * constructed lazily, later — so plain static destruction destroys
+ * the registry FIRST, and a worker still draining its queue would
+ * touch a freed counter (a use-after-free that surfaced as flaky
+ * teardown aborts in shard-replay tests). An atexit handler
+ * registered AFTER the registry exists runs before the registry's
+ * destructor, closing the window.
+ */
+void
+joinPoolsAtExit()
+{
+    {
+        std::lock_guard<std::mutex> lock(g_pool_mutex);
+        g_pool.reset();
+    }
+    {
+        std::lock_guard<std::mutex> lock(g_shard_mutex);
+        g_shard_pool.reset();
+    }
+}
+
+void
+registerPoolTeardown()
+{
+    // Sequence matters: force the registry into existence, THEN
+    // register the handler, so the handler precedes the registry's
+    // destructor in the common teardown order.
+    static const int once =
+        (obs::metrics(), std::atexit(joinPoolsAtExit));
+    (void)once;
+}
+
 /** shardJobs() with g_shard_mutex already held. */
 unsigned
 shardJobsLocked()
@@ -128,6 +164,7 @@ shardJobsLocked()
 TaskPool &
 experimentPool()
 {
+    registerPoolTeardown();
     std::lock_guard<std::mutex> lock(g_pool_mutex);
     if (!g_pool)
         g_pool = std::make_unique<TaskPool>();
@@ -137,6 +174,7 @@ experimentPool()
 void
 setExperimentJobs(unsigned jobs)
 {
+    registerPoolTeardown();
     std::lock_guard<std::mutex> lock(g_pool_mutex);
     g_pool.reset(); // join the old workers before starting new ones
     g_pool = std::make_unique<TaskPool>(jobs);
@@ -145,6 +183,7 @@ setExperimentJobs(unsigned jobs)
 TaskPool &
 shardPool()
 {
+    registerPoolTeardown();
     std::lock_guard<std::mutex> lock(g_shard_mutex);
     if (!g_shard_pool)
         g_shard_pool = std::make_unique<TaskPool>(shardJobsLocked());

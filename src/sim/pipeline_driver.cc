@@ -204,6 +204,22 @@ runFcmOnly(const isa::Program &prog, const core::FcmConfig &cfg,
     return sink.unit.stats();
 }
 
+core::LvpStats
+runPredictorOnly(const isa::Program &prog,
+                 const core::PredictorInfo &info, const RunConfig &rc)
+{
+    class NullSink : public trace::TraceSink
+    {
+      public:
+        void consume(const trace::TraceRecord &) override {}
+    } null_sink;
+
+    vm::Interpreter interp(prog);
+    core::PredictorAnnotator annot(info, null_sink);
+    runToCompletion(interp, &annot, rc);
+    return annot.unit().stats();
+}
+
 PpcRun
 runPpc620(const isa::Program &prog, const uarch::Ppc620Config &mc,
           const std::optional<core::LvpConfig> &lvp, const RunConfig &rc)

@@ -18,6 +18,7 @@
 #include "core/value_profiler.hh"
 #include "core/fcm_unit.hh"
 #include "core/stride_unit.hh"
+#include "core/value_predictor.hh"
 #include "isa/program.hh"
 #include "trace/trace_stats.hh"
 #include "uarch/alpha21164.hh"
@@ -78,6 +79,12 @@ core::LvpStats runStrideOnly(const isa::Program &prog,
 core::LvpStats runFcmOnly(const isa::Program &prog,
                           const core::FcmConfig &cfg,
                           const RunConfig &rc = {});
+
+/** Run any registry predictor alone over a program's trace, through
+ *  the type-erased ValuePredictor interface (championship sweep). */
+core::LvpStats runPredictorOnly(const isa::Program &prog,
+                                const core::PredictorInfo &info,
+                                const RunConfig &rc = {});
 
 /** Timing result for the out-of-order machine. */
 struct PpcRun

@@ -148,6 +148,8 @@ struct RunCache::Impl
                  std::shared_ptr<const core::ValueLocalityProfiler>>>
         localities;
     std::map<std::string, std::shared_future<core::LvpStats>> lvps;
+    /** Registry-predictor runs, keyed on the predictor name. */
+    std::map<std::string, std::shared_future<core::LvpStats>> preds;
     std::map<std::string, std::shared_future<PpcRun>> ppcRuns;
     std::map<std::string, std::shared_future<AlphaRun>> alphaRuns;
     /** Value: trace-file path ("" when generation was skipped). */
@@ -669,6 +671,149 @@ RunCache::lvpOnly(const Workload &w, CodeGen cg, unsigned scale,
         });
 }
 
+core::LvpStats
+RunCache::predictorOnly(const Workload &w, CodeGen cg, unsigned scale,
+                        const core::PredictorInfo &info,
+                        const RunConfig &rc)
+{
+    // Registry entries are fixed-budget instances, so the registry
+    // name is the whole configuration fingerprint.
+    std::string key = runKey(w, cg, scale, rc) + "|pred|" + info.name;
+    return impl_->getOrCompute<core::LvpStats>(
+        impl_->preds, key, [&] {
+            auto prog = program(w, cg, scale);
+            std::string tr =
+                impl_->ensureTrace(*this, w, cg, scale, rc);
+            obs::Timeline::Scope span("pred:" + w.name, "sim");
+            if (!tr.empty()) {
+                // Same sharding policy as lvpOnly: checkpointed
+                // sharded replay unless chaos is armed.
+                unsigned shards = shardJobs();
+                try {
+                    core::LvpStats s;
+                    if (shards > 1 && !chaos::engine().enabled()) {
+                        s = shardedPredictorReplay(tr, *prog, info,
+                                                   shards);
+                    } else {
+                        NullSink null_sink;
+                        core::PredictorAnnotator annot(info, null_sink);
+                        trace::TraceFileReader reader(tr, *prog);
+                        addInstructionsProcessed(reader.replay(annot));
+                        s = annot.unit().stats();
+                    }
+                    impl_->traceReplays.fetch_add(
+                        1, std::memory_order_relaxed);
+                    impl_->obsTraceReplays.add();
+                    return s;
+                } catch (const SimError &e) {
+                    impl_->onReplayError(tr, e);
+                }
+            }
+            return runPredictorOnly(*prog, info, rc);
+        });
+}
+
+std::vector<core::LvpStats>
+RunCache::predictorOnlyMany(
+    const Workload &w, CodeGen cg, unsigned scale,
+    const std::vector<const core::PredictorInfo *> &infos,
+    const RunConfig &rc)
+{
+    std::string base = runKey(w, cg, scale, rc) + "|pred|";
+    std::vector<std::string> keys;
+    keys.reserve(infos.size());
+    for (const auto *info : infos)
+        keys.push_back(base + info->name);
+    return impl_->fanOutCompute<core::LvpStats>(
+        impl_->preds, keys,
+        [&](const std::vector<std::size_t> &owned,
+            std::vector<std::optional<core::LvpStats>> &vals) {
+            auto prog = program(w, cg, scale);
+            std::string tr =
+                impl_->ensureTrace(*this, w, cg, scale, rc);
+            if (tr.empty())
+                return;
+            obs::Timeline::Scope span("pred:" + w.name, "sim");
+            // Variant-group sharding over the predictor zoo; see
+            // lvpOnlyMany for the shape and the chaos gating.
+            std::size_t G = std::min<std::size_t>(shardJobs(),
+                                                  owned.size());
+            if (G >= 2 && !chaos::engine().enabled()) {
+                struct GroupOut
+                {
+                    std::vector<core::LvpStats> stats;
+                    std::uint64_t n = 0;
+                };
+                auto groups = partitionGroups(owned.size(), G);
+                try {
+                    auto outs = shardPool().map(
+                        groups,
+                        [&](const std::pair<std::size_t,
+                                            std::size_t> &g) {
+                            NullSink null_sink;
+                            std::vector<std::unique_ptr<
+                                core::PredictorAnnotator>>
+                                annots;
+                            std::vector<trace::TraceSink *> tops;
+                            for (std::size_t k = g.first;
+                                 k < g.second; ++k) {
+                                annots.push_back(
+                                    std::make_unique<
+                                        core::PredictorAnnotator>(
+                                        *infos[owned[k]], null_sink));
+                                tops.push_back(annots.back().get());
+                            }
+                            trace::TraceFileReader reader(tr, *prog);
+                            trace::MultiSink multi(std::move(tops));
+                            GroupOut out;
+                            out.n = reader.replay(multi);
+                            for (const auto &a : annots)
+                                out.stats.push_back(a->unit().stats());
+                            return out;
+                        });
+                    std::size_t k = 0;
+                    for (const auto &o : outs) {
+                        for (const auto &s : o.stats)
+                            vals[k++] = s;
+                        impl_->noteFanoutReplay(o.stats.size());
+                    }
+                    addInstructionsProcessed(outs.front().n *
+                                             owned.size());
+                } catch (const SimError &e) {
+                    impl_->onReplayError(tr, e);
+                }
+                return;
+            }
+            NullSink null_sink;
+            std::vector<std::unique_ptr<core::PredictorAnnotator>>
+                annots;
+            std::vector<trace::TraceSink *> tops;
+            for (std::size_t i : owned) {
+                annots.push_back(
+                    std::make_unique<core::PredictorAnnotator>(
+                        *infos[i], null_sink));
+                tops.push_back(annots.back().get());
+            }
+            try {
+                trace::TraceFileReader reader(tr, *prog);
+                trace::MultiSink multi(std::move(tops));
+                std::uint64_t n = reader.replay(multi);
+                addInstructionsProcessed(n * owned.size());
+                impl_->noteFanoutReplay(owned.size());
+            } catch (const SimError &e) {
+                impl_->onReplayError(tr, e);
+                return;
+            }
+            for (std::size_t k = 0; k < owned.size(); ++k)
+                vals[k] = annots[k]->unit().stats();
+        },
+        [&](std::size_t i) {
+            auto prog = program(w, cg, scale);
+            obs::Timeline::Scope span("pred:" + w.name, "sim");
+            return runPredictorOnly(*prog, *infos[i], rc);
+        });
+}
+
 PpcRun
 RunCache::ppc620(const Workload &w, CodeGen cg, unsigned scale,
                  const uarch::Ppc620Config &mc,
@@ -1169,6 +1314,7 @@ RunCache::clear()
     impl_->funcs.clear();
     impl_->localities.clear();
     impl_->lvps.clear();
+    impl_->preds.clear();
     impl_->ppcRuns.clear();
     impl_->alphaRuns.clear();
     impl_->traces.clear();

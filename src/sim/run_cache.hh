@@ -92,6 +92,13 @@ class RunCache
                            const core::LvpConfig &cfg,
                            const RunConfig &rc);
 
+    /** Cached runPredictorOnly() for a registry predictor, keyed on
+     *  its registry name (championship leaderboard). */
+    core::LvpStats predictorOnly(const workloads::Workload &w,
+                                 workloads::CodeGen cg, unsigned scale,
+                                 const core::PredictorInfo &info,
+                                 const RunConfig &rc);
+
     /** Cached runPpc620(). */
     PpcRun ppc620(const workloads::Workload &w, workloads::CodeGen cg,
                   unsigned scale, const uarch::Ppc620Config &mc,
@@ -121,6 +128,14 @@ class RunCache
                 unsigned scale,
                 const std::vector<core::LvpConfig> &cfgs,
                 const RunConfig &rc);
+
+    /** lvpOnlyMany() for registry predictors: one trace replay fans
+     *  out over every still-missing predictor in @p infos. */
+    std::vector<core::LvpStats>
+    predictorOnlyMany(const workloads::Workload &w,
+                      workloads::CodeGen cg, unsigned scale,
+                      const std::vector<const core::PredictorInfo *> &infos,
+                      const RunConfig &rc);
 
     /** One timing-sweep variant: a machine config plus an optional
      *  LVP unit (nullopt = the no-LVP baseline machine). */

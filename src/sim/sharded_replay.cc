@@ -1,7 +1,9 @@
 #include "sim/sharded_replay.hh"
 
 #include <algorithm>
+#include <any>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/parallel.hh"
@@ -53,6 +55,42 @@ drive(core::FcmUnit &u, const trace::TraceRecord &rec)
         u.onLoad(rec.pc, rec.effAddr, rec.value, inst.accessSize());
     else if (inst.store())
         u.onStore(rec.effAddr, inst.accessSize());
+}
+
+/**
+ * Adapter giving a registry predictor the (construct from config,
+ * snapshot/restore, stats) shape the shardedReplay template expects,
+ * with the PredictorInfo standing in as the config and std::any as
+ * the snapshot type.
+ */
+struct RegistryUnit
+{
+    using Snapshot = std::any;
+
+    explicit RegistryUnit(const core::PredictorInfo &info)
+        : unit(info.make())
+    {}
+
+    std::any snapshot() const { return unit->snapshotState(); }
+    void restore(const std::any &s) { unit->restoreState(s); }
+    const core::LvpStats &stats() const { return unit->stats(); }
+
+    std::unique_ptr<core::ValuePredictor> unit;
+};
+
+inline void
+drive(RegistryUnit &u, const trace::TraceRecord &rec)
+{
+    // Mirrors PredictorAnnotator::annotate: loads, stores, and
+    // branches all reach the unit, which ignores what it doesn't use.
+    const auto &inst = *rec.inst;
+    if (inst.load())
+        u.unit->onLoad(rec.pc, rec.effAddr, rec.value,
+                       inst.accessSize());
+    else if (inst.store())
+        u.unit->onStore(rec.effAddr, inst.accessSize());
+    else if (inst.branch())
+        u.unit->onBranch(rec.taken);
 }
 
 template <typename Unit, typename Config>
@@ -162,6 +200,14 @@ shardedFcmReplay(const std::string &path, const isa::Program &prog,
                  const core::FcmConfig &cfg, unsigned shards)
 {
     return shardedReplay<core::FcmUnit>(path, prog, cfg, shards);
+}
+
+core::LvpStats
+shardedPredictorReplay(const std::string &path,
+                       const isa::Program &prog,
+                       const core::PredictorInfo &info, unsigned shards)
+{
+    return shardedReplay<RegistryUnit>(path, prog, info, shards);
 }
 
 } // namespace lvplib::sim

@@ -37,6 +37,7 @@
 #include "core/fcm_unit.hh"
 #include "core/lvp_unit.hh"
 #include "core/stride_unit.hh"
+#include "core/value_predictor.hh"
 #include "isa/program.hh"
 
 namespace lvplib::sim
@@ -64,6 +65,19 @@ core::LvpStats shardedFcmReplay(const std::string &path,
                                 const isa::Program &prog,
                                 const core::FcmConfig &cfg,
                                 unsigned shards);
+
+/**
+ * shardedLvpReplay() for any registry predictor, driven through the
+ * type-erased ValuePredictor interface. Checkpoints travel as
+ * std::any snapshots (snapshotState / restoreState), so every unit in
+ * the zoo — including ones the engine has never heard of — shards
+ * with the same byte-identity guarantee; the serial reference is a
+ * PredictorAnnotator replay.
+ */
+core::LvpStats shardedPredictorReplay(const std::string &path,
+                                      const isa::Program &prog,
+                                      const core::PredictorInfo &info,
+                                      unsigned shards);
 
 } // namespace lvplib::sim
 

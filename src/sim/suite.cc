@@ -173,6 +173,9 @@ experimentSuite()
         {"sec61", "sec61_miss_rates",
          "21164 cache-bandwidth reduction from the CVU",
          static_cast<Runner>(sec61MissRates)},
+        {"championship", "championship",
+         "predictor-zoo leaderboard with hardware bit budgets",
+         static_cast<Runner>(championship)},
     };
     return suite;
 }

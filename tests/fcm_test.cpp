@@ -122,6 +122,66 @@ TEST(FcmUnit, SeparateLoadsSeparateContexts)
     EXPECT_GT(rate, 0.6);
 }
 
+TEST(FcmUnit, ContextForgetsValuesOlderThanOrder)
+{
+    // Regression: the fold shift used to be 64 / (order + 1), which is
+    // 21 for the default order 2 — three folds covered only 63 of the
+    // context's 64 bits, so one bit of every ancient value stayed in
+    // the hash forever and two loads with identical recent histories
+    // could land in different level-2 entries. The context must be a
+    // function of the last `order` values only.
+    FcmConfig cfg = tiny();
+    ASSERT_EQ(cfg.order, 2u);
+    FcmUnit a(cfg), b(cfg);
+    // Different ancient histories (different lengths, too)...
+    for (Word v : {Word{0x1111}, Word{0x2222}, Word{0x3333}})
+        a.onLoad(Pc0, DataA, v, 8);
+    for (Word v : {Word{0xAAAA}, Word{0xBBBB}})
+        b.onLoad(Pc0, DataA, v, 8);
+    // ...then the same most-recent `order` values.
+    for (Word v : {Word{7}, Word{9}}) {
+        a.onLoad(Pc0, DataA, v, 8);
+        b.onLoad(Pc0, DataA, v, 8);
+    }
+    EXPECT_EQ(a.snapshot().contexts, b.snapshot().contexts)
+        << "context must converge once the last `order` values agree";
+}
+
+TEST(FcmUnit, OrderOneContextIsLastValueOnly)
+{
+    // order == 1 makes the fold shift 64 — the UB edge the fold must
+    // special-case by clearing the old context entirely.
+    FcmConfig cfg = tiny();
+    cfg.order = 1;
+    FcmUnit a(cfg), b(cfg);
+    a.onLoad(Pc0, DataA, 123456, 8);
+    a.onLoad(Pc0, DataA, 55, 8);
+    b.onLoad(Pc0, DataA, 55, 8);
+    EXPECT_EQ(a.snapshot().contexts, b.snapshot().contexts);
+}
+
+TEST(FcmConfigDeathTest, RejectsOrderZero)
+{
+    FcmConfig cfg = tiny();
+    cfg.order = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "fatal:");
+    cfg.order = 9;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "fatal:");
+}
+
+TEST(FcmConfigDeathTest, RejectsNonPowerOfTwoTables)
+{
+    FcmConfig cfg = tiny();
+    cfg.level1Entries = 100;
+    EXPECT_EXIT(FcmUnit u(cfg), ::testing::ExitedWithCode(1), "fatal:");
+    cfg = tiny();
+    cfg.level2Entries = 500;
+    EXPECT_EXIT(FcmUnit u(cfg), ::testing::ExitedWithCode(1), "fatal:");
+    cfg = tiny();
+    cfg.lctEntries = 48;
+    EXPECT_EXIT(FcmUnit u(cfg), ::testing::ExitedWithCode(1), "fatal:");
+}
+
 TEST(FcmUnit, ResetClears)
 {
     FcmUnit u(tiny());

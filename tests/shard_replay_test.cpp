@@ -23,6 +23,7 @@
 #include "core/fcm_unit.hh"
 #include "core/lvp_unit.hh"
 #include "core/stride_unit.hh"
+#include "core/value_predictor.hh"
 #include "sim/parallel.hh"
 #include "sim/run_cache.hh"
 #include "sim/sharded_replay.hh"
@@ -248,6 +249,115 @@ TEST(ShardReplay, StrideAndFcmShardingMatchSerial)
             fSerial, sim::shardedFcmReplay(tmp.path, prog, fcfg, shards),
             "fcm shards=" + std::to_string(shards));
     }
+}
+
+/** Serial reference for any registry predictor: one
+ *  PredictorAnnotator pass over the whole file. */
+core::LvpStats
+serialPredictor(const std::string &path, const isa::Program &prog,
+                const core::PredictorInfo &info)
+{
+    NullSink null_sink;
+    core::PredictorAnnotator annot(info, null_sink);
+    TraceFileReader reader(path, prog);
+    reader.replay(annot);
+    return annot.unit().stats();
+}
+
+TEST(ShardReplay, EveryRegistryPredictorShardsMatchSerial)
+{
+    // The championship's correctness bedrock: the type-erased
+    // snapshot path (shardedPredictorReplay over RegistryUnit) must be
+    // byte-identical to a serial pass for EVERY registered predictor —
+    // including the history-indexed VTAGE, whose snapshot carries the
+    // global branch history and the mispredict-throttle position, and
+    // the skewed stride unit — for any shard count.
+    TempPath tmp("lvplib_shard_registry.trace");
+    auto prog = demoProgram();
+    ASSERT_EQ(writeTrace(tmp.path, prog, 10000), 10000u);
+
+    const unsigned shardCounts[] = {1, 2, 3, 7, 16, 64};
+    for (const auto &info : core::predictorRegistry()) {
+        core::LvpStats serial = serialPredictor(tmp.path, prog, info);
+        EXPECT_GT(serial.loads, 0u) << info.name;
+        for (unsigned shards : shardCounts) {
+            core::LvpStats sharded = sim::shardedPredictorReplay(
+                tmp.path, prog, info, shards);
+            expectSameStats(serial, sharded,
+                            info.name + " shards=" +
+                                std::to_string(shards));
+        }
+    }
+}
+
+TEST(ShardReplay, LvpStatsMergeSumsEveryField)
+{
+    // Guard for the stitching step: a field added to LvpStats but
+    // forgotten in operator+= would silently corrupt every sharded
+    // run. The static_assert pins the struct layout; adding a field
+    // breaks this test until the merge (and this fill pattern) learn
+    // about it.
+    static_assert(sizeof(core::LvpStats) == 13 * sizeof(std::uint64_t),
+                  "LvpStats changed: update operator+= and this test");
+    core::LvpStats a, b;
+    std::uint64_t *fa = reinterpret_cast<std::uint64_t *>(&a);
+    std::uint64_t *fb = reinterpret_cast<std::uint64_t *>(&b);
+    const std::size_t n = sizeof(core::LvpStats) / sizeof(std::uint64_t);
+    for (std::size_t i = 0; i < n; ++i) {
+        fa[i] = 1000 + i;
+        fb[i] = 1;
+    }
+    a += b;
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(fa[i], 1001 + i) << "LvpStats field " << i
+                                   << " not summed by operator+=";
+}
+
+TEST(ShardReplay, RunCachePredictorPathsMatchSerialResults)
+{
+    // The championship's run-cache entry points: the group-sharded
+    // predictorOnlyMany sweep and the checkpoint-sharded singular
+    // predictorOnly must agree with their serial (shards=1) selves.
+    namespace fs = std::filesystem;
+    auto &cache = sim::RunCache::instance();
+    const std::string savedDir = cache.traceDir();
+    fs::path dir =
+        fs::path(::testing::TempDir()) / "lvplib_shard_predcache";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const auto &w = workloads::findWorkload("grep");
+    sim::RunConfig rc;
+    std::vector<const core::PredictorInfo *> preds;
+    for (const auto &info : core::predictorRegistry())
+        preds.push_back(&info);
+    const core::PredictorInfo &vtage = *core::findPredictor("vtage");
+
+    sim::setShardJobs(1);
+    cache.clear();
+    cache.setTraceDir(dir.string());
+    std::vector<core::LvpStats> serial =
+        cache.predictorOnlyMany(w, workloads::CodeGen::Ppc, 1, preds, rc);
+    core::LvpStats serialOne =
+        cache.predictorOnly(w, workloads::CodeGen::Ppc, 1, vtage, rc);
+
+    sim::setShardJobs(3);
+    cache.clear();
+    std::vector<core::LvpStats> sharded =
+        cache.predictorOnlyMany(w, workloads::CodeGen::Ppc, 1, preds, rc);
+    core::LvpStats shardedOne =
+        cache.predictorOnly(w, workloads::CodeGen::Ppc, 1, vtage, rc);
+
+    ASSERT_EQ(serial.size(), sharded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectSameStats(serial[i], sharded[i],
+                        "predictor sweep " + preds[i]->name);
+    expectSameStats(serialOne, shardedOne, "singular predictorOnly");
+
+    sim::setShardJobs(0);
+    cache.clear();
+    cache.setTraceDir(savedDir);
+    fs::remove_all(dir);
 }
 
 TEST(ShardReplay, ChaosArmedShardingMatchesSerial)

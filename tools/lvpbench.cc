@@ -274,6 +274,8 @@ main(int argc, char **argv)
     auto opts = sim::ExperimentOptions::fromEnv();
     if (bench.scale)
         opts.scale = *bench.scale;
+    if (!bench.predictors.empty())
+        opts.predictors = bench.predictors;
 
     if (bench.chaosSeed) {
         chaos::CampaignOptions copts;

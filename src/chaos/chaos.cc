@@ -48,6 +48,7 @@ pointName(Point p)
       case Point::LvptValue: return "lvpt_value";
       case Point::LctCounter: return "lct_counter";
       case Point::CvuEntry: return "cvu_entry";
+      case Point::ServeFrame: return "serve_frame";
       case Point::NumPoints: break;
     }
     return "?";

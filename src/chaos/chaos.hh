@@ -55,6 +55,7 @@ enum class Point : unsigned
     LvptValue,        ///< predictor: XOR one bit into an LVPT MRU value
     LctCounter,       ///< predictor: flip the low bit of an LCT counter
     CvuEntry,         ///< predictor: parity-detected CVU entry eviction
+    ServeFrame,       ///< lvp-serve: one socket frame read/write fails
     NumPoints,
 };
 
@@ -78,6 +79,14 @@ constexpr std::uint32_t EnginePoints =
 constexpr std::uint32_t PredictorPoints = pointBit(Point::LvptValue) |
                                           pointBit(Point::LctCounter) |
                                           pointBit(Point::CvuEntry);
+
+/**
+ * Serving-path faults (socket frame I/O). Deliberately NOT part of
+ * AllPoints: the lvpbench --chaos campaign predates the server and
+ * its per-seed reports are a byte-identity contract; the serve soak
+ * test arms this mask explicitly.
+ */
+constexpr std::uint32_t ServePoints = pointBit(Point::ServeFrame);
 
 constexpr std::uint32_t AllPoints = EnginePoints | PredictorPoints;
 

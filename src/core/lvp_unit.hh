@@ -53,6 +53,10 @@ struct LvpStats
      */
     LvpStats &operator+=(const LvpStats &o);
 
+    /** Field-wise equality: the byte-identity check the serving path
+     *  (lvp-serve sessions vs the offline pipeline) is verified by. */
+    bool operator==(const LvpStats &o) const = default;
+
     /** Table 3 column: % of unpredictable loads identified as such. */
     double unpredHitRate() const;
 

@@ -1,0 +1,161 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace lvplib::serve
+{
+
+namespace
+{
+
+[[noreturn]] void
+connectError(const std::string &what, int err)
+{
+    throw SimError(ErrorKind::TraceIo,
+                   "serve client: " + what + ": " + std::strerror(err));
+}
+
+} // namespace
+
+ServeClient::ServeClient(int fd, std::uint64_t maxFrameBytes,
+                         std::uint64_t chaosKey)
+    : io_(fd, maxFrameBytes, chaosKey)
+{
+}
+
+ServeClient
+ServeClient::connectUnix(const std::string &path,
+                         std::uint64_t maxFrameBytes)
+{
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+        throw SimError(ErrorKind::TraceIo,
+                       "serve client: unix socket path too long: " +
+                           path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        connectError("socket(AF_UNIX) failed", errno);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int err = errno;
+        ::close(fd);
+        connectError("connect(" + path + ") failed", err);
+    }
+    return ServeClient(fd, maxFrameBytes);
+}
+
+ServeClient
+ServeClient::connectTcp(std::uint16_t port, std::uint64_t maxFrameBytes)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        connectError("socket(AF_INET) failed", errno);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int err = errno;
+        ::close(fd);
+        connectError("connect(port " + std::to_string(port) + ") failed",
+                     err);
+    }
+    return ServeClient(fd, maxFrameBytes);
+}
+
+Frame
+ServeClient::expect(FrameType want)
+{
+    Frame f = io_.read();
+    if (f.type == FrameType::Error) {
+        std::string message;
+        ErrorKind kind = decodeError(f.payload, message);
+        throw SimError(kind, "server: " + message);
+    }
+    if (f.type != want)
+        throw SimError(ErrorKind::TraceCorrupt,
+                       std::string("serve client: expected ") +
+                           frameTypeName(want) + ", got " +
+                           frameTypeName(f.type));
+    return f;
+}
+
+void
+ServeClient::hello()
+{
+    io_.write(FrameType::Hello, encodeHello(ProtocolVersion));
+    Frame f = expect(FrameType::HelloOk);
+    std::uint16_t version = decodeHello(f.payload, "HELLO_OK");
+    if (version != ProtocolVersion)
+        throw SimError(ErrorKind::TraceCorrupt,
+                       "serve client: server speaks protocol version " +
+                           std::to_string(version) + ", want " +
+                           std::to_string(ProtocolVersion));
+}
+
+ServeClient::OpenResult
+ServeClient::open(const OpenRequest &req)
+{
+    io_.write(FrameType::OpenSession, encodeOpen(req));
+    Frame f = expect(FrameType::OpenOk);
+    OpenResult r;
+    decodeOpenOk(f.payload, r.sessionId, r.cached);
+    return r;
+}
+
+void
+ServeClient::sendChunk(std::span<const ServeRecord> records)
+{
+    std::vector<std::uint8_t> payload;
+    payload.reserve(records.size() * ServeRecordBytes);
+    for (const ServeRecord &rec : records)
+        encodeRecord(rec, payload);
+    io_.write(FrameType::TraceChunk, payload);
+}
+
+void
+ServeClient::sendChunkRaw(std::span<const std::uint8_t> payload)
+{
+    io_.write(FrameType::TraceChunk, payload);
+}
+
+void
+ServeClient::runCached()
+{
+    io_.write(FrameType::RunCached, {});
+}
+
+SessionMetrics
+ServeClient::metrics()
+{
+    io_.write(FrameType::Metrics, {});
+    return decodeMetrics(expect(FrameType::MetricsReply).payload);
+}
+
+SessionMetrics
+ServeClient::closeSession()
+{
+    io_.write(FrameType::CloseSession, {});
+    return decodeMetrics(expect(FrameType::MetricsReply).payload);
+}
+
+void
+ServeClient::goodbye()
+{
+    io_.write(FrameType::Goodbye, {});
+    expect(FrameType::Goodbye);
+    io_.shutdown();
+}
+
+} // namespace lvplib::serve

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * ServeClient: the client half of the lvp-serve protocol, used by the
+ * lvpload load generator and the serve tests.
+ *
+ * One ServeClient is one connection; after the hello() handshake it
+ * can run any number of sessions back to back. Methods are
+ * synchronous: each performs its request/reply exchange and returns
+ * the decoded result. A server Error frame surfaces as SimError
+ * carrying the server's ErrorKind and message, so client code handles
+ * remote failures exactly like local ones (retry, fall back, or
+ * report).
+ */
+
+#ifndef LVPLIB_SERVE_CLIENT_HH
+#define LVPLIB_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "serve/framing.hh"
+#include "serve/protocol.hh"
+
+namespace lvplib::serve
+{
+
+/** One client connection; see file comment. */
+class ServeClient
+{
+  public:
+    /** Wrap a connected socket fd (takes ownership). */
+    explicit ServeClient(int fd,
+                         std::uint64_t maxFrameBytes = 16ull << 20,
+                         std::uint64_t chaosKey = 0);
+
+    /** @{ Connect to a server endpoint.
+     *  @throws SimError(TraceIo) when the connection fails. */
+    static ServeClient connectUnix(const std::string &path,
+                                   std::uint64_t maxFrameBytes =
+                                       16ull << 20);
+    static ServeClient connectTcp(std::uint16_t port,
+                                  std::uint64_t maxFrameBytes =
+                                      16ull << 20);
+    /** @} */
+
+    /** Version handshake; must be the first exchange. */
+    void hello();
+
+    struct OpenResult
+    {
+        std::uint64_t sessionId = 0;
+        bool cached = false; ///< server holds this stream; RunCached ok
+    };
+
+    /** Open a session for @p req.predictor over the stream @p req
+     *  names. */
+    OpenResult open(const OpenRequest &req);
+
+    /** Stream one chunk of records into the open session. */
+    void sendChunk(std::span<const ServeRecord> records);
+
+    /** Stream one pre-encoded chunk (the load generator's hot path —
+     *  streams are encoded once and shared across users). */
+    void sendChunkRaw(std::span<const std::uint8_t> payload);
+
+    /**
+     * Ask the server to replay its cached copy of the stream. Fire
+     * and forget, like sendChunk(); if the entry was evicted between
+     * OpenOk and now the next reply (metrics()/closeSession()) throws
+     * SimError(RetryExhausted) and the connection is done — reconnect
+     * and stream the chunks instead.
+     */
+    void runCached();
+
+    /** Mid-stream statistics snapshot (chunk-boundary consistent). */
+    SessionMetrics metrics();
+
+    /** Close the session; returns the drained final snapshot. */
+    SessionMetrics closeSession();
+
+    /** End the conversation cleanly. */
+    void goodbye();
+
+  private:
+    /** Read a frame, expecting @p want; Error frames rethrow as
+     *  SimError with the server's kind and message. */
+    Frame expect(FrameType want);
+
+    FrameIo io_;
+};
+
+} // namespace lvplib::serve
+
+#endif // LVPLIB_SERVE_CLIENT_HH

@@ -1,0 +1,142 @@
+#include "serve/framing.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "chaos/chaos.hh"
+
+namespace lvplib::serve
+{
+
+namespace
+{
+
+[[noreturn]] void
+ioError(const char *what, int err)
+{
+    throw SimError(ErrorKind::TraceIo,
+                   std::string("serve: ") + what + ": " +
+                       (err ? std::strerror(err)
+                            : "connection closed mid-frame"));
+}
+
+} // namespace
+
+FrameIo::FrameIo(int fd, std::uint64_t maxPayloadBytes,
+                 std::uint64_t chaosKey)
+    : fd_(fd), maxPayloadBytes_(maxPayloadBytes), chaosKey_(chaosKey)
+{
+}
+
+FrameIo::~FrameIo()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+FrameIo::maybeInject()
+{
+    if (chaos::engine().shouldInject(chaos::Point::ServeFrame,
+                                     chaosKey_, frames_++))
+        throw SimError(ErrorKind::Injected,
+                       "serve: injected frame fault");
+}
+
+std::size_t
+FrameIo::readFull(void *buf, std::size_t n, bool eofOk)
+{
+    auto *p = static_cast<std::uint8_t *>(buf);
+    std::size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd_, p + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            ioError("read failed", errno);
+        }
+        if (r == 0) {
+            if (got == 0 && eofOk)
+                return 0;
+            ioError("short frame", 0);
+        }
+        got += static_cast<std::size_t>(r);
+    }
+    return got;
+}
+
+void
+FrameIo::writeFull(const void *buf, std::size_t n)
+{
+    auto *p = static_cast<const std::uint8_t *>(buf);
+    std::size_t put = 0;
+    while (put < n) {
+        // MSG_NOSIGNAL: a vanished peer must surface as SimError
+        // (EPIPE), not as a process-killing SIGPIPE.
+        ssize_t r = ::send(fd_, p + put, n - put, MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            ioError("write failed", errno);
+        }
+        put += static_cast<std::size_t>(r);
+    }
+}
+
+bool
+FrameIo::readOrEof(Frame &out)
+{
+    maybeInject();
+    std::uint8_t header[FrameHeaderBytes];
+    if (readFull(header, sizeof header, /*eofOk=*/true) == 0)
+        return false;
+    std::uint64_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint64_t>(header[i]) << (8 * i);
+    if (len > maxPayloadBytes_)
+        throw SimError(ErrorKind::TraceCorrupt,
+                       "serve: frame payload of " + std::to_string(len) +
+                           " bytes exceeds the " +
+                           std::to_string(maxPayloadBytes_) +
+                           "-byte limit");
+    out.type = static_cast<FrameType>(header[4]);
+    out.payload.resize(len);
+    if (len)
+        readFull(out.payload.data(), len, /*eofOk=*/false);
+    return true;
+}
+
+Frame
+FrameIo::read()
+{
+    Frame f;
+    if (!readOrEof(f))
+        ioError("connection closed", 0);
+    return f;
+}
+
+void
+FrameIo::write(FrameType type, std::span<const std::uint8_t> payload)
+{
+    maybeInject();
+    std::uint8_t header[FrameHeaderBytes];
+    std::uint64_t len = payload.size();
+    for (int i = 0; i < 4; ++i)
+        header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    header[4] = static_cast<std::uint8_t>(type);
+    writeFull(header, sizeof header);
+    if (!payload.empty())
+        writeFull(payload.data(), payload.size());
+}
+
+void
+FrameIo::shutdown()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+} // namespace lvplib::serve

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Blocking framed I/O over a connected socket for the lvp-serve
+ * protocol, shared by the server's connection handlers and the
+ * client library.
+ *
+ * All reads and writes loop until the full frame has moved (short
+ * reads/writes and EINTR are retried), so callers see whole frames or
+ * a typed error, never a partial one. Failures are the recoverable
+ * tier: a peer hangup, an oversized length prefix, or an injected
+ * fault raises SimError — the server catches it per connection,
+ * reports serve.frame_errors, and tears down only that session.
+ *
+ * Backpressure rides on the transport: the server reads a connection
+ * frame by frame and enqueues each chunk into the session's bounded
+ * queue before reading the next, so a slow predictor stalls the
+ * socket (the kernel buffer fills, the client's send blocks) instead
+ * of growing server memory.
+ *
+ * Chaos: when Point::ServeFrame is armed, frame number n of a
+ * connection's stream (keyed by the connection id) fails with
+ * SimError(Injected) — the soak test's socket-path fault.
+ */
+
+#ifndef LVPLIB_SERVE_FRAMING_HH
+#define LVPLIB_SERVE_FRAMING_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace lvplib::serve
+{
+
+/** One received frame. */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * Framed reader/writer over one connected socket fd. Not thread-safe;
+ * each connection is owned by one handler thread (the server) or one
+ * caller (the client).
+ */
+class FrameIo
+{
+  public:
+    /**
+     * @param fd A connected stream socket; FrameIo takes ownership
+     * and closes it on destruction.
+     * @param maxPayloadBytes Reject larger length prefixes with a
+     * typed error instead of allocating (a hostile or corrupt prefix
+     * must not OOM the server).
+     * @param chaosKey Stream key for the ServeFrame injection point.
+     */
+    FrameIo(int fd, std::uint64_t maxPayloadBytes,
+            std::uint64_t chaosKey);
+    ~FrameIo();
+
+    FrameIo(const FrameIo &) = delete;
+    FrameIo &operator=(const FrameIo &) = delete;
+
+    /**
+     * Read one whole frame.
+     * @throws SimError(TraceIo) on EOF mid-frame, a socket error, or
+     * an oversized payload; SimError(Injected) under chaos.
+     */
+    Frame read();
+
+    /**
+     * Read one whole frame, or report a clean end-of-stream.
+     * @return false when the peer closed the connection cleanly
+     * (EOF before any header byte); errors still throw.
+     */
+    bool readOrEof(Frame &out);
+
+    /** Write one whole frame. @throws SimError(TraceIo) on error. */
+    void write(FrameType type, std::span<const std::uint8_t> payload);
+
+    /** Shut the socket down (wakes a blocked peer); fd stays owned. */
+    void shutdown();
+
+    int fd() const { return fd_; }
+
+  private:
+    /** @return bytes read: @p n, or 0 on immediate EOF (only when
+     *  @p eofOk), never partial. */
+    std::size_t readFull(void *buf, std::size_t n, bool eofOk);
+    void writeFull(const void *buf, std::size_t n);
+    void maybeInject();
+
+    int fd_;
+    std::uint64_t maxPayloadBytes_;
+    std::uint64_t chaosKey_;
+    std::uint64_t frames_ = 0; ///< ServeFrame decision-stream counter
+};
+
+} // namespace lvplib::serve
+
+#endif // LVPLIB_SERVE_FRAMING_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The lvp-serve wire protocol: a length-prefixed framed exchange over
+ * a byte stream (unix or TCP socket) that lets many concurrent
+ * clients run the paper's load-value-prediction machinery online —
+ * the ROADMAP's "millions of users" framing made literal.
+ *
+ * Every frame is
+ *
+ *   u32 payload length (little-endian, excludes this 5-byte header)
+ *   u8  frame type (FrameType)
+ *   payload bytes
+ *
+ * A conversation:
+ *
+ *   client                          server
+ *   Hello {version}             ->
+ *                               <-  HelloOk {version}
+ *   OpenSession {pred, fp, n}   ->
+ *                               <-  OpenOk {sessionId, cached}
+ *   TraceChunk {records} ...    ->      (or RunCached {} when cached)
+ *   Metrics {}                  ->
+ *                               <-  MetricsReply {snapshot}
+ *   CloseSession {}             ->
+ *                               <-  MetricsReply {final snapshot}
+ *   (another OpenSession, or)
+ *   Goodbye {}                  ->
+ *
+ * Trace payloads carry ServeRecords: the predictor-relevant
+ * projection of a dynamic trace (loads, stores, branches — the exact
+ * event sequence core::PredictorAnnotator feeds a ValuePredictor, so
+ * a session's final LvpStats are byte-identical to the offline
+ * lvpbench path over the same program). Streams are identified by the
+ * FNV-1a fingerprint of their encoded record bytes; the server keeps
+ * an LRU of hot decoded streams keyed on it, letting later sessions
+ * replay a popular workload without re-sending a byte (OpenOk.cached,
+ * RunCached).
+ *
+ * Encoding and decoding are strict: an unknown frame type, an
+ * out-of-range record byte, or a payload whose size is not a whole
+ * number of records raises SimError(TraceCorrupt) naming the reason —
+ * a malformed client can never silently skew another session's
+ * statistics.
+ */
+
+#ifndef LVPLIB_SERVE_PROTOCOL_HH
+#define LVPLIB_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/lvp_unit.hh"
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace lvplib::serve
+{
+
+/** Protocol revision; Hello/HelloOk negotiate exact equality. */
+constexpr std::uint16_t ProtocolVersion = 1;
+
+/** Frame header: u32 payload length + u8 type. */
+constexpr std::size_t FrameHeaderBytes = 4 + 1;
+
+/** Every frame on the wire. */
+enum class FrameType : std::uint8_t
+{
+    Hello = 1,        ///< c->s: {u16 version}
+    HelloOk = 2,      ///< s->c: {u16 version}
+    OpenSession = 3,  ///< c->s: {u64 fp, u64 records, u8 len, name}
+    OpenOk = 4,       ///< s->c: {u64 sessionId, u8 cached}
+    TraceChunk = 5,   ///< c->s: N * ServeRecordBytes
+    RunCached = 6,    ///< c->s: {} replay the server's cached stream
+    Metrics = 7,      ///< c->s: {} request a mid-stream snapshot
+    MetricsReply = 8, ///< s->c: encoded SessionMetrics
+    CloseSession = 9, ///< s->c after drain: MetricsReply(final)
+    Goodbye = 10,     ///< c->s: done with this connection
+    Error = 11,       ///< s->c: {u8 ErrorKind, message bytes}
+};
+
+const char *frameTypeName(FrameType t);
+
+/** What kind of dynamic event a ServeRecord carries. */
+enum class ServeKind : std::uint8_t
+{
+    Load = 1,
+    Store = 2,
+    Branch = 3,
+};
+
+/**
+ * One predictor-relevant dynamic event. The projection of a
+ * trace::TraceRecord that ValuePredictor::onLoad/onStore/onBranch
+ * consume: kind, access size, branch outcome, pc, effective address,
+ * and loaded value.
+ */
+struct ServeRecord
+{
+    std::uint8_t kind = 0;  ///< ServeKind
+    std::uint8_t size = 0;  ///< access bytes (loads/stores), else 0
+    std::uint8_t taken = 0; ///< branch outcome (branches), else 0
+    Addr pc = 0;
+    Addr addr = 0;  ///< effective address (memory ops), else 0
+    Word value = 0; ///< loaded value (loads), else 0
+};
+
+/** Encoded record size: u8 kind|size|taken + u64 pc|addr|value. */
+constexpr std::size_t ServeRecordBytes = 3 + 8 + 8 + 8;
+
+/** Append @p rec to @p out in wire encoding. */
+void encodeRecord(const ServeRecord &rec, std::vector<std::uint8_t> &out);
+
+/**
+ * Decode exactly @p bytes.size() / ServeRecordBytes records.
+ * @throws SimError(TraceCorrupt) on a partial record, an unknown
+ * kind byte, or an access size that is not 1/4/8 (0 for branches).
+ */
+std::vector<ServeRecord> decodeRecords(std::span<const std::uint8_t> bytes);
+
+/** FNV-1a offset basis (the @p seed for a fresh fingerprint). */
+constexpr std::uint64_t FingerprintSeed = 0xcbf29ce484222325ull;
+
+/** FNV-1a over encoded record bytes: the stream fingerprint the
+ *  hot-trace LRU is keyed on. Chain calls via @p seed. */
+std::uint64_t streamFingerprint(std::span<const std::uint8_t> bytes,
+                                std::uint64_t seed = FingerprintSeed);
+
+/** OpenSession payload. */
+struct OpenRequest
+{
+    std::string predictor;       ///< registry name, e.g. "vtage"
+    std::uint64_t fingerprint = 0; ///< stream fingerprint (0 = none)
+    std::uint64_t records = 0;     ///< expected records (0 = unknown)
+};
+
+/** A session statistics snapshot (MetricsReply payload). */
+struct SessionMetrics
+{
+    std::uint64_t sessionId = 0;
+    std::uint64_t recordsProcessed = 0;
+    std::uint64_t chunksProcessed = 0;
+    bool final_ = false; ///< true in the post-drain CloseSession reply
+    core::LvpStats stats;
+
+    bool operator==(const SessionMetrics &o) const = default;
+};
+
+/** @{ Payload codecs. Decoders throw SimError(TraceCorrupt) on a
+ *  malformed payload, naming the frame and the reason. */
+std::vector<std::uint8_t> encodeHello(std::uint16_t version);
+std::uint16_t decodeHello(std::span<const std::uint8_t> payload,
+                          const char *what);
+
+std::vector<std::uint8_t> encodeOpen(const OpenRequest &req);
+OpenRequest decodeOpen(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeOpenOk(std::uint64_t sessionId,
+                                       bool cached);
+void decodeOpenOk(std::span<const std::uint8_t> payload,
+                  std::uint64_t &sessionId, bool &cached);
+
+std::vector<std::uint8_t> encodeMetrics(const SessionMetrics &m);
+SessionMetrics decodeMetrics(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeError(ErrorKind kind,
+                                      std::string_view message);
+/** @return the decoded kind; @p message receives the text. */
+ErrorKind decodeError(std::span<const std::uint8_t> payload,
+                      std::string &message);
+/** @} */
+
+} // namespace lvplib::serve
+
+#endif // LVPLIB_SERVE_PROTOCOL_HH

@@ -1,0 +1,276 @@
+#include "serve/serve_cli.hh"
+
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "core/value_predictor.hh"
+#include "workloads/workload.hh"
+
+namespace lvplib::serve
+{
+
+namespace
+{
+
+/** Validate a comma-separated name list with @p known, naming the
+ *  first unknown entry in @p error. */
+template <typename KnownFn>
+bool
+validateNameList(const std::string &list, const char *what,
+                 KnownFn known, std::string &error)
+{
+    std::string rest = list;
+    bool any = false;
+    while (!rest.empty()) {
+        auto comma = rest.find(',');
+        std::string name = rest.substr(0, comma);
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+        if (name.empty())
+            continue;
+        if (!known(name)) {
+            error = std::string("unknown ") + what + " '" + name + "'";
+            return false;
+        }
+        any = true;
+    }
+    if (!any) {
+        error = std::string("bad --") + what + "s value '" + list + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+knownWorkload(const std::string &name)
+{
+    for (const auto &w : workloads::allWorkloads())
+        if (w.name == name)
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::optional<ServeCliOptions>
+parseServeCli(const std::vector<std::string> &args, std::string &error)
+{
+    ServeCliOptions opts;
+    opts.server = ServeOptions::fromEnv();
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto value = [&]() -> const std::string * {
+            if (i + 1 >= args.size()) {
+                error = a + " needs a value";
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        auto unsignedValue =
+            [&](unsigned long long min,
+                unsigned long long max) -> std::optional<std::uint64_t> {
+            const std::string *v = value();
+            if (!v)
+                return std::nullopt;
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(v->c_str(), &end, 10);
+            if (v->empty() || !end || *end || n < min || n > max) {
+                error = "bad " + a + " value '" + *v + "'";
+                return std::nullopt;
+            }
+            return n;
+        };
+        if (a == "--help" || a == "-h") {
+            opts.help = true;
+        } else if (a == "--socket") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            opts.server.socketPath = *v;
+        } else if (a == "--port") {
+            auto n = unsignedValue(0, 65535);
+            if (!n)
+                return std::nullopt;
+            opts.server.port = static_cast<std::uint16_t>(*n);
+            opts.server.socketPath.clear();
+        } else if (a == "--max-sessions") {
+            auto n = unsignedValue(
+                1, std::numeric_limits<std::uint64_t>::max());
+            if (!n)
+                return std::nullopt;
+            opts.server.maxSessions = *n;
+        } else if (a == "--lru-bytes") {
+            auto n = unsignedValue(
+                0, std::numeric_limits<std::uint64_t>::max());
+            if (!n)
+                return std::nullopt;
+            opts.server.lruBytes = *n;
+        } else if (a == "--queue-chunks") {
+            auto n = unsignedValue(1, 1u << 20);
+            if (!n)
+                return std::nullopt;
+            opts.server.queueChunks = *n;
+        } else if (a == "--drain-ms") {
+            auto n = unsignedValue(0, 600000);
+            if (!n)
+                return std::nullopt;
+            opts.server.drainMs = *n;
+        } else {
+            error = "unknown option '" + a + "'";
+            return std::nullopt;
+        }
+    }
+    return opts;
+}
+
+std::string
+serveUsage()
+{
+    std::ostringstream os;
+    os << "usage: lvpserve [options]\n"
+          "\n"
+          "Serve trace streams from concurrent clients, one isolated\n"
+          "predictor session per OPEN_SESSION (docs/SERVING.md).\n"
+          "\n"
+          "endpoint (unix socket wins when both are set):\n"
+          "  --socket PATH       listen on a unix-domain socket\n"
+          "  --port N            listen on 127.0.0.1:N (0 = ephemeral;\n"
+          "                      the bound port is printed)\n"
+          "\n"
+          "options:\n"
+          "  --max-sessions N    concurrent session cap (default 64)\n"
+          "  --lru-bytes N       hot-trace LRU budget (default 256 MiB;\n"
+          "                      0 disables caching)\n"
+          "  --queue-chunks N    per-session queue bound (default 8)\n"
+          "  --drain-ms N        SIGTERM/SIGINT drain window (default\n"
+          "                      2000)\n"
+          "  --help              this text\n"
+          "\n"
+          "environment (strict-parsed defaults; flags win):\n"
+          "  LVPLIB_SERVE_SOCKET, LVPLIB_SERVE_PORT,\n"
+          "  LVPLIB_SERVE_MAX_SESSIONS, LVPLIB_SERVE_LRU_BYTES,\n"
+          "  LVPLIB_SERVE_QUEUE_CHUNKS\n"
+          "\n"
+          "SIGTERM/SIGINT drain gracefully: no new connections, a\n"
+          "--drain-ms window for in-flight sessions, then exit 0.\n";
+    return os.str();
+}
+
+std::optional<LoadCliOptions>
+parseLoadCli(const std::vector<std::string> &args, std::string &error)
+{
+    LoadCliOptions opts;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto value = [&]() -> const std::string * {
+            if (i + 1 >= args.size()) {
+                error = a + " needs a value";
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        auto unsignedValue =
+            [&](unsigned long min,
+                unsigned long max) -> std::optional<unsigned> {
+            const std::string *v = value();
+            if (!v)
+                return std::nullopt;
+            char *end = nullptr;
+            unsigned long n = std::strtoul(v->c_str(), &end, 10);
+            if (v->empty() || !end || *end || n < min || n > max) {
+                error = "bad " + a + " value '" + *v + "'";
+                return std::nullopt;
+            }
+            return static_cast<unsigned>(n);
+        };
+        if (a == "--help" || a == "-h") {
+            opts.help = true;
+        } else if (a == "--no-verify") {
+            opts.verify = false;
+        } else if (a == "--socket") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            opts.socketPath = *v;
+        } else if (a == "--port") {
+            auto n = unsignedValue(1, 65535);
+            if (!n)
+                return std::nullopt;
+            opts.port = static_cast<std::uint16_t>(*n);
+        } else if (a == "--users") {
+            auto n = unsignedValue(1, 1024);
+            if (!n)
+                return std::nullopt;
+            opts.users = *n;
+        } else if (a == "--scale") {
+            auto n = unsignedValue(1,
+                                   std::numeric_limits<unsigned>::max());
+            if (!n)
+                return std::nullopt;
+            opts.scale = *n;
+        } else if (a == "--chunk-records") {
+            auto n = unsignedValue(1, 1u << 24);
+            if (!n)
+                return std::nullopt;
+            opts.chunkRecords = *n;
+        } else if (a == "--predictors") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            if (!validateNameList(
+                    *v, "predictor",
+                    [](const std::string &n) {
+                        return core::findPredictor(n) != nullptr;
+                    },
+                    error))
+                return std::nullopt;
+            opts.predictors = *v;
+        } else if (a == "--workloads") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            if (!validateNameList(*v, "workload", knownWorkload, error))
+                return std::nullopt;
+            opts.workloads = *v;
+        } else {
+            error = "unknown option '" + a + "'";
+            return std::nullopt;
+        }
+    }
+    if (!opts.help && opts.socketPath.empty() && opts.port == 0) {
+        error = "need an endpoint: --socket PATH or --port N";
+        return std::nullopt;
+    }
+    return opts;
+}
+
+std::string
+loadUsage()
+{
+    std::ostringstream os;
+    os << "usage: lvpload (--socket PATH | --port N) [options]\n"
+          "\n"
+          "Drive an lvpserve instance with N concurrent simulated\n"
+          "users streaming the benchmark suite, verifying every\n"
+          "session's final statistics against the offline lvpbench\n"
+          "pipeline (byte-identical or exit 2).\n"
+          "\n"
+          "options:\n"
+          "  --users N           concurrent client threads (default 8)\n"
+          "  --scale N           workload scale (default 1)\n"
+          "  --chunk-records N   records per TRACE_CHUNK (default\n"
+          "                      4096)\n"
+          "  --predictors LIST   comma-separated registry names cycled\n"
+          "                      across users (default: all)\n"
+          "  --workloads LIST    comma-separated benchmark names\n"
+          "                      (default: the full suite)\n"
+          "  --no-verify         skip the offline-oracle comparison\n"
+          "  --help              this text\n"
+          "\n"
+          "exit status: 0 all sessions verified; 1 usage or\n"
+          "connection failure; 2 a session's statistics diverged from\n"
+          "the offline pipeline.\n";
+    return os.str();
+}
+
+} // namespace lvplib::serve

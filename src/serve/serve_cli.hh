@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Command-line front ends for the lvpserve daemon and the lvpload
+ * load generator. Parsing is a library function (unit-tested in
+ * serve_protocol_test) and the tools are thin main()s, mirroring
+ * sim/cli.hh. Defaults come from ServeOptions::fromEnv(), so every
+ * LVPLIB_SERVE_* knob applies to both tools and explicit flags win
+ * over the environment.
+ */
+
+#ifndef LVPLIB_SERVE_SERVE_CLI_HH
+#define LVPLIB_SERVE_SERVE_CLI_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/server.hh"
+
+namespace lvplib::serve
+{
+
+/** Parsed lvpserve command line. */
+struct ServeCliOptions
+{
+    ServeOptions server; ///< env-seeded, then flag-overridden
+    bool help = false;
+};
+
+/**
+ * Parse lvpserve argv. Every failure names the offending token in
+ * @p error ("unknown option '--x'", "bad --port value '99999'").
+ * @return std::nullopt plus a message in @p error on bad input.
+ */
+std::optional<ServeCliOptions>
+parseServeCli(const std::vector<std::string> &args, std::string &error);
+
+/** lvpserve usage text. */
+std::string serveUsage();
+
+/** Parsed lvpload command line. */
+struct LoadCliOptions
+{
+    std::string socketPath;   ///< --socket PATH (unix)
+    std::uint16_t port = 0;   ///< --port N (TCP)
+    unsigned users = 8;       ///< --users N concurrent clients
+    unsigned scale = 1;       ///< --scale for every workload
+    unsigned chunkRecords = 4096; ///< --chunk-records per TRACE_CHUNK
+    /** --predictors LIST: comma-separated registry names cycled
+     *  across users ("" = the whole registry). */
+    std::string predictors;
+    /** --workloads LIST: comma-separated benchmark names ("" = the
+     *  full suite). */
+    std::string workloads;
+    bool verify = true; ///< cleared by --no-verify (skip offline oracle)
+    bool help = false;
+};
+
+/** Parse lvpload argv; same error contract as parseServeCli. */
+std::optional<LoadCliOptions>
+parseLoadCli(const std::vector<std::string> &args, std::string &error);
+
+/** lvpload usage text. */
+std::string loadUsage();
+
+} // namespace lvplib::serve
+
+#endif // LVPLIB_SERVE_SERVE_CLI_HH

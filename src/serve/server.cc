@@ -1,0 +1,450 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/value_predictor.hh"
+#include "obs/metrics.hh"
+#include "serve/session.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace lvplib::serve
+{
+
+namespace
+{
+
+/** serve.* obs mirrors, resolved once. All volatile: serving traffic
+ *  is inherently run-dependent and must never enter a golden dump. */
+struct ServeObs
+{
+    obs::Counter &connections =
+        obs::metrics().counter("serve.connections");
+    obs::Counter &sessionsOpened =
+        obs::metrics().counter("serve.sessions_opened");
+    obs::Counter &sessionsClosed =
+        obs::metrics().counter("serve.sessions_closed");
+    obs::Counter &frameErrors =
+        obs::metrics().counter("serve.frame_errors");
+    obs::Counter &records = obs::metrics().counter("serve.records");
+    obs::Counter &chunks = obs::metrics().counter("serve.chunks");
+    obs::Gauge &sessionsActive =
+        obs::metrics().gauge("serve.sessions_active", /*isVolatile=*/true);
+    obs::Distribution &queueDepth =
+        obs::metrics().distribution("serve.queue_depth", /*buckets=*/16);
+};
+
+ServeObs &
+serveObs()
+{
+    static ServeObs o;
+    return o;
+}
+
+[[noreturn]] void
+netError(const char *what, int err)
+{
+    throw SimError(ErrorKind::TraceIo, std::string("serve: ") + what +
+                                           ": " + std::strerror(err));
+}
+
+} // namespace
+
+ServeOptions
+ServeOptions::fromEnv(ServeOptions base)
+{
+    if (const char *s = std::getenv("LVPLIB_SERVE_SOCKET"); s && *s)
+        base.socketPath = s;
+    if (auto v = envUnsigned("LVPLIB_SERVE_PORT", 1, 65535))
+        base.port = static_cast<std::uint16_t>(*v);
+    if (auto v = envUnsigned("LVPLIB_SERVE_MAX_SESSIONS", 1))
+        base.maxSessions = *v;
+    if (auto v = envUnsigned("LVPLIB_SERVE_LRU_BYTES"))
+        base.lruBytes = *v;
+    if (auto v = envUnsigned("LVPLIB_SERVE_QUEUE_CHUNKS", 1))
+        base.queueChunks = *v;
+    return base;
+}
+
+ServeOptions
+ServeOptions::fromEnv()
+{
+    return fromEnv(ServeOptions());
+}
+
+LvpServer::LvpServer(ServeOptions opts)
+    : opts_(std::move(opts)), lru_(opts_.lruBytes)
+{
+}
+
+LvpServer::~LvpServer()
+{
+    stop();
+}
+
+std::string
+LvpServer::endpoint() const
+{
+    if (!opts_.socketPath.empty())
+        return "unix:" + opts_.socketPath;
+    return "tcp:127.0.0.1:" + std::to_string(boundPort_);
+}
+
+void
+LvpServer::start()
+{
+    std::lock_guard<std::mutex> stopLock(stopMutex_);
+    lvp_assert(!started_, "LvpServer::start() called twice");
+    if (!opts_.socketPath.empty()) {
+        if (opts_.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+            throw SimError(ErrorKind::TraceIo,
+                           "serve: unix socket path too long: " +
+                               opts_.socketPath);
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0)
+            netError("socket(AF_UNIX) failed", errno);
+        ::unlink(opts_.socketPath.c_str()); // stale path from a crash
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, opts_.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            int err = errno;
+            ::close(listenFd_);
+            listenFd_ = -1;
+            netError(("bind(" + opts_.socketPath + ") failed").c_str(),
+                     err);
+        }
+    } else {
+        listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd_ < 0)
+            netError("socket(AF_INET) failed", errno);
+        int one = 1;
+        ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(opts_.port);
+        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            int err = errno;
+            ::close(listenFd_);
+            listenFd_ = -1;
+            netError(("bind(port " + std::to_string(opts_.port) +
+                      ") failed")
+                         .c_str(),
+                     err);
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            boundPort_ = ntohs(bound.sin_port);
+    }
+    if (::listen(listenFd_, 64) < 0) {
+        int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        netError("listen failed", err);
+    }
+    stopping_.store(false, std::memory_order_relaxed);
+    started_ = true;
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+LvpServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int r = ::poll(&pfd, 1, /*timeout-ms=*/100);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // listen socket gone; stop() is the only cause
+        }
+        if (r == 0 || !(pfd.revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        serveObs().connections.add();
+        std::lock_guard<std::mutex> lock(connMutex_);
+        std::uint64_t id = nextConnId_++;
+        Conn &c = conns_[id];
+        c.io = std::make_unique<FrameIo>(fd, opts_.maxFrameBytes,
+                                         /*chaosKey=*/id);
+        // The handler locks connMutex_ first thing, so it cannot
+        // observe a half-built entry.
+        c.thread = std::thread([this, id] { handleConnection(id); });
+    }
+}
+
+void
+LvpServer::handleConnection(std::uint64_t connId)
+{
+    FrameIo *io = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        auto it = conns_.find(connId);
+        lvp_assert(it != conns_.end(), "connection %llu vanished",
+                   static_cast<unsigned long long>(connId));
+        io = it->second.io.get();
+    }
+    try {
+        Frame f = io->read();
+        if (f.type != FrameType::Hello)
+            throw SimError(ErrorKind::TraceCorrupt,
+                           std::string("serve: expected HELLO, got ") +
+                               frameTypeName(f.type));
+        std::uint16_t version = decodeHello(f.payload, "HELLO");
+        if (version != ProtocolVersion) {
+            io->write(FrameType::Error,
+                      encodeError(ErrorKind::TraceCorrupt,
+                                  "protocol version " +
+                                      std::to_string(version) +
+                                      " unsupported (want " +
+                                      std::to_string(ProtocolVersion) +
+                                      ")"));
+        } else {
+            io->write(FrameType::HelloOk, encodeHello(ProtocolVersion));
+            Frame next;
+            while (!stopping_.load(std::memory_order_relaxed) &&
+                   io->readOrEof(next)) {
+                if (next.type == FrameType::Goodbye) {
+                    io->write(FrameType::Goodbye, {});
+                    break;
+                }
+                if (next.type != FrameType::OpenSession)
+                    throw SimError(
+                        ErrorKind::TraceCorrupt,
+                        std::string(
+                            "serve: expected OPEN_SESSION or GOODBYE, "
+                            "got ") +
+                            frameTypeName(next.type));
+                runSession(*io, next);
+            }
+        }
+    } catch (const SimError &e) {
+        // Containment boundary: this connection dies, nobody else
+        // does. The Error reply is best-effort — the socket may be
+        // the thing that broke.
+        serveObs().frameErrors.add();
+        try {
+            io->write(FrameType::Error, encodeError(e.kind(), e.what()));
+        } catch (const SimError &) {
+        }
+    }
+    unregisterThread(connId);
+}
+
+void
+LvpServer::runSession(FrameIo &io, const Frame &openFrame)
+{
+    OpenRequest req = decodeOpen(openFrame.payload);
+    const core::PredictorInfo *info = core::findPredictor(req.predictor);
+    if (!info) {
+        // A usage error, not a protocol violation: report it and keep
+        // the connection; the client may retry with a valid name.
+        io.write(FrameType::Error,
+                 encodeError(ErrorKind::TraceCorrupt,
+                             "unknown predictor '" + req.predictor +
+                                 "'"));
+        return;
+    }
+    if (activeSessions_.load(std::memory_order_relaxed) >=
+        opts_.maxSessions) {
+        io.write(FrameType::Error,
+                 encodeError(ErrorKind::RetryExhausted,
+                             "session limit of " +
+                                 std::to_string(opts_.maxSessions) +
+                                 " reached"));
+        return;
+    }
+
+    bool cached = req.fingerprint != 0 && lru_.contains(req.fingerprint);
+    std::uint64_t sessionId =
+        nextSessionId_.fetch_add(1, std::memory_order_relaxed);
+    Session session(sessionId, *info, opts_.queueChunks);
+    activeSessions_.fetch_add(1, std::memory_order_relaxed);
+    serveObs().sessionsOpened.add();
+    serveObs().sessionsActive.set(
+        static_cast<double>(activeSessions_.load()));
+    struct ActiveGuard
+    {
+        std::atomic<std::uint64_t> &active;
+        ~ActiveGuard()
+        {
+            active.fetch_sub(1, std::memory_order_relaxed);
+            serveObs().sessionsActive.set(
+                static_cast<double>(active.load()));
+        }
+    } guard{activeSessions_};
+
+    io.write(FrameType::OpenOk, encodeOpenOk(sessionId, cached));
+
+    // While streaming, rebuild the declared fingerprint and keep the
+    // decoded records so a completed stream can seed the LRU. The
+    // accumulator is bounded by the LRU budget: a stream that outgrows
+    // it just stops being a caching candidate.
+    std::vector<ServeRecord> streamed;
+    bool accumulate = req.fingerprint != 0 && !cached &&
+                      lru_.maxBytes() > 0;
+    std::uint64_t fp = FingerprintSeed;
+
+    for (;;) {
+        Frame f = io.read(); // EOF mid-session is an error, not Goodbye
+        switch (f.type) {
+          case FrameType::TraceChunk: {
+            fp = streamFingerprint(f.payload, fp);
+            auto blob = std::make_shared<std::vector<ServeRecord>>(
+                decodeRecords(f.payload));
+            serveObs().records.add(blob->size());
+            serveObs().chunks.add();
+            if (accumulate) {
+                if ((streamed.size() + blob->size()) *
+                        sizeof(ServeRecord) >
+                    lru_.maxBytes()) {
+                    streamed.clear();
+                    streamed.shrink_to_fit();
+                    accumulate = false;
+                } else {
+                    streamed.insert(streamed.end(), blob->begin(),
+                                    blob->end());
+                }
+            }
+            session.push(std::move(blob));
+            serveObs().queueDepth.record(session.queueDepth());
+            break;
+          }
+          case FrameType::RunCached: {
+            TraceBlob blob = lru_.get(req.fingerprint);
+            if (!blob) {
+                // Raced with eviction since OpenOk said cached. A
+                // reply here would desync the request/reply flow, so
+                // fail the session; the client reconnects and streams.
+                throw SimError(ErrorKind::RetryExhausted,
+                               "serve: stream no longer cached; "
+                               "reconnect and stream TRACE_CHUNK "
+                               "frames");
+            }
+            serveObs().records.add(blob->size());
+            serveObs().chunks.add();
+            session.push(std::move(blob));
+            accumulate = false;
+            break;
+          }
+          case FrameType::Metrics: {
+            SessionMetrics m = session.snapshot();
+            m.final_ = false;
+            io.write(FrameType::MetricsReply, encodeMetrics(m));
+            break;
+          }
+          case FrameType::CloseSession: {
+            session.drain();
+            if (accumulate && !streamed.empty() &&
+                fp == req.fingerprint) {
+                lru_.insert(req.fingerprint,
+                            std::make_shared<
+                                const std::vector<ServeRecord>>(
+                                std::move(streamed)));
+            }
+            SessionMetrics m = session.snapshot();
+            m.final_ = true;
+            io.write(FrameType::MetricsReply, encodeMetrics(m));
+            serveObs().sessionsClosed.add();
+            return;
+          }
+          default:
+            throw SimError(ErrorKind::TraceCorrupt,
+                           std::string("serve: unexpected ") +
+                               frameTypeName(f.type) +
+                               " inside a session");
+        }
+    }
+}
+
+void
+LvpServer::unregisterThread(std::uint64_t connId)
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    auto it = conns_.find(connId);
+    if (it == conns_.end())
+        return;
+    // A thread cannot join itself; park the handle for stop() and
+    // drop the Conn (closing the fd) now.
+    finished_.push_back(std::move(it->second.thread));
+    conns_.erase(it);
+}
+
+void
+LvpServer::stop()
+{
+    std::lock_guard<std::mutex> stopLock(stopMutex_);
+    if (!started_)
+        return;
+    stopping_.store(true, std::memory_order_relaxed);
+    if (acceptor_.joinable())
+        acceptor_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+
+    // Drain window: let in-flight connections finish their sessions
+    // and say Goodbye on their own.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(opts_.drainMs);
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            if (conns_.empty())
+                break;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+            // Past the window: shut the sockets down; handlers see
+            // SimError(TraceIo) and unwind through the containment
+            // path.
+            std::lock_guard<std::mutex> lock(connMutex_);
+            for (auto &[id, conn] : conns_)
+                conn.io->shutdown();
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // Handlers unregister themselves as they exit; wait for the map
+    // to empty, then join every parked handle.
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            if (conns_.empty())
+                break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::vector<std::thread> done;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        done.swap(finished_);
+    }
+    for (std::thread &t : done)
+        if (t.joinable())
+            t.join();
+    if (!opts_.socketPath.empty())
+        ::unlink(opts_.socketPath.c_str());
+    started_ = false;
+}
+
+} // namespace lvplib::serve

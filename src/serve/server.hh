@@ -1,0 +1,148 @@
+/**
+ * @file
+ * LvpServer: the long-running lvp-serve daemon core.
+ *
+ * One acceptor thread listens on a unix-domain or TCP socket; each
+ * accepted connection gets a handler thread that speaks the framed
+ * protocol (serve/protocol.hh) and may open one session after another.
+ * Sessions are fully isolated per-client predictor instances
+ * (serve/session.hh); immutable hot traces are shared through a
+ * byte-bounded LRU (serve/trace_lru.hh).
+ *
+ * Failure containment: any SimError on a connection — a malformed
+ * frame, a hung-up peer, an injected ServeFrame fault — tears down
+ * that connection and its in-flight session only. The server replies
+ * with a typed Error frame on a best-effort basis, counts
+ * serve.frame_errors, and keeps serving everyone else; the chaos soak
+ * test asserts surviving sessions' statistics stay exact.
+ *
+ * stop() is the graceful drain: stop accepting, give in-flight
+ * connections a drain window to finish naturally, then shut their
+ * sockets down and join every thread. The lvpserve tool wires SIGTERM
+ * and SIGINT to it.
+ *
+ * Telemetry (all volatile serve.* entries in the PR 3 registry):
+ * connections accepted, sessions opened/closed, active-session gauge,
+ * records and chunks processed, frame errors, per-chunk queue-depth
+ * distribution, plus the serve.lru.* family from TraceLru.
+ */
+
+#ifndef LVPLIB_SERVE_SERVER_HH
+#define LVPLIB_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/framing.hh"
+#include "serve/trace_lru.hh"
+
+namespace lvplib::serve
+{
+
+/** Everything the daemon needs to know, CLI- and env-configurable. */
+struct ServeOptions
+{
+    std::string socketPath;      ///< unix socket path ("" = use TCP)
+    std::uint16_t port = 0;      ///< TCP port (0 with a path = unix)
+    std::uint64_t maxSessions = 64;  ///< concurrent session cap
+    std::uint64_t lruBytes = 256ull << 20; ///< hot-trace LRU budget
+    std::uint64_t queueChunks = 8;   ///< per-session bounded queue
+    std::uint64_t maxFrameBytes = 16ull << 20; ///< payload size cap
+    std::uint64_t drainMs = 2000;    ///< stop(): natural-finish window
+
+    /**
+     * Overlay the strict LVPLIB_SERVE_* environment knobs onto @p
+     * base: LVPLIB_SERVE_SOCKET, LVPLIB_SERVE_PORT,
+     * LVPLIB_SERVE_MAX_SESSIONS, LVPLIB_SERVE_LRU_BYTES,
+     * LVPLIB_SERVE_QUEUE_CHUNKS. Numeric values parse via
+     * util/env.hh (garbage warns and is ignored, never coerced).
+     */
+    static ServeOptions fromEnv(ServeOptions base);
+    static ServeOptions fromEnv();
+};
+
+/** The serving daemon; see file comment. */
+class LvpServer
+{
+  public:
+    explicit LvpServer(ServeOptions opts);
+
+    /** stop()s if still running. */
+    ~LvpServer();
+
+    LvpServer(const LvpServer &) = delete;
+    LvpServer &operator=(const LvpServer &) = delete;
+
+    /**
+     * Bind, listen, and start the acceptor thread.
+     * @throws SimError(TraceIo) when the endpoint cannot be bound.
+     */
+    void start();
+
+    /** Graceful drain; idempotent. Safe from a signal-woken thread. */
+    void stop();
+
+    /** Bound TCP port (after start(); resolves port 0 to the kernel's
+     *  ephemeral pick — how tests avoid port collisions). */
+    std::uint16_t boundPort() const { return boundPort_; }
+
+    /** Human-readable bound endpoint, e.g. "unix:/tmp/lvp.sock". */
+    std::string endpoint() const;
+
+    const ServeOptions &options() const { return opts_; }
+    TraceLru &lru() { return lru_; }
+
+    /** Sessions currently open across all connections. */
+    std::uint64_t activeSessions() const
+    {
+        return activeSessions_.load(std::memory_order_relaxed);
+    }
+
+    /** Connections accepted over the server's lifetime. */
+    std::uint64_t connectionsAccepted() const
+    {
+        return connections_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Conn
+    {
+        std::unique_ptr<FrameIo> io;
+        std::thread thread;
+    };
+
+    void acceptLoop();
+    void handleConnection(std::uint64_t connId);
+    /** One session from OpenSession to CloseSession on @p io. */
+    void runSession(FrameIo &io, const Frame &openFrame);
+    void unregisterThread(std::uint64_t connId);
+
+    ServeOptions opts_;
+    TraceLru lru_;
+
+    int listenFd_ = -1;
+    std::uint16_t boundPort_ = 0;
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+    std::mutex stopMutex_; ///< serializes start()/stop()
+    std::thread acceptor_;
+
+    mutable std::mutex connMutex_;
+    std::map<std::uint64_t, Conn> conns_;
+    std::vector<std::thread> finished_; ///< joined in stop()
+    std::uint64_t nextConnId_ = 1;
+
+    std::atomic<std::uint64_t> nextSessionId_{1};
+    std::atomic<std::uint64_t> activeSessions_{0};
+    std::atomic<std::uint64_t> connections_{0};
+};
+
+} // namespace lvplib::serve
+
+#endif // LVPLIB_SERVE_SERVER_HH

@@ -1,0 +1,124 @@
+#include "serve/session.hh"
+
+#include <utility>
+
+#include "core/lvp_unit.hh"
+#include "util/logging.hh"
+
+namespace lvplib::serve
+{
+
+Session::Session(std::uint64_t id, const core::PredictorInfo &info,
+                 std::size_t maxQueuedChunks)
+    : id_(id), predictorName_(info.name), unit_(info.make()),
+      maxQueuedChunks_(maxQueuedChunks == 0 ? 1 : maxQueuedChunks)
+{
+    lvp_assert(unit_ != nullptr,
+               "predictor registry factory returned null");
+    worker_ = std::thread([this] { workerLoop(); });
+}
+
+Session::~Session()
+{
+    abort();
+    if (worker_.joinable())
+        worker_.join();
+}
+
+bool
+Session::push(TraceBlob chunk)
+{
+    if (!chunk)
+        return true; // nothing to do, not an error
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    queueNotFull_.wait(lock, [this] {
+        return aborted_ || closed_ || queue_.size() < maxQueuedChunks_;
+    });
+    if (aborted_ || closed_)
+        return false;
+    queue_.push_back(std::move(chunk));
+    queueChanged_.notify_all();
+    return true;
+}
+
+void
+Session::drain()
+{
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    closed_ = true;
+    queueChanged_.notify_all();
+    queueNotFull_.notify_all();
+    queueChanged_.wait(lock, [this] { return workerDone_; });
+}
+
+void
+Session::abort()
+{
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    aborted_ = true;
+    closed_ = true;
+    queue_.clear();
+    queueChanged_.notify_all();
+    queueNotFull_.notify_all();
+}
+
+SessionMetrics
+Session::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    SessionMetrics m;
+    m.sessionId = id_;
+    m.recordsProcessed = recordsProcessed_;
+    m.chunksProcessed = chunksProcessed_;
+    m.stats = unit_->stats();
+    return m;
+}
+
+std::size_t
+Session::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    return queue_.size();
+}
+
+void
+Session::workerLoop()
+{
+    for (;;) {
+        TraceBlob chunk;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueChanged_.wait(lock, [this] {
+                return aborted_ || closed_ || !queue_.empty();
+            });
+            if (aborted_ || (closed_ && queue_.empty()))
+                break;
+            chunk = std::move(queue_.front());
+            queue_.pop_front();
+            queueNotFull_.notify_all();
+        }
+        // One chunk is one critical section: METRICS snapshots always
+        // observe a chunk boundary, never a half-fed chunk.
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        for (const ServeRecord &rec : *chunk) {
+            switch (static_cast<ServeKind>(rec.kind)) {
+              case ServeKind::Load:
+                unit_->onLoad(rec.pc, rec.addr, rec.value, rec.size);
+                break;
+              case ServeKind::Store:
+                unit_->onStore(rec.addr, rec.size);
+                break;
+              case ServeKind::Branch:
+                unit_->onBranch(rec.taken != 0);
+                break;
+            }
+        }
+        recordsProcessed_ += chunk->size();
+        ++chunksProcessed_;
+    }
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    workerDone_ = true;
+    queueChanged_.notify_all();
+}
+
+} // namespace lvplib::serve

@@ -1,0 +1,128 @@
+#include "serve/trace_lru.hh"
+
+#include "obs/metrics.hh"
+
+namespace lvplib::serve
+{
+
+namespace
+{
+
+/** serve.lru.* obs mirrors, resolved once (registry refs are stable
+ *  for the registry's lifetime). All volatile: cache effectiveness
+ *  legitimately varies run to run. */
+struct LruObs
+{
+    obs::Counter &hits = obs::metrics().counter("serve.lru.hits");
+    obs::Counter &misses = obs::metrics().counter("serve.lru.misses");
+    obs::Counter &inserts = obs::metrics().counter("serve.lru.inserts");
+    obs::Counter &evictions =
+        obs::metrics().counter("serve.lru.evictions");
+    obs::Gauge &bytes =
+        obs::metrics().gauge("serve.lru.bytes", /*isVolatile=*/true);
+};
+
+LruObs &
+lruObs()
+{
+    static LruObs o;
+    return o;
+}
+
+} // namespace
+
+TraceLru::TraceLru(std::uint64_t maxBytes) : maxBytes_(maxBytes) {}
+
+TraceBlob
+TraceLru::get(std::uint64_t fingerprint)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = index_.find(fingerprint);
+    if (it == index_.end()) {
+        ++misses_;
+        lruObs().misses.add();
+        return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    lruObs().hits.add();
+    return it->second->blob;
+}
+
+bool
+TraceLru::contains(std::uint64_t fingerprint) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return index_.count(fingerprint) != 0;
+}
+
+void
+TraceLru::insert(std::uint64_t fingerprint, TraceBlob blob)
+{
+    if (!blob || blobBytes(blob) > maxBytes_)
+        return;
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = index_.find(fingerprint);
+    if (it != index_.end()) {
+        // First writer wins: the key is a content fingerprint, so a
+        // re-insert carries the same records; keep the shared copy.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    bytes_ += blobBytes(blob);
+    lru_.push_front(Entry{fingerprint, std::move(blob)});
+    index_[fingerprint] = lru_.begin();
+    lruObs().inserts.add();
+    evictToFit();
+    lruObs().bytes.set(static_cast<double>(bytes_));
+}
+
+void
+TraceLru::evictToFit()
+{
+    while (bytes_ > maxBytes_ && !lru_.empty()) {
+        Entry &victim = lru_.back();
+        bytes_ -= blobBytes(victim.blob);
+        index_.erase(victim.fingerprint);
+        lru_.pop_back();
+        ++evictions_;
+        lruObs().evictions.add();
+    }
+}
+
+std::uint64_t
+TraceLru::bytes() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return bytes_;
+}
+
+std::size_t
+TraceLru::entries() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return lru_.size();
+}
+
+std::uint64_t
+TraceLru::hits() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return hits_;
+}
+
+std::uint64_t
+TraceLru::misses() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return misses_;
+}
+
+std::uint64_t
+TraceLru::evictions() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return evictions_;
+}
+
+} // namespace lvplib::serve

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The server's hot-trace cache: a byte-bounded LRU of decoded,
+ * immutable ServeRecord streams keyed by stream fingerprint.
+ *
+ * Many concurrent sessions replay the same handful of workloads (the
+ * 17-benchmark suite from N simulated users); the first session to
+ * stream a trace pays the transfer, every later session opening the
+ * same fingerprint replays the shared in-memory copy (RunCached)
+ * without moving a byte over the socket. Entries are shared_ptr, so
+ * an eviction never invalidates a replay in flight — the blob dies
+ * when the last replaying session drops it.
+ *
+ * All methods are thread-safe. Effectiveness publishes as volatile
+ * serve.lru.* metrics (hits, misses, insertions, evictions, resident
+ * bytes).
+ */
+
+#ifndef LVPLIB_SERVE_TRACE_LRU_HH
+#define LVPLIB_SERVE_TRACE_LRU_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace lvplib::serve
+{
+
+/** A shared immutable decoded trace stream. */
+using TraceBlob = std::shared_ptr<const std::vector<ServeRecord>>;
+
+/** Byte-bounded LRU of hot traces; see file comment. */
+class TraceLru
+{
+  public:
+    /** @param maxBytes Eviction threshold; 0 disables caching
+     *  entirely (every lookup misses, every insert is dropped). */
+    explicit TraceLru(std::uint64_t maxBytes);
+
+    /** Look up @p fingerprint, refreshing its recency on a hit.
+     *  @return the blob, or nullptr on a miss. */
+    TraceBlob get(std::uint64_t fingerprint);
+
+    /** Peek without touching recency or the hit/miss counters (the
+     *  OpenSession "cached?" probe). */
+    bool contains(std::uint64_t fingerprint) const;
+
+    /**
+     * Insert @p blob under @p fingerprint, evicting
+     * least-recently-used entries until the budget holds. A blob
+     * bigger than the whole budget is not cached. Re-inserting an
+     * existing key refreshes recency and keeps the original blob.
+     */
+    void insert(std::uint64_t fingerprint, TraceBlob blob);
+
+    std::uint64_t maxBytes() const { return maxBytes_; }
+
+    /** @{ Point-in-time observability. */
+    std::uint64_t bytes() const;
+    std::size_t entries() const;
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::uint64_t evictions() const;
+    /** @} */
+
+    /** Bytes one blob accounts for against the budget. */
+    static std::uint64_t
+    blobBytes(const TraceBlob &blob)
+    {
+        return blob ? blob->size() * sizeof(ServeRecord) : 0;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t fingerprint;
+        TraceBlob blob;
+    };
+
+    void evictToFit(); ///< caller holds m_
+
+    const std::uint64_t maxBytes_;
+    mutable std::mutex m_;
+    std::list<Entry> lru_; ///< front = most recent
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace lvplib::serve
+
+#endif // LVPLIB_SERVE_TRACE_LRU_HH

@@ -170,7 +170,8 @@ benchUsage()
                     names, e.g. lvp,vtage (default LVPLIB_PREDICTORS
                     or every registered predictor)
   --json            machine-readable timings on stdout
-  --list            show experiment ids and exit
+  --list            show experiment ids and registered predictors,
+                    then exit
   --no-trace-cache  keep phase 1 in-memory only
   --metrics-out F   write the metric registry (every reproduced paper
                     number) as versioned JSON to F
@@ -196,6 +197,11 @@ benchUsage()
                     run the seeded fault-injection campaign (N =
                     predictor-fault quota, default 1000) and exit
                     (0 = every invariant held, 4 = violation)
+
+SIGINT/SIGTERM stop the suite at the next experiment boundary; the
+--bench-out/--metrics-out snapshots of the completed prefix are still
+written (tagged "interrupted") and lvpbench exits 5. A second signal
+kills immediately.
 )";
 }
 

@@ -713,6 +713,47 @@ RunCache::predictorOnly(const Workload &w, CodeGen cg, unsigned scale,
         });
 }
 
+std::uint64_t
+RunCache::replayShared(const Workload &w, CodeGen cg, unsigned scale,
+                       const RunConfig &rc, trace::TraceSink &sink)
+{
+    auto prog = program(w, cg, scale);
+    std::string tr = impl_->ensureTrace(*this, w, cg, scale, rc);
+    obs::Timeline::Scope span("replay:" + w.name, "sim");
+    if (!tr.empty()) {
+        try {
+            trace::TraceFileReader reader(tr, *prog);
+            std::uint64_t n = reader.replay(sink);
+            addInstructionsProcessed(n);
+            impl_->traceReplays.fetch_add(1, std::memory_order_relaxed);
+            impl_->obsTraceReplays.add();
+            return n;
+        } catch (const SimError &e) {
+            // Invalidate the artifact, then let the caller decide:
+            // unlike the memoized paths, the sink already consumed a
+            // partial stream, so a silent in-memory fallback here
+            // would double-feed it.
+            impl_->onReplayError(tr, e);
+            throw;
+        }
+    }
+    // No usable trace: interpret in memory under the same watchdog
+    // envelope phase 1 uses.
+    vm::Interpreter interp(*prog);
+    std::uint64_t wallMs =
+        rc.wallLimitMs != 0 ? rc.wallLimitMs : defaultWallLimitMs();
+    if (wallMs != 0 || rc.recordBudget != 0) {
+        WatchdogSink wd(&sink, wallMs, rc.recordBudget);
+        interp.run(&wd, rc.maxInstructions);
+    } else {
+        interp.run(&sink, rc.maxInstructions);
+    }
+    if (!interp.halted())
+        sink.finish();
+    addInstructionsProcessed(interp.retired());
+    return interp.retired();
+}
+
 std::vector<core::LvpStats>
 RunCache::predictorOnlyMany(
     const Workload &w, CodeGen cg, unsigned scale,

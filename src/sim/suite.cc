@@ -2,6 +2,7 @@
 
 #include <iostream>
 
+#include "core/value_predictor.hh"
 #include "sim/extensions.hh"
 #include "sim/report.hh"
 
@@ -178,6 +179,17 @@ experimentSuite()
          static_cast<Runner>(championship)},
     };
     return suite;
+}
+
+void
+writeSuiteList(std::ostream &os)
+{
+    for (const auto &spec : experimentSuite())
+        os << spec.id << '\t' << spec.binary << '\t' << spec.summary
+           << '\n';
+    for (const auto &info : core::predictorRegistry())
+        os << "predictor" << '\t' << info.name << '\t' << info.summary
+           << '\n';
 }
 
 const ExperimentSpec *

@@ -8,6 +8,7 @@
 #ifndef LVPLIB_SIM_SUITE_HH
 #define LVPLIB_SIM_SUITE_HH
 
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,15 @@ const std::vector<ExperimentSpec> &experimentSuite();
 
 /** Look up a spec by id or binary name; nullptr when unknown. */
 const ExperimentSpec *findExperiment(const std::string &idOrBinary);
+
+/**
+ * Write the registry listing behind `lvpbench --list`: one
+ * tab-separated line per experiment (id, binary, summary) in suite
+ * order — unchanged from earlier releases, so scripts keyed on it
+ * keep working — followed by one "predictor" line per registered
+ * predictor (the championship contenders `--predictors` accepts).
+ */
+void writeSuiteList(std::ostream &os);
 
 /**
  * Entry point for the thin bench binaries: run one experiment with

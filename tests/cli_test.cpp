@@ -8,7 +8,9 @@
 
 #include <sstream>
 
+#include "core/value_predictor.hh"
 #include "sim/cli.hh"
+#include "sim/suite.hh"
 
 namespace lvplib::sim
 {
@@ -277,6 +279,30 @@ TEST(BenchCli, MalformedValuesNameTheToken)
     EXPECT_NE(err.find("bad --rel-tol value 'nope'"),
               std::string::npos);
     EXPECT_FALSE(parseBench({"--rel-tol", "-0.5"}, &err));
+}
+
+TEST(BenchCli, ListEnumeratesExperimentsAndPredictors)
+{
+    // lvpbench --list prints this: one tab-separated line per
+    // experiment (id, binary, summary — unchanged for script
+    // compatibility), then one per registered predictor.
+    std::ostringstream os;
+    writeSuiteList(os);
+    const std::string out = os.str();
+    for (const auto &spec : experimentSuite()) {
+        EXPECT_NE(out.find(spec.id + "\t" + spec.binary + "\t"),
+                  std::string::npos)
+            << spec.id;
+        EXPECT_NE(out.find(spec.summary), std::string::npos) << spec.id;
+    }
+    for (const auto &info : core::predictorRegistry()) {
+        EXPECT_NE(out.find(std::string("predictor\t") + info.name +
+                           "\t"),
+                  std::string::npos)
+            << info.name;
+        EXPECT_NE(out.find(info.summary), std::string::npos)
+            << info.name;
+    }
 }
 
 TEST(BenchCli, UsageMentionsEveryFlag)

@@ -43,11 +43,15 @@
  * Exit status: 0 success; 1 usage or file errors; 2 when
  * --verify-trace-cache finds an invalid trace; 3 when --check finds
  * metric drift; 4 when an experiment still fails after its retries
- * or when --chaos finds an invariant violation.
+ * or when --chaos finds an invariant violation; 5 when SIGINT or
+ * SIGTERM interrupted the suite (the completed-prefix snapshots for
+ * --bench-out/--metrics-out are still written, tagged "interrupted";
+ * --check is skipped).
  */
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +84,23 @@ namespace
 
 using namespace lvplib;
 using Clock = std::chrono::steady_clock;
+
+/**
+ * Graceful-interrupt flag: SIGINT/SIGTERM stop the suite at the next
+ * experiment boundary, and whatever --bench-out/--metrics-out asked
+ * for is still written — a valid snapshot of the completed prefix
+ * (tagged "interrupted") instead of nothing — then lvpbench exits 5.
+ * The handler re-arms the default action, so a second signal kills a
+ * stuck run the normal way.
+ */
+volatile std::sig_atomic_t gInterrupted = 0;
+
+extern "C" void
+onBenchSignal(int sig)
+{
+    gInterrupted = sig;
+    std::signal(sig, SIG_DFL);
+}
 
 struct Timing
 {
@@ -176,7 +197,7 @@ verifyTraceCacheDir(const std::string &dir, bool prune)
  * diff the exact bytes that would be written.
  */
 std::string
-metricsDump(const sim::ExperimentOptions &opts)
+metricsDump(const sim::ExperimentOptions &opts, bool interrupted = false)
 {
     std::ostringstream os;
     obs::JsonWriter w(os);
@@ -186,6 +207,10 @@ metricsDump(const sim::ExperimentOptions &opts)
     w.beginObject();
     w.member("scale", static_cast<std::uint64_t>(opts.scale));
     w.member("max_instructions", opts.maxInstructions);
+    // Only tagged on an interrupted run: a normal dump's bytes must
+    // stay identical to every earlier release (golden baselines).
+    if (interrupted)
+        w.member("interrupted", true);
     w.endObject();
     w.key("metrics");
     obs::metrics().writeJson(w);
@@ -261,9 +286,7 @@ main(int argc, char **argv)
         return verifyTraceCacheDir(bench.verifyDir, bench.prune);
 
     if (bench.list) {
-        for (const auto &spec : sim::experimentSuite())
-            std::cout << spec.id << '\t' << spec.binary << '\t'
-                      << spec.summary << '\n';
+        sim::writeSuiteList(std::cout);
         return 0;
     }
 
@@ -307,6 +330,9 @@ main(int argc, char **argv)
         }
     }
 
+    std::signal(SIGINT, onBenchSignal);
+    std::signal(SIGTERM, onBenchSignal);
+
     std::vector<Timing> timings;
     double totalWall = 0;
     std::uint64_t totalInstr = 0;
@@ -315,6 +341,8 @@ main(int argc, char **argv)
     retryPolicy.attempts = 1 + bench.retries;
 
     for (const auto &spec : sim::experimentSuite()) {
+        if (gInterrupted)
+            break;
         if (!bench.filters.empty()) {
             bool match = false;
             for (const auto &f : bench.filters)
@@ -361,11 +389,12 @@ main(int argc, char **argv)
         std::filesystem::remove_all(tempTraceDir, ec);
     }
 
-    if (matched == 0) {
+    const bool interrupted = gInterrupted != 0;
+    if (matched == 0 && !interrupted) {
         std::cerr << "lvpbench: no experiment matches the filter\n";
         return 1;
     }
-    if (timings.empty()) {
+    if (timings.empty() && !interrupted) {
         std::cerr << "lvpbench: every matched experiment failed\n";
         return 4;
     }
@@ -383,6 +412,9 @@ main(int argc, char **argv)
         obs::JsonWriter w(os);
         w.beginObject();
         w.member("schema", "lvpbench-v1");
+        // See metricsDump: present only on interrupted runs.
+        if (interrupted)
+            w.member("interrupted", true);
         w.member("scale", static_cast<std::uint64_t>(opts.scale));
         w.member("jobs", static_cast<std::uint64_t>(
                              sim::experimentPool().jobs()));
@@ -456,7 +488,7 @@ main(int argc, char **argv)
     }
 
     if (!bench.metricsOut.empty()) {
-        if (!writeFile(bench.metricsOut, metricsDump(opts))) {
+        if (!writeFile(bench.metricsOut, metricsDump(opts, interrupted))) {
             std::cerr << "lvpbench: cannot write metrics to '"
                       << bench.metricsOut << "'\n";
             return 1;
@@ -476,6 +508,16 @@ main(int argc, char **argv)
         std::cerr << "lvpbench: wrote "
                   << obs::Timeline::process().spanCount()
                   << " spans to " << bench.timelineOut << '\n';
+    }
+
+    if (interrupted) {
+        // --check is skipped on purpose: a prefix run would "drift"
+        // from the full-suite baseline by construction.
+        std::cerr << "lvpbench: interrupted by signal "
+                  << static_cast<int>(gInterrupted)
+                  << "; snapshots cover the " << timings.size()
+                  << " completed experiment(s)\n";
+        return 5;
     }
 
     if (failedExperiments) {

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * lvpload: concurrent load generator and byte-identity checker for an
+ * lvpserve instance (docs/SERVING.md).
+ *
+ *   lvpload --socket /tmp/lvp.sock --users 8
+ *   lvpload --port 4117 --users 16 --predictors lvp,vtage --scale 2
+ *
+ * Each simulated user is one connection running one session per
+ * workload: open, stream the encoded trace (or RunCached when the
+ * server already holds it), close, and compare the server's final
+ * statistics field for field against the offline RunCache pipeline —
+ * the same memoized path lvpbench uses. Streams are interpreted and
+ * encoded once per process and shared read-only across users, so N
+ * users cost N predictor runs, not N interpretations.
+ *
+ * Exit status: 0 every session verified; 1 usage, connection, or
+ * protocol failure; 2 at least one session's statistics diverged.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <stdlib.h>
+
+#include "core/value_predictor.hh"
+#include "serve/client.hh"
+#include "serve/loadgen.hh"
+#include "serve/serve_cli.hh"
+#include "sim/run_cache.hh"
+#include "util/logging.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace lvplib;
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::string rest = list;
+    while (!rest.empty()) {
+        auto comma = rest.find(',');
+        std::string name = rest.substr(0, comma);
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+        if (!name.empty())
+            out.push_back(name);
+    }
+    return out;
+}
+
+struct UserReport
+{
+    unsigned sessions = 0;
+    std::uint64_t records = 0;
+    std::vector<std::string> errors;     ///< connection/protocol
+    std::vector<std::string> mismatches; ///< stats divergence
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string error;
+    auto parsed = serve::parseLoadCli(
+        std::vector<std::string>(argv + 1, argv + argc), error);
+    if (!parsed) {
+        std::cerr << "lvpload: " << error << '\n' << serve::loadUsage();
+        return 1;
+    }
+    const serve::LoadCliOptions &opts = *parsed;
+    if (opts.help) {
+        std::cout << serve::loadUsage();
+        return 0;
+    }
+
+    std::vector<const core::PredictorInfo *> preds;
+    if (opts.predictors.empty()) {
+        for (const auto &info : core::predictorRegistry())
+            preds.push_back(&info);
+    } else {
+        for (const auto &name : splitList(opts.predictors))
+            preds.push_back(core::findPredictor(name));
+    }
+    std::vector<const workloads::Workload *> suite;
+    if (opts.workloads.empty()) {
+        for (const auto &w : workloads::allWorkloads())
+            suite.push_back(&w);
+    } else {
+        for (const auto &name : splitList(opts.workloads))
+            suite.push_back(&workloads::findWorkload(name));
+    }
+
+    auto &cache = sim::RunCache::instance();
+    std::filesystem::path tempTraceDir;
+    if (cache.traceDir().empty()) {
+        // No LVPLIB_TRACE_CACHE: private temp dir, like lvpbench.
+        std::string tmpl = (std::filesystem::temp_directory_path() /
+                            "lvpload-cache-XXXXXX")
+                               .string();
+        if (char *dir = mkdtemp(tmpl.data())) {
+            tempTraceDir = dir;
+            cache.setTraceDir(dir);
+        }
+    }
+
+    serve::StreamLibrary library(cache);
+    const auto cg = workloads::CodeGen::Ppc;
+    const sim::RunConfig rc;
+
+    std::vector<UserReport> reports(opts.users);
+    std::vector<std::thread> users;
+    users.reserve(opts.users);
+    for (unsigned u = 0; u < opts.users; ++u) {
+        users.emplace_back([&, u] {
+            UserReport &rep = reports[u];
+            const core::PredictorInfo &pred = *preds[u % preds.size()];
+            try {
+                serve::ServeClient client =
+                    opts.socketPath.empty()
+                        ? serve::ServeClient::connectTcp(opts.port)
+                        : serve::ServeClient::connectUnix(
+                              opts.socketPath);
+                client.hello();
+                for (const workloads::Workload *w : suite) {
+                    auto stream = library.get(*w, cg, opts.scale, rc);
+                    serve::OpenRequest req;
+                    req.predictor = pred.name;
+                    req.fingerprint = stream->fingerprint;
+                    req.records = stream->records;
+                    auto open = client.open(req);
+                    if (open.cached) {
+                        client.runCached();
+                    } else {
+                        const std::size_t chunkBytes =
+                            static_cast<std::size_t>(
+                                opts.chunkRecords) *
+                            serve::ServeRecordBytes;
+                        const auto &bytes = stream->bytes;
+                        for (std::size_t off = 0; off < bytes.size();
+                             off += chunkBytes) {
+                            std::size_t n = std::min(
+                                chunkBytes, bytes.size() - off);
+                            client.sendChunkRaw(
+                                {bytes.data() + off, n});
+                        }
+                        if (bytes.empty())
+                            client.sendChunkRaw({});
+                    }
+                    serve::SessionMetrics final_ =
+                        client.closeSession();
+                    ++rep.sessions;
+                    rep.records += final_.recordsProcessed;
+                    if (final_.recordsProcessed != stream->records) {
+                        std::ostringstream os;
+                        os << "user " << u << ' ' << w->name << '/'
+                           << pred.name << ": server processed "
+                           << final_.recordsProcessed << " of "
+                           << stream->records << " records";
+                        rep.mismatches.push_back(os.str());
+                        continue;
+                    }
+                    if (opts.verify) {
+                        core::LvpStats want = serve::expectedStats(
+                            cache, *w, cg, opts.scale, rc, pred);
+                        if (!(final_.stats == want)) {
+                            std::ostringstream os;
+                            os << "user " << u << ' ' << w->name << '/'
+                               << pred.name
+                               << ": session stats diverge from the "
+                                  "offline pipeline (loads "
+                               << final_.stats.loads << " vs "
+                               << want.loads << ", correct "
+                               << final_.stats.correct << " vs "
+                               << want.correct << ")";
+                            rep.mismatches.push_back(os.str());
+                        }
+                    }
+                }
+                client.goodbye();
+            } catch (const SimError &e) {
+                std::ostringstream os;
+                os << "user " << u << " (" << pred.name
+                   << "): " << errorKindName(e.kind()) << ": "
+                   << e.what();
+                rep.errors.push_back(os.str());
+            }
+        });
+    }
+    for (auto &t : users)
+        t.join();
+
+    if (!tempTraceDir.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(tempTraceDir, ec);
+    }
+
+    unsigned sessions = 0, failures = 0, mismatches = 0;
+    std::uint64_t records = 0;
+    for (const auto &rep : reports) {
+        sessions += rep.sessions;
+        records += rep.records;
+        for (const auto &e : rep.errors) {
+            std::cerr << "lvpload: " << e << '\n';
+            ++failures;
+        }
+        for (const auto &m : rep.mismatches) {
+            std::cerr << "lvpload: MISMATCH: " << m << '\n';
+            ++mismatches;
+        }
+    }
+    std::cout << "lvpload: " << opts.users << " user(s), " << sessions
+              << " session(s), " << records << " record(s)"
+              << (opts.verify ? ", verified against the offline "
+                                "pipeline"
+                              : "")
+              << '\n';
+    if (mismatches)
+        return 2;
+    if (failures)
+        return 1;
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * lvpserve: the lvp-serve daemon (docs/SERVING.md).
+ *
+ *   lvpserve --socket /tmp/lvp.sock        # unix-domain endpoint
+ *   lvpserve --port 0                      # TCP; prints the bound port
+ *   LVPLIB_SERVE_MAX_SESSIONS=128 lvpserve --socket /tmp/lvp.sock
+ *
+ * Prints one readiness line once listening:
+ *
+ *   lvpserve: listening on unix:/tmp/lvp.sock
+ *
+ * (scripts wait for it before starting clients), then serves until
+ * SIGTERM or SIGINT. Both signals drain gracefully: the listener
+ * closes immediately, in-flight sessions get --drain-ms to finish,
+ * and the process exits 0. Exit status: 0 clean shutdown; 1 usage or
+ * bind failure.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <iostream>
+
+#include <unistd.h>
+
+#include "serve/serve_cli.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+// Self-pipe: the handler only writes one byte; main() blocks on the
+// read end, so all shutdown work runs on a normal thread.
+int gSignalPipe[2] = {-1, -1};
+
+extern "C" void
+onSignal(int)
+{
+    char b = 0;
+    [[maybe_unused]] ssize_t r = ::write(gSignalPipe[1], &b, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lvplib;
+
+    std::string error;
+    auto parsed = serve::parseServeCli(
+        std::vector<std::string>(argv + 1, argv + argc), error);
+    if (!parsed) {
+        std::cerr << "lvpserve: " << error << '\n' << serve::serveUsage();
+        return 1;
+    }
+    if (parsed->help) {
+        std::cout << serve::serveUsage();
+        return 0;
+    }
+
+    serve::LvpServer server(parsed->server);
+    try {
+        server.start();
+    } catch (const SimError &e) {
+        std::cerr << "lvpserve: " << e.what() << '\n';
+        return 1;
+    }
+    std::cout << "lvpserve: listening on " << server.endpoint()
+              << std::endl;
+
+    if (::pipe(gSignalPipe) != 0) {
+        std::cerr << "lvpserve: cannot create signal pipe\n";
+        server.stop();
+        return 1;
+    }
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    char b = 0;
+    while (::read(gSignalPipe[0], &b, 1) < 0 && errno == EINTR) {
+    }
+    std::cout << "lvpserve: draining (" << server.activeSessions()
+              << " active session(s))" << std::endl;
+    server.stop();
+    std::cout << "lvpserve: stopped" << std::endl;
+    return 0;
+}

@@ -110,8 +110,24 @@ ServeClient::open(const OpenRequest &req)
     io_.write(FrameType::OpenSession, encodeOpen(req));
     Frame f = expect(FrameType::OpenOk);
     OpenResult r;
-    decodeOpenOk(f.payload, r.sessionId, r.cached);
+    decodeOpenOk(f.payload, r.sessionId, r.cached, r.resumeToken);
     return r;
+}
+
+ResumeReply
+ServeClient::resume(std::uint64_t sessionId, std::uint64_t token)
+{
+    ResumeRequest req;
+    req.sessionId = sessionId;
+    req.token = token;
+    io_.write(FrameType::ResumeSession, encodeResume(req));
+    return decodeResumeOk(expect(FrameType::ResumeOk).payload);
+}
+
+void
+ServeClient::heartbeat()
+{
+    io_.write(FrameType::Heartbeat, {});
 }
 
 void
@@ -155,6 +171,12 @@ ServeClient::goodbye()
 {
     io_.write(FrameType::Goodbye, {});
     expect(FrameType::Goodbye);
+    io_.shutdown();
+}
+
+void
+ServeClient::abortConnection()
+{
     io_.shutdown();
 }
 

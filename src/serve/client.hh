@@ -51,11 +51,27 @@ class ServeClient
     {
         std::uint64_t sessionId = 0;
         bool cached = false; ///< server holds this stream; RunCached ok
+        std::uint64_t resumeToken = 0; ///< for ResumeSession after a
+                                       ///< dropped connection
     };
 
     /** Open a session for @p req.predictor over the stream @p req
      *  names. */
     OpenResult open(const OpenRequest &req);
+
+    /**
+     * Revive a session parked by the server after this client's
+     * previous connection dropped. On success the reply names the
+     * record offset to continue streaming from; on a typed rejection
+     * (unknown/expired token, or a different worker process answered)
+     * SimError(RetryExhausted) is thrown and the connection stays
+     * usable — fall back to open() and stream from record 0.
+     */
+    ResumeReply resume(std::uint64_t sessionId, std::uint64_t token);
+
+    /** One-way keepalive: resets the server's idle deadline. Legal
+     *  both inside a session and between sessions. */
+    void heartbeat();
 
     /** Stream one chunk of records into the open session. */
     void sendChunk(std::span<const ServeRecord> records);
@@ -81,6 +97,14 @@ class ServeClient
 
     /** End the conversation cleanly. */
     void goodbye();
+
+    /**
+     * Simulate a client crash: shut the socket down with no Goodbye
+     * and no session close. The server parks the in-flight session;
+     * a new connection can resume() it. The chaos load driver's
+     * primary fault.
+     */
+    void abortConnection();
 
   private:
     /** Read a frame, expecting @p want; Error frames rethrow as

@@ -1,8 +1,10 @@
 #include "serve/framing.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,6 +15,8 @@ namespace lvplib::serve
 
 namespace
 {
+
+using Clock = std::chrono::steady_clock;
 
 [[noreturn]] void
 ioError(const char *what, int err)
@@ -27,7 +31,10 @@ ioError(const char *what, int err)
 
 FrameIo::FrameIo(int fd, std::uint64_t maxPayloadBytes,
                  std::uint64_t chaosKey)
-    : fd_(fd), maxPayloadBytes_(maxPayloadBytes), chaosKey_(chaosKey)
+    : fd_(fd),
+      maxPayloadBytes_(
+          std::min(maxPayloadBytes, HardMaxFramePayloadBytes)),
+      chaosKey_(chaosKey)
 {
 }
 
@@ -38,20 +45,59 @@ FrameIo::~FrameIo()
 }
 
 void
-FrameIo::maybeInject()
+FrameIo::maybeInject(bool writing)
 {
-    if (chaos::engine().shouldInject(chaos::Point::ServeFrame,
-                                     chaosKey_, frames_++))
+    auto &eng = chaos::engine();
+    std::uint64_t n = frames_++;
+    if (!eng.enabled())
+        return;
+    if (eng.shouldInject(chaos::Point::ServeFrame, chaosKey_, n))
         throw SimError(ErrorKind::Injected,
                        "serve: injected frame fault");
+    if (eng.shouldInject(chaos::Point::ServeConnReset, chaosKey_, n)) {
+        // A real RST: the peer's next read/write fails too, not just
+        // ours — both sides exercise their containment paths.
+        if (fd_ >= 0)
+            ::shutdown(fd_, SHUT_RDWR);
+        throw SimError(ErrorKind::Injected,
+                       "serve: injected connection reset");
+    }
+    (void)writing;
 }
 
 std::size_t
-FrameIo::readFull(void *buf, std::size_t n, bool eofOk)
+FrameIo::readFull(void *buf, std::size_t n, bool eofOk,
+                  Clock::time_point deadline)
 {
     auto *p = static_cast<std::uint8_t *>(buf);
     std::size_t got = 0;
     while (got < n) {
+        if (deadline != Clock::time_point::max()) {
+            auto now = Clock::now();
+            if (now >= deadline)
+                throw SimError(
+                    ErrorKind::Watchdog,
+                    "serve: peer made no frame progress within " +
+                        std::to_string(readDeadlineMs_) + " ms");
+            auto leftMs =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - now)
+                    .count() +
+                1;
+            pollfd pfd{fd_, POLLIN, 0};
+            int r = ::poll(&pfd, 1,
+                           static_cast<int>(std::min<long long>(
+                               leftMs, 1000)));
+            if (r < 0) {
+                if (errno == EINTR)
+                    continue;
+                ioError("poll failed", errno);
+            }
+            if (r == 0)
+                continue; // re-check the deadline
+            // POLLHUP/POLLERR fall through: read() reports EOF or
+            // the error itself.
+        }
         ssize_t r = ::read(fd_, p + got, n - got);
         if (r < 0) {
             if (errno == EINTR)
@@ -89,9 +135,13 @@ FrameIo::writeFull(const void *buf, std::size_t n)
 bool
 FrameIo::readOrEof(Frame &out)
 {
-    maybeInject();
+    maybeInject(/*writing=*/false);
+    auto deadline = readDeadlineMs_ == 0
+                        ? Clock::time_point::max()
+                        : Clock::now() + std::chrono::milliseconds(
+                                             readDeadlineMs_);
     std::uint8_t header[FrameHeaderBytes];
-    if (readFull(header, sizeof header, /*eofOk=*/true) == 0)
+    if (readFull(header, sizeof header, /*eofOk=*/true, deadline) == 0)
         return false;
     std::uint64_t len = 0;
     for (int i = 0; i < 4; ++i)
@@ -105,7 +155,7 @@ FrameIo::readOrEof(Frame &out)
     out.type = static_cast<FrameType>(header[4]);
     out.payload.resize(len);
     if (len)
-        readFull(out.payload.data(), len, /*eofOk=*/false);
+        readFull(out.payload.data(), len, /*eofOk=*/false, deadline);
     return true;
 }
 
@@ -121,13 +171,26 @@ FrameIo::read()
 void
 FrameIo::write(FrameType type, std::span<const std::uint8_t> payload)
 {
-    maybeInject();
+    maybeInject(/*writing=*/true);
     std::uint8_t header[FrameHeaderBytes];
     std::uint64_t len = payload.size();
     for (int i = 0; i < 4; ++i)
         header[i] = static_cast<std::uint8_t>(len >> (8 * i));
     header[4] = static_cast<std::uint8_t>(type);
+    bool torn = !payload.empty() &&
+                chaos::engine().shouldInject(
+                    chaos::Point::ServeTornWrite, chaosKey_, frames_++);
     writeFull(header, sizeof header);
+    if (torn) {
+        // Half the payload actually reaches the wire, then the
+        // connection dies: the peer sees a short frame, we see a
+        // typed injected fault.
+        writeFull(payload.data(), payload.size() / 2);
+        if (fd_ >= 0)
+            ::shutdown(fd_, SHUT_RDWR);
+        throw SimError(ErrorKind::Injected,
+                       "serve: injected torn mid-frame write");
+    }
     if (!payload.empty())
         writeFull(payload.data(), payload.size());
 }

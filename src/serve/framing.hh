@@ -17,14 +17,25 @@
  * socket (the kernel buffer fills, the client's send blocks) instead
  * of growing server memory.
  *
+ * Deadlines: setReadDeadline() bounds how long the peer may take to
+ * deliver one whole frame. The clock spans the entire frame — header
+ * wait and payload trickle alike — so it covers both the idle peer
+ * (no header bytes at all) and the slow-progress peer (header sent,
+ * payload dribbling). Expiry raises SimError(Watchdog); the server
+ * treats it as a slow-peer eviction.
+ *
  * Chaos: when Point::ServeFrame is armed, frame number n of a
  * connection's stream (keyed by the connection id) fails with
  * SimError(Injected) — the soak test's socket-path fault.
+ * Point::ServeTornWrite stops a frame write mid-payload (the peer
+ * sees a short frame) and Point::ServeConnReset shuts the socket
+ * down mid-exchange; both then throw SimError(Injected) locally.
  */
 
 #ifndef LVPLIB_SERVE_FRAMING_HH
 #define LVPLIB_SERVE_FRAMING_HH
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -54,8 +65,8 @@ class FrameIo
      * and closes it on destruction.
      * @param maxPayloadBytes Reject larger length prefixes with a
      * typed error instead of allocating (a hostile or corrupt prefix
-     * must not OOM the server).
-     * @param chaosKey Stream key for the ServeFrame injection point.
+     * must not OOM the server). Clamped to HardMaxFramePayloadBytes.
+     * @param chaosKey Stream key for the serve injection points.
      */
     FrameIo(int fd, std::uint64_t maxPayloadBytes,
             std::uint64_t chaosKey);
@@ -63,6 +74,17 @@ class FrameIo
 
     FrameIo(const FrameIo &) = delete;
     FrameIo &operator=(const FrameIo &) = delete;
+
+    /** Movable so ServeClient can be stored/replaced (the chaos load
+     *  driver reconnects by rebuilding its client in place). */
+    FrameIo(FrameIo &&other) noexcept
+        : fd_(other.fd_), maxPayloadBytes_(other.maxPayloadBytes_),
+          chaosKey_(other.chaosKey_), frames_(other.frames_),
+          readDeadlineMs_(other.readDeadlineMs_)
+    {
+        other.fd_ = -1;
+    }
+    FrameIo &operator=(FrameIo &&) = delete;
 
     /**
      * Read one whole frame.
@@ -84,19 +106,28 @@ class FrameIo
     /** Shut the socket down (wakes a blocked peer); fd stays owned. */
     void shutdown();
 
+    /**
+     * Bound every subsequent whole-frame read to @p ms milliseconds
+     * (0 disables, the default). Expiry raises SimError(Watchdog).
+     */
+    void setReadDeadline(std::uint64_t ms) { readDeadlineMs_ = ms; }
+
     int fd() const { return fd_; }
 
   private:
     /** @return bytes read: @p n, or 0 on immediate EOF (only when
-     *  @p eofOk), never partial. */
-    std::size_t readFull(void *buf, std::size_t n, bool eofOk);
+     *  @p eofOk), never partial. @p deadline is the absolute expiry
+     *  (steady_clock::time_point::max() = none). */
+    std::size_t readFull(void *buf, std::size_t n, bool eofOk,
+                         std::chrono::steady_clock::time_point deadline);
     void writeFull(const void *buf, std::size_t n);
-    void maybeInject();
+    void maybeInject(bool writing);
 
     int fd_;
     std::uint64_t maxPayloadBytes_;
     std::uint64_t chaosKey_;
-    std::uint64_t frames_ = 0; ///< ServeFrame decision-stream counter
+    std::uint64_t frames_ = 0; ///< serve-point decision-stream counter
+    std::uint64_t readDeadlineMs_ = 0;
 };
 
 } // namespace lvplib::serve

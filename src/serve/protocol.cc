@@ -70,6 +70,9 @@ frameTypeName(FrameType t)
       case FrameType::CloseSession: return "CloseSession";
       case FrameType::Goodbye: return "Goodbye";
       case FrameType::Error: return "Error";
+      case FrameType::Heartbeat: return "Heartbeat";
+      case FrameType::ResumeSession: return "ResumeSession";
+      case FrameType::ResumeOk: return "ResumeOk";
     }
     return "?";
 }
@@ -185,25 +188,73 @@ decodeOpen(std::span<const std::uint8_t> payload)
 }
 
 std::vector<std::uint8_t>
-encodeOpenOk(std::uint64_t sessionId, bool cached)
+encodeOpenOk(std::uint64_t sessionId, bool cached,
+             std::uint64_t resumeToken)
 {
     std::vector<std::uint8_t> out;
     put64(out, sessionId);
     put8(out, cached ? 1 : 0);
+    put64(out, resumeToken);
     return out;
 }
 
 void
 decodeOpenOk(std::span<const std::uint8_t> payload,
-             std::uint64_t &sessionId, bool &cached)
+             std::uint64_t &sessionId, bool &cached,
+             std::uint64_t &resumeToken)
 {
-    if (payload.size() != 9)
-        malformed("OpenOk", "expected 9 payload bytes, got " +
+    if (payload.size() != 17)
+        malformed("OpenOk", "expected 17 payload bytes, got " +
                                 std::to_string(payload.size()));
     sessionId = get64(payload, 0);
     if (payload[8] > 1)
         malformed("OpenOk", "cached byte out of range");
     cached = payload[8] == 1;
+    resumeToken = get64(payload, 9);
+}
+
+std::vector<std::uint8_t>
+encodeResume(const ResumeRequest &req)
+{
+    std::vector<std::uint8_t> out;
+    put64(out, req.sessionId);
+    put64(out, req.token);
+    return out;
+}
+
+ResumeRequest
+decodeResume(std::span<const std::uint8_t> payload)
+{
+    if (payload.size() != 16)
+        malformed("ResumeSession", "expected 16 payload bytes, got " +
+                                       std::to_string(payload.size()));
+    ResumeRequest req;
+    req.sessionId = get64(payload, 0);
+    req.token = get64(payload, 8);
+    return req;
+}
+
+std::vector<std::uint8_t>
+encodeResumeOk(const ResumeReply &rep)
+{
+    std::vector<std::uint8_t> out;
+    put64(out, rep.sessionId);
+    put64(out, rep.recordsProcessed);
+    put64(out, rep.chunksProcessed);
+    return out;
+}
+
+ResumeReply
+decodeResumeOk(std::span<const std::uint8_t> payload)
+{
+    if (payload.size() != 24)
+        malformed("ResumeOk", "expected 24 payload bytes, got " +
+                                  std::to_string(payload.size()));
+    ResumeReply rep;
+    rep.sessionId = get64(payload, 0);
+    rep.recordsProcessed = get64(payload, 8);
+    rep.chunksProcessed = get64(payload, 16);
+    return rep;
 }
 
 namespace

@@ -59,11 +59,21 @@
 namespace lvplib::serve
 {
 
-/** Protocol revision; Hello/HelloOk negotiate exact equality. */
-constexpr std::uint16_t ProtocolVersion = 1;
+/** Protocol revision; Hello/HelloOk negotiate exact equality.
+ *  v2 added Heartbeat/ResumeSession/ResumeOk and the OpenOk resume
+ *  token. */
+constexpr std::uint16_t ProtocolVersion = 2;
 
 /** Frame header: u32 payload length + u8 type. */
 constexpr std::size_t FrameHeaderBytes = 4 + 1;
+
+/**
+ * Absolute frame-payload ceiling, enforced in FrameIo regardless of
+ * the configured --max-frame limit: a malformed or hostile length
+ * prefix (the u32 admits values up to 4 GiB) must be rejected with a
+ * typed SimError before any allocation is sized from it.
+ */
+constexpr std::uint64_t HardMaxFramePayloadBytes = 64ull << 20;
 
 /** Every frame on the wire. */
 enum class FrameType : std::uint8_t
@@ -71,7 +81,7 @@ enum class FrameType : std::uint8_t
     Hello = 1,        ///< c->s: {u16 version}
     HelloOk = 2,      ///< s->c: {u16 version}
     OpenSession = 3,  ///< c->s: {u64 fp, u64 records, u8 len, name}
-    OpenOk = 4,       ///< s->c: {u64 sessionId, u8 cached}
+    OpenOk = 4,       ///< s->c: {u64 sessionId, u8 cached, u64 token}
     TraceChunk = 5,   ///< c->s: N * ServeRecordBytes
     RunCached = 6,    ///< c->s: {} replay the server's cached stream
     Metrics = 7,      ///< c->s: {} request a mid-stream snapshot
@@ -79,6 +89,9 @@ enum class FrameType : std::uint8_t
     CloseSession = 9, ///< s->c after drain: MetricsReply(final)
     Goodbye = 10,     ///< c->s: done with this connection
     Error = 11,       ///< s->c: {u8 ErrorKind, message bytes}
+    Heartbeat = 12,   ///< c->s: {} keepalive; resets the idle deadline
+    ResumeSession = 13, ///< c->s: {u64 sessionId, u64 token}
+    ResumeOk = 14,    ///< s->c: {u64 sessionId, u64 records, u64 chunks}
 };
 
 const char *frameTypeName(FrameType t);
@@ -158,9 +171,33 @@ std::vector<std::uint8_t> encodeOpen(const OpenRequest &req);
 OpenRequest decodeOpen(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encodeOpenOk(std::uint64_t sessionId,
-                                       bool cached);
+                                       bool cached,
+                                       std::uint64_t resumeToken);
 void decodeOpenOk(std::span<const std::uint8_t> payload,
-                  std::uint64_t &sessionId, bool &cached);
+                  std::uint64_t &sessionId, bool &cached,
+                  std::uint64_t &resumeToken);
+
+/** ResumeSession payload: which parked session to revive. */
+struct ResumeRequest
+{
+    std::uint64_t sessionId = 0;
+    std::uint64_t token = 0; ///< the OpenOk resume token
+};
+
+std::vector<std::uint8_t> encodeResume(const ResumeRequest &req);
+ResumeRequest decodeResume(std::span<const std::uint8_t> payload);
+
+/** ResumeOk payload: where the revived session left off. The client
+ *  continues streaming from record @p recordsProcessed. */
+struct ResumeReply
+{
+    std::uint64_t sessionId = 0;
+    std::uint64_t recordsProcessed = 0;
+    std::uint64_t chunksProcessed = 0;
+};
+
+std::vector<std::uint8_t> encodeResumeOk(const ResumeReply &rep);
+ResumeReply decodeResumeOk(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encodeMetrics(const SessionMetrics &m);
 SessionMetrics decodeMetrics(std::span<const std::uint8_t> payload);

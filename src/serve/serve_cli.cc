@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/value_predictor.hh"
+#include "util/env.hh"
 #include "workloads/workload.hh"
 
 namespace lvplib::serve
@@ -52,11 +53,47 @@ knownWorkload(const std::string &name)
 
 } // namespace
 
+namespace
+{
+
+/** Parse a --chaos value: "SEED" or "SEED,PERIOD". */
+bool
+parseChaosValue(const std::string &v, std::uint64_t &seed,
+                std::uint64_t &period, std::string &error)
+{
+    auto comma = v.find(',');
+    std::string seedStr = v.substr(0, comma);
+    char *end = nullptr;
+    unsigned long long s = std::strtoull(seedStr.c_str(), &end, 10);
+    if (seedStr.empty() || !end || *end || s == 0) {
+        error = "bad --chaos value '" + v + "' (want SEED[,PERIOD], "
+                "SEED >= 1)";
+        return false;
+    }
+    seed = s;
+    if (comma != std::string::npos) {
+        std::string periodStr = v.substr(comma + 1);
+        unsigned long long p =
+            std::strtoull(periodStr.c_str(), &end, 10);
+        if (periodStr.empty() || !end || *end || p == 0) {
+            error = "bad --chaos value '" + v +
+                    "' (want SEED[,PERIOD], PERIOD >= 1)";
+            return false;
+        }
+        period = p;
+    }
+    return true;
+}
+
+} // namespace
+
 std::optional<ServeCliOptions>
 parseServeCli(const std::vector<std::string> &args, std::string &error)
 {
     ServeCliOptions opts;
     opts.server = ServeOptions::fromEnv();
+    if (auto v = envUnsigned("LVPLIB_SERVE_WORKERS", 1, 256))
+        opts.workers = static_cast<unsigned>(*v);
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &a = args[i];
         auto value = [&]() -> const std::string * {
@@ -115,6 +152,34 @@ parseServeCli(const std::vector<std::string> &args, std::string &error)
             if (!n)
                 return std::nullopt;
             opts.server.drainMs = *n;
+        } else if (a == "--idle-ms") {
+            auto n = unsignedValue(0, 86400000);
+            if (!n)
+                return std::nullopt;
+            opts.server.idleMs = *n;
+        } else if (a == "--resume-ttl-ms") {
+            auto n = unsignedValue(0, 86400000);
+            if (!n)
+                return std::nullopt;
+            opts.server.resumeTtlMs = *n;
+        } else if (a == "--max-parked") {
+            auto n = unsignedValue(
+                0, std::numeric_limits<std::uint64_t>::max());
+            if (!n)
+                return std::nullopt;
+            opts.server.maxParked = *n;
+        } else if (a == "--workers") {
+            auto n = unsignedValue(1, 256);
+            if (!n)
+                return std::nullopt;
+            opts.workers = static_cast<unsigned>(*n);
+        } else if (a == "--chaos") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            if (!parseChaosValue(*v, opts.chaosSeed, opts.chaosPeriod,
+                                 error))
+                return std::nullopt;
         } else {
             error = "unknown option '" + a + "'";
             return std::nullopt;
@@ -144,15 +209,34 @@ serveUsage()
           "  --queue-chunks N    per-session queue bound (default 8)\n"
           "  --drain-ms N        SIGTERM/SIGINT drain window (default\n"
           "                      2000)\n"
+          "  --idle-ms N         per-session read deadline: a peer\n"
+          "                      making no frame progress for N ms is\n"
+          "                      evicted and its session parked for\n"
+          "                      resume (default 30000; 0 = never)\n"
+          "  --resume-ttl-ms N   parked-session lifetime (default\n"
+          "                      30000)\n"
+          "  --max-parked N      parked-session cap (default 64;\n"
+          "                      0 disables resume)\n"
+          "  --workers N         fork N supervised worker processes\n"
+          "                      sharing the endpoint; the parent\n"
+          "                      restarts dead workers with backoff\n"
+          "                      (default 1 = no fork)\n"
+          "  --chaos SEED[,P]    arm serve-layer fault injection with\n"
+          "                      the given seed and period (testing)\n"
           "  --help              this text\n"
           "\n"
           "environment (strict-parsed defaults; flags win):\n"
           "  LVPLIB_SERVE_SOCKET, LVPLIB_SERVE_PORT,\n"
           "  LVPLIB_SERVE_MAX_SESSIONS, LVPLIB_SERVE_LRU_BYTES,\n"
-          "  LVPLIB_SERVE_QUEUE_CHUNKS\n"
+          "  LVPLIB_SERVE_QUEUE_CHUNKS, LVPLIB_SERVE_IDLE_MS,\n"
+          "  LVPLIB_SERVE_RESUME_TTL_MS, LVPLIB_SERVE_MAX_PARKED,\n"
+          "  LVPLIB_SERVE_WORKERS\n"
           "\n"
           "SIGTERM/SIGINT drain gracefully: no new connections, a\n"
-          "--drain-ms window for in-flight sessions, then exit 0.\n";
+          "--drain-ms window for in-flight sessions, then exit 0.\n"
+          "With --workers, SIGTERM is forwarded to every worker and\n"
+          "stragglers are SIGKILLed after the drain window; a worker\n"
+          "felled by injected chaos exits 70 and is restarted.\n";
     return os.str();
 }
 
@@ -232,6 +316,13 @@ parseLoadCli(const std::vector<std::string> &args, std::string &error)
             if (!validateNameList(*v, "workload", knownWorkload, error))
                 return std::nullopt;
             opts.workloads = *v;
+        } else if (a == "--chaos") {
+            auto *v = value();
+            if (!v)
+                return std::nullopt;
+            std::uint64_t period = 0; // unused on the load side
+            if (!parseChaosValue(*v, opts.chaosSeed, period, error))
+                return std::nullopt;
         } else {
             error = "unknown option '" + a + "'";
             return std::nullopt;
@@ -265,6 +356,12 @@ loadUsage()
           "  --workloads LIST    comma-separated benchmark names\n"
           "                      (default: the full suite)\n"
           "  --no-verify         skip the offline-oracle comparison\n"
+          "  --chaos SEED        fault-tolerance soak: seeded client\n"
+          "                      crashes mid-stream with reconnect and\n"
+          "                      session resume (fresh-session\n"
+          "                      fallback on rejection), an fd-leak\n"
+          "                      check, and a byte-reproducible\n"
+          "                      per-seed report on stdout\n"
           "  --help              this text\n"
           "\n"
           "exit status: 0 all sessions verified; 1 usage or\n"

@@ -24,6 +24,15 @@ namespace lvplib::serve
 struct ServeCliOptions
 {
     ServeOptions server; ///< env-seeded, then flag-overridden
+    /** --workers N (or LVPLIB_SERVE_WORKERS): fork N supervised
+     *  worker processes behind the one endpoint. 1 = classic
+     *  single-process daemon, no fork. */
+    unsigned workers = 1;
+    /** --chaos SEED[,PERIOD]: arm chaos::ServePoints in every worker
+     *  (0 = off). Only meaningful with --workers >= 2 for the
+     *  worker-kill point; frame faults fire regardless. */
+    std::uint64_t chaosSeed = 0;
+    std::uint64_t chaosPeriod = 64;
     bool help = false;
 };
 
@@ -53,6 +62,11 @@ struct LoadCliOptions
      *  full suite). */
     std::string workloads;
     bool verify = true; ///< cleared by --no-verify (skip offline oracle)
+    /** --chaos SEED: run the fault-tolerance soak — seeded client
+     *  crashes mid-stream, reconnect-and-resume with fresh-session
+     *  fallback, client-side frame chaos, an fd-leak check, and a
+     *  byte-reproducible per-seed report (0 = off). */
+    std::uint64_t chaosSeed = 0;
     bool help = false;
 };
 

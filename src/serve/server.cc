@@ -2,6 +2,8 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -11,6 +13,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "chaos/chaos.hh"
 #include "core/value_predictor.hh"
 #include "obs/metrics.hh"
 #include "serve/session.hh"
@@ -50,6 +53,22 @@ serveObs()
     return o;
 }
 
+/**
+ * serve.resume.* counters register on first event, not at server
+ * construction: a fault-free run (no disconnects, no stalls, no
+ * resumes) must produce a metrics JSON byte-identical to one from a
+ * build without the resume machinery. Events are rare by definition,
+ * so the by-name registry lookup is fine (same discipline as
+ * ChaosEngine::recordRecovered).
+ */
+void
+bumpResume(const char *what, std::uint64_t n = 1)
+{
+    obs::metrics()
+        .counter(std::string("serve.resume.") + what)
+        .add(n);
+}
+
 [[noreturn]] void
 netError(const char *what, int err)
 {
@@ -57,7 +76,51 @@ netError(const char *what, int err)
                                            ": " + std::strerror(err));
 }
 
+/** 64-bit finalizer (splitmix64-style) for resume-token whitening:
+ *  tokens must not be guessable from the (sequential) session id. */
+std::uint64_t
+whiten(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Reset a FrameIo's read deadline on scope exit (sessions carry an
+ *  idle deadline; the between-sessions top level does not). */
+struct DeadlineGuard
+{
+    FrameIo &io;
+    ~DeadlineGuard() { io.setReadDeadline(0); }
+};
+
 } // namespace
+
+/**
+ * Owns one unit of the active-session count. Scope exit releases it,
+ * but the clean-close path releases EARLY — before the final
+ * MetricsReply is written — so a client that has its final snapshot
+ * in hand can immediately open a new session without racing the
+ * handler thread's stack unwind for the session slot.
+ */
+struct ActiveSessionGuard
+{
+    std::atomic<std::uint64_t> *active = nullptr;
+
+    void release()
+    {
+        if (!active)
+            return;
+        active->fetch_sub(1, std::memory_order_relaxed);
+        serveObs().sessionsActive.set(
+            static_cast<double>(active->load()));
+        active = nullptr;
+    }
+    ~ActiveSessionGuard() { release(); }
+};
 
 ServeOptions
 ServeOptions::fromEnv(ServeOptions base)
@@ -72,6 +135,12 @@ ServeOptions::fromEnv(ServeOptions base)
         base.lruBytes = *v;
     if (auto v = envUnsigned("LVPLIB_SERVE_QUEUE_CHUNKS", 1))
         base.queueChunks = *v;
+    if (auto v = envUnsigned("LVPLIB_SERVE_IDLE_MS"))
+        base.idleMs = *v;
+    if (auto v = envUnsigned("LVPLIB_SERVE_RESUME_TTL_MS"))
+        base.resumeTtlMs = *v;
+    if (auto v = envUnsigned("LVPLIB_SERVE_MAX_PARKED"))
+        base.maxParked = *v;
     return base;
 }
 
@@ -79,6 +148,63 @@ ServeOptions
 ServeOptions::fromEnv()
 {
     return fromEnv(ServeOptions());
+}
+
+int
+openListenSocket(const ServeOptions &opts, std::uint16_t &boundPort)
+{
+    int fd = -1;
+    if (!opts.socketPath.empty()) {
+        if (opts.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+            throw SimError(ErrorKind::TraceIo,
+                           "serve: unix socket path too long: " +
+                               opts.socketPath);
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            netError("socket(AF_UNIX) failed", errno);
+        ::unlink(opts.socketPath.c_str()); // stale path from a crash
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            int err = errno;
+            ::close(fd);
+            netError(("bind(" + opts.socketPath + ") failed").c_str(),
+                     err);
+        }
+    } else {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            netError("socket(AF_INET) failed", errno);
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(opts.port);
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            int err = errno;
+            ::close(fd);
+            netError(("bind(port " + std::to_string(opts.port) +
+                      ") failed")
+                         .c_str(),
+                     err);
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            boundPort = ntohs(bound.sin_port);
+    }
+    if (::listen(fd, 64) < 0) {
+        int err = errno;
+        ::close(fd);
+        netError("listen failed", err);
+    }
+    return fd;
 }
 
 LvpServer::LvpServer(ServeOptions opts)
@@ -104,59 +230,22 @@ LvpServer::start()
 {
     std::lock_guard<std::mutex> stopLock(stopMutex_);
     lvp_assert(!started_, "LvpServer::start() called twice");
-    if (!opts_.socketPath.empty()) {
-        if (opts_.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
-            throw SimError(ErrorKind::TraceIo,
-                           "serve: unix socket path too long: " +
-                               opts_.socketPath);
-        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-        if (listenFd_ < 0)
-            netError("socket(AF_UNIX) failed", errno);
-        ::unlink(opts_.socketPath.c_str()); // stale path from a crash
-        sockaddr_un addr{};
-        addr.sun_family = AF_UNIX;
-        std::strncpy(addr.sun_path, opts_.socketPath.c_str(),
-                     sizeof(addr.sun_path) - 1);
-        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
-                   sizeof(addr)) < 0) {
-            int err = errno;
-            ::close(listenFd_);
-            listenFd_ = -1;
-            netError(("bind(" + opts_.socketPath + ") failed").c_str(),
-                     err);
+    if (opts_.listenFd >= 0) {
+        // A supervised worker: the socket was bound and set listening
+        // before the fork; we just accept on our inherited copy.
+        listenFd_ = opts_.listenFd;
+        ownListener_ = false;
+        if (opts_.socketPath.empty()) {
+            sockaddr_in bound{};
+            socklen_t len = sizeof(bound);
+            if (::getsockname(listenFd_,
+                              reinterpret_cast<sockaddr *>(&bound),
+                              &len) == 0)
+                boundPort_ = ntohs(bound.sin_port);
         }
     } else {
-        listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (listenFd_ < 0)
-            netError("socket(AF_INET) failed", errno);
-        int one = 1;
-        ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
-                     sizeof(one));
-        sockaddr_in addr{};
-        addr.sin_family = AF_INET;
-        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-        addr.sin_port = htons(opts_.port);
-        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
-                   sizeof(addr)) < 0) {
-            int err = errno;
-            ::close(listenFd_);
-            listenFd_ = -1;
-            netError(("bind(port " + std::to_string(opts_.port) +
-                      ") failed")
-                         .c_str(),
-                     err);
-        }
-        sockaddr_in bound{};
-        socklen_t len = sizeof(bound);
-        if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
-                          &len) == 0)
-            boundPort_ = ntohs(bound.sin_port);
-    }
-    if (::listen(listenFd_, 64) < 0) {
-        int err = errno;
-        ::close(listenFd_);
-        listenFd_ = -1;
-        netError("listen failed", err);
+        listenFd_ = openListenSocket(opts_, boundPort_);
+        ownListener_ = true;
     }
     stopping_.store(false, std::memory_order_relaxed);
     started_ = true;
@@ -203,6 +292,22 @@ LvpServer::handleConnection(std::uint64_t connId)
                    static_cast<unsigned long long>(connId));
         io = it->second.io.get();
     }
+    // Worker-kill chaos: supervised workers only (workerIndex >= 0) —
+    // the supervisor restarts the worker and parked clients fall back
+    // to fresh sessions; killing a standalone server would just be an
+    // outage, not a recoverable fault.
+    if (opts_.workerIndex >= 0 &&
+        chaos::engine().shouldInject(
+            chaos::Point::ServeWorkerKill,
+            static_cast<std::uint64_t>(opts_.workerIndex) + 1, connId)) {
+        std::fprintf(stderr,
+                     "lvpserve: worker %d: injected worker kill "
+                     "(connection %llu)\n",
+                     opts_.workerIndex,
+                     static_cast<unsigned long long>(connId));
+        std::fflush(nullptr);
+        std::_Exit(70); // abrupt death: no drain, no destructors
+    }
     try {
         Frame f = io->read();
         if (f.type != FrameType::Hello)
@@ -227,12 +332,20 @@ LvpServer::handleConnection(std::uint64_t connId)
                     io->write(FrameType::Goodbye, {});
                     break;
                 }
+                if (next.type == FrameType::Heartbeat) {
+                    bumpResume("heartbeats");
+                    continue; // keepalive; no reply
+                }
+                if (next.type == FrameType::ResumeSession) {
+                    runResumedSession(*io, next);
+                    continue;
+                }
                 if (next.type != FrameType::OpenSession)
                     throw SimError(
                         ErrorKind::TraceCorrupt,
                         std::string(
-                            "serve: expected OPEN_SESSION or GOODBYE, "
-                            "got ") +
+                            "serve: expected OPEN_SESSION, "
+                            "RESUME_SESSION or GOODBYE, got ") +
                             frameTypeName(next.type));
                 runSession(*io, next);
             }
@@ -277,103 +390,255 @@ LvpServer::runSession(FrameIo &io, const Frame &openFrame)
     bool cached = req.fingerprint != 0 && lru_.contains(req.fingerprint);
     std::uint64_t sessionId =
         nextSessionId_.fetch_add(1, std::memory_order_relaxed);
+    // Mix the pid into the token: supervised workers each run their
+    // own counter from 1, and two workers must never mint the same
+    // (sessionId, token) pair — a client resuming on a sibling worker
+    // has to be REJECTED (and fall back to a fresh session), not
+    // silently handed another user's parked checkpoint.
+    std::uint64_t token =
+        whiten(sessionId * 0x9e3779b97f4a7c15ull ^
+               (static_cast<std::uint64_t>(::getpid()) << 32) ^
+               nextToken_.fetch_add(1, std::memory_order_relaxed));
+    if (token == 0)
+        token = 1; // 0 would read as "no token"
     Session session(sessionId, *info, opts_.queueChunks);
     activeSessions_.fetch_add(1, std::memory_order_relaxed);
     serveObs().sessionsOpened.add();
     serveObs().sessionsActive.set(
         static_cast<double>(activeSessions_.load()));
-    struct ActiveGuard
+    ActiveSessionGuard guard{&activeSessions_};
+
+    io.write(FrameType::OpenOk, encodeOpenOk(sessionId, cached, token));
+    streamSession(io, session, req, token, /*mayCache=*/!cached, guard);
+}
+
+void
+LvpServer::runResumedSession(FrameIo &io, const Frame &resumeFrame)
+{
+    ResumeRequest req = decodeResume(resumeFrame.payload);
+    Parked parked;
+    bool found = false;
     {
-        std::atomic<std::uint64_t> &active;
-        ~ActiveGuard()
-        {
-            active.fetch_sub(1, std::memory_order_relaxed);
-            serveObs().sessionsActive.set(
-                static_cast<double>(active.load()));
+        std::lock_guard<std::mutex> lock(parkMutex_);
+        auto now = std::chrono::steady_clock::now();
+        for (auto it = parked_.begin(); it != parked_.end();) {
+            if (it->second.expiry <= now) {
+                bumpResume("expired");
+                it = parked_.erase(it);
+            } else {
+                ++it;
+            }
         }
-    } guard{activeSessions_};
+        auto it = parked_.find(req.token);
+        if (it != parked_.end() && it->second.sessionId == req.sessionId) {
+            parked = std::move(it->second);
+            parked_.erase(it);
+            found = true;
+        }
+    }
+    if (!found) {
+        // Expired, never parked, or parked in another worker process:
+        // a typed, connection-preserving rejection. The client falls
+        // back to a fresh session and streams from record 0 —
+        // byte-identity holds either way.
+        bumpResume("rejected");
+        io.write(FrameType::Error,
+                 encodeError(ErrorKind::RetryExhausted,
+                             "no parked session for this token; "
+                             "open a fresh session and stream from "
+                             "record 0"));
+        return;
+    }
+    const core::PredictorInfo *info =
+        core::findPredictor(parked.cp.predictor);
+    lvp_assert(info != nullptr,
+               "parked session names unknown predictor '%s'",
+               parked.cp.predictor.c_str());
+    if (activeSessions_.load(std::memory_order_relaxed) >=
+        opts_.maxSessions) {
+        io.write(FrameType::Error,
+                 encodeError(ErrorKind::RetryExhausted,
+                             "session limit of " +
+                                 std::to_string(opts_.maxSessions) +
+                                 " reached"));
+        return;
+    }
 
-    io.write(FrameType::OpenOk, encodeOpenOk(sessionId, cached));
+    Session session(parked.sessionId, *info, opts_.queueChunks,
+                    &parked.cp);
+    activeSessions_.fetch_add(1, std::memory_order_relaxed);
+    bumpResume("resumed");
+    serveObs().sessionsActive.set(
+        static_cast<double>(activeSessions_.load()));
+    ActiveSessionGuard guard{&activeSessions_};
 
+    ResumeReply rep;
+    rep.sessionId = parked.sessionId;
+    rep.recordsProcessed = parked.cp.recordsProcessed;
+    rep.chunksProcessed = parked.cp.chunksProcessed;
+    io.write(FrameType::ResumeOk, encodeResumeOk(rep));
+
+    // A resumed session never seeds the LRU: its fingerprint
+    // accumulator would cover only the post-resume suffix.
+    OpenRequest openReq;
+    openReq.predictor = parked.cp.predictor;
+    streamSession(io, session, openReq, req.token, /*mayCache=*/false,
+                  guard);
+}
+
+void
+LvpServer::streamSession(FrameIo &io, Session &session,
+                         const OpenRequest &req, std::uint64_t token,
+                         bool mayCache, ActiveSessionGuard &guard)
+{
     // While streaming, rebuild the declared fingerprint and keep the
     // decoded records so a completed stream can seed the LRU. The
     // accumulator is bounded by the LRU budget: a stream that outgrows
     // it just stops being a caching candidate.
     std::vector<ServeRecord> streamed;
-    bool accumulate = req.fingerprint != 0 && !cached &&
+    bool accumulate = mayCache && req.fingerprint != 0 &&
                       lru_.maxBytes() > 0;
     std::uint64_t fp = FingerprintSeed;
 
-    for (;;) {
-        Frame f = io.read(); // EOF mid-session is an error, not Goodbye
-        switch (f.type) {
-          case FrameType::TraceChunk: {
-            fp = streamFingerprint(f.payload, fp);
-            auto blob = std::make_shared<std::vector<ServeRecord>>(
-                decodeRecords(f.payload));
-            serveObs().records.add(blob->size());
-            serveObs().chunks.add();
-            if (accumulate) {
-                if ((streamed.size() + blob->size()) *
-                        sizeof(ServeRecord) >
-                    lru_.maxBytes()) {
-                    streamed.clear();
-                    streamed.shrink_to_fit();
-                    accumulate = false;
-                } else {
-                    streamed.insert(streamed.end(), blob->begin(),
-                                    blob->end());
+    // Sessions carry the idle/progress deadline; a peer that cannot
+    // deliver one whole frame within it is evicted (and parked, so a
+    // merely-slow client can reconnect and resume).
+    io.setReadDeadline(opts_.idleMs);
+    DeadlineGuard deadlineGuard{io};
+
+    try {
+        for (;;) {
+            Frame f = io.read(); // EOF mid-session is an error
+            switch (f.type) {
+              case FrameType::Heartbeat:
+                // Keepalive: reading it reset the deadline clock.
+                bumpResume("heartbeats");
+                break;
+              case FrameType::TraceChunk: {
+                fp = streamFingerprint(f.payload, fp);
+                auto blob = std::make_shared<std::vector<ServeRecord>>(
+                    decodeRecords(f.payload));
+                serveObs().records.add(blob->size());
+                serveObs().chunks.add();
+                if (accumulate) {
+                    if ((streamed.size() + blob->size()) *
+                            sizeof(ServeRecord) >
+                        lru_.maxBytes()) {
+                        streamed.clear();
+                        streamed.shrink_to_fit();
+                        accumulate = false;
+                    } else {
+                        streamed.insert(streamed.end(), blob->begin(),
+                                        blob->end());
+                    }
                 }
+                session.push(std::move(blob));
+                serveObs().queueDepth.record(session.queueDepth());
+                break;
+              }
+              case FrameType::RunCached: {
+                TraceBlob blob = lru_.get(req.fingerprint);
+                if (!blob) {
+                    // Raced with eviction since OpenOk said cached. A
+                    // reply here would desync the request/reply flow,
+                    // so fail the session; the client reconnects and
+                    // streams.
+                    throw SimError(ErrorKind::RetryExhausted,
+                                   "serve: stream no longer cached; "
+                                   "reconnect and stream TRACE_CHUNK "
+                                   "frames");
+                }
+                serveObs().records.add(blob->size());
+                serveObs().chunks.add();
+                session.push(std::move(blob));
+                accumulate = false;
+                break;
+              }
+              case FrameType::Metrics: {
+                SessionMetrics m = session.snapshot();
+                m.final_ = false;
+                io.write(FrameType::MetricsReply, encodeMetrics(m));
+                break;
+              }
+              case FrameType::CloseSession: {
+                session.drain();
+                if (accumulate && !streamed.empty() &&
+                    fp == req.fingerprint) {
+                    lru_.insert(req.fingerprint,
+                                std::make_shared<
+                                    const std::vector<ServeRecord>>(
+                                    std::move(streamed)));
+                }
+                SessionMetrics m = session.snapshot();
+                m.final_ = true;
+                // Free the session slot before the reply goes out: by
+                // the time the client reads final_=1, the cap admits
+                // its next open.
+                guard.release();
+                io.write(FrameType::MetricsReply, encodeMetrics(m));
+                serveObs().sessionsClosed.add();
+                return;
+              }
+              default:
+                throw SimError(ErrorKind::TraceCorrupt,
+                               std::string("serve: unexpected ") +
+                                   frameTypeName(f.type) +
+                                   " inside a session");
             }
-            session.push(std::move(blob));
-            serveObs().queueDepth.record(session.queueDepth());
-            break;
-          }
-          case FrameType::RunCached: {
-            TraceBlob blob = lru_.get(req.fingerprint);
-            if (!blob) {
-                // Raced with eviction since OpenOk said cached. A
-                // reply here would desync the request/reply flow, so
-                // fail the session; the client reconnects and streams.
-                throw SimError(ErrorKind::RetryExhausted,
-                               "serve: stream no longer cached; "
-                               "reconnect and stream TRACE_CHUNK "
-                               "frames");
+        }
+    } catch (const SimError &e) {
+        // The connection is lost but the work is not: drain what was
+        // already received and park the checkpoint so the client can
+        // reconnect and ResumeSession. stop() clears the registry, so
+        // skip the bookkeeping when we are going down anyway.
+        if (!stopping_.load(std::memory_order_relaxed)) {
+            if (e.kind() == ErrorKind::Watchdog) {
+                bumpResume("heartbeat_timeouts");
+                bumpResume("evicted_slow_peers");
             }
-            serveObs().records.add(blob->size());
-            serveObs().chunks.add();
-            session.push(std::move(blob));
-            accumulate = false;
-            break;
-          }
-          case FrameType::Metrics: {
-            SessionMetrics m = session.snapshot();
-            m.final_ = false;
-            io.write(FrameType::MetricsReply, encodeMetrics(m));
-            break;
-          }
-          case FrameType::CloseSession: {
-            session.drain();
-            if (accumulate && !streamed.empty() &&
-                fp == req.fingerprint) {
-                lru_.insert(req.fingerprint,
-                            std::make_shared<
-                                const std::vector<ServeRecord>>(
-                                std::move(streamed)));
-            }
-            SessionMetrics m = session.snapshot();
-            m.final_ = true;
-            io.write(FrameType::MetricsReply, encodeMetrics(m));
-            serveObs().sessionsClosed.add();
-            return;
-          }
-          default:
-            throw SimError(ErrorKind::TraceCorrupt,
-                           std::string("serve: unexpected ") +
-                               frameTypeName(f.type) +
-                               " inside a session");
+            parkSession(session, token);
+        }
+        throw;
+    }
+}
+
+void
+LvpServer::parkSession(Session &session, std::uint64_t token)
+{
+    session.drain(); // apply everything already queued first
+    Parked parked;
+    parked.sessionId = session.id();
+    parked.cp = session.checkpoint();
+    parked.expiry = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(opts_.resumeTtlMs);
+    std::lock_guard<std::mutex> lock(parkMutex_);
+    auto now = std::chrono::steady_clock::now();
+    for (auto it = parked_.begin(); it != parked_.end();) {
+        if (it->second.expiry <= now) {
+            bumpResume("expired");
+            it = parked_.erase(it);
+        } else {
+            ++it;
         }
     }
+    if (parked_.size() >= opts_.maxParked) {
+        // Full: evict the entry closest to expiry (oldest park).
+        auto oldest = parked_.begin();
+        for (auto it = parked_.begin(); it != parked_.end(); ++it)
+            if (it->second.expiry < oldest->second.expiry)
+                oldest = it;
+        bumpResume("expired");
+        parked_.erase(oldest);
+    }
+    parked_.emplace(token, std::move(parked));
+    bumpResume("parked");
+}
+
+std::uint64_t
+LvpServer::parkedSessions() const
+{
+    std::lock_guard<std::mutex> lock(parkMutex_);
+    return parked_.size();
 }
 
 void
@@ -442,7 +707,13 @@ LvpServer::stop()
     for (std::thread &t : done)
         if (t.joinable())
             t.join();
-    if (!opts_.socketPath.empty())
+    {
+        // Parked checkpoints hold no threads or fds, just predictor
+        // state; the process is going down, so let them go.
+        std::lock_guard<std::mutex> lock(parkMutex_);
+        parked_.clear();
+    }
+    if (!opts_.socketPath.empty() && ownListener_)
         ::unlink(opts_.socketPath.c_str());
     started_ = false;
 }

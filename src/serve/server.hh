@@ -16,6 +16,18 @@
  * serve.frame_errors, and keeps serving everyone else; the chaos soak
  * test asserts surviving sessions' statistics stay exact.
  *
+ * Fault tolerance: a session that dies with its connection is not
+ * discarded — it is *parked*: the handler drains the chunks already
+ * received, checkpoints the predictor (snapshotState + stats + record
+ * offset), and keys the checkpoint by the resume token issued in
+ * OpenOk. A client that reconnects and sends ResumeSession gets the
+ * session back, is told the record offset to continue from
+ * (ResumeOk), and finishes with stats byte-identical to an
+ * uninterrupted run. Parked sessions are bounded (count and TTL).
+ * Sessions also carry a per-frame read deadline: a peer that stalls
+ * past --idle-ms is evicted (typed Watchdog error) — and parked, so
+ * a merely-slow client can still come back.
+ *
  * stop() is the graceful drain: stop accepting, give in-flight
  * connections a drain window to finish naturally, then shut their
  * sockets down and join every thread. The lvpserve tool wires SIGTERM
@@ -24,13 +36,18 @@
  * Telemetry (all volatile serve.* entries in the PR 3 registry):
  * connections accepted, sessions opened/closed, active-session gauge,
  * records and chunks processed, frame errors, per-chunk queue-depth
- * distribution, plus the serve.lru.* family from TraceLru.
+ * distribution, plus the serve.lru.* family from TraceLru. The
+ * serve.resume.* family (parked/resumed/rejected/expired sessions,
+ * heartbeats, heartbeat timeouts, evicted slow peers) registers
+ * lazily on first event so a fault-free run's metrics JSON is
+ * byte-identical to one built before this feature existed.
  */
 
 #ifndef LVPLIB_SERVE_SERVER_HH
 #define LVPLIB_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -40,10 +57,14 @@
 #include <vector>
 
 #include "serve/framing.hh"
+#include "serve/session.hh"
 #include "serve/trace_lru.hh"
 
 namespace lvplib::serve
 {
+
+/** Active-session slot ownership (defined in server.cc). */
+struct ActiveSessionGuard;
 
 /** Everything the daemon needs to know, CLI- and env-configurable. */
 struct ServeOptions
@@ -55,17 +76,48 @@ struct ServeOptions
     std::uint64_t queueChunks = 8;   ///< per-session bounded queue
     std::uint64_t maxFrameBytes = 16ull << 20; ///< payload size cap
     std::uint64_t drainMs = 2000;    ///< stop(): natural-finish window
+    std::uint64_t idleMs = 30000; ///< per-frame read deadline inside a
+                                  ///< session (0 = never evict)
+    std::uint64_t resumeTtlMs = 30000; ///< parked-session lifetime
+    std::uint64_t maxParked = 64;      ///< parked-session cap
+    /**
+     * Adopt this already-bound, already-listening socket instead of
+     * creating one (-1 = create our own). How supervised workers
+     * share one endpoint: the supervisor binds before forking and
+     * every worker accepts on the inherited fd. The adopter closes
+     * its copy of the fd on stop() but never unlinks a unix socket
+     * path it did not create.
+     */
+    int listenFd = -1;
+    /**
+     * Index of this worker under a supervisor (-1 = standalone).
+     * Gates the Point::ServeWorkerKill chaos site: killing the only
+     * process would be an outage, killing a supervised worker is a
+     * recoverable fault the supervisor must absorb.
+     */
+    int workerIndex = -1;
 
     /**
      * Overlay the strict LVPLIB_SERVE_* environment knobs onto @p
      * base: LVPLIB_SERVE_SOCKET, LVPLIB_SERVE_PORT,
      * LVPLIB_SERVE_MAX_SESSIONS, LVPLIB_SERVE_LRU_BYTES,
-     * LVPLIB_SERVE_QUEUE_CHUNKS. Numeric values parse via
-     * util/env.hh (garbage warns and is ignored, never coerced).
+     * LVPLIB_SERVE_QUEUE_CHUNKS, LVPLIB_SERVE_IDLE_MS,
+     * LVPLIB_SERVE_RESUME_TTL_MS, LVPLIB_SERVE_MAX_PARKED. Numeric
+     * values parse via util/env.hh (garbage warns and is ignored,
+     * never coerced).
      */
     static ServeOptions fromEnv(ServeOptions base);
     static ServeOptions fromEnv();
 };
+
+/**
+ * Bind and listen on the endpoint @p opts names (unix socket wins
+ * over TCP), resolving an ephemeral TCP port into @p boundPort.
+ * @return the listening fd. @throws SimError(TraceIo) on failure.
+ * Factored out of LvpServer::start() so the lvpserve supervisor can
+ * create the shared socket before forking workers.
+ */
+int openListenSocket(const ServeOptions &opts, std::uint16_t &boundPort);
 
 /** The serving daemon; see file comment. */
 class LvpServer
@@ -110,6 +162,9 @@ class LvpServer
         return connections_.load(std::memory_order_relaxed);
     }
 
+    /** Sessions currently parked awaiting a ResumeSession. */
+    std::uint64_t parkedSessions() const;
+
   private:
     struct Conn
     {
@@ -117,16 +172,35 @@ class LvpServer
         std::thread thread;
     };
 
+    /** A checkpointed session awaiting its client's return. */
+    struct Parked
+    {
+        std::uint64_t sessionId = 0;
+        SessionCheckpoint cp;
+        std::chrono::steady_clock::time_point expiry;
+    };
+
     void acceptLoop();
     void handleConnection(std::uint64_t connId);
     /** One session from OpenSession to CloseSession on @p io. */
     void runSession(FrameIo &io, const Frame &openFrame);
+    /** Revive a parked session from a ResumeSession frame. */
+    void runResumedSession(FrameIo &io, const Frame &resumeFrame);
+    /** The shared per-session frame loop (stream/metrics/close).
+     *  @p guard owns the active-session slot; a clean close releases
+     *  it before the final reply is written. */
+    void streamSession(FrameIo &io, Session &session,
+                       const OpenRequest &req, std::uint64_t token,
+                       bool mayCache, ActiveSessionGuard &guard);
+    /** Drain @p session and park its checkpoint under @p token. */
+    void parkSession(Session &session, std::uint64_t token);
     void unregisterThread(std::uint64_t connId);
 
     ServeOptions opts_;
     TraceLru lru_;
 
     int listenFd_ = -1;
+    bool ownListener_ = true; ///< false when opts_.listenFd adopted
     std::uint16_t boundPort_ = 0;
     std::atomic<bool> stopping_{false};
     bool started_ = false;
@@ -138,7 +212,11 @@ class LvpServer
     std::vector<std::thread> finished_; ///< joined in stop()
     std::uint64_t nextConnId_ = 1;
 
+    mutable std::mutex parkMutex_;
+    std::map<std::uint64_t, Parked> parked_; ///< keyed by resume token
+
     std::atomic<std::uint64_t> nextSessionId_{1};
+    std::atomic<std::uint64_t> nextToken_{1};
     std::atomic<std::uint64_t> activeSessions_{0};
     std::atomic<std::uint64_t> connections_{0};
 };

@@ -9,12 +9,24 @@ namespace lvplib::serve
 {
 
 Session::Session(std::uint64_t id, const core::PredictorInfo &info,
-                 std::size_t maxQueuedChunks)
+                 std::size_t maxQueuedChunks,
+                 const SessionCheckpoint *resume)
     : id_(id), predictorName_(info.name), unit_(info.make()),
       maxQueuedChunks_(maxQueuedChunks == 0 ? 1 : maxQueuedChunks)
 {
     lvp_assert(unit_ != nullptr,
                "predictor registry factory returned null");
+    if (resume) {
+        lvp_assert(resume->predictor == info.name,
+                   "resume checkpoint is for predictor '%s', not '%s'",
+                   resume->predictor.c_str(), info.name.c_str());
+        // Table state restores in place; stats restore as a base the
+        // snapshot adds back on (restoreState leaves stats untouched).
+        unit_->restoreState(resume->state);
+        baseStats_ = resume->stats;
+        recordsProcessed_ = resume->recordsProcessed;
+        chunksProcessed_ = resume->chunksProcessed;
+    }
     worker_ = std::thread([this] { workerLoop(); });
 }
 
@@ -70,8 +82,27 @@ Session::snapshot() const
     m.sessionId = id_;
     m.recordsProcessed = recordsProcessed_;
     m.chunksProcessed = chunksProcessed_;
-    m.stats = unit_->stats();
+    // Segment stitching: base (pre-resume) + this incarnation's run.
+    // operator+= is the additive identity sharded replay proves sums
+    // to exactly one serial pass; for a fresh session the base is
+    // zero and this is a plain copy.
+    m.stats = baseStats_;
+    m.stats += unit_->stats();
     return m;
+}
+
+SessionCheckpoint
+Session::checkpoint() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    SessionCheckpoint cp;
+    cp.predictor = predictorName_;
+    cp.state = unit_->snapshotState();
+    cp.stats = baseStats_;
+    cp.stats += unit_->stats();
+    cp.recordsProcessed = recordsProcessed_;
+    cp.chunksProcessed = chunksProcessed_;
+    return cp;
 }
 
 std::size_t

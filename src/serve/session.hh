@@ -22,6 +22,7 @@
 #ifndef LVPLIB_SERVE_SESSION_HH
 #define LVPLIB_SERVE_SESSION_HH
 
+#include <any>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -36,6 +37,24 @@
 namespace lvplib::serve
 {
 
+/**
+ * Everything needed to revive a session on a new connection: the
+ * predictor's type-erased table state (ValuePredictor::snapshotState,
+ * the same checkpoint contract sharded replay stitches segments
+ * with), the statistics accumulated so far, and the record/chunk
+ * offsets the client must continue streaming from. Stats restore as
+ * a base added via LvpStats::operator+= — the additivity sharded
+ * replay proves byte-identical to one serial pass.
+ */
+struct SessionCheckpoint
+{
+    std::string predictor;
+    std::any state; ///< ValuePredictor::snapshotState()
+    core::LvpStats stats;
+    std::uint64_t recordsProcessed = 0;
+    std::uint64_t chunksProcessed = 0;
+};
+
 /** A per-client predictor run; see file comment. */
 class Session
 {
@@ -45,9 +64,12 @@ class Session
      * @param info Registry entry to instantiate the predictor from.
      * @param maxQueuedChunks Bounded-queue depth; push() blocks when
      * this many chunks are waiting.
+     * @param resume Revive from this checkpoint (restoreState before
+     * the worker starts); nullptr opens a fresh session.
      */
     Session(std::uint64_t id, const core::PredictorInfo &info,
-            std::size_t maxQueuedChunks);
+            std::size_t maxQueuedChunks,
+            const SessionCheckpoint *resume = nullptr);
 
     /** Aborts any queued work and joins the worker. */
     ~Session();
@@ -83,6 +105,14 @@ class Session
      */
     SessionMetrics snapshot() const;
 
+    /**
+     * Extract a resume checkpoint. Call after drain() so everything
+     * already pushed is applied: the checkpoint then covers exactly
+     * records [0, recordsProcessed) and a session revived from it is
+     * byte-identical to one that never disconnected.
+     */
+    SessionCheckpoint checkpoint() const;
+
     std::uint64_t id() const { return id_; }
     const std::string &predictor() const { return predictorName_; }
 
@@ -97,6 +127,7 @@ class Session
 
     mutable std::mutex statsMutex_; ///< guards unit_ and the counters
     std::unique_ptr<core::ValuePredictor> unit_;
+    core::LvpStats baseStats_; ///< pre-resume stats (zero when fresh)
     std::uint64_t recordsProcessed_ = 0;
     std::uint64_t chunksProcessed_ = 0;
 

@@ -1,0 +1,249 @@
+#include "serve/supervisor.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "obs/metrics.hh"
+#include "util/logging.hh"
+
+namespace lvplib::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Lazy serve.supervisor.* counters: first event registers, so a run
+ *  with no worker deaths leaves the metrics JSON untouched. */
+void
+bumpSupervisor(const char *what)
+{
+    obs::metrics()
+        .counter(std::string("serve.supervisor.") + what)
+        .add();
+}
+
+} // namespace
+
+Supervisor::Supervisor(SupervisorOptions opts, WorkerMain workerMain)
+    : opts_(std::move(opts)), workerMain_(std::move(workerMain))
+{
+    lvp_assert(opts_.workers >= 1, "supervisor needs >= 1 worker");
+    if (opts_.backoffInitialMs == 0)
+        opts_.backoffInitialMs = 1;
+    if (opts_.backoffMaxMs < opts_.backoffInitialMs)
+        opts_.backoffMaxMs = opts_.backoffInitialMs;
+    slots_.resize(opts_.workers);
+}
+
+void
+Supervisor::spawn(unsigned idx)
+{
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        // Treat a failed fork like an instant worker death: the slot
+        // retries on the backoff schedule instead of being lost.
+        std::fprintf(stderr, "%s: fork failed for worker %u: %s\n",
+                     opts_.tag.c_str(), idx, std::strerror(errno));
+        std::lock_guard<std::mutex> lock(m_);
+        Slot &s = slots_[idx];
+        s.pid = -1;
+        s.consecutiveFailures++;
+        auto delay = std::min<std::uint64_t>(
+            opts_.backoffMaxMs,
+            opts_.backoffInitialMs
+                << std::min(s.consecutiveFailures - 1, 20u));
+        s.restartAt = Clock::now() + std::chrono::milliseconds(delay);
+        return;
+    }
+    if (pid == 0) {
+        // Child: run the worker body and leave without touching the
+        // parent's stack, atexit handlers, or static destructors.
+        int rc = 1;
+        try {
+            rc = workerMain_(idx);
+        } catch (...) {
+            rc = 1;
+        }
+        std::_Exit(rc);
+    }
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        Slot &s = slots_[idx];
+        s.pid = pid;
+        s.startedAt = Clock::now();
+    }
+    // Scripts (the CI crash-smoke) parse these lines to find a victim
+    // pid, so keep the format stable.
+    std::printf("%s: worker %u pid %d started\n", opts_.tag.c_str(),
+                idx, static_cast<int>(pid));
+    std::fflush(stdout);
+}
+
+bool
+Supervisor::reap(bool stopping)
+{
+    bool any = false;
+    for (;;) {
+        int status = 0;
+        pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0)
+            break;
+        any = true;
+        std::lock_guard<std::mutex> lock(m_);
+        for (unsigned idx = 0; idx < slots_.size(); ++idx) {
+            Slot &s = slots_[idx];
+            if (s.pid != pid)
+                continue;
+            s.pid = -1;
+            deaths_.fetch_add(1, std::memory_order_relaxed);
+            bumpSupervisor("worker_deaths");
+            if (stopping)
+                break; // drainTree() owns the rest
+            // A worker that served for a while earned a fresh backoff;
+            // a crash loop doubles its delay up to the ceiling.
+            auto uptime =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Clock::now() - s.startedAt)
+                    .count();
+            if (uptime >= 1000)
+                s.consecutiveFailures = 0;
+            s.consecutiveFailures++;
+            auto delay = std::min<std::uint64_t>(
+                opts_.backoffMaxMs,
+                opts_.backoffInitialMs
+                    << std::min(s.consecutiveFailures - 1, 20u));
+            s.restartAt =
+                Clock::now() + std::chrono::milliseconds(delay);
+            if (WIFSIGNALED(status))
+                std::printf("%s: worker %u pid %d killed by signal %d, "
+                            "restarting in %llu ms\n",
+                            opts_.tag.c_str(), idx,
+                            static_cast<int>(pid), WTERMSIG(status),
+                            static_cast<unsigned long long>(delay));
+            else
+                std::printf("%s: worker %u pid %d exited with status "
+                            "%d, restarting in %llu ms\n",
+                            opts_.tag.c_str(), idx,
+                            static_cast<int>(pid), WEXITSTATUS(status),
+                            static_cast<unsigned long long>(delay));
+            std::fflush(stdout);
+            break;
+        }
+    }
+    return any;
+}
+
+int
+Supervisor::run(int wakeFd)
+{
+    for (unsigned idx = 0; idx < opts_.workers; ++idx)
+        spawn(idx);
+
+    for (;;) {
+        pollfd pfd{wakeFd, POLLIN, 0};
+        int r = ::poll(&pfd, 1, /*timeout-ms=*/50);
+        if (r < 0 && errno != EINTR)
+            break; // wake pipe gone; treat as shutdown
+        if (r > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)))
+            break; // shutdown requested
+        reap(/*stopping=*/false);
+        // Restart every slot whose backoff has elapsed.
+        std::vector<unsigned> due;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            auto now = Clock::now();
+            for (unsigned idx = 0; idx < slots_.size(); ++idx)
+                if (slots_[idx].pid < 0 && slots_[idx].restartAt <= now)
+                    due.push_back(idx);
+        }
+        for (unsigned idx : due) {
+            restarts_.fetch_add(1, std::memory_order_relaxed);
+            bumpSupervisor("restarts");
+            spawn(idx);
+        }
+    }
+
+    drainTree();
+    return 0;
+}
+
+void
+Supervisor::drainTree()
+{
+    // Forward SIGTERM: each worker runs its own graceful drain.
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        for (Slot &s : slots_)
+            if (s.pid > 0)
+                ::kill(s.pid, SIGTERM);
+    }
+    auto deadline =
+        Clock::now() + std::chrono::milliseconds(opts_.drainMs);
+    for (;;) {
+        reap(/*stopping=*/true);
+        bool anyLive = false;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            for (const Slot &s : slots_)
+                if (s.pid > 0)
+                    anyLive = true;
+        }
+        if (!anyLive)
+            break;
+        if (Clock::now() >= deadline) {
+            std::lock_guard<std::mutex> lock(m_);
+            for (Slot &s : slots_)
+                if (s.pid > 0) {
+                    std::fprintf(stderr,
+                                 "%s: worker pid %d ignored SIGTERM "
+                                 "for %llu ms, killing\n",
+                                 opts_.tag.c_str(),
+                                 static_cast<int>(s.pid),
+                                 static_cast<unsigned long long>(
+                                     opts_.drainMs));
+                    ::kill(s.pid, SIGKILL);
+                }
+            break;
+        }
+        ::usleep(10 * 1000);
+    }
+    // Final blocking reap: every child accounted for, zero zombies
+    // left behind (waitpid returns ECHILD when the set is empty).
+    for (;;) {
+        int status = 0;
+        pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // ECHILD: nothing left
+        }
+        std::lock_guard<std::mutex> lock(m_);
+        for (Slot &s : slots_)
+            if (s.pid == pid)
+                s.pid = -1;
+    }
+}
+
+std::vector<pid_t>
+Supervisor::livePids() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::vector<pid_t> pids;
+    for (const Slot &s : slots_)
+        if (s.pid > 0)
+            pids.push_back(s.pid);
+    return pids;
+}
+
+} // namespace lvplib::serve

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Supervisor: multi-process scale-out for lvp-serve (ROADMAP item 3's
+ * "multi-process scale-out behind one endpoint").
+ *
+ * The parent binds the listening socket *before* forking (no threads
+ * exist yet, so the fork is safe), then forks N workers that each run
+ * workerMain with their inherited copy of the fd — the kernel load-
+ * balances accept() across them, so every worker serves the same
+ * endpoint with zero handoff machinery. The parent never serves; it
+ * supervises:
+ *
+ *  - waitpid(WNOHANG) reaping: no worker ever lingers as a zombie,
+ *    whether it exited, crashed, or was killed;
+ *  - restart with exponential backoff: a dying worker slot restarts
+ *    at backoffInitialMs, doubling per consecutive death up to
+ *    backoffMaxMs (the engine.retry.* discipline applied to
+ *    processes); a worker that survived a while resets its slot's
+ *    backoff. Restarted workers re-inherit the still-open listen fd,
+ *    so the endpoint never blips;
+ *  - whole-tree drain: on shutdown the supervisor forwards SIGTERM
+ *    to every live worker (each drains its own sessions), waits
+ *    drainMs, SIGKILLs stragglers, and reaps everything before
+ *    returning — after run() returns there are no children left.
+ *
+ * Telemetry: serve.supervisor.* counters (worker deaths, restarts)
+ * register lazily on the first event, so a run whose workers never
+ * die produces a metrics JSON byte-identical to a single-process run.
+ *
+ * Worker processes must establish their own signal handling inside
+ * workerMain — dispositions and any self-pipe fds inherited from the
+ * parent belong to the parent's shutdown path, not the worker's.
+ */
+
+#ifndef LVPLIB_SERVE_SUPERVISOR_HH
+#define LVPLIB_SERVE_SUPERVISOR_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace lvplib::serve
+{
+
+/** Supervision policy. */
+struct SupervisorOptions
+{
+    unsigned workers = 2;              ///< worker process count
+    std::uint64_t backoffInitialMs = 25; ///< first restart delay
+    std::uint64_t backoffMaxMs = 2000;   ///< restart delay ceiling
+    std::uint64_t drainMs = 2000; ///< SIGTERM->SIGKILL escalation window
+    std::string tag = "lvpserve"; ///< log-line prefix
+};
+
+/** Forks, restarts, reaps, and drains worker processes; see file
+ *  comment. */
+class Supervisor
+{
+  public:
+    /**
+     * @param workerMain Runs in each forked child; its return value
+     * becomes the child's exit status (the child _Exit()s, it never
+     * returns through the caller's stack).
+     */
+    using WorkerMain = std::function<int(unsigned workerIndex)>;
+
+    Supervisor(SupervisorOptions opts, WorkerMain workerMain);
+
+    /**
+     * Spawn the workers and supervise until a byte arrives on
+     * @p wakeFd (the tool's self-pipe signal path), then drain the
+     * whole tree. @return 0 after a clean drain.
+     */
+    int run(int wakeFd);
+
+    /** Worker restarts performed so far (for tests and logs). */
+    std::uint64_t restarts() const
+    {
+        return restarts_.load(std::memory_order_relaxed);
+    }
+
+    /** Worker deaths observed so far. */
+    std::uint64_t deaths() const
+    {
+        return deaths_.load(std::memory_order_relaxed);
+    }
+
+    /** Pids of currently-live workers (snapshot). */
+    std::vector<pid_t> livePids() const;
+
+  private:
+    struct Slot
+    {
+        pid_t pid = -1; ///< -1 while waiting for a backoff restart
+        unsigned consecutiveFailures = 0;
+        std::chrono::steady_clock::time_point startedAt;
+        std::chrono::steady_clock::time_point restartAt;
+    };
+
+    void spawn(unsigned idx);
+    /** Reap dead children; schedule their slots for restart.
+     *  @return true when any child was reaped. */
+    bool reap(bool stopping);
+    void drainTree();
+
+    SupervisorOptions opts_;
+    WorkerMain workerMain_;
+    mutable std::mutex m_; ///< guards slots_ (livePids from any thread)
+    std::vector<Slot> slots_;
+    std::atomic<std::uint64_t> restarts_{0};
+    std::atomic<std::uint64_t> deaths_{0};
+};
+
+} // namespace lvplib::serve
+
+#endif // LVPLIB_SERVE_SUPERVISOR_HH

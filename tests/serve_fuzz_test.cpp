@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Deterministic fuzz over the lvp-serve frame decoders: random bytes,
+ * truncations, extensions, and single-byte mutations of valid
+ * encodings. The contract under test — a malformed payload produces a
+ * typed SimError(TraceCorrupt) naming the frame, never a crash, an
+ * out-of-bounds read, or an allocation sized from attacker bytes —
+ * holds for EVERY input. CI runs this binary under ASan/UBSan, which
+ * turns "no crash" into "no undefined behavior".
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace lvplib;
+using namespace lvplib::serve;
+
+/** Feed @p payload to every decoder; each either succeeds or throws a
+ *  typed SimError. Anything else (std::bad_alloc from an absurd size,
+ *  a sanitizer abort) fails the run. */
+void
+decodeAll(std::span<const std::uint8_t> payload)
+{
+    auto typedOnly = [&](auto &&fn) {
+        try {
+            fn();
+        } catch (const SimError &e) {
+            // Malformed payloads must be named rejections.
+            EXPECT_EQ(e.kind(), ErrorKind::TraceCorrupt) << e.what();
+            EXPECT_FALSE(std::string(e.what()).empty());
+        }
+    };
+    typedOnly([&] { decodeHello(payload, "fuzz"); });
+    typedOnly([&] { decodeOpen(payload); });
+    typedOnly([&] {
+        std::uint64_t sid = 0, token = 0;
+        bool cached = false;
+        decodeOpenOk(payload, sid, cached, token);
+    });
+    typedOnly([&] { decodeResume(payload); });
+    typedOnly([&] { decodeResumeOk(payload); });
+    typedOnly([&] { decodeMetrics(payload); });
+    typedOnly([&] { decodeRecords(payload); });
+    typedOnly([&] {
+        std::string msg;
+        decodeError(payload, msg);
+    });
+}
+
+TEST(ServeFuzz, RandomPayloadsNeverCrashAnyDecoder)
+{
+    Rng rng(0xfeedbeef);
+    for (int iter = 0; iter < 4000; ++iter) {
+        // Mostly short payloads (where the strict-size checks live),
+        // occasionally a large one (bulk-decode paths).
+        std::size_t n = rng.chance(1, 16)
+                            ? static_cast<std::size_t>(rng.below(65536))
+                            : static_cast<std::size_t>(rng.below(64));
+        std::vector<std::uint8_t> payload(n);
+        for (auto &b : payload)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        decodeAll(payload);
+    }
+}
+
+TEST(ServeFuzz, MutatedValidEncodingsNeverCrash)
+{
+    // Start from well-formed frames and corrupt them the way a torn
+    // write or a flipped bit would: truncate, extend, or mutate bytes.
+    Rng rng(0x5eedba11);
+
+    std::vector<std::vector<std::uint8_t>> corpus;
+    corpus.push_back(encodeHello(ProtocolVersion));
+    {
+        OpenRequest req;
+        req.predictor = "lvp";
+        req.fingerprint = 0x1234567890abcdefull;
+        req.records = 1 << 20;
+        corpus.push_back(encodeOpen(req));
+    }
+    corpus.push_back(encodeOpenOk(77, true, 0xfeedfacecafebeefull));
+    {
+        ResumeRequest rr;
+        rr.sessionId = 42;
+        rr.token = 0x8899aabbccddeeffull;
+        corpus.push_back(encodeResume(rr));
+    }
+    {
+        ResumeReply rep;
+        rep.sessionId = 42;
+        rep.recordsProcessed = 1 << 19;
+        rep.chunksProcessed = 512;
+        corpus.push_back(encodeResumeOk(rep));
+    }
+    {
+        SessionMetrics m;
+        m.sessionId = 9;
+        m.recordsProcessed = 12345;
+        m.chunksProcessed = 13;
+        m.final_ = true;
+        corpus.push_back(encodeMetrics(m));
+    }
+    corpus.push_back(
+        encodeError(ErrorKind::Watchdog, "fuzz seed message"));
+    {
+        std::vector<std::uint8_t> chunk;
+        ServeRecord rec;
+        rec.kind = 1;
+        rec.size = 8;
+        rec.pc = 0x1000;
+        rec.addr = 0x2000;
+        rec.value = 0xdead;
+        for (int i = 0; i < 32; ++i)
+            encodeRecord(rec, chunk);
+        corpus.push_back(chunk);
+    }
+
+    for (int iter = 0; iter < 4000; ++iter) {
+        std::vector<std::uint8_t> p =
+            corpus[rng.below(corpus.size())];
+        switch (rng.below(3)) {
+        case 0: // truncate
+            if (!p.empty())
+                p.resize(rng.below(p.size()));
+            break;
+        case 1: // extend with garbage
+            for (std::uint64_t i = 0, n = 1 + rng.below(16); i < n; ++i)
+                p.push_back(static_cast<std::uint8_t>(rng.below(256)));
+            break;
+        default: // mutate 1..4 bytes in place
+            for (std::uint64_t i = 0, n = 1 + rng.below(4);
+                 i < n && !p.empty(); ++i)
+                p[rng.below(p.size())] =
+                    static_cast<std::uint8_t>(rng.below(256));
+            break;
+        }
+        decodeAll(p);
+    }
+}
+
+TEST(ServeFuzz, DecodersNeverSizeAllocationsFromClaimedLengths)
+{
+    // decodeOpen carries a length-prefixed predictor name; a claimed
+    // length larger than the remaining payload must be a typed
+    // rejection, not a read past the buffer or a giant allocation.
+    std::vector<std::uint8_t> p(8 + 8 + 1 + 3, 0);
+    p[16] = 0xff; // claims a 255-byte name; only 3 bytes follow
+    try {
+        decodeOpen(p);
+        FAIL() << "over-long name length was accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::TraceCorrupt) << e.what();
+    }
+}
+
+} // namespace

@@ -186,14 +186,20 @@ TEST(ServeCodec, OpenRoundTripAndRejection)
 
 TEST(ServeCodec, OpenOkAndErrorRoundTrip)
 {
-    auto p = encodeOpenOk(77, true);
-    std::uint64_t id = 0;
+    auto p = encodeOpenOk(77, true, 0xfeedfacecafebeefull);
+    ASSERT_EQ(p.size(), 17u); // u64 id + u8 cached + u64 resume token
+    std::uint64_t id = 0, token = 0;
     bool cached = false;
-    decodeOpenOk(p, id, cached);
+    decodeOpenOk(p, id, cached, token);
     EXPECT_EQ(id, 77u);
     EXPECT_TRUE(cached);
+    EXPECT_EQ(token, 0xfeedfacecafebeefull);
+    auto truncated = p;
+    truncated.pop_back(); // the pre-resume 16-byte shape is rejected
+    expectSimError([&] { decodeOpenOk(truncated, id, cached, token); },
+                   ErrorKind::TraceCorrupt, "OpenOk");
     p[8] = 3;
-    expectSimError([&] { decodeOpenOk(p, id, cached); },
+    expectSimError([&] { decodeOpenOk(p, id, cached, token); },
                    ErrorKind::TraceCorrupt, "cached byte");
 
     auto err = encodeError(ErrorKind::RetryExhausted, "nope");
@@ -205,6 +211,35 @@ TEST(ServeCodec, OpenOkAndErrorRoundTrip)
     err[0] = 250;
     expectSimError([&] { decodeError(err, msg); }, ErrorKind::TraceCorrupt,
                    "unknown error kind");
+}
+
+TEST(ServeCodec, ResumeRoundTripAndRejection)
+{
+    ResumeRequest req;
+    req.sessionId = 42;
+    req.token = 0x0123456789abcdefull;
+    auto p = encodeResume(req);
+    ASSERT_EQ(p.size(), 16u);
+    auto back = decodeResume(p);
+    EXPECT_EQ(back.sessionId, req.sessionId);
+    EXPECT_EQ(back.token, req.token);
+    p.push_back(0);
+    expectSimError([&] { decodeResume(p); }, ErrorKind::TraceCorrupt,
+                   "ResumeSession");
+
+    ResumeReply rep;
+    rep.sessionId = 42;
+    rep.recordsProcessed = 100000;
+    rep.chunksProcessed = 25;
+    auto rp = encodeResumeOk(rep);
+    ASSERT_EQ(rp.size(), 24u);
+    auto rback = decodeResumeOk(rp);
+    EXPECT_EQ(rback.sessionId, rep.sessionId);
+    EXPECT_EQ(rback.recordsProcessed, rep.recordsProcessed);
+    EXPECT_EQ(rback.chunksProcessed, rep.chunksProcessed);
+    rp.pop_back();
+    expectSimError([&] { decodeResumeOk(rp); }, ErrorKind::TraceCorrupt,
+                   "ResumeOk");
 }
 
 TEST(ServeCodec, MetricsRoundTripCarriesEveryStatsField)
@@ -422,6 +457,45 @@ TEST(ServeCli, ServeFlagsParseAndOverrideDefaults)
     EXPECT_TRUE(parseServe({"--help"})->help);
 }
 
+TEST(ServeCli, ResilienceFlagsParse)
+{
+    auto o = parseServe({"--socket", "/tmp/x.sock", "--idle-ms", "250",
+                         "--resume-ttl-ms", "750", "--max-parked", "9",
+                         "--workers", "4", "--chaos", "7,32"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->server.idleMs, 250u);
+    EXPECT_EQ(o->server.resumeTtlMs, 750u);
+    EXPECT_EQ(o->server.maxParked, 9u);
+    EXPECT_EQ(o->workers, 4u);
+    EXPECT_EQ(o->chaosSeed, 7u);
+    EXPECT_EQ(o->chaosPeriod, 32u);
+
+    // Defaults: single process, chaos off, period 64 when only the
+    // seed is given.
+    auto d = parseServe({"--socket", "/tmp/x.sock"});
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->workers, 1u);
+    EXPECT_EQ(d->chaosSeed, 0u);
+    auto seedOnly = parseServe({"--socket", "/s", "--chaos", "3"});
+    ASSERT_TRUE(seedOnly);
+    EXPECT_EQ(seedOnly->chaosSeed, 3u);
+    EXPECT_EQ(seedOnly->chaosPeriod, 64u);
+
+    std::string err;
+    EXPECT_FALSE(parseServe({"--workers", "0"}, &err));
+    EXPECT_NE(err.find("'0'"), std::string::npos) << err;
+    EXPECT_FALSE(parseServe({"--chaos", "0"}, &err));
+    EXPECT_NE(err.find("--chaos"), std::string::npos) << err;
+    EXPECT_FALSE(parseServe({"--chaos", "5,nope"}, &err));
+    EXPECT_NE(err.find("'5,nope'"), std::string::npos) << err;
+
+    auto load = parseLoad({"--socket", "/s", "--chaos", "11"});
+    ASSERT_TRUE(load);
+    EXPECT_EQ(load->chaosSeed, 11u);
+    EXPECT_FALSE(parseLoad({"--socket", "/s", "--chaos", "bad"}, &err));
+    EXPECT_NE(err.find("'bad'"), std::string::npos) << err;
+}
+
 TEST(ServeCli, ServeErrorsNameTheOffendingToken)
 {
     std::string err;
@@ -511,6 +585,24 @@ TEST(ServeCli, FromEnvOverlaysStrictKnobs)
     auto parsed = parseServe({"--socket", "/tmp/flag.sock"});
     ASSERT_TRUE(parsed);
     EXPECT_EQ(parsed->server.socketPath, "/tmp/flag.sock");
+}
+
+TEST(ServeCli, WorkersEnvKnobParsesStrictly)
+{
+    EnvGuard guard({"LVPLIB_SERVE_WORKERS"});
+    ::setenv("LVPLIB_SERVE_WORKERS", "3", 1);
+    auto o = parseServe({"--socket", "/s"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->workers, 3u);
+    // Flags win over the environment.
+    auto f = parseServe({"--socket", "/s", "--workers", "2"});
+    ASSERT_TRUE(f);
+    EXPECT_EQ(f->workers, 2u);
+    // Garbage warns and is ignored.
+    ::setenv("LVPLIB_SERVE_WORKERS", "many", 1);
+    auto g = parseServe({"--socket", "/s"});
+    ASSERT_TRUE(g);
+    EXPECT_EQ(g->workers, 1u);
 }
 
 } // namespace

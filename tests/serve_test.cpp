@@ -369,6 +369,274 @@ TEST(Serve, StopDrainsIdleConnectionsAndRestartsCleanly)
     server.stop();
 }
 
+/** Poll until @p server parks @p want sessions (bounded wait: parking
+ *  happens on the handler thread after it notices the drop). */
+void
+awaitParked(LvpServer &server, std::uint64_t want)
+{
+    for (int i = 0; i < 400 && server.parkedSessions() < want; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_GE(server.parkedSessions(), want);
+}
+
+TEST(Serve, ResumeAfterClientCrashIsByteIdentical)
+{
+    // The tentpole claim: a client that vanishes mid-stream and comes
+    // back finishes with statistics byte-identical to an uninterrupted
+    // run — the parked checkpoint (snapshotState + stats + offset) and
+    // LvpStats::operator+= stitching carry the whole burden.
+    LvpServer server(unixOptions("resume"));
+    server.start();
+    auto s = stream("quick");
+    const auto &info = *core::findPredictor("lvp");
+
+    constexpr std::size_t kChunk = 512;
+    const std::size_t chunkBytes = kChunk * ServeRecordBytes;
+    std::uint64_t sessionId = 0, token = 0;
+    std::size_t sentBytes = 0;
+    {
+        ServeClient client =
+            ServeClient::connectUnix(server.options().socketPath);
+        client.hello();
+        OpenRequest req;
+        req.predictor = info.name;
+        req.fingerprint = s->fingerprint;
+        req.records = s->records;
+        auto open = client.open(req);
+        sessionId = open.sessionId;
+        token = open.resumeToken;
+        ASSERT_NE(token, 0u);
+        // Half the stream, then the client "crashes": no goodbye, no
+        // close, just a dead socket.
+        while (sentBytes < s->bytes.size() / 2) {
+            std::size_t n =
+                std::min(chunkBytes, s->bytes.size() - sentBytes);
+            client.sendChunkRaw({s->bytes.data() + sentBytes, n});
+            sentBytes += n;
+        }
+        client.abortConnection();
+    }
+    awaitParked(server, 1);
+
+    ServeClient back =
+        ServeClient::connectUnix(server.options().socketPath);
+    back.hello();
+    ResumeReply rr = back.resume(sessionId, token);
+    EXPECT_EQ(rr.sessionId, sessionId);
+    // The server drained every whole chunk it received before parking;
+    // the reply names the exact record to continue from.
+    EXPECT_EQ(rr.recordsProcessed % kChunk, 0u);
+    EXPECT_LE(rr.recordsProcessed * ServeRecordBytes, sentBytes);
+    for (std::size_t off = static_cast<std::size_t>(rr.recordsProcessed) *
+                           ServeRecordBytes;
+         off < s->bytes.size(); off += chunkBytes) {
+        std::size_t n = std::min(chunkBytes, s->bytes.size() - off);
+        back.sendChunkRaw({s->bytes.data() + off, n});
+    }
+    SessionMetrics fin = back.closeSession();
+    EXPECT_TRUE(fin.final_);
+    EXPECT_EQ(fin.recordsProcessed, s->records);
+    EXPECT_TRUE(fin.stats == offline("quick", info))
+        << "resumed session diverged from an uninterrupted run";
+    EXPECT_EQ(server.parkedSessions(), 0u);
+    back.goodbye();
+    server.stop();
+}
+
+TEST(Serve, SlowPeerIsEvictedParkedAndResumable)
+{
+    // A peer that makes no frame progress past --idle-ms is evicted
+    // with a typed Watchdog error — but its session is parked, so a
+    // merely-slow client can come back and finish exactly.
+    ServeOptions o = unixOptions("evict");
+    o.idleMs = 150;
+    LvpServer server(o);
+    server.start();
+    auto s = stream("quick");
+    const auto &info = *core::findPredictor("stride");
+
+    constexpr std::size_t kChunk = 1024;
+    const std::size_t chunkBytes = kChunk * ServeRecordBytes;
+    std::uint64_t sessionId = 0, token = 0;
+    {
+        ServeClient client =
+            ServeClient::connectUnix(server.options().socketPath);
+        client.hello();
+        OpenRequest req;
+        req.predictor = info.name;
+        auto open = client.open(req);
+        sessionId = open.sessionId;
+        token = open.resumeToken;
+        client.sendChunkRaw(
+            {s->bytes.data(), std::min(chunkBytes, s->bytes.size())});
+        // Stall well past the deadline: the server evicts and parks.
+        awaitParked(server, 1);
+    }
+
+    ServeClient back =
+        ServeClient::connectUnix(server.options().socketPath);
+    back.hello();
+    ResumeReply rr = back.resume(sessionId, token);
+    for (std::size_t off = static_cast<std::size_t>(rr.recordsProcessed) *
+                           ServeRecordBytes;
+         off < s->bytes.size(); off += chunkBytes) {
+        std::size_t n = std::min(chunkBytes, s->bytes.size() - off);
+        back.sendChunkRaw({s->bytes.data() + off, n});
+    }
+    SessionMetrics fin = back.closeSession();
+    EXPECT_EQ(fin.recordsProcessed, s->records);
+    EXPECT_TRUE(fin.stats == offline("quick", info))
+        << "post-eviction resume diverged";
+    back.goodbye();
+    server.stop();
+}
+
+TEST(Serve, HeartbeatsKeepASlowSessionAlive)
+{
+    // Heartbeats reset the idle deadline: a client that is slow but
+    // alive never gets evicted, and the session completes normally.
+    ServeOptions o = unixOptions("heartbeat");
+    o.idleMs = 150;
+    LvpServer server(o);
+    server.start();
+    auto s = stream("quick");
+    const auto &info = *core::findPredictor("lvp");
+
+    ServeClient client =
+        ServeClient::connectUnix(server.options().socketPath);
+    client.hello();
+    OpenRequest req;
+    req.predictor = info.name;
+    client.open(req);
+    const std::size_t chunkBytes =
+        ((s->bytes.size() / 3 + ServeRecordBytes) / ServeRecordBytes) *
+        ServeRecordBytes;
+    for (std::size_t off = 0; off < s->bytes.size(); off += chunkBytes) {
+        // Straddle several deadline windows between chunks, heartbeat
+        // often enough to stay alive.
+        for (int i = 0; i < 4; ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(60));
+            client.heartbeat();
+        }
+        std::size_t n = std::min(chunkBytes, s->bytes.size() - off);
+        client.sendChunkRaw({s->bytes.data() + off, n});
+    }
+    SessionMetrics fin = client.closeSession();
+    EXPECT_EQ(fin.recordsProcessed, s->records);
+    EXPECT_TRUE(fin.stats == offline("quick", info));
+    EXPECT_EQ(server.parkedSessions(), 0u)
+        << "a heartbeating client was evicted";
+    client.goodbye();
+    server.stop();
+}
+
+TEST(Serve, ResumeRejectionIsTypedAndConnectionPreserving)
+{
+    // An unknown or expired token (or a resume landing on the wrong
+    // worker process) gets a typed RetryExhausted rejection that
+    // leaves the connection usable: the client falls back to a fresh
+    // session on the spot.
+    LvpServer server(unixOptions("reject"));
+    server.start();
+    ServeClient client =
+        ServeClient::connectUnix(server.options().socketPath);
+    client.hello();
+    try {
+        client.resume(999, 0xdeadbeef);
+        FAIL() << "expected the resume to be rejected";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::RetryExhausted) << e.what();
+        EXPECT_NE(std::string(e.what()).find("record 0"),
+                  std::string::npos)
+            << e.what();
+    }
+    runVerifiedSession(client, "quick",
+                       core::predictorRegistry().front());
+    client.goodbye();
+    server.stop();
+}
+
+TEST(Serve, ParkedSessionsAreBoundedByCapAndTtl)
+{
+    ServeOptions o = unixOptions("parkcap");
+    o.maxParked = 1;
+    o.resumeTtlMs = 100;
+    LvpServer server(o);
+    server.start();
+    const auto &info = *core::findPredictor("lvp");
+
+    auto crashOne = [&] {
+        ServeClient c =
+            ServeClient::connectUnix(server.options().socketPath);
+        c.hello();
+        OpenRequest req;
+        req.predictor = info.name;
+        auto open = c.open(req);
+        c.abortConnection();
+        return std::pair<std::uint64_t, std::uint64_t>(
+            open.sessionId, open.resumeToken);
+    };
+    auto first = crashOne();
+    awaitParked(server, 1);
+    auto second = crashOne();
+    // The cap evicted the first checkpoint to make room.
+    for (int i = 0; i < 400 && server.parkedSessions() != 1; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(server.parkedSessions(), 1u);
+
+    ServeClient back =
+        ServeClient::connectUnix(server.options().socketPath);
+    back.hello();
+    EXPECT_THROW(back.resume(first.first, first.second), SimError);
+    // Past the TTL the second checkpoint expires too.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    EXPECT_THROW(back.resume(second.first, second.second), SimError);
+    runVerifiedSession(back, "quick", info);
+    back.goodbye();
+    server.stop();
+}
+
+TEST(Serve, DrainWindowLetsAStraddlingClientFinish)
+{
+    // The SIGTERM contract: stop() keeps in-flight sessions alive for
+    // --drain-ms. A client mid-stream when the drain begins — slow
+    // enough to straddle the stop, fast enough to beat the window —
+    // finishes with exact statistics.
+    ServeOptions o = unixOptions("straddle");
+    o.drainMs = 3000;
+    LvpServer server(o);
+    server.start();
+    auto s = stream("quick");
+    const auto &info = *core::findPredictor("lvp");
+
+    ServeClient client =
+        ServeClient::connectUnix(server.options().socketPath);
+    client.hello();
+    OpenRequest req;
+    req.predictor = info.name;
+    client.open(req);
+    const std::size_t chunkBytes = 2048 * ServeRecordBytes;
+    client.sendChunkRaw(
+        {s->bytes.data(), std::min(chunkBytes, s->bytes.size())});
+
+    std::thread stopper([&] { server.stop(); });
+    // Give stop() time to close the listener and enter its window,
+    // then keep streaming through the drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    for (std::size_t off = std::min(chunkBytes, s->bytes.size());
+         off < s->bytes.size(); off += chunkBytes) {
+        std::size_t n = std::min(chunkBytes, s->bytes.size() - off);
+        client.sendChunkRaw({s->bytes.data() + off, n});
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    SessionMetrics fin = client.closeSession();
+    EXPECT_TRUE(fin.final_);
+    EXPECT_EQ(fin.recordsProcessed, s->records);
+    EXPECT_TRUE(fin.stats == offline("quick", info))
+        << "a session straddling the drain window diverged";
+    stopper.join();
+}
+
 /** Connect a raw unix-socket fd (so tests can pick the chaos key). */
 int
 connectUnixFd(const std::string &path)

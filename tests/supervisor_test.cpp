@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for serve/supervisor.{hh,cc} using trivial forked workers —
+ * no sockets, no lvplib machinery in the children — so each test
+ * isolates exactly one supervision behavior: restart-on-death with
+ * backoff, graceful SIGTERM drain, SIGKILL escalation for stragglers,
+ * and the zero-zombie guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "serve/supervisor.hh"
+
+namespace
+{
+
+using namespace lvplib::serve;
+
+/** A self-pipe standing in for lvpserve's signal pipe: writing one
+ *  byte asks the supervisor to shut the tree down. */
+struct WakePipe
+{
+    int fds[2] = {-1, -1};
+    WakePipe() { EXPECT_EQ(::pipe(fds), 0); }
+    ~WakePipe()
+    {
+        if (fds[0] >= 0)
+            ::close(fds[0]);
+        if (fds[1] >= 0)
+            ::close(fds[1]);
+    }
+    void wake() const
+    {
+        char c = 1;
+        ASSERT_EQ(::write(fds[1], &c, 1), 1);
+    }
+};
+
+/** Poll @p pred for up to @p ms milliseconds. */
+template <typename Pred>
+bool
+eventually(Pred pred, int ms = 5000)
+{
+    for (int waited = 0; waited < ms; waited += 5) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+}
+
+/** After drainTree() the child set must be EMPTY — not merely dead,
+ *  but reaped: waitpid sees ECHILD, so no zombie survives the test. */
+void
+expectNoChildrenLeft()
+{
+    int status = 0;
+    errno = 0;
+    pid_t r = ::waitpid(-1, &status, WNOHANG);
+    EXPECT_TRUE(r < 0 && errno == ECHILD)
+        << "waitpid found leftover children (r=" << r << ")";
+}
+
+TEST(Supervisor, RestartsAKilledWorkerWithANewPid)
+{
+    SupervisorOptions opts;
+    opts.workers = 2;
+    opts.backoffInitialMs = 5;
+    opts.drainMs = 1000;
+    opts.tag = "supertest";
+    // Workers idle until terminated; SIGTERM's default disposition
+    // kills them, which is all the drain needs.
+    Supervisor sup(opts, [](unsigned) -> int {
+        for (;;)
+            ::pause();
+        return 0;
+    });
+    WakePipe wake;
+    std::thread runner([&] { sup.run(wake.fds[0]); });
+
+    ASSERT_TRUE(eventually([&] { return sup.livePids().size() == 2; }));
+    std::vector<pid_t> before = sup.livePids();
+    pid_t victim = before.front();
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+    // The supervisor notices the death, waits out the backoff, and
+    // respawns the slot: two live workers again, the victim's pid gone.
+    ASSERT_TRUE(eventually([&] {
+        auto pids = sup.livePids();
+        return pids.size() == 2 &&
+               std::find(pids.begin(), pids.end(), victim) == pids.end();
+    }));
+    EXPECT_GE(sup.deaths(), 1u);
+    EXPECT_GE(sup.restarts(), 1u);
+
+    wake.wake();
+    runner.join();
+    EXPECT_TRUE(sup.livePids().empty());
+    expectNoChildrenLeft();
+}
+
+TEST(Supervisor, CrashLoopIsThrottledByExponentialBackoff)
+{
+    // A worker that dies instantly must not be respawned in a hot
+    // loop: consecutive failures double the delay. With a 40 ms
+    // initial backoff, ~600 ms admits at most a handful of restarts
+    // (40+80+160+320 > 600); an unthrottled loop would manage
+    // thousands.
+    SupervisorOptions opts;
+    opts.workers = 1;
+    opts.backoffInitialMs = 40;
+    opts.backoffMaxMs = 1000;
+    opts.drainMs = 200;
+    opts.tag = "supertest";
+    Supervisor sup(opts, [](unsigned) -> int { return 3; });
+    WakePipe wake;
+    std::thread runner([&] { sup.run(wake.fds[0]); });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    wake.wake();
+    runner.join();
+
+    EXPECT_GE(sup.deaths(), 2u) << "the crash loop never re-spawned";
+    EXPECT_LE(sup.restarts(), 8u)
+        << "backoff failed to throttle a crash-looping worker";
+    expectNoChildrenLeft();
+}
+
+TEST(Supervisor, DrainEscalatesToSigkillForAStuckWorker)
+{
+    // A worker that ignores SIGTERM may straddle the drain window but
+    // not survive it: past --drain-ms the supervisor SIGKILLs it, and
+    // run() still returns with the tree fully reaped.
+    SupervisorOptions opts;
+    opts.workers = 1;
+    opts.drainMs = 150;
+    opts.tag = "supertest";
+    Supervisor sup(opts, [](unsigned) -> int {
+        ::signal(SIGTERM, SIG_IGN);
+        for (;;)
+            ::pause();
+        return 0;
+    });
+    WakePipe wake;
+    std::thread runner([&] { sup.run(wake.fds[0]); });
+    ASSERT_TRUE(eventually([&] { return sup.livePids().size() == 1; }));
+    // Let the child install its SIG_IGN before we ask for shutdown.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    auto t0 = std::chrono::steady_clock::now();
+    wake.wake();
+    runner.join();
+    auto drained =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_GE(drained, 140)
+        << "SIGKILL fired before the drain window elapsed";
+    EXPECT_TRUE(sup.livePids().empty());
+    expectNoChildrenLeft();
+}
+
+TEST(Supervisor, GracefulWorkersEndTheDrainEarly)
+{
+    // Workers with the default SIGTERM disposition die promptly; the
+    // drain must return as soon as all are reaped, well before the
+    // full window.
+    SupervisorOptions opts;
+    opts.workers = 3;
+    opts.drainMs = 5000;
+    opts.tag = "supertest";
+    Supervisor sup(opts, [](unsigned) -> int {
+        for (;;)
+            ::pause();
+        return 0;
+    });
+    WakePipe wake;
+    std::thread runner([&] { sup.run(wake.fds[0]); });
+    ASSERT_TRUE(eventually([&] { return sup.livePids().size() == 3; }));
+
+    auto t0 = std::chrono::steady_clock::now();
+    wake.wake();
+    runner.join();
+    auto drained =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(drained, 4000)
+        << "drain waited out the whole window despite prompt exits";
+    EXPECT_TRUE(sup.livePids().empty());
+    EXPECT_EQ(sup.deaths(), 3u);
+    expectNoChildrenLeft();
+}
+
+} // namespace

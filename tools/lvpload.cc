@@ -5,6 +5,7 @@
  *
  *   lvpload --socket /tmp/lvp.sock --users 8
  *   lvpload --port 4117 --users 16 --predictors lvp,vtage --scale 2
+ *   lvpload --socket /tmp/lvp.sock --chaos 7     # fault-tolerance soak
  *
  * Each simulated user is one connection running one session per
  * workload: open, stream the encoded trace (or RunCached when the
@@ -14,14 +15,31 @@
  * encoded once per process and shared read-only across users, so N
  * users cost N predictor runs, not N interpretations.
  *
- * Exit status: 0 every session verified; 1 usage, connection, or
- * protocol failure; 2 at least one session's statistics diverged.
+ * --chaos SEED turns the run into a fault-tolerance soak
+ * (docs/ROBUSTNESS.md): a seeded per-session plan crashes clients
+ * mid-stream (socket shutdown with no goodbye) and optionally stalls
+ * them past the server's idle deadline; every interrupted session
+ * reconnects and resumes from the server's ResumeOk offset, falling
+ * back to a fresh session from record 0 when the resume is rejected
+ * (expired, capacity-evicted, or parked in a different worker
+ * process). Every session — interrupted or not — must still finish
+ * with statistics byte-identical to the offline pipeline, the
+ * process-wide fd count must return to its pre-soak baseline, and the
+ * stdout report is byte-reproducible for a given seed and
+ * configuration (timing-dependent detail goes to stderr).
+ *
+ * Exit status: 0 every session verified; 1 usage, connection,
+ * protocol, or fd-leak failure; 2 at least one session's statistics
+ * diverged.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -33,7 +51,9 @@
 #include "serve/loadgen.hh"
 #include "serve/serve_cli.hh"
 #include "sim/run_cache.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -60,9 +80,347 @@ struct UserReport
 {
     unsigned sessions = 0;
     std::uint64_t records = 0;
+    unsigned crashes = 0; ///< chaos: planned client crashes executed
+    unsigned stalls = 0;  ///< chaos: planned stalls executed
     std::vector<std::string> errors;     ///< connection/protocol
     std::vector<std::string> mismatches; ///< stats divergence
 };
+
+/** Open file descriptors right now (the soak's leak oracle). */
+unsigned
+countOpenFds()
+{
+    unsigned n = 0;
+    std::error_code ec;
+    for ([[maybe_unused]] const auto &e :
+         std::filesystem::directory_iterator("/proc/self/fd", ec))
+        ++n;
+    // The iterator itself holds one fd while we walk; it is gone by
+    // the time the caller compares counts, so discount it.
+    return n > 0 ? n - 1 : 0;
+}
+
+/** One session's deterministic fault schedule, drawn per (seed, user,
+ *  session) so the whole soak replans identically from its seed. */
+struct SessionPlan
+{
+    std::set<std::size_t> crashChunks; ///< abort before sending these
+    std::set<std::size_t> stallChunks; ///< stall before sending these
+};
+
+SessionPlan
+planSession(std::uint64_t seed, unsigned user, unsigned session,
+            std::size_t numChunks, bool stallsEnabled)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ull +
+            static_cast<std::uint64_t>(user) * 0x85ebca77c2b2ae63ull +
+            session + 1);
+    SessionPlan plan;
+    // 0-2 crashes per session, anywhere from "before the first chunk"
+    // to "after the last chunk but before CLOSE_SESSION".
+    std::uint64_t crashes = rng.below(3);
+    for (std::uint64_t i = 0; i < crashes; ++i)
+        plan.crashChunks.insert(rng.below(numChunks + 1));
+    if (stallsEnabled && rng.chance(1, 4))
+        plan.stallChunks.insert(rng.below(numChunks + 1));
+    return plan;
+}
+
+/** The chaos soak's per-user body; see the file comment. */
+void
+runChaosUser(const serve::LoadCliOptions &opts, unsigned u,
+             const std::vector<const core::PredictorInfo *> &preds,
+             const std::vector<const workloads::Workload *> &suite,
+             serve::StreamLibrary &library, sim::RunCache &cache,
+             workloads::CodeGen cg, const sim::RunConfig &rc,
+             std::uint64_t stallMs, UserReport &rep)
+{
+    const core::PredictorInfo &pred = *preds[u % preds.size()];
+    std::optional<serve::ServeClient> client;
+    auto connect = [&] {
+        client.emplace(opts.socketPath.empty()
+                           ? serve::ServeClient::connectTcp(opts.port)
+                           : serve::ServeClient::connectUnix(
+                                 opts.socketPath));
+        client->hello();
+    };
+
+    for (unsigned s = 0; s < suite.size(); ++s) {
+        const workloads::Workload &w = *suite[s];
+        auto stream = library.get(w, cg, opts.scale, rc);
+        const std::size_t chunkBytes =
+            static_cast<std::size_t>(opts.chunkRecords) *
+            serve::ServeRecordBytes;
+        const auto &bytes = stream->bytes;
+        const std::size_t numChunks =
+            bytes.empty() ? 1 : (bytes.size() + chunkBytes - 1) /
+                                    chunkBytes;
+        SessionPlan plan =
+            planSession(opts.chaosSeed, u, s, numChunks, stallMs != 0);
+        std::set<std::size_t> crashesLeft = plan.crashChunks;
+        std::set<std::size_t> stallsLeft = plan.stallChunks;
+
+        std::uint64_t sessionId = 0, token = 0;
+        std::size_t resumeOff = 0;
+        bool haveParked = false;
+        bool emptySent = false;
+        bool done = false;
+        // Planned faults are finite and each executes once; the bound
+        // only guards against a server that keeps dying under its own
+        // --chaos faster than we can make progress.
+        unsigned attempts =
+            32 + static_cast<unsigned>(plan.crashChunks.size() +
+                                       plan.stallChunks.size());
+        for (; attempts && !done; --attempts) {
+            try {
+                if (!client)
+                    connect();
+                if (haveParked) {
+                    try {
+                        serve::ResumeReply rr =
+                            client->resume(sessionId, token);
+                        resumeOff = static_cast<std::size_t>(
+                                        rr.recordsProcessed) *
+                                    serve::ServeRecordBytes;
+                    } catch (const SimError &e) {
+                        if (e.kind() != ErrorKind::RetryExhausted)
+                            throw;
+                        // Typed rejection; the connection is intact.
+                        // Start over from record 0 — byte-identity
+                        // holds either way.
+                        std::cerr << "lvpload: user " << u << ' '
+                                  << w.name
+                                  << ": resume rejected, restarting "
+                                     "fresh\n";
+                        haveParked = false;
+                        resumeOff = 0;
+                        emptySent = false;
+                    }
+                }
+                if (!haveParked) {
+                    serve::OpenRequest req;
+                    req.predictor = pred.name;
+                    req.fingerprint = stream->fingerprint;
+                    req.records = stream->records;
+                    auto open = client->open(req);
+                    sessionId = open.sessionId;
+                    token = open.resumeToken;
+                    resumeOff = 0;
+                    // Always stream in chaos mode, even when the
+                    // server holds the trace: the fault schedule is
+                    // keyed to chunk positions, and whether the LRU
+                    // hits is timing-dependent across users.
+                }
+                haveParked = true; // any tear-down below may resume
+
+                for (std::size_t off = resumeOff; off < bytes.size();) {
+                    std::size_t chunkIdx = off / chunkBytes;
+                    if (auto it = crashesLeft.find(chunkIdx);
+                        it != crashesLeft.end()) {
+                        crashesLeft.erase(it);
+                        ++rep.crashes;
+                        client->abortConnection();
+                        client.reset();
+                        throw SimError(ErrorKind::Injected,
+                                       "planned client crash");
+                    }
+                    if (auto it = stallsLeft.find(chunkIdx);
+                        it != stallsLeft.end()) {
+                        stallsLeft.erase(it);
+                        ++rep.stalls;
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(stallMs));
+                    }
+                    std::size_t n =
+                        std::min(chunkBytes, bytes.size() - off);
+                    client->sendChunkRaw({bytes.data() + off, n});
+                    off += n;
+                }
+                if (auto it = crashesLeft.find(numChunks);
+                    it != crashesLeft.end()) {
+                    crashesLeft.erase(it);
+                    ++rep.crashes;
+                    client->abortConnection();
+                    client.reset();
+                    throw SimError(ErrorKind::Injected,
+                                   "planned client crash");
+                }
+                if (auto it = stallsLeft.find(numChunks);
+                    it != stallsLeft.end()) {
+                    stallsLeft.erase(it);
+                    ++rep.stalls;
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(stallMs));
+                }
+                if (bytes.empty() && !emptySent) {
+                    client->sendChunkRaw({});
+                    emptySent = true;
+                }
+                serve::SessionMetrics final_ = client->closeSession();
+                done = true;
+                ++rep.sessions;
+                rep.records += final_.recordsProcessed;
+                if (final_.recordsProcessed != stream->records) {
+                    std::ostringstream os;
+                    os << "user " << u << ' ' << w.name << '/'
+                       << pred.name << ": server processed "
+                       << final_.recordsProcessed << " of "
+                       << stream->records << " records";
+                    rep.mismatches.push_back(os.str());
+                } else if (opts.verify) {
+                    core::LvpStats want = serve::expectedStats(
+                        cache, w, cg, opts.scale, rc, pred);
+                    if (!(final_.stats == want)) {
+                        std::ostringstream os;
+                        os << "user " << u << ' ' << w.name << '/'
+                           << pred.name
+                           << ": session stats diverge from the "
+                              "offline pipeline after "
+                           << (plan.crashChunks.size() -
+                               crashesLeft.size())
+                           << " crash(es) (loads " << final_.stats.loads
+                           << " vs " << want.loads << ", correct "
+                           << final_.stats.correct << " vs "
+                           << want.correct << ")";
+                        rep.mismatches.push_back(os.str());
+                    }
+                }
+            } catch (const SimError &e) {
+                // Connection lost — a planned crash, a server-side
+                // injected fault, a worker kill, or a slow-peer
+                // eviction. Reconnect; resume when we hold a token.
+                client.reset();
+                if (token == 0)
+                    haveParked = false;
+                std::cerr << "lvpload: user " << u << ' ' << w.name
+                          << ": connection lost ("
+                          << errorKindName(e.kind()) << "), "
+                          << (haveParked ? "resuming" : "reopening")
+                          << '\n';
+            }
+        }
+        if (!done) {
+            std::ostringstream os;
+            os << "user " << u << ' ' << w.name << '/' << pred.name
+               << ": session never completed within its retry budget";
+            rep.errors.push_back(os.str());
+        }
+    }
+    if (client) {
+        try {
+            client->goodbye();
+        } catch (const SimError &) {
+            // Tear-down only; the sessions already verified.
+        }
+    }
+}
+
+/** The --chaos soak driver. @return the process exit status. */
+int
+runChaosSoak(const serve::LoadCliOptions &opts,
+             const std::vector<const core::PredictorInfo *> &preds,
+             const std::vector<const workloads::Workload *> &suite,
+             serve::StreamLibrary &library, sim::RunCache &cache,
+             workloads::CodeGen cg, const sim::RunConfig &rc)
+{
+    // Stalls are only practical when the server's idle deadline is
+    // short enough to outwait; the soak reads the same env knob the
+    // server was configured with (the CI smoke sets both).
+    std::uint64_t stallMs = 0;
+    if (auto v = envUnsigned("LVPLIB_SERVE_IDLE_MS", 1, 2000))
+        stallMs = *v + 300;
+
+    // Interpret, encode, and verify-cache every stream BEFORE the fd
+    // baseline: the soak threads then touch only sockets, so any fd
+    // delta is a real leak, not cache population.
+    const std::size_t chunkBytes =
+        static_cast<std::size_t>(opts.chunkRecords) *
+        serve::ServeRecordBytes;
+    std::uint64_t plannedCrashes = 0, plannedStalls = 0;
+    for (unsigned u = 0; u < opts.users; ++u) {
+        for (unsigned s = 0; s < suite.size(); ++s) {
+            auto stream = library.get(*suite[s], cg, opts.scale, rc);
+            if (opts.verify)
+                serve::expectedStats(cache, *suite[s], cg, opts.scale,
+                                     rc, *preds[u % preds.size()]);
+            const auto &bytes = stream->bytes;
+            const std::size_t numChunks =
+                bytes.empty() ? 1 : (bytes.size() + chunkBytes - 1) /
+                                        chunkBytes;
+            SessionPlan plan = planSession(opts.chaosSeed, u, s,
+                                           numChunks, stallMs != 0);
+            plannedCrashes += plan.crashChunks.size();
+            plannedStalls += plan.stallChunks.size();
+        }
+    }
+    std::cout << "lvpload: chaos soak: seed " << opts.chaosSeed << ", "
+              << opts.users << " user(s) x " << suite.size()
+              << " session(s), " << plannedCrashes
+              << " planned crash(es), " << plannedStalls
+              << " planned stall(s)" << std::endl;
+
+    unsigned fdsBefore = countOpenFds();
+    std::vector<UserReport> reports(opts.users);
+    std::vector<std::thread> users;
+    users.reserve(opts.users);
+    for (unsigned u = 0; u < opts.users; ++u)
+        users.emplace_back([&, u] {
+            try {
+                runChaosUser(opts, u, preds, suite, library, cache, cg,
+                             rc, stallMs, reports[u]);
+            } catch (const SimError &e) {
+                reports[u].errors.push_back(
+                    std::string("user ") + std::to_string(u) + ": " +
+                    errorKindName(e.kind()) + ": " + e.what());
+            }
+        });
+    for (auto &t : users)
+        t.join();
+    unsigned fdsAfter = countOpenFds();
+
+    unsigned sessions = 0, failures = 0, mismatches = 0;
+    unsigned crashes = 0, stalls = 0;
+    std::uint64_t records = 0;
+    for (const auto &rep : reports) {
+        sessions += rep.sessions;
+        records += rep.records;
+        crashes += rep.crashes;
+        stalls += rep.stalls;
+        for (const auto &e : rep.errors) {
+            std::cerr << "lvpload: " << e << '\n';
+            ++failures;
+        }
+        for (const auto &m : rep.mismatches) {
+            std::cerr << "lvpload: MISMATCH: " << m << '\n';
+            ++mismatches;
+        }
+    }
+    std::cout << "lvpload: chaos soak: " << sessions
+              << " session(s) verified, " << records << " record(s), "
+              << crashes << " crash(es) executed, " << stalls
+              << " stall(s) executed" << std::endl;
+    if (fdsAfter > fdsBefore) {
+        std::cerr << "lvpload: FD LEAK: " << fdsBefore
+                  << " open before the soak, " << fdsAfter
+                  << " after\n";
+        ++failures;
+    } else {
+        std::cout << "lvpload: fd check: clean" << std::endl;
+    }
+    if (mismatches) {
+        std::cout << "lvpload: chaos soak FAIL (seed " << opts.chaosSeed
+                  << ")" << std::endl;
+        return 2;
+    }
+    if (failures) {
+        std::cout << "lvpload: chaos soak FAIL (seed " << opts.chaosSeed
+                  << ")" << std::endl;
+        return 1;
+    }
+    std::cout << "lvpload: chaos soak PASS (seed " << opts.chaosSeed
+              << ")" << std::endl;
+    return 0;
+}
 
 } // namespace
 
@@ -115,6 +473,16 @@ main(int argc, char **argv)
     serve::StreamLibrary library(cache);
     const auto cg = workloads::CodeGen::Ppc;
     const sim::RunConfig rc;
+
+    if (opts.chaosSeed != 0) {
+        int status =
+            runChaosSoak(opts, preds, suite, library, cache, cg, rc);
+        if (!tempTraceDir.empty()) {
+            std::error_code ec;
+            std::filesystem::remove_all(tempTraceDir, ec);
+        }
+        return status;
+    }
 
     std::vector<UserReport> reports(opts.users);
     std::vector<std::thread> users;

@@ -4,6 +4,7 @@
  *
  *   lvpserve --socket /tmp/lvp.sock        # unix-domain endpoint
  *   lvpserve --port 0                      # TCP; prints the bound port
+ *   lvpserve --socket /tmp/lvp.sock --workers 4   # supervised fleet
  *   LVPLIB_SERVE_MAX_SESSIONS=128 lvpserve --socket /tmp/lvp.sock
  *
  * Prints one readiness line once listening:
@@ -13,8 +14,20 @@
  * (scripts wait for it before starting clients), then serves until
  * SIGTERM or SIGINT. Both signals drain gracefully: the listener
  * closes immediately, in-flight sessions get --drain-ms to finish,
- * and the process exits 0. Exit status: 0 clean shutdown; 1 usage or
- * bind failure.
+ * and the process exits 0.
+ *
+ * With --workers N >= 2 the process becomes a supervisor: it binds
+ * the endpoint *before* forking (so the fd is shared and the kernel
+ * load-balances accept() across workers), forks N serving workers,
+ * restarts any that die with exponential backoff, and on SIGTERM
+ * forwards the signal to the whole tree, reaping every child before
+ * exiting. Worker start/death lines go to stdout in a stable format
+ * the CI crash-smoke script parses. A worker felled by the injected
+ * ServeWorkerKill chaos point exits 70.
+ *
+ * Exit status: 0 clean shutdown; 1 usage or bind failure; workers
+ * exit 70 when killed by injected chaos (the supervisor restarts
+ * them).
  */
 
 #include <cerrno>
@@ -23,7 +36,9 @@
 
 #include <unistd.h>
 
+#include "chaos/chaos.hh"
 #include "serve/serve_cli.hh"
+#include "serve/supervisor.hh"
 #include "util/logging.hh"
 
 namespace
@@ -38,6 +53,105 @@ onSignal(int)
 {
     char b = 0;
     [[maybe_unused]] ssize_t r = ::write(gSignalPipe[1], &b, 1);
+}
+
+bool
+installSignalPipe()
+{
+    if (::pipe(gSignalPipe) != 0)
+        return false;
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    return true;
+}
+
+/** Serve on the inherited fd until SIGTERM; runs in a forked child. */
+int
+workerMain(const lvplib::serve::ServeCliOptions &cli, int listenFd,
+           std::uint16_t boundPort, unsigned idx)
+{
+    using namespace lvplib;
+    // The inherited self-pipe belongs to the parent's shutdown path:
+    // writing to it from this process would wake the supervisor, not
+    // us. Replace it with our own before any signal can arrive.
+    ::close(gSignalPipe[0]);
+    ::close(gSignalPipe[1]);
+    if (!installSignalPipe()) {
+        std::cerr << "lvpserve: worker " << idx
+                  << ": cannot create signal pipe\n";
+        return 1;
+    }
+
+    if (cli.chaosSeed)
+        chaos::engine().arm(
+            {cli.chaosSeed, chaos::ServePoints, cli.chaosPeriod});
+
+    serve::ServeOptions opts = cli.server;
+    opts.listenFd = listenFd;
+    opts.port = boundPort;
+    opts.workerIndex = static_cast<int>(idx);
+    serve::LvpServer server(opts);
+    try {
+        server.start();
+    } catch (const SimError &e) {
+        std::cerr << "lvpserve: worker " << idx << ": " << e.what()
+                  << '\n';
+        return 1;
+    }
+    char b = 0;
+    while (::read(gSignalPipe[0], &b, 1) < 0 && errno == EINTR) {
+    }
+    server.stop();
+    return 0;
+}
+
+/** --workers >= 2: bind first, then fork and supervise the fleet. */
+int
+runSupervised(const lvplib::serve::ServeCliOptions &cli)
+{
+    using namespace lvplib;
+    std::uint16_t boundPort = cli.server.port;
+    int listenFd = -1;
+    try {
+        listenFd = serve::openListenSocket(cli.server, boundPort);
+    } catch (const SimError &e) {
+        std::cerr << "lvpserve: " << e.what() << '\n';
+        return 1;
+    }
+    std::string endpoint =
+        !cli.server.socketPath.empty()
+            ? "unix:" + cli.server.socketPath
+            : "tcp:127.0.0.1:" + std::to_string(boundPort);
+
+    if (!installSignalPipe()) {
+        std::cerr << "lvpserve: cannot create signal pipe\n";
+        ::close(listenFd);
+        return 1;
+    }
+
+    serve::SupervisorOptions sup;
+    sup.workers = cli.workers;
+    // Workers drain their own sessions for --drain-ms; give the tree
+    // that window plus a margin before SIGKILL escalation.
+    sup.drainMs = cli.server.drainMs + 2000;
+    serve::Supervisor supervisor(
+        sup, [&cli, listenFd, boundPort](unsigned idx) {
+            return workerMain(cli, listenFd, boundPort, idx);
+        });
+
+    std::cout << "lvpserve: listening on " << endpoint << " ("
+              << cli.workers << " workers)" << std::endl;
+    int rc = supervisor.run(gSignalPipe[0]);
+    ::close(listenFd);
+    // Workers adopted the fd, so none of them unlinks the path; the
+    // process that bound it cleans it up.
+    if (!cli.server.socketPath.empty())
+        ::unlink(cli.server.socketPath.c_str());
+    std::cout << "lvpserve: stopped" << std::endl;
+    return rc;
 }
 
 } // namespace
@@ -59,6 +173,13 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (parsed->workers >= 2)
+        return runSupervised(*parsed);
+
+    if (parsed->chaosSeed)
+        chaos::engine().arm(
+            {parsed->chaosSeed, chaos::ServePoints, parsed->chaosPeriod});
+
     serve::LvpServer server(parsed->server);
     try {
         server.start();
@@ -69,16 +190,11 @@ main(int argc, char **argv)
     std::cout << "lvpserve: listening on " << server.endpoint()
               << std::endl;
 
-    if (::pipe(gSignalPipe) != 0) {
+    if (!installSignalPipe()) {
         std::cerr << "lvpserve: cannot create signal pipe\n";
         server.stop();
         return 1;
     }
-    struct sigaction sa = {};
-    sa.sa_handler = onSignal;
-    ::sigemptyset(&sa.sa_mask);
-    ::sigaction(SIGTERM, &sa, nullptr);
-    ::sigaction(SIGINT, &sa, nullptr);
 
     char b = 0;
     while (::read(gSignalPipe[0], &b, 1) < 0 && errno == EINTR) {

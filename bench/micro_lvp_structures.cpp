@@ -16,6 +16,7 @@
 #include "core/lvp_unit.hh"
 #include "isa/program.hh"
 #include "sim/pipeline_driver.hh"
+#include "trace/columnar.hh"
 #include "trace/trace_file.hh"
 #include "trace/trace_stats.hh"
 #include "uarch/machine_config.hh"
@@ -219,6 +220,90 @@ BM_TraceReplayThroughput(benchmark::State &state)
     benchmark::DoNotOptimize(records);
 }
 BENCHMARK(BM_TraceReplayThroughput)->Unit(benchmark::kMillisecond);
+
+/** Synthetic one-block column set shaped like real trace data: a
+ *  pc random walk, sparse addr/value columns with delta locality,
+ *  and taken/pred flag vectors. */
+struct BlockColumns
+{
+    static constexpr std::size_t N = 64 * 1024;
+    std::vector<std::uint64_t> pc, addr, val;
+    std::vector<std::uint8_t> taken, pred;
+
+    BlockColumns() : pc(N), addr(N), val(N), taken(N), pred(N)
+    {
+        Rng rng(7);
+        std::uint64_t p = 0x10000, a = 0x800000, v = 0x1234;
+        for (std::size_t i = 0; i < N; ++i) {
+            p += 4 + (rng.below(32) == 0 ? rng.below(1u << 16) : 0);
+            pc[i] = p;
+            if (rng.below(10) < 4) { // ~40% memory records
+                a += 8 + rng.below(64);
+                v += rng.below(256);
+                addr[i] = a;
+                val[i] = v;
+            }
+            taken[i] = rng.below(2);
+            pred[i] = rng.below(4);
+        }
+    }
+};
+
+/** v3 block encode: all five columns of one 64Ki-record block. */
+void
+BM_TraceBlockEncode(benchmark::State &state)
+{
+    BlockColumns cols;
+    std::vector<std::uint8_t> out;
+    for (auto _ : state) {
+        out.clear();
+        trace::encodeDeltaColumn(cols.pc.data(), cols.N, out);
+        trace::encodeSparseColumn(cols.addr.data(), cols.N, out);
+        trace::encodeSparseColumn(cols.val.data(), cols.N, out);
+        trace::packBits(cols.taken.data(), cols.N, out);
+        trace::packCrumbs(cols.pred.data(), cols.N, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * cols.N));
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * cols.N * trace::TraceRecordBytes));
+}
+BENCHMARK(BM_TraceBlockEncode)->Unit(benchmark::kMillisecond);
+
+/** v3 block decode, strided straight into record-shaped slots (the
+ *  reader's zero-recopy scatter). */
+void
+BM_TraceBlockDecode(benchmark::State &state)
+{
+    BlockColumns cols;
+    std::vector<std::uint8_t> pcEnc, addrEnc, valEnc;
+    trace::encodeDeltaColumn(cols.pc.data(), cols.N, pcEnc);
+    trace::encodeSparseColumn(cols.addr.data(), cols.N, addrEnc);
+    trace::encodeSparseColumn(cols.val.data(), cols.N, valEnc);
+
+    constexpr std::size_t Stride = 4; // u64 slots per decoded record
+    std::vector<std::uint64_t> decoded(cols.N * Stride);
+    for (auto _ : state) {
+        bool ok =
+            trace::decodeDeltaColumn(pcEnc.data(), pcEnc.size(),
+                                     decoded.data(), cols.N, Stride) &&
+            trace::decodeSparseColumn(addrEnc.data(), addrEnc.size(),
+                                      decoded.data() + 1, cols.N,
+                                      Stride) &&
+            trace::decodeSparseColumn(valEnc.data(), valEnc.size(),
+                                      decoded.data() + 2, cols.N,
+                                      Stride);
+        if (!ok)
+            state.SkipWithError("column decode failed");
+        benchmark::DoNotOptimize(decoded.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * cols.N));
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * cols.N * trace::TraceRecordBytes));
+}
+BENCHMARK(BM_TraceBlockDecode)->Unit(benchmark::kMillisecond);
 
 /**
  * SparseMemory hot path: word reads/writes with strong page locality

@@ -1,6 +1,9 @@
 #include "serve/protocol.hh"
 
+#include <cstddef>
 #include <cstring>
+
+#include "trace/columnar.hh"
 
 namespace lvplib::serve
 {
@@ -24,6 +27,13 @@ put16(std::vector<std::uint8_t> &out, std::uint16_t v)
 }
 
 void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
 put64(std::vector<std::uint8_t> &out, std::uint64_t v)
 {
     for (int i = 0; i < 8; ++i)
@@ -42,6 +52,15 @@ get16(std::span<const std::uint8_t> p, std::size_t off)
 {
     return static_cast<std::uint16_t>(p[off]) |
            static_cast<std::uint16_t>(p[off + 1]) << 8;
+}
+
+std::uint32_t
+get32(std::span<const std::uint8_t> p, std::size_t off)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[off + i]) << (8 * i);
+    return v;
 }
 
 std::uint64_t
@@ -135,6 +154,158 @@ streamFingerprint(std::span<const std::uint8_t> bytes,
         h *= FnvPrime;
     }
     return h;
+}
+
+// The replay path scatters decoded columns straight into the
+// ServeRecord array; its u64 fields must sit on 8-byte slots.
+static_assert(sizeof(ServeRecord) % sizeof(std::uint64_t) == 0);
+static_assert(offsetof(ServeRecord, pc) % sizeof(std::uint64_t) == 0);
+static_assert(offsetof(ServeRecord, addr) % sizeof(std::uint64_t) == 0);
+static_assert(offsetof(ServeRecord, value) % sizeof(std::uint64_t) == 0);
+
+namespace
+{
+
+/** Meta-byte access-size codes: {0, 1, 4, 8} <-> {0, 1, 2, 3}. */
+constexpr std::uint8_t MetaSizes[4] = {0, 1, 4, 8};
+
+std::uint8_t
+metaSizeCode(std::uint8_t size)
+{
+    return size == 8 ? 3 : size == 4 ? 2 : (size & 1);
+}
+
+} // namespace
+
+CompressedTrace
+compressServeStream(std::span<const ServeRecord> records)
+{
+    const std::size_t n = records.size();
+    CompressedTrace ct;
+    ct.records = n;
+    auto &out = ct.bytes;
+    out.reserve(n * 4 + 32);
+
+    // One meta byte per record: kind (2 bits) | size code (2 bits) |
+    // taken (1 bit). Column lengths are u32-prefixed; an FNV-1a of
+    // everything preceding it closes the blob.
+    for (const ServeRecord &r : records)
+        out.push_back(static_cast<std::uint8_t>(
+            (r.kind & 3) | (metaSizeCode(r.size) << 2) |
+            ((r.taken & 1) << 4)));
+
+    std::vector<std::uint64_t> col(n);
+    std::vector<std::uint8_t> enc;
+
+    for (std::size_t i = 0; i < n; ++i)
+        col[i] = records[i].pc;
+    trace::encodeDeltaColumn(col.data(), n, enc);
+    put32(out, static_cast<std::uint32_t>(enc.size()));
+    out.insert(out.end(), enc.begin(), enc.end());
+
+    enc.clear();
+    for (std::size_t i = 0; i < n; ++i)
+        col[i] = records[i].addr;
+    trace::encodeSparseColumn(col.data(), n, enc);
+    put32(out, static_cast<std::uint32_t>(enc.size()));
+    out.insert(out.end(), enc.begin(), enc.end());
+
+    enc.clear();
+    for (std::size_t i = 0; i < n; ++i)
+        col[i] = records[i].value;
+    trace::encodeSparseColumn(col.data(), n, enc);
+    put32(out, static_cast<std::uint32_t>(enc.size()));
+    out.insert(out.end(), enc.begin(), enc.end());
+
+    put64(out, trace::fnv1a(out.data(), out.size()));
+    return ct;
+}
+
+TraceBlob
+decompressServeStream(const CompressedTrace &ct)
+{
+    const std::size_t n = static_cast<std::size_t>(ct.records);
+    std::span<const std::uint8_t> b(ct.bytes);
+    if (b.size() < 8)
+        malformed("cached stream",
+                  "only " + std::to_string(b.size()) + " byte(s)");
+    const std::size_t payload = b.size() - 8;
+    if (trace::fnv1a(b.data(), payload) != get64(b, payload))
+        malformed("cached stream", "checksum mismatch");
+    if (n > payload)
+        malformed("cached stream",
+                  std::to_string(n) + " records will not fit in " +
+                      std::to_string(payload) + " payload byte(s)");
+
+    auto blob = std::make_shared<std::vector<ServeRecord>>(n);
+    constexpr std::size_t Stride =
+        sizeof(ServeRecord) / sizeof(std::uint64_t);
+    auto *base = reinterpret_cast<std::uint64_t *>(blob->data());
+    auto slot = [base](std::size_t off) {
+        return base + off / sizeof(std::uint64_t);
+    };
+
+    const std::uint8_t *meta = b.data();
+    std::size_t off = n; // meta column occupies [0, n)
+    auto column = [&](const char *name) {
+        if (payload - off < 4)
+            malformed("cached stream",
+                      std::string(name) + " column length truncated");
+        std::uint32_t len = get32(b, off);
+        off += 4;
+        if (len > payload - off)
+            malformed("cached stream",
+                      std::string(name) + " column overruns the payload");
+        auto s = b.subspan(off, len);
+        off += len;
+        return s;
+    };
+
+    auto pcCol = column("pc");
+    if (n > 0 &&
+        !trace::decodeDeltaColumn(pcCol.data(), pcCol.size(),
+                                  slot(offsetof(ServeRecord, pc)), n,
+                                  Stride))
+        malformed("cached stream", "pc column does not decode");
+    auto addrCol = column("addr");
+    if (n > 0 &&
+        !trace::decodeSparseColumn(addrCol.data(), addrCol.size(),
+                                   slot(offsetof(ServeRecord, addr)), n,
+                                   Stride))
+        malformed("cached stream", "addr column does not decode");
+    auto valueCol = column("value");
+    if (n > 0 &&
+        !trace::decodeSparseColumn(valueCol.data(), valueCol.size(),
+                                   slot(offsetof(ServeRecord, value)), n,
+                                   Stride))
+        malformed("cached stream", "value column does not decode");
+    if (off != payload)
+        malformed("cached stream",
+                  std::to_string(payload - off) +
+                      " trailing byte(s) after the value column");
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t m = meta[i];
+        ServeRecord &r = (*blob)[i];
+        r.kind = m & 3;
+        r.size = MetaSizes[(m >> 2) & 3];
+        r.taken = (m >> 4) & 1;
+        if (m >> 5)
+            malformed("cached stream",
+                      "record " + std::to_string(i) +
+                          " has reserved meta bits set");
+        if (r.kind < 1 || r.kind > 3)
+            malformed("cached stream", "record " + std::to_string(i) +
+                                           " has kind code " +
+                                           std::to_string(m & 3));
+        bool memRef =
+            r.kind != static_cast<std::uint8_t>(ServeKind::Branch);
+        if (memRef ? r.size == 0 : r.size != 0)
+            malformed("cached stream", "record " + std::to_string(i) +
+                                           " has access size " +
+                                           std::to_string(r.size));
+    }
+    return blob;
 }
 
 std::vector<std::uint8_t>

@@ -141,6 +141,43 @@ constexpr std::uint64_t FingerprintSeed = 0xcbf29ce484222325ull;
 std::uint64_t streamFingerprint(std::span<const std::uint8_t> bytes,
                                 std::uint64_t seed = FingerprintSeed);
 
+/** A shared immutable decoded trace stream (what sessions replay). */
+using TraceBlob = std::shared_ptr<const std::vector<ServeRecord>>;
+
+/**
+ * A column-compressed ServeRecord stream: what the hot-trace LRU
+ * stores, so the same byte budget holds several times more workloads.
+ * Produced by compressServeStream(); expanded back to a TraceBlob by
+ * decompressServeStream() when a RunCached session replays it.
+ */
+struct CompressedTrace
+{
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t records = 0;
+};
+
+/** A shared immutable compressed stream (LRU entry). */
+using CompressedBlob = std::shared_ptr<const CompressedTrace>;
+
+/**
+ * Compress @p records with the trace-layer column codecs
+ * (trace/columnar.hh): one meta byte per record (kind, access-size
+ * code, taken), pc as a dense delta column, addr/value as sparse
+ * columns, plus a checksum. Typically shrinks the in-memory stream by
+ * an order of magnitude — the paper's value locality applied to the
+ * server's RAM.
+ */
+CompressedTrace
+compressServeStream(std::span<const ServeRecord> records);
+
+/**
+ * Expand a compressed stream back into a replayable blob. Strict:
+ * any malformed byte (bad meta, column over/under-run, checksum
+ * mismatch) throws SimError(TraceCorrupt) — a corrupt cache entry can
+ * never silently skew a session's statistics.
+ */
+TraceBlob decompressServeStream(const CompressedTrace &ct);
+
 /** OpenSession payload. */
 struct OpenRequest
 {

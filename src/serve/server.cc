@@ -492,9 +492,12 @@ LvpServer::streamSession(FrameIo &io, Session &session,
                          bool mayCache, ActiveSessionGuard &guard)
 {
     // While streaming, rebuild the declared fingerprint and keep the
-    // decoded records so a completed stream can seed the LRU. The
-    // accumulator is bounded by the LRU budget: a stream that outgrows
-    // it just stops being a caching candidate.
+    // decoded records so a completed stream can seed the LRU
+    // (compressed at insert time). The accumulator's DECODED size is
+    // bounded by the LRU budget — a conservative cap, since the
+    // compressed copy is strictly smaller, that also bounds the
+    // per-session accumulation RAM. A stream that outgrows it just
+    // stops being a caching candidate.
     std::vector<ServeRecord> streamed;
     bool accumulate = mayCache && req.fingerprint != 0 &&
                       lru_.maxBytes() > 0;
@@ -537,8 +540,8 @@ LvpServer::streamSession(FrameIo &io, Session &session,
                 break;
               }
               case FrameType::RunCached: {
-                TraceBlob blob = lru_.get(req.fingerprint);
-                if (!blob) {
+                CompressedBlob cached = lru_.get(req.fingerprint);
+                if (!cached) {
                     // Raced with eviction since OpenOk said cached. A
                     // reply here would desync the request/reply flow,
                     // so fail the session; the client reconnects and
@@ -548,6 +551,10 @@ LvpServer::streamSession(FrameIo &io, Session &session,
                                    "reconnect and stream TRACE_CHUNK "
                                    "frames");
                 }
+                // Expand the compressed entry into this session's
+                // private replay copy; a corrupt cache blob throws
+                // typed TraceCorrupt instead of skewing statistics.
+                TraceBlob blob = decompressServeStream(*cached);
                 serveObs().records.add(blob->size());
                 serveObs().chunks.add();
                 session.push(std::move(blob));
@@ -564,10 +571,13 @@ LvpServer::streamSession(FrameIo &io, Session &session,
                 session.drain();
                 if (accumulate && !streamed.empty() &&
                     fp == req.fingerprint) {
+                    // Column-compress before insertion: the LRU
+                    // budgets compressed bytes, so the cache admits
+                    // several times more workloads than the decoded
+                    // footprint would.
                     lru_.insert(req.fingerprint,
-                                std::make_shared<
-                                    const std::vector<ServeRecord>>(
-                                    std::move(streamed)));
+                                std::make_shared<const CompressedTrace>(
+                                    compressServeStream(streamed)));
                 }
                 SessionMetrics m = session.snapshot();
                 m.final_ = true;

@@ -33,7 +33,7 @@ lruObs()
 
 TraceLru::TraceLru(std::uint64_t maxBytes) : maxBytes_(maxBytes) {}
 
-TraceBlob
+CompressedBlob
 TraceLru::get(std::uint64_t fingerprint)
 {
     std::lock_guard<std::mutex> lock(m_);
@@ -57,7 +57,7 @@ TraceLru::contains(std::uint64_t fingerprint) const
 }
 
 void
-TraceLru::insert(std::uint64_t fingerprint, TraceBlob blob)
+TraceLru::insert(std::uint64_t fingerprint, CompressedBlob blob)
 {
     if (!blob || blobBytes(blob) > maxBytes_)
         return;

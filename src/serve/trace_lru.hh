@@ -1,15 +1,19 @@
 /**
  * @file
- * The server's hot-trace cache: a byte-bounded LRU of decoded,
- * immutable ServeRecord streams keyed by stream fingerprint.
+ * The server's hot-trace cache: a byte-bounded LRU of
+ * column-compressed, immutable ServeRecord streams keyed by stream
+ * fingerprint.
  *
  * Many concurrent sessions replay the same handful of workloads (the
  * 17-benchmark suite from N simulated users); the first session to
  * stream a trace pays the transfer, every later session opening the
- * same fingerprint replays the shared in-memory copy (RunCached)
- * without moving a byte over the socket. Entries are shared_ptr, so
- * an eviction never invalidates a replay in flight — the blob dies
- * when the last replaying session drops it.
+ * same fingerprint replays the server's copy (RunCached) without
+ * moving a byte over the socket. Entries are stored compressed
+ * (serve::compressServeStream) and expanded per replaying session, so
+ * the budget admits several times more workloads than the decoded
+ * footprint would. Entries are shared_ptr, so an eviction never
+ * invalidates a replay in flight — the blob dies when the last
+ * replaying session drops it.
  *
  * All methods are thread-safe. Effectiveness publishes as volatile
  * serve.lru.* metrics (hits, misses, insertions, evictions, resident
@@ -31,9 +35,6 @@
 namespace lvplib::serve
 {
 
-/** A shared immutable decoded trace stream. */
-using TraceBlob = std::shared_ptr<const std::vector<ServeRecord>>;
-
 /** Byte-bounded LRU of hot traces; see file comment. */
 class TraceLru
 {
@@ -44,7 +45,7 @@ class TraceLru
 
     /** Look up @p fingerprint, refreshing its recency on a hit.
      *  @return the blob, or nullptr on a miss. */
-    TraceBlob get(std::uint64_t fingerprint);
+    CompressedBlob get(std::uint64_t fingerprint);
 
     /** Peek without touching recency or the hit/miss counters (the
      *  OpenSession "cached?" probe). */
@@ -56,7 +57,7 @@ class TraceLru
      * bigger than the whole budget is not cached. Re-inserting an
      * existing key refreshes recency and keeps the original blob.
      */
-    void insert(std::uint64_t fingerprint, TraceBlob blob);
+    void insert(std::uint64_t fingerprint, CompressedBlob blob);
 
     std::uint64_t maxBytes() const { return maxBytes_; }
 
@@ -68,18 +69,19 @@ class TraceLru
     std::uint64_t evictions() const;
     /** @} */
 
-    /** Bytes one blob accounts for against the budget. */
+    /** Bytes one blob accounts for against the budget (its
+     *  compressed size). */
     static std::uint64_t
-    blobBytes(const TraceBlob &blob)
+    blobBytes(const CompressedBlob &blob)
     {
-        return blob ? blob->size() * sizeof(ServeRecord) : 0;
+        return blob ? blob->bytes.size() : 0;
     }
 
   private:
     struct Entry
     {
         std::uint64_t fingerprint;
-        TraceBlob blob;
+        CompressedBlob blob;
     };
 
     void evictToFit(); ///< caller holds m_

@@ -188,11 +188,13 @@ benchUsage()
   --watchdog-ms N   wall-clock budget per pipeline run (0 = off);
                     a run over budget fails with a watchdog error
   --help            this text
-       lvpbench --verify-trace-cache DIR [--prune]
+       lvpbench --verify-trace-cache DIR [--prune] [--migrate]
                     scan a trace directory and exit (2 if any invalid);
-                    --prune deletes invalid traces and abandoned temp
-                    files (age-gated: fresh temps are left for their
-                    possibly-live writers)
+                    reports each file's format version and compression
+                    ratio; --prune deletes invalid traces and abandoned
+                    temp files (age-gated: fresh temps are left for
+                    their possibly-live writers); --migrate rewrites
+                    valid v2 traces as v3 in place (atomic temp+rename)
        lvpbench --chaos SEED[,N]
                     run the seeded fault-injection campaign (N =
                     predictor-fault quota, default 1000) and exit
@@ -242,6 +244,8 @@ parseBenchCli(const std::vector<std::string> &args, std::string &error)
             opts.traceCache = false;
         } else if (a == "--prune") {
             opts.prune = true;
+        } else if (a == "--migrate") {
+            opts.migrate = true;
         } else if (a == "--filter") {
             auto *v = value();
             if (!v)

@@ -160,6 +160,7 @@ struct RunCache::Impl
     std::atomic<std::uint64_t> traceWrites{0};
     std::atomic<std::uint64_t> traceReplays{0};
     std::atomic<std::uint64_t> traceInvalid{0};
+    std::atomic<std::uint64_t> traceFormatUpgrade{0};
 
     // Obs mirrors of the counters above, resolved once: registry
     // references stay valid for its lifetime, so the hot path never
@@ -173,6 +174,8 @@ struct RunCache::Impl
         obs::metrics().counter("runcache.trace_replays");
     obs::Counter &obsTraceInvalid =
         obs::metrics().counter("runcache.trace_invalid");
+    obs::Counter &obsTraceFormatUpgrade =
+        obs::metrics().counter("runcache.trace_format_upgrade");
     obs::Counter &obsFanoutPasses =
         obs::metrics().counter("runcache.fanout.passes");
     obs::Counter &obsFanoutSinks =
@@ -514,14 +517,28 @@ RunCache::Impl::ensureTrace(RunCache &cache, const Workload &w,
                 auto rep = trace::verifyTraceFile(path, fp);
                 if (rep.ok())
                     return path;
-                lvp_warn("trace cache: '%s' invalid (%s%s%s), "
-                         "regenerating",
-                         path.c_str(),
-                         trace::traceFileStatusName(rep.status),
-                         rep.detail.empty() ? "" : ": ",
-                         rep.detail.c_str());
-                traceInvalid.fetch_add(1, std::memory_order_relaxed);
-                obsTraceInvalid.add();
+                if (rep.status == trace::TraceFileStatus::BadVersion) {
+                    // An intact file from another format generation is
+                    // migration churn, not corruption; count it apart
+                    // so metrics can tell the two stories.
+                    lvp_warn("trace cache: '%s' is format v%u, "
+                             "regenerating as v%u",
+                             path.c_str(), rep.version,
+                             trace::TraceFormatVersion);
+                    traceFormatUpgrade.fetch_add(
+                        1, std::memory_order_relaxed);
+                    obsTraceFormatUpgrade.add();
+                } else {
+                    lvp_warn("trace cache: '%s' invalid (%s%s%s), "
+                             "regenerating",
+                             path.c_str(),
+                             trace::traceFileStatusName(rep.status),
+                             rep.detail.empty() ? "" : ": ",
+                             rep.detail.c_str());
+                    traceInvalid.fetch_add(1,
+                                           std::memory_order_relaxed);
+                    obsTraceInvalid.add();
+                }
                 std::remove(path.c_str());
             }
             std::string tmp = uniqueTempName(path);
@@ -1344,6 +1361,8 @@ RunCache::stats() const
         impl_->traceReplays.load(std::memory_order_relaxed);
     s.traceInvalid =
         impl_->traceInvalid.load(std::memory_order_relaxed);
+    s.traceFormatUpgrade =
+        impl_->traceFormatUpgrade.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -1364,6 +1383,7 @@ RunCache::clear()
     impl_->traceWrites = 0;
     impl_->traceReplays = 0;
     impl_->traceInvalid = 0;
+    impl_->traceFormatUpgrade = 0;
     impl_->consecutiveTraceFailures = 0;
 }
 

@@ -212,6 +212,9 @@ class RunCache
         std::uint64_t traceWrites = 0;  ///< phase-1 traces written
         std::uint64_t traceReplays = 0; ///< runs served by replay
         std::uint64_t traceInvalid = 0; ///< bad traces regenerated
+        /** Intact traces from another format version regenerated
+         *  (migration churn, kept apart from corruption). */
+        std::uint64_t traceFormatUpgrade = 0;
     };
 
     Stats stats() const;

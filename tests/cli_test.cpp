@@ -153,6 +153,7 @@ TEST(BenchCli, Defaults)
     EXPECT_FALSE(o->list);
     EXPECT_TRUE(o->traceCache);
     EXPECT_FALSE(o->prune);
+    EXPECT_FALSE(o->migrate);
     EXPECT_FALSE(o->help);
     EXPECT_TRUE(o->metricsOut.empty());
     EXPECT_TRUE(o->timelineOut.empty());
@@ -195,6 +196,12 @@ TEST(BenchCli, ListHelpAndVerify)
     auto o = parseBench({"--verify-trace-cache", "/tmp/traces"});
     ASSERT_TRUE(o);
     EXPECT_EQ(o->verifyDir, "/tmp/traces");
+    EXPECT_FALSE(o->migrate);
+    o = parseBench({"--verify-trace-cache", "/tmp/traces", "--prune",
+                    "--migrate"});
+    ASSERT_TRUE(o);
+    EXPECT_TRUE(o->prune);
+    EXPECT_TRUE(o->migrate);
 }
 
 TEST(BenchCli, ChaosRetriesAndWatchdog)
@@ -311,7 +318,7 @@ TEST(BenchCli, UsageMentionsEveryFlag)
     for (const char *flag :
          {"--filter", "--jobs", "--shards", "--scale", "--json",
           "--list",
-          "--no-trace-cache", "--prune",
+          "--no-trace-cache", "--prune", "--migrate",
           "--verify-trace-cache", "--metrics-out", "--timeline-out",
           "--check", "--rel-tol", "--chaos", "--retries",
           "--watchdog-ms"})

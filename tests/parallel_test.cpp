@@ -458,6 +458,156 @@ TEST(RunCacheTest, StaleFingerprintAndLegacyFilesRegenerate)
     cache.clear();
 }
 
+/** Overwrite one byte at @p offset with @p value. */
+void
+setByteAt(const std::filesystem::path &path, long offset,
+          std::uint8_t value)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    std::fputc(value, f);
+    ASSERT_EQ(std::fclose(f), 0);
+}
+
+TEST(RunCacheTest, UnknownVersionCountsAsFormatUpgradeNotCorruption)
+{
+    const auto &w = workloads::allWorkloads().front();
+    auto opts = smallOpts();
+    sim::RunConfig rc{opts.maxInstructions};
+    auto cfg = core::LvpConfig::simple();
+    auto &cache = RunCache::instance();
+
+    TempTraceDir tmp("version-trace");
+    cache.clear();
+    cache.setTraceDir(tmp.dir.string());
+    cache.lvpOnly(w, workloads::CodeGen::Ppc, opts.scale, cfg, rc);
+    auto path = tmp.onlyTrace();
+
+    // Stamp a future format version into the header: the file is not
+    // corrupt, just unreadable by this build. The miss must be
+    // counted as migration churn, not corruption.
+    setByteAt(path, 8, 0x7f);
+    EXPECT_EQ(trace::verifyTraceFile(path.string()).status,
+              trace::TraceFileStatus::BadVersion);
+    cache.clear();
+    cache.lvpOnly(w, workloads::CodeGen::Ppc, opts.scale, cfg, rc);
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.traceFormatUpgrade, 1u);
+    EXPECT_EQ(stats.traceInvalid, 0u)
+        << "a version mismatch is not corruption";
+    EXPECT_EQ(stats.traceWrites, 1u) << "and the trace regenerated";
+    EXPECT_TRUE(trace::verifyTraceFile(path.string()).ok());
+
+    cache.setTraceDir("");
+    cache.clear();
+}
+
+TEST(RunCacheTest, LegacyV2TraceReplaysWithoutRegeneration)
+{
+    // A mixed-version cache: a valid v2 file left behind by an older
+    // build keeps replaying as-is (no regeneration, no upgrade churn)
+    // until lvpbench --verify-trace-cache --migrate rewrites it.
+    const auto &w = workloads::allWorkloads().front();
+    auto opts = smallOpts();
+    sim::RunConfig rc{opts.maxInstructions};
+    auto cfg = core::LvpConfig::simple();
+    auto &cache = RunCache::instance();
+
+    TempTraceDir tmp("v2-compat-trace");
+    cache.clear();
+    cache.setTraceDir(tmp.dir.string());
+    auto cold = cache.lvpOnly(w, workloads::CodeGen::Ppc, opts.scale,
+                              cfg, rc);
+    auto path = tmp.onlyTrace();
+
+    // Transcode the cached v3 file to v2 in place, keeping the
+    // fingerprint the cache expects.
+    auto rep = trace::verifyTraceFile(path.string());
+    ASSERT_TRUE(rep.ok());
+    auto prog = w.build(workloads::CodeGen::Ppc, opts.scale);
+    {
+        std::vector<trace::TraceRecord> records;
+        trace::TraceFileReader reader(path.string(), prog);
+        trace::TraceRecord rec;
+        while (reader.next(rec))
+            records.push_back(rec);
+        trace::TraceWriterOptions v2;
+        v2.version = trace::TraceFormatVersionV2;
+        trace::TraceFileWriter writer(path.string(), rep.fingerprint,
+                                      v2);
+        for (const auto &r : records)
+            writer.consume(r);
+        ASSERT_TRUE(writer.close()) << writer.error();
+    }
+    ASSERT_EQ(trace::verifyTraceFile(path.string()).version,
+              trace::TraceFormatVersionV2);
+
+    cache.clear();
+    auto warm = cache.lvpOnly(w, workloads::CodeGen::Ppc, opts.scale,
+                              cfg, rc);
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.traceReplays, 1u);
+    EXPECT_EQ(stats.traceWrites, 0u) << "v2 replays without rewrite";
+    EXPECT_EQ(stats.traceInvalid, 0u);
+    EXPECT_EQ(stats.traceFormatUpgrade, 0u);
+    EXPECT_EQ(cold.loads, warm.loads);
+    EXPECT_EQ(cold.correct, warm.correct);
+    EXPECT_EQ(cold.incorrect, warm.incorrect);
+
+    cache.setTraceDir("");
+    cache.clear();
+}
+
+TEST(RunCacheTest, TruncatedAndFlippedCompressedBlocksRegenerate)
+{
+    const auto &w = workloads::allWorkloads().front();
+    auto opts = smallOpts();
+    sim::RunConfig rc{opts.maxInstructions};
+    auto cfg = core::LvpConfig::simple();
+    auto &cache = RunCache::instance();
+
+    cache.clear();
+    cache.setTraceDir("");
+    auto direct = cache.lvpOnly(w, workloads::CodeGen::Ppc,
+                                opts.scale, cfg, rc);
+
+    TempTraceDir tmp("block-damage-trace");
+    cache.clear();
+    cache.setTraceDir(tmp.dir.string());
+    cache.lvpOnly(w, workloads::CodeGen::Ppc, opts.scale, cfg, rc);
+    auto path = tmp.onlyTrace();
+
+    // Damage 1: chop the file mid-block (footer and index gone).
+    auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size * 3 / 5);
+    cache.clear();
+    auto afterTrunc = cache.lvpOnly(w, workloads::CodeGen::Ppc,
+                                    opts.scale, cfg, rc);
+    EXPECT_EQ(cache.stats().traceInvalid, 1u);
+    EXPECT_EQ(cache.stats().traceWrites, 1u);
+    EXPECT_TRUE(trace::verifyTraceFile(path.string()).ok());
+
+    // Damage 2: flip a byte deep inside a compressed block payload
+    // (caught by that block's checksum, not the footer).
+    flipByteAt(path, static_cast<long>(size / 2));
+    cache.clear();
+    auto afterFlip = cache.lvpOnly(w, workloads::CodeGen::Ppc,
+                                   opts.scale, cfg, rc);
+    EXPECT_EQ(cache.stats().traceInvalid, 1u);
+    EXPECT_EQ(cache.stats().traceWrites, 1u);
+    EXPECT_TRUE(trace::verifyTraceFile(path.string()).ok());
+
+    for (const auto &r : {afterTrunc, afterFlip}) {
+        EXPECT_EQ(direct.loads, r.loads);
+        EXPECT_EQ(direct.correct, r.correct);
+        EXPECT_EQ(direct.incorrect, r.incorrect);
+        EXPECT_EQ(direct.constants, r.constants);
+    }
+    cache.setTraceDir("");
+    cache.clear();
+}
+
 TEST(RunCacheTest, WriteFailureFallsBackAndIsNotMemoized)
 {
     const auto &w = workloads::allWorkloads().front();

@@ -16,6 +16,7 @@
 #include <sys/socket.h>
 
 #include "chaos/chaos.hh"
+#include "trace/columnar.hh"
 #include "serve/framing.hh"
 #include "serve/protocol.hh"
 #include "serve/serve_cli.hh"
@@ -345,13 +346,114 @@ TEST(ServeFraming, ServeFrameChaosPointInjects)
     EXPECT_EQ(io.b->read().type, FrameType::Goodbye);
 }
 
-TraceBlob
+/** What a session actually streams: the decoded records. */
+std::vector<ServeRecord>
+streamOf(std::size_t records, std::uint64_t salt = 0)
+{
+    std::vector<ServeRecord> v;
+    for (std::size_t i = 0; i < records; ++i)
+        v.push_back(loadRec(i, i + salt, i * 2));
+    return v;
+}
+
+/** What the LRU stores: the column-compressed form. */
+CompressedBlob
 blobOf(std::size_t records, std::uint64_t salt = 0)
 {
-    auto v = std::make_shared<std::vector<ServeRecord>>();
-    for (std::size_t i = 0; i < records; ++i)
-        v->push_back(loadRec(i, i + salt, i * 2));
-    return v;
+    return std::make_shared<const CompressedTrace>(
+        compressServeStream(streamOf(records, salt)));
+}
+
+TEST(ServeCompress, RoundTripAllKindsAndShrinks)
+{
+    std::vector<ServeRecord> in;
+    for (std::size_t i = 0; i < 1000; ++i) {
+        in.push_back(loadRec(0x1000 + 4 * i, 0x8000 + 8 * (i % 7),
+                             i % 3 ? 42 : 0, i % 2 ? 8 : 4));
+        ServeRecord st;
+        st.kind = static_cast<std::uint8_t>(ServeKind::Store);
+        st.size = 1;
+        st.pc = 0x2000 + 4 * i;
+        st.addr = 0xcafe + i;
+        in.push_back(st);
+        ServeRecord br;
+        br.kind = static_cast<std::uint8_t>(ServeKind::Branch);
+        br.taken = i & 1;
+        br.pc = 0x3000;
+        in.push_back(br);
+    }
+    CompressedTrace ct = compressServeStream(in);
+    EXPECT_EQ(ct.records, in.size());
+    // The point of compressing: several-fold smaller than the decoded
+    // stream (local pc/addr/value deltas are all short varints here).
+    EXPECT_LT(ct.bytes.size(), in.size() * sizeof(ServeRecord) / 3);
+
+    TraceBlob out = decompressServeStream(ct);
+    ASSERT_EQ(out->size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ((*out)[i].kind, in[i].kind) << i;
+        EXPECT_EQ((*out)[i].size, in[i].size) << i;
+        EXPECT_EQ((*out)[i].taken, in[i].taken) << i;
+        EXPECT_EQ((*out)[i].pc, in[i].pc) << i;
+        EXPECT_EQ((*out)[i].addr, in[i].addr) << i;
+        EXPECT_EQ((*out)[i].value, in[i].value) << i;
+    }
+}
+
+TEST(ServeCompress, EmptyStreamRoundTrips)
+{
+    CompressedTrace ct = compressServeStream({});
+    EXPECT_EQ(ct.records, 0u);
+    TraceBlob out = decompressServeStream(ct);
+    EXPECT_TRUE(out->empty());
+}
+
+TEST(ServeCompress, RejectsCorruptBlob)
+{
+    CompressedTrace good = compressServeStream(streamOf(100));
+
+    // Any flipped payload byte trips the trailing checksum.
+    for (std::size_t at : {std::size_t(0), good.bytes.size() / 2}) {
+        CompressedTrace bad = good;
+        bad.bytes[at] ^= 0x40;
+        expectSimError([&] { decompressServeStream(bad); },
+                       ErrorKind::TraceCorrupt, "checksum mismatch");
+    }
+
+    // A record count that outgrows the payload is rejected before any
+    // column decode is attempted.
+    CompressedTrace big = good;
+    big.records = good.bytes.size() + 1;
+    expectSimError([&] { decompressServeStream(big); },
+                   ErrorKind::TraceCorrupt, "will not fit");
+
+    // Truncation below the trailing checksum.
+    CompressedTrace tiny = good;
+    tiny.bytes.resize(4);
+    expectSimError([&] { decompressServeStream(tiny); },
+                   ErrorKind::TraceCorrupt, "byte(s)");
+}
+
+TEST(ServeCompress, RejectsBadMetaEvenWithValidChecksum)
+{
+    // Hand-build a blob whose checksum is valid but whose meta byte
+    // encodes a branch with a nonzero access size: strict decode must
+    // still reject it (the checksum guards corruption, the meta
+    // validation guards a hostile or buggy encoder).
+    ServeRecord br;
+    br.kind = static_cast<std::uint8_t>(ServeKind::Branch);
+    br.pc = 0x3000;
+    CompressedTrace ct = compressServeStream({&br, 1});
+    ASSERT_GE(ct.bytes.size(), 9u);
+    ct.bytes[0] |= 3 << 2; // size code 3 (8 bytes) on a branch
+    // Re-seal the checksum so only the meta check can object.
+    std::uint64_t sum =
+        trace::fnv1a(ct.bytes.data(), ct.bytes.size() - 8);
+    for (int i = 0; i < 8; ++i)
+        ct.bytes[ct.bytes.size() - 8 + i] =
+            static_cast<std::uint8_t>(sum >> (8 * i));
+    expectSimError([&] { decompressServeStream(ct); },
+                   ErrorKind::TraceCorrupt, "access size");
 }
 
 TEST(ServeTraceLru, MissThenHitRefreshesRecency)
@@ -370,7 +472,9 @@ TEST(ServeTraceLru, MissThenHitRefreshesRecency)
 
 TEST(ServeTraceLru, EvictsLeastRecentlyUsedToBudget)
 {
-    const auto one = TraceLru::blobBytes(blobOf(10));
+    // salt >= 1 keeps every addr nonzero, so the three compressed
+    // blobs below are byte-for-byte the same size.
+    const auto one = TraceLru::blobBytes(blobOf(10, 1));
     TraceLru lru(2 * one); // room for exactly two blobs
     lru.insert(1, blobOf(10, 1));
     lru.insert(2, blobOf(10, 2));

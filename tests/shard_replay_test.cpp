@@ -59,9 +59,10 @@ demoProgram()
 
 std::uint64_t
 writeTrace(const std::string &path, const isa::Program &prog,
-           std::uint64_t limit)
+           std::uint64_t limit,
+           const trace::TraceWriterOptions &opts = {})
 {
-    TraceFileWriter writer(path);
+    TraceFileWriter writer(path, 0, opts);
     vm::Interpreter interp(prog);
     interp.run(&writer, limit);
     writer.finish();
@@ -182,6 +183,91 @@ TEST(ShardReplay, WindowedReaderDeliversExactSlices)
             ++i;
         }
         EXPECT_EQ(i, w.count);
+    }
+}
+
+TEST(ShardReplay, WindowedReaderStraddlesV3BlockBoundaries)
+{
+    // Same exact-slice contract, but against a v3 file with 64-record
+    // blocks so every window below crosses at least one compressed
+    // block boundary (the default 64Ki blocks never straddle in a
+    // 10000-record trace).
+    TempPath tmp("lvplib_shard_tinywin.trace");
+    auto prog = demoProgram();
+    trace::TraceWriterOptions opts;
+    opts.blockRecords = 64;
+    const std::uint64_t n = writeTrace(tmp.path, prog, 10000, opts);
+    ASSERT_EQ(n, 10000u);
+
+    std::vector<TraceRecord> full;
+    {
+        TraceFileReader reader(tmp.path, prog);
+        TraceRecord rec;
+        while (reader.next(rec))
+            full.push_back(rec);
+    }
+    ASSERT_EQ(full.size(), n);
+
+    const TraceFileReader::Window windows[] = {
+        {63, 2},     // straddles the first boundary
+        {64, 64},    // exactly the second block
+        {127, 130},  // mid-block across three boundaries
+        {0, 4096},   // 64 whole blocks from the start
+        {4095, 4099}, // unaligned, spans 65 blocks
+        {9999, 1}};  // last record, last block
+    for (const auto &w : windows) {
+        TraceFileReader reader(tmp.path, prog, std::nullopt, w);
+        TraceRecord rec;
+        std::uint64_t i = 0;
+        while (reader.next(rec)) {
+            ASSERT_LT(i, w.count);
+            const TraceRecord &want = full[w.first + i];
+            ASSERT_EQ(rec.seq, want.seq) << "absolute seq preserved";
+            ASSERT_EQ(rec.pc, want.pc);
+            ASSERT_EQ(rec.inst, want.inst);
+            ASSERT_EQ(rec.effAddr, want.effAddr);
+            ASSERT_EQ(rec.value, want.value);
+            ASSERT_EQ(rec.taken, want.taken);
+            ASSERT_EQ(rec.nextPc, want.nextPc);
+            ++i;
+        }
+        EXPECT_EQ(i, w.count)
+            << "window [" << w.first << "," << w.count << ")";
+    }
+}
+
+TEST(ShardReplay, TinyBlockShardingMatchesSerialAtEveryCount)
+{
+    // Shard windows over 64-record compressed blocks: every shard
+    // boundary lands mid-block, so each shard decodes a partial lead
+    // block — the seek path the block index exists for.
+    TempPath tmp("lvplib_shard_tinyblock.trace");
+    auto prog = demoProgram();
+    trace::TraceWriterOptions opts;
+    opts.blockRecords = 64;
+    ASSERT_EQ(writeTrace(tmp.path, prog, 10000, opts), 10000u);
+
+    const auto cfg = core::LvpConfig::simple();
+    core::LvpStats serial = serialLvp(tmp.path, prog, cfg);
+    for (unsigned shards : {1u, 2u, 3u, 7u, 16u, 64u}) {
+        expectSameStats(
+            serial, sim::shardedLvpReplay(tmp.path, prog, cfg, shards),
+            "tiny-block lvp shards=" + std::to_string(shards));
+    }
+
+    const auto scfg = core::StrideConfig::simple();
+    core::LvpStats sSerial = serialStride(tmp.path, prog, scfg);
+    const auto fcfg = core::FcmConfig::simple();
+    core::LvpStats fSerial = serialFcm(tmp.path, prog, fcfg);
+    for (unsigned shards : {2u, 5u, 32u}) {
+        expectSameStats(
+            sSerial,
+            sim::shardedStrideReplay(tmp.path, prog, scfg, shards),
+            "tiny-block stride shards=" + std::to_string(shards));
+        expectSameStats(
+            fSerial,
+            sim::shardedFcmReplay(tmp.path, prog, fcfg, shards),
+            "tiny-block fcm shards=" + std::to_string(shards));
     }
 }
 

@@ -229,13 +229,23 @@ writeAll(const std::string &path,
 /** Interpret demoProgram() into @p path; returns records written. */
 std::uint64_t
 writeDemoTrace(const std::string &path, const isa::Program &prog,
-               std::uint64_t fingerprint)
+               std::uint64_t fingerprint,
+               const trace::TraceWriterOptions &opts = {})
 {
-    TraceFileWriter writer(path, fingerprint);
+    TraceFileWriter writer(path, fingerprint, opts);
     vm::Interpreter interp(prog);
     interp.run(&writer);
     EXPECT_TRUE(writer.close()) << writer.error();
     return writer.recordsWritten();
+}
+
+/** Writer options pinning the legacy row-major v2 format. */
+trace::TraceWriterOptions
+v2Opts()
+{
+    trace::TraceWriterOptions opts;
+    opts.version = trace::TraceFormatVersionV2;
+    return opts;
 }
 
 TEST(TraceIntegrity, WriterEmitsValidSelfDescribingEnvelope)
@@ -281,7 +291,9 @@ TEST(TraceIntegrity, PartialTrailingRecordDetected)
 {
     TempPath tmp("lvplib_trace_partial.trace");
     auto prog = demoProgram();
-    writeDemoTrace(tmp.path, prog, 7);
+    // Fixed-size records are a v2 notion; v3 files are covered by the
+    // block-structure checks in trace_codec_test.cpp.
+    writeDemoTrace(tmp.path, prog, 7, v2Opts());
 
     // Insert 13 garbage bytes between the payload and the footer:
     // 13 trailing bytes that belong to no whole record.
@@ -317,7 +329,9 @@ TEST(TraceIntegrity, OutOfRangeEnumBytesDetected)
 {
     TempPath tmp("lvplib_trace_enum.trace");
     auto prog = demoProgram();
-    writeDemoTrace(tmp.path, prog, 7);
+    // Per-record enum bytes only exist in v2; v3 bit-packs them (every
+    // decoded value is legal) and relies on per-block checksums.
+    writeDemoTrace(tmp.path, prog, 7, v2Opts());
 
     // pred byte of record 0 -> not a PredState.
     auto bytes = readAll(tmp.path);

@@ -24,7 +24,7 @@
  *   lvpbench --check bench/golden/metrics.json [--rel-tol X]
  *                             # diff this run against the golden
  *                             # baseline; exit 3 on drift
- *   lvpbench --verify-trace-cache DIR [--prune]
+ *   lvpbench --verify-trace-cache DIR [--prune] [--migrate]
  *                             # scan a trace directory and exit
  *   lvpbench --chaos 1        # seeded fault-injection campaign
  *   lvpbench --retries 3      # extra attempts per failed experiment
@@ -37,8 +37,13 @@
  * checksummed footer); stale or corrupt files are detected and
  * regenerated automatically and counted as trace_invalid in the
  * run-cache stats. --verify-trace-cache reports each file's status
- * without running any experiment; with --prune, invalid trace files
- * and leftover *.tmp.* files are deleted.
+ * without running any experiment, including each file's format
+ * version and compression ratio (v3 stores column-major
+ * delta-compressed blocks, v2 the legacy flat records); with --prune,
+ * invalid trace files and leftover *.tmp.* files are deleted, and
+ * with --migrate, valid v2 files are rewritten as v3 in place. An
+ * intact cache file from an older format version is regenerated and
+ * counted as trace_format_upgrade, separate from trace_invalid.
  *
  * Exit status: 0 success; 1 usage or file errors; 2 when
  * --verify-trace-cache finds an invalid trace; 3 when --check finds
@@ -136,18 +141,20 @@ usage(int code)
 }
 
 /**
- * Scan @p dir for trace files, report each one's integrity, and
- * (with @p prune) delete the invalid ones plus abandoned temp files.
- * Temps are age-gated (trace::TempPruneAgeSeconds): a young temp may
- * belong to a live concurrent writer and is never deleted.
+ * Scan @p dir for trace files, report each one's integrity, format
+ * version, and compression ratio, and (with @p prune) delete the
+ * invalid ones plus abandoned temp files. Temps are age-gated
+ * (trace::TempPruneAgeSeconds): a young temp may belong to a live
+ * concurrent writer and is never deleted. With @p migrate, valid v2
+ * files are rewritten as v3 in place (atomic temp + rename).
  * Fingerprints are reported but not matched against a program: the
  * full stale-program check happens when the run-cache reuses a file.
  * @return 0 when every trace verifies, 2 otherwise.
  */
 int
-verifyTraceCacheDir(const std::string &dir, bool prune)
+verifyTraceCacheDir(const std::string &dir, bool prune, bool migrate)
 {
-    auto scan = trace::scanTraceDir(dir, prune);
+    auto scan = trace::scanTraceDir(dir, prune, migrate);
     if (!scan.ok) {
         std::cerr << "lvpbench: cannot read directory '" << dir
                   << "': " << scan.error << '\n';
@@ -159,9 +166,14 @@ verifyTraceCacheDir(const std::string &dir, bool prune)
                       static_cast<unsigned long long>(
                           e.report.fingerprint));
         if (e.report.ok()) {
+            char ratio[32];
+            std::snprintf(ratio, sizeof ratio, "%.1fx",
+                          e.report.compressionRatio());
             std::cout << "ok       " << e.name << "  "
-                      << e.report.records << " records  fp " << fp
-                      << '\n';
+                      << e.report.records << " records  v"
+                      << e.report.version << "  " << ratio
+                      << "  fp " << fp
+                      << (e.migrated ? "  [migrated]" : "") << '\n';
             continue;
         }
         std::cout << "INVALID  " << e.name << "  "
@@ -185,6 +197,10 @@ verifyTraceCacheDir(const std::string &dir, bool prune)
               << (scan.prunedCount
                       ? ", " + std::to_string(scan.prunedCount) +
                             " pruned"
+                      : "")
+              << (scan.migratedCount
+                      ? ", " + std::to_string(scan.migratedCount) +
+                            " migrated"
                       : "")
               << '\n';
     return scan.invalid == 0 ? 0 : 2;
@@ -283,7 +299,8 @@ main(int argc, char **argv)
         return usage(0);
 
     if (!bench.verifyDir.empty())
-        return verifyTraceCacheDir(bench.verifyDir, bench.prune);
+        return verifyTraceCacheDir(bench.verifyDir, bench.prune,
+                                   bench.migrate);
 
     if (bench.list) {
         sim::writeSuiteList(std::cout);
@@ -447,6 +464,7 @@ main(int argc, char **argv)
         w.member("trace_writes", cs.traceWrites);
         w.member("trace_replays", cs.traceReplays);
         w.member("trace_invalid", cs.traceInvalid);
+        w.member("trace_format_upgrade", cs.traceFormatUpgrade);
         w.endObject();
         w.endObject();
         os << '\n';
